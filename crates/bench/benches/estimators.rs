@@ -1,0 +1,76 @@
+//! Event-location estimator benchmarks: Kalman vs particle filter vs the
+//! closed-form baselines, and the cost of the weighted path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use stir_eventdet::{
+    KalmanEstimator, LocationEstimator, MeanEstimator, MedianEstimator, Observation,
+    ParticleEstimator,
+};
+use stir_geoindex::Point;
+
+fn observations(n: usize, seed: u64) -> Vec<Observation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|t| Observation {
+            point: Point::new(
+                37.5 + rng.gen_range(-0.3..0.3),
+                127.0 + rng.gen_range(-0.3..0.3),
+            ),
+            weight: if rng.gen_bool(0.3) {
+                1.0
+            } else {
+                rng.gen_range(0.02..0.6)
+            },
+            timestamp: t as u64,
+        })
+        .collect()
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimators");
+    for &n in &[50usize, 500, 5_000] {
+        let obs = observations(n, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        let mean = MeanEstimator;
+        let median = MedianEstimator;
+        let kalman = KalmanEstimator::default();
+        let particle = ParticleEstimator::default();
+        let all: [(&str, &dyn LocationEstimator); 4] = [
+            ("mean", &mean),
+            ("median", &median),
+            ("kalman", &kalman),
+            ("particle", &particle),
+        ];
+        for (name, est) in all {
+            group.bench_with_input(BenchmarkId::new(name, n), &obs, |b, obs| {
+                b.iter(|| est.estimate(black_box(obs)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_particle_counts(c: &mut Criterion) {
+    let obs = observations(500, 2);
+    let mut group = c.benchmark_group("estimators/particle_count");
+    for &particles in &[128usize, 512, 2_048] {
+        let est = ParticleEstimator {
+            particles,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(particles), &obs, |b, obs| {
+            b.iter(|| est.estimate(black_box(obs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_estimators, bench_particle_counts
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Geocoder benchmarks: the per-GPS-tweet cost the paper paid 2xx,xxx
+//! times — direct, cached, and through the Yahoo XML round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use stir_bench::district_points;
+use stir_geokr::yahoo::YahooPlaceFinder;
+use stir_geokr::{ForwardGeocoder, Gazetteer, ReverseGeocoder};
+
+fn bench_reverse(c: &mut Criterion) {
+    let gazetteer = Gazetteer::load();
+    let points = district_points(&gazetteer, 10_000, 1);
+    let mut group = c.benchmark_group("geocode/reverse");
+    group.throughput(Throughput::Elements(points.len() as u64));
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            // A fresh geocoder per iteration: every lookup misses.
+            let geo = ReverseGeocoder::with_capacity(&gazetteer, 1);
+            points
+                .iter()
+                .filter_map(|&p| geo.resolve(black_box(p)))
+                .count()
+        })
+    });
+    group.bench_function("cached", |b| {
+        let geo = ReverseGeocoder::new(&gazetteer);
+        // Warm the quantized cells once.
+        for &p in &points {
+            geo.resolve(p);
+        }
+        b.iter(|| {
+            points
+                .iter()
+                .filter_map(|&p| geo.resolve(black_box(p)))
+                .count()
+        })
+    });
+    group.bench_function("via_yahoo_xml", |b| {
+        let api = YahooPlaceFinder::with_limits(&gazetteer, u64::MAX, 0);
+        b.iter(|| {
+            points
+                .iter()
+                .filter_map(|&p| api.lookup(black_box(p)).ok().flatten())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let gazetteer = Gazetteer::load();
+    let forward = ForwardGeocoder::new(&gazetteer);
+    let names: Vec<&str> = gazetteer.districts().iter().map(|d| d.name_en).collect();
+    let mut group = c.benchmark_group("geocode/forward");
+    group.throughput(Throughput::Elements(names.len() as u64));
+    group.bench_function("exact_names", |b| {
+        b.iter(|| {
+            names
+                .iter()
+                .filter(|n| {
+                    forward
+                        .resolve_district(black_box(n), None)
+                        .unique()
+                        .is_some()
+                })
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_reverse, bench_forward
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Profile-text classification benchmark: the cost of the paper's
+//! refinement decision per crawled user (52,200 of them at paper scale).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use stir_geokr::Gazetteer;
+use stir_textgeo::ProfileClassifier;
+use stir_twitter_sim::profiles::{render_location, StyleMix};
+
+fn bench_classify(c: &mut Criterion) {
+    let gazetteer = Gazetteer::load();
+    let classifier = ProfileClassifier::new(&gazetteer);
+    // A realistic text mix straight from the generator's noise model.
+    let mix = StyleMix::korean();
+    let mut rng = StdRng::seed_from_u64(9);
+    let texts: Vec<String> = (0..5_000)
+        .map(|_| {
+            let home = gazetteer.weighted_district(rng.gen::<f64>());
+            render_location(mix.sample(&mut rng), home, &gazetteer, &mut rng)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("textgeo/classify");
+    group.throughput(Throughput::Elements(texts.len() as u64));
+    group.bench_function("korean_mix", |b| {
+        b.iter(|| {
+            texts
+                .iter()
+                .filter(|t| classifier.classify(black_box(t)).is_well_defined())
+                .count()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("textgeo/classify_worst_case");
+    // Fuzzy-match-heavy inputs: long unknown ASCII tokens.
+    let hard: Vec<String> = (0..2_000)
+        .map(|i| format!("somwhere unknownville-{i} gangnm-gu"))
+        .collect();
+    group.throughput(Throughput::Elements(hard.len() as u64));
+    group.bench_function("fuzzy_heavy", |b| {
+        b.iter(|| {
+            for t in &hard {
+                black_box(classifier.classify(black_box(t)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_classify
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Tweet store benchmarks: ingest and the three index paths vs full scan.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use stir_geoindex::{BBox, Point};
+use stir_tweetstore::{Query, TweetRecord, TweetStore};
+
+fn records(n: usize, seed: u64) -> Vec<TweetRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| TweetRecord {
+            id: i as u64,
+            user: rng.gen_range(0..1_000),
+            timestamp: rng.gen_range(0..90 * 86_400),
+            gps: rng
+                .gen_bool(0.05)
+                .then(|| Point::new(rng.gen_range(33.0..38.7), rng.gen_range(124.5..131.0))),
+            text: if rng.gen_bool(0.05) {
+                "just arrived in Jung-gu".into()
+            } else {
+                String::new()
+            },
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let recs = records(100_000, 1);
+    let mut group = c.benchmark_group("tweetstore/ingest");
+    group.throughput(Throughput::Elements(recs.len() as u64));
+    group.bench_function("append_100k", |b| {
+        b.iter(|| {
+            let mut store = TweetStore::new();
+            for r in &recs {
+                store.append(black_box(r));
+            }
+            store.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let recs = records(200_000, 2);
+    let mut store = TweetStore::new();
+    for r in &recs {
+        store.append(r);
+    }
+    let seoul = BBox::new(37.0, 126.5, 38.0, 127.5);
+    let mut group = c.benchmark_group("tweetstore/query");
+    group.bench_function("by_user", |b| {
+        b.iter(|| Query::all().user(black_box(42)).execute(&store).len())
+    });
+    group.bench_function("by_time_day", |b| {
+        b.iter(|| {
+            Query::all()
+                .between(black_box(86_400), 2 * 86_400)
+                .execute(&store)
+                .len()
+        })
+    });
+    group.bench_function("by_bbox_geoindex", |b| {
+        b.iter(|| Query::all().within(black_box(seoul)).execute(&store).len())
+    });
+    group.bench_function("bbox_via_full_scan", |b| {
+        // The same predicate answered by scanning, for comparison.
+        b.iter(|| {
+            store
+                .scan()
+                .filter_map(|r| r.ok())
+                .filter(|r| r.gps.is_some_and(|p| seoul.contains(p)))
+                .count()
+        })
+    });
+    group.bench_function("point_lookup", |b| {
+        b.iter(|| store.get_by_id(black_box(123_456)).map(|r| r.user))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ingest, bench_queries
+}
+criterion_main!(benches);

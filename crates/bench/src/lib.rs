@@ -1,0 +1,58 @@
+//! # stir-bench — shared benchmark fixtures
+//!
+//! The Criterion benches live in `benches/`; this library holds the common
+//! fixtures so every bench builds its inputs the same deterministic way.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stir_geoindex::Point;
+use stir_geokr::Gazetteer;
+use stir_twitter_sim::datasets::{Dataset, DatasetSpec};
+
+/// A deterministic point cloud over Korea.
+pub fn korea_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(33.0..38.7), rng.gen_range(124.5..131.0)))
+        .collect()
+}
+
+/// A deterministic point cloud concentrated on district centroids (the
+/// realistic geocoding workload: repeated nearby fixes).
+pub fn district_points(gazetteer: &Gazetteer, n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let d = gazetteer.weighted_district(rng.gen::<f64>());
+            gazetteer.sample_point_in_scaled(d, 0.6, || rng.gen::<f64>())
+        })
+        .collect()
+}
+
+/// A small Korean dataset for pipeline-shaped benches.
+pub fn korean_dataset(gazetteer: &Gazetteer, n_users: usize, seed: u64) -> Dataset {
+    Dataset::generate(
+        DatasetSpec {
+            n_users,
+            ..DatasetSpec::korean_paper()
+        },
+        gazetteer,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(korea_points(10, 1), korea_points(10, 1));
+        let g = Gazetteer::load();
+        let a = district_points(&g, 10, 2);
+        let b = district_points(&g, 10, 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,136 @@
+//! Comparing two group tables — the machinery behind the dataset
+//! comparison (slides 4–5) and the granularity ablation, as a library.
+
+use crate::stats::GroupTable;
+use crate::topk::TopKGroup;
+
+/// Per-group deltas between two tables (`b − a`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupDelta {
+    /// The group.
+    pub group: TopKGroup,
+    /// Change in user percentage points.
+    pub user_pct_delta: f64,
+    /// Change in tweet percentage points.
+    pub tweet_pct_delta: f64,
+    /// Change in average distinct districts.
+    pub avg_locations_delta: f64,
+}
+
+/// A full table-vs-table comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableComparison {
+    /// Deltas in [`TopKGroup::ALL`] order.
+    pub deltas: [GroupDelta; 7],
+    /// Change in Top-1∪Top-2 percentage points.
+    pub top1_top2_delta: f64,
+    /// Change in the overall average district count.
+    pub overall_avg_delta: f64,
+    /// Total variation distance between the two user-share distributions,
+    /// in `[0, 1]`: half the sum of absolute share differences. 0 ⇒
+    /// identical distributions, 1 ⇒ disjoint.
+    pub user_share_tvd: f64,
+}
+
+/// Compares two tables (`b` relative to `a`).
+pub fn compare(a: &GroupTable, b: &GroupTable) -> TableComparison {
+    let deltas = std::array::from_fn(|i| {
+        let g = TopKGroup::ALL[i];
+        GroupDelta {
+            group: g,
+            user_pct_delta: b.row(g).user_pct - a.row(g).user_pct,
+            tweet_pct_delta: b.row(g).tweet_pct - a.row(g).tweet_pct,
+            avg_locations_delta: b.row(g).avg_locations - a.row(g).avg_locations,
+        }
+    });
+    let user_share_tvd = TopKGroup::ALL
+        .iter()
+        .map(|&g| (b.row(g).user_pct - a.row(g).user_pct).abs())
+        .sum::<f64>()
+        / 200.0;
+    TableComparison {
+        deltas,
+        top1_top2_delta: b.top1_top2_pct() - a.top1_top2_pct(),
+        overall_avg_delta: b.overall_avg_locations - a.overall_avg_locations,
+        user_share_tvd,
+    }
+}
+
+impl TableComparison {
+    /// The delta for a group.
+    pub fn delta(&self, group: TopKGroup) -> &GroupDelta {
+        &self.deltas[group.index()]
+    }
+
+    /// True when the two tables' user distributions differ by less than
+    /// `tolerance_pct` percentage points in every group.
+    pub fn within(&self, tolerance_pct: f64) -> bool {
+        self.deltas
+            .iter()
+            .all(|d| d.user_pct_delta.abs() <= tolerance_pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::group_user_strings;
+    use crate::string::LocationString;
+
+    fn table(top1: usize, none: usize) -> GroupTable {
+        let mut users = Vec::new();
+        for u in 0..top1 {
+            users.push(
+                group_user_strings(&[LocationString {
+                    user: u as u64,
+                    state_profile: "Seoul".into(),
+                    county_profile: "Guro-gu".into(),
+                    state_tweet: "Seoul".into(),
+                    county_tweet: "Guro-gu".into(),
+                }])
+                .unwrap(),
+            );
+        }
+        for u in 0..none {
+            users.push(
+                group_user_strings(&[LocationString {
+                    user: (top1 + u) as u64,
+                    state_profile: "Seoul".into(),
+                    county_profile: "Guro-gu".into(),
+                    state_tweet: "Seoul".into(),
+                    county_tweet: "Mapo-gu".into(),
+                }])
+                .unwrap(),
+            );
+        }
+        GroupTable::compute(&users)
+    }
+
+    #[test]
+    fn identical_tables_compare_to_zero() {
+        let t = table(60, 40);
+        let c = compare(&t, &t);
+        assert_eq!(c.user_share_tvd, 0.0);
+        assert!(c.within(0.0));
+        assert_eq!(c.top1_top2_delta, 0.0);
+    }
+
+    #[test]
+    fn deltas_are_signed_b_minus_a() {
+        let a = table(60, 40);
+        let b = table(40, 60);
+        let c = compare(&a, &b);
+        assert!((c.delta(TopKGroup::Top1).user_pct_delta - -20.0).abs() < 1e-9);
+        assert!((c.delta(TopKGroup::None).user_pct_delta - 20.0).abs() < 1e-9);
+        assert!((c.user_share_tvd - 0.2).abs() < 1e-9);
+        assert!(!c.within(10.0));
+        assert!(c.within(20.0));
+    }
+
+    #[test]
+    fn tvd_is_symmetric() {
+        let a = table(70, 30);
+        let b = table(55, 45);
+        assert!((compare(&a, &b).user_share_tvd - compare(&b, &a).user_share_tvd).abs() < 1e-12);
+    }
+}

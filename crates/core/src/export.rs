@@ -1,0 +1,174 @@
+//! CSV export of analysis artifacts.
+//!
+//! The text reports in [`crate::report`] are for terminals; these writers
+//! produce the machine-readable series a plotting pipeline (or a referee
+//! re-checking the reproduction) wants. Hand-rolled CSV with RFC-4180
+//! quoting — no serde needed for four fixed schemas.
+
+use std::fmt::Write as _;
+
+use crate::funnel::CollectionFunnel;
+use crate::grouping::GroupedUser;
+use crate::regional::RegionRow;
+use crate::stats::GroupTable;
+
+/// Quotes a CSV field when needed (commas, quotes, newlines).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// The group table (Figs. 6–7 + tweet shares) as CSV.
+pub fn group_table_csv(table: &GroupTable) -> String {
+    let mut out = String::from("group,users,user_pct,tweets,tweet_pct,avg_locations\n");
+    for r in &table.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{},{:.4},{:.4}",
+            r.group.label(),
+            r.users,
+            r.user_pct,
+            r.tweets,
+            r.tweet_pct,
+            r.avg_locations
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total,{},100.0,{},100.0,{:.4}",
+        table.total_users, table.total_tweets, table.overall_avg_locations
+    );
+    out
+}
+
+/// The refinement funnel as CSV (`stage,count`).
+pub fn funnel_csv(f: &CollectionFunnel) -> String {
+    let rows: [(&str, u64); 13] = [
+        ("users_collected", f.users_collected),
+        ("users_well_defined", f.users_well_defined),
+        ("users_vague", f.users_vague),
+        ("users_insufficient", f.users_insufficient),
+        ("users_ambiguous", f.users_ambiguous),
+        ("users_foreign", f.users_foreign),
+        ("users_empty", f.users_empty),
+        ("users_profile_coordinates", f.users_profile_coordinates),
+        ("tweets_total", f.tweets_total),
+        ("tweets_with_gps", f.tweets_with_gps),
+        ("tweets_gps_unresolvable", f.tweets_gps_unresolvable),
+        ("strings_built", f.strings_built),
+        ("users_final", f.users_final),
+    ];
+    let mut out = String::from("stage,count\n");
+    for (stage, count) in rows {
+        let _ = writeln!(out, "{stage},{count}");
+    }
+    out
+}
+
+/// Per-user cohort rows (one line per grouped user) as CSV.
+pub fn cohort_csv(users: &[GroupedUser]) -> String {
+    let mut out = String::from(
+        "user,state_profile,county_profile,group,matched_rank,distinct_locations,total_tweets,matched_tweets\n",
+    );
+    for u in users {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            u.user,
+            field(&u.state_profile),
+            field(&u.county_profile),
+            u.group().label(),
+            u.matched_rank.map_or(String::from(""), |r| r.to_string()),
+            u.distinct_locations(),
+            u.total_tweets(),
+            u.matched_tweets()
+        );
+    }
+    out
+}
+
+/// The regional reliability table as CSV.
+pub fn regional_csv(rows: &[RegionRow]) -> String {
+    let mut out = String::from("state,users,mean_matched_fraction,top1_share,none_share\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{:.6},{:.6}",
+            field(&r.state),
+            r.users,
+            r.mean_matched_fraction,
+            r.top1_share,
+            r.none_share
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::group_user_strings;
+    use crate::string::LocationString;
+
+    fn cohort() -> Vec<GroupedUser> {
+        vec![group_user_strings(&[LocationString {
+            user: 7,
+            state_profile: "Seoul".into(),
+            county_profile: "Guro-gu".into(),
+            state_tweet: "Seoul".into(),
+            county_tweet: "Guro-gu".into(),
+        }])
+        .unwrap()]
+    }
+
+    #[test]
+    fn group_table_csv_has_all_rows() {
+        let csv = group_table_csv(&GroupTable::compute(&cohort()));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 9); // header + 7 groups + total
+        assert!(lines[0].starts_with("group,users"));
+        assert!(lines[1].starts_with("Top-1,1,100.0000"));
+        assert!(lines[8].starts_with("total,1"));
+    }
+
+    #[test]
+    fn funnel_csv_covers_every_stage() {
+        let csv = funnel_csv(&CollectionFunnel {
+            users_collected: 10,
+            ..Default::default()
+        });
+        assert_eq!(csv.lines().count(), 14);
+        assert!(csv.contains("users_collected,10"));
+        assert!(csv.contains("users_final,0"));
+    }
+
+    #[test]
+    fn cohort_csv_rows() {
+        let csv = cohort_csv(&cohort());
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("7,Seoul,Guro-gu,Top-1,1,1,1,1"));
+    }
+
+    #[test]
+    fn quoting_is_rfc4180() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn regional_csv_rows() {
+        let rows = vec![RegionRow {
+            state: "Seoul".into(),
+            users: 3,
+            mean_matched_fraction: 0.5,
+            none_share: 0.25,
+            top1_share: 0.5,
+        }];
+        let csv = regional_csv(&rows);
+        assert!(csv.contains("Seoul,3,0.500000,0.500000,0.250000"));
+    }
+}

@@ -1,0 +1,371 @@
+//! The text-based grouping method (§III-B, Table II).
+//!
+//! Per user: merge identical location strings and count them, order by
+//! count descending, find the *matched string* (profile district == tweet
+//! district), and record its rank.
+//!
+//! The paper leaves tie-breaking unspecified; we order equal counts by
+//! first appearance in the tweet stream, which is deterministic and favours
+//! the user's earlier-established haunts.
+
+use std::collections::HashMap;
+
+use crate::string::LocationString;
+use crate::topk::TopKGroup;
+
+/// One merged entry of a user's ordered list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergedEntry {
+    /// Tweet-side state.
+    pub state: String,
+    /// Tweet-side county.
+    pub county: String,
+    /// Number of merged strings (tweets) at this location.
+    pub count: u64,
+    /// Whether this is the matched string.
+    pub matched: bool,
+}
+
+/// A user after grouping: the ordered, merged list plus the matched rank.
+#[derive(Clone, Debug)]
+pub struct GroupedUser {
+    /// User id.
+    pub user: u64,
+    /// Profile-side state.
+    pub state_profile: String,
+    /// Profile-side county.
+    pub county_profile: String,
+    /// Merged entries, ordered by (count desc, first-seen asc).
+    pub entries: Vec<MergedEntry>,
+    /// 1-based rank of the matched string, if any.
+    pub matched_rank: Option<usize>,
+}
+
+impl GroupedUser {
+    /// The Top-k group this user falls into.
+    pub fn group(&self) -> TopKGroup {
+        TopKGroup::from_rank(self.matched_rank)
+    }
+
+    /// Number of distinct tweet districts — the quantity behind the
+    /// paper's Fig. 6 ("the average number of tweet locations").
+    pub fn distinct_locations(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total GPS tweets for this user.
+    pub fn total_tweets(&self) -> u64 {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+
+    /// Tweets posted at the profile location.
+    pub fn matched_tweets(&self) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.matched)
+            .map_or(0, |e| e.count)
+    }
+
+    /// Fraction of tweets posted at the profile location, in `[0, 1]`.
+    pub fn matched_fraction(&self) -> f64 {
+        let total = self.total_tweets();
+        if total == 0 {
+            0.0
+        } else {
+            self.matched_tweets() as f64 / total as f64
+        }
+    }
+
+    /// Renders the user's Table-II block: one merged string per line with
+    /// its count, matched line marked.
+    pub fn render_table2(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{}#{}#{}#{}#{} ({}){}\n",
+                self.user,
+                self.state_profile,
+                self.county_profile,
+                e.state,
+                e.county,
+                e.count,
+                if e.matched { "  <- matched" } else { "" }
+            ));
+        }
+        out
+    }
+}
+
+/// How entries with equal counts are ordered — the detail §III-B leaves
+/// unspecified. [`TieBreak::FirstSeen`] is this implementation's default;
+/// the two `Matched*` policies bound the ambiguity from above and below
+/// (best/worst rank the matched string could get under any tie policy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Earlier first appearance in the tweet stream wins (default).
+    #[default]
+    FirstSeen,
+    /// Alphabetical by (state, county).
+    Alphabetical,
+    /// The matched string wins every tie (upper bound on its rank).
+    MatchedFirst,
+    /// The matched string loses every tie (lower bound on its rank).
+    MatchedLast,
+}
+
+/// Groups one user's location strings (all strings must share the user and
+/// profile fields — the pipeline guarantees this; violations panic in debug
+/// builds).
+pub fn group_user_strings(strings: &[LocationString]) -> Option<GroupedUser> {
+    group_user_strings_with(strings, TieBreak::FirstSeen)
+}
+
+/// [`group_user_strings`] with an explicit tie-break policy.
+pub fn group_user_strings_with(
+    strings: &[LocationString],
+    tie_break: TieBreak,
+) -> Option<GroupedUser> {
+    let first = strings.first()?;
+    let user = first.user;
+    let state_profile = first.state_profile.clone();
+    let county_profile = first.county_profile.clone();
+
+    // Merge, remembering first-seen order for tie-breaking.
+    let mut order: Vec<(String, String)> = Vec::new();
+    let mut counts: HashMap<(String, String), u64> = HashMap::new();
+    for s in strings {
+        debug_assert_eq!(s.user, user, "mixed users in one grouping call");
+        debug_assert_eq!(s.state_profile, state_profile);
+        debug_assert_eq!(s.county_profile, county_profile);
+        let key = (s.state_tweet.clone(), s.county_tweet.clone());
+        match counts.get_mut(&key) {
+            Some(c) => *c += 1,
+            None => {
+                counts.insert(key.clone(), 1);
+                order.push(key);
+            }
+        }
+    }
+
+    // Order: count desc, then the tie-break policy.
+    let matched_key = (state_profile.clone(), county_profile.clone());
+    let mut keys: Vec<(usize, (String, String))> = order.into_iter().enumerate().collect();
+    keys.sort_by(|(ia, ka), (ib, kb)| {
+        counts[kb].cmp(&counts[ka]).then_with(|| match tie_break {
+            TieBreak::FirstSeen => ia.cmp(ib),
+            TieBreak::Alphabetical => ka.cmp(kb),
+            TieBreak::MatchedFirst => (kb == &matched_key)
+                .cmp(&(ka == &matched_key))
+                .then_with(|| ia.cmp(ib)),
+            TieBreak::MatchedLast => (ka == &matched_key)
+                .cmp(&(kb == &matched_key))
+                .then_with(|| ia.cmp(ib)),
+        })
+    });
+
+    let mut entries = Vec::with_capacity(keys.len());
+    let mut matched_rank = None;
+    for (rank0, (_, key)) in keys.into_iter().enumerate() {
+        let count = counts[&key];
+        let matched = key.0 == state_profile && key.1 == county_profile;
+        if matched {
+            matched_rank = Some(rank0 + 1);
+        }
+        entries.push(MergedEntry {
+            state: key.0,
+            county: key.1,
+            count,
+            matched,
+        });
+    }
+
+    Some(GroupedUser {
+        user,
+        state_profile,
+        county_profile,
+        entries,
+        matched_rank,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(user: u64, cp: &str, ct: &str) -> LocationString {
+        LocationString {
+            user,
+            state_profile: "Seoul".into(),
+            county_profile: cp.into(),
+            state_tweet: "Seoul".into(),
+            county_tweet: ct.into(),
+        }
+    }
+
+    #[test]
+    fn paper_table2_user_100() {
+        // User posts 4 from Yangchun-gu (sic), 3... reproducing Table II's
+        // shape: 4 matched, 2 Jung-gu, 1 Seodaemun-gu.
+        let strings: Vec<LocationString> =
+            std::iter::repeat_with(|| s(100, "Yangchun-gu", "Yangchun-gu"))
+                .take(4)
+                .chain(std::iter::repeat_with(|| s(100, "Yangchun-gu", "Jung-gu")).take(2))
+                .chain(std::iter::once(s(100, "Yangchun-gu", "Seodaemun-gu")))
+                .collect();
+        let g = group_user_strings(&strings).unwrap();
+        assert_eq!(g.entries.len(), 3);
+        assert_eq!(g.entries[0].count, 4);
+        assert!(g.entries[0].matched);
+        assert_eq!(g.matched_rank, Some(1));
+        assert_eq!(g.group(), TopKGroup::Top1);
+        assert_eq!(g.total_tweets(), 7);
+        assert_eq!(g.matched_tweets(), 4);
+        assert!((g.matched_fraction() - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_table2_user_71_is_top2() {
+        // Uiwang-si profile; 2 matched, 2 Uiwang... wait — Table II: user 71
+        // has Uiwang-si (2) ranked SECOND behind another Uiwang entry? The
+        // table shows 71#…#Uiwang-si (2) then 71#…#Seongnam-si (1), with the
+        // matched string second after a 3-count entry elsewhere. We model
+        // the described outcome: matched rank 2.
+        let strings: Vec<LocationString> = std::iter::repeat_with(|| LocationString {
+            user: 71,
+            state_profile: "Gyeonggi-do".into(),
+            county_profile: "Uiwang-si".into(),
+            state_tweet: "Seoul".into(),
+            county_tweet: "Gangnam-gu".into(),
+        })
+        .take(3)
+        .chain(
+            std::iter::repeat_with(|| LocationString {
+                user: 71,
+                state_profile: "Gyeonggi-do".into(),
+                county_profile: "Uiwang-si".into(),
+                state_tweet: "Gyeonggi-do".into(),
+                county_tweet: "Uiwang-si".into(),
+            })
+            .take(2),
+        )
+        .chain(std::iter::once(LocationString {
+            user: 71,
+            state_profile: "Gyeonggi-do".into(),
+            county_profile: "Uiwang-si".into(),
+            state_tweet: "Gyeonggi-do".into(),
+            county_tweet: "Seongnam-si".into(),
+        }))
+        .collect();
+        let g = group_user_strings(&strings).unwrap();
+        assert_eq!(g.matched_rank, Some(2));
+        assert_eq!(g.group(), TopKGroup::Top2);
+    }
+
+    #[test]
+    fn no_match_is_none_group() {
+        let strings = vec![
+            s(5, "Yangcheon-gu", "Jung-gu"),
+            s(5, "Yangcheon-gu", "Mapo-gu"),
+        ];
+        let g = group_user_strings(&strings).unwrap();
+        assert_eq!(g.matched_rank, None);
+        assert_eq!(g.group(), TopKGroup::None);
+        assert_eq!(g.matched_tweets(), 0);
+        assert_eq!(g.matched_fraction(), 0.0);
+    }
+
+    #[test]
+    fn county_match_requires_state_match() {
+        // Profile Seoul/Jung-gu; tweets from Busan/Jung-gu must NOT match.
+        let strings = vec![LocationString {
+            user: 9,
+            state_profile: "Seoul".into(),
+            county_profile: "Jung-gu".into(),
+            state_tweet: "Busan".into(),
+            county_tweet: "Jung-gu".into(),
+        }];
+        let g = group_user_strings(&strings).unwrap();
+        assert_eq!(g.group(), TopKGroup::None);
+    }
+
+    #[test]
+    fn ties_break_by_first_seen() {
+        let strings = vec![
+            s(7, "Yangcheon-gu", "Mapo-gu"),
+            s(7, "Yangcheon-gu", "Yangcheon-gu"),
+            s(7, "Yangcheon-gu", "Mapo-gu"),
+            s(7, "Yangcheon-gu", "Yangcheon-gu"),
+        ];
+        let g = group_user_strings(&strings).unwrap();
+        // 2–2 tie; Mapo-gu appeared first → rank 1, matched rank 2.
+        assert_eq!(g.entries[0].county, "Mapo-gu");
+        assert_eq!(g.matched_rank, Some(2));
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(group_user_strings(&[]).is_none());
+    }
+
+    #[test]
+    fn tie_break_policies_bound_the_rank() {
+        // 2–2 tie between Mapo-gu (seen first) and the matched district.
+        let strings = vec![
+            s(7, "Yangcheon-gu", "Mapo-gu"),
+            s(7, "Yangcheon-gu", "Yangcheon-gu"),
+            s(7, "Yangcheon-gu", "Mapo-gu"),
+            s(7, "Yangcheon-gu", "Yangcheon-gu"),
+        ];
+        let first_seen = group_user_strings_with(&strings, TieBreak::FirstSeen).unwrap();
+        assert_eq!(first_seen.matched_rank, Some(2));
+        let best = group_user_strings_with(&strings, TieBreak::MatchedFirst).unwrap();
+        assert_eq!(best.matched_rank, Some(1));
+        let worst = group_user_strings_with(&strings, TieBreak::MatchedLast).unwrap();
+        assert_eq!(worst.matched_rank, Some(2));
+        // Alphabetical: Mapo-gu < Yangcheon-gu → matched second.
+        let alpha = group_user_strings_with(&strings, TieBreak::Alphabetical).unwrap();
+        assert_eq!(alpha.matched_rank, Some(2));
+        // Counts are policy-independent.
+        for g in [&first_seen, &best, &worst, &alpha] {
+            assert_eq!(g.total_tweets(), 4);
+            assert_eq!(g.matched_tweets(), 2);
+        }
+    }
+
+    #[test]
+    fn tie_break_is_noop_without_ties() {
+        let strings = vec![
+            s(1, "Guro-gu", "Guro-gu"),
+            s(1, "Guro-gu", "Guro-gu"),
+            s(1, "Guro-gu", "Mapo-gu"),
+        ];
+        for tb in [
+            TieBreak::FirstSeen,
+            TieBreak::Alphabetical,
+            TieBreak::MatchedFirst,
+            TieBreak::MatchedLast,
+        ] {
+            let g = group_user_strings_with(&strings, tb).unwrap();
+            assert_eq!(g.matched_rank, Some(1), "{tb:?}");
+        }
+    }
+
+    #[test]
+    fn single_matched_tweet_is_top1() {
+        let g = group_user_strings(&[s(1, "Guro-gu", "Guro-gu")]).unwrap();
+        assert_eq!(g.group(), TopKGroup::Top1);
+        assert_eq!(g.distinct_locations(), 1);
+    }
+
+    #[test]
+    fn render_table2_marks_match() {
+        let g = group_user_strings(&[
+            s(100, "Yangchun-gu", "Yangchun-gu"),
+            s(100, "Yangchun-gu", "Jung-gu"),
+        ])
+        .unwrap();
+        let rendered = g.render_table2();
+        assert!(rendered.contains("100#Seoul#Yangchun-gu#Seoul#Yangchun-gu (1)  <- matched"));
+        assert!(rendered.contains("100#Seoul#Yangchun-gu#Seoul#Jung-gu (1)"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Plain input rows for the pipeline.
+//!
+//! These deliberately mirror what a real Twitter export provides: a user's
+//! free-text profile location, and tweets with optional GPS coordinates.
+//! `stir-twitter-sim` produces them synthetically; nothing in this crate
+//! knows the difference.
+
+use stir_geoindex::Point;
+
+/// One user's profile, as collected.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileRow {
+    /// User id.
+    pub user: u64,
+    /// The raw free-text location from the profile.
+    pub location_text: String,
+}
+
+/// One tweet, as collected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TweetRow {
+    /// Author.
+    pub user: u64,
+    /// Tweet id.
+    pub tweet_id: u64,
+    /// GPS coordinates when the client attached them.
+    pub gps: Option<Point>,
+}
+
+impl TweetRow {
+    /// A GPS-tagged tweet row.
+    pub fn tagged(user: u64, tweet_id: u64, lat: f64, lon: f64) -> Self {
+        TweetRow {
+            user,
+            tweet_id,
+            gps: Some(Point::new(lat, lon)),
+        }
+    }
+
+    /// An untagged tweet row.
+    pub fn plain(user: u64, tweet_id: u64) -> Self {
+        TweetRow {
+            user,
+            tweet_id,
+            gps: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let t = TweetRow::tagged(1, 2, 37.5, 127.0);
+        assert!(t.gps.is_some());
+        assert!(TweetRow::plain(1, 3).gps.is_none());
+    }
+}

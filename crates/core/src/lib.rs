@@ -1,0 +1,61 @@
+//! # stir-core — the paper's contribution
+//!
+//! Implements the analysis of *"A Study of the Correlation between the
+//! Spatial Attributes on Twitter"* (Lee & Hwang, ICDE 2012 Workshops):
+//!
+//! * [`string`] — the paper's location strings,
+//!   `user#state_p#county_p#state_t#county_t` (Table I).
+//! * [`grouping`] — the **text-based grouping method**: merge identical
+//!   strings with counts, order per user, locate the *matched string*
+//!   (profile district == tweet district) and its rank (Table II).
+//! * [`topk`] — the Top-k user groups (Top-1 … Top-5, Top-6+, None);
+//!   [`online`] — the same grouping maintained incrementally per string.
+//! * [`pipeline`] — the end-to-end refinement pipeline (§III-B): classify
+//!   free-text profile locations, keep GPS tweets, geocode both sides
+//!   (optionally round-tripping through the mock Yahoo XML), build and
+//!   group strings.
+//! * [`funnel`] — the data-refinement funnel the paper reports (52k crawled
+//!   → ~30k well defined → 1,1xx final users).
+//! * [`stats`] — per-group statistics behind Figs. 6–7 and the slide
+//!   charts: user counts, tweet counts, average distinct tweet districts.
+//! * [`reliability`] — the paper's proposed application: a per-group weight
+//!   factor for event-location estimation.
+//! * [`bootstrap`] — resampled confidence intervals for the group
+//!   statistics (error bars the paper does not report).
+//! * [`report`] — plain-text tables/bar charts matching the figures;
+//!   [`export`] — the same artifacts as CSV.
+//!
+//! Inputs are plain rows ([`ProfileRow`], [`TweetRow`]): the crate does not
+//! depend on the simulator, so it drops onto real Twitter exports unchanged.
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod compare;
+pub mod export;
+pub mod funnel;
+pub mod granularity;
+pub mod grouping;
+pub mod input;
+pub mod online;
+pub mod pipeline;
+pub mod regional;
+pub mod reliability;
+pub mod report;
+pub mod stats;
+pub mod string;
+pub mod temporal;
+pub mod topk;
+
+pub use bootstrap::{avg_locations_cis, user_share_cis, Ci, GroupCis};
+pub use compare::{compare, TableComparison};
+pub use funnel::CollectionFunnel;
+pub use granularity::Granularity;
+pub use grouping::{group_user_strings, group_user_strings_with, GroupedUser, TieBreak};
+pub use input::{ProfileRow, TweetRow};
+pub use online::OnlineGrouping;
+pub use pipeline::{AnalysisResult, PipelineConfig, RefinementPipeline};
+pub use reliability::ReliabilityWeights;
+pub use stats::{GroupRow, GroupTable};
+pub use string::LocationString;
+pub use topk::TopKGroup;

@@ -1,0 +1,219 @@
+//! Incremental grouping.
+//!
+//! The batch method ([`crate::grouping`]) re-sorts a user's merged list
+//! from scratch; a live deployment watching tweets arrive wants the Top-k
+//! group maintained *per string*. [`OnlineGrouping`] keeps per-user merged
+//! counts with first-seen tie-breaking and answers "which group is this
+//! user in right now?" in O(log d) per update (d = distinct districts).
+//! A property test pins exact equivalence with the batch path.
+
+use std::collections::HashMap;
+
+use crate::grouping::{GroupedUser, MergedEntry};
+use crate::string::LocationString;
+use crate::topk::TopKGroup;
+
+/// One user's live grouping state.
+#[derive(Clone, Debug, Default)]
+struct UserState {
+    /// Profile side (fixed after the first string).
+    state_profile: String,
+    county_profile: String,
+    /// (state, county) → (count, first-seen sequence).
+    counts: HashMap<(String, String), (u64, u64)>,
+    /// Monotone sequence for first-seen tie-breaking.
+    next_seq: u64,
+    total: u64,
+}
+
+impl UserState {
+    /// The rank of the matched key under (count desc, first-seen asc), or
+    /// `None` if the user has never tweeted from the profile district.
+    fn matched_rank(&self) -> Option<usize> {
+        let key = (self.state_profile.clone(), self.county_profile.clone());
+        let &(mcount, mseq) = self.counts.get(&key)?;
+        let ahead = self
+            .counts
+            .values()
+            .filter(|&&(c, s)| c > mcount || (c == mcount && s < mseq))
+            .count();
+        Some(ahead + 1)
+    }
+}
+
+/// Live per-user grouping over a stream of location strings.
+///
+/// ```
+/// use stir_core::{LocationString, OnlineGrouping, TopKGroup};
+///
+/// let s = |county: &str| LocationString {
+///     user: 1,
+///     state_profile: "Seoul".into(),
+///     county_profile: "Guro-gu".into(),
+///     state_tweet: "Seoul".into(),
+///     county_tweet: county.into(),
+/// };
+/// let mut live = OnlineGrouping::new();
+/// assert_eq!(live.push(&s("Mapo-gu")), TopKGroup::None);
+/// assert_eq!(live.push(&s("Guro-gu")), TopKGroup::Top2);
+/// assert_eq!(live.push(&s("Guro-gu")), TopKGroup::Top1);
+/// ```
+#[derive(Debug, Default)]
+pub struct OnlineGrouping {
+    users: HashMap<u64, UserState>,
+}
+
+impl OnlineGrouping {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Users seen so far.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when no strings have been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Ingests one location string and returns the author's group *after*
+    /// this string.
+    pub fn push(&mut self, s: &LocationString) -> TopKGroup {
+        let state = self.users.entry(s.user).or_default();
+        if state.total == 0 {
+            state.state_profile = s.state_profile.clone();
+            state.county_profile = s.county_profile.clone();
+        } else {
+            debug_assert_eq!(
+                state.state_profile, s.state_profile,
+                "profile changed mid-stream"
+            );
+            debug_assert_eq!(state.county_profile, s.county_profile);
+        }
+        let seq = state.next_seq;
+        let entry = state
+            .counts
+            .entry((s.state_tweet.clone(), s.county_tweet.clone()))
+            .or_insert((0, seq));
+        if entry.0 == 0 {
+            state.next_seq += 1;
+        }
+        entry.0 += 1;
+        state.total += 1;
+        TopKGroup::from_rank(state.matched_rank())
+    }
+
+    /// The current group of a user (`None` if never seen).
+    pub fn group_of(&self, user: u64) -> Option<TopKGroup> {
+        self.users
+            .get(&user)
+            .map(|s| TopKGroup::from_rank(s.matched_rank()))
+    }
+
+    /// Materializes the current state as batch-style [`GroupedUser`]s,
+    /// in user-id order — identical to running the batch grouper over the
+    /// same strings.
+    pub fn snapshot(&self) -> Vec<GroupedUser> {
+        let mut ids: Vec<u64> = self.users.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|user| {
+                let s = &self.users[&user];
+                type Keyed<'a> = Vec<(&'a (String, String), &'a (u64, u64))>;
+                let mut keyed: Keyed<'_> = s.counts.iter().collect();
+                keyed.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.1 .1.cmp(&b.1 .1)));
+                let mut matched_rank = None;
+                let entries = keyed
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (key, &(count, _)))| {
+                        let matched = key.0 == s.state_profile && key.1 == s.county_profile;
+                        if matched {
+                            matched_rank = Some(i + 1);
+                        }
+                        MergedEntry {
+                            state: key.0.clone(),
+                            county: key.1.clone(),
+                            count,
+                            matched,
+                        }
+                    })
+                    .collect();
+                GroupedUser {
+                    user,
+                    state_profile: s.state_profile.clone(),
+                    county_profile: s.county_profile.clone(),
+                    entries,
+                    matched_rank,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::group_user_strings;
+
+    fn s(user: u64, ct: &str) -> LocationString {
+        LocationString {
+            user,
+            state_profile: "Seoul".into(),
+            county_profile: "Guro-gu".into(),
+            state_tweet: "Seoul".into(),
+            county_tweet: ct.into(),
+        }
+    }
+
+    #[test]
+    fn group_updates_live() {
+        let mut og = OnlineGrouping::new();
+        // First tweet from elsewhere: None.
+        assert_eq!(og.push(&s(1, "Mapo-gu")), TopKGroup::None);
+        // Then one from home: tie at 1–1, Mapo seen first → Top-2.
+        assert_eq!(og.push(&s(1, "Guro-gu")), TopKGroup::Top2);
+        // Another from home: 2–1 → Top-1.
+        assert_eq!(og.push(&s(1, "Guro-gu")), TopKGroup::Top1);
+        assert_eq!(og.group_of(1), Some(TopKGroup::Top1));
+        assert_eq!(og.group_of(99), None);
+    }
+
+    #[test]
+    fn snapshot_equals_batch() {
+        let stream = [
+            s(1, "Mapo-gu"),
+            s(2, "Guro-gu"),
+            s(1, "Guro-gu"),
+            s(1, "Mapo-gu"),
+            s(2, "Jung-gu"),
+            s(1, "Jongno-gu"),
+            s(2, "Guro-gu"),
+        ];
+        let mut og = OnlineGrouping::new();
+        for x in &stream {
+            og.push(x);
+        }
+        let online = og.snapshot();
+        for gu in &online {
+            let user_strings: Vec<LocationString> = stream
+                .iter()
+                .filter(|x| x.user == gu.user)
+                .cloned()
+                .collect();
+            let batch = group_user_strings(&user_strings).unwrap();
+            assert_eq!(gu.matched_rank, batch.matched_rank, "user {}", gu.user);
+            assert_eq!(gu.entries, batch.entries, "user {}", gu.user);
+        }
+    }
+
+    #[test]
+    fn empty_engine() {
+        let og = OnlineGrouping::new();
+        assert!(og.is_empty());
+        assert!(og.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,464 @@
+//! The end-to-end refinement pipeline (§III-B).
+//!
+//! 1. **Select users**: classify every profile's free-text location; keep
+//!    only users resolvable to exactly one district (literal coordinates in
+//!    the profile are resolved through the reverse geocoder).
+//! 2. **Select tweets**: keep GPS-tagged tweets of kept users; reverse-
+//!    geocode each fix to `(state, county)` — optionally round-tripping
+//!    through the mock Yahoo XML endpoint, the exact path the authors used.
+//! 3. **Build strings** (Table I), **group and order** them (Table II), and
+//!    classify each surviving user into a Top-k group.
+//!
+//! Geocoding parallelizes across `threads` OS threads (`std::thread::scope`)
+//! with deterministic output: results land by input index, and per-user
+//! string order (which drives tie-breaking) is the tweet input order.
+
+use std::collections::HashMap;
+
+use stir_geoindex::Point;
+use stir_geokr::{Gazetteer, ReverseGeocoder};
+use stir_textgeo::{ProfileClass, ProfileClassifier};
+
+use crate::funnel::CollectionFunnel;
+use crate::granularity::Granularity;
+use crate::grouping::{group_user_strings, GroupedUser};
+use crate::input::{ProfileRow, TweetRow};
+use crate::string::LocationString;
+
+/// Pipeline options.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Round-trip every reverse geocode through the mock Yahoo XML endpoint
+    /// (serialize → parse), exercising the paper's integration path. Forces
+    /// single-threaded geocoding.
+    pub via_yahoo_xml: bool,
+    /// Geocoding threads (≥ 1).
+    pub threads: usize,
+    /// Grouping grain (the §III-B metropolitan-split choice).
+    pub granularity: Granularity,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            via_yahoo_xml: false,
+            threads: 4,
+            granularity: Granularity::District,
+        }
+    }
+}
+
+/// The pipeline's output: the funnel accounting plus every grouped user.
+#[derive(Clone, Debug)]
+pub struct AnalysisResult {
+    /// Stage-by-stage counts.
+    pub funnel: CollectionFunnel,
+    /// The final cohort, one entry per surviving user, in user-id order.
+    pub users: Vec<GroupedUser>,
+    /// Every user with a well-defined profile (cohort or not):
+    /// user → (state, county). Downstream consumers (event-location
+    /// estimation) use profile districts of users who never produced a GPS
+    /// tweet — exactly the users whose reliability is unknown.
+    pub kept_profiles: HashMap<u64, (String, String)>,
+}
+
+/// The refinement pipeline. Construct once per gazetteer; `run` is `&self`.
+///
+/// ```
+/// use stir_core::{ProfileRow, TweetRow, RefinementPipeline, GroupTable, TopKGroup};
+/// use stir_geokr::Gazetteer;
+///
+/// let gazetteer = Gazetteer::load();
+/// let pipeline = RefinementPipeline::with_defaults(&gazetteer);
+/// let profiles = vec![ProfileRow { user: 1, location_text: "Seoul Yangcheon-gu".into() }];
+/// let tweets = vec![
+///     TweetRow::tagged(1, 10, 37.517, 126.866), // in Yangcheon-gu
+///     TweetRow::plain(1, 11),                   // no GPS — filtered out
+/// ];
+/// let result = pipeline.run(profiles, tweets);
+/// assert_eq!(result.funnel.users_final, 1);
+/// let table = GroupTable::compute(&result.users);
+/// assert_eq!(table.row(TopKGroup::Top1).users, 1);
+/// ```
+pub struct RefinementPipeline<'g> {
+    gazetteer: &'g Gazetteer,
+    classifier: ProfileClassifier<'g>,
+    config: PipelineConfig,
+}
+
+impl<'g> RefinementPipeline<'g> {
+    /// Builds a pipeline with the given options.
+    pub fn new(gazetteer: &'g Gazetteer, config: PipelineConfig) -> Self {
+        RefinementPipeline {
+            gazetteer,
+            classifier: ProfileClassifier::new(gazetteer),
+            config,
+        }
+    }
+
+    /// Builds a pipeline with default options.
+    pub fn with_defaults(gazetteer: &'g Gazetteer) -> Self {
+        Self::new(gazetteer, PipelineConfig::default())
+    }
+
+    /// The underlying gazetteer.
+    pub fn gazetteer(&self) -> &'g Gazetteer {
+        self.gazetteer
+    }
+
+    /// Stage 1: classify profiles; returns kept users → profile district.
+    pub fn select_users<I>(
+        &self,
+        profiles: I,
+        funnel: &mut CollectionFunnel,
+    ) -> HashMap<u64, (String, String)>
+    where
+        I: IntoIterator<Item = ProfileRow>,
+    {
+        let mut kept = HashMap::new();
+        for p in profiles {
+            funnel.users_collected += 1;
+            let district = match self.classifier.classify(&p.location_text) {
+                ProfileClass::WellDefined(id) => Some(id),
+                ProfileClass::Coordinates(point) => {
+                    funnel.users_profile_coordinates += 1;
+                    let resolved = self.gazetteer.resolve_point(point);
+                    if resolved.is_none() {
+                        funnel.users_foreign += 1;
+                    }
+                    resolved
+                }
+                ProfileClass::Vague => {
+                    funnel.users_vague += 1;
+                    None
+                }
+                ProfileClass::Insufficient(_) => {
+                    funnel.users_insufficient += 1;
+                    None
+                }
+                ProfileClass::Ambiguous(_) => {
+                    funnel.users_ambiguous += 1;
+                    None
+                }
+                ProfileClass::Foreign => {
+                    funnel.users_foreign += 1;
+                    None
+                }
+                ProfileClass::Empty => {
+                    funnel.users_empty += 1;
+                    None
+                }
+            };
+            if let Some(id) = district {
+                funnel.users_well_defined += 1;
+                let d = self.gazetteer.district(id);
+                kept.insert(
+                    p.user,
+                    self.config.granularity.key(d.province.name_en(), d.name_en),
+                );
+            }
+        }
+        kept
+    }
+
+    /// Stages 2–3: filter and geocode tweets, build strings, group users.
+    pub fn process_tweets<I>(
+        &self,
+        kept: &HashMap<u64, (String, String)>,
+        tweets: I,
+        funnel: &mut CollectionFunnel,
+    ) -> Vec<GroupedUser>
+    where
+        I: IntoIterator<Item = TweetRow>,
+    {
+        // Intake: collect GPS fixes of kept users, preserving input order.
+        let mut fixes: Vec<(u64, u64, Point)> = Vec::new();
+        for t in tweets {
+            funnel.tweets_total += 1;
+            if let Some(p) = t.gps {
+                funnel.tweets_with_gps += 1;
+                if kept.contains_key(&t.user) {
+                    fixes.push((t.user, t.tweet_id, p));
+                }
+            }
+        }
+
+        // Geocode every fix (parallel, deterministic by index).
+        let resolved = self.geocode_all(&fixes, funnel);
+
+        // Build per-user strings in input order.
+        let mut per_user: HashMap<u64, Vec<LocationString>> = HashMap::new();
+        for ((user, _tweet_id, _p), rec) in fixes.iter().zip(resolved) {
+            let Some((state_t, county_t)) = rec else {
+                funnel.tweets_gps_unresolvable += 1;
+                continue;
+            };
+            let (state_t, county_t) = self.config.granularity.key(&state_t, &county_t);
+            let (state_p, county_p) = &kept[user];
+            funnel.strings_built += 1;
+            per_user.entry(*user).or_default().push(LocationString {
+                user: *user,
+                state_profile: state_p.clone(),
+                county_profile: county_p.clone(),
+                state_tweet: state_t,
+                county_tweet: county_t,
+            });
+        }
+
+        // Group, in user-id order for determinism.
+        let mut users: Vec<u64> = per_user.keys().copied().collect();
+        users.sort_unstable();
+        let grouped: Vec<GroupedUser> = users
+            .into_iter()
+            .filter_map(|u| group_user_strings(&per_user[&u]))
+            .collect();
+        funnel.users_final = grouped.len() as u64;
+        grouped
+    }
+
+    fn geocode_all(
+        &self,
+        fixes: &[(u64, u64, Point)],
+        funnel: &mut CollectionFunnel,
+    ) -> Vec<Option<(String, String)>> {
+        if self.config.via_yahoo_xml {
+            // The XML endpoint holds interior Cell state → single thread.
+            // Run it with the 2011 free-tier daily quota and count the
+            // simulated days the geocoding stage would have taken — the
+            // operational cost the paper's §III-B alludes to.
+            let api = stir_geokr::yahoo::YahooPlaceFinder::new(self.gazetteer);
+            funnel.yahoo_quota_days = 1;
+            return fixes
+                .iter()
+                .map(|&(_, _, p)| {
+                    let rec = loop {
+                        match api.lookup(p) {
+                            Ok(rec) => break rec,
+                            Err(stir_geokr::yahoo::YahooError::QuotaExceeded(_)) => {
+                                api.reset_quota();
+                                funnel.yahoo_quota_days += 1;
+                            }
+                            Err(_) => break None,
+                        }
+                    };
+                    rec.map(|rec| (rec.state, rec.county))
+                })
+                .collect();
+        }
+        let threads = self.config.threads.max(1);
+        let reverse = ReverseGeocoder::new(self.gazetteer);
+        let mut out: Vec<Option<(String, String)>> = vec![None; fixes.len()];
+        if threads == 1 || fixes.len() < 1024 {
+            for (slot, &(_, _, p)) in out.iter_mut().zip(fixes) {
+                *slot = reverse.lookup(p).map(|r| (r.state, r.county));
+            }
+            return out;
+        }
+        let chunk = fixes.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for (in_chunk, out_chunk) in fixes.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                let reverse = &reverse;
+                s.spawn(move || {
+                    for (slot, &(_, _, p)) in out_chunk.iter_mut().zip(in_chunk) {
+                        *slot = reverse.lookup(p).map(|r| (r.state, r.county));
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Runs the full pipeline.
+    pub fn run<PI, TI>(&self, profiles: PI, tweets: TI) -> AnalysisResult
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+        TI: IntoIterator<Item = TweetRow>,
+    {
+        let mut funnel = CollectionFunnel::default();
+        let kept = self.select_users(profiles, &mut funnel);
+        let users = self.process_tweets(&kept, tweets, &mut funnel);
+        AnalysisResult {
+            funnel,
+            users,
+            kept_profiles: kept,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::TopKGroup;
+
+    fn gaz() -> &'static Gazetteer {
+        Box::leak(Box::new(Gazetteer::load()))
+    }
+
+    fn profile(user: u64, text: &str) -> ProfileRow {
+        ProfileRow {
+            user,
+            location_text: text.into(),
+        }
+    }
+
+    /// Yangcheon-gu centroid (37.517, 126.866); Gangnam (37.517, 127.047).
+    const YANGCHEON: (f64, f64) = (37.517, 126.866);
+    const GANGNAM: (f64, f64) = (37.517, 127.047);
+
+    #[test]
+    fn end_to_end_small_cohort() {
+        let g = gaz();
+        let pipe = RefinementPipeline::with_defaults(g);
+        let profiles = vec![
+            profile(1, "Seoul Yangcheon-gu"), // kept, tweets at home → Top-1
+            profile(2, "my home"),            // vague → dropped
+            profile(3, "Seoul"),              // insufficient → dropped
+            profile(4, "Seoul Gangnam-gu"),   // kept but no GPS tweets
+        ];
+        let tweets = vec![
+            TweetRow::tagged(1, 10, YANGCHEON.0, YANGCHEON.1),
+            TweetRow::tagged(1, 11, YANGCHEON.0, YANGCHEON.1),
+            TweetRow::tagged(1, 12, GANGNAM.0, GANGNAM.1),
+            TweetRow::plain(1, 13),
+            TweetRow::tagged(2, 20, GANGNAM.0, GANGNAM.1), // dropped user
+            TweetRow::plain(4, 40),
+        ];
+        let result = pipe.run(profiles, tweets);
+        assert_eq!(result.funnel.users_collected, 4);
+        assert_eq!(result.funnel.users_well_defined, 2);
+        assert_eq!(result.funnel.users_vague, 1);
+        assert_eq!(result.funnel.users_insufficient, 1);
+        assert_eq!(result.funnel.tweets_total, 6);
+        assert_eq!(result.funnel.tweets_with_gps, 4);
+        assert_eq!(result.funnel.strings_built, 3);
+        assert_eq!(result.funnel.users_final, 1);
+        let u = &result.users[0];
+        assert_eq!(u.user, 1);
+        assert_eq!(u.group(), TopKGroup::Top1);
+        assert_eq!(u.distinct_locations(), 2);
+        assert_eq!(u.total_tweets(), 3);
+    }
+
+    #[test]
+    fn xml_roundtrip_path_agrees_with_direct() {
+        let g = gaz();
+        let profiles = || {
+            vec![
+                profile(1, "Seoul Yangcheon-gu"),
+                profile(2, "Gyeonggi-do Uiwang-si"),
+            ]
+        };
+        let tweets = || {
+            vec![
+                TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1),
+                TweetRow::tagged(1, 2, GANGNAM.0, GANGNAM.1),
+                TweetRow::tagged(2, 3, 37.345, 126.968),
+            ]
+        };
+        let direct = RefinementPipeline::with_defaults(g).run(profiles(), tweets());
+        let via_xml = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                via_yahoo_xml: true,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .run(profiles(), tweets());
+        assert_eq!(direct.users.len(), via_xml.users.len());
+        for (a, b) in direct.users.iter().zip(&via_xml.users) {
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.matched_rank, b.matched_rank);
+            assert_eq!(a.entries, b.entries);
+        }
+    }
+
+    #[test]
+    fn unresolvable_gps_is_counted_not_kept() {
+        let g = gaz();
+        let pipe = RefinementPipeline::with_defaults(g);
+        let result = pipe.run(
+            vec![profile(1, "Seoul Yangcheon-gu")],
+            vec![
+                TweetRow::tagged(1, 1, 35.68, 139.69), // Tokyo
+                TweetRow::tagged(1, 2, YANGCHEON.0, YANGCHEON.1),
+            ],
+        );
+        assert_eq!(result.funnel.tweets_gps_unresolvable, 1);
+        assert_eq!(result.funnel.strings_built, 1);
+        assert_eq!(result.users.len(), 1);
+    }
+
+    #[test]
+    fn coordinates_profile_is_resolved_and_kept() {
+        let g = gaz();
+        let pipe = RefinementPipeline::with_defaults(g);
+        let result = pipe.run(
+            vec![profile(1, "37.517, 126.866")], // Yangcheon-gu by coordinates
+            vec![TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1)],
+        );
+        assert_eq!(result.funnel.users_well_defined, 1);
+        assert_eq!(result.funnel.users_profile_coordinates, 1);
+        assert_eq!(result.users[0].group(), TopKGroup::Top1);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let g = gaz();
+        let profiles = || {
+            (0..20)
+                .map(|u| {
+                    profile(
+                        u,
+                        if u % 2 == 0 {
+                            "Seoul Yangcheon-gu"
+                        } else {
+                            "Busan Jung-gu"
+                        },
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        // Enough fixes to trip the parallel path (≥ 1024).
+        let tweets = || {
+            let mut v = Vec::new();
+            let mut id = 0u64;
+            for round in 0..60 {
+                for u in 0..20u64 {
+                    let (lat, lon) = if (u + round) % 3 == 0 {
+                        (35.106, 129.032) // Busan Jung-gu
+                    } else {
+                        YANGCHEON
+                    };
+                    v.push(TweetRow::tagged(u, id, lat, lon));
+                    id += 1;
+                }
+            }
+            v
+        };
+        let serial = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                via_yahoo_xml: false,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .run(profiles(), tweets());
+        let parallel = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                via_yahoo_xml: false,
+                threads: 8,
+                ..Default::default()
+            },
+        )
+        .run(profiles(), tweets());
+        assert_eq!(serial.users.len(), parallel.users.len());
+        for (a, b) in serial.users.iter().zip(&parallel.users) {
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.matched_rank, b.matched_rank);
+            assert_eq!(a.entries, b.entries);
+        }
+    }
+}

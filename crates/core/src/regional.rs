@@ -1,0 +1,123 @@
+//! Regional reliability breakdown.
+//!
+//! The paper derives one weight factor per Top-k group. A natural
+//! refinement — and the obvious next question for the event-detection
+//! systems it targets — is whether profile reliability varies by *where*
+//! the profile points: metropolitan profiles name a gu among dozens, while
+//! a provincial profile names a whole city. This module aggregates the
+//! grouped cohort by the profile's first-level division.
+
+use std::collections::HashMap;
+
+use crate::grouping::GroupedUser;
+use crate::topk::TopKGroup;
+
+/// Reliability aggregates for one first-level division.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionRow {
+    /// The division (the grouped users' `state_profile`).
+    pub state: String,
+    /// Cohort members whose profile points here.
+    pub users: u64,
+    /// Mean fraction of tweets posted from the profile district.
+    pub mean_matched_fraction: f64,
+    /// Share of these users in the None group.
+    pub none_share: f64,
+    /// Share in Top-1.
+    pub top1_share: f64,
+}
+
+/// Per-region reliability table, sorted by user count descending.
+pub fn by_region(users: &[GroupedUser]) -> Vec<RegionRow> {
+    #[derive(Default)]
+    struct Acc {
+        users: u64,
+        matched_fraction_sum: f64,
+        none: u64,
+        top1: u64,
+    }
+    let mut acc: HashMap<&str, Acc> = HashMap::new();
+    for u in users {
+        let a = acc.entry(u.state_profile.as_str()).or_default();
+        a.users += 1;
+        a.matched_fraction_sum += u.matched_fraction();
+        match u.group() {
+            TopKGroup::None => a.none += 1,
+            TopKGroup::Top1 => a.top1 += 1,
+            _ => {}
+        }
+    }
+    let mut rows: Vec<RegionRow> = acc
+        .into_iter()
+        .map(|(state, a)| RegionRow {
+            state: state.to_string(),
+            users: a.users,
+            mean_matched_fraction: a.matched_fraction_sum / a.users as f64,
+            none_share: a.none as f64 / a.users as f64,
+            top1_share: a.top1 as f64 / a.users as f64,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.users.cmp(&a.users).then_with(|| a.state.cmp(&b.state)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::group_user_strings;
+    use crate::string::LocationString;
+
+    fn user(u: u64, state: &str, matched: usize, other: usize) -> GroupedUser {
+        let mk = |county_t: &str, n: usize| {
+            std::iter::repeat_with(move || LocationString {
+                user: u,
+                state_profile: state.to_string(),
+                county_profile: "Home-gu".into(),
+                state_tweet: state.to_string(),
+                county_tweet: county_t.to_string(),
+            })
+            .take(n)
+            .collect::<Vec<_>>()
+        };
+        let mut strings = mk("Home-gu", matched);
+        strings.extend(mk("Other-gu", other));
+        group_user_strings(&strings).unwrap()
+    }
+
+    #[test]
+    fn aggregates_by_state() {
+        let users = vec![
+            user(1, "Seoul", 8, 2), // Top-1, fraction 0.8
+            user(2, "Seoul", 0, 5), // None, fraction 0.0
+            user(3, "Busan", 5, 5), // fraction 0.5 (tie: matched first-seen first → Top-1)
+        ];
+        let rows = by_region(&users);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].state, "Seoul");
+        assert_eq!(rows[0].users, 2);
+        assert!((rows[0].mean_matched_fraction - 0.4).abs() < 1e-12);
+        assert!((rows[0].none_share - 0.5).abs() < 1e-12);
+        assert!((rows[0].top1_share - 0.5).abs() < 1e-12);
+        assert_eq!(rows[1].state, "Busan");
+        assert!((rows[1].mean_matched_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_by_users_then_name() {
+        let users = vec![
+            user(1, "Busan", 1, 0),
+            user(2, "Seoul", 1, 0),
+            user(3, "Seoul", 1, 0),
+            user(4, "Daegu", 1, 0),
+        ];
+        let rows = by_region(&users);
+        assert_eq!(rows[0].state, "Seoul");
+        assert_eq!(rows[1].state, "Busan"); // tie with Daegu → alphabetical
+        assert_eq!(rows[2].state, "Daegu");
+    }
+
+    #[test]
+    fn empty_cohort() {
+        assert!(by_region(&[]).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Reliability weights — the paper's proposed application (§V: "we can use
+//! the analysis result of this paper to determine the weight factor for the
+//! location information").
+//!
+//! For each Top-k group we estimate *how trustworthy a profile location is
+//! as a proxy for where the user actually is*: the empirical probability
+//! that a tweet by a group member is posted from the profile district.
+//! Event-location estimators multiply profile-derived observations by this
+//! weight (see `stir-eventdet::weighted`).
+
+use crate::grouping::GroupedUser;
+use crate::topk::TopKGroup;
+
+/// Per-group reliability weights in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReliabilityWeights {
+    by_group: [f64; 7],
+}
+
+impl ReliabilityWeights {
+    /// Estimates weights from an analysed cohort: for each group, the mean
+    /// over members of (tweets at profile location / total tweets). Groups
+    /// with no members get `floor`.
+    pub fn from_cohort(users: &[GroupedUser], floor: f64) -> Self {
+        let mut sums = [0.0f64; 7];
+        let mut counts = [0u64; 7];
+        for u in users {
+            let idx = u.group().index();
+            sums[idx] += u.matched_fraction();
+            counts[idx] += 1;
+        }
+        let by_group = std::array::from_fn(|i| {
+            if counts[i] == 0 {
+                floor
+            } else {
+                (sums[i] / counts[i] as f64).max(floor)
+            }
+        });
+        ReliabilityWeights { by_group }
+    }
+
+    /// A fixed profile of weights (for tests and ablations).
+    pub fn fixed(by_group: [f64; 7]) -> Self {
+        ReliabilityWeights { by_group }
+    }
+
+    /// The degenerate weights an *unweighted* system implicitly uses: every
+    /// group fully trusted.
+    pub fn uniform() -> Self {
+        ReliabilityWeights { by_group: [1.0; 7] }
+    }
+
+    /// The weight for a group.
+    pub fn weight(&self, group: TopKGroup) -> f64 {
+        self.by_group[group.index()]
+    }
+
+    /// Weights in [`TopKGroup::ALL`] order.
+    pub fn as_array(&self) -> [f64; 7] {
+        self.by_group
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::{GroupedUser, MergedEntry};
+
+    fn grouped(user: u64, matched_rank: Option<usize>, matched: u64, other: u64) -> GroupedUser {
+        let mut entries = Vec::new();
+        if matched > 0 {
+            entries.push(MergedEntry {
+                state: "Seoul".into(),
+                county: "Guro-gu".into(),
+                count: matched,
+                matched: true,
+            });
+        }
+        if other > 0 {
+            entries.push(MergedEntry {
+                state: "Seoul".into(),
+                county: "Mapo-gu".into(),
+                count: other,
+                matched: false,
+            });
+        }
+        entries.sort_by_key(|e| std::cmp::Reverse(e.count));
+        GroupedUser {
+            user,
+            state_profile: "Seoul".into(),
+            county_profile: "Guro-gu".into(),
+            entries,
+            matched_rank,
+        }
+    }
+
+    #[test]
+    fn weights_reflect_matched_fractions() {
+        let cohort = vec![
+            grouped(1, Some(1), 8, 2), // Top-1, 0.8
+            grouped(2, Some(1), 6, 4), // Top-1, 0.6
+            grouped(3, None, 0, 10),   // None, 0.0
+        ];
+        let w = ReliabilityWeights::from_cohort(&cohort, 0.01);
+        assert!((w.weight(TopKGroup::Top1) - 0.7).abs() < 1e-12);
+        assert!((w.weight(TopKGroup::None) - 0.01).abs() < 1e-12); // floored
+        assert!((w.weight(TopKGroup::Top3) - 0.01).abs() < 1e-12); // empty → floor
+    }
+
+    #[test]
+    fn top1_weight_exceeds_lower_groups_on_plausible_cohorts() {
+        let cohort = vec![
+            grouped(1, Some(1), 9, 1),
+            grouped(2, Some(2), 3, 7),
+            grouped(3, None, 0, 5),
+        ];
+        let w = ReliabilityWeights::from_cohort(&cohort, 0.0);
+        assert!(w.weight(TopKGroup::Top1) > w.weight(TopKGroup::Top2));
+        assert!(w.weight(TopKGroup::Top2) > w.weight(TopKGroup::None));
+    }
+
+    #[test]
+    fn uniform_is_all_ones() {
+        let w = ReliabilityWeights::uniform();
+        for g in TopKGroup::ALL {
+            assert_eq!(w.weight(g), 1.0);
+        }
+    }
+
+    #[test]
+    fn fixed_roundtrips() {
+        let arr = [0.7, 0.5, 0.3, 0.2, 0.1, 0.05, 0.01];
+        assert_eq!(ReliabilityWeights::fixed(arr).as_array(), arr);
+    }
+}

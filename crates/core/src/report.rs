@@ -1,0 +1,175 @@
+//! Plain-text rendering of the paper's figures and tables.
+
+use crate::funnel::CollectionFunnel;
+use crate::stats::GroupTable;
+
+/// Renders the full group table (Figs. 6–7 + slide tweet chart in one).
+pub fn render_group_table(table: &GroupTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>8} {:>8} {:>10} {:>8} {:>10}\n",
+        "group", "users", "user%", "tweets", "tweet%", "avg.locs"
+    ));
+    out.push_str(&"-".repeat(58));
+    out.push('\n');
+    for r in &table.rows {
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>7.2}% {:>10} {:>7.2}% {:>10.2}\n",
+            r.group.label(),
+            r.users,
+            r.user_pct,
+            r.tweets,
+            r.tweet_pct,
+            r.avg_locations
+        ));
+    }
+    out.push_str(&"-".repeat(58));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<8} {:>8} {:>8} {:>10}          avg {:>6.2}\n",
+        "total", table.total_users, "", table.total_tweets, table.overall_avg_locations
+    ));
+    out
+}
+
+/// Renders a horizontal ASCII bar chart. `values` pair with `labels`;
+/// bars scale to `width` characters at the maximum value.
+pub fn render_bar_chart(title: &str, labels: &[&str], values: &[f64], width: usize) -> String {
+    assert_eq!(labels.len(), values.len(), "labels/values length mismatch");
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    let mut out = format!("{title}\n");
+    for (label, &v) in labels.iter().zip(values) {
+        let bar_len = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<8} {:<width$} {v:.2}\n",
+            "█".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Renders the refinement funnel (§III-B's narrative as numbers).
+pub fn render_funnel(f: &CollectionFunnel) -> String {
+    let mut out = String::new();
+    out.push_str("data refinement funnel\n");
+    out.push_str(&format!(
+        "  users collected            {:>10}\n",
+        f.users_collected
+    ));
+    out.push_str(&format!(
+        "  well-defined profiles      {:>10}  ({:.1}%)\n",
+        f.users_well_defined,
+        100.0 * f.well_defined_rate()
+    ));
+    out.push_str(&format!(
+        "    removed: vague           {:>10}\n",
+        f.users_vague
+    ));
+    out.push_str(&format!(
+        "    removed: insufficient    {:>10}\n",
+        f.users_insufficient
+    ));
+    out.push_str(&format!(
+        "    removed: ambiguous/multi {:>10}\n",
+        f.users_ambiguous
+    ));
+    out.push_str(&format!(
+        "    removed: foreign         {:>10}\n",
+        f.users_foreign
+    ));
+    out.push_str(&format!(
+        "    removed: empty           {:>10}\n",
+        f.users_empty
+    ));
+    out.push_str(&format!(
+        "  tweets examined            {:>10}\n",
+        f.tweets_total
+    ));
+    out.push_str(&format!(
+        "  tweets with GPS            {:>10}  ({:.2}%)\n",
+        f.tweets_with_gps,
+        100.0 * f.gps_rate()
+    ));
+    out.push_str(&format!(
+        "    unresolvable GPS         {:>10}\n",
+        f.tweets_gps_unresolvable
+    ));
+    out.push_str(&format!(
+        "  location strings built     {:>10}\n",
+        f.strings_built
+    ));
+    if f.yahoo_quota_days > 0 {
+        out.push_str(&format!(
+            "  Yahoo quota days           {:>10}  (50k requests/day)\n",
+            f.yahoo_quota_days
+        ));
+    }
+    out.push_str(&format!(
+        "  FINAL cohort               {:>10}  ({:.2}% of collected)\n",
+        f.users_final,
+        100.0 * f.survival_rate()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::group_user_strings;
+    use crate::string::LocationString;
+
+    #[test]
+    fn group_table_renders_all_rows() {
+        let strings = vec![LocationString {
+            user: 1,
+            state_profile: "Seoul".into(),
+            county_profile: "Guro-gu".into(),
+            state_tweet: "Seoul".into(),
+            county_tweet: "Guro-gu".into(),
+        }];
+        let users = vec![group_user_strings(&strings).unwrap()];
+        let table = crate::stats::GroupTable::compute(&users);
+        let rendered = render_group_table(&table);
+        for label in ["Top-1", "Top-2", "Top-6+", "None", "total"] {
+            assert!(rendered.contains(label), "missing {label}:\n{rendered}");
+        }
+        assert!(rendered.contains("100.00%"));
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let chart = render_bar_chart("t", &["a", "b"], &[2.0, 4.0], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let bars_a = lines[1].matches('█').count();
+        let bars_b = lines[2].matches('█').count();
+        assert_eq!(bars_b, 10);
+        assert_eq!(bars_a, 5);
+    }
+
+    #[test]
+    fn bar_chart_handles_zero() {
+        let chart = render_bar_chart("t", &["a"], &[0.0], 10);
+        assert!(!chart.contains('█'));
+    }
+
+    #[test]
+    fn funnel_renders_counts() {
+        let f = CollectionFunnel {
+            users_collected: 52_000,
+            users_well_defined: 30_000,
+            tweets_total: 11_000_000,
+            tweets_with_gps: 220_000,
+            users_final: 1_100,
+            ..Default::default()
+        };
+        let r = render_funnel(&f);
+        assert!(r.contains("52000"));
+        assert!(r.contains("FINAL cohort"));
+        assert!(r.contains("1100"));
+    }
+}

@@ -1,0 +1,121 @@
+//! The paper's location strings (§III-B, Table I).
+//!
+//! "We made a text string for each tweet with user id, profile location, and
+//! tweet location. … the sharp (#) is a delimiter for each property."
+//!
+//! The string shape is `user#state_p#county_p#state_t#county_t`. Keeping the
+//! literal textual form (rather than jumping straight to ids) preserves the
+//! method as published — the grouping step merges *strings*.
+
+use std::fmt;
+
+/// One tweet's location string.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LocationString {
+    /// User id.
+    pub user: u64,
+    /// First-level division from the profile.
+    pub state_profile: String,
+    /// Second-level division from the profile.
+    pub county_profile: String,
+    /// First-level division of the tweet's GPS fix.
+    pub state_tweet: String,
+    /// Second-level division of the tweet's GPS fix.
+    pub county_tweet: String,
+}
+
+impl LocationString {
+    /// True when profile and tweet districts coincide — the paper's
+    /// *matched string*.
+    pub fn is_matched(&self) -> bool {
+        self.state_profile == self.state_tweet && self.county_profile == self.county_tweet
+    }
+
+    /// The `(state, county)` pair of the tweet side.
+    pub fn tweet_key(&self) -> (&str, &str) {
+        (&self.state_tweet, &self.county_tweet)
+    }
+
+    /// Parses the `user#state#county#state#county` form.
+    ///
+    /// Returns `None` unless exactly five `#`-separated fields are present
+    /// and the first parses as a user id.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.split('#');
+        let user = parts.next()?.trim().parse().ok()?;
+        let state_profile = parts.next()?.to_string();
+        let county_profile = parts.next()?.to_string();
+        let state_tweet = parts.next()?.to_string();
+        let county_tweet = parts.next()?.to_string();
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(LocationString {
+            user,
+            state_profile,
+            county_profile,
+            state_tweet,
+            county_tweet,
+        })
+    }
+}
+
+impl fmt::Display for LocationString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{}#{}#{}#{}",
+            self.user, self.state_profile, self.county_profile, self.state_tweet, self.county_tweet
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_example() -> LocationString {
+        // Table I, first row (user id redacted in the OCR; any id works).
+        LocationString {
+            user: 100,
+            state_profile: "Seoul".into(),
+            county_profile: "Yangchun-gu".into(),
+            state_tweet: "Seoul".into(),
+            county_tweet: "Seodaemun-gu".into(),
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        assert_eq!(
+            paper_example().to_string(),
+            "100#Seoul#Yangchun-gu#Seoul#Seodaemun-gu"
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let s = paper_example();
+        let parsed = LocationString::parse(&s.to_string()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(LocationString::parse("1#a#b#c").is_none()); // 4 fields
+        assert!(LocationString::parse("1#a#b#c#d#e").is_none()); // 6 fields
+        assert!(LocationString::parse("x#a#b#c#d").is_none()); // bad id
+        assert!(LocationString::parse("").is_none());
+    }
+
+    #[test]
+    fn matched_detection() {
+        let mut s = paper_example();
+        assert!(!s.is_matched());
+        s.county_tweet = "Yangchun-gu".into();
+        assert!(s.is_matched());
+        // Same county name in a different state does NOT match.
+        s.state_tweet = "Busan".into();
+        assert!(!s.is_matched());
+    }
+}

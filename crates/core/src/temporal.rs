@@ -1,0 +1,121 @@
+//! Temporal posting analysis.
+//!
+//! The grouping method uses only *where* tweets come from; the follow-up
+//! question — pursued in the first author's later work on posting-behaviour
+//! temporality — is *when* each group tweets. If the None group really is
+//! commuters (§IV's scenario), their GPS tweets should cluster in commute
+//! hours; home-anchored Top-1 users should skew to evenings. This module
+//! computes per-group hour-of-day histograms and a commute index.
+
+use std::collections::HashMap;
+
+use crate::topk::TopKGroup;
+
+/// Hour-of-day histogram (24 bins).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HourHistogram {
+    /// Tweet counts per hour.
+    pub counts: [u64; 24],
+}
+
+impl HourHistogram {
+    /// Records a timestamp (window seconds).
+    pub fn add(&mut self, timestamp: u64) {
+        self.counts[((timestamp / 3600) % 24) as usize] += 1;
+    }
+
+    /// Total tweets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Share of tweets in a given hour, in `[0, 1]`.
+    pub fn share(&self, hour: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[hour] as f64 / total as f64
+        }
+    }
+
+    /// The busiest hour (lowest index on ties).
+    pub fn peak_hour(&self) -> usize {
+        let mut best = 0;
+        for h in 1..24 {
+            if self.counts[h] > self.counts[best] {
+                best = h;
+            }
+        }
+        best
+    }
+
+    /// Share of tweets in commute hours (7–9 and 18–20, KST).
+    pub fn commute_index(&self) -> f64 {
+        [7, 8, 9, 18, 19, 20].iter().map(|&h| self.share(h)).sum()
+    }
+}
+
+/// Per-group histograms from `(user, timestamp)` rows and a user→group map.
+/// Rows of unknown users are ignored.
+pub fn per_group_histograms<I: IntoIterator<Item = (u64, u64)>>(
+    rows: I,
+    groups: &HashMap<u64, TopKGroup>,
+) -> [HourHistogram; 7] {
+    let mut out = [HourHistogram::default(); 7];
+    for (user, timestamp) in rows {
+        if let Some(g) = groups.get(&user) {
+            out[g.index()].add(timestamp);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_shares() {
+        let mut h = HourHistogram::default();
+        h.add(0); // hour 0
+        h.add(3_600); // hour 1
+        h.add(3_600 * 25); // day 2, hour 1
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts[1], 2);
+        assert!((h.share(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.peak_hour(), 1);
+    }
+
+    #[test]
+    fn commute_index_sums_six_hours() {
+        let mut h = HourHistogram::default();
+        for hour in [7u64, 8, 9, 18, 19, 20] {
+            h.add(hour * 3600);
+        }
+        h.add(12 * 3600);
+        h.add(13 * 3600);
+        assert!((h.commute_index() - 6.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_group_routing() {
+        let mut groups = HashMap::new();
+        groups.insert(1, TopKGroup::Top1);
+        groups.insert(2, TopKGroup::None);
+        let rows = vec![(1u64, 8 * 3600u64), (2, 8 * 3600), (2, 19 * 3600), (99, 0)];
+        let hists = per_group_histograms(rows, &groups);
+        assert_eq!(hists[TopKGroup::Top1.index()].total(), 1);
+        assert_eq!(hists[TopKGroup::None.index()].total(), 2);
+        assert_eq!(hists[TopKGroup::Top2.index()].total(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = HourHistogram::default();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.share(3), 0.0);
+        assert_eq!(h.commute_index(), 0.0);
+        assert_eq!(h.peak_hour(), 0);
+    }
+}

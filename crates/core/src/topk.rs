@@ -1,0 +1,102 @@
+//! The Top-k user groups (§III-B).
+//!
+//! "We categorized a user into the Top-k group when the matched string is
+//! placed k-th in the list." Users with no matched string fall into the
+//! None group (§IV: "there are 3xx users in this category who do not have
+//! any matched strings at all").
+
+use std::fmt;
+
+/// A user's group: the rank of their matched string, bucketed as the paper
+/// reports it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TopKGroup {
+    /// Matched string ranks first.
+    Top1,
+    /// Matched string ranks second.
+    Top2,
+    /// Matched string ranks third.
+    Top3,
+    /// Matched string ranks fourth.
+    Top4,
+    /// Matched string ranks fifth.
+    Top5,
+    /// Matched string ranks sixth or lower.
+    Top6Plus,
+    /// No matched string at all.
+    None,
+}
+
+impl TopKGroup {
+    /// All groups in report order.
+    pub const ALL: [TopKGroup; 7] = [
+        TopKGroup::Top1,
+        TopKGroup::Top2,
+        TopKGroup::Top3,
+        TopKGroup::Top4,
+        TopKGroup::Top5,
+        TopKGroup::Top6Plus,
+        TopKGroup::None,
+    ];
+
+    /// Buckets a 1-based matched rank (`None` = no match).
+    pub fn from_rank(rank: Option<usize>) -> Self {
+        match rank {
+            Some(1) => TopKGroup::Top1,
+            Some(2) => TopKGroup::Top2,
+            Some(3) => TopKGroup::Top3,
+            Some(4) => TopKGroup::Top4,
+            Some(5) => TopKGroup::Top5,
+            Some(0) => unreachable!("ranks are 1-based"),
+            Some(_) => TopKGroup::Top6Plus,
+            None => TopKGroup::None,
+        }
+    }
+
+    /// Index into [`TopKGroup::ALL`].
+    pub fn index(self) -> usize {
+        TopKGroup::ALL.iter().position(|&g| g == self).unwrap()
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            TopKGroup::Top1 => "Top-1",
+            TopKGroup::Top2 => "Top-2",
+            TopKGroup::Top3 => "Top-3",
+            TopKGroup::Top4 => "Top-4",
+            TopKGroup::Top5 => "Top-5",
+            TopKGroup::Top6Plus => "Top-6+",
+            TopKGroup::None => "None",
+        }
+    }
+}
+
+impl fmt::Display for TopKGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_bucketing() {
+        assert_eq!(TopKGroup::from_rank(Some(1)), TopKGroup::Top1);
+        assert_eq!(TopKGroup::from_rank(Some(5)), TopKGroup::Top5);
+        assert_eq!(TopKGroup::from_rank(Some(6)), TopKGroup::Top6Plus);
+        assert_eq!(TopKGroup::from_rank(Some(60)), TopKGroup::Top6Plus);
+        assert_eq!(TopKGroup::from_rank(None), TopKGroup::None);
+    }
+
+    #[test]
+    fn labels_and_indexes() {
+        for (i, g) in TopKGroup::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+        assert_eq!(TopKGroup::Top6Plus.label(), "Top-6+");
+        assert_eq!(TopKGroup::None.to_string(), "None");
+    }
+}

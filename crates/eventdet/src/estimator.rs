@@ -1,0 +1,163 @@
+//! The estimator interface and the closed-form baselines.
+
+use stir_geoindex::Point;
+
+/// One location observation feeding an estimator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Observation {
+    /// Observed position (a GPS fix, or a profile-district centroid).
+    pub point: Point,
+    /// Trust weight in `(0, 1]`. GPS fixes carry 1.0; profile-derived
+    /// positions carry the user's Top-k reliability weight.
+    pub weight: f64,
+    /// Observation time (window seconds); filters consume observations in
+    /// time order.
+    pub timestamp: u64,
+}
+
+impl Observation {
+    /// A full-trust observation.
+    pub fn trusted(point: Point, timestamp: u64) -> Self {
+        Observation {
+            point,
+            weight: 1.0,
+            timestamp,
+        }
+    }
+}
+
+/// An event-location estimator.
+pub trait LocationEstimator {
+    /// Short identifier for reports.
+    fn name(&self) -> &'static str;
+
+    /// Estimates the event location from observations (any order; the
+    /// estimator sorts if it cares). `None` when no usable observation
+    /// exists.
+    fn estimate(&self, observations: &[Observation]) -> Option<Point>;
+}
+
+/// Weighted arithmetic mean of the observations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeanEstimator;
+
+impl LocationEstimator for MeanEstimator {
+    fn name(&self) -> &'static str {
+        "weighted-mean"
+    }
+
+    fn estimate(&self, observations: &[Observation]) -> Option<Point> {
+        let total: f64 = observations.iter().map(|o| o.weight).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let lat = observations
+            .iter()
+            .map(|o| o.point.lat * o.weight)
+            .sum::<f64>()
+            / total;
+        let lon = observations
+            .iter()
+            .map(|o| o.point.lon * o.weight)
+            .sum::<f64>()
+            / total;
+        Some(Point::new(lat, lon))
+    }
+}
+
+/// Weighted coordinate-wise median — Toretter reports the estimated median
+/// alongside the estimated centre (its Fig. 2); the median resists the
+/// far-away noise profile locations introduce.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MedianEstimator;
+
+fn weighted_median(values: &mut [(f64, f64)]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let total: f64 = values.iter().map(|v| v.1).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut acc = 0.0;
+    for &(v, w) in values.iter() {
+        acc += w;
+        if acc >= total / 2.0 {
+            return Some(v);
+        }
+    }
+    values.last().map(|v| v.0)
+}
+
+impl LocationEstimator for MedianEstimator {
+    fn name(&self) -> &'static str {
+        "weighted-median"
+    }
+
+    fn estimate(&self, observations: &[Observation]) -> Option<Point> {
+        let mut lats: Vec<(f64, f64)> = observations
+            .iter()
+            .map(|o| (o.point.lat, o.weight))
+            .collect();
+        let mut lons: Vec<(f64, f64)> = observations
+            .iter()
+            .map(|o| (o.point.lon, o.weight))
+            .collect();
+        Some(Point::new(
+            weighted_median(&mut lats)?,
+            weighted_median(&mut lons)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(lat: f64, lon: f64, w: f64) -> Observation {
+        Observation {
+            point: Point::new(lat, lon),
+            weight: w,
+            timestamp: 0,
+        }
+    }
+
+    #[test]
+    fn mean_of_symmetric_points_is_center() {
+        let o = vec![obs(37.0, 127.0, 1.0), obs(38.0, 128.0, 1.0)];
+        let p = MeanEstimator.estimate(&o).unwrap();
+        assert!((p.lat - 37.5).abs() < 1e-12);
+        assert!((p.lon - 127.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_respects_weights() {
+        let o = vec![obs(37.0, 127.0, 3.0), obs(38.0, 128.0, 1.0)];
+        let p = MeanEstimator.estimate(&o).unwrap();
+        assert!((p.lat - 37.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_ignores_outlier() {
+        let mut o = vec![obs(37.0, 127.0, 1.0); 9];
+        o.push(obs(33.0, 131.0, 1.0)); // far outlier
+        let p = MedianEstimator.estimate(&o).unwrap();
+        assert!((p.lat - 37.0).abs() < 1e-9);
+        assert!((p.lon - 127.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_respects_weights() {
+        let o = vec![obs(37.0, 127.0, 0.1), obs(38.0, 128.0, 10.0)];
+        let p = MedianEstimator.estimate(&o).unwrap();
+        assert!((p.lat - 38.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_or_zero_weight_is_none() {
+        assert!(MeanEstimator.estimate(&[]).is_none());
+        assert!(MedianEstimator.estimate(&[]).is_none());
+        assert!(MeanEstimator.estimate(&[obs(37.0, 127.0, 0.0)]).is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! Estimation-error evaluation: the E8 experiment harness comparing
+//! unweighted vs reliability-weighted event-location estimation across
+//! estimators.
+
+use stir_geoindex::Point;
+
+use crate::estimator::{LocationEstimator, Observation};
+
+/// Great-circle error between the true and estimated locations, in km.
+pub fn error_km(truth: Point, estimate: Point) -> f64 {
+    truth.haversine_km(estimate)
+}
+
+/// One estimator's result on one observation set.
+#[derive(Clone, Debug)]
+pub struct EvalRow {
+    /// Estimator name.
+    pub estimator: &'static str,
+    /// Estimate, if one was produced.
+    pub estimate: Option<Point>,
+    /// Error in km (`f64::INFINITY` when no estimate).
+    pub error_km: f64,
+}
+
+/// Runs every estimator against the observations and scores against the
+/// known truth.
+pub fn evaluate(
+    estimators: &[&dyn LocationEstimator],
+    observations: &[Observation],
+    truth: Point,
+) -> Vec<EvalRow> {
+    estimators
+        .iter()
+        .map(|e| {
+            let estimate = e.estimate(observations);
+            EvalRow {
+                estimator: e.name(),
+                estimate,
+                error_km: estimate.map_or(f64::INFINITY, |p| error_km(truth, p)),
+            }
+        })
+        .collect()
+}
+
+/// Mean of finite errors across repeated trials (`None` if every trial
+/// failed).
+pub fn mean_error(errors: &[f64]) -> Option<f64> {
+    let finite: Vec<f64> = errors.iter().copied().filter(|e| e.is_finite()).collect();
+    if finite.is_empty() {
+        None
+    } else {
+        Some(finite.iter().sum::<f64>() / finite.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{MeanEstimator, MedianEstimator};
+
+    #[test]
+    fn error_km_is_haversine() {
+        let a = Point::new(37.5663, 126.9779);
+        let b = Point::new(35.1798, 129.0750);
+        assert!((error_km(a, b) - a.haversine_km(b)).abs() < 1e-12);
+        assert_eq!(error_km(a, a), 0.0);
+    }
+
+    #[test]
+    fn evaluate_runs_all_estimators() {
+        let obs = vec![
+            Observation::trusted(Point::new(37.0, 127.0), 0),
+            Observation::trusted(Point::new(37.2, 127.2), 1),
+        ];
+        let mean = MeanEstimator;
+        let median = MedianEstimator;
+        let rows = evaluate(&[&mean, &median], &obs, Point::new(37.1, 127.1));
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.error_km < 20.0));
+        assert_eq!(rows[0].estimator, "weighted-mean");
+    }
+
+    #[test]
+    fn evaluate_with_no_observations() {
+        let mean = MeanEstimator;
+        let rows = evaluate(&[&mean], &[], Point::new(37.0, 127.0));
+        assert!(rows[0].estimate.is_none());
+        assert!(rows[0].error_km.is_infinite());
+    }
+
+    #[test]
+    fn mean_error_skips_failures() {
+        assert_eq!(mean_error(&[2.0, 4.0, f64::INFINITY]), Some(3.0));
+        assert_eq!(mean_error(&[f64::INFINITY]), None);
+        assert_eq!(mean_error(&[]), None);
+    }
+}

@@ -1,0 +1,153 @@
+//! A Kalman filter for event-location estimation (Toretter applies "the
+//! Kalman filter and the Particle filter … to the spatial attributes on
+//! Twitter for location estimation of the event").
+//!
+//! The event does not move, so the model is constant-position: state =
+//! (lat, lon) with small process noise, observed directly with measurement
+//! noise scaled by the inverse observation weight. Axes are independent, so
+//! two scalar filters suffice.
+
+use stir_geoindex::Point;
+
+use crate::estimator::{LocationEstimator, Observation};
+
+/// Scalar constant-position Kalman filter.
+#[derive(Clone, Copy, Debug)]
+struct Scalar {
+    x: f64,
+    p: f64,
+}
+
+impl Scalar {
+    fn new(x0: f64, p0: f64) -> Self {
+        Scalar { x: x0, p: p0 }
+    }
+
+    fn step(&mut self, z: f64, q: f64, r: f64) {
+        // Predict: x stays, uncertainty grows by process noise.
+        self.p += q;
+        // Update.
+        let k = self.p / (self.p + r);
+        self.x += k * (z - self.x);
+        self.p *= 1.0 - k;
+    }
+}
+
+/// Kalman-filter estimator over time-ordered observations.
+#[derive(Clone, Copy, Debug)]
+pub struct KalmanEstimator {
+    /// Process noise per step (degrees²). Small: events do not move.
+    pub process_noise: f64,
+    /// Base measurement noise (degrees²) for a weight-1.0 observation;
+    /// an observation of weight `w` gets `measurement_noise / w`.
+    pub measurement_noise: f64,
+}
+
+impl Default for KalmanEstimator {
+    fn default() -> Self {
+        // ~1 km process noise, ~10 km measurement noise at weight 1.
+        KalmanEstimator {
+            process_noise: 1e-4,
+            measurement_noise: 1e-2,
+        }
+    }
+}
+
+impl LocationEstimator for KalmanEstimator {
+    fn name(&self) -> &'static str {
+        "kalman"
+    }
+
+    fn estimate(&self, observations: &[Observation]) -> Option<Point> {
+        let mut obs: Vec<&Observation> = observations.iter().filter(|o| o.weight > 0.0).collect();
+        if obs.is_empty() {
+            return None;
+        }
+        obs.sort_by_key(|o| o.timestamp);
+        let first = obs[0];
+        let mut lat = Scalar::new(first.point.lat, self.measurement_noise / first.weight);
+        let mut lon = Scalar::new(first.point.lon, self.measurement_noise / first.weight);
+        for o in &obs[1..] {
+            let r = self.measurement_noise / o.weight;
+            lat.step(o.point.lat, self.process_noise, r);
+            lon.step(o.point.lon, self.process_noise, r);
+        }
+        Some(Point::new(
+            lat.x.clamp(-90.0, 90.0),
+            lon.x.clamp(-180.0, 180.0),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(lat: f64, lon: f64, w: f64, t: u64) -> Observation {
+        Observation {
+            point: Point::new(lat, lon),
+            weight: w,
+            timestamp: t,
+        }
+    }
+
+    #[test]
+    fn converges_to_noisy_constant() {
+        // Noisy measurements around (36.5, 127.5).
+        let truth = Point::new(36.5, 127.5);
+        let mut observations = Vec::new();
+        let mut s = 0.321f64;
+        for t in 0..200u64 {
+            s = (s * 9301.0 + 0.49297).fract();
+            let nlat = (s - 0.5) * 0.2;
+            s = (s * 9301.0 + 0.49297).fract();
+            let nlon = (s - 0.5) * 0.2;
+            observations.push(obs(truth.lat + nlat, truth.lon + nlon, 1.0, t));
+        }
+        let est = KalmanEstimator::default().estimate(&observations).unwrap();
+        assert!(
+            truth.haversine_km(est) < 3.0,
+            "error {} km",
+            truth.haversine_km(est)
+        );
+    }
+
+    #[test]
+    fn low_weight_observations_pull_less() {
+        let anchor = obs(37.0, 127.0, 1.0, 0);
+        let strong_pull = [anchor, obs(38.0, 128.0, 1.0, 1)];
+        let weak_pull = [anchor, obs(38.0, 128.0, 0.05, 1)];
+        let k = KalmanEstimator::default();
+        let strong = k.estimate(&strong_pull).unwrap();
+        let weak = k.estimate(&weak_pull).unwrap();
+        let start = Point::new(37.0, 127.0);
+        assert!(
+            start.haversine_km(weak) < start.haversine_km(strong),
+            "weak {} km vs strong {} km",
+            start.haversine_km(weak),
+            start.haversine_km(strong)
+        );
+    }
+
+    #[test]
+    fn single_observation_is_itself() {
+        let k = KalmanEstimator::default();
+        let p = k.estimate(&[obs(36.0, 128.0, 0.5, 0)]).unwrap();
+        assert!((p.lat - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unordered_input_is_sorted_internally() {
+        let k = KalmanEstimator::default();
+        let a = k.estimate(&[obs(37.0, 127.0, 1.0, 5), obs(37.2, 127.2, 1.0, 1)]);
+        let b = k.estimate(&[obs(37.2, 127.2, 1.0, 1), obs(37.0, 127.0, 1.0, 5)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_weight_only_is_none() {
+        assert!(KalmanEstimator::default()
+            .estimate(&[obs(37.0, 127.0, 0.0, 0)])
+            .is_none());
+    }
+}

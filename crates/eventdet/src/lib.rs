@@ -1,0 +1,49 @@
+//! # stir-eventdet — event detection systems and location estimation
+//!
+//! The paper positions itself as "a preliminary study for the event
+//! detection system" and names two: **Twitris** (Nagarajan et al. — TF-IDF
+//! summaries over time/space/theme) and **Toretter** (Sakaki et al. —
+//! keyword trend detection with Kalman/particle-filter location
+//! estimation). Its conclusion proposes using the Top-k reliability
+//! analysis "to determine the weight factor for the location information"
+//! in exactly these systems. This crate implements all of it:
+//!
+//! * [`tfidf`] / [`twitris`] — TF-IDF term scoring and spatio-temporal-
+//!   thematic summaries (the Twitris baseline).
+//! * [`trend`] — keyword burst detection over time bins (Toretter's
+//!   temporal side); [`online`] — its streaming variant that alerts
+//!   mid-bin, the latency the original system advertised.
+//! * [`kalman`] / [`particle`] — the two location filters Toretter applies
+//!   to the spatial attributes; [`sensor`] — its probabilistic occurrence
+//!   model (alarm when 1 − p_false^n crosses a threshold).
+//! * [`estimator`] — a common estimator interface plus weighted mean/median
+//!   baselines.
+//! * [`weighted`] — observation construction with the paper's reliability
+//!   weights: GPS fixes at full weight, profile-derived locations weighted
+//!   by the user's Top-k group.
+//! * [`eval`] — estimation-error evaluation (km from true epicenter), the
+//!   E8 experiment harness.
+
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod eval;
+pub mod kalman;
+pub mod online;
+pub mod particle;
+pub mod sensor;
+pub mod tfidf;
+pub mod toretter;
+pub mod trend;
+pub mod twitris;
+pub mod weighted;
+
+pub use estimator::{LocationEstimator, MeanEstimator, MedianEstimator, Observation};
+pub use eval::error_km;
+pub use kalman::KalmanEstimator;
+pub use online::{OnlineAlert, OnlineToretter};
+pub use particle::ParticleEstimator;
+pub use sensor::SensorModel;
+pub use toretter::{Toretter, ToretterAlert};
+pub use trend::{BurstDetector, TermSeries};
+pub use weighted::ObservationBuilder;

@@ -1,0 +1,127 @@
+//! Sakaki et al.'s probabilistic sensor model (the Toretter paper's event
+//! occurrence test, reproduced as related work).
+//!
+//! Each user is a sensor with false-positive rate `p_false`: a matching
+//! tweet that is *not* caused by a real event. If `n` sensors report within
+//! a window, the probability that *all* of them are false positives is
+//! `p_false^n`, so the event-occurrence probability is `1 − p_false^n`;
+//! Toretter alarms when it crosses a threshold (they used 0.99 with
+//! per-sensor reliability calibrated from training data).
+
+/// The probabilistic occurrence model.
+#[derive(Clone, Copy, Debug)]
+pub struct SensorModel {
+    /// Probability that a single matching report is a false positive.
+    pub p_false: f64,
+    /// Occurrence-probability threshold for raising an alarm.
+    pub threshold: f64,
+}
+
+impl Default for SensorModel {
+    fn default() -> Self {
+        // Sakaki et al. used pf = 0.35 and a 0.99 threshold.
+        SensorModel {
+            p_false: 0.35,
+            threshold: 0.99,
+        }
+    }
+}
+
+impl SensorModel {
+    /// The event-occurrence probability given `n` reporting sensors:
+    /// `1 − p_false^n`.
+    pub fn occurrence_probability(&self, n_sensors: u64) -> f64 {
+        1.0 - self.p_false.powi(n_sensors.min(i32::MAX as u64) as i32)
+    }
+
+    /// True when `n` sensors are enough to alarm.
+    pub fn alarms(&self, n_sensors: u64) -> bool {
+        self.occurrence_probability(n_sensors) > self.threshold
+    }
+
+    /// The minimum number of sensors needed to alarm:
+    /// smallest n with `1 − p_false^n > threshold`.
+    pub fn sensors_needed(&self) -> u64 {
+        if self.threshold >= 1.0 {
+            return u64::MAX;
+        }
+        if self.threshold < 0.0 || self.p_false <= 0.0 {
+            return 1;
+        }
+        // p_false^n < 1 - threshold  ⇒  n > ln(1-threshold) / ln(p_false)
+        let n = (1.0 - self.threshold).ln() / self.p_false.ln();
+        (n.floor() as u64) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrence_probability_grows_with_sensors() {
+        let m = SensorModel::default();
+        assert!(m.occurrence_probability(0) == 0.0);
+        let mut prev = 0.0;
+        for n in 1..10 {
+            let p = m.occurrence_probability(n);
+            assert!(p > prev);
+            assert!(p < 1.0);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn sakaki_defaults_need_five_sensors() {
+        // pf=0.35, threshold 0.99: 0.35^4 ≈ 0.015 (not enough),
+        // 0.35^5 ≈ 0.005 (< 0.01) → 5 sensors.
+        let m = SensorModel::default();
+        assert_eq!(m.sensors_needed(), 5);
+        assert!(!m.alarms(4));
+        assert!(m.alarms(5));
+    }
+
+    #[test]
+    fn threshold_edge_cases() {
+        assert_eq!(
+            SensorModel {
+                p_false: 0.35,
+                threshold: 1.0
+            }
+            .sensors_needed(),
+            u64::MAX
+        );
+        assert_eq!(
+            SensorModel {
+                p_false: 0.0,
+                threshold: 0.99
+            }
+            .sensors_needed(),
+            1
+        );
+        let strict = SensorModel {
+            p_false: 0.9,
+            threshold: 0.999,
+        };
+        assert!(strict.sensors_needed() > 50);
+        assert!(strict.alarms(strict.sensors_needed()));
+        assert!(!strict.alarms(strict.sensors_needed() - 1));
+    }
+
+    #[test]
+    fn consistency_between_alarms_and_needed() {
+        for pf in [0.1, 0.35, 0.5, 0.8] {
+            for th in [0.9, 0.99, 0.999] {
+                let m = SensorModel {
+                    p_false: pf,
+                    threshold: th,
+                };
+                let n = m.sensors_needed();
+                assert!(m.alarms(n), "pf={pf} th={th} n={n}");
+                if n > 1 {
+                    assert!(!m.alarms(n - 1), "pf={pf} th={th} n={n}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! TF-IDF term scoring (the machinery behind Twitris: "this system used
+//! the TFIDF algorithm to extract popular terms in a day").
+
+use std::collections::HashMap;
+
+/// Tokenizes text: lowercase ASCII, alphanumeric runs, ≥ 2 chars, minus a
+/// tiny stop list.
+pub fn tokenize(text: &str) -> Vec<String> {
+    const STOP: &[&str] = &[
+        "the", "a", "an", "in", "on", "at", "to", "of", "and", "or", "is", "it", "my", "me", "so",
+        "for", "with", "this", "that",
+    ];
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            if cur.chars().count() >= 2 && !STOP.contains(&cur.as_str()) {
+                out.push(std::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+        }
+    }
+    if cur.chars().count() >= 2 && !STOP.contains(&cur.as_str()) {
+        out.push(cur);
+    }
+    out
+}
+
+/// A TF-IDF corpus over named documents (each document is a slice of the
+/// tweet stream, e.g. one (day, state) cell).
+#[derive(Debug, Default)]
+pub struct TfIdf {
+    /// Term frequencies per document.
+    docs: Vec<(String, HashMap<String, u32>)>,
+    /// Document frequency per term.
+    df: HashMap<String, u32>,
+}
+
+impl TfIdf {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a document built from many texts; returns its index.
+    pub fn add_document<'t, I: IntoIterator<Item = &'t str>>(
+        &mut self,
+        name: &str,
+        texts: I,
+    ) -> usize {
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for text in texts {
+            for tok in tokenize(text) {
+                *tf.entry(tok).or_insert(0) += 1;
+            }
+        }
+        for term in tf.keys() {
+            *self.df.entry(term.clone()).or_insert(0) += 1;
+        }
+        self.docs.push((name.to_string(), tf));
+        self.docs.len() - 1
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents were added.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The TF-IDF score of `term` in document `doc`:
+    /// `tf · ln(N / df)` with raw term counts.
+    pub fn score(&self, doc: usize, term: &str) -> f64 {
+        let tf = *self.docs[doc].1.get(term).unwrap_or(&0) as f64;
+        if tf == 0.0 {
+            return 0.0;
+        }
+        let n = self.docs.len() as f64;
+        let df = *self.df.get(term).unwrap_or(&1) as f64;
+        tf * (n / df).ln()
+    }
+
+    /// The `k` highest-scoring terms of a document, score-descending (ties
+    /// alphabetical for determinism).
+    pub fn top_terms(&self, doc: usize, k: usize) -> Vec<(String, f64)> {
+        let mut scored: Vec<(String, f64)> = self.docs[doc]
+            .1
+            .keys()
+            .map(|t| (t.clone(), self.score(doc, t)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Document name by index.
+    pub fn doc_name(&self, doc: usize) -> &str {
+        &self.docs[doc].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basics() {
+        assert_eq!(
+            tokenize("Just arrived in Jung-gu!!"),
+            vec!["just", "arrived", "jung", "gu"]
+        );
+        assert_eq!(tokenize("the a an"), Vec::<String>::new());
+        assert_eq!(tokenize(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn distinctive_terms_outscore_common_ones() {
+        let mut c = TfIdf::new();
+        let d0 = c.add_document("day0", ["coffee coffee morning", "coffee time"]);
+        let _d1 = c.add_document("day1", ["morning run", "morning meeting"]);
+        let _d2 = c.add_document("day2", ["morning traffic"]);
+        // "coffee" appears only in d0; "morning" appears everywhere.
+        assert!(c.score(d0, "coffee") > c.score(d0, "morning"));
+        assert_eq!(c.score(d0, "absent"), 0.0);
+    }
+
+    #[test]
+    fn top_terms_sorted_and_truncated() {
+        let mut c = TfIdf::new();
+        let d = c.add_document("d", ["earthquake earthquake shaking tremor"]);
+        c.add_document("other", ["lunch time"]);
+        let top = c.top_terms(d, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, "earthquake");
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    fn single_document_idf_is_zero() {
+        let mut c = TfIdf::new();
+        let d = c.add_document("only", ["hello world"]);
+        // ln(1/1) = 0 → every score zero; top_terms still deterministic.
+        assert_eq!(c.score(d, "hello"), 0.0);
+        assert_eq!(c.top_terms(d, 5).len(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Keyword trend (burst) detection — Toretter's temporal side: "a system
+//! that detects earthquakes by observing two predefined terms: earthquake
+//! and shaking".
+//!
+//! The detector bins term occurrences over time and raises an alarm when a
+//! bin's count exceeds a Poisson-style threshold over the trailing baseline
+//! rate: `count > max(min_count, baseline + z·sqrt(baseline))`.
+
+/// A term's binned time series.
+#[derive(Clone, Debug)]
+pub struct TermSeries {
+    bin_secs: u64,
+    counts: Vec<u64>,
+}
+
+impl TermSeries {
+    /// An empty series with the given bin width.
+    ///
+    /// # Panics
+    /// Panics if `bin_secs` is zero.
+    pub fn new(bin_secs: u64) -> Self {
+        assert!(bin_secs > 0, "bin width must be positive");
+        TermSeries {
+            bin_secs,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Records one term occurrence at `timestamp`.
+    pub fn record(&mut self, timestamp: u64) {
+        let bin = (timestamp / self.bin_secs) as usize;
+        if bin >= self.counts.len() {
+            self.counts.resize(bin + 1, 0);
+        }
+        self.counts[bin] += 1;
+    }
+
+    /// Bin width.
+    pub fn bin_secs(&self) -> u64 {
+        self.bin_secs
+    }
+
+    /// The binned counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// Burst detector over a [`TermSeries`].
+#[derive(Clone, Copy, Debug)]
+pub struct BurstDetector {
+    /// Trailing bins forming the baseline.
+    pub baseline_bins: usize,
+    /// Z-score multiplier over the Poisson standard deviation.
+    pub z: f64,
+    /// Absolute floor: a bin below this count never alarms.
+    pub min_count: u64,
+    /// Bins of history required before alarms are possible — prevents the
+    /// cold-start false positive where an empty baseline makes any traffic
+    /// look anomalous.
+    pub warmup_bins: usize,
+}
+
+impl Default for BurstDetector {
+    fn default() -> Self {
+        BurstDetector {
+            baseline_bins: 24,
+            z: 4.0,
+            min_count: 5,
+            warmup_bins: 4,
+        }
+    }
+}
+
+impl BurstDetector {
+    /// Returns the indexes of bursting bins.
+    pub fn detect(&self, series: &TermSeries) -> Vec<usize> {
+        let counts = series.counts();
+        let mut out = Vec::new();
+        for (i, &c) in counts.iter().enumerate() {
+            if i < self.warmup_bins || c < self.min_count {
+                continue;
+            }
+            let start = i.saturating_sub(self.baseline_bins);
+            let window = &counts[start..i];
+            let baseline = if window.is_empty() {
+                0.0
+            } else {
+                window.iter().sum::<u64>() as f64 / window.len() as f64
+            };
+            let threshold = baseline + self.z * baseline.sqrt().max(1.0);
+            if (c as f64) > threshold {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// The first bursting bin, if any.
+    pub fn first_burst(&self, series: &TermSeries) -> Option<usize> {
+        self.detect(series).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with(background: u64, spike_bin: usize, spike: u64) -> TermSeries {
+        let mut s = TermSeries::new(60);
+        for bin in 0..48usize {
+            let n = if bin == spike_bin { spike } else { background };
+            for k in 0..n {
+                s.record(bin as u64 * 60 + k % 60);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn spike_over_quiet_background_bursts() {
+        let s = series_with(1, 30, 40);
+        let d = BurstDetector::default();
+        assert_eq!(d.first_burst(&s), Some(30));
+    }
+
+    #[test]
+    fn steady_traffic_never_bursts() {
+        let s = series_with(10, 30, 10);
+        assert!(BurstDetector::default().detect(&s).is_empty());
+    }
+
+    #[test]
+    fn min_count_suppresses_tiny_spikes() {
+        let s = series_with(0, 10, 3);
+        assert!(BurstDetector::default().detect(&s).is_empty());
+        let s2 = series_with(0, 10, 30);
+        assert_eq!(BurstDetector::default().first_burst(&s2), Some(10));
+    }
+
+    #[test]
+    fn record_binning() {
+        let mut s = TermSeries::new(100);
+        s.record(0);
+        s.record(99);
+        s.record(100);
+        assert_eq!(s.counts(), &[2, 1]);
+        assert_eq!(s.bin_secs(), 100);
+    }
+
+    #[test]
+    fn detect_on_empty_series() {
+        let s = TermSeries::new(60);
+        assert!(BurstDetector::default().detect(&s).is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Geohash encoding and decoding (base-32, interleaved bit geohash as used by
+//! geohash.org). The tweet store uses geohash prefixes as its spatial
+//! secondary-index key, so the operations here are encode, decode-to-cell,
+//! neighbour lookup and covering-set computation for a bounding box.
+
+use crate::point::{BBox, Point};
+
+/// The geohash base-32 alphabet (no `a`, `i`, `l`, `o`).
+const BASE32: &[u8; 32] = b"0123456789bcdefghjkmnpqrstuvwxyz";
+
+/// Maximum supported geohash length. 12 characters ≈ 3.7 cm cells, far below
+/// anything this workspace needs.
+pub const MAX_PRECISION: usize = 12;
+
+fn base32_index(c: u8) -> Option<u32> {
+    BASE32
+        .iter()
+        .position(|&b| b == c.to_ascii_lowercase())
+        .map(|i| i as u32)
+}
+
+/// Encodes `p` as a geohash string of `precision` characters.
+///
+/// # Panics
+/// Panics if `precision` is zero or greater than [`MAX_PRECISION`].
+pub fn encode(p: Point, precision: usize) -> String {
+    assert!(
+        (1..=MAX_PRECISION).contains(&precision),
+        "bad precision {precision}"
+    );
+    let mut lat_range = (-90.0f64, 90.0f64);
+    let mut lon_range = (-180.0f64, 180.0f64);
+    let mut out = String::with_capacity(precision);
+    let mut bit = 0usize;
+    let mut ch = 0u32;
+    let mut even = true; // even bits encode longitude
+    while out.len() < precision {
+        if even {
+            let mid = (lon_range.0 + lon_range.1) / 2.0;
+            if p.lon >= mid {
+                ch = (ch << 1) | 1;
+                lon_range.0 = mid;
+            } else {
+                ch <<= 1;
+                lon_range.1 = mid;
+            }
+        } else {
+            let mid = (lat_range.0 + lat_range.1) / 2.0;
+            if p.lat >= mid {
+                ch = (ch << 1) | 1;
+                lat_range.0 = mid;
+            } else {
+                ch <<= 1;
+                lat_range.1 = mid;
+            }
+        }
+        even = !even;
+        bit += 1;
+        if bit == 5 {
+            out.push(BASE32[ch as usize] as char);
+            bit = 0;
+            ch = 0;
+        }
+    }
+    out
+}
+
+/// Decodes a geohash to the bounding box of its cell.
+///
+/// Returns `None` for an empty string or any character outside the geohash
+/// alphabet.
+pub fn decode_bbox(hash: &str) -> Option<BBox> {
+    if hash.is_empty() || hash.len() > MAX_PRECISION {
+        return None;
+    }
+    let mut lat_range = (-90.0f64, 90.0f64);
+    let mut lon_range = (-180.0f64, 180.0f64);
+    let mut even = true;
+    for c in hash.bytes() {
+        let idx = base32_index(c)?;
+        for shift in (0..5).rev() {
+            let bit = (idx >> shift) & 1;
+            if even {
+                let mid = (lon_range.0 + lon_range.1) / 2.0;
+                if bit == 1 {
+                    lon_range.0 = mid;
+                } else {
+                    lon_range.1 = mid;
+                }
+            } else {
+                let mid = (lat_range.0 + lat_range.1) / 2.0;
+                if bit == 1 {
+                    lat_range.0 = mid;
+                } else {
+                    lat_range.1 = mid;
+                }
+            }
+            even = !even;
+        }
+    }
+    Some(BBox::new(
+        lat_range.0,
+        lon_range.0,
+        lat_range.1,
+        lon_range.1,
+    ))
+}
+
+/// Decodes a geohash to its cell centre.
+pub fn decode(hash: &str) -> Option<Point> {
+    decode_bbox(hash).map(|b| b.center())
+}
+
+/// The eight neighbouring cells of `hash` (N, NE, E, SE, S, SW, W, NW),
+/// computed by re-encoding points just outside the cell. Cells at the poles
+/// may return fewer than eight distinct neighbours.
+pub fn neighbors(hash: &str) -> Vec<String> {
+    let Some(b) = decode_bbox(hash) else {
+        return Vec::new();
+    };
+    let precision = hash.len();
+    let dlat = b.max_lat - b.min_lat;
+    let dlon = b.max_lon - b.min_lon;
+    let c = b.center();
+    let mut out = Vec::with_capacity(8);
+    for (dy, dx) in [
+        (1, 0),
+        (1, 1),
+        (0, 1),
+        (-1, 1),
+        (-1, 0),
+        (-1, -1),
+        (0, -1),
+        (1, -1),
+    ] {
+        let lat = c.lat + dy as f64 * dlat;
+        let lon = c.lon + dx as f64 * dlon;
+        if !(-90.0..=90.0).contains(&lat) {
+            continue;
+        }
+        // Wrap longitude across the antimeridian.
+        let lon = if lon > 180.0 {
+            lon - 360.0
+        } else if lon < -180.0 {
+            lon + 360.0
+        } else {
+            lon
+        };
+        let h = encode(Point::new(lat, lon), precision);
+        if h != hash && !out.contains(&h) {
+            out.push(h);
+        }
+    }
+    out
+}
+
+/// All geohash cells of `precision` characters that intersect `bbox`.
+///
+/// Walks the cell lattice row by row starting from the box's south-west
+/// corner. The result is capped at `limit` cells; `None` is returned when the
+/// box would need more (callers then fall back to a coarser precision or a
+/// full scan).
+pub fn cover_bbox(bbox: &BBox, precision: usize, limit: usize) -> Option<Vec<String>> {
+    let sw = encode(Point::new(bbox.min_lat, bbox.min_lon), precision);
+    let cell = decode_bbox(&sw)?;
+    let dlat = cell.max_lat - cell.min_lat;
+    let dlon = cell.max_lon - cell.min_lon;
+    let mut out = Vec::new();
+    let mut lat = cell.center().lat;
+    while lat <= bbox.max_lat + dlat / 2.0 {
+        let mut lon = cell.center().lon;
+        while lon <= bbox.max_lon + dlon / 2.0 {
+            if out.len() >= limit {
+                return None;
+            }
+            let h = encode(
+                Point::new(lat.clamp(-90.0, 90.0), lon.clamp(-180.0, 180.0)),
+                precision,
+            );
+            if !out.contains(&h) {
+                out.push(h);
+            }
+            lon += dlon;
+        }
+        lat += dlat;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_matches_known_values() {
+        // Reference hashes from geohash.org.
+        let p = Point::new(57.64911, 10.40744);
+        assert_eq!(encode(p, 11), "u4pruydqqvj");
+        assert_eq!(encode(Point::new(37.5663, 126.9779), 5), "wydm9");
+    }
+
+    #[test]
+    fn decode_of_encode_contains_original() {
+        let p = Point::new(35.1798, 129.0750);
+        for precision in 1..=MAX_PRECISION {
+            let h = encode(p, precision);
+            let b = decode_bbox(&h).unwrap();
+            assert!(b.contains(p), "precision {precision}: {b} missing {p}");
+        }
+    }
+
+    #[test]
+    fn cell_size_shrinks_with_precision() {
+        let p = Point::new(37.5, 127.0);
+        let mut prev = f64::INFINITY;
+        for precision in 1..=8 {
+            let area = decode_bbox(&encode(p, precision)).unwrap().area_deg2();
+            assert!(area < prev);
+            prev = area;
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert!(decode_bbox("").is_none());
+        assert!(decode_bbox("abc").is_none()); // 'a' not in alphabet
+        assert!(decode_bbox("wydm9wydm9wydm9").is_none()); // too long
+    }
+
+    #[test]
+    fn decode_is_case_insensitive() {
+        assert_eq!(decode_bbox("WYDM9"), decode_bbox("wydm9"));
+    }
+
+    #[test]
+    fn neighbors_are_adjacent_and_distinct() {
+        let h = encode(Point::new(37.5663, 126.9779), 6);
+        let ns = neighbors(&h);
+        assert_eq!(ns.len(), 8);
+        let b = decode_bbox(&h).unwrap();
+        for n in &ns {
+            let nb = decode_bbox(n).unwrap();
+            assert!(b.inflate(1e-9).intersects(&nb), "{n} not adjacent to {h}");
+        }
+    }
+
+    #[test]
+    fn cover_bbox_covers_every_corner() {
+        let b = BBox::new(37.4, 126.8, 37.7, 127.2);
+        let cells = cover_bbox(&b, 5, 256).unwrap();
+        assert!(!cells.is_empty());
+        for p in [
+            Point::new(b.min_lat, b.min_lon),
+            Point::new(b.min_lat, b.max_lon),
+            Point::new(b.max_lat, b.min_lon),
+            Point::new(b.max_lat, b.max_lon),
+            b.center(),
+        ] {
+            let h = encode(p, 5);
+            assert!(cells.contains(&h), "cell {h} for {p} missing from cover");
+        }
+    }
+
+    #[test]
+    fn cover_bbox_respects_limit() {
+        let b = BBox::new(33.0, 124.0, 39.0, 132.0);
+        assert!(cover_bbox(&b, 7, 16).is_none());
+    }
+}

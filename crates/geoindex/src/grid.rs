@@ -1,0 +1,265 @@
+//! A uniform grid index over a fixed bounding box.
+//!
+//! Simpler than the R-tree and very fast when the data distribution is known
+//! in advance (the Korean gazetteer covers a fixed extent). Kept both as a
+//! production option for the reverse geocoder and as a comparison structure
+//! in the benchmarks.
+
+use crate::point::{BBox, Point};
+use crate::rtree::Spatial;
+
+/// A uniform grid of `cols × rows` cells covering `extent`. Items are binned
+/// by their representative point; items outside the extent are clamped to the
+/// border cells.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T: Spatial> {
+    extent: BBox,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<usize>>,
+    items: Vec<T>,
+}
+
+impl<T: Spatial> GridIndex<T> {
+    /// Builds a grid index with the given resolution.
+    ///
+    /// # Panics
+    /// Panics if `cols` or `rows` is zero.
+    pub fn new(extent: BBox, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must have at least one cell");
+        GridIndex {
+            extent,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+            items: Vec::new(),
+        }
+    }
+
+    /// Builds a grid sized so the average cell holds roughly
+    /// `target_per_cell` items, then inserts all of `items`.
+    pub fn with_items(extent: BBox, items: Vec<T>, target_per_cell: usize) -> Self {
+        let n_cells = (items.len() / target_per_cell.max(1)).max(1);
+        let side = (n_cells as f64).sqrt().ceil() as usize;
+        let mut g = GridIndex::new(extent, side.max(1), side.max(1));
+        for item in items {
+            g.insert(item);
+        }
+        g
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let fx = (p.lon - self.extent.min_lon) / (self.extent.max_lon - self.extent.min_lon);
+        let fy = (p.lat - self.extent.min_lat) / (self.extent.max_lat - self.extent.min_lat);
+        let cx = ((fx * self.cols as f64) as isize).clamp(0, self.cols as isize - 1) as usize;
+        let cy = ((fy * self.rows as f64) as isize).clamp(0, self.rows as isize - 1) as usize;
+        (cx, cy)
+    }
+
+    fn cell_index(&self, cx: usize, cy: usize) -> usize {
+        cy * self.cols + cx
+    }
+
+    /// Inserts an item, binned by its representative point.
+    pub fn insert(&mut self, item: T) {
+        let (cx, cy) = self.cell_of(item.center());
+        let idx = self.items.len();
+        self.items.push(item);
+        let cell = self.cell_index(cx, cy);
+        self.cells[cell].push(idx);
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Access an item by the index returned from queries.
+    pub fn get(&self, idx: usize) -> &T {
+        &self.items[idx]
+    }
+
+    /// Indices of items whose representative point lies inside `query`.
+    pub fn query_points_in(&self, query: &BBox) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.items.is_empty() || !query.intersects(&self.extent) {
+            return out;
+        }
+        let (cx0, cy0) = self.cell_of(Point::new(query.min_lat, query.min_lon));
+        let (cx1, cy1) = self.cell_of(Point::new(query.max_lat, query.max_lon));
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                for &i in &self.cells[self.cell_index(cx, cy)] {
+                    if query.contains(self.items[i].center()) {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Nearest item to `query` by [`Point::approx_dist2`], searching cells in
+    /// expanding rings around the query cell and stopping once the ring's
+    /// minimum possible distance exceeds the best hit.
+    pub fn nearest(&self, query: Point) -> Option<(usize, f64)> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let (qcx, qcy) = self.cell_of(query);
+        let cell_w = (self.extent.max_lon - self.extent.min_lon) / self.cols as f64;
+        let cell_h = (self.extent.max_lat - self.extent.min_lat) / self.rows as f64;
+        let coslat = query.lat.to_radians().cos();
+        // Conservative lower bound for the distance to any cell `ring` steps
+        // away: (ring - 1) whole cells on the shorter axis.
+        let cell_min = (cell_h).min(cell_w * coslat).max(1e-9);
+
+        let mut best: Option<(usize, f64)> = None;
+        let max_ring = self.cols.max(self.rows);
+        for ring in 0..=max_ring {
+            if let Some((_, bd2)) = best {
+                let ring_min = (ring.saturating_sub(1)) as f64 * cell_min;
+                if ring_min * ring_min > bd2 {
+                    break;
+                }
+            }
+            let mut any_cell = false;
+            for (cx, cy) in ring_cells(qcx, qcy, ring, self.cols, self.rows) {
+                any_cell = true;
+                for &i in &self.cells[self.cell_index(cx, cy)] {
+                    let d2 = query.approx_dist2(self.items[i].center());
+                    if best.is_none_or(|(_, bd2)| d2 < bd2) {
+                        best = Some((i, d2));
+                    }
+                }
+            }
+            if !any_cell && best.is_some() {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// Yields the in-bounds cells forming the square ring at Chebyshev distance
+/// `ring` around `(cx, cy)`.
+fn ring_cells(
+    cx: usize,
+    cy: usize,
+    ring: usize,
+    cols: usize,
+    rows: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    let (cx, cy, r) = (cx as isize, cy as isize, ring as isize);
+    let (cols, rows) = (cols as isize, rows as isize);
+    let mut cells = Vec::new();
+    if ring == 0 {
+        cells.push((cx, cy));
+    } else {
+        for dx in -r..=r {
+            cells.push((cx + dx, cy - r));
+            cells.push((cx + dx, cy + r));
+        }
+        for dy in (-r + 1)..r {
+            cells.push((cx - r, cy + dy));
+            cells.push((cx + r, cy + dy));
+        }
+    }
+    cells
+        .into_iter()
+        .filter(move |&(x, y)| x >= 0 && y >= 0 && x < cols && y < rows)
+        .map(|(x, y)| (x as usize, y as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extent() -> BBox {
+        BBox::new(33.0, 124.0, 39.0, 132.0)
+    }
+
+    fn cloud(n: usize) -> Vec<Point> {
+        let mut state: u64 = 0xDEADBEEFCAFE;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(33.0 + next() * 6.0, 124.0 + next() * 8.0))
+            .collect()
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g: GridIndex<Point> = GridIndex::new(extent(), 4, 4);
+        assert!(g.is_empty());
+        assert!(g.nearest(Point::new(36.0, 127.0)).is_none());
+        assert!(g.query_points_in(&extent()).is_empty());
+    }
+
+    #[test]
+    fn query_matches_scan() {
+        let pts = cloud(600);
+        let g = GridIndex::with_items(extent(), pts.clone(), 8);
+        let q = BBox::new(35.0, 126.0, 37.0, 129.0);
+        let mut got = g.query_points_in(&q);
+        got.sort_unstable();
+        let mut expect: Vec<usize> = (0..pts.len()).filter(|&i| q.contains(pts[i])).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = cloud(400);
+        let g = GridIndex::with_items(extent(), pts.clone(), 4);
+        for &q in &[
+            Point::new(36.5, 127.3),
+            Point::new(33.0, 124.0),
+            Point::new(38.99, 131.99),
+            Point::new(40.0, 120.0), // outside the extent
+        ] {
+            let (gi, _) = g.nearest(q).unwrap();
+            let bi = (0..pts.len())
+                .min_by(|&a, &b| {
+                    q.approx_dist2(pts[a])
+                        .partial_cmp(&q.approx_dist2(pts[b]))
+                        .unwrap()
+                })
+                .unwrap();
+            assert_eq!(
+                q.approx_dist2(pts[gi]),
+                q.approx_dist2(pts[bi]),
+                "grid nearest disagreed with scan for {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn items_outside_extent_are_clamped_but_findable() {
+        let mut g: GridIndex<Point> = GridIndex::new(extent(), 8, 8);
+        let outside = Point::new(50.0, 100.0);
+        g.insert(outside);
+        let (i, _) = g.nearest(Point::new(38.0, 125.0)).unwrap();
+        assert_eq!(*g.get(i), outside);
+    }
+
+    #[test]
+    fn ring_cells_cover_square() {
+        let cells: Vec<_> = ring_cells(2, 2, 1, 5, 5).collect();
+        assert_eq!(cells.len(), 8);
+        let cells0: Vec<_> = ring_cells(2, 2, 0, 5, 5).collect();
+        assert_eq!(cells0, vec![(2, 2)]);
+        // Ring partially off-grid is clipped.
+        let clipped: Vec<_> = ring_cells(0, 0, 1, 5, 5).collect();
+        assert_eq!(clipped.len(), 3);
+    }
+}

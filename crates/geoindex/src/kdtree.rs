@@ -1,0 +1,217 @@
+//! A 2-d k-d tree over points.
+//!
+//! Complements the R-tree (arbitrary bboxed items, incremental insert) and
+//! the grid (fixed extent): the k-d tree is the classic static structure
+//! for pure point sets — median-split build, O(log n) expected nearest
+//! neighbour — and gives the benchmarks a third real competitor.
+//!
+//! Distances use the same latitude-corrected equirectangular metric as the
+//! rest of the crate ([`Point::approx_dist2`]), so all indexes agree with
+//! the brute-force oracle.
+
+use crate::point::{BBox, Point};
+
+/// Implicit-layout k-d tree: node `i` has children `2i+1`, `2i+2`.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    /// Node points in heap order; `None` marks holes past the frontier.
+    nodes: Vec<Option<(Point, u32)>>,
+    len: usize,
+}
+
+impl KdTree {
+    /// Builds from a point set; original indices are preserved in results.
+    pub fn build(points: Vec<Point>) -> Self {
+        let len = points.len();
+        if len == 0 {
+            return KdTree {
+                nodes: Vec::new(),
+                len: 0,
+            };
+        }
+        // Heap size: next power of two bound keeps holes manageable.
+        let cap = (2 * len.next_power_of_two()).max(1);
+        let mut nodes: Vec<Option<(Point, u32)>> = vec![None; cap];
+        let mut items: Vec<(Point, u32)> = points
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u32))
+            .collect();
+        Self::build_rec(&mut items, 0, &mut nodes, 0);
+        KdTree { nodes, len }
+    }
+
+    fn build_rec(
+        items: &mut [(Point, u32)],
+        depth: usize,
+        nodes: &mut Vec<Option<(Point, u32)>>,
+        at: usize,
+    ) {
+        if items.is_empty() {
+            return;
+        }
+        if at >= nodes.len() {
+            nodes.resize(at + 1, None);
+        }
+        let mid = items.len() / 2;
+        if depth.is_multiple_of(2) {
+            items.select_nth_unstable_by(mid, |a, b| a.0.lat.partial_cmp(&b.0.lat).unwrap());
+        } else {
+            items.select_nth_unstable_by(mid, |a, b| a.0.lon.partial_cmp(&b.0.lon).unwrap());
+        }
+        nodes[at] = Some(items[mid]);
+        let (left, rest) = items.split_at_mut(mid);
+        let right = &mut rest[1..];
+        Self::build_rec(left, depth + 1, nodes, 2 * at + 1);
+        Self::build_rec(right, depth + 1, nodes, 2 * at + 2);
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Indices of points inside `query` (inclusive edges).
+    pub fn query_bbox(&self, query: &BBox) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.len > 0 {
+            self.range_rec(0, 0, query, &mut out);
+        }
+        out
+    }
+
+    fn range_rec(&self, at: usize, depth: usize, query: &BBox, out: &mut Vec<usize>) {
+        let Some(Some((p, idx))) = self.nodes.get(at) else {
+            return;
+        };
+        if query.contains(*p) {
+            out.push(*idx as usize);
+        }
+        let (lo, hi, v) = if depth.is_multiple_of(2) {
+            (query.min_lat, query.max_lat, p.lat)
+        } else {
+            (query.min_lon, query.max_lon, p.lon)
+        };
+        if lo <= v {
+            self.range_rec(2 * at + 1, depth + 1, query, out);
+        }
+        if hi >= v {
+            self.range_rec(2 * at + 2, depth + 1, query, out);
+        }
+    }
+
+    /// The nearest point to `query` by [`Point::approx_dist2`].
+    pub fn nearest(&self, query: Point) -> Option<(usize, f64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best = (usize::MAX, f64::INFINITY);
+        self.nearest_rec(0, 0, query, &mut best);
+        (best.0 != usize::MAX).then_some(best)
+    }
+
+    fn nearest_rec(&self, at: usize, depth: usize, query: Point, best: &mut (usize, f64)) {
+        let Some(Some((p, idx))) = self.nodes.get(at) else {
+            return;
+        };
+        let d2 = query.approx_dist2(*p);
+        if d2 < best.1 {
+            *best = (*idx as usize, d2);
+        }
+        let (qv, pv, scale) = if depth.is_multiple_of(2) {
+            (query.lat, p.lat, 1.0)
+        } else {
+            (query.lon, p.lon, query.lat.to_radians().cos())
+        };
+        let (near, far) = if qv < pv {
+            (2 * at + 1, 2 * at + 2)
+        } else {
+            (2 * at + 2, 2 * at + 1)
+        };
+        self.nearest_rec(near, depth + 1, query, best);
+        // Prune: only descend the far side if the splitting plane is closer
+        // than the best hit (in the corrected metric).
+        let plane = (qv - pv) * scale;
+        if plane * plane < best.1 {
+            self.nearest_rec(far, depth + 1, query, best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize) -> Vec<Point> {
+        let mut state: u64 = 0xABCDEF12345;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(33.0 + next() * 6.0, 124.0 + next() * 8.0))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(vec![]);
+        assert!(t.is_empty());
+        assert!(t.nearest(Point::new(37.0, 127.0)).is_none());
+        assert!(t.query_bbox(&BBox::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn bbox_query_matches_scan() {
+        let pts = cloud(700);
+        let t = KdTree::build(pts.clone());
+        assert_eq!(t.len(), 700);
+        let q = BBox::new(35.0, 126.0, 37.0, 129.0);
+        let mut got = t.query_bbox(&q);
+        got.sort_unstable();
+        let mut expect: Vec<usize> = (0..pts.len()).filter(|&i| q.contains(pts[i])).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn nearest_matches_scan() {
+        let pts = cloud(500);
+        let t = KdTree::build(pts.clone());
+        for &q in &[
+            Point::new(36.5, 127.3),
+            Point::new(33.0, 124.0),
+            Point::new(38.99, 131.99),
+            Point::new(40.0, 120.0),
+        ] {
+            let (_, dt) = t.nearest(q).unwrap();
+            let db = pts
+                .iter()
+                .map(|&p| q.approx_dist2(p))
+                .fold(f64::INFINITY, f64::min);
+            assert!((dt - db).abs() < 1e-12, "kd {dt} vs scan {db} at {q}");
+        }
+    }
+
+    #[test]
+    fn single_point() {
+        let p = Point::new(37.0, 127.0);
+        let t = KdTree::build(vec![p]);
+        assert_eq!(t.nearest(Point::new(35.0, 129.0)).unwrap().0, 0);
+        assert_eq!(t.query_bbox(&BBox::from_point(p)), vec![0]);
+    }
+
+    #[test]
+    fn duplicates_retained() {
+        let p = Point::new(36.0, 128.0);
+        let t = KdTree::build(vec![p; 9]);
+        assert_eq!(t.query_bbox(&BBox::from_point(p).inflate(1e-9)).len(), 9);
+    }
+}

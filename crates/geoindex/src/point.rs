@@ -1,0 +1,352 @@
+//! Geographic points and bounding boxes on the WGS-84 ellipsoid (treated as a
+//! sphere; sub-meter accuracy is irrelevant at district granularity).
+
+use std::fmt;
+
+/// Mean Earth radius in kilometres, used by all haversine computations.
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A geographic coordinate: latitude and longitude in decimal degrees.
+///
+/// Latitude is positive north, longitude positive east. The type is `Copy`
+/// and 16 bytes; it is passed by value throughout the workspace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// Latitude in degrees, in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl Point {
+    /// Creates a point from latitude/longitude degrees.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the coordinates are outside their valid
+    /// ranges or not finite.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        debug_assert!(lat.is_finite() && lon.is_finite(), "non-finite coordinate");
+        debug_assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
+        debug_assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
+        Point { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    pub fn haversine_km(self, other: Point) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// Squared equirectangular distance in *degree* units, latitude-corrected
+    /// at this point's latitude.
+    ///
+    /// Monotone in true distance for nearby points, and much cheaper than
+    /// haversine — this is the metric the nearest-neighbour searches order
+    /// candidates by before a final haversine pass.
+    pub fn approx_dist2(self, other: Point) -> f64 {
+        let coslat = self.lat.to_radians().cos();
+        let dlat = self.lat - other.lat;
+        let dlon = (self.lon - other.lon) * coslat;
+        dlat * dlat + dlon * dlon
+    }
+
+    /// The destination point after travelling `distance_km` along the initial
+    /// `bearing_deg` (clockwise from north) on a great circle.
+    pub fn destination(self, bearing_deg: f64, distance_km: f64) -> Point {
+        let delta = distance_km / EARTH_RADIUS_KM;
+        let theta = bearing_deg.to_radians();
+        let lat1 = self.lat.to_radians();
+        let lon1 = self.lon.to_radians();
+        let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+        let lon2 = lon1
+            + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
+        let lat = lat2.to_degrees().clamp(-90.0, 90.0);
+        let mut lon = lon2.to_degrees();
+        if lon > 180.0 {
+            lon -= 360.0;
+        } else if lon < -180.0 {
+            lon += 360.0;
+        }
+        Point::new(lat, lon)
+    }
+
+    /// The midpoint of the straight segment in lat/lon space (adequate for
+    /// the sub-degree spans this workspace deals with).
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.lat + other.lat) / 2.0, (self.lon + other.lon) / 2.0)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.5}, {:.5})", self.lat, self.lon)
+    }
+}
+
+/// An axis-aligned bounding box in latitude/longitude space.
+///
+/// Boxes never wrap the antimeridian; all data in this workspace lives well
+/// inside one hemisphere (Korea), so wrap handling is deliberately omitted
+/// and enforced by debug assertions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BBox {
+    /// Southern edge (degrees).
+    pub min_lat: f64,
+    /// Western edge (degrees).
+    pub min_lon: f64,
+    /// Northern edge (degrees).
+    pub max_lat: f64,
+    /// Eastern edge (degrees).
+    pub max_lon: f64,
+}
+
+impl BBox {
+    /// Creates a bounding box; min must not exceed max on either axis.
+    pub fn new(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64) -> Self {
+        debug_assert!(min_lat <= max_lat, "min_lat {min_lat} > max_lat {max_lat}");
+        debug_assert!(min_lon <= max_lon, "min_lon {min_lon} > max_lon {max_lon}");
+        BBox {
+            min_lat,
+            min_lon,
+            max_lat,
+            max_lon,
+        }
+    }
+
+    /// A degenerate box containing exactly `p`.
+    pub fn from_point(p: Point) -> Self {
+        BBox::new(p.lat, p.lon, p.lat, p.lon)
+    }
+
+    /// The smallest box covering every point in the iterator, or `None` if it
+    /// is empty.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut b = BBox::from_point(first);
+        for p in it {
+            b.expand_point(p);
+        }
+        Some(b)
+    }
+
+    /// True if `p` lies inside the box (inclusive of edges).
+    pub fn contains(&self, p: Point) -> bool {
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
+    }
+
+    /// True if the two boxes share any point (inclusive of edges).
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min_lat <= other.max_lat
+            && self.max_lat >= other.min_lat
+            && self.min_lon <= other.max_lon
+            && self.max_lon >= other.min_lon
+    }
+
+    /// True if `other` lies entirely inside this box.
+    pub fn contains_bbox(&self, other: &BBox) -> bool {
+        self.min_lat <= other.min_lat
+            && self.max_lat >= other.max_lat
+            && self.min_lon <= other.min_lon
+            && self.max_lon >= other.max_lon
+    }
+
+    /// Grows the box in place so it covers `p`.
+    pub fn expand_point(&mut self, p: Point) {
+        self.min_lat = self.min_lat.min(p.lat);
+        self.max_lat = self.max_lat.max(p.lat);
+        self.min_lon = self.min_lon.min(p.lon);
+        self.max_lon = self.max_lon.max(p.lon);
+    }
+
+    /// Grows the box in place so it covers `other`.
+    pub fn expand_bbox(&mut self, other: &BBox) {
+        self.min_lat = self.min_lat.min(other.min_lat);
+        self.max_lat = self.max_lat.max(other.max_lat);
+        self.min_lon = self.min_lon.min(other.min_lon);
+        self.max_lon = self.max_lon.max(other.max_lon);
+    }
+
+    /// The union of the two boxes, without mutating either.
+    pub fn union(&self, other: &BBox) -> BBox {
+        let mut b = *self;
+        b.expand_bbox(other);
+        b
+    }
+
+    /// The geometric centre of the box.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+    }
+
+    /// Area in squared degrees — a cheap proxy used by the R-tree split
+    /// heuristics, *not* a surface area.
+    pub fn area_deg2(&self) -> f64 {
+        (self.max_lat - self.min_lat) * (self.max_lon - self.min_lon)
+    }
+
+    /// Half-perimeter in degrees (the R-tree "margin" metric).
+    pub fn margin_deg(&self) -> f64 {
+        (self.max_lat - self.min_lat) + (self.max_lon - self.min_lon)
+    }
+
+    /// How much `area_deg2` would grow if the box were expanded to cover
+    /// `other`.
+    pub fn enlargement(&self, other: &BBox) -> f64 {
+        self.union(other).area_deg2() - self.area_deg2()
+    }
+
+    /// The box expanded by `margin_deg` degrees on every side (clamped to the
+    /// valid coordinate ranges).
+    pub fn inflate(&self, margin_deg: f64) -> BBox {
+        BBox::new(
+            (self.min_lat - margin_deg).max(-90.0),
+            (self.min_lon - margin_deg).max(-180.0),
+            (self.max_lat + margin_deg).min(90.0),
+            (self.max_lon + margin_deg).min(180.0),
+        )
+    }
+
+    /// Minimum squared equirectangular distance (degree units) from `p` to
+    /// the box; zero when `p` is inside. Uses the latitude correction of `p`.
+    pub fn min_dist2(&self, p: Point) -> f64 {
+        let clamped = Point {
+            lat: p.lat.clamp(self.min_lat, self.max_lat),
+            lon: p.lon.clamp(self.min_lon, self.max_lon),
+        };
+        p.approx_dist2(clamped)
+    }
+}
+
+impl fmt::Display for BBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.4},{:.4} .. {:.4},{:.4}]",
+            self.min_lat, self.min_lon, self.max_lat, self.max_lon
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEOUL_CITY_HALL: Point = Point {
+        lat: 37.5663,
+        lon: 126.9779,
+    };
+    const BUSAN_CITY_HALL: Point = Point {
+        lat: 35.1798,
+        lon: 129.0750,
+    };
+
+    #[test]
+    fn haversine_seoul_busan_is_about_325km() {
+        let d = SEOUL_CITY_HALL.haversine_km(BUSAN_CITY_HALL);
+        assert!((315.0..335.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric_and_zero_on_self() {
+        let a = SEOUL_CITY_HALL.haversine_km(BUSAN_CITY_HALL);
+        let b = BUSAN_CITY_HALL.haversine_km(SEOUL_CITY_HALL);
+        assert!((a - b).abs() < 1e-9);
+        assert_eq!(SEOUL_CITY_HALL.haversine_km(SEOUL_CITY_HALL), 0.0);
+    }
+
+    #[test]
+    fn destination_roundtrip() {
+        let p = SEOUL_CITY_HALL.destination(90.0, 10.0);
+        let d = SEOUL_CITY_HALL.haversine_km(p);
+        assert!((d - 10.0).abs() < 1e-6, "distance after travel was {d}");
+        assert!(
+            p.lon > SEOUL_CITY_HALL.lon,
+            "eastward travel must increase longitude"
+        );
+    }
+
+    #[test]
+    fn destination_longitude_normalized() {
+        let near_antimeridian = Point::new(0.0, 179.9);
+        let p = near_antimeridian.destination(90.0, 100.0);
+        assert!((-180.0..=180.0).contains(&p.lon));
+    }
+
+    #[test]
+    fn approx_dist2_orders_like_haversine_nearby() {
+        let a = Point::new(37.50, 127.00);
+        let b = Point::new(37.52, 127.05);
+        let c = Point::new(37.80, 127.30);
+        assert!(SEOUL_CITY_HALL.approx_dist2(a) < SEOUL_CITY_HALL.approx_dist2(c));
+        assert!(SEOUL_CITY_HALL.approx_dist2(b) < SEOUL_CITY_HALL.approx_dist2(c));
+    }
+
+    #[test]
+    fn bbox_contains_and_intersects() {
+        let b = BBox::new(37.0, 126.0, 38.0, 128.0);
+        assert!(b.contains(SEOUL_CITY_HALL));
+        assert!(!b.contains(BUSAN_CITY_HALL));
+        assert!(b.intersects(&BBox::new(37.5, 127.5, 39.0, 129.0)));
+        assert!(!b.intersects(&BBox::new(34.0, 126.0, 36.0, 130.0)));
+        // Edge touching counts as intersecting.
+        assert!(b.intersects(&BBox::new(38.0, 128.0, 39.0, 129.0)));
+    }
+
+    #[test]
+    fn bbox_from_points_covers_all() {
+        let pts = [SEOUL_CITY_HALL, BUSAN_CITY_HALL, Point::new(33.5, 126.5)];
+        let b = BBox::from_points(pts).unwrap();
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert!(BBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn bbox_union_and_enlargement() {
+        let a = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let c = BBox::new(2.0, 2.0, 3.0, 3.0);
+        let u = a.union(&c);
+        assert!(u.contains_bbox(&a) && u.contains_bbox(&c));
+        assert!((a.enlargement(&c) - (9.0 - 1.0)).abs() < 1e-12);
+        assert_eq!(a.enlargement(&BBox::new(0.2, 0.2, 0.8, 0.8)), 0.0);
+    }
+
+    #[test]
+    fn bbox_min_dist2_zero_inside_positive_outside() {
+        let b = BBox::new(37.0, 126.0, 38.0, 128.0);
+        assert_eq!(b.min_dist2(SEOUL_CITY_HALL), 0.0);
+        assert!(b.min_dist2(BUSAN_CITY_HALL) > 0.0);
+    }
+
+    #[test]
+    fn bbox_center_and_margin() {
+        let b = BBox::new(10.0, 20.0, 12.0, 26.0);
+        assert_eq!(b.center(), Point::new(11.0, 23.0));
+        assert!((b.margin_deg() - 8.0).abs() < 1e-12);
+        assert!((b.area_deg2() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflate_clamps_to_valid_ranges() {
+        let b = BBox::new(89.0, 179.0, 90.0, 180.0).inflate(5.0);
+        assert!(b.max_lat <= 90.0 && b.max_lon <= 180.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Simple ring polygons in latitude/longitude space.
+//!
+//! The gazetteer uses these for synthetic district footprints: containment
+//! tests (ray casting), centroids, planar areas and deterministic interior
+//! sampling for the tweet generator.
+
+use crate::point::{BBox, Point};
+
+/// A simple (non-self-intersecting) polygon given by its exterior ring.
+///
+/// The ring is stored *without* a repeated closing vertex; the edge from the
+/// last vertex back to the first is implicit. Vertex order may be clockwise
+/// or counter-clockwise.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+    bbox: BBox,
+}
+
+impl Polygon {
+    /// Builds a polygon from at least three vertices.
+    ///
+    /// Returns `None` if fewer than three vertices are supplied.
+    pub fn new(vertices: Vec<Point>) -> Option<Self> {
+        if vertices.len() < 3 {
+            return None;
+        }
+        let bbox = BBox::from_points(vertices.iter().copied())?;
+        Some(Polygon { vertices, bbox })
+    }
+
+    /// An axis-aligned rectangle polygon.
+    pub fn rect(bbox: BBox) -> Self {
+        Polygon::new(vec![
+            Point::new(bbox.min_lat, bbox.min_lon),
+            Point::new(bbox.min_lat, bbox.max_lon),
+            Point::new(bbox.max_lat, bbox.max_lon),
+            Point::new(bbox.max_lat, bbox.min_lon),
+        ])
+        .expect("rectangle always has 4 vertices")
+    }
+
+    /// A regular `n`-gon approximating a circle of `radius_km` around
+    /// `center`. Used to give districts plausible rounded footprints.
+    pub fn regular(center: Point, radius_km: f64, n: usize) -> Option<Self> {
+        if n < 3 || radius_km <= 0.0 {
+            return None;
+        }
+        let vertices = (0..n)
+            .map(|i| center.destination(360.0 * i as f64 / n as f64, radius_km))
+            .collect();
+        Polygon::new(vertices)
+    }
+
+    /// The exterior ring (no repeated closing vertex).
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// The polygon's bounding box (precomputed at construction).
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// Ray-casting point-in-polygon test. Points exactly on an edge may land
+    /// on either side; district borders are fuzzy in reality too, so callers
+    /// must not rely on edge behaviour.
+    pub fn contains(&self, p: Point) -> bool {
+        if !self.bbox.contains(p) {
+            return false;
+        }
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            // Cast a ray in +lon direction; count crossings in lat.
+            if (vi.lat > p.lat) != (vj.lat > p.lat) {
+                let lon_at = vj.lon + (p.lat - vj.lat) / (vi.lat - vj.lat) * (vi.lon - vj.lon);
+                if p.lon < lon_at {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Planar (shoelace) centroid. For the small, convex-ish district shapes
+    /// used here the planar approximation is well inside the polygon.
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len();
+        let mut cx = 0.0; // lon
+        let mut cy = 0.0; // lat
+        let mut a2 = 0.0; // twice signed area
+        let mut j = n - 1;
+        for i in 0..n {
+            let (xi, yi) = (self.vertices[i].lon, self.vertices[i].lat);
+            let (xj, yj) = (self.vertices[j].lon, self.vertices[j].lat);
+            let cross = xj * yi - xi * yj;
+            a2 += cross;
+            cx += (xj + xi) * cross;
+            cy += (yj + yi) * cross;
+            j = i;
+        }
+        if a2.abs() < 1e-12 {
+            // Degenerate: fall back to the vertex mean.
+            let inv = 1.0 / n as f64;
+            let lat = self.vertices.iter().map(|p| p.lat).sum::<f64>() * inv;
+            let lon = self.vertices.iter().map(|p| p.lon).sum::<f64>() * inv;
+            return Point::new(lat, lon);
+        }
+        Point::new(cy / (3.0 * a2), cx / (3.0 * a2))
+    }
+
+    /// Absolute shoelace area in squared degrees (planar approximation).
+    pub fn area_deg2(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut a2 = 0.0;
+        let mut j = n - 1;
+        for i in 0..n {
+            a2 += self.vertices[j].lon * self.vertices[i].lat
+                - self.vertices[i].lon * self.vertices[j].lat;
+            j = i;
+        }
+        (a2 / 2.0).abs()
+    }
+
+    /// Approximate area in km², converting the degree area at the centroid
+    /// latitude.
+    pub fn area_km2(&self) -> f64 {
+        let lat = self.centroid().lat.to_radians();
+        const KM_PER_DEG: f64 = 111.195; // mean km per degree of latitude
+        self.area_deg2() * KM_PER_DEG * KM_PER_DEG * lat.cos()
+    }
+
+    /// Draws a uniformly distributed interior point by rejection sampling in
+    /// the bounding box, driven entirely by the caller-supplied uniform
+    /// source `uniform01` (called repeatedly). Falls back to the centroid
+    /// after 256 rejected candidates (possible only for pathologically thin
+    /// polygons).
+    pub fn sample_interior<F: FnMut() -> f64>(&self, mut uniform01: F) -> Point {
+        for _ in 0..256 {
+            let lat = self.bbox.min_lat + uniform01() * (self.bbox.max_lat - self.bbox.min_lat);
+            let lon = self.bbox.min_lon + uniform01() * (self.bbox.max_lon - self.bbox.min_lon);
+            let p = Point::new(lat, lon);
+            if self.contains(p) {
+                return p;
+            }
+        }
+        self.centroid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rect(BBox::new(0.0, 0.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn rejects_degenerate_rings() {
+        assert!(Polygon::new(vec![]).is_none());
+        assert!(Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn square_containment() {
+        let sq = unit_square();
+        assert!(sq.contains(Point::new(0.5, 0.5)));
+        assert!(!sq.contains(Point::new(1.5, 0.5)));
+        assert!(!sq.contains(Point::new(-0.5, 0.5)));
+        assert!(!sq.contains(Point::new(0.5, 2.0)));
+    }
+
+    #[test]
+    fn concave_polygon_containment() {
+        // An L-shape: the notch at the top-right must be outside.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(1.0, 2.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 1.0),
+            Point::new(2.0, 0.0),
+        ])
+        .unwrap();
+        assert!(l.contains(Point::new(0.5, 0.5)));
+        assert!(l.contains(Point::new(0.5, 1.5)));
+        assert!(l.contains(Point::new(1.5, 0.5)));
+        assert!(!l.contains(Point::new(1.5, 1.5)), "notch must be outside");
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let c = unit_square().centroid();
+        assert!((c.lat - 0.5).abs() < 1e-9 && (c.lon - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_of_square() {
+        assert!((unit_square().area_deg2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_polygon_roughly_circle_area() {
+        let c = Point::new(37.5, 127.0);
+        let poly = Polygon::regular(c, 10.0, 64).unwrap();
+        let expected = std::f64::consts::PI * 10.0 * 10.0;
+        let got = poly.area_km2();
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "area {got} vs {expected}"
+        );
+        assert!(poly.contains(c));
+        let cc = poly.centroid();
+        assert!(
+            c.haversine_km(cc) < 0.5,
+            "centroid drifted {} km",
+            c.haversine_km(cc)
+        );
+    }
+
+    #[test]
+    fn sample_interior_is_inside() {
+        let poly = Polygon::regular(Point::new(36.0, 128.0), 7.5, 12).unwrap();
+        // A deterministic low-discrepancy-ish driver.
+        let mut state = 0.12345f64;
+        let mut next = move || {
+            state = (state * 9301.0 + 0.49297).fract();
+            state
+        };
+        for _ in 0..200 {
+            let p = poly.sample_interior(&mut next);
+            assert!(poly.contains(p) || p == poly.centroid());
+        }
+    }
+}

@@ -1,0 +1,620 @@
+//! An R-tree over items with bounding boxes.
+//!
+//! Supports Sort-Tile-Recursive (STR) bulk loading, incremental insertion
+//! with quadratic node splitting, bounding-box queries and best-first
+//! k-nearest-neighbour search.
+//!
+//! Nearest-neighbour distances use [`Point::approx_dist2`] — the
+//! latitude-corrected equirectangular metric anchored at the query point —
+//! which orders candidates identically to true geodesic distance at the
+//! sub-degree scales this workspace operates on, and identically to the
+//! [`crate::BruteForceIndex`] oracle at any scale.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::point::{BBox, Point};
+
+/// Items indexable by an [`RTree`] expose a bounding box and a representative
+/// point (the bbox centre by default) used for nearest-neighbour ranking.
+pub trait Spatial {
+    /// The item's bounding box.
+    fn bbox(&self) -> BBox;
+    /// Representative point for distance ranking.
+    fn center(&self) -> Point {
+        self.bbox().center()
+    }
+}
+
+impl Spatial for Point {
+    fn bbox(&self) -> BBox {
+        BBox::from_point(*self)
+    }
+    fn center(&self) -> Point {
+        *self
+    }
+}
+
+impl Spatial for BBox {
+    fn bbox(&self) -> BBox {
+        *self
+    }
+}
+
+impl<T: Spatial> Spatial for (T, usize) {
+    fn bbox(&self) -> BBox {
+        self.0.bbox()
+    }
+    fn center(&self) -> Point {
+        self.0.center()
+    }
+}
+
+/// Maximum entries per node.
+const MAX_ENTRIES: usize = 16;
+/// Minimum entries per node after a split (40% of max).
+const MIN_ENTRIES: usize = 6;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    bbox: BBox,
+    /// Child node index for internal nodes, item index for leaves.
+    child: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    leaf: bool,
+    entries: Vec<Entry>,
+}
+
+impl Node {
+    fn bbox(&self) -> BBox {
+        let mut it = self.entries.iter();
+        let first = it.next().expect("nodes are never empty").bbox;
+        it.fold(first, |acc, e| acc.union(&e.bbox))
+    }
+}
+
+/// An R-tree spatial index. See the module docs for the feature set.
+#[derive(Debug, Clone)]
+pub struct RTree<T: Spatial> {
+    items: Vec<T>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    height: usize,
+}
+
+impl<T: Spatial> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Spatial> RTree<T> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        RTree {
+            items: Vec::new(),
+            nodes: Vec::new(),
+            root: None,
+            height: 0,
+        }
+    }
+
+    /// Bulk-loads `items` with the STR packing algorithm: sort by longitude,
+    /// tile into vertical slices, sort each slice by latitude, pack leaves,
+    /// and repeat upward. Produces a well-filled tree in O(n log n).
+    pub fn bulk_load(items: Vec<T>) -> Self {
+        if items.is_empty() {
+            return Self::new();
+        }
+        let mut tree = RTree {
+            items,
+            nodes: Vec::new(),
+            root: None,
+            height: 1,
+        };
+
+        // Pack leaves.
+        let mut order: Vec<usize> = (0..tree.items.len()).collect();
+        order.sort_by(|&a, &b| {
+            tree.items[a]
+                .center()
+                .lon
+                .partial_cmp(&tree.items[b].center().lon)
+                .unwrap_or(Ordering::Equal)
+        });
+        let n_leaves = tree.items.len().div_ceil(MAX_ENTRIES);
+        let n_slices = (n_leaves as f64).sqrt().ceil() as usize;
+        let slice_len = tree.items.len().div_ceil(n_slices.max(1));
+        let mut level: Vec<usize> = Vec::with_capacity(n_leaves);
+        for slice in order.chunks(slice_len.max(1)) {
+            let mut slice: Vec<usize> = slice.to_vec();
+            slice.sort_by(|&a, &b| {
+                tree.items[a]
+                    .center()
+                    .lat
+                    .partial_cmp(&tree.items[b].center().lat)
+                    .unwrap_or(Ordering::Equal)
+            });
+            for leaf_items in slice.chunks(MAX_ENTRIES) {
+                let entries = leaf_items
+                    .iter()
+                    .map(|&i| Entry {
+                        bbox: tree.items[i].bbox(),
+                        child: i,
+                    })
+                    .collect();
+                tree.nodes.push(Node {
+                    leaf: true,
+                    entries,
+                });
+                level.push(tree.nodes.len() - 1);
+            }
+        }
+
+        // Pack internal levels until a single root remains.
+        while level.len() > 1 {
+            let mut parents = Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
+            level.sort_by(|&a, &b| {
+                let ca = tree.nodes[a].bbox().center();
+                let cb = tree.nodes[b].bbox().center();
+                ca.lon.partial_cmp(&cb.lon).unwrap_or(Ordering::Equal)
+            });
+            for group in level.chunks(MAX_ENTRIES) {
+                let entries = group
+                    .iter()
+                    .map(|&n| Entry {
+                        bbox: tree.nodes[n].bbox(),
+                        child: n,
+                    })
+                    .collect();
+                tree.nodes.push(Node {
+                    leaf: false,
+                    entries,
+                });
+                parents.push(tree.nodes.len() - 1);
+            }
+            level = parents;
+            tree.height += 1;
+        }
+        tree.root = Some(level[0]);
+        tree
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the tree holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Tree height in levels (0 for an empty tree, 1 for a single leaf root).
+    pub fn height(&self) -> usize {
+        if self.root.is_some() {
+            self.height
+        } else {
+            0
+        }
+    }
+
+    /// Access an item by the index returned from queries.
+    pub fn get(&self, idx: usize) -> &T {
+        &self.items[idx]
+    }
+
+    /// Iterates over all items in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Inserts an item, splitting overflowing nodes quadratically.
+    pub fn insert(&mut self, item: T) {
+        let bbox = item.bbox();
+        let item_idx = self.items.len();
+        self.items.push(item);
+
+        let Some(root) = self.root else {
+            self.nodes.push(Node {
+                leaf: true,
+                entries: vec![Entry {
+                    bbox,
+                    child: item_idx,
+                }],
+            });
+            self.root = Some(self.nodes.len() - 1);
+            self.height = 1;
+            return;
+        };
+
+        // Descend to the best leaf, remembering the path.
+        let mut path = Vec::with_capacity(self.height);
+        let mut node = root;
+        while !self.nodes[node].leaf {
+            let best = self.nodes[node]
+                .entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let ea = a.bbox.enlargement(&bbox);
+                    let eb = b.bbox.enlargement(&bbox);
+                    ea.partial_cmp(&eb)
+                        .unwrap_or(Ordering::Equal)
+                        .then_with(|| {
+                            a.bbox
+                                .area_deg2()
+                                .partial_cmp(&b.bbox.area_deg2())
+                                .unwrap_or(Ordering::Equal)
+                        })
+                })
+                .map(|(i, _)| i)
+                .expect("internal nodes are never empty");
+            path.push((node, best));
+            node = self.nodes[node].entries[best].child;
+        }
+
+        self.nodes[node].entries.push(Entry {
+            bbox,
+            child: item_idx,
+        });
+
+        // Split upward as needed, adjusting ancestor bboxes along the way.
+        let mut split = if self.nodes[node].entries.len() > MAX_ENTRIES {
+            Some(self.split_node(node))
+        } else {
+            None
+        };
+        for (parent, entry_idx) in path.into_iter().rev() {
+            let child = self.nodes[parent].entries[entry_idx].child;
+            self.nodes[parent].entries[entry_idx].bbox = self.nodes[child].bbox();
+            if let Some(new_node) = split.take() {
+                let nb = self.nodes[new_node].bbox();
+                self.nodes[parent].entries.push(Entry {
+                    bbox: nb,
+                    child: new_node,
+                });
+                if self.nodes[parent].entries.len() > MAX_ENTRIES {
+                    split = Some(self.split_node(parent));
+                }
+            }
+        }
+        if let Some(new_node) = split {
+            // Root itself split: grow the tree by one level.
+            let old_root = self.root.unwrap();
+            let entries = vec![
+                Entry {
+                    bbox: self.nodes[old_root].bbox(),
+                    child: old_root,
+                },
+                Entry {
+                    bbox: self.nodes[new_node].bbox(),
+                    child: new_node,
+                },
+            ];
+            self.nodes.push(Node {
+                leaf: false,
+                entries,
+            });
+            self.root = Some(self.nodes.len() - 1);
+            self.height += 1;
+        }
+    }
+
+    /// Quadratic split of an overflowing node; returns the new sibling's
+    /// node index.
+    fn split_node(&mut self, node: usize) -> usize {
+        let leaf = self.nodes[node].leaf;
+        let entries = std::mem::take(&mut self.nodes[node].entries);
+
+        // Pick the two seeds wasting the most area if grouped together.
+        let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+        for i in 0..entries.len() {
+            for j in (i + 1)..entries.len() {
+                let waste = entries[i].bbox.union(&entries[j].bbox).area_deg2()
+                    - entries[i].bbox.area_deg2()
+                    - entries[j].bbox.area_deg2();
+                if waste > worst {
+                    worst = waste;
+                    s1 = i;
+                    s2 = j;
+                }
+            }
+        }
+
+        let mut g1: Vec<Entry> = Vec::with_capacity(entries.len());
+        let mut g2: Vec<Entry> = Vec::with_capacity(entries.len());
+        let mut b1 = entries[s1].bbox;
+        let mut b2 = entries[s2].bbox;
+        let mut rest: Vec<Entry> = Vec::with_capacity(entries.len());
+        for (i, e) in entries.into_iter().enumerate() {
+            if i == s1 {
+                g1.push(e);
+            } else if i == s2 {
+                g2.push(e);
+            } else {
+                rest.push(e);
+            }
+        }
+        let total = rest.len() + 2;
+        for e in rest {
+            // Honour the minimum fill requirement first.
+            if g1.len() + 1 + (total - g1.len() - g2.len() - 1) <= MIN_ENTRIES + 1
+                && g1.len() < MIN_ENTRIES
+            {
+                b1.expand_bbox(&e.bbox);
+                g1.push(e);
+                continue;
+            }
+            if g2.len() + 1 + (total - g1.len() - g2.len() - 1) <= MIN_ENTRIES + 1
+                && g2.len() < MIN_ENTRIES
+            {
+                b2.expand_bbox(&e.bbox);
+                g2.push(e);
+                continue;
+            }
+            let e1 = b1.enlargement(&e.bbox);
+            let e2 = b2.enlargement(&e.bbox);
+            if e1 < e2 || (e1 == e2 && g1.len() <= g2.len()) {
+                b1.expand_bbox(&e.bbox);
+                g1.push(e);
+            } else {
+                b2.expand_bbox(&e.bbox);
+                g2.push(e);
+            }
+        }
+
+        self.nodes[node].entries = g1;
+        self.nodes.push(Node { leaf, entries: g2 });
+        self.nodes.len() - 1
+    }
+
+    /// Returns the indices of all items whose bbox intersects `query`.
+    pub fn query_bbox(&self, query: &BBox) -> Vec<usize> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            for e in &node.entries {
+                if e.bbox.intersects(query) {
+                    if node.leaf {
+                        out.push(e.child);
+                    } else {
+                        stack.push(e.child);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the indices of all items whose *center* lies inside `query`.
+    pub fn query_points_in(&self, query: &BBox) -> Vec<usize> {
+        self.query_bbox(query)
+            .into_iter()
+            .filter(|&i| query.contains(self.items[i].center()))
+            .collect()
+    }
+
+    /// Best-first k-nearest-neighbour search by the approximate metric (see
+    /// the module docs). Returns up to `k` `(item index, approx_dist2)`
+    /// pairs sorted nearest-first.
+    pub fn nearest_k(&self, query: Point, k: usize) -> Vec<(usize, f64)> {
+        #[derive(PartialEq)]
+        struct Cand {
+            dist2: f64,
+            /// `Some(node)` for nodes, `None` for items.
+            node: Option<usize>,
+            item: usize,
+        }
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Reversed: BinaryHeap is a max-heap, we need min-first.
+                other
+                    .dist2
+                    .partial_cmp(&self.dist2)
+                    .unwrap_or(Ordering::Equal)
+            }
+        }
+
+        let mut out = Vec::with_capacity(k);
+        let Some(root) = self.root else { return out };
+        if k == 0 {
+            return out;
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Cand {
+            dist2: 0.0,
+            node: Some(root),
+            item: 0,
+        });
+        while let Some(c) = heap.pop() {
+            match c.node {
+                Some(n) => {
+                    let node = &self.nodes[n];
+                    for e in &node.entries {
+                        let d = e.bbox.min_dist2(query);
+                        if node.leaf {
+                            // Rank items by their representative point.
+                            let dc = query.approx_dist2(self.items[e.child].center());
+                            heap.push(Cand {
+                                dist2: dc.max(d),
+                                node: None,
+                                item: e.child,
+                            });
+                        } else {
+                            heap.push(Cand {
+                                dist2: d,
+                                node: Some(e.child),
+                                item: 0,
+                            });
+                        }
+                    }
+                }
+                None => {
+                    out.push((c.item, c.dist2));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The single nearest item to `query`, if any.
+    pub fn nearest(&self, query: Point) -> Option<(usize, f64)> {
+        self.nearest_k(query, 1).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(lat: f64, lon: f64) -> Point {
+        Point::new(lat, lon)
+    }
+
+    /// A deterministic pseudo-random point cloud over Korea-ish bounds.
+    fn cloud(n: usize) -> Vec<Point> {
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| pt(33.0 + next() * 6.0, 124.0 + next() * 8.0))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: RTree<Point> = RTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.query_bbox(&BBox::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(t.nearest(pt(0.0, 0.0)).is_none());
+        let t2: RTree<Point> = RTree::bulk_load(vec![]);
+        assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn bulk_load_indexes_everything() {
+        let pts = cloud(1000);
+        let t = RTree::bulk_load(pts.clone());
+        assert_eq!(t.len(), 1000);
+        let all = t.query_bbox(&BBox::new(-90.0, -180.0, 90.0, 180.0));
+        assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn bulk_load_query_matches_scan() {
+        let pts = cloud(500);
+        let t = RTree::bulk_load(pts.clone());
+        let q = BBox::new(35.0, 126.0, 37.0, 129.0);
+        let mut got = t.query_points_in(&q);
+        got.sort_unstable();
+        let mut expect: Vec<usize> = (0..pts.len()).filter(|&i| q.contains(pts[i])).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert!(!expect.is_empty(), "query region should not be empty");
+    }
+
+    #[test]
+    fn insert_query_matches_scan() {
+        let pts = cloud(400);
+        let mut t = RTree::new();
+        for p in &pts {
+            t.insert(*p);
+        }
+        assert_eq!(t.len(), 400);
+        let q = BBox::new(34.0, 125.0, 36.0, 127.5);
+        let mut got = t.query_points_in(&q);
+        got.sort_unstable();
+        let mut expect: Vec<usize> = (0..pts.len()).filter(|&i| q.contains(pts[i])).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn nearest_k_matches_brute_force() {
+        let pts = cloud(300);
+        let t = RTree::bulk_load(pts.clone());
+        for &q in &[pt(37.5, 127.0), pt(33.2, 124.1), pt(38.9, 131.9)] {
+            let got = t.nearest_k(q, 10);
+            let mut expect: Vec<(usize, f64)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, q.approx_dist2(*p)))
+                .collect();
+            expect.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            expect.truncate(10);
+            let got_ids: Vec<usize> = got.iter().map(|&(i, _)| i).collect();
+            let exp_ids: Vec<usize> = expect.iter().map(|&(i, _)| i).collect();
+            assert_eq!(got_ids, exp_ids);
+        }
+    }
+
+    #[test]
+    fn nearest_k_after_inserts_matches_brute_force() {
+        let pts = cloud(250);
+        let mut t = RTree::new();
+        for p in &pts {
+            t.insert(*p);
+        }
+        let q = pt(36.3, 127.4);
+        let got: Vec<usize> = t.nearest_k(q, 5).into_iter().map(|(i, _)| i).collect();
+        let mut expect: Vec<(usize, f64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, q.approx_dist2(*p)))
+            .collect();
+        expect.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let exp_ids: Vec<usize> = expect.iter().take(5).map(|&(i, _)| i).collect();
+        assert_eq!(got, exp_ids);
+    }
+
+    #[test]
+    fn nearest_k_truncates_to_len() {
+        let t = RTree::bulk_load(cloud(3));
+        assert_eq!(t.nearest_k(pt(36.0, 127.0), 10).len(), 3);
+        assert!(t.nearest_k(pt(36.0, 127.0), 0).is_empty());
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let t = RTree::bulk_load(cloud(2000));
+        assert!(t.height() >= 2 && t.height() <= 5, "height {}", t.height());
+        let mut t2 = RTree::new();
+        for p in cloud(2000) {
+            t2.insert(p);
+        }
+        assert!(t2.height() <= 7, "insert-built height {}", t2.height());
+    }
+
+    #[test]
+    fn duplicate_points_are_all_retained() {
+        let p = pt(37.0, 127.0);
+        let mut t = RTree::new();
+        for _ in 0..50 {
+            t.insert(p);
+        }
+        assert_eq!(
+            t.query_points_in(&BBox::from_point(p).inflate(0.001)).len(),
+            50
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! The gazetteer's data model: provinces (first-level divisions) and
+//! districts (second-level divisions — si/gun/gu).
+
+use std::fmt;
+
+use stir_geoindex::Point;
+
+/// Identifier of a district inside a [`crate::Gazetteer`]; stable for a given
+/// gazetteer build (indices into the district table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DistrictId(pub u16);
+
+impl fmt::Display for DistrictId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{:03}", self.0)
+    }
+}
+
+/// The sixteen first-level administrative divisions of South Korea as of the
+/// paper's data period (2011): one special city, six metropolitan cities, and
+/// nine provinces (including Jeju special self-governing province).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Province {
+    /// Seoul Special City (서울특별시).
+    Seoul,
+    /// Busan Metropolitan City (부산광역시).
+    Busan,
+    /// Daegu Metropolitan City (대구광역시).
+    Daegu,
+    /// Incheon Metropolitan City (인천광역시).
+    Incheon,
+    /// Gwangju Metropolitan City (광주광역시).
+    Gwangju,
+    /// Daejeon Metropolitan City (대전광역시).
+    Daejeon,
+    /// Ulsan Metropolitan City (울산광역시).
+    Ulsan,
+    /// Gyeonggi Province (경기도).
+    Gyeonggi,
+    /// Gangwon Province (강원도).
+    Gangwon,
+    /// North Chungcheong Province (충청북도).
+    Chungbuk,
+    /// South Chungcheong Province (충청남도).
+    Chungnam,
+    /// North Jeolla Province (전라북도).
+    Jeonbuk,
+    /// South Jeolla Province (전라남도).
+    Jeonnam,
+    /// North Gyeongsang Province (경상북도).
+    Gyeongbuk,
+    /// South Gyeongsang Province (경상남도).
+    Gyeongnam,
+    /// Jeju Special Self-Governing Province (제주특별자치도).
+    Jeju,
+}
+
+impl Province {
+    /// All provinces, in official ordering.
+    pub const ALL: [Province; 16] = [
+        Province::Seoul,
+        Province::Busan,
+        Province::Daegu,
+        Province::Incheon,
+        Province::Gwangju,
+        Province::Daejeon,
+        Province::Ulsan,
+        Province::Gyeonggi,
+        Province::Gangwon,
+        Province::Chungbuk,
+        Province::Chungnam,
+        Province::Jeonbuk,
+        Province::Jeonnam,
+        Province::Gyeongbuk,
+        Province::Gyeongnam,
+        Province::Jeju,
+    ];
+
+    /// Romanized name as the paper's strings use it (e.g. "Seoul",
+    /// "Gyeonggi-do").
+    pub fn name_en(self) -> &'static str {
+        match self {
+            Province::Seoul => "Seoul",
+            Province::Busan => "Busan",
+            Province::Daegu => "Daegu",
+            Province::Incheon => "Incheon",
+            Province::Gwangju => "Gwangju",
+            Province::Daejeon => "Daejeon",
+            Province::Ulsan => "Ulsan",
+            Province::Gyeonggi => "Gyeonggi-do",
+            Province::Gangwon => "Gangwon-do",
+            Province::Chungbuk => "Chungcheongbuk-do",
+            Province::Chungnam => "Chungcheongnam-do",
+            Province::Jeonbuk => "Jeollabuk-do",
+            Province::Jeonnam => "Jeollanam-do",
+            Province::Gyeongbuk => "Gyeongsangbuk-do",
+            Province::Gyeongnam => "Gyeongsangnam-do",
+            Province::Jeju => "Jeju-do",
+        }
+    }
+
+    /// Korean name.
+    pub fn name_ko(self) -> &'static str {
+        match self {
+            Province::Seoul => "서울특별시",
+            Province::Busan => "부산광역시",
+            Province::Daegu => "대구광역시",
+            Province::Incheon => "인천광역시",
+            Province::Gwangju => "광주광역시",
+            Province::Daejeon => "대전광역시",
+            Province::Ulsan => "울산광역시",
+            Province::Gyeonggi => "경기도",
+            Province::Gangwon => "강원도",
+            Province::Chungbuk => "충청북도",
+            Province::Chungnam => "충청남도",
+            Province::Jeonbuk => "전라북도",
+            Province::Jeonnam => "전라남도",
+            Province::Gyeongbuk => "경상북도",
+            Province::Gyeongnam => "경상남도",
+            Province::Jeju => "제주특별자치도",
+        }
+    }
+
+    /// True for the special/metropolitan cities the paper singles out: "we
+    /// divide the locations in the metropolitan cities into the relatively
+    /// small districts because these cities are too large" (§III-B).
+    pub fn is_metropolitan(self) -> bool {
+        matches!(
+            self,
+            Province::Seoul
+                | Province::Busan
+                | Province::Daegu
+                | Province::Incheon
+                | Province::Gwangju
+                | Province::Daejeon
+                | Province::Ulsan
+        )
+    }
+}
+
+impl fmt::Display for Province {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name_en())
+    }
+}
+
+/// The kind of a second-level division.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DistrictKind {
+    /// Urban district of a special/metropolitan city (구).
+    Gu,
+    /// City (시).
+    Si,
+    /// County (군).
+    Gun,
+}
+
+impl DistrictKind {
+    /// The romanized suffix ("-gu", "-si", "-gun").
+    pub fn suffix_en(self) -> &'static str {
+        match self {
+            DistrictKind::Gu => "-gu",
+            DistrictKind::Si => "-si",
+            DistrictKind::Gun => "-gun",
+        }
+    }
+
+    /// The Korean suffix character.
+    pub fn suffix_ko(self) -> char {
+        match self {
+            DistrictKind::Gu => '구',
+            DistrictKind::Si => '시',
+            DistrictKind::Gun => '군',
+        }
+    }
+}
+
+/// A second-level administrative district.
+#[derive(Clone, Debug)]
+pub struct District {
+    /// Stable id within the gazetteer.
+    pub id: DistrictId,
+    /// Romanized name including the suffix, e.g. "Yangcheon-gu".
+    pub name_en: &'static str,
+    /// Korean name, e.g. "양천구".
+    pub name_ko: &'static str,
+    /// First-level division this district belongs to.
+    pub province: Province,
+    /// Si / gun / gu.
+    pub kind: DistrictKind,
+    /// Approximate centroid.
+    pub centroid: Point,
+    /// Approximate 2011 population in thousands; drives home-district
+    /// sampling in the generator.
+    pub population_k: u32,
+    /// Approximate land area in km²; drives the synthetic footprint radius.
+    pub area_km2: f64,
+}
+
+impl District {
+    /// The radius (km) of the synthetic circular footprint with this
+    /// district's area.
+    pub fn footprint_radius_km(&self) -> f64 {
+        (self.area_km2 / std::f64::consts::PI).sqrt()
+    }
+
+    /// The romanized name without its kind suffix ("Yangcheon" for
+    /// "Yangcheon-gu").
+    pub fn stem_en(&self) -> &str {
+        self.name_en
+            .strip_suffix(self.kind.suffix_en())
+            .unwrap_or(self.name_en)
+    }
+}
+
+impl fmt::Display for District {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.province.name_en(), self.name_en)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn province_names_roundtrip_through_all() {
+        assert_eq!(Province::ALL.len(), 16);
+        let mut seen = std::collections::HashSet::new();
+        for p in Province::ALL {
+            assert!(seen.insert(p.name_en()), "duplicate name {}", p.name_en());
+            assert!(!p.name_ko().is_empty());
+        }
+    }
+
+    #[test]
+    fn metropolitan_flag_matches_2011_administration() {
+        let metros: Vec<_> = Province::ALL
+            .iter()
+            .filter(|p| p.is_metropolitan())
+            .collect();
+        assert_eq!(metros.len(), 7); // Seoul + 6 metropolitan cities
+        assert!(Province::Seoul.is_metropolitan());
+        assert!(!Province::Gyeonggi.is_metropolitan());
+        assert!(!Province::Jeju.is_metropolitan());
+    }
+
+    #[test]
+    fn kind_suffixes() {
+        assert_eq!(DistrictKind::Gu.suffix_en(), "-gu");
+        assert_eq!(DistrictKind::Si.suffix_ko(), '시');
+    }
+
+    #[test]
+    fn footprint_radius_matches_area() {
+        let d = District {
+            id: DistrictId(0),
+            name_en: "Test-gu",
+            name_ko: "테스트구",
+            province: Province::Seoul,
+            kind: DistrictKind::Gu,
+            centroid: Point::new(37.5, 127.0),
+            population_k: 100,
+            area_km2: std::f64::consts::PI * 16.0,
+        };
+        assert!((d.footprint_radius_km() - 4.0).abs() < 1e-12);
+        assert_eq!(d.stem_en(), "Test");
+    }
+}

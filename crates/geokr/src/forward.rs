@@ -1,0 +1,235 @@
+//! Forward geocoding: district *names* → districts.
+//!
+//! This layer is exact/alias lookup only; tokenization, vagueness
+//! classification and fuzzy matching of raw profile text live in
+//! `stir-textgeo`, which drives this resolver with cleaned-up candidates.
+
+use std::collections::HashMap;
+
+use crate::district::{DistrictId, Province};
+use crate::gazetteer::Gazetteer;
+
+/// Outcome of a forward lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ForwardResult {
+    /// Exactly one district matched.
+    Unique(DistrictId),
+    /// The name is valid but names several districts (e.g. "Jung-gu").
+    /// Candidates are in gazetteer id order.
+    Ambiguous(Vec<DistrictId>),
+    /// Nothing matched.
+    NotFound,
+}
+
+impl ForwardResult {
+    /// The match when unique, else `None`.
+    pub fn unique(&self) -> Option<DistrictId> {
+        match self {
+            ForwardResult::Unique(id) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// A forward geocoder over a [`Gazetteer`] with province-name recognition
+/// and a small built-in alias table for common romanization variants.
+pub struct ForwardGeocoder<'g> {
+    gazetteer: &'g Gazetteer,
+    /// lowercase province alias → province
+    province_aliases: HashMap<String, Province>,
+    /// lowercase district alias → canonical romanized name (lowercase)
+    district_aliases: HashMap<String, String>,
+}
+
+impl<'g> ForwardGeocoder<'g> {
+    /// Builds the geocoder and its alias tables.
+    pub fn new(gazetteer: &'g Gazetteer) -> Self {
+        let mut province_aliases = HashMap::new();
+        for p in Province::ALL {
+            let en = p.name_en().to_ascii_lowercase();
+            // Provinces are routinely written without the "-do" suffix
+            // ("gangwon", "jeju"); index both forms.
+            if let Some(stem) = en.strip_suffix("-do") {
+                province_aliases.insert(stem.to_string(), p);
+            }
+            province_aliases.insert(en, p);
+            province_aliases.insert(p.name_ko().to_string(), p);
+        }
+        // Common shorthand and legacy romanizations.
+        let extra_provinces: [(&str, Province); 14] = [
+            ("seoul city", Province::Seoul),
+            ("서울", Province::Seoul),
+            ("pusan", Province::Busan),
+            ("부산", Province::Busan),
+            ("대구", Province::Daegu),
+            ("인천", Province::Incheon),
+            ("taejon", Province::Daejeon),
+            ("대전", Province::Daejeon),
+            ("울산", Province::Ulsan),
+            ("kyunggi", Province::Gyeonggi),
+            ("gyeonggi", Province::Gyeonggi),
+            ("경기", Province::Gyeonggi),
+            ("kangwon", Province::Gangwon),
+            ("jeju", Province::Jeju),
+        ];
+        for (alias, p) in extra_provinces {
+            province_aliases.insert(alias.to_string(), p);
+        }
+
+        let mut district_aliases = HashMap::new();
+        // The paper itself romanizes 양천구 as "Yangchun-gu".
+        let extra_districts: [(&str, &str); 8] = [
+            ("yangchun-gu", "yangcheon-gu"),
+            ("kangnam-gu", "gangnam-gu"),
+            ("kangnam", "gangnam-gu"),
+            ("songpa", "songpa-gu"),
+            ("hongdae", "mapo-gu"),
+            ("gangnam", "gangnam-gu"),
+            ("suwon", "suwon-si"),
+            ("bucheon", "bucheon-si"),
+        ];
+        for (alias, canonical) in extra_districts {
+            district_aliases.insert(alias.to_string(), canonical.to_string());
+        }
+        ForwardGeocoder {
+            gazetteer,
+            province_aliases,
+            district_aliases,
+        }
+    }
+
+    /// Recognizes a first-level division name/alias (romanized or Korean).
+    pub fn resolve_province(&self, name: &str) -> Option<Province> {
+        let key = name.trim().to_ascii_lowercase();
+        self.province_aliases.get(&key).copied()
+    }
+
+    /// Resolves a district name, optionally scoped to a province.
+    ///
+    /// The name may be romanized (with or without a recognized alias) or
+    /// Korean. With a province scope, ambiguous names collapse to the match
+    /// inside that province when one exists.
+    pub fn resolve_district(&self, name: &str, scope: Option<Province>) -> ForwardResult {
+        let trimmed = name.trim();
+        let key = trimmed.to_ascii_lowercase();
+        let canonical = self
+            .district_aliases
+            .get(&key)
+            .map(|s| s.as_str())
+            .unwrap_or(&key);
+
+        let mut hits: Vec<DistrictId> = self.gazetteer.find_by_name_en(canonical).to_vec();
+        if hits.is_empty() {
+            hits = self.gazetteer.find_by_name_ko(trimmed).to_vec();
+        }
+        if hits.is_empty() {
+            return ForwardResult::NotFound;
+        }
+        if let Some(p) = scope {
+            let scoped: Vec<DistrictId> = hits
+                .iter()
+                .copied()
+                .filter(|&id| self.gazetteer.district(id).province == p)
+                .collect();
+            if scoped.len() == 1 {
+                return ForwardResult::Unique(scoped[0]);
+            }
+            if !scoped.is_empty() {
+                return ForwardResult::Ambiguous(scoped);
+            }
+            // A scope that excludes every candidate means the pair was
+            // inconsistent ("Busan Yangcheon-gu"); report not found.
+            return ForwardResult::NotFound;
+        }
+        if hits.len() == 1 {
+            ForwardResult::Unique(hits[0])
+        } else {
+            ForwardResult::Ambiguous(hits)
+        }
+    }
+
+    /// The underlying gazetteer.
+    pub fn gazetteer(&self) -> &'g Gazetteer {
+        self.gazetteer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (&'static Gazetteer, ForwardGeocoder<'static>) {
+        let g: &'static Gazetteer = Box::leak(Box::new(Gazetteer::load()));
+        let f = ForwardGeocoder::new(g);
+        (g, f)
+    }
+
+    #[test]
+    fn unique_names_resolve_unscoped() {
+        let (g, f) = setup();
+        let r = f.resolve_district("Yangcheon-gu", None);
+        let id = r.unique().expect("unique");
+        assert_eq!(g.district(id).province, Province::Seoul);
+    }
+
+    #[test]
+    fn paper_romanization_alias_resolves() {
+        let (g, f) = setup();
+        // "Yangchun-gu" is the paper's own spelling of 양천구.
+        let id = f
+            .resolve_district("Yangchun-gu", None)
+            .unique()
+            .expect("alias hit");
+        assert_eq!(g.district(id).name_en, "Yangcheon-gu");
+    }
+
+    #[test]
+    fn ambiguous_name_needs_scope() {
+        let (g, f) = setup();
+        match f.resolve_district("Jung-gu", None) {
+            ForwardResult::Ambiguous(hits) => assert_eq!(hits.len(), 6),
+            other => panic!("expected ambiguous, got {other:?}"),
+        }
+        let id = f
+            .resolve_district("Jung-gu", Some(Province::Busan))
+            .unique()
+            .expect("scoped");
+        assert_eq!(g.district(id).province, Province::Busan);
+    }
+
+    #[test]
+    fn inconsistent_scope_is_not_found() {
+        let (_, f) = setup();
+        assert_eq!(
+            f.resolve_district("Yangcheon-gu", Some(Province::Busan)),
+            ForwardResult::NotFound
+        );
+    }
+
+    #[test]
+    fn korean_names_resolve() {
+        let (g, f) = setup();
+        let id = f.resolve_district("강남구", None).unique().expect("korean");
+        assert_eq!(g.district(id).name_en, "Gangnam-gu");
+        assert_eq!(f.resolve_province("서울특별시"), Some(Province::Seoul));
+        assert_eq!(f.resolve_province("경기도"), Some(Province::Gyeonggi));
+    }
+
+    #[test]
+    fn province_aliases_resolve() {
+        let (_, f) = setup();
+        assert_eq!(f.resolve_province("seoul"), Some(Province::Seoul));
+        assert_eq!(f.resolve_province("Pusan"), Some(Province::Busan));
+        assert_eq!(f.resolve_province("GYEONGGI-DO"), Some(Province::Gyeonggi));
+        assert_eq!(f.resolve_province("narnia"), None);
+    }
+
+    #[test]
+    fn unknown_district_not_found() {
+        let (_, f) = setup();
+        assert_eq!(
+            f.resolve_district("Gotham-gu", None),
+            ForwardResult::NotFound
+        );
+    }
+}

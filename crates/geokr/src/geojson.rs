@@ -1,0 +1,179 @@
+//! GeoJSON export of the gazetteer.
+//!
+//! Dumps district footprints and centroids as a `FeatureCollection` so the
+//! synthetic geography can be dropped into any map tool for inspection —
+//! the fastest way to sanity-check the district table, footprint sizes and
+//! a cohort's spatial distribution. Hand-rolled writer (four fixed shapes;
+//! no serde).
+
+use std::fmt::Write as _;
+
+use crate::district::DistrictId;
+use crate::gazetteer::Gazetteer;
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Optional per-district value attached to the features (e.g. cohort user
+/// counts, reliability means) — rendered into a `value` property.
+pub type DistrictValues<'a> = &'a dyn Fn(DistrictId) -> Option<f64>;
+
+/// Renders the gazetteer as a GeoJSON `FeatureCollection` of polygon
+/// features (one per district footprint). `values` may attach a numeric
+/// `value` property per district.
+pub fn districts_geojson(gazetteer: &Gazetteer, values: Option<DistrictValues<'_>>) -> String {
+    let mut out = String::with_capacity(256 * 1024);
+    out.push_str("{\"type\":\"FeatureCollection\",\"features\":[");
+    for (i, d) in gazetteer.districts().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"type\":\"Feature\",\"properties\":{");
+        let _ = write!(
+            out,
+            "\"name\":\"{}\",\"name_ko\":\"{}\",\"province\":\"{}\",\"population_k\":{},\"area_km2\":{}",
+            json_escape(d.name_en),
+            json_escape(d.name_ko),
+            json_escape(d.province.name_en()),
+            d.population_k,
+            d.area_km2
+        );
+        if let Some(f) = values {
+            if let Some(v) = f(d.id) {
+                let _ = write!(out, ",\"value\":{v}");
+            }
+        }
+        out.push_str("},\"geometry\":{\"type\":\"Polygon\",\"coordinates\":[[");
+        let footprint = gazetteer.footprint(d.id);
+        for (j, p) in footprint.vertices().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{:.6},{:.6}]", p.lon, p.lat);
+        }
+        // GeoJSON rings close explicitly.
+        let first = footprint.vertices()[0];
+        let _ = write!(out, ",[{:.6},{:.6}]", first.lon, first.lat);
+        out.push_str("]]}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders district centroids as a `FeatureCollection` of points.
+pub fn centroids_geojson(gazetteer: &Gazetteer) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("{\"type\":\"FeatureCollection\",\"features\":[");
+    for (i, d) in gazetteer.districts().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"type\":\"Feature\",\"properties\":{{\"name\":\"{}\"}},\"geometry\":{{\"type\":\"Point\",\"coordinates\":[{:.6},{:.6}]}}}}",
+            json_escape(d.name_en),
+            d.centroid.lon,
+            d.centroid.lat
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny structural JSON validator: balanced braces/brackets outside
+    /// strings, proper string termination. Not a full parser, but enough to
+    /// catch every escaping/nesting mistake a writer can make.
+    fn check_json_structure(s: &str) {
+        let mut stack = Vec::new();
+        let mut chars = s.chars();
+        let mut in_string = false;
+        while let Some(c) = chars.next() {
+            if in_string {
+                match c {
+                    '\\' => {
+                        chars.next();
+                    }
+                    '"' => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => stack.push(c),
+                '}' => assert_eq!(stack.pop(), Some('{'), "unbalanced brace"),
+                ']' => assert_eq!(stack.pop(), Some('['), "unbalanced bracket"),
+                _ => {}
+            }
+        }
+        assert!(!in_string, "unterminated string");
+        assert!(stack.is_empty(), "unclosed {stack:?}");
+    }
+
+    #[test]
+    fn districts_geojson_is_structurally_valid() {
+        let g = Gazetteer::load();
+        let json = districts_geojson(&g, None);
+        check_json_structure(&json);
+        assert!(json.starts_with("{\"type\":\"FeatureCollection\""));
+        assert_eq!(json.matches("\"type\":\"Feature\"").count(), 229);
+        assert!(json.contains("\"name\":\"Yangcheon-gu\""));
+        assert!(json.contains("양천구"));
+    }
+
+    #[test]
+    fn values_are_attached() {
+        let g = Gazetteer::load();
+        let f = |id: DistrictId| (id.0 == 0).then_some(42.5);
+        let json = districts_geojson(&g, Some(&f));
+        check_json_structure(&json);
+        assert_eq!(json.matches("\"value\":42.5").count(), 1);
+    }
+
+    #[test]
+    fn centroids_geojson_is_structurally_valid() {
+        let g = Gazetteer::load();
+        let json = centroids_geojson(&g);
+        check_json_structure(&json);
+        assert_eq!(json.matches("\"type\":\"Point\"").count(), 229);
+    }
+
+    #[test]
+    fn rings_are_closed() {
+        let g = Gazetteer::load();
+        let json = districts_geojson(&g, None);
+        // Every polygon ring must repeat its first coordinate at the end;
+        // spot-check by structure: ring length = vertices + 1.
+        let first = g.footprint(DistrictId(0));
+        let expected_pairs = first.vertices().len() + 1;
+        let head = &json[..json.find("]]}}").unwrap()];
+        let ring = &head[head.rfind("[[").unwrap()..];
+        assert_eq!(ring.matches("],[").count() + 1, expected_pairs);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

@@ -1,0 +1,68 @@
+//! The geocoder's output record, mirroring the four elements the paper reads
+//! from the Yahoo API response: `<country>`, `<state>`, `<county>`,
+//! `<town>` (Fig. 5).
+
+use std::fmt;
+
+use crate::district::{DistrictId, Province};
+
+/// A resolved administrative location.
+///
+/// `state` and `county` are the two elements the paper's grouping method
+/// consumes; `town` is carried for fidelity with the Yahoo response but
+/// never used by the analysis.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LocationRecord {
+    /// Country name; always "South Korea" for gazetteer hits.
+    pub country: String,
+    /// First-level division (romanized), e.g. "Seoul", "Gyeonggi-do".
+    pub state: String,
+    /// Second-level division (romanized), e.g. "Yangcheon-gu".
+    pub county: String,
+    /// Third-level neighbourhood; synthesized, informational only.
+    pub town: String,
+    /// The gazetteer district this record resolved to, when known.
+    pub district: Option<DistrictId>,
+}
+
+impl LocationRecord {
+    /// Builds a record for a gazetteer district.
+    pub fn for_district(province: Province, county: &str, town: String, id: DistrictId) -> Self {
+        LocationRecord {
+            country: "South Korea".to_string(),
+            state: province.name_en().to_string(),
+            county: county.to_string(),
+            town,
+            district: Some(id),
+        }
+    }
+
+    /// The `(state, county)` pair used by the text-based grouping method.
+    pub fn state_county(&self) -> (&str, &str) {
+        (&self.state, &self.county)
+    }
+}
+
+impl fmt::Display for LocationRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.state, self.county)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_delimiter() {
+        let r = LocationRecord::for_district(
+            Province::Seoul,
+            "Yangcheon-gu",
+            "Mok-dong".into(),
+            DistrictId(14),
+        );
+        assert_eq!(r.to_string(), "Seoul#Yangcheon-gu");
+        assert_eq!(r.state_county(), ("Seoul", "Yangcheon-gu"));
+        assert_eq!(r.country, "South Korea");
+    }
+}

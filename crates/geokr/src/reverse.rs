@@ -1,0 +1,216 @@
+//! Reverse geocoding: GPS coordinates → [`LocationRecord`].
+//!
+//! Wraps [`Gazetteer::resolve_point`] with a quantizing LRU-ish cache and hit
+//! statistics. The paper issued one Yahoo API call per GPS tweet; at 2xx,xxx
+//! GPS tweets a cache over quantized coordinates is what any practitioner
+//! would have put in front of the quota-limited API, and the benchmarks
+//! measure exactly that effect.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use stir_geoindex::Point;
+
+use crate::district::DistrictId;
+use crate::gazetteer::Gazetteer;
+use crate::location::LocationRecord;
+
+/// Counters describing a geocoder's traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReverseStats {
+    /// Total lookups.
+    pub lookups: u64,
+    /// Lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Lookups that resolved to a district.
+    pub resolved: u64,
+    /// Lookups outside the gazetteer's coverage.
+    pub misses: u64,
+}
+
+impl ReverseStats {
+    /// Cache hit ratio in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Quantization for the cache key: ~0.0005° ≈ 50 m, far below district size.
+const QUANT: f64 = 2000.0;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Key(i32, i32);
+
+fn key_of(p: Point) -> Key {
+    Key((p.lat * QUANT) as i32, (p.lon * QUANT) as i32)
+}
+
+/// A caching reverse geocoder over a [`Gazetteer`].
+///
+/// Thread-safe: lookups take `&self`; the cache and counters sit behind a
+/// mutex (the resolve path itself is read-only on the gazetteer).
+pub struct ReverseGeocoder<'g> {
+    gazetteer: &'g Gazetteer,
+    cache: Mutex<HashMap<Key, Option<DistrictId>>>,
+    stats: Mutex<ReverseStats>,
+    capacity: usize,
+}
+
+impl<'g> ReverseGeocoder<'g> {
+    /// A geocoder with the default cache capacity (1M quantized cells).
+    pub fn new(gazetteer: &'g Gazetteer) -> Self {
+        Self::with_capacity(gazetteer, 1 << 20)
+    }
+
+    /// A geocoder with an explicit cache capacity. When the cache fills it is
+    /// cleared wholesale — cheap, and the working set re-warms immediately.
+    pub fn with_capacity(gazetteer: &'g Gazetteer, capacity: usize) -> Self {
+        ReverseGeocoder {
+            gazetteer,
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ReverseStats::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Resolves a point to a district id, or `None` outside coverage.
+    pub fn resolve(&self, p: Point) -> Option<DistrictId> {
+        let key = key_of(p);
+        {
+            let cache = self.cache.lock();
+            if let Some(&hit) = cache.get(&key) {
+                let mut s = self.stats.lock();
+                s.lookups += 1;
+                s.cache_hits += 1;
+                if hit.is_some() {
+                    s.resolved += 1;
+                } else {
+                    s.misses += 1;
+                }
+                return hit;
+            }
+        }
+        let resolved = self.gazetteer.resolve_point(p);
+        {
+            let mut cache = self.cache.lock();
+            if cache.len() >= self.capacity {
+                cache.clear();
+            }
+            cache.insert(key, resolved);
+        }
+        let mut s = self.stats.lock();
+        s.lookups += 1;
+        if resolved.is_some() {
+            s.resolved += 1;
+        } else {
+            s.misses += 1;
+        }
+        resolved
+    }
+
+    /// Resolves a point to the full record the Yahoo mock would return.
+    pub fn lookup(&self, p: Point) -> Option<LocationRecord> {
+        let id = self.resolve(p)?;
+        let d = self.gazetteer.district(id);
+        Some(LocationRecord::for_district(
+            d.province,
+            d.name_en,
+            self.gazetteer.town_label(id, p),
+            id,
+        ))
+    }
+
+    /// Resolves a batch, preserving order; unresolvable points yield `None`.
+    pub fn lookup_batch(&self, points: &[Point]) -> Vec<Option<LocationRecord>> {
+        points.iter().map(|&p| self.lookup(p)).collect()
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> ReverseStats {
+        *self.stats.lock()
+    }
+
+    /// The underlying gazetteer.
+    pub fn gazetteer(&self) -> &'g Gazetteer {
+        self.gazetteer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_caches_repeat_lookups() {
+        let g = Gazetteer::load();
+        let geo = ReverseGeocoder::new(&g);
+        let p = Point::new(37.517, 127.047); // Gangnam-gu centroid
+        let a = geo.resolve(p);
+        let b = geo.resolve(p);
+        assert_eq!(a, b);
+        assert!(a.is_some());
+        let s = geo.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.resolved, 2);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_returns_full_record() {
+        let g = Gazetteer::load();
+        let geo = ReverseGeocoder::new(&g);
+        let rec = geo.lookup(Point::new(37.517, 127.047)).unwrap();
+        assert_eq!(rec.state, "Seoul");
+        assert_eq!(rec.county, "Gangnam-gu");
+        assert_eq!(rec.country, "South Korea");
+        assert!(rec.town.ends_with("-dong"));
+        assert!(rec.district.is_some());
+    }
+
+    #[test]
+    fn out_of_coverage_is_cached_miss() {
+        let g = Gazetteer::load();
+        let geo = ReverseGeocoder::new(&g);
+        let tokyo = Point::new(35.68, 139.69);
+        assert!(geo.lookup(tokyo).is_none());
+        assert!(geo.lookup(tokyo).is_none());
+        let s = geo.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn tiny_cache_evicts_but_stays_correct() {
+        let g = Gazetteer::load();
+        let geo = ReverseGeocoder::with_capacity(&g, 2);
+        let pts = [
+            Point::new(37.517, 127.047),
+            Point::new(35.106, 129.032),
+            Point::new(35.869, 128.606),
+            Point::new(37.517, 127.047),
+        ];
+        let ids: Vec<_> = pts.iter().map(|&p| geo.resolve(p)).collect();
+        assert_eq!(ids[0], ids[3]);
+        assert!(ids.iter().all(|i| i.is_some()));
+    }
+
+    #[test]
+    fn batch_preserves_order_and_gaps() {
+        let g = Gazetteer::load();
+        let geo = ReverseGeocoder::new(&g);
+        let out = geo.lookup_batch(&[
+            Point::new(37.517, 127.047),
+            Point::new(35.68, 139.69),
+            Point::new(33.50, 126.53),
+        ]);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_some());
+        assert!(out[1].is_none());
+        assert_eq!(out[2].as_ref().unwrap().state, "Jeju-do");
+    }
+}

@@ -1,0 +1,274 @@
+//! A mock of the Yahoo Open API reverse-geocoding endpoint the paper used
+//! (§III-B, Fig. 5), including its XML response format and a parser for it.
+//!
+//! The paper reads the `<state>` and `<county>` elements out of a
+//! `<location>` block. The mock renders exactly that shape, and the analysis
+//! pipeline can be configured to round-trip every lookup through the XML
+//! layer so the same serialize/parse path the authors exercised stays under
+//! test. The endpoint also models the practical constraints of a 2011-era
+//! free API tier: per-day quota and per-request latency accounting.
+
+use stir_geoindex::Point;
+
+use crate::gazetteer::Gazetteer;
+use crate::location::LocationRecord;
+use crate::reverse::ReverseGeocoder;
+
+/// Errors the mock endpoint can return.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum YahooError {
+    /// Daily quota exhausted; carries the configured limit.
+    QuotaExceeded(u64),
+    /// The response XML was malformed (parser side).
+    MalformedResponse(String),
+}
+
+impl std::fmt::Display for YahooError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            YahooError::QuotaExceeded(limit) => {
+                write!(f, "daily quota of {limit} requests exceeded")
+            }
+            YahooError::MalformedResponse(msg) => write!(f, "malformed response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for YahooError {}
+
+/// Escapes the five XML special characters.
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn xml_unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Renders the Fig. 5 response for a resolved location.
+pub fn render_response(query: Point, rec: Option<&LocationRecord>) -> String {
+    let mut xml = String::with_capacity(512);
+    xml.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    xml.push_str("<ResultSet version=\"1.0\">\n");
+    let found = usize::from(rec.is_some());
+    xml.push_str(&format!("  <Found>{found}</Found>\n"));
+    xml.push_str("  <Result>\n");
+    xml.push_str(&format!("    <latitude>{:.6}</latitude>\n", query.lat));
+    xml.push_str(&format!("    <longitude>{:.6}</longitude>\n", query.lon));
+    if let Some(rec) = rec {
+        xml.push_str("    <location>\n");
+        xml.push_str(&format!(
+            "      <country>{}</country>\n",
+            xml_escape(&rec.country)
+        ));
+        xml.push_str(&format!(
+            "      <state>{}</state>\n",
+            xml_escape(&rec.state)
+        ));
+        xml.push_str(&format!(
+            "      <county>{}</county>\n",
+            xml_escape(&rec.county)
+        ));
+        xml.push_str(&format!("      <town>{}</town>\n", xml_escape(&rec.town)));
+        xml.push_str("    </location>\n");
+    }
+    xml.push_str("  </Result>\n");
+    xml.push_str("</ResultSet>\n");
+    xml
+}
+
+/// Extracts the text content of the first `<tag>…</tag>` in `xml`.
+fn element_text<'a>(xml: &'a str, tag: &str) -> Option<&'a str> {
+    let open = format!("<{tag}>");
+    let close = format!("</{tag}>");
+    let start = xml.find(&open)? + open.len();
+    let end = xml[start..].find(&close)? + start;
+    Some(&xml[start..end])
+}
+
+/// Parses a Fig. 5 response back into a [`LocationRecord`] (without the
+/// district id, which the XML does not carry). Returns `Ok(None)` for a
+/// well-formed response with `<Found>0</Found>`.
+pub fn parse_response(xml: &str) -> Result<Option<LocationRecord>, YahooError> {
+    let found = element_text(xml, "Found")
+        .ok_or_else(|| YahooError::MalformedResponse("missing <Found>".into()))?;
+    match found.trim() {
+        "0" => Ok(None),
+        "1" => {
+            let location = element_text(xml, "location")
+                .ok_or_else(|| YahooError::MalformedResponse("missing <location>".into()))?;
+            let field = |tag: &str| -> Result<String, YahooError> {
+                element_text(location, tag)
+                    .map(|s| xml_unescape(s.trim()))
+                    .ok_or_else(|| YahooError::MalformedResponse(format!("missing <{tag}>")))
+            };
+            Ok(Some(LocationRecord {
+                country: field("country")?,
+                state: field("state")?,
+                county: field("county")?,
+                town: field("town")?,
+                district: None,
+            }))
+        }
+        other => Err(YahooError::MalformedResponse(format!(
+            "bad <Found> value {other:?}"
+        ))),
+    }
+}
+
+/// The mock endpoint: quota-limited, latency-accounted reverse geocoding
+/// that answers in the Fig. 5 XML format.
+pub struct YahooPlaceFinder<'g> {
+    geocoder: ReverseGeocoder<'g>,
+    daily_quota: u64,
+    latency_ms_per_request: u64,
+    requests: std::cell::Cell<u64>,
+    simulated_ms: std::cell::Cell<u64>,
+}
+
+impl<'g> YahooPlaceFinder<'g> {
+    /// An endpoint with the 2011-era free-tier defaults: 50,000 requests per
+    /// day, ~120 ms per request.
+    pub fn new(gazetteer: &'g Gazetteer) -> Self {
+        Self::with_limits(gazetteer, 50_000, 120)
+    }
+
+    /// An endpoint with explicit quota/latency parameters.
+    pub fn with_limits(gazetteer: &'g Gazetteer, daily_quota: u64, latency_ms: u64) -> Self {
+        YahooPlaceFinder {
+            geocoder: ReverseGeocoder::new(gazetteer),
+            daily_quota,
+            latency_ms_per_request: latency_ms,
+            requests: std::cell::Cell::new(0),
+            simulated_ms: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Issues one reverse-geocoding request, returning the raw XML response.
+    pub fn request_xml(&self, p: Point) -> Result<String, YahooError> {
+        if self.requests.get() >= self.daily_quota {
+            return Err(YahooError::QuotaExceeded(self.daily_quota));
+        }
+        self.requests.set(self.requests.get() + 1);
+        self.simulated_ms
+            .set(self.simulated_ms.get() + self.latency_ms_per_request);
+        let rec = self.geocoder.lookup(p);
+        Ok(render_response(p, rec.as_ref()))
+    }
+
+    /// Issues a request and parses the response — the full round trip the
+    /// paper's pipeline performed per GPS tweet.
+    pub fn lookup(&self, p: Point) -> Result<Option<LocationRecord>, YahooError> {
+        parse_response(&self.request_xml(p)?)
+    }
+
+    /// Requests issued so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// Total simulated wall-clock cost of the traffic, in milliseconds.
+    pub fn simulated_ms(&self) -> u64 {
+        self.simulated_ms.get()
+    }
+
+    /// Resets the daily counter (a new simulated day).
+    pub fn reset_quota(&self) {
+        self.requests.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_xml_preserves_state_county() {
+        let g = Gazetteer::load();
+        let api = YahooPlaceFinder::new(&g);
+        let p = Point::new(37.517, 127.047);
+        let rec = api.lookup(p).unwrap().expect("gangnam resolves");
+        assert_eq!(rec.state, "Seoul");
+        assert_eq!(rec.county, "Gangnam-gu");
+        assert_eq!(rec.country, "South Korea");
+    }
+
+    #[test]
+    fn response_shape_matches_fig5() {
+        let g = Gazetteer::load();
+        let api = YahooPlaceFinder::new(&g);
+        let xml = api.request_xml(Point::new(37.517, 127.047)).unwrap();
+        for tag in [
+            "<ResultSet",
+            "<Found>1</Found>",
+            "<location>",
+            "<country>",
+            "<state>",
+            "<county>",
+            "<town>",
+        ] {
+            assert!(xml.contains(tag), "missing {tag} in:\n{xml}");
+        }
+    }
+
+    #[test]
+    fn not_found_renders_and_parses() {
+        let g = Gazetteer::load();
+        let api = YahooPlaceFinder::new(&g);
+        let xml = api.request_xml(Point::new(35.68, 139.69)).unwrap();
+        assert!(xml.contains("<Found>0</Found>"));
+        assert_eq!(parse_response(&xml).unwrap(), None);
+    }
+
+    #[test]
+    fn quota_is_enforced() {
+        let g = Gazetteer::load();
+        let api = YahooPlaceFinder::with_limits(&g, 3, 100);
+        let p = Point::new(37.517, 127.047);
+        for _ in 0..3 {
+            assert!(api.lookup(p).is_ok());
+        }
+        assert_eq!(api.lookup(p), Err(YahooError::QuotaExceeded(3)));
+        api.reset_quota();
+        assert!(api.lookup(p).is_ok());
+        assert_eq!(api.simulated_ms(), 400);
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let rec = LocationRecord {
+            country: "A&B <Co>".into(),
+            state: "\"S\"".into(),
+            county: "C'ty".into(),
+            town: "T".into(),
+            district: None,
+        };
+        let xml = render_response(Point::new(37.0, 127.0), Some(&rec));
+        let back = parse_response(&xml).unwrap().unwrap();
+        assert_eq!(back.country, "A&B <Co>");
+        assert_eq!(back.state, "\"S\"");
+        assert_eq!(back.county, "C'ty");
+    }
+
+    #[test]
+    fn malformed_responses_are_rejected() {
+        assert!(parse_response("<nope/>").is_err());
+        assert!(parse_response("<Found>1</Found>").is_err());
+        assert!(parse_response("<Found>9</Found>").is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Shared experiment context: options, dataset generation, pipeline runs.
+
+use stir_core::{AnalysisResult, PipelineConfig, ProfileRow, RefinementPipeline, TweetRow};
+use stir_geokr::Gazetteer;
+use stir_twitter_sim::datasets::{Dataset, DatasetSpec};
+
+/// Command-line options shared by every experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Master seed.
+    pub seed: u64,
+    /// Dataset scale relative to the paper (1.0 = paper scale).
+    pub scale: f64,
+    /// Geocoding threads.
+    pub threads: usize,
+    /// Route geocoding through the mock Yahoo XML endpoint.
+    pub via_yahoo_xml: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 2012,
+            scale: 0.1,
+            threads: 8,
+            via_yahoo_xml: false,
+        }
+    }
+}
+
+/// A fully analysed dataset.
+pub struct Analysed {
+    /// The generated dataset.
+    pub dataset: Dataset,
+    /// The pipeline output.
+    pub result: AnalysisResult,
+}
+
+/// Loads the gazetteer (leaked: experiments are one-shot processes).
+pub fn gazetteer() -> &'static Gazetteer {
+    Box::leak(Box::new(Gazetteer::load()))
+}
+
+/// The Korean dataset spec at the requested scale.
+pub fn korean_spec(opts: &Options) -> DatasetSpec {
+    DatasetSpec::korean_paper().scaled(opts.scale)
+}
+
+/// The Lady Gaga dataset spec at the requested scale.
+pub fn lady_gaga_spec(opts: &Options) -> DatasetSpec {
+    DatasetSpec::lady_gaga_paper().scaled(opts.scale)
+}
+
+/// Generates a dataset and runs the full refinement pipeline on it.
+pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options) -> Analysed {
+    let label = spec.name;
+    eprintln!(
+        "[{}] generating {} users (seed {}, scale {:.2}) …",
+        label, spec.n_users, opts.seed, opts.scale
+    );
+    let dataset = Dataset::generate(spec, gazetteer, opts.seed);
+    eprintln!(
+        "[{}] {} users, ~{} tweets; running refinement pipeline …",
+        label,
+        dataset.len(),
+        dataset.total_tweets()
+    );
+    let pipeline = RefinementPipeline::new(
+        gazetteer,
+        PipelineConfig {
+            via_yahoo_xml: opts.via_yahoo_xml,
+            threads: opts.threads,
+            ..Default::default()
+        },
+    );
+    let profiles = dataset.users.iter().map(|u| ProfileRow {
+        user: u.id.0,
+        location_text: u.location_text.clone(),
+    });
+    let tweets = dataset.users.iter().flat_map(|u| {
+        dataset
+            .user_tweets(gazetteer, u.id)
+            .into_iter()
+            .map(|t| TweetRow {
+                user: t.user.0,
+                tweet_id: t.id.0,
+                gps: t.gps,
+            })
+    });
+    let result = pipeline.run(profiles, tweets);
+    eprintln!(
+        "[{}] final cohort {} users / {} strings",
+        label, result.funnel.users_final, result.funnel.strings_built
+    );
+    Analysed { dataset, result }
+}

@@ -1,0 +1,49 @@
+//! `repro all` — every experiment in paper order, sharing one analysed
+//! dataset where possible (the Korean pipeline run is the expensive step).
+
+use stir_core::GroupTable;
+
+use crate::context::{analyse, gazetteer, korean_spec, lady_gaga_spec, Options};
+use crate::experiments;
+use stir_core::report;
+use stir_twitter_sim::{Crawler, TwitterApi};
+
+/// Runs everything.
+pub fn run(opts: &Options) {
+    experiments::table12::run_table1(opts);
+    experiments::table12::run_table2(opts);
+    experiments::fig3::run(opts);
+    experiments::fig4::run(opts);
+    experiments::fig5::run(opts);
+
+    // One Korean analysis serves funnel, fig6, fig7 and the tweet chart.
+    let g = gazetteer();
+    let analysed = analyse(korean_spec(opts), g, opts);
+    let api = TwitterApi::new(&analysed.dataset, g);
+    let crawl = Crawler::new(&api).run(analysed.dataset.graph.best_seed(), usize::MAX);
+    println!("\n=== E3 — data refinement funnel ===\n");
+    println!(
+        "crawl: {} users in {} requests, {} stalls, {:.1} simulated days\n",
+        crawl.users.len(),
+        crawl.requests,
+        crawl.rate_limit_stalls,
+        crawl.simulated_days()
+    );
+    println!("{}", report::render_funnel(&analysed.result.funnel));
+
+    let table = GroupTable::compute(&analysed.result.users);
+    experiments::fig6::print(&table);
+    experiments::fig7::print(&table);
+    experiments::tweets::print(&table);
+
+    let gaga = GroupTable::compute(&analyse(lady_gaga_spec(opts), g, opts).result.users);
+    experiments::compare::print(&table, &gaga);
+
+    experiments::eventloc::run(opts);
+    experiments::ablation::run(opts);
+    experiments::regional::run(opts);
+    experiments::detect::run(opts);
+    experiments::nonegroup::run(opts);
+    experiments::diurnal::run(opts);
+    experiments::sensitivity::run(opts);
+}

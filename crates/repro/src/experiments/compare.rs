@@ -1,0 +1,62 @@
+//! E7 / slides 4–5 — Korean vs Lady Gaga dataset comparison.
+//!
+//! The slides compare users-per-group percentages and average tweet
+//! locations per group across the two collections. Expected shape: the
+//! streaming sample's global, event-driven audience is less home-anchored
+//! (smaller Top-1∪Top-2, larger None) and — with only a tweet or two
+//! visible per user — shows far fewer distinct districts per user.
+
+use stir_core::{GroupTable, TopKGroup};
+
+use crate::context::{analyse, gazetteer, korean_spec, lady_gaga_spec, Options};
+
+/// Runs the experiment.
+pub fn run(opts: &Options) {
+    let g = gazetteer();
+    let korean = GroupTable::compute(&analyse(korean_spec(opts), g, opts).result.users);
+    let gaga = GroupTable::compute(&analyse(lady_gaga_spec(opts), g, opts).result.users);
+    print(&korean, &gaga);
+}
+
+/// Prints the two slide charts side by side.
+pub fn print(korean: &GroupTable, gaga: &GroupTable) {
+    println!("\n=== slides 4–5 — Korean vs Lady Gaga datasets ===\n");
+    println!(
+        "{:<8} {:>14} {:>14}    {:>14} {:>14}",
+        "group", "KR users %", "LG users %", "KR avg.locs", "LG avg.locs"
+    );
+    println!("{}", "-".repeat(72));
+    for g in TopKGroup::ALL {
+        let k = korean.row(g);
+        let l = gaga.row(g);
+        println!(
+            "{:<8} {:>13.2}% {:>13.2}%    {:>14.2} {:>14.2}",
+            g.label(),
+            k.user_pct,
+            l.user_pct,
+            k.avg_locations,
+            l.avg_locations
+        );
+    }
+    println!("{}", "-".repeat(72));
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "cohort", korean.total_users, gaga.total_users
+    );
+    println!(
+        "\nTop-1+Top-2: KR {:.1}% vs LG {:.1}%   |   None: KR {:.1}% vs LG {:.1}%",
+        korean.top1_top2_pct(),
+        gaga.top1_top2_pct(),
+        korean.row(TopKGroup::None).user_pct,
+        gaga.row(TopKGroup::None).user_pct
+    );
+    println!(
+        "overall avg districts: KR {:.2} vs LG {:.2}",
+        korean.overall_avg_locations, gaga.overall_avg_locations
+    );
+    let cmp = stir_core::compare(korean, gaga);
+    println!(
+        "total variation distance between the two user distributions: {:.3}",
+        cmp.user_share_tvd
+    );
+}

@@ -1,0 +1,73 @@
+//! E14 / extension — detection-quality benchmark.
+//!
+//! Turns Toretter's Fig. 2 anecdote into a protocol: several injected
+//! earthquakes (positive trials) plus quiet control windows (negative
+//! trials), scored for detection rate, false alarms, latency and location
+//! error — unweighted vs reliability-weighted observations.
+
+use stir::detection_bench::{run_detection_benchmark, uniform_builder};
+use stir::eventdet::{MeanEstimator, ObservationBuilder};
+use stir::geoindex::Point;
+
+use crate::context::{analyse, gazetteer, korean_spec, Options};
+
+/// Runs the experiment.
+pub fn run(opts: &Options) {
+    let g = gazetteer();
+    let analysed = analyse(korean_spec(opts), g, opts);
+
+    let epicenters: Vec<(Point, u64)> = vec![
+        (Point::new(37.50, 127.00), 20_000),
+        (Point::new(35.18, 129.05), 35_000),
+        (Point::new(35.87, 128.60), 50_000),
+        (Point::new(36.35, 127.38), 65_000),
+        (Point::new(37.46, 126.70), 80_000),
+    ];
+    let quiet_trials = 5;
+    let background = 600;
+    let est = MeanEstimator;
+
+    let weighted_builder = ObservationBuilder::from_analysis(g, &analysed.result, 0.02);
+    let uniform = uniform_builder(g, &analysed.result);
+
+    println!("\n=== extension — detection-quality benchmark ===\n");
+    println!(
+        "{} event trials (metro epicenters) + {} quiet controls, {} background users\n",
+        epicenters.len(),
+        quiet_trials,
+        background
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>12}",
+        "observations", "detected", "false-alarm", "latency", "error"
+    );
+    println!("{}", "-".repeat(72));
+    for (label, builder) in [
+        ("unweighted", &uniform),
+        ("reliability-weighted", &weighted_builder),
+    ] {
+        let report = run_detection_benchmark(
+            &analysed.dataset,
+            g,
+            &epicenters,
+            quiet_trials,
+            background,
+            &est,
+            builder,
+            opts.seed,
+        );
+        println!(
+            "{:<22} {:>9.0}% {:>11.0}% {:>10.0} s {:>9.1} km",
+            label,
+            100.0 * report.detection_rate(),
+            100.0 * report.false_alarm_rate(),
+            report.mean_latency_secs().unwrap_or(f64::NAN),
+            report.mean_error_km().unwrap_or(f64::NAN)
+        );
+    }
+    println!("{}", "-".repeat(72));
+    println!(
+        "\ndetection and latency depend on the *term trend* (identical for both rows);\n\
+         the reliability weights act on the location estimate — the error column."
+    );
+}

@@ -1,0 +1,54 @@
+//! `repro export` — write the analysis artifacts as CSV files for external
+//! plotting (group table, funnel, per-user cohort, regional breakdown).
+
+use std::fs;
+use std::path::Path;
+
+use stir_core::export::{cohort_csv, funnel_csv, group_table_csv, regional_csv};
+use stir_core::regional::by_region;
+use stir_core::GroupTable;
+
+use crate::context::{analyse, gazetteer, korean_spec, Options};
+
+/// Runs the export into `out_dir`.
+pub fn run(opts: &Options, out_dir: &Path) {
+    let g = gazetteer();
+    let analysed = analyse(korean_spec(opts), g, opts);
+    let table = GroupTable::compute(&analysed.result.users);
+    let regional = by_region(&analysed.result.users);
+
+    fs::create_dir_all(out_dir).expect("create output directory");
+    let write = |name: &str, content: String| {
+        let path = out_dir.join(name);
+        fs::write(&path, content).expect("write CSV");
+        println!("wrote {}", path.display());
+    };
+    write("group_table.csv", group_table_csv(&table));
+    write("funnel.csv", funnel_csv(&analysed.result.funnel));
+    write("cohort.csv", cohort_csv(&analysed.result.users));
+    write("regional.csv", regional_csv(&regional));
+
+    // GeoJSON: district footprints coloured by cohort density (users whose
+    // profile resolves to the district), droppable into any map viewer.
+    let mut counts: std::collections::HashMap<stir_geokr::DistrictId, f64> =
+        std::collections::HashMap::new();
+    for u in &analysed.result.users {
+        let hit = g
+            .find_by_name_en(&u.county_profile)
+            .iter()
+            .copied()
+            .find(|&id| g.district(id).province.name_en() == u.state_profile);
+        if let Some(id) = hit {
+            *counts.entry(id).or_insert(0.0) += 1.0;
+        }
+    }
+    let values = |id: stir_geokr::DistrictId| counts.get(&id).copied();
+    write(
+        "districts.geojson",
+        stir_geokr::geojson::districts_geojson(g, Some(&values)),
+    );
+    println!(
+        "\n5 files for a {}-user cohort (seed {}, scale {:.2})",
+        table.total_users, opts.seed, opts.scale
+    );
+}

@@ -1,0 +1,83 @@
+//! E9 / Fig. 3 — a sample of raw profile-location strings with the
+//! classifier's verdicts, mirroring the paper's screenshot of messy
+//! profiles ("darangland :)", "Earth", two-location entries, exact
+//! coordinates …).
+
+use stir_textgeo::{ProfileClass, ProfileClassifier};
+use stir_twitter_sim::datasets::Dataset;
+
+use crate::context::{gazetteer, korean_spec, Options};
+
+/// Runs the experiment.
+pub fn run(opts: &Options) {
+    let g = gazetteer();
+    let spec = {
+        let mut s = korean_spec(opts);
+        s.n_users = s.n_users.min(400);
+        s
+    };
+    let dataset = Dataset::generate(spec, g, opts.seed);
+    let classifier = ProfileClassifier::new(g);
+
+    println!("\n=== Fig. 3 — locations in user profiles (sample + verdicts) ===\n");
+    println!("{:<34} classification", "profile location text");
+    println!("{}", "-".repeat(70));
+    // Show a diverse sample: walk users, print one per distinct verdict
+    // kind first, then fill up to 24 rows.
+    let mut shown = 0;
+    let mut seen_kinds: Vec<&'static str> = Vec::new();
+    for u in &dataset.users {
+        if shown >= 24 {
+            break;
+        }
+        let class = classifier.classify(&u.location_text);
+        let kind = kind_label(&class);
+        let fresh = !seen_kinds.contains(&kind);
+        if fresh || shown >= 12 {
+            seen_kinds.push(kind);
+            let text = if u.location_text.is_empty() {
+                "(empty)"
+            } else {
+                &u.location_text
+            };
+            println!("{:<34} {}", truncate(text, 32), describe(g, &class));
+            shown += 1;
+        }
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let t: String = s.chars().take(n - 1).collect();
+        format!("{t}…")
+    }
+}
+
+fn kind_label(c: &ProfileClass) -> &'static str {
+    match c {
+        ProfileClass::WellDefined(_) => "well-defined",
+        ProfileClass::Coordinates(_) => "coordinates",
+        ProfileClass::Insufficient(_) => "insufficient",
+        ProfileClass::Vague => "vague",
+        ProfileClass::Ambiguous(_) => "ambiguous",
+        ProfileClass::Foreign => "foreign",
+        ProfileClass::Empty => "empty",
+    }
+}
+
+fn describe(g: &stir_geokr::Gazetteer, c: &ProfileClass) -> String {
+    match c {
+        ProfileClass::WellDefined(id) => {
+            let d = g.district(*id);
+            format!("well-defined → {} {}", d.province.name_en(), d.name_en)
+        }
+        ProfileClass::Coordinates(p) => format!("coordinates → {p}"),
+        ProfileClass::Insufficient(level) => format!("insufficient ({level:?}) — removed"),
+        ProfileClass::Vague => "vague — removed".to_string(),
+        ProfileClass::Ambiguous(ids) => format!("ambiguous ({} candidates) — removed", ids.len()),
+        ProfileClass::Foreign => "foreign — removed".to_string(),
+        ProfileClass::Empty => "empty — removed".to_string(),
+    }
+}

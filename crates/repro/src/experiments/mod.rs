@@ -1,0 +1,21 @@
+//! One module per experiment; see the crate docs for the index.
+
+pub mod ablation;
+pub mod all;
+pub mod compare;
+pub mod detect;
+pub mod diurnal;
+pub mod eventloc;
+pub mod export;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod funnel;
+pub mod nonegroup;
+pub mod regional;
+pub mod report_md;
+pub mod sensitivity;
+pub mod table12;
+pub mod tweets;

@@ -1,0 +1,35 @@
+//! E6 / slide chart — the number of tweets in each group.
+//!
+//! The slides add a tweets-per-group breakdown to the camera-ready's
+//! users-per-group chart: Top-1 users dominate tweet volume even more than
+//! user counts (home-anchored users both match and tweet a lot from one
+//! place), while None users contribute a disproportionately small share
+//! per capita at their profile location (none, by definition).
+
+use stir_core::{report, GroupTable, TopKGroup};
+
+use crate::context::{analyse, gazetteer, korean_spec, Options};
+
+/// Runs the experiment.
+pub fn run(opts: &Options) {
+    let g = gazetteer();
+    let analysed = analyse(korean_spec(opts), g, opts);
+    let table = GroupTable::compute(&analysed.result.users);
+    print(&table);
+}
+
+/// Prints the tweets-per-group chart from a computed table.
+pub fn print(table: &GroupTable) {
+    println!("\n=== slide chart — number of tweets in each group ===\n");
+    let labels: Vec<&str> = TopKGroup::ALL.iter().map(|g| g.label()).collect();
+    let values: Vec<f64> = table.rows.iter().map(|r| r.tweet_pct).collect();
+    println!(
+        "{}",
+        report::render_bar_chart("GPS tweets per group (%)", &labels, &values, 40)
+    );
+    println!("total GPS tweets in cohort: {}", table.total_tweets);
+    println!(
+        "\nfull group table:\n\n{}",
+        report::render_group_table(table)
+    );
+}

@@ -1,0 +1,192 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]
+//!
+//! experiments:
+//!   table1    Table I   example location strings
+//!   table2    Table II  merged & ordered strings with matched ranks
+//!   fig3      Fig. 3    raw profile-location samples with classifications
+//!   fig4      Fig. 4    GPS tweets whose text mentions a place (precision)
+//!   fig5      Fig. 5    Yahoo XML response round trip
+//!   funnel    §III-B    data refinement funnel
+//!   fig6      Fig. 6    average number of tweet locations per group
+//!   fig7      Fig. 7    number of users per group
+//!   tweets    slides    number of tweets per group
+//!   compare   slides    Korean vs Lady Gaga dataset comparison
+//!   eventloc  §V / E8   reliability-weighted event location estimation
+//!   ablation  §III-B    metropolitan-split vs city-grain grouping
+//!   regional  extension reliability by profile region (metro vs provincial)
+//!   export              write group/funnel/cohort/regional CSVs (--out DIR)
+//!   detect    extension detection-quality benchmark (rate/false-alarm/latency/error)
+//!   nonegroup extension diagnose the None group (commuters vs relocated)
+//!   diurnal   extension hour-of-day posting profiles per group
+//!   report              write a full markdown report (--out DIR)
+//!   sensitivity extension tie-break policies + GPS-adoption sweep
+//!   all                 everything above, in order
+//! ```
+//!
+//! Default scale is 1/10 of the paper (5,220 users); `--paper-scale` runs
+//! the full 52,200. Everything is deterministic in `--seed`.
+
+mod context;
+mod experiments;
+
+use std::path::PathBuf;
+
+use context::Options;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, opts, out_dir) = match parse(&args) {
+        Ok(x) => x,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `repro help` for usage");
+            std::process::exit(2);
+        }
+    };
+    match cmd.as_str() {
+        "table1" => experiments::table12::run_table1(&opts),
+        "table2" => experiments::table12::run_table2(&opts),
+        "fig3" => experiments::fig3::run(&opts),
+        "fig4" => experiments::fig4::run(&opts),
+        "fig5" => experiments::fig5::run(&opts),
+        "funnel" => experiments::funnel::run(&opts),
+        "fig6" => experiments::fig6::run(&opts),
+        "fig7" => experiments::fig7::run(&opts),
+        "tweets" => experiments::tweets::run(&opts),
+        "compare" => experiments::compare::run(&opts),
+        "eventloc" => experiments::eventloc::run(&opts),
+        "ablation" => experiments::ablation::run(&opts),
+        "regional" => experiments::regional::run(&opts),
+        "export" => experiments::export::run(&opts, &out_dir),
+        "detect" => experiments::detect::run(&opts),
+        "nonegroup" => experiments::nonegroup::run(&opts),
+        "diurnal" => experiments::diurnal::run(&opts),
+        "report" => experiments::report_md::run(&opts, &out_dir),
+        "sensitivity" => experiments::sensitivity::run(&opts),
+        "all" => experiments::all::run(&opts),
+        "help" | "--help" | "-h" => print_help(),
+        other => {
+            eprintln!("error: unknown experiment {other:?}");
+            print_help();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<(String, Options, PathBuf), String> {
+    let mut opts = Options::default();
+    let mut out_dir = PathBuf::from("repro-out");
+    let mut cmd = None;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer")?;
+            }
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|_| "--scale must be a number")?;
+            }
+            "--paper-scale" => opts.scale = 1.0,
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer")?;
+            }
+            "--via-yahoo-xml" => opts.via_yahoo_xml = true,
+            "--out" => {
+                out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            name => {
+                if cmd.is_some() {
+                    return Err(format!("unexpected argument {name:?}"));
+                }
+                cmd = Some(name.to_string());
+            }
+        }
+    }
+    Ok((cmd.unwrap_or_else(|| "help".to_string()), opts, out_dir))
+}
+
+fn print_help() {
+    println!(
+        "repro — regenerate the paper's tables and figures\n\n\
+         usage: repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N] [--via-yahoo-xml]\n\n\
+         experiments: table1 table2 fig3 fig4 fig5 funnel fig6 fig7 tweets compare eventloc ablation regional export detect nonegroup diurnal report sensitivity all"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let (cmd, opts, out) = parse(&args(&["fig7"])).unwrap();
+        assert_eq!(cmd, "fig7");
+        assert_eq!(opts.seed, 2012);
+        assert!((opts.scale - 0.1).abs() < 1e-12);
+        assert!(!opts.via_yahoo_xml);
+        assert_eq!(out, PathBuf::from("repro-out"));
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let (cmd, opts, out) = parse(&args(&[
+            "export",
+            "--seed",
+            "7",
+            "--scale",
+            "0.5",
+            "--threads",
+            "2",
+            "--via-yahoo-xml",
+            "--out",
+            "/tmp/x",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "export");
+        assert_eq!(opts.seed, 7);
+        assert!((opts.scale - 0.5).abs() < 1e-12);
+        assert_eq!(opts.threads, 2);
+        assert!(opts.via_yahoo_xml);
+        assert_eq!(out, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn parse_paper_scale() {
+        let (_, opts, _) = parse(&args(&["funnel", "--paper-scale"])).unwrap();
+        assert!((opts.scale - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse(&args(&["--seed"])).is_err());
+        assert!(parse(&args(&["--seed", "abc"])).is_err());
+        assert!(parse(&args(&["--bogus-flag"])).is_err());
+        assert!(parse(&args(&["fig7", "extra"])).is_err());
+    }
+
+    #[test]
+    fn parse_no_command_is_help() {
+        let (cmd, _, _) = parse(&[]).unwrap();
+        assert_eq!(cmd, "help");
+    }
+}

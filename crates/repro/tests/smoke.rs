@@ -1,0 +1,119 @@
+//! End-to-end smoke tests: run the actual `repro` binary and check that
+//! every experiment produces its key output markers and exits cleanly.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn all_experiments_run_at_tiny_scale() {
+    let (stdout, stderr, code) = run(&["all", "--scale", "0.02", "--seed", "1"]);
+    assert_eq!(code, Some(0), "stderr:\n{stderr}");
+    for marker in [
+        "Table I",
+        "Table II",
+        "Fig. 3",
+        "Fig. 4",
+        "Fig. 5",
+        "data refinement funnel",
+        "Fig. 6",
+        "Fig. 7",
+        "number of tweets in each group",
+        "Lady Gaga",
+        "reliability-weighted event location estimation",
+        "metropolitan split",
+        "reliability by profile region",
+        "detection-quality benchmark",
+        "diagnosing the None group",
+        "hour-of-day posting profiles",
+        "tie-break",
+        "GPS adoption sweep",
+    ] {
+        assert!(stdout.contains(marker), "missing {marker:?} in output");
+    }
+}
+
+#[test]
+fn help_lists_every_experiment() {
+    let (stdout, _, code) = run(&["help"]);
+    assert_eq!(code, Some(0));
+    for cmd in [
+        "table1",
+        "table2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "funnel",
+        "fig6",
+        "fig7",
+        "tweets",
+        "compare",
+        "eventloc",
+        "ablation",
+        "regional",
+        "export",
+        "detect",
+        "nonegroup",
+        "diurnal",
+        "report",
+        "sensitivity",
+        "all",
+    ] {
+        assert!(stdout.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn bad_arguments_exit_nonzero() {
+    let (_, stderr, code) = run(&["no-such-experiment"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown experiment"));
+    let (_, stderr, code) = run(&["fig7", "--seed"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--seed needs a value"));
+}
+
+#[test]
+fn export_writes_files() {
+    let dir = std::env::temp_dir().join(format!("stir-smoke-export-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (_, stderr, code) = run(&[
+        "export",
+        "--scale",
+        "0.02",
+        "--seed",
+        "1",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "stderr:\n{stderr}");
+    for f in [
+        "group_table.csv",
+        "funnel.csv",
+        "cohort.csv",
+        "regional.csv",
+        "districts.geojson",
+    ] {
+        assert!(dir.join(f).exists(), "missing {f}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn deterministic_across_invocations() {
+    let a = run(&["fig7", "--scale", "0.02", "--seed", "9"]);
+    let b = run(&["fig7", "--scale", "0.02", "--seed", "9"]);
+    assert_eq!(a.0, b.0, "same seed must print identical results");
+    let c = run(&["fig7", "--scale", "0.02", "--seed", "10"]);
+    assert_ne!(a.0, c.0, "different seeds should differ");
+}

@@ -1,0 +1,390 @@
+//! The overall profile-location verdict — the decision the paper's
+//! refinement step makes for every crawled user (§III-B: "we had to remove
+//! many users from our data collection because of the vague (e.g. my home)
+//! and insufficient (e.g. Earth, Seoul, or Korea) information").
+
+use stir_geoindex::Point;
+use stir_geokr::{DistrictId, Gazetteer, Province};
+
+use crate::coords::parse_coordinates;
+use crate::matcher::{DistrictMatcher, MatchOutcome};
+use crate::normalize::normalize;
+use crate::segment::split_alternatives;
+
+/// How far a piece of location text falls short of district grain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InsufficiencyLevel {
+    /// Planet-scale text ("Earth").
+    Planet,
+    /// Country-scale text ("Korea").
+    Country,
+    /// Province-scale text ("Seoul") — valid, but the grouping method needs
+    /// the county level.
+    Province(Province),
+}
+
+/// The classification of a profile-location string.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProfileClass {
+    /// Resolvable to exactly one second-level district — kept by the paper.
+    WellDefined(DistrictId),
+    /// The profile contains literal GPS coordinates; resolve them with the
+    /// reverse geocoder.
+    Coordinates(Point),
+    /// Real geography, wrong grain ("Earth", "Korea", "Seoul") — removed.
+    Insufficient(InsufficiencyLevel),
+    /// No geography at all ("my home", "darangland :)") — removed.
+    Vague,
+    /// Several distinct locations or an unresolvable shared name — removed
+    /// ("we do not know which the current location of the user is").
+    Ambiguous(Vec<DistrictId>),
+    /// Plausibly a location, but outside the Korean gazetteer.
+    Foreign,
+    /// Nothing there.
+    Empty,
+}
+
+impl ProfileClass {
+    /// True when the paper's pipeline keeps the user.
+    pub fn is_well_defined(&self) -> bool {
+        matches!(
+            self,
+            ProfileClass::WellDefined(_) | ProfileClass::Coordinates(_)
+        )
+    }
+}
+
+/// Words that signal an intentionally non-geographic profile.
+const VAGUE_MARKERS: &[&str] = &[
+    "home",
+    "house",
+    "heart",
+    "bed",
+    "sofa",
+    "couch",
+    "dream",
+    "dreamland",
+    "nowhere",
+    "somewhere",
+    "anywhere",
+    "internet",
+    "online",
+    "web",
+    "twitter",
+    "cyberspace",
+    "moon",
+    "wonderland",
+    "neverland",
+    "집",
+    "어딘가",
+    "인터넷",
+    "침대",
+];
+
+/// Foreign place markers — enough to recognize the Fig. 3 style entries
+/// without attempting a world gazetteer.
+const FOREIGN_MARKERS: &[&str] = &[
+    "australia",
+    "gold",
+    "coast",
+    "usa",
+    "america",
+    "york",
+    "california",
+    "tokyo",
+    "japan",
+    "osaka",
+    "china",
+    "beijing",
+    "shanghai",
+    "london",
+    "uk",
+    "england",
+    "paris",
+    "france",
+    "germany",
+    "berlin",
+    "canada",
+    "toronto",
+    "singapore",
+    "hongkong",
+    "hong",
+    "kong",
+    "hawaii",
+    "texas",
+    "sydney",
+    "melbourne",
+    "vancouver",
+    "jakarta",
+    "manila",
+    "bangkok",
+    "taipei",
+    "도쿄",
+    "뉴욕",
+    "미국",
+    "일본",
+    "중국",
+];
+
+/// Classifies raw profile-location strings against a gazetteer.
+///
+/// ```
+/// use stir_geokr::Gazetteer;
+/// use stir_textgeo::{ProfileClass, ProfileClassifier};
+///
+/// let gazetteer = Gazetteer::load();
+/// let classifier = ProfileClassifier::new(&gazetteer);
+/// assert!(classifier.classify("Seoul Yangcheon-gu").is_well_defined());
+/// assert_eq!(classifier.classify("my home"), ProfileClass::Vague);
+/// assert!(!classifier.classify("Earth").is_well_defined());
+/// ```
+pub struct ProfileClassifier<'g> {
+    matcher: DistrictMatcher<'g>,
+}
+
+impl<'g> ProfileClassifier<'g> {
+    /// Builds a classifier (and its matcher tables) over the gazetteer.
+    pub fn new(gazetteer: &'g Gazetteer) -> Self {
+        ProfileClassifier {
+            matcher: DistrictMatcher::new(gazetteer),
+        }
+    }
+
+    /// Direct access to the segment matcher.
+    pub fn matcher(&self) -> &DistrictMatcher<'g> {
+        &self.matcher
+    }
+
+    /// Classifies one raw profile-location string.
+    pub fn classify(&self, raw: &str) -> ProfileClass {
+        let normalized = normalize(raw);
+        if normalized.is_empty() {
+            return ProfileClass::Empty;
+        }
+        if let Some(p) = parse_coordinates(&normalized) {
+            return ProfileClass::Coordinates(p);
+        }
+
+        let segments = split_alternatives(&normalized);
+        if segments.is_empty() {
+            return ProfileClass::Empty;
+        }
+
+        let outcomes: Vec<MatchOutcome> = segments
+            .iter()
+            .map(|s| self.matcher.match_segment(&s.text))
+            .collect();
+
+        // Distinct district resolutions across segments.
+        let mut districts: Vec<DistrictId> = Vec::new();
+        for o in &outcomes {
+            match o {
+                MatchOutcome::District(id) if !districts.contains(id) => districts.push(*id),
+                MatchOutcome::AmbiguousDistrict(ids) => {
+                    for id in ids {
+                        if !districts.contains(id) {
+                            districts.push(*id);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let foreign_segments = outcomes
+            .iter()
+            .zip(&segments)
+            .filter(|(o, s)| **o == MatchOutcome::NoMatch && is_foreign(&s.text))
+            .count();
+
+        match districts.len() {
+            1 => {
+                // One Korean district plus a foreign alternative is the
+                // paper's Fig. 3 two-locations case: ambiguous, removed.
+                if foreign_segments > 0 {
+                    return ProfileClass::Ambiguous(districts);
+                }
+                return ProfileClass::WellDefined(districts[0]);
+            }
+            n if n > 1 => return ProfileClass::Ambiguous(districts),
+            _ => {}
+        }
+
+        // No district anywhere: take the best coarser outcome.
+        let mut best: Option<InsufficiencyLevel> = None;
+        for o in &outcomes {
+            let level = match o {
+                MatchOutcome::ProvinceOnly(p) => Some(InsufficiencyLevel::Province(*p)),
+                MatchOutcome::Country => Some(InsufficiencyLevel::Country),
+                MatchOutcome::Planet => Some(InsufficiencyLevel::Planet),
+                _ => None,
+            };
+            best = match (best, level) {
+                (None, l) => l,
+                (Some(b), None) => Some(b),
+                (Some(b), Some(l)) => Some(finer(b, l)),
+            };
+        }
+        if let Some(level) = best {
+            return ProfileClass::Insufficient(level);
+        }
+        if foreign_segments > 0 {
+            return ProfileClass::Foreign;
+        }
+        ProfileClass::Vague
+    }
+}
+
+fn finer(a: InsufficiencyLevel, b: InsufficiencyLevel) -> InsufficiencyLevel {
+    fn rank(l: InsufficiencyLevel) -> u8 {
+        match l {
+            InsufficiencyLevel::Province(_) => 2,
+            InsufficiencyLevel::Country => 1,
+            InsufficiencyLevel::Planet => 0,
+        }
+    }
+    if rank(a) >= rank(b) {
+        a
+    } else {
+        b
+    }
+}
+
+fn is_foreign(segment_text: &str) -> bool {
+    segment_text
+        .split(' ')
+        .any(|t| FOREIGN_MARKERS.contains(&t))
+}
+
+/// True when the normalized text contains an explicit vagueness marker
+/// ("my home", "somewhere on earth"). Exposed for the generator's noise
+/// model tests.
+pub fn has_vague_marker(normalized: &str) -> bool {
+    normalized.split(' ').any(|t| VAGUE_MARKERS.contains(&t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (&'static Gazetteer, ProfileClassifier<'static>) {
+        let g: &'static Gazetteer = Box::leak(Box::new(Gazetteer::load()));
+        let c = ProfileClassifier::new(g);
+        (g, c)
+    }
+
+    #[test]
+    fn well_defined_forms() {
+        let (g, c) = setup();
+        for text in [
+            "Seoul Yangcheon-gu",
+            "seoul, yangcheon-gu",
+            "양천구",
+            "서울시 양천구",
+            "Yangchun-gu, Seoul", // paper's romanization
+        ] {
+            match c.classify(text) {
+                ProfileClass::WellDefined(id) => {
+                    assert_eq!(g.district(id).name_en, "Yangcheon-gu", "for {text:?}")
+                }
+                other => panic!("{text:?} → {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn paper_insufficient_examples() {
+        let (_, c) = setup();
+        assert_eq!(
+            c.classify("Seoul"),
+            ProfileClass::Insufficient(InsufficiencyLevel::Province(Province::Seoul))
+        );
+        assert_eq!(
+            c.classify("Korea"),
+            ProfileClass::Insufficient(InsufficiencyLevel::Country)
+        );
+        assert_eq!(
+            c.classify("Earth"),
+            ProfileClass::Insufficient(InsufficiencyLevel::Planet)
+        );
+    }
+
+    #[test]
+    fn paper_vague_examples() {
+        let (_, c) = setup();
+        assert_eq!(c.classify("my home"), ProfileClass::Vague);
+        assert_eq!(c.classify("darangland :)"), ProfileClass::Vague);
+        assert_eq!(c.classify(""), ProfileClass::Empty);
+        assert_eq!(c.classify("   "), ProfileClass::Empty);
+    }
+
+    #[test]
+    fn paper_two_location_example_is_ambiguous() {
+        let (_, c) = setup();
+        // Fig. 3: "Gold Coast Australia / <Seoul district in Korean>".
+        match c.classify("Gold Coast Australia / 서울 양천구") {
+            ProfileClass::Ambiguous(ids) => assert_eq!(ids.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_korean_districts_are_ambiguous() {
+        let (_, c) = setup();
+        match c.classify("Gangnam-gu / Mapo-gu") {
+            ProfileClass::Ambiguous(ids) => assert_eq!(ids.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_name_without_province_is_ambiguous() {
+        let (_, c) = setup();
+        match c.classify("Jung-gu") {
+            ProfileClass::Ambiguous(ids) => assert_eq!(ids.len(), 6),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coordinates_in_profile() {
+        let (_, c) = setup();
+        match c.classify("37.517, 127.047") {
+            ProfileClass::Coordinates(p) => assert!((p.lat - 37.517).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(c.classify("ut: 37.517,127.047").is_well_defined());
+    }
+
+    #[test]
+    fn foreign_only_profile() {
+        let (_, c) = setup();
+        assert_eq!(c.classify("Gold Coast Australia"), ProfileClass::Foreign);
+        assert_eq!(c.classify("Tokyo, Japan"), ProfileClass::Foreign);
+    }
+
+    #[test]
+    fn insufficiency_takes_finest_grain() {
+        let (_, c) = setup();
+        // "Seoul / Earth" → province beats planet.
+        assert_eq!(
+            c.classify("Seoul / Earth"),
+            ProfileClass::Insufficient(InsufficiencyLevel::Province(Province::Seoul))
+        );
+    }
+
+    #[test]
+    fn vague_marker_lexicon() {
+        assert!(has_vague_marker("my home"));
+        assert!(has_vague_marker("침대 위"));
+        assert!(!has_vague_marker("seoul gangnam-gu"));
+    }
+
+    #[test]
+    fn is_well_defined_predicate() {
+        let (_, c) = setup();
+        assert!(c.classify("Bucheon-si").is_well_defined());
+        assert!(!c.classify("Korea").is_well_defined());
+        assert!(!c.classify("my home").is_well_defined());
+    }
+}

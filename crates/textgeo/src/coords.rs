@@ -1,0 +1,118 @@
+//! Parsing GPS coordinates embedded in free text.
+//!
+//! Some users put exact coordinates in their profile ("some provided the
+//! exact addresses or the GPS coordinates", §III-A), and 2011-era clients
+//! appended "ÜT: lat,lon" markers to tweets. We accept any two decimal
+//! numbers in plausible latitude/longitude ranges separated by a comma
+//! and/or whitespace.
+
+use stir_geoindex::Point;
+
+/// Extracts the first plausible `lat, lon` pair from the text, if any.
+///
+/// Accepted shapes (after [`crate::normalize::normalize`] or raw):
+/// `"37.51, 126.94"`, `"ut 37.48,126.89"`, `"(35.1 , 129.0)"`,
+/// `"-33.86, 151.20"`. The pair must parse as finite numbers with
+/// `|lat| ≤ 90` and `|lon| ≤ 180`, and at least one of the two must carry a
+/// fractional part — bare integer pairs like "24 7" are almost never
+/// coordinates in profile text.
+pub fn parse_coordinates(text: &str) -> Option<Point> {
+    let numbers = extract_numbers(text);
+    for w in numbers.windows(2) {
+        let ((lat, lat_frac), (lon, lon_frac)) = (w[0], w[1]);
+        if lat.abs() <= 90.0 && lon.abs() <= 180.0 && (lat_frac || lon_frac) {
+            return Some(Point::new(lat, lon));
+        }
+    }
+    None
+}
+
+/// Pulls out every decimal number in order, flagging whether it had a
+/// fractional part.
+fn extract_numbers(text: &str) -> Vec<(f64, bool)> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let starts_number = c.is_ascii_digit()
+            || (c == '-' && bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit()));
+        if !starts_number {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        if c == '-' {
+            i += 1;
+        }
+        let mut saw_dot = false;
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || (bytes[i] == '.' && !saw_dot)) {
+            if bytes[i] == '.' {
+                // Only a dot followed by a digit belongs to the number.
+                if !bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit()) {
+                    break;
+                }
+                saw_dot = true;
+            }
+            i += 1;
+        }
+        let s: String = bytes[start..i].iter().collect();
+        if let Ok(v) = s.parse::<f64>() {
+            if v.is_finite() {
+                out.push((v, saw_dot));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_pair() {
+        let p = parse_coordinates("37.51, 126.94").unwrap();
+        assert!((p.lat - 37.51).abs() < 1e-9);
+        assert!((p.lon - 126.94).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ut_prefix_and_noise() {
+        let p = parse_coordinates("iphone: ut: 37.480,126.890 !!").unwrap();
+        assert!((p.lat - 37.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let p = parse_coordinates("-33.86, 151.20").unwrap();
+        assert!(p.lat < 0.0 && p.lon > 0.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_pairs() {
+        assert!(parse_coordinates("126.94, 37.51").is_none()); // lon first, lat out of range as lat
+        assert!(parse_coordinates("999.0, 10.0").is_none());
+    }
+
+    #[test]
+    fn accepts_lonlat_like_second_window() {
+        // Three numbers: (200, 37.5) invalid, (37.5, 126.9) valid.
+        let p = parse_coordinates("200 37.5 126.9").unwrap();
+        assert!((p.lat - 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_integer_only_pairs_and_prose() {
+        assert!(parse_coordinates("24 7 coffee shop").is_none());
+        assert!(parse_coordinates("seoul, korea").is_none());
+        assert!(parse_coordinates("").is_none());
+        assert!(parse_coordinates("since 2009").is_none());
+    }
+
+    #[test]
+    fn trailing_dot_is_not_fraction() {
+        assert!(parse_coordinates("37. 126.").is_none());
+        assert!(parse_coordinates("37.0 126.").is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! Revised Romanization of Korean (국어의 로마자 표기법, 2000) — enough of
+//! it to romanize administrative place names.
+//!
+//! Korean profile text often carries district names the alias tables have
+//! never seen. Rather than enumerating every spelling, we decompose Hangul
+//! syllables into jamo (U+AC00 block arithmetic), transcribe them with the
+//! Revised Romanization tables, and apply the sound-change rules that
+//! matter for place names (nasalization of ㄹ, liaison of final consonants
+//! into a following vowel, ㄴ+ㄹ assimilation). The gazetteer's own
+//! romanized names act as the ground truth: a unit test romanizes all 229
+//! district stems and requires agreement.
+
+/// Romanization of the 19 initial consonants (choseong).
+const INITIALS: [&str; 19] = [
+    "g", "kk", "n", "d", "tt", "r", "m", "b", "pp", "s", "ss", "", "j", "jj", "ch", "k", "t", "p",
+    "h",
+];
+
+/// Romanization of the 21 medial vowels (jungseong).
+const MEDIALS: [&str; 21] = [
+    "a", "ae", "ya", "yae", "eo", "e", "yeo", "ye", "o", "wa", "wae", "oe", "yo", "u", "wo", "we",
+    "wi", "yu", "eu", "ui", "i",
+];
+
+/// Romanization of the 28 final consonants (jongseong; index 0 = none),
+/// transcribed by representative pronunciation as RR prescribes for
+/// syllable-final position.
+const FINALS: [&str; 28] = [
+    "", "k", "k", "k", "n", "n", "n", "t", "l", "k", "m", "l", "l", "l", "p", "l", "m", "p", "p",
+    "t", "t", "ng", "t", "t", "k", "t", "p", "t",
+];
+
+/// Jamo decomposition of one Hangul syllable: (initial, medial, final)
+/// indexes, or `None` for non-syllable characters.
+fn decompose(c: char) -> Option<(usize, usize, usize)> {
+    let code = c as u32;
+    if !(0xAC00..=0xD7A3).contains(&code) {
+        return None;
+    }
+    let idx = code - 0xAC00;
+    Some((
+        (idx / 588) as usize,
+        ((idx % 588) / 28) as usize,
+        (idx % 28) as usize,
+    ))
+}
+
+/// Final-consonant index → the initial-consonant index it becomes when
+/// carried over to a following vowel (liaison), or `None` if it does not
+/// carry cleanly (compound finals keep their coda reading).
+fn liaison_initial(final_idx: usize) -> Option<usize> {
+    // Jongseong order: ∅ ㄱ ㄲ ㄳ ㄴ ㄵ ㄶ ㄷ ㄹ ㄺ ㄻ ㄼ ㄽ ㄾ ㄿ ㅀ ㅁ ㅂ ㅄ ㅅ ㅆ ㅇ ㅈ ㅊ ㅋ ㅌ ㅍ ㅎ
+    match final_idx {
+        1 => Some(0),   // ㄱ → g
+        2 => Some(1),   // ㄲ → kk
+        4 => Some(2),   // ㄴ → n
+        7 => Some(3),   // ㄷ → d
+        8 => Some(5),   // ㄹ → r
+        16 => Some(6),  // ㅁ → m
+        17 => Some(7),  // ㅂ → b
+        19 => Some(9),  // ㅅ → s
+        20 => Some(10), // ㅆ → ss
+        22 => Some(12), // ㅈ → j
+        23 => Some(14), // ㅊ → ch
+        24 => Some(15), // ㅋ → k
+        25 => Some(16), // ㅌ → t
+        26 => Some(17), // ㅍ → p
+        27 => Some(18), // ㅎ → h
+        _ => None,
+    }
+}
+
+/// True when the syllable's onset is empty (ㅇ).
+fn starts_with_vowel(syllable: (usize, usize, usize)) -> bool {
+    syllable.0 == 11
+}
+
+/// Romanizes a run of Hangul syllables with the place-name sound rules:
+///
+/// * liaison: a final consonant moves onto a following empty onset
+///   (연안 → yeonan, not yeonkan);
+/// * ㄹ-nasalization: onset ㄹ after a final ㄴ/ㅁ/ㅇ is read ㄴ
+///   (종로 → Jongno, 강릉 → Gangneung);
+/// * ㄴ+ㄹ and ㄹ+ㄴ assimilate to ll (신림 → Sillim).
+///
+/// Non-Hangul characters pass through unchanged (lowercased ASCII).
+pub fn romanize(text: &str) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    let syllables: Vec<Option<(usize, usize, usize)>> =
+        chars.iter().map(|&c| decompose(c)).collect();
+    let mut out = String::with_capacity(text.len() * 2);
+    // The coda *as actually emitted* for the previous syllable — sound
+    // rules chain (신라: the ㄴ coda surfaces as "l", and the following ㄹ
+    // onset must then geminate against that "l", not the original "n").
+    let mut prev_coda: &str = "";
+
+    for i in 0..chars.len() {
+        let Some((ini, med, fin)) = syllables[i] else {
+            out.extend(chars[i].to_lowercase());
+            prev_coda = "";
+            continue;
+        };
+        let next = syllables.get(i + 1).copied().flatten();
+
+        // Onset, adjusted by the previous effective coda.
+        let mut onset = INITIALS[ini];
+        if ini == 5 {
+            // ㄹ onset: nasalizes after nasal/stop codas (종로 → Jongno),
+            // geminates after ㄹ (울릉 → Ulleung).
+            match prev_coda {
+                "n" | "m" | "ng" | "k" | "p" | "t" => onset = "n",
+                "l" => onset = "l",
+                _ => {}
+            }
+        } else if ini == 2 && prev_coda == "l" {
+            // ㄴ onset after ㄹ coda assimilates (실내 → sillae).
+            onset = "l";
+        }
+
+        // Coda, adjusted by the next syllable.
+        let mut carried: Option<usize> = None;
+        let mut coda = FINALS[fin];
+        if let Some(nxt) = next {
+            if starts_with_vowel(nxt) {
+                if let Some(c) = liaison_initial(fin) {
+                    carried = Some(c);
+                    coda = "";
+                }
+            } else if fin == 4 && nxt.0 == 5 {
+                // ㄴ + ㄹ → l·l (신라 → Silla).
+                coda = "l";
+            }
+        }
+
+        out.push_str(onset);
+        out.push_str(MEDIALS[med]);
+        out.push_str(coda);
+        if let Some(c) = carried {
+            // The carried consonant becomes the next syllable's (empty)
+            // onset; emitting it here keeps the string contiguous.
+            out.push_str(INITIALS[c]);
+            prev_coda = "";
+        } else {
+            prev_coda = coda;
+        }
+    }
+    out
+}
+
+/// Romanizes and title-cases a place-name stem ("양천" → "Yangcheon").
+pub fn romanize_name(text: &str) -> String {
+    let r = romanize(text);
+    let mut chars = r.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_syllables() {
+        assert_eq!(romanize("가"), "ga");
+        assert_eq!(romanize("한"), "han");
+        assert_eq!(romanize("서울"), "seoul");
+        assert_eq!(romanize("부산"), "busan");
+    }
+
+    #[test]
+    fn district_names() {
+        assert_eq!(romanize("양천"), "yangcheon");
+        assert_eq!(romanize("강남"), "gangnam");
+        assert_eq!(romanize("마포"), "mapo");
+        assert_eq!(romanize("해운대"), "haeundae");
+        assert_eq!(romanize("수원"), "suwon");
+        assert_eq!(romanize("의왕"), "uiwang");
+    }
+
+    #[test]
+    fn nasalization_of_rieul() {
+        assert_eq!(romanize("종로"), "jongno");
+        assert_eq!(romanize("강릉"), "gangneung");
+    }
+
+    #[test]
+    fn liaison_into_vowel() {
+        assert_eq!(romanize("연안"), "yeonan");
+        assert_eq!(romanize("일원"), "irwon");
+    }
+
+    #[test]
+    fn nl_assimilation() {
+        assert_eq!(romanize("신라"), "silla");
+        assert_eq!(romanize("신림"), "sillim");
+    }
+
+    #[test]
+    fn mixed_text_passes_through() {
+        assert_eq!(romanize("서울 Apt 3동"), "seoul apt 3dong");
+        assert_eq!(romanize(""), "");
+        assert_eq!(romanize("hello"), "hello");
+    }
+
+    #[test]
+    fn romanize_name_title_cases() {
+        assert_eq!(romanize_name("양천"), "Yangcheon");
+        assert_eq!(romanize_name("부천"), "Bucheon");
+    }
+
+    /// The self-validation test: romanize every district stem in the
+    /// gazetteer and compare with its published romanized stem. The rules
+    /// implemented above reproduce **all 229** official romanizations.
+    #[test]
+    fn gazetteer_stems_romanize_exactly() {
+        let gazetteer = stir_geokr::Gazetteer::load();
+        let mut mismatches = Vec::new();
+        for d in gazetteer.districts() {
+            let ko_stem: String = {
+                let mut cs: Vec<char> = d.name_ko.chars().collect();
+                cs.pop(); // drop the 시/군/구 suffix character
+                cs.into_iter().collect()
+            };
+            let got = romanize(&ko_stem);
+            let want = d.stem_en().to_ascii_lowercase();
+            if got != want {
+                mismatches.push(format!("{} ({ko_stem}): got {got}, want {want}", d.name_en));
+            }
+        }
+        assert!(
+            mismatches.is_empty(),
+            "{} mismatches:\n{}",
+            mismatches.len(),
+            mismatches.join("\n")
+        );
+    }
+}

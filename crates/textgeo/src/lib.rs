@@ -1,0 +1,38 @@
+//! # stir-textgeo — free-text profile-location processing
+//!
+//! Twitter profile locations are free text, capped at 30 characters, written
+//! in any language, and "not normalized or geocoded in any way" (paper
+//! §III-A, Fig. 3). This crate turns that text into the paper's refinement
+//! decision:
+//!
+//! * [`normalize`] — whitespace/punctuation/emoticon cleanup.
+//! * [`segment`] — multi-location detection (the paper's Fig. 3 example:
+//!   "Gold Coast Australia / 서울 행정구역명") and hierarchical splitting.
+//! * [`coords`] — GPS coordinates embedded in profile text ("some provided
+//!   the exact addresses or the GPS coordinates").
+//! * [`edit`] — Damerau–Levenshtein distance for typo-tolerant matching.
+//! * [`hangul`] — Revised Romanization of Korean, self-validated against
+//!   the gazetteer's 229 published district romanizations.
+//! * [`matcher`] — candidate resolution against the `stir-geokr` gazetteer:
+//!   exact, alias, stem, Korean-script, romanized and fuzzy.
+//! * [`mentions`] — the paper's *third* spatial attribute: district names
+//!   mentioned inside tweet text (Fig. 4), extracted precision-first.
+//! * [`classify`] — the overall verdict: well defined / vague / insufficient
+//!   / ambiguous / foreign / coordinates, matching the paper's filtering
+//!   vocabulary ("vague (e.g. my home) and insufficient (e.g. Earth, Seoul,
+//!   or Korea) information").
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod coords;
+pub mod edit;
+pub mod hangul;
+pub mod matcher;
+pub mod mentions;
+pub mod normalize;
+pub mod segment;
+
+pub use classify::{InsufficiencyLevel, ProfileClass, ProfileClassifier};
+pub use matcher::{DistrictMatcher, MatchOutcome};
+pub use mentions::{Mention, MentionExtractor};

@@ -1,0 +1,441 @@
+//! Resolving a single location segment against the gazetteer.
+//!
+//! Tries, in order of trust: exact romanized/Korean names (with aliases),
+//! stem forms without the si/gun/gu suffix, suffix re-joining
+//! ("yangcheon gu" → "yangcheon-gu"), and finally typo-tolerant fuzzy
+//! matching. Also recognizes the coarser levels the paper calls
+//! *insufficient*: province-only, country-only and planet-only text.
+
+use std::collections::HashMap;
+
+use stir_geokr::{DistrictId, ForwardGeocoder, ForwardResult, Gazetteer, Province};
+
+use crate::edit::bounded_damerau_levenshtein;
+use crate::hangul::romanize;
+use crate::normalize::{join_suffix, tokens};
+
+/// What a segment resolved to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// A unique second-level district — the paper's "well defined" grain.
+    District(DistrictId),
+    /// A valid district name shared by several districts, with no province
+    /// to disambiguate ("Jung-gu"), or several distinct districts in one
+    /// segment.
+    AmbiguousDistrict(Vec<DistrictId>),
+    /// Only a first-level division ("Seoul" — the paper's *insufficient*
+    /// example).
+    ProvinceOnly(Province),
+    /// Only a country reference ("Korea").
+    Country,
+    /// Only a planet-scale reference ("Earth").
+    Planet,
+    /// Nothing geographic recognized.
+    NoMatch,
+}
+
+const COUNTRY_WORDS: &[&str] = &["korea", "대한민국", "한국", "southkorea"];
+const PLANET_WORDS: &[&str] = &["earth", "world", "지구", "everywhere", "universe", "우주"];
+
+/// Segment resolver over a gazetteer. Build once, reuse for every profile.
+pub struct DistrictMatcher<'g> {
+    forward: ForwardGeocoder<'g>,
+    /// romanized stem (no suffix) → district ids
+    stems: HashMap<String, Vec<DistrictId>>,
+    /// Korean stem (no suffix char) → district ids
+    ko_stems: HashMap<String, Vec<DistrictId>>,
+    /// every romanized full name, for fuzzy matching
+    fuzzy_pool: Vec<(String, DistrictId)>,
+}
+
+impl<'g> DistrictMatcher<'g> {
+    /// Builds the matcher's lookup tables from the gazetteer.
+    pub fn new(gazetteer: &'g Gazetteer) -> Self {
+        let forward = ForwardGeocoder::new(gazetteer);
+        let mut stems: HashMap<String, Vec<DistrictId>> = HashMap::new();
+        let mut ko_stems: HashMap<String, Vec<DistrictId>> = HashMap::new();
+        let mut fuzzy_pool = Vec::with_capacity(gazetteer.len());
+        for d in gazetteer.districts() {
+            stems
+                .entry(d.stem_en().to_ascii_lowercase())
+                .or_default()
+                .push(d.id);
+            let ko = d.name_ko;
+            if let Some(stripped) = ko.strip_suffix(d.kind.suffix_ko()) {
+                if !stripped.is_empty() {
+                    ko_stems.entry(stripped.to_string()).or_default().push(d.id);
+                }
+            }
+            fuzzy_pool.push((d.name_en.to_ascii_lowercase(), d.id));
+        }
+        DistrictMatcher {
+            forward,
+            stems,
+            ko_stems,
+            fuzzy_pool,
+        }
+    }
+
+    /// The wrapped forward geocoder.
+    pub fn forward(&self) -> &ForwardGeocoder<'g> {
+        &self.forward
+    }
+
+    /// Finds the province mentioned anywhere in the token list, if any.
+    fn find_province(&self, toks: &[&str]) -> Option<Province> {
+        for (i, t) in toks.iter().enumerate() {
+            if let Some(p) = self.forward.resolve_province(t) {
+                return Some(p);
+            }
+            // "south korea" never names a province, but "gyeonggi do" does.
+            if let Some(next) = toks.get(i + 1) {
+                if let Some(joined) = join_suffix(t, next) {
+                    if let Some(p) = self.forward.resolve_province(&joined) {
+                        return Some(p);
+                    }
+                }
+            }
+            // Korean province stem with suffix variations: "서울시" → "서울".
+            if t.chars().count() >= 2 && !t.is_ascii() {
+                let without_last: String = {
+                    let mut cs: Vec<char> = t.chars().collect();
+                    cs.pop();
+                    cs.into_iter().collect()
+                };
+                if let Some(p) = self.forward.resolve_province(&without_last) {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+
+    fn district_candidates(&self, toks: &[&str], scope: Option<Province>) -> Vec<DistrictId> {
+        let mut found: Vec<DistrictId> = Vec::new();
+        let push_result = |r: ForwardResult, found: &mut Vec<DistrictId>| match r {
+            ForwardResult::Unique(id) => {
+                if !found.contains(&id) {
+                    found.push(id);
+                }
+            }
+            ForwardResult::Ambiguous(ids) => {
+                for id in ids {
+                    if !found.contains(&id) {
+                        found.push(id);
+                    }
+                }
+            }
+            ForwardResult::NotFound => {}
+        };
+
+        let mut i = 0;
+        while i < toks.len() {
+            let t = toks[i];
+            // Skip tokens that are province or country/planet words.
+            if self.forward.resolve_province(t).is_some()
+                || COUNTRY_WORDS.contains(&t)
+                || PLANET_WORDS.contains(&t)
+                || t == "south"
+            {
+                i += 1;
+                continue;
+            }
+            // Exact / alias / Korean full names.
+            let direct = self.forward.resolve_district(t, scope);
+            if direct != ForwardResult::NotFound {
+                push_result(direct, &mut found);
+                i += 1;
+                continue;
+            }
+            // Suffix re-joining: "yangcheon gu".
+            if let Some(next) = toks.get(i + 1) {
+                if let Some(joined) = join_suffix(t, next) {
+                    let r = self.forward.resolve_district(&joined, scope);
+                    if r != ForwardResult::NotFound {
+                        push_result(r, &mut found);
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            // Stem forms.
+            if let Some(ids) = self.stems.get(t) {
+                let scoped = self.scope_filter(ids, scope);
+                if !scoped.is_empty() {
+                    for id in scoped {
+                        if !found.contains(&id) {
+                            found.push(id);
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+            }
+            if let Some(ids) = self.ko_stems.get(t) {
+                let scoped = self.scope_filter(ids, scope);
+                for id in scoped {
+                    if !found.contains(&id) {
+                        found.push(id);
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            // Unrecognized Korean token: romanize it (Revised Romanization,
+            // see `hangul`) and retry the romanized paths — this resolves
+            // spellings the ko tables never indexed, e.g. a district name
+            // written with an attached particle or unusual suffix.
+            if !t.is_ascii() {
+                let roman = romanize(t);
+                let r = self.forward.resolve_district(&roman, scope);
+                if r != ForwardResult::NotFound {
+                    push_result(r, &mut found);
+                    i += 1;
+                    continue;
+                }
+                if let Some(ids) = self.stems.get(roman.as_str()) {
+                    let scoped = self.scope_filter(ids, scope);
+                    if !scoped.is_empty() {
+                        for id in scoped {
+                            if !found.contains(&id) {
+                                found.push(id);
+                            }
+                        }
+                        i += 1;
+                        continue;
+                    }
+                }
+                // Particle-bearing Korean forms: "양천구에서" → strip
+                // trailing syllables and retry full names and stems.
+                let mut cs: Vec<char> = t.chars().collect();
+                while cs.len() > 1 {
+                    cs.pop();
+                    let stem: String = cs.iter().collect();
+                    let r = self.forward.resolve_district(&stem, scope);
+                    if r != ForwardResult::NotFound {
+                        push_result(r, &mut found);
+                        break;
+                    }
+                    if let Some(ids) = self.ko_stems.get(stem.as_str()) {
+                        let scoped = self.scope_filter(ids, scope);
+                        if !scoped.is_empty() {
+                            for id in scoped {
+                                if !found.contains(&id) {
+                                    found.push(id);
+                                }
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            // Fuzzy: only for reasonably long ASCII tokens carrying a suffix
+            // shape, to keep false positives down.
+            if t.len() >= 6 && t.is_ascii() {
+                let mut hits: Vec<DistrictId> = Vec::new();
+                for (name, id) in &self.fuzzy_pool {
+                    if bounded_damerau_levenshtein(t, name, 1).is_some() {
+                        hits.push(*id);
+                    }
+                }
+                let scoped = self.scope_filter(&hits, scope);
+                for id in scoped {
+                    if !found.contains(&id) {
+                        found.push(id);
+                    }
+                }
+            }
+            i += 1;
+        }
+        found
+    }
+
+    fn scope_filter(&self, ids: &[DistrictId], scope: Option<Province>) -> Vec<DistrictId> {
+        match scope {
+            None => ids.to_vec(),
+            Some(p) => ids
+                .iter()
+                .copied()
+                .filter(|&id| self.forward.gazetteer().district(id).province == p)
+                .collect(),
+        }
+    }
+
+    /// Resolves one normalized segment.
+    pub fn match_segment(&self, segment_text: &str) -> MatchOutcome {
+        let toks = tokens(segment_text);
+        if toks.is_empty() {
+            return MatchOutcome::NoMatch;
+        }
+        let province = self.find_province(&toks);
+        let districts = self.district_candidates(&toks, province);
+        match districts.len() {
+            1 => return MatchOutcome::District(districts[0]),
+            n if n > 1 => return MatchOutcome::AmbiguousDistrict(districts),
+            _ => {}
+        }
+        if let Some(p) = province {
+            return MatchOutcome::ProvinceOnly(p);
+        }
+        let mut saw_country = false;
+        let mut saw_planet = false;
+        for (i, t) in toks.iter().enumerate() {
+            if COUNTRY_WORDS.contains(t) || (*t == "korea" && i > 0 && toks[i - 1] == "south") {
+                saw_country = true;
+            }
+            if PLANET_WORDS.contains(t) {
+                saw_planet = true;
+            }
+        }
+        if saw_country {
+            MatchOutcome::Country
+        } else if saw_planet {
+            MatchOutcome::Planet
+        } else {
+            MatchOutcome::NoMatch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (&'static Gazetteer, DistrictMatcher<'static>) {
+        let g: &'static Gazetteer = Box::leak(Box::new(Gazetteer::load()));
+        let m = DistrictMatcher::new(g);
+        (g, m)
+    }
+
+    fn expect_district(m: &DistrictMatcher<'_>, g: &Gazetteer, text: &str, name: &str) {
+        match m.match_segment(text) {
+            MatchOutcome::District(id) => assert_eq!(g.district(id).name_en, name, "for {text:?}"),
+            other => panic!("{text:?} → {other:?}, expected {name}"),
+        }
+    }
+
+    #[test]
+    fn full_form_resolves() {
+        let (g, m) = setup();
+        expect_district(&m, g, "seoul yangcheon-gu", "Yangcheon-gu");
+        expect_district(&m, g, "gyeonggi-do uiwang-si", "Uiwang-si");
+    }
+
+    #[test]
+    fn district_only_unique_resolves() {
+        let (g, m) = setup();
+        expect_district(&m, g, "yangcheon-gu", "Yangcheon-gu");
+        expect_district(&m, g, "bucheon", "Bucheon-si");
+    }
+
+    #[test]
+    fn split_suffix_resolves() {
+        let (g, m) = setup();
+        expect_district(&m, g, "seoul yangcheon gu", "Yangcheon-gu");
+    }
+
+    #[test]
+    fn korean_forms_resolve() {
+        let (g, m) = setup();
+        expect_district(&m, g, "서울 양천구", "Yangcheon-gu");
+        expect_district(&m, g, "경기도 의왕시", "Uiwang-si");
+        // Korean stem without suffix.
+        expect_district(&m, g, "서울 양천", "Yangcheon-gu");
+    }
+
+    #[test]
+    fn province_scopes_shared_names() {
+        let (g, m) = setup();
+        match m.match_segment("jung-gu") {
+            MatchOutcome::AmbiguousDistrict(ids) => assert_eq!(ids.len(), 6),
+            other => panic!("unexpected {other:?}"),
+        }
+        expect_district(&m, g, "busan jung-gu", "Jung-gu");
+        match m.match_segment("busan jung-gu") {
+            MatchOutcome::District(id) => assert_eq!(g.district(id).province, Province::Busan),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn province_only_and_coarser() {
+        let (_, m) = setup();
+        assert_eq!(
+            m.match_segment("seoul"),
+            MatchOutcome::ProvinceOnly(Province::Seoul)
+        );
+        assert_eq!(m.match_segment("korea"), MatchOutcome::Country);
+        assert_eq!(m.match_segment("south korea"), MatchOutcome::Country);
+        assert_eq!(m.match_segment("earth"), MatchOutcome::Planet);
+        assert_eq!(m.match_segment("대한민국"), MatchOutcome::Country);
+    }
+
+    #[test]
+    fn seoul_korea_is_still_province_only() {
+        let (_, m) = setup();
+        assert_eq!(
+            m.match_segment("seoul korea"),
+            MatchOutcome::ProvinceOnly(Province::Seoul)
+        );
+    }
+
+    #[test]
+    fn fuzzy_matches_typos() {
+        let (g, m) = setup();
+        expect_district(&m, g, "seoul gangnm-gu", "Gangnam-gu");
+        expect_district(&m, g, "seoul yangchun-gu", "Yangcheon-gu"); // paper's own spelling
+    }
+
+    #[test]
+    fn nonsense_is_no_match() {
+        let (_, m) = setup();
+        assert_eq!(m.match_segment("darangland"), MatchOutcome::NoMatch);
+        assert_eq!(m.match_segment("my home"), MatchOutcome::NoMatch);
+        assert_eq!(m.match_segment(""), MatchOutcome::NoMatch);
+    }
+
+    #[test]
+    fn two_districts_in_one_segment_are_ambiguous() {
+        let (_, m) = setup();
+        match m.match_segment("gangnam-gu mapo-gu") {
+            MatchOutcome::AmbiguousDistrict(ids) => assert_eq!(ids.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hierarchy_with_country_resolves_to_district() {
+        let (g, m) = setup();
+        expect_district(&m, g, "bucheon gyeonggi-do korea", "Bucheon-si");
+    }
+
+    #[test]
+    fn bare_province_stem_resolves() {
+        let (_, m) = setup();
+        assert_eq!(
+            m.match_segment("gangwon"),
+            MatchOutcome::ProvinceOnly(Province::Gangwon)
+        );
+        assert_eq!(
+            m.match_segment("jeju"),
+            MatchOutcome::ProvinceOnly(Province::Jeju)
+        );
+    }
+
+    #[test]
+    fn korean_with_particles_resolves_via_stripping() {
+        let (g, m) = setup();
+        // "양천구에서" = "in Yangcheon-gu" — the attached particle 에서
+        // defeats exact lookup; syllable stripping recovers the name.
+        expect_district(&m, g, "서울 양천구에서", "Yangcheon-gu");
+    }
+
+    #[test]
+    fn romanized_korean_token_resolves() {
+        let (g, m) = setup();
+        // A Korean spelling the ko tables do not index directly but whose
+        // romanization hits the stem index: the full Korean name with the
+        // province spelled in a mixed form.
+        expect_district(&m, g, "seoul 양천", "Yangcheon-gu");
+    }
+}

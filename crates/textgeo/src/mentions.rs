@@ -1,0 +1,147 @@
+//! Place mentions in tweet text — the third spatial attribute.
+//!
+//! §III-A lists three sources: profile locations, GPS coordinates, and "the
+//! places mentioned in tweet contents"; the paper analyzes the first two
+//! and observes (Fig. 4) that mentioned places often coincide with the GPS
+//! fix. This extractor makes the third attribute machine-readable so the
+//! coincidence rate can actually be measured (experiment `fig4`).
+//!
+//! Extraction is deliberately precision-first: only unambiguous district
+//! names count (exact romanized names with suffix, Korean names/stems, and
+//! suffix-split pairs). A mention of "Jung-gu" with no province context is
+//! skipped rather than guessed.
+
+use stir_geokr::{DistrictId, Gazetteer};
+
+use crate::matcher::DistrictMatcher;
+use crate::normalize::{join_suffix, normalize, tokens};
+
+/// A place mention found in tweet text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mention {
+    /// The district mentioned.
+    pub district: DistrictId,
+    /// Index of the first token of the mention.
+    pub token_index: usize,
+}
+
+/// Extracts unambiguous district mentions from raw tweet text.
+pub struct MentionExtractor<'g> {
+    matcher: DistrictMatcher<'g>,
+}
+
+impl<'g> MentionExtractor<'g> {
+    /// Builds an extractor (reuses the matcher's lookup tables).
+    pub fn new(gazetteer: &'g Gazetteer) -> Self {
+        MentionExtractor {
+            matcher: DistrictMatcher::new(gazetteer),
+        }
+    }
+
+    /// Returns every unambiguous district mention, in token order,
+    /// deduplicated by district.
+    pub fn extract(&self, text: &str) -> Vec<Mention> {
+        let normalized = normalize(text);
+        let toks = tokens(&normalized);
+        let mut out: Vec<Mention> = Vec::new();
+        let forward = self.matcher.forward();
+        let mut i = 0;
+        while i < toks.len() {
+            let t = toks[i];
+            // Exact romanized-with-suffix or Korean name.
+            if let Some(id) = forward.resolve_district(t, None).unique() {
+                push_unique(&mut out, id, i);
+                i += 1;
+                continue;
+            }
+            // Split-suffix pairs: "yangcheon gu".
+            if let Some(next) = toks.get(i + 1) {
+                if let Some(joined) = join_suffix(t, next) {
+                    if let Some(id) = forward.resolve_district(&joined, None).unique() {
+                        push_unique(&mut out, id, i);
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            // Korean stems ("양천") via the matcher's tables are handled by
+            // resolve_district on the full name; stems alone are too
+            // ambiguous against common nouns, so we stop here.
+            i += 1;
+        }
+        out
+    }
+
+    /// Convenience: the distinct mentioned districts.
+    pub fn districts(&self, text: &str) -> Vec<DistrictId> {
+        self.extract(text).into_iter().map(|m| m.district).collect()
+    }
+}
+
+fn push_unique(out: &mut Vec<Mention>, district: DistrictId, token_index: usize) {
+    if !out.iter().any(|m| m.district == district) {
+        out.push(Mention {
+            district,
+            token_index,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (&'static Gazetteer, MentionExtractor<'static>) {
+        let g: &'static Gazetteer = Box::leak(Box::new(Gazetteer::load()));
+        let e = MentionExtractor::new(g);
+        (g, e)
+    }
+
+    #[test]
+    fn extracts_unique_district_names() {
+        let (g, e) = setup();
+        let ms = e.extract("just arrived in Yangcheon-gu haha");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(g.district(ms[0].district).name_en, "Yangcheon-gu");
+    }
+
+    #[test]
+    fn skips_ambiguous_names() {
+        let (_, e) = setup();
+        // Six districts named Jung-gu: too ambiguous to count.
+        assert!(e.extract("having lunch in Jung-gu").is_empty());
+    }
+
+    #[test]
+    fn korean_names_extract() {
+        let (g, e) = setup();
+        let ms = e.extract("오늘 양천구 날씨 좋다");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(g.district(ms[0].district).name_en, "Yangcheon-gu");
+    }
+
+    #[test]
+    fn split_suffix_extracts() {
+        let (g, e) = setup();
+        let ms = e.extract("meeting friends in bucheon si today");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(g.district(ms[0].district).name_en, "Bucheon-si");
+    }
+
+    #[test]
+    fn multiple_mentions_deduplicated_in_order() {
+        let (g, e) = setup();
+        let ms = e.extract("Gangnam-gu to Mapo-gu and back to Gangnam-gu");
+        assert_eq!(ms.len(), 2);
+        assert_eq!(g.district(ms[0].district).name_en, "Gangnam-gu");
+        assert_eq!(g.district(ms[1].district).name_en, "Mapo-gu");
+        assert!(ms[0].token_index < ms[1].token_index);
+    }
+
+    #[test]
+    fn plain_chatter_has_no_mentions() {
+        let (_, e) = setup();
+        assert!(e.extract("coffee time at work ㅋㅋ").is_empty());
+        assert!(e.extract("").is_empty());
+    }
+}

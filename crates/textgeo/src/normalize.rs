@@ -1,0 +1,138 @@
+//! Text cleanup for profile locations.
+//!
+//! Profile strings arrive with decorative punctuation, emoticons, mixed
+//! scripts and inconsistent casing. Normalization keeps letters (any
+//! script), digits, and the few separators later stages rely on (`-`, `,`,
+//! `/`, `.` inside numbers), collapses whitespace and lowercases ASCII.
+
+/// Lowercases ASCII, maps fancy separators to plain ones, strips emoticons
+/// and decorative punctuation, and collapses whitespace runs.
+pub fn normalize(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let chars: Vec<char> = raw.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        let mapped: Option<char> = match c {
+            // Unify separator variants.
+            '|' | '·' | '•' | '‧' | '＼' | '\\' => Some('/'),
+            '，' | '、' => Some(','),
+            '—' | '–' | '―' | '−' => Some('-'),
+            '　' => Some(' '),
+            // Keep the structural separators.
+            '/' | ',' | '-' => Some(c),
+            // Keep a dot only between digits (decimal coordinates).
+            '.' => {
+                let prev_digit = i > 0 && chars[i - 1].is_ascii_digit();
+                let next_digit = chars.get(i + 1).is_some_and(|n| n.is_ascii_digit());
+                if prev_digit && next_digit {
+                    Some('.')
+                } else {
+                    Some(' ')
+                }
+            }
+            // Letters of any script and digits pass through.
+            _ if c.is_alphanumeric() => Some(c.to_ascii_lowercase()),
+            _ if c.is_whitespace() => Some(' '),
+            // Emoticons, hearts, stars, brackets, colons … all dropped as
+            // whitespace so ":)" never glues tokens together.
+            _ => Some(' '),
+        };
+        if let Some(m) = mapped {
+            out.push(m);
+        }
+    }
+    // Collapse whitespace and trim, also around separators.
+    let mut collapsed = String::with_capacity(out.len());
+    let mut last_space = true;
+    for c in out.chars() {
+        if c == ' ' {
+            if !last_space {
+                collapsed.push(' ');
+                last_space = true;
+            }
+        } else {
+            collapsed.push(c);
+            last_space = false;
+        }
+    }
+    collapsed.trim().to_string()
+}
+
+/// Splits normalized text into whitespace tokens.
+pub fn tokens(normalized: &str) -> Vec<&str> {
+    normalized.split(' ').filter(|t| !t.is_empty()).collect()
+}
+
+/// Joins a hyphenless suffix token onto its stem: `["yangcheon", "gu"]` →
+/// `"yangcheon-gu"`. Returns `None` when the pair is not a stem+suffix.
+pub fn join_suffix(stem: &str, suffix: &str) -> Option<String> {
+    match suffix {
+        "gu" | "si" | "gun" | "do" => Some(format!("{stem}-{suffix}")),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_trims() {
+        assert_eq!(normalize("  Seoul Yangcheon-GU  "), "seoul yangcheon-gu");
+    }
+
+    #[test]
+    fn strips_emoticons_and_decoration() {
+        assert_eq!(normalize("darangland :)"), "darangland");
+        assert_eq!(normalize("~*~ Seoul ~*~"), "seoul");
+        assert_eq!(normalize("Seoul!!!"), "seoul");
+    }
+
+    #[test]
+    fn keeps_structural_separators() {
+        assert_eq!(
+            normalize("Gold Coast Australia / 서울"),
+            "gold coast australia / 서울"
+        );
+        // Commas stay attached to their token; `segment::strip_commas`
+        // separates them later.
+        assert_eq!(normalize("Bucheon, Korea"), "bucheon, korea");
+        assert_eq!(normalize("Yangcheon-gu"), "yangcheon-gu");
+    }
+
+    #[test]
+    fn keeps_decimal_points_only_in_numbers() {
+        assert_eq!(normalize("37.51, 126.94"), "37.51, 126.94");
+        assert_eq!(normalize("seoul. korea."), "seoul korea");
+    }
+
+    #[test]
+    fn maps_separator_variants() {
+        assert_eq!(normalize("Seoul|Busan"), "seoul/busan");
+        assert_eq!(normalize("서울 · 부산"), "서울 / 부산");
+        assert_eq!(normalize("Seoul — Korea"), "seoul - korea");
+    }
+
+    #[test]
+    fn korean_text_passes_through() {
+        assert_eq!(normalize("서울시 양천구"), "서울시 양천구");
+    }
+
+    #[test]
+    fn tokens_split_on_whitespace() {
+        assert_eq!(tokens("seoul yangcheon-gu"), vec!["seoul", "yangcheon-gu"]);
+        assert!(tokens("").is_empty());
+    }
+
+    #[test]
+    fn suffix_joining() {
+        assert_eq!(
+            join_suffix("yangcheon", "gu").as_deref(),
+            Some("yangcheon-gu")
+        );
+        assert_eq!(
+            join_suffix("gyeonggi", "do").as_deref(),
+            Some("gyeonggi-do")
+        );
+        assert_eq!(join_suffix("seoul", "city"), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! Splitting a normalized profile string into location segments.
+//!
+//! Two different separator roles appear in real profiles:
+//!
+//! * **Alternatives** — "Gold Coast Australia / 서울…" lists two distinct
+//!   locations (the paper's Fig. 3 ambiguous example). Split on `/`,
+//!   `" and "`, `" or "`, `&`.
+//! * **Hierarchy** — "Bucheon, Gyeonggi-do, Korea" refines one location.
+//!   Commas and whitespace stay inside one segment.
+
+/// One candidate location (already normalized text).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// The segment's text with commas removed and whitespace re-collapsed.
+    pub text: String,
+}
+
+/// Splits normalized text into alternative-location segments.
+pub fn split_alternatives(normalized: &str) -> Vec<Segment> {
+    let mut parts: Vec<String> = vec![String::new()];
+    let toks: Vec<&str> = normalized.split(' ').filter(|t| !t.is_empty()).collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        let is_sep = t == "/" || t == "&" || t == "and" || t == "or";
+        if is_sep && !parts.last().unwrap().is_empty() && i + 1 < toks.len() {
+            parts.push(String::new());
+        } else if t.contains('/') {
+            // Unspaced alternatives: "seoul/busan", possibly with several
+            // separators and leading/trailing slashes.
+            for (j, piece) in t.split('/').enumerate() {
+                if j > 0 && !parts.last().unwrap().is_empty() {
+                    parts.push(String::new());
+                }
+                if !piece.is_empty() {
+                    push_token(parts.last_mut().unwrap(), piece);
+                }
+            }
+        } else if !is_sep {
+            push_token(parts.last_mut().unwrap(), t);
+        }
+        i += 1;
+    }
+    parts
+        .into_iter()
+        .map(|p| Segment {
+            text: strip_commas(&p),
+        })
+        .filter(|s| !s.text.is_empty())
+        .collect()
+}
+
+fn push_token(buf: &mut String, tok: &str) {
+    if !buf.is_empty() {
+        buf.push(' ');
+    }
+    buf.push_str(tok);
+}
+
+fn strip_commas(s: &str) -> String {
+    s.split([',', ' '])
+        .filter(|t| !t.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(input: &str) -> Vec<String> {
+        split_alternatives(input)
+            .into_iter()
+            .map(|s| s.text)
+            .collect()
+    }
+
+    #[test]
+    fn single_location_is_one_segment() {
+        assert_eq!(texts("seoul yangcheon-gu"), vec!["seoul yangcheon-gu"]);
+    }
+
+    #[test]
+    fn commas_are_hierarchy_not_alternatives() {
+        assert_eq!(
+            texts("bucheon , gyeonggi-do , korea"),
+            vec!["bucheon gyeonggi-do korea"]
+        );
+    }
+
+    #[test]
+    fn slash_splits_alternatives() {
+        assert_eq!(
+            texts("gold coast australia / 서울 양천구"),
+            vec!["gold coast australia", "서울 양천구"]
+        );
+    }
+
+    #[test]
+    fn unspaced_slash_splits() {
+        assert_eq!(texts("seoul/busan"), vec!["seoul", "busan"]);
+    }
+
+    #[test]
+    fn and_or_split() {
+        assert_eq!(texts("seoul and busan"), vec!["seoul", "busan"]);
+        assert_eq!(texts("seoul or tokyo"), vec!["seoul", "tokyo"]);
+        assert_eq!(texts("seoul & busan"), vec!["seoul", "busan"]);
+    }
+
+    #[test]
+    fn leading_trailing_separators_ignored() {
+        assert_eq!(texts("/ seoul /"), vec!["seoul"]);
+        assert!(texts("/").is_empty());
+        assert!(texts("").is_empty());
+    }
+
+    #[test]
+    fn and_inside_name_start_not_split() {
+        // "and" as the first token can't be an alternative separator.
+        assert_eq!(texts("and seoul"), vec!["seoul"]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Binary encoding of tweet records.
+//!
+//! Layout (all integers varint unless noted):
+//!
+//! ```text
+//! id · user · timestamp · flags(u8) · [lat_e6: i32 LE · lon_e6: i32 LE] ·
+//! text_len · text_bytes
+//! ```
+//!
+//! GPS coordinates are fixed-point micro-degrees (`i32`), ~11 cm of
+//! resolution — far beyond GPS accuracy — in 8 bytes instead of 16.
+
+use bytes::{Buf, BufMut};
+use stir_geoindex::Point;
+
+/// Flag bit: record carries GPS coordinates.
+const FLAG_GPS: u8 = 0b0000_0001;
+
+/// A stored tweet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TweetRecord {
+    /// Tweet id.
+    pub id: u64,
+    /// Author user id.
+    pub user: u64,
+    /// Seconds since the collection-window epoch.
+    pub timestamp: u64,
+    /// GPS coordinates, if the client attached them.
+    pub gps: Option<Point>,
+    /// Tweet text (may be empty).
+    pub text: String,
+}
+
+/// Encoding/decoding errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended mid-record.
+    UnexpectedEof,
+    /// Varint longer than 10 bytes.
+    VarintOverflow,
+    /// Text bytes were not valid UTF-8.
+    BadUtf8,
+    /// GPS coordinates outside the valid latitude/longitude ranges —
+    /// only possible on corrupted input.
+    InvalidCoordinate,
+    /// Checksum mismatch on a framed segment (see [`crate::segment`]).
+    ChecksumMismatch {
+        /// Expected checksum from the frame header.
+        expected: u32,
+        /// Checksum computed over the payload.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::VarintOverflow => write!(f, "varint overflow"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in text"),
+            CodecError::InvalidCoordinate => write!(f, "GPS coordinate out of range"),
+            CodecError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:08x}, got {actual:08x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Writes a LEB128 varint.
+pub fn put_varint<B: BufMut>(buf: &mut B, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint.
+pub fn get_varint<B: Buf>(buf: &mut B) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(CodecError::VarintOverflow);
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes one record onto `buf`.
+pub fn encode_record<B: BufMut>(buf: &mut B, rec: &TweetRecord) {
+    put_varint(buf, rec.id);
+    put_varint(buf, rec.user);
+    put_varint(buf, rec.timestamp);
+    match rec.gps {
+        Some(p) => {
+            buf.put_u8(FLAG_GPS);
+            buf.put_i32_le((p.lat * 1e6).round() as i32);
+            buf.put_i32_le((p.lon * 1e6).round() as i32);
+        }
+        None => buf.put_u8(0),
+    }
+    put_varint(buf, rec.text.len() as u64);
+    buf.put_slice(rec.text.as_bytes());
+}
+
+/// Decodes one record from `buf`, advancing it.
+pub fn decode_record<B: Buf>(buf: &mut B) -> Result<TweetRecord, CodecError> {
+    let id = get_varint(buf)?;
+    let user = get_varint(buf)?;
+    let timestamp = get_varint(buf)?;
+    if !buf.has_remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let flags = buf.get_u8();
+    let gps = if flags & FLAG_GPS != 0 {
+        if buf.remaining() < 8 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let lat = buf.get_i32_le() as f64 / 1e6;
+        let lon = buf.get_i32_le() as f64 / 1e6;
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            return Err(CodecError::InvalidCoordinate);
+        }
+        Some(Point::new(lat, lon))
+    } else {
+        None
+    };
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    let text = String::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?;
+    Ok(TweetRecord {
+        id,
+        user,
+        timestamp,
+        gps,
+        text,
+    })
+}
+
+/// FNV-1a 32-bit checksum, used for segment framing.
+pub fn fnv1a(data: &[u8]) -> u32 {
+    let mut hash = 0x811C_9DC5u32;
+    for &b in data {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn sample(gps: bool) -> TweetRecord {
+        TweetRecord {
+            id: 123_456_789,
+            user: 42,
+            timestamp: 86_400,
+            gps: gps.then(|| Point::new(37.5663, 126.9779)),
+            text: "just arrived in Jung-gu ㅋㅋ".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_and_without_gps() {
+        for gps in [true, false] {
+            let rec = sample(gps);
+            let mut buf = BytesMut::new();
+            encode_record(&mut buf, &rec);
+            let mut slice = buf.freeze();
+            let back = decode_record(&mut slice).unwrap();
+            assert_eq!(back.id, rec.id);
+            assert_eq!(back.user, rec.user);
+            assert_eq!(back.timestamp, rec.timestamp);
+            assert_eq!(back.text, rec.text);
+            match (back.gps, rec.gps) {
+                (Some(a), Some(b)) => {
+                    assert!((a.lat - b.lat).abs() < 1e-6);
+                    assert!((a.lon - b.lon).abs() < 1e-6);
+                }
+                (None, None) => {}
+                other => panic!("gps mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_text_roundtrips() {
+        let rec = TweetRecord {
+            id: 0,
+            user: 0,
+            timestamp: 0,
+            gps: None,
+            text: String::new(),
+        };
+        let mut buf = BytesMut::new();
+        encode_record(&mut buf, &rec);
+        let mut slice = buf.freeze();
+        assert_eq!(decode_record(&mut slice).unwrap(), rec);
+    }
+
+    #[test]
+    fn varint_roundtrips_extremes() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut slice = buf.freeze();
+            assert_eq!(get_varint(&mut slice).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_eof() {
+        let rec = sample(true);
+        let mut buf = BytesMut::new();
+        encode_record(&mut buf, &rec);
+        let full = buf.freeze();
+        for cut in [0, 1, 3, full.len() / 2, full.len() - 1] {
+            let mut slice = full.slice(..cut);
+            assert!(decode_record(&mut slice).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_roundtrip() {
+        let rec = TweetRecord {
+            id: 1,
+            user: 2,
+            timestamp: 3,
+            gps: Some(Point::new(-33.8688, -151.2093 + 300.0)), // lon must be in range
+            text: String::new(),
+        };
+        let mut buf = BytesMut::new();
+        encode_record(&mut buf, &rec);
+        let mut slice = buf.freeze();
+        let back = decode_record(&mut slice).unwrap();
+        assert!((back.gps.unwrap().lat - -33.8688).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0x811C_9DC5);
+        assert_eq!(fnv1a(b"a"), 0xE40C_292C);
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"acb"));
+    }
+
+    #[test]
+    fn gps_resolution_is_sub_meter() {
+        let p = Point::new(37.123456789, 127.987654321);
+        let rec = TweetRecord {
+            id: 1,
+            user: 1,
+            timestamp: 1,
+            gps: Some(p),
+            text: String::new(),
+        };
+        let mut buf = BytesMut::new();
+        encode_record(&mut buf, &rec);
+        let mut slice = buf.freeze();
+        let back = decode_record(&mut slice).unwrap().gps.unwrap();
+        assert!(
+            p.haversine_km(back) < 0.0002,
+            "error {} km",
+            p.haversine_km(back)
+        );
+    }
+}

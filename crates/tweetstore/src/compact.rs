@@ -1,0 +1,161 @@
+//! Compaction: rebuild a store keeping only the records a predicate
+//! accepts.
+//!
+//! The paper's pipeline throws away ~99% of the corpus (non-GPS tweets,
+//! tweets of removed users) before analysis. Doing that *in storage* —
+//! compacting 11M records down to the 1–2% that matter — shrinks segments
+//! and indexes by the same factor and makes every later scan proportionally
+//! cheaper. [`gps_only`] is the canonical instance.
+
+use crate::codec::TweetRecord;
+use crate::store::TweetStore;
+
+/// What a compaction did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Records scanned in the source store.
+    pub scanned: u64,
+    /// Records kept.
+    pub kept: u64,
+    /// Source payload bytes.
+    pub bytes_before: u64,
+    /// Compacted payload bytes.
+    pub bytes_after: u64,
+}
+
+impl CompactionReport {
+    /// Fraction of records kept.
+    pub fn keep_ratio(&self) -> f64 {
+        if self.scanned == 0 {
+            0.0
+        } else {
+            self.kept as f64 / self.scanned as f64
+        }
+    }
+
+    /// Fraction of bytes reclaimed.
+    pub fn space_saved(&self) -> f64 {
+        if self.bytes_before == 0 {
+            0.0
+        } else {
+            1.0 - self.bytes_after as f64 / self.bytes_before as f64
+        }
+    }
+}
+
+/// Rebuilds `store` keeping only records for which `keep` returns true.
+/// Indexes are rebuilt from scratch; record order is preserved.
+pub fn compact<F: FnMut(&TweetRecord) -> bool>(
+    store: &TweetStore,
+    mut keep: F,
+) -> (TweetStore, CompactionReport) {
+    let mut out = TweetStore::new();
+    let mut report = CompactionReport {
+        bytes_before: store.stats().payload_bytes,
+        ..Default::default()
+    };
+    for rec in store.scan() {
+        let Ok(rec) = rec else { continue };
+        report.scanned += 1;
+        if keep(&rec) {
+            out.append(&rec);
+            report.kept += 1;
+        }
+    }
+    report.bytes_after = out.stats().payload_bytes;
+    (out, report)
+}
+
+/// The paper's filter: keep only GPS-tagged records.
+pub fn gps_only(store: &TweetStore) -> (TweetStore, CompactionReport) {
+    compact(store, |r| r.gps.is_some())
+}
+
+/// Keep only records whose author is in the (sorted) `users` list — the
+/// "well-defined profiles only" stage.
+pub fn users_only(store: &TweetStore, users: &[u64]) -> (TweetStore, CompactionReport) {
+    debug_assert!(
+        users.windows(2).all(|w| w[0] <= w[1]),
+        "users must be sorted"
+    );
+    compact(store, |r| users.binary_search(&r.user).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use stir_geoindex::Point;
+
+    fn populated() -> TweetStore {
+        let mut s = TweetStore::new();
+        for i in 0..1_000u64 {
+            s.append(&TweetRecord {
+                id: i,
+                user: i % 10,
+                timestamp: i * 60,
+                gps: (i % 20 == 0).then(|| Point::new(37.5, 127.0)),
+                text: format!("tweet {i}"),
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn gps_only_keeps_exactly_gps_records() {
+        let s = populated();
+        let (c, report) = gps_only(&s);
+        assert_eq!(report.scanned, 1_000);
+        assert_eq!(report.kept, 50);
+        assert_eq!(c.len(), 50);
+        assert_eq!(c.stats().gps_records, 50);
+        assert!((report.keep_ratio() - 0.05).abs() < 1e-12);
+        assert!(report.space_saved() > 0.9, "saved {}", report.space_saved());
+        // Queries still work on the compacted store.
+        assert_eq!(Query::all().gps(true).execute(&c).len(), 50);
+        assert!(Query::all().gps(false).execute(&c).is_empty());
+    }
+
+    #[test]
+    fn users_only_filters_authors() {
+        let s = populated();
+        let (c, report) = users_only(&s, &[2, 5]);
+        assert_eq!(report.kept, 200);
+        assert!(c.scan().all(|r| {
+            let u = r.unwrap().user;
+            u == 2 || u == 5
+        }));
+    }
+
+    #[test]
+    fn compose_filters_like_the_paper_funnel() {
+        let s = populated();
+        let (wd, _) = users_only(&s, &[0, 1, 2, 3, 4]);
+        let (finals, report) = gps_only(&wd);
+        // Users 0..5, every 20th tweet has GPS; user = i % 10, gps = i % 20
+        // == 0 means GPS tweets belong to users 0 (i=0,20,…): i%20==0 →
+        // user i%10 == 0. So 50 GPS tweets, all user 0.
+        assert_eq!(finals.len(), 50);
+        assert_eq!(finals.user_count(), 1);
+        assert_eq!(report.scanned, 500);
+    }
+
+    #[test]
+    fn empty_store_compacts_to_empty() {
+        let s = TweetStore::new();
+        let (c, report) = gps_only(&s);
+        assert!(c.is_empty());
+        assert_eq!(report.keep_ratio(), 0.0);
+        assert_eq!(report.space_saved(), 0.0);
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let s = populated();
+        let (c, _) = gps_only(&s);
+        let ids: Vec<u64> = c.scan().map(|r| r.unwrap().id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+}

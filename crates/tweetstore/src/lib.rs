@@ -1,0 +1,35 @@
+//! # stir-tweetstore — an append-only tweet store
+//!
+//! The paper's funnel filters 11.1M crawled tweets down to the 2xx,xxx that
+//! carry GPS coordinates, then scans them per user. This crate is the
+//! storage substrate that makes those scans honest at that scale:
+//!
+//! * [`codec`] — a compact varint binary record format (`bytes`-based);
+//!   GPS coordinates are fixed-point micro-degrees.
+//! * [`segment`] — append-only segments with slot offsets and CRC-checked
+//!   framing.
+//! * [`TweetStore`] — segmented log plus three secondary indexes: by user,
+//!   by time bucket, and by geohash cell (GPS tweets only).
+//! * [`query`] — a small query planner: point/user/time/bbox predicates,
+//!   index selection by expected selectivity, post-filtering.
+//! * [`compact`] — predicate compaction (the paper's GPS-only filter as a
+//!   storage operation).
+//! * [`persist`] — directory-based save/load with manifest and checksums.
+//! * [`wal`] — per-append durability: a CRC-framed write-ahead log with
+//!   torn-tail truncation on recovery.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod compact;
+pub mod persist;
+pub mod query;
+pub mod segment;
+pub mod store;
+pub mod wal;
+
+pub use codec::TweetRecord;
+pub use compact::{compact, gps_only, users_only, CompactionReport};
+pub use query::Query;
+pub use store::{RecordPtr, StoreStats, TweetStore};
+pub use wal::{DurableStore, Wal};

@@ -1,0 +1,178 @@
+//! Directory-based persistence: one framed file per segment plus a
+//! manifest. Loading verifies checksums and rebuilds every index.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::codec::CodecError;
+use crate::segment::{Segment, DEFAULT_SEGMENT_BYTES};
+use crate::store::TweetStore;
+
+/// Magic header of segment files.
+const MAGIC: &[u8; 8] = b"STIRSEG1";
+/// Manifest file name.
+const MANIFEST: &str = "MANIFEST";
+
+/// Persistence errors.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Segment file failed decoding or checksum verification.
+    Corrupt(CodecError),
+    /// File did not start with the segment magic.
+    BadMagic,
+    /// Manifest was missing or unreadable.
+    BadManifest,
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<CodecError> for PersistError {
+    fn from(e: CodecError) -> Self {
+        PersistError::Corrupt(e)
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Corrupt(e) => write!(f, "corrupt segment: {e}"),
+            PersistError::BadMagic => write!(f, "bad segment magic"),
+            PersistError::BadManifest => write!(f, "bad manifest"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Writes the store to `dir` (created if absent): `seg-NNNN.stir` files and
+/// a `MANIFEST` listing them in order.
+pub fn save(store: &TweetStore, dir: &Path) -> Result<(), PersistError> {
+    fs::create_dir_all(dir)?;
+    let segments = store.segments();
+    let mut manifest = String::new();
+    for (i, seg) in segments.iter().enumerate() {
+        let name = format!("seg-{i:04}.stir");
+        let path = dir.join(&name);
+        let mut f = fs::File::create(&path)?;
+        f.write_all(MAGIC)?;
+        f.write_all(&seg.to_framed_bytes())?;
+        f.sync_all()?;
+        manifest.push_str(&name);
+        manifest.push('\n');
+    }
+    fs::write(dir.join(MANIFEST), manifest)?;
+    Ok(())
+}
+
+/// Loads a store from `dir`, verifying every segment checksum and
+/// rebuilding the indexes.
+pub fn load(dir: &Path) -> Result<TweetStore, PersistError> {
+    load_with_segment_bytes(dir, DEFAULT_SEGMENT_BYTES)
+}
+
+/// [`load`] with an explicit segment-roll threshold for the rebuilt store.
+pub fn load_with_segment_bytes(
+    dir: &Path,
+    segment_bytes: usize,
+) -> Result<TweetStore, PersistError> {
+    let manifest = fs::read_to_string(dir.join(MANIFEST)).map_err(|_| PersistError::BadManifest)?;
+    let mut segments = Vec::new();
+    for name in manifest.lines().filter(|l| !l.is_empty()) {
+        let mut f = fs::File::open(dir.join(name))?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        segments.push(Segment::from_framed_bytes(&bytes[MAGIC.len()..])?);
+    }
+    Ok(TweetStore::from_segments(segments, segment_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::TweetRecord;
+    use crate::query::Query;
+    use stir_geoindex::Point;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stir-tweetstore-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn populated() -> TweetStore {
+        let mut s = TweetStore::with_segment_bytes(4096);
+        for i in 0..1000u64 {
+            s.append(&TweetRecord {
+                id: i,
+                user: i % 11,
+                timestamp: i * 17,
+                gps: (i % 4 == 0).then(|| Point::new(36.0 + (i as f64) * 1e-3 % 2.0, 127.5)),
+                text: format!("tweet {i}"),
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_queries() {
+        let dir = tmpdir("roundtrip");
+        let s = populated();
+        save(&s, &dir).unwrap();
+        let loaded = load_with_segment_bytes(&dir, 4096).unwrap();
+        assert_eq!(loaded.len(), s.len());
+        assert_eq!(loaded.stats().gps_records, s.stats().gps_records);
+        let a = Query::all().user(3).execute(&s);
+        let b = Query::all().user(3).execute(&loaded);
+        assert_eq!(a, b);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_file_is_rejected() {
+        let dir = tmpdir("corrupt");
+        save(&populated(), &dir).unwrap();
+        // Flip a byte in the first segment's payload.
+        let seg_path = dir.join("seg-0000.stir");
+        let mut bytes = fs::read(&seg_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x55;
+        fs::write(&seg_path, bytes).unwrap();
+        match load(&dir) {
+            Err(PersistError::Corrupt(_)) => {}
+            other => panic!("expected corrupt, got {:?}", other.map(|s| s.len())),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_rejected() {
+        let dir = tmpdir("nomanifest");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(load(&dir), Err(PersistError::BadManifest)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let dir = tmpdir("badmagic");
+        save(&populated(), &dir).unwrap();
+        let seg_path = dir.join("seg-0000.stir");
+        let mut bytes = fs::read(&seg_path).unwrap();
+        bytes[0] = b'X';
+        fs::write(&seg_path, bytes).unwrap();
+        assert!(matches!(load(&dir), Err(PersistError::BadMagic)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

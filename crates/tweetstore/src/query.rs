@@ -1,0 +1,270 @@
+//! Query execution: predicate composition, index selection, post-filtering.
+
+use stir_geoindex::{geohash, BBox};
+
+use crate::codec::TweetRecord;
+use crate::store::{RecordPtr, TweetStore, GEO_PRECISION};
+
+/// A conjunctive query over the store.
+#[derive(Clone, Debug, Default)]
+pub struct Query {
+    /// Restrict to one author.
+    pub user: Option<u64>,
+    /// Restrict to `[start, end)` in window seconds.
+    pub time_range: Option<(u64, u64)>,
+    /// Restrict to records with GPS inside the box.
+    pub bbox: Option<BBox>,
+    /// Require/forbid GPS presence.
+    pub has_gps: Option<bool>,
+}
+
+/// Which access path the planner chose (exposed for tests and benches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Per-user posting list.
+    UserIndex,
+    /// Geohash cell union covering the bbox.
+    GeoIndex,
+    /// Time-bucket range.
+    TimeIndex,
+    /// Full scan.
+    FullScan,
+}
+
+impl Query {
+    /// A query matching everything.
+    pub fn all() -> Self {
+        Query::default()
+    }
+
+    /// Restricts to one user.
+    pub fn user(mut self, user: u64) -> Self {
+        self.user = Some(user);
+        self
+    }
+
+    /// Restricts to a `[start, end)` time range.
+    pub fn between(mut self, start: u64, end: u64) -> Self {
+        self.time_range = Some((start, end));
+        self
+    }
+
+    /// Restricts to GPS records inside `bbox`.
+    pub fn within(mut self, bbox: BBox) -> Self {
+        self.bbox = Some(bbox);
+        self
+    }
+
+    /// Requires (or forbids) GPS presence.
+    pub fn gps(mut self, present: bool) -> Self {
+        self.has_gps = Some(present);
+        self
+    }
+
+    fn matches(&self, rec: &TweetRecord) -> bool {
+        if let Some(u) = self.user {
+            if rec.user != u {
+                return false;
+            }
+        }
+        if let Some((start, end)) = self.time_range {
+            if rec.timestamp < start || rec.timestamp >= end {
+                return false;
+            }
+        }
+        if let Some(want) = self.has_gps {
+            if rec.gps.is_some() != want {
+                return false;
+            }
+        }
+        if let Some(bbox) = self.bbox {
+            match rec.gps {
+                Some(p) if bbox.contains(p) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// The access path the planner would pick against `store`.
+    ///
+    /// Heuristic selectivity order: a user list is the narrowest, then a
+    /// geohash cover (bounded cell count), then a time range, then a scan.
+    pub fn plan(&self, store: &TweetStore) -> AccessPath {
+        if self.user.is_some() {
+            return AccessPath::UserIndex;
+        }
+        if let Some(bbox) = self.bbox {
+            if geohash::cover_bbox(&bbox, GEO_PRECISION, 512).is_some() {
+                return AccessPath::GeoIndex;
+            }
+        }
+        if let Some((start, end)) = self.time_range {
+            // A time range narrower than the whole store is worth the index.
+            if end > start && !store.is_empty() {
+                return AccessPath::TimeIndex;
+            }
+        }
+        AccessPath::FullScan
+    }
+
+    /// Executes against the store, returning matching records.
+    pub fn execute(&self, store: &TweetStore) -> Vec<TweetRecord> {
+        let candidates: Vec<RecordPtr> = match self.plan(store) {
+            AccessPath::UserIndex => store.user_ptrs(self.user.unwrap()).to_vec(),
+            AccessPath::GeoIndex => {
+                let bbox = self.bbox.unwrap();
+                let cells = geohash::cover_bbox(&bbox, GEO_PRECISION, 512)
+                    .expect("plan() verified the cover fits");
+                let mut ptrs = Vec::new();
+                for cell in cells {
+                    ptrs.extend_from_slice(store.geo_cell_ptrs(&cell));
+                }
+                ptrs
+            }
+            AccessPath::TimeIndex => {
+                let (start, end) = self.time_range.unwrap();
+                store.time_ptrs(start, end)
+            }
+            AccessPath::FullScan => {
+                return store
+                    .scan()
+                    .filter_map(|r| r.ok())
+                    .filter(|r| self.matches(r))
+                    .collect();
+            }
+        };
+        let mut out: Vec<TweetRecord> = candidates
+            .into_iter()
+            .filter_map(|p| store.get(p).ok())
+            .filter(|r| self.matches(r))
+            .collect();
+        out.sort_by_key(|r| (r.timestamp, r.id));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stir_geoindex::Point;
+
+    fn build_store() -> TweetStore {
+        let mut s = TweetStore::new();
+        // 3 users × 100 tweets over 10 hours; user 1's tweets carry GPS
+        // alternating between Seoul and Busan.
+        let mut id = 0u64;
+        for user in 0..3u64 {
+            for i in 0..100u64 {
+                let gps = (user == 1).then(|| {
+                    if i % 2 == 0 {
+                        Point::new(37.55, 126.98) // Seoul
+                    } else {
+                        Point::new(35.15, 129.05) // Busan
+                    }
+                });
+                s.append(&TweetRecord {
+                    id,
+                    user,
+                    timestamp: i * 360,
+                    gps,
+                    text: String::new(),
+                });
+                id += 1;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn user_query_uses_user_index() {
+        let s = build_store();
+        let q = Query::all().user(1);
+        assert_eq!(q.plan(&s), AccessPath::UserIndex);
+        let rows = q.execute(&s);
+        assert_eq!(rows.len(), 100);
+        assert!(rows.iter().all(|r| r.user == 1));
+    }
+
+    #[test]
+    fn bbox_query_uses_geo_index() {
+        let s = build_store();
+        let seoul = BBox::new(37.4, 126.8, 37.7, 127.2);
+        let q = Query::all().within(seoul);
+        assert_eq!(q.plan(&s), AccessPath::GeoIndex);
+        let rows = q.execute(&s);
+        assert_eq!(rows.len(), 50); // user 1's even tweets
+        assert!(rows.iter().all(|r| seoul.contains(r.gps.unwrap())));
+    }
+
+    #[test]
+    fn time_query_uses_time_index() {
+        let s = build_store();
+        let q = Query::all().between(0, 3600);
+        assert_eq!(q.plan(&s), AccessPath::TimeIndex);
+        let rows = q.execute(&s);
+        assert_eq!(rows.len(), 30); // 10 per user
+        assert!(rows.iter().all(|r| r.timestamp < 3600));
+    }
+
+    #[test]
+    fn gps_only_full_scan() {
+        let s = build_store();
+        let q = Query::all().gps(true);
+        assert_eq!(q.plan(&s), AccessPath::FullScan);
+        assert_eq!(q.execute(&s).len(), 100);
+        assert_eq!(Query::all().gps(false).execute(&s).len(), 200);
+    }
+
+    #[test]
+    fn conjunction_filters_apply() {
+        let s = build_store();
+        let seoul = BBox::new(37.4, 126.8, 37.7, 127.2);
+        let rows = Query::all()
+            .user(1)
+            .between(0, 7200)
+            .within(seoul)
+            .execute(&s);
+        // user 1, first 20 tweets (t < 7200), even ones in Seoul → 10.
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert_eq!(r.user, 1);
+            assert!(r.timestamp < 7200);
+            assert!(seoul.contains(r.gps.unwrap()));
+        }
+    }
+
+    #[test]
+    fn results_sorted_by_time() {
+        let s = build_store();
+        let rows = Query::all().user(2).execute(&s);
+        for w in rows.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn query_matching_nothing() {
+        let s = build_store();
+        assert!(Query::all().user(99).execute(&s).is_empty());
+        assert!(Query::all()
+            .between(1_000_000, 2_000_000)
+            .execute(&s)
+            .is_empty());
+    }
+
+    #[test]
+    fn all_paths_agree_with_scan_semantics() {
+        let s = build_store();
+        let seoul = BBox::new(37.4, 126.8, 37.7, 127.2);
+        // Same predicate through different plans: force scan by matching
+        // with no index-able field vs geo plan.
+        let via_geo = Query::all().within(seoul).execute(&s);
+        let via_scan: Vec<TweetRecord> = s
+            .scan()
+            .filter_map(|r| r.ok())
+            .filter(|r| r.gps.is_some_and(|p| seoul.contains(p)))
+            .collect();
+        assert_eq!(via_geo.len(), via_scan.len());
+    }
+}

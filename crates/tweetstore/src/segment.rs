@@ -1,0 +1,203 @@
+//! Append-only segments.
+//!
+//! A segment is a byte buffer of concatenated encoded records plus a slot
+//! table (byte offset per record). Sealed segments are immutable; the store
+//! rolls to a new active segment at a size threshold. Framing for
+//! persistence adds an FNV-1a checksum over the payload.
+
+use bytes::BytesMut;
+
+use crate::codec::{decode_record, encode_record, fnv1a, CodecError, TweetRecord};
+
+/// Default segment roll threshold (bytes of encoded records).
+pub const DEFAULT_SEGMENT_BYTES: usize = 4 << 20;
+
+/// An append-only run of encoded records.
+#[derive(Debug, Clone, Default)]
+pub struct Segment {
+    data: BytesMut,
+    offsets: Vec<u32>,
+}
+
+impl Segment {
+    /// An empty segment.
+    pub fn new() -> Self {
+        Segment {
+            data: BytesMut::with_capacity(64 * 1024),
+            offsets: Vec::new(),
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True when the segment holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Encoded payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Appends a record; returns its slot.
+    pub fn append(&mut self, rec: &TweetRecord) -> u32 {
+        let slot = self.offsets.len() as u32;
+        self.offsets.push(self.data.len() as u32);
+        encode_record(&mut self.data, rec);
+        slot
+    }
+
+    /// Decodes the record at `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range; corruption within a slot surfaces
+    /// as a `CodecError`.
+    pub fn get(&self, slot: u32) -> Result<TweetRecord, CodecError> {
+        let start = self.offsets[slot as usize] as usize;
+        let end = self
+            .offsets
+            .get(slot as usize + 1)
+            .map_or(self.data.len(), |&o| o as usize);
+        let mut slice = &self.data[start..end];
+        decode_record(&mut slice)
+    }
+
+    /// Iterates over all records in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = Result<TweetRecord, CodecError>> + '_ {
+        (0..self.len() as u32).map(move |slot| self.get(slot))
+    }
+
+    /// Serializes the segment with framing:
+    /// `record_count(u32 LE) · payload_len(u32 LE) · checksum(u32 LE) ·
+    /// offsets(u32 LE each) · payload`.
+    pub fn to_framed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.offsets.len() * 4 + self.data.len());
+        out.extend_from_slice(&(self.offsets.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&self.data).to_le_bytes());
+        for &o in &self.offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Deserializes a framed segment, verifying the checksum.
+    pub fn from_framed_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        if bytes.len() < 12 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let count = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let payload_len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let expected = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let offsets_end = 12 + count * 4;
+        if bytes.len() < offsets_end + payload_len {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut offsets = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = 12 + i * 4;
+            offsets.push(u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()));
+        }
+        let payload = &bytes[offsets_end..offsets_end + payload_len];
+        let actual = fnv1a(payload);
+        if actual != expected {
+            return Err(CodecError::ChecksumMismatch { expected, actual });
+        }
+        Ok(Segment {
+            data: BytesMut::from(payload),
+            offsets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stir_geoindex::Point;
+
+    fn rec(id: u64) -> TweetRecord {
+        TweetRecord {
+            id,
+            user: id % 7,
+            timestamp: id * 11,
+            gps: id
+                .is_multiple_of(3)
+                .then(|| Point::new(37.0 + id as f64 * 1e-4, 127.0)),
+            text: format!("tweet number {id}"),
+        }
+    }
+
+    #[test]
+    fn append_get_roundtrip() {
+        let mut s = Segment::new();
+        for i in 0..100 {
+            let slot = s.append(&rec(i));
+            assert_eq!(slot, i as u32);
+        }
+        assert_eq!(s.len(), 100);
+        for i in 0..100u32 {
+            let r = s.get(i).unwrap();
+            assert_eq!(r.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut s = Segment::new();
+        for i in 0..20 {
+            s.append(&rec(i));
+        }
+        let ids: Vec<u64> = s.iter().map(|r| r.unwrap().id).collect();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn framed_roundtrip() {
+        let mut s = Segment::new();
+        for i in 0..50 {
+            s.append(&rec(i));
+        }
+        let framed = s.to_framed_bytes();
+        let back = Segment::from_framed_bytes(&framed).unwrap();
+        assert_eq!(back.len(), 50);
+        for i in 0..50u32 {
+            assert_eq!(back.get(i).unwrap(), s.get(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut s = Segment::new();
+        for i in 0..10 {
+            s.append(&rec(i));
+        }
+        let mut framed = s.to_framed_bytes();
+        let last = framed.len() - 1;
+        framed[last] ^= 0xFF;
+        match Segment::from_framed_bytes(&framed) {
+            Err(CodecError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut s = Segment::new();
+        s.append(&rec(1));
+        let framed = s.to_framed_bytes();
+        assert!(Segment::from_framed_bytes(&framed[..framed.len() - 2]).is_err());
+        assert!(Segment::from_framed_bytes(&framed[..4]).is_err());
+    }
+
+    #[test]
+    fn empty_segment_frames() {
+        let s = Segment::new();
+        let back = Segment::from_framed_bytes(&s.to_framed_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! The tweet store: segmented log + secondary indexes.
+
+use std::collections::{BTreeMap, HashMap};
+
+use stir_geoindex::geohash;
+
+use crate::codec::{CodecError, TweetRecord};
+use crate::segment::{Segment, DEFAULT_SEGMENT_BYTES};
+
+/// Physical location of a record: `(segment, slot)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RecordPtr {
+    /// Segment index.
+    pub seg: u32,
+    /// Slot within the segment.
+    pub slot: u32,
+}
+
+/// Geohash precision of the spatial index key (5 chars ≈ 4.9 × 4.9 km cells
+/// — comfortably below district size, above GPS noise).
+pub const GEO_PRECISION: usize = 5;
+
+/// Width of a time-index bucket in seconds (1 hour).
+pub const TIME_BUCKET_SECS: u64 = 3600;
+
+/// Aggregate store statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records appended.
+    pub records: u64,
+    /// Records carrying GPS.
+    pub gps_records: u64,
+    /// Total encoded payload bytes.
+    pub payload_bytes: u64,
+    /// Number of segments (including the active one).
+    pub segments: u32,
+}
+
+/// An in-memory segmented tweet store with user/time/geohash indexes.
+///
+/// Appends go to the active segment, which seals at a byte threshold.
+/// Indexes map to [`RecordPtr`]s, so a record is decoded only when a query
+/// actually returns it.
+///
+/// ```
+/// use stir_tweetstore::{Query, TweetRecord, TweetStore};
+/// use stir_geoindex::Point;
+///
+/// let mut store = TweetStore::new();
+/// store.append(&TweetRecord {
+///     id: 1,
+///     user: 42,
+///     timestamp: 3_600,
+///     gps: Some(Point::new(37.5, 127.0)),
+///     text: "hello".into(),
+/// });
+/// assert_eq!(Query::all().user(42).execute(&store).len(), 1);
+/// assert_eq!(store.get_by_id(1).unwrap().text, "hello");
+/// ```
+pub struct TweetStore {
+    sealed: Vec<Segment>,
+    active: Segment,
+    segment_bytes: usize,
+    by_id: HashMap<u64, RecordPtr>,
+    by_user: HashMap<u64, Vec<RecordPtr>>,
+    by_time: BTreeMap<u64, Vec<RecordPtr>>,
+    by_geo: HashMap<String, Vec<RecordPtr>>,
+    stats: StoreStats,
+}
+
+impl Default for TweetStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TweetStore {
+    /// A store with the default segment size.
+    pub fn new() -> Self {
+        Self::with_segment_bytes(DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// A store that seals segments at `segment_bytes` encoded bytes.
+    pub fn with_segment_bytes(segment_bytes: usize) -> Self {
+        TweetStore {
+            sealed: Vec::new(),
+            active: Segment::new(),
+            segment_bytes: segment_bytes.max(1024),
+            by_id: HashMap::new(),
+            by_user: HashMap::new(),
+            by_time: BTreeMap::new(),
+            by_geo: HashMap::new(),
+            stats: StoreStats {
+                segments: 1,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Appends a record, indexing it; returns its pointer.
+    pub fn append(&mut self, rec: &TweetRecord) -> RecordPtr {
+        if self.active.byte_len() >= self.segment_bytes {
+            let full = std::mem::replace(&mut self.active, Segment::new());
+            self.sealed.push(full);
+            self.stats.segments += 1;
+        }
+        let seg = self.sealed.len() as u32;
+        let before = self.active.byte_len();
+        let slot = self.active.append(rec);
+        let ptr = RecordPtr { seg, slot };
+
+        self.by_id.insert(rec.id, ptr);
+        self.by_user.entry(rec.user).or_default().push(ptr);
+        self.by_time
+            .entry(rec.timestamp / TIME_BUCKET_SECS)
+            .or_default()
+            .push(ptr);
+        if let Some(p) = rec.gps {
+            let cell = geohash::encode(p, GEO_PRECISION);
+            self.by_geo.entry(cell).or_default().push(ptr);
+            self.stats.gps_records += 1;
+        }
+        self.stats.records += 1;
+        self.stats.payload_bytes += (self.active.byte_len() - before) as u64;
+        ptr
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.stats.records as usize
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.stats.records == 0
+    }
+
+    /// Store statistics snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    fn segment(&self, seg: u32) -> &Segment {
+        if (seg as usize) < self.sealed.len() {
+            &self.sealed[seg as usize]
+        } else {
+            &self.active
+        }
+    }
+
+    /// Decodes the record at `ptr`.
+    pub fn get(&self, ptr: RecordPtr) -> Result<TweetRecord, CodecError> {
+        self.segment(ptr.seg).get(ptr.slot)
+    }
+
+    /// Looks up a record by tweet id.
+    pub fn get_by_id(&self, id: u64) -> Option<TweetRecord> {
+        let ptr = *self.by_id.get(&id)?;
+        self.get(ptr).ok()
+    }
+
+    /// All pointers for a user, in append order.
+    pub fn user_ptrs(&self, user: u64) -> &[RecordPtr] {
+        self.by_user.get(&user).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Pointers whose timestamps fall in `[start, end)` (bucket-granular
+    /// prefilter; exact filtering happens in the query layer).
+    pub fn time_ptrs(&self, start: u64, end: u64) -> Vec<RecordPtr> {
+        if start >= end {
+            return Vec::new();
+        }
+        let b0 = start / TIME_BUCKET_SECS;
+        let b1 = (end - 1) / TIME_BUCKET_SECS;
+        self.by_time
+            .range(b0..=b1)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
+    }
+
+    /// Pointers in the given geohash cell (exact-precision key).
+    pub fn geo_cell_ptrs(&self, cell: &str) -> &[RecordPtr] {
+        self.by_geo.get(cell).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All geo-index cells currently populated.
+    pub fn geo_cells(&self) -> impl Iterator<Item = &str> {
+        self.by_geo.keys().map(|s| s.as_str())
+    }
+
+    /// Distinct users with at least one record.
+    pub fn user_count(&self) -> usize {
+        self.by_user.len()
+    }
+
+    /// Iterates over every record in (segment, slot) order.
+    pub fn scan(&self) -> impl Iterator<Item = Result<TweetRecord, CodecError>> + '_ {
+        self.sealed
+            .iter()
+            .chain(std::iter::once(&self.active))
+            .flat_map(|s| s.iter())
+    }
+
+    /// Every decodable record in timestamp order (stable by id within a
+    /// timestamp) — the feed the streaming detectors consume. Walks the
+    /// time index bucket by bucket, so cost is proportional to the result,
+    /// not to a sort of the whole store.
+    pub fn scan_time_ordered(&self) -> Vec<TweetRecord> {
+        let mut out: Vec<TweetRecord> = Vec::with_capacity(self.len());
+        for ptrs in self.by_time.values() {
+            let start = out.len();
+            for &p in ptrs {
+                if let Ok(rec) = self.get(p) {
+                    out.push(rec);
+                }
+            }
+            // Buckets are coarse (1 h); order within one bucket.
+            out[start..].sort_by_key(|r| (r.timestamp, r.id));
+        }
+        out
+    }
+
+    /// Sealed + active segments, for persistence.
+    pub(crate) fn segments(&self) -> Vec<&Segment> {
+        self.sealed
+            .iter()
+            .chain(std::iter::once(&self.active))
+            .collect()
+    }
+
+    /// Rebuilds a store from segments (persistence path).
+    pub(crate) fn from_segments(segments: Vec<Segment>, segment_bytes: usize) -> Self {
+        let mut store = TweetStore::with_segment_bytes(segment_bytes);
+        for seg in segments {
+            // Re-appending rebuilds every index; corrupted records were
+            // already rejected by the framed loader.
+            for rec in seg.iter().collect::<Vec<_>>().into_iter().flatten() {
+                store.append(&rec);
+            }
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stir_geoindex::Point;
+
+    fn rec(id: u64, user: u64, ts: u64, gps: Option<(f64, f64)>) -> TweetRecord {
+        TweetRecord {
+            id,
+            user,
+            timestamp: ts,
+            gps: gps.map(|(a, b)| Point::new(a, b)),
+            text: format!("t{id}"),
+        }
+    }
+
+    #[test]
+    fn append_and_get_by_id() {
+        let mut s = TweetStore::new();
+        for i in 0..100 {
+            s.append(&rec(i, i % 5, i * 60, None));
+        }
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.get_by_id(42).unwrap().id, 42);
+        assert!(s.get_by_id(9999).is_none());
+    }
+
+    #[test]
+    fn user_index_complete() {
+        let mut s = TweetStore::new();
+        for i in 0..60 {
+            s.append(&rec(i, i % 3, i, None));
+        }
+        assert_eq!(s.user_ptrs(0).len(), 20);
+        assert_eq!(s.user_count(), 3);
+        for &ptr in s.user_ptrs(1) {
+            assert_eq!(s.get(ptr).unwrap().user, 1);
+        }
+    }
+
+    #[test]
+    fn time_index_bucket_ranges() {
+        let mut s = TweetStore::new();
+        for i in 0..48 {
+            s.append(&rec(i, 0, i * 1800, None)); // every 30 min over 24h
+        }
+        let ptrs = s.time_ptrs(0, 3 * 3600); // first three hours
+        let mut hits: Vec<u64> = ptrs
+            .into_iter()
+            .map(|p| s.get(p).unwrap().timestamp)
+            .filter(|&t| t < 3 * 3600)
+            .collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1800, 3600, 5400, 7200, 9000]);
+        assert!(s.time_ptrs(10, 10).is_empty());
+    }
+
+    #[test]
+    fn geo_index_only_gps_records() {
+        let mut s = TweetStore::new();
+        s.append(&rec(1, 0, 0, Some((37.5663, 126.9779))));
+        s.append(&rec(2, 0, 0, None));
+        s.append(&rec(3, 0, 0, Some((37.5664, 126.9780))));
+        assert_eq!(s.stats().gps_records, 2);
+        let cell = stir_geoindex::geohash::encode(Point::new(37.5663, 126.9779), GEO_PRECISION);
+        assert_eq!(s.geo_cell_ptrs(&cell).len(), 2);
+    }
+
+    #[test]
+    fn segments_roll_at_threshold() {
+        let mut s = TweetStore::with_segment_bytes(2048);
+        for i in 0..2000 {
+            s.append(&rec(i, i, i, None));
+        }
+        assert!(s.stats().segments > 1, "segments {}", s.stats().segments);
+        // Every record still reachable after rolling.
+        assert_eq!(s.scan().filter(|r| r.is_ok()).count(), 2000);
+        assert_eq!(s.get_by_id(1999).unwrap().id, 1999);
+    }
+
+    #[test]
+    fn scan_time_ordered_sorts_globally() {
+        let mut s = TweetStore::with_segment_bytes(2048);
+        // Insert with shuffled timestamps across many hour buckets.
+        let mut state = 7u64;
+        for i in 0..800u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let ts = state % (72 * 3600);
+            s.append(&rec(i, i % 9, ts, None));
+        }
+        let ordered = s.scan_time_ordered();
+        assert_eq!(ordered.len(), 800);
+        for w in ordered.windows(2) {
+            assert!(
+                (w[0].timestamp, w[0].id) <= (w[1].timestamp, w[1].id),
+                "out of order: {:?} then {:?}",
+                (w[0].timestamp, w[0].id),
+                (w[1].timestamp, w[1].id)
+            );
+        }
+    }
+
+    #[test]
+    fn scan_order_is_append_order() {
+        let mut s = TweetStore::with_segment_bytes(1024);
+        for i in 0..500 {
+            s.append(&rec(i, 0, 0, None));
+        }
+        let ids: Vec<u64> = s.scan().map(|r| r.unwrap().id).collect();
+        assert_eq!(ids, (0..500).collect::<Vec<_>>());
+    }
+}

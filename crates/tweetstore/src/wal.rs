@@ -1,0 +1,302 @@
+//! Write-ahead logging for the tweet store.
+//!
+//! [`crate::persist`] snapshots a whole store; a collector ingesting a live
+//! stream needs durability *per append*. The WAL frames each record as
+//! `len(u32 LE) · crc(u32 LE) · payload` appended to a log file; recovery
+//! replays frames until the first corrupt or torn one and truncates the
+//! tail — the standard contract: everything acknowledged before a crash is
+//! recovered, a torn tail is dropped, corruption never propagates.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{decode_record, encode_record, fnv1a, TweetRecord};
+use crate::persist::PersistError;
+use crate::store::TweetStore;
+
+/// Magic header of WAL files.
+const MAGIC: &[u8; 8] = b"STIRWAL1";
+
+/// An append-only write-ahead log.
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    appended: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path` for appending. A fresh file
+    /// gets the magic header; an existing file must carry it.
+    pub fn open(path: &Path) -> Result<Self, PersistError> {
+        let exists = path.exists();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(path)?;
+        if exists && file.metadata()?.len() >= MAGIC.len() as u64 {
+            let mut head = [0u8; 8];
+            let mut reader = File::open(path)?;
+            reader.read_exact(&mut head)?;
+            if &head != MAGIC {
+                return Err(PersistError::BadMagic);
+            }
+        } else {
+            file.write_all(MAGIC)?;
+            file.sync_all()?;
+        }
+        Ok(Wal {
+            path: path.to_path_buf(),
+            writer: BufWriter::new(file),
+            appended: 0,
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Appends one record frame (buffered; see [`Wal::sync`]).
+    pub fn append(&mut self, rec: &TweetRecord) -> Result<(), PersistError> {
+        let mut payload = Vec::with_capacity(64);
+        encode_record(&mut payload, rec);
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&fnv1a(&payload).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Flushes buffers and fsyncs — the durability point.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+
+    /// Replays the log into a fresh store. Stops at the first torn or
+    /// corrupt frame, truncates the file there, and returns the store plus
+    /// the number of recovered records.
+    pub fn recover(path: &Path) -> Result<(TweetStore, u64), PersistError> {
+        let mut file = File::open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let mut store = TweetStore::new();
+        let mut recovered = 0u64;
+        let mut at = MAGIC.len();
+        let valid_end = loop {
+            if at + 8 > bytes.len() {
+                break at; // torn header
+            }
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+            let start = at + 8;
+            if start + len > bytes.len() {
+                break at; // torn payload
+            }
+            let payload = &bytes[start..start + len];
+            if fnv1a(payload) != crc {
+                break at; // corrupt frame
+            }
+            let mut slice = payload;
+            match decode_record(&mut slice) {
+                Ok(rec) => store.append(&rec),
+                Err(_) => break at,
+            };
+            recovered += 1;
+            at = start + len;
+        };
+        if valid_end < bytes.len() {
+            // Drop the broken tail so the log is clean for further appends.
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(valid_end as u64)?;
+            f.sync_all()?;
+        }
+        Ok((store, recovered))
+    }
+}
+
+/// A store coupled to a WAL: appends hit the log first, then the in-memory
+/// store; `sync` defines the durability boundary.
+pub struct DurableStore {
+    store: TweetStore,
+    wal: Wal,
+}
+
+impl DurableStore {
+    /// Opens the WAL at `path`, recovers any existing records into the
+    /// store, and returns the coupled pair.
+    pub fn open(path: &Path) -> Result<Self, PersistError> {
+        let (store, _) = if path.exists() {
+            Wal::recover(path)?
+        } else {
+            (TweetStore::new(), 0)
+        };
+        let wal = Wal::open(path)?;
+        Ok(DurableStore { store, wal })
+    }
+
+    /// Appends durably-loggable record (call [`DurableStore::sync`] to make
+    /// it crash-safe).
+    pub fn append(&mut self, rec: &TweetRecord) -> Result<(), PersistError> {
+        self.wal.append(rec)?;
+        self.store.append(rec);
+        Ok(())
+    }
+
+    /// Fsyncs the log.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.wal.sync()
+    }
+
+    /// The in-memory store.
+    pub fn store(&self) -> &TweetStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stir_geoindex::Point;
+
+    fn rec(id: u64) -> TweetRecord {
+        TweetRecord {
+            id,
+            user: id % 5,
+            timestamp: id * 13,
+            gps: id.is_multiple_of(2).then(|| Point::new(37.0, 127.0)),
+            text: format!("wal {id}"),
+        }
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("stir-wal-{tag}-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_sync_recover_roundtrip() {
+        let path = tmp("roundtrip");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for i in 0..200 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (store, recovered) = Wal::recover(&path).unwrap();
+        assert_eq!(recovered, 200);
+        assert_eq!(store.len(), 200);
+        assert_eq!(store.get_by_id(133).unwrap().text, "wal 133");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_recoverable() {
+        let path = tmp("torn");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for i in 0..50 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Simulate a crash mid-frame: chop 3 bytes off the end.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let (store, recovered) = Wal::recover(&path).unwrap();
+        assert_eq!(recovered, 49, "last frame is torn, rest recovered");
+        assert_eq!(store.len(), 49);
+        // The log is clean again: appends after recovery work.
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&rec(999)).unwrap();
+        wal.sync().unwrap();
+        let (store2, recovered2) = Wal::recover(&path).unwrap();
+        assert_eq!(recovered2, 50);
+        assert!(store2.get_by_id(999).is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_frame_stops_replay() {
+        let path = tmp("corrupt");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for i in 0..20 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Flip a byte in the middle of the file (inside some frame).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        let (store, recovered) = Wal::recover(&path).unwrap();
+        assert!(
+            recovered < 20,
+            "corruption must stop replay, got {recovered}"
+        );
+        assert_eq!(store.len() as u64, recovered);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTAWAL!extra").unwrap();
+        assert!(matches!(Wal::recover(&path), Err(PersistError::BadMagic)));
+        assert!(matches!(Wal::open(&path), Err(PersistError::BadMagic)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn durable_store_survives_reopen() {
+        let path = tmp("durable");
+        {
+            let mut ds = DurableStore::open(&path).unwrap();
+            for i in 0..30 {
+                ds.append(&rec(i)).unwrap();
+            }
+            ds.sync().unwrap();
+            assert_eq!(ds.store().len(), 30);
+        }
+        {
+            let mut ds = DurableStore::open(&path).unwrap();
+            assert_eq!(ds.store().len(), 30, "recovery on reopen");
+            ds.append(&rec(100)).unwrap();
+            ds.sync().unwrap();
+        }
+        let ds = DurableStore::open(&path).unwrap();
+        assert_eq!(ds.store().len(), 31);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_wal_recovers_empty() {
+        let path = tmp("empty");
+        {
+            Wal::open(&path).unwrap();
+        }
+        let (store, recovered) = Wal::recover(&path).unwrap();
+        assert_eq!(recovered, 0);
+        assert!(store.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests: codec totality and round trips, segment framing, store
+//! queries vs scan, WAL prefix durability.
+
+use proptest::prelude::*;
+use stir_geoindex::Point;
+use stir_tweetstore::codec::{decode_record, encode_record};
+use stir_tweetstore::segment::Segment;
+use stir_tweetstore::wal::Wal;
+use stir_tweetstore::{Query, TweetRecord, TweetStore};
+
+fn record_strategy() -> impl Strategy<Value = TweetRecord> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        0u64..(180 * 86_400),
+        prop::option::of((-89.0f64..89.0, -179.0f64..179.0)),
+        "\\PC{0,40}",
+    )
+        .prop_map(|(id, user, timestamp, gps, text)| TweetRecord {
+            id,
+            user: user as u64,
+            timestamp,
+            gps: gps.map(|(lat, lon)| Point::new(lat, lon)),
+            text,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_roundtrip(rec in record_strategy()) {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &rec);
+        let mut slice = buf.as_slice();
+        let back = decode_record(&mut slice).unwrap();
+        prop_assert_eq!(back.id, rec.id);
+        prop_assert_eq!(back.user, rec.user);
+        prop_assert_eq!(back.timestamp, rec.timestamp);
+        prop_assert_eq!(&back.text, &rec.text);
+        match (back.gps, rec.gps) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a.lat - b.lat).abs() < 1e-5);
+                prop_assert!((a.lon - b.lon).abs() < 1e-5);
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "gps mismatch {:?}", other),
+        }
+        prop_assert!(slice.is_empty(), "trailing bytes after decode");
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let mut slice = bytes.as_slice();
+        let _ = decode_record(&mut slice);
+    }
+
+    #[test]
+    fn segment_framing_roundtrip(recs in prop::collection::vec(record_strategy(), 0..40)) {
+        let mut seg = Segment::new();
+        for r in &recs {
+            seg.append(r);
+        }
+        let framed = seg.to_framed_bytes();
+        let back = Segment::from_framed_bytes(&framed).unwrap();
+        prop_assert_eq!(back.len(), recs.len());
+        for (i, r) in recs.iter().enumerate() {
+            let got = back.get(i as u32).unwrap();
+            prop_assert_eq!(got.id, r.id);
+            prop_assert_eq!(&got.text, &r.text);
+        }
+    }
+
+    #[test]
+    fn store_queries_agree_with_scan(recs in prop::collection::vec(record_strategy(), 0..80), user in 0u64..8, t0 in 0u64..86_400u64) {
+        let mut store = TweetStore::with_segment_bytes(2048);
+        for (i, r) in recs.iter().enumerate() {
+            // Make ids unique and users small so queries hit.
+            let mut r = r.clone();
+            r.id = i as u64;
+            r.user %= 8;
+            store.append(&r);
+        }
+        let t1 = t0 + 6 * 3600;
+        let rows = Query::all().user(user).between(t0, t1).execute(&store);
+        let expect = store
+            .scan()
+            .filter_map(|r| r.ok())
+            .filter(|r| r.user == user && (t0..t1).contains(&r.timestamp))
+            .count();
+        prop_assert_eq!(rows.len(), expect);
+    }
+
+    #[test]
+    fn wal_prefix_durability(recs in prop::collection::vec(record_strategy(), 1..30), cut in 1usize..200) {
+        // Whatever prefix of frames survives a tail-chop must recover
+        // exactly, in order.
+        let path = std::env::temp_dir().join(format!(
+            "stir-wal-prop-{}-{}.log",
+            std::process::id(),
+            cut
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for (i, r) in recs.iter().enumerate() {
+                let mut r = r.clone();
+                r.id = i as u64;
+                wal.append(&r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        let keep = full_len.saturating_sub(cut as u64).max(8);
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(keep).unwrap();
+        drop(f);
+        let (store, recovered) = Wal::recover(&path).unwrap();
+        prop_assert!(recovered <= recs.len() as u64);
+        prop_assert_eq!(store.len() as u64, recovered);
+        // Recovered records are the exact prefix 0..recovered.
+        for i in 0..recovered {
+            prop_assert!(store.get_by_id(i).is_some(), "record {} missing", i);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

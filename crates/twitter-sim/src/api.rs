@@ -1,0 +1,284 @@
+//! A rate-limited Twitter-API facade over a generated [`Dataset`].
+//!
+//! Models the constraints the paper worked under ("Due to the changed policy
+//! of Twitter, we collect the users with crawler …"): cursor-paginated
+//! follower lists, per-window request quotas, and a keyword search endpoint.
+//! All waiting happens on the [`SimClock`], so a full 52k-user crawl
+//! "takes days" of simulated time in milliseconds of real time.
+
+use stir_geokr::Gazetteer;
+
+use crate::clock::SimClock;
+use crate::datasets::Dataset;
+use crate::ids::UserId;
+use crate::profiles::UserProfile;
+use crate::tweetgen::Tweet;
+
+/// API request quota: `requests` per rolling `window_secs` window.
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimit {
+    /// Requests allowed per window.
+    pub requests: u32,
+    /// Window length in seconds.
+    pub window_secs: u64,
+}
+
+impl RateLimit {
+    /// The 2011-era authenticated REST quota: 350 requests/hour.
+    pub fn rest_2011() -> Self {
+        RateLimit {
+            requests: 350,
+            window_secs: 3600,
+        }
+    }
+}
+
+/// Errors an API call can return.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApiError {
+    /// Quota exhausted; retry after the window resets (seconds on the sim
+    /// clock).
+    RateLimited {
+        /// Sim-clock time at which the window resets.
+        reset_at: u64,
+    },
+    /// Unknown user id.
+    NotFound,
+}
+
+/// One page of follower ids plus the next cursor, mirroring
+/// `GET followers/ids`.
+#[derive(Clone, Debug)]
+pub struct FollowerPage {
+    /// Follower ids on this page.
+    pub ids: Vec<UserId>,
+    /// Cursor for the next page, `None` when exhausted.
+    pub next_cursor: Option<u64>,
+}
+
+/// Page size of `followers/ids` (the real endpoint returns 5000 ids/page).
+pub const FOLLOWER_PAGE: usize = 5000;
+
+/// The API facade. Holds a reference to the dataset and a sim clock;
+/// interior counters track quota usage.
+pub struct TwitterApi<'d> {
+    dataset: &'d Dataset,
+    gazetteer: &'d Gazetteer,
+    clock: SimClock,
+    limit: RateLimit,
+    window_start: std::cell::Cell<u64>,
+    window_used: std::cell::Cell<u32>,
+    total_requests: std::cell::Cell<u64>,
+}
+
+impl<'d> TwitterApi<'d> {
+    /// Wraps a dataset with the default 2011 REST rate limit.
+    pub fn new(dataset: &'d Dataset, gazetteer: &'d Gazetteer) -> Self {
+        Self::with_limit(dataset, gazetteer, RateLimit::rest_2011())
+    }
+
+    /// Wraps a dataset with an explicit rate limit.
+    pub fn with_limit(dataset: &'d Dataset, gazetteer: &'d Gazetteer, limit: RateLimit) -> Self {
+        TwitterApi {
+            dataset,
+            gazetteer,
+            clock: SimClock::new(),
+            limit,
+            window_start: std::cell::Cell::new(0),
+            window_used: std::cell::Cell::new(0),
+            total_requests: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The simulated clock (shared with callers that want to sleep).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Total requests issued.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests.get()
+    }
+
+    fn charge(&self) -> Result<(), ApiError> {
+        let now = self.clock.now();
+        if now >= self.window_start.get() + self.limit.window_secs {
+            self.window_start.set(now);
+            self.window_used.set(0);
+        }
+        if self.window_used.get() >= self.limit.requests {
+            return Err(ApiError::RateLimited {
+                reset_at: self.window_start.get() + self.limit.window_secs,
+            });
+        }
+        self.window_used.set(self.window_used.get() + 1);
+        self.total_requests.set(self.total_requests.get() + 1);
+        // Each request costs a little simulated latency.
+        self.clock.advance(1);
+        Ok(())
+    }
+
+    fn check_user(&self, user: UserId) -> Result<(), ApiError> {
+        if (user.0 as usize) < self.dataset.len() {
+            Ok(())
+        } else {
+            Err(ApiError::NotFound)
+        }
+    }
+
+    /// `GET users/show` — a user's public profile.
+    pub fn user_show(&self, user: UserId) -> Result<&'d UserProfile, ApiError> {
+        self.check_user(user)?;
+        self.charge()?;
+        Ok(&self.dataset.users[user.0 as usize])
+    }
+
+    /// `GET followers/ids` — one page of followers.
+    pub fn followers_ids(&self, user: UserId, cursor: u64) -> Result<FollowerPage, ApiError> {
+        self.check_user(user)?;
+        self.charge()?;
+        let all = self.dataset.graph.followers_of(user);
+        let start = cursor as usize;
+        let end = (start + FOLLOWER_PAGE).min(all.len());
+        let ids = all[start..end].iter().map(|&u| UserId(u as u64)).collect();
+        let next_cursor = (end < all.len()).then_some(end as u64);
+        Ok(FollowerPage { ids, next_cursor })
+    }
+
+    /// `GET statuses/user_timeline` — the user's tweets (the simulation
+    /// regenerates them deterministically).
+    pub fn user_timeline(&self, user: UserId) -> Result<Vec<Tweet>, ApiError> {
+        self.check_user(user)?;
+        self.charge()?;
+        Ok(self.dataset.user_tweets(self.gazetteer, user))
+    }
+
+    /// `GET search` — tweets whose text contains `term` (case-insensitive),
+    /// scanning up to `max_users` users from the given offset. Expensive by
+    /// construction, like the real search API's shallow index.
+    pub fn search(
+        &self,
+        term: &str,
+        user_offset: usize,
+        max_users: usize,
+    ) -> Result<Vec<Tweet>, ApiError> {
+        self.charge()?;
+        let term_lc = term.to_ascii_lowercase();
+        let mut hits = Vec::new();
+        let end = (user_offset + max_users).min(self.dataset.len());
+        for idx in user_offset..end {
+            for t in self.dataset.user_tweets(self.gazetteer, UserId(idx as u64)) {
+                if t.text.to_ascii_lowercase().contains(&term_lc) {
+                    hits.push(t);
+                }
+            }
+        }
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetSpec;
+
+    fn fixtures() -> (&'static Gazetteer, &'static Dataset) {
+        let g: &'static Gazetteer = Box::leak(Box::new(Gazetteer::load()));
+        let d: &'static Dataset = Box::leak(Box::new(Dataset::generate(
+            DatasetSpec {
+                n_users: 300,
+                ..DatasetSpec::korean_paper()
+            },
+            g,
+            21,
+        )));
+        (g, d)
+    }
+
+    #[test]
+    fn user_show_and_timeline() {
+        let (g, d) = fixtures();
+        let api = TwitterApi::new(d, g);
+        let u = api.user_show(UserId(5)).unwrap();
+        assert_eq!(u.id, UserId(5));
+        let tl = api.user_timeline(UserId(5)).unwrap();
+        assert_eq!(tl.len(), u.tweet_budget as usize);
+        assert_eq!(api.total_requests(), 2);
+    }
+
+    #[test]
+    fn unknown_user_is_not_found() {
+        let (g, d) = fixtures();
+        let api = TwitterApi::new(d, g);
+        assert_eq!(
+            api.user_show(UserId(999_999)).unwrap_err(),
+            ApiError::NotFound
+        );
+    }
+
+    #[test]
+    fn follower_pagination_covers_everything() {
+        let (g, d) = fixtures();
+        let api = TwitterApi::with_limit(
+            d,
+            g,
+            RateLimit {
+                requests: 10_000,
+                window_secs: 3600,
+            },
+        );
+        let seed = d.graph.best_seed();
+        let mut cursor = 0u64;
+        let mut collected = Vec::new();
+        loop {
+            let page = api.followers_ids(seed, cursor).unwrap();
+            collected.extend(page.ids);
+            match page.next_cursor {
+                Some(c) => cursor = c,
+                None => break,
+            }
+        }
+        assert_eq!(collected.len(), d.graph.followers_of(seed).len());
+    }
+
+    #[test]
+    fn rate_limit_trips_and_resets() {
+        let (g, d) = fixtures();
+        let api = TwitterApi::with_limit(
+            d,
+            g,
+            RateLimit {
+                requests: 2,
+                window_secs: 100,
+            },
+        );
+        api.user_show(UserId(0)).unwrap();
+        api.user_show(UserId(1)).unwrap();
+        match api.user_show(UserId(2)) {
+            Err(ApiError::RateLimited { reset_at }) => {
+                api.clock().advance_to(reset_at);
+            }
+            other => panic!("expected rate limit, got {other:?}"),
+        }
+        assert!(api.user_show(UserId(2)).is_ok());
+    }
+
+    #[test]
+    fn search_finds_injected_terms() {
+        let (g, d) = fixtures();
+        let api = TwitterApi::with_limit(
+            d,
+            g,
+            RateLimit {
+                requests: 10_000,
+                window_secs: 3600,
+            },
+        );
+        // Background chatter includes "coffee time" openers.
+        let hits = api.search("coffee", 0, 300).unwrap();
+        assert!(!hits.is_empty());
+        for t in &hits {
+            assert!(t.text.to_ascii_lowercase().contains("coffee"));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! A virtual clock for the API/crawler simulation.
+//!
+//! All "time" in the simulation is seconds on this clock; nothing reads the
+//! wall clock, so crawls over rate-limited APIs reproduce exactly.
+
+use std::cell::Cell;
+
+/// Simulated seconds since the start of the collection window.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now: Cell<u64>,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        SimClock { now: Cell::new(0) }
+    }
+
+    /// A clock starting at `t` seconds.
+    pub fn starting_at(t: u64) -> Self {
+        SimClock { now: Cell::new(t) }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> u64 {
+        self.now.get()
+    }
+
+    /// Advances the clock by `secs`.
+    pub fn advance(&self, secs: u64) {
+        self.now.set(self.now.get() + secs);
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; never goes back.
+    pub fn advance_to(&self, t: u64) {
+        if t > self.now.get() {
+            self.now.set(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(10);
+        assert_eq!(c.now(), 10);
+        c.advance_to(5); // no-op backwards
+        assert_eq!(c.now(), 10);
+        c.advance_to(42);
+        assert_eq!(c.now(), 42);
+    }
+
+    #[test]
+    fn starting_offset() {
+        let c = SimClock::starting_at(100);
+        assert_eq!(c.now(), 100);
+    }
+}

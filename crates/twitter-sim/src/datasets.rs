@@ -1,0 +1,347 @@
+//! Dataset specifications and generation.
+//!
+//! Two canned specs mirror the paper's data (slide "Dataset"):
+//!
+//! * **Korean dataset** — 52,2xx users crawled by following the follower
+//!   graph, ≈ 11.1M tweets, Search-API era. Strong home anchoring.
+//! * **Lady Gaga dataset** — ≈ 2M users observed through a streaming-API
+//!   keyword sample, ≈ 7xx,xxx tweets (1–2 visible tweets per user). Global
+//!   audience, mostly non-Korean profiles.
+//!
+//! Both come at paper scale and at a 1/10 default scale that keeps `repro
+//! all` in the minutes range. Tweets are never materialized here — see
+//! [`Dataset::for_each_tweet`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stir_geokr::Gazetteer;
+
+use crate::archetype::ArchetypeMix;
+use crate::graph::FollowerGraph;
+use crate::ids::UserId;
+use crate::mobility::MobilityModel;
+use crate::profiles::{render_location, screen_name, GroundTruth, StyleMix, UserProfile};
+use crate::tweetgen::{sample_lognormal, tweets_for_user, Tweet, TweetGenConfig};
+
+/// Everything that parameterizes a generated dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Human-readable name ("korean", "lady-gaga").
+    pub name: &'static str,
+    /// Number of users.
+    pub n_users: usize,
+    /// Log-normal μ for per-user tweet volume.
+    pub tweets_mu: f64,
+    /// Log-normal σ for per-user tweet volume.
+    pub tweets_sigma: f64,
+    /// Hard cap on per-user tweets (the Search API caps visible history).
+    pub tweets_cap: u32,
+    /// Probability a user tweets from a GPS-capable client at all.
+    pub gps_device_rate: f64,
+    /// Range of per-user GPS tagging rates for device owners.
+    pub gps_tag_range: (f64, f64),
+    /// Mobility archetype mix.
+    pub archetypes: ArchetypeMix,
+    /// Profile-text quality mix.
+    pub styles: StyleMix,
+    /// Average follows per user in the follower graph (0 = no graph).
+    pub graph_m: usize,
+    /// Tweet stream configuration.
+    pub tweet_cfg: TweetGenConfig,
+}
+
+impl DatasetSpec {
+    /// The Korean crawl at full paper scale (52,200 users ≈ 11M tweets).
+    pub fn korean_paper() -> Self {
+        DatasetSpec {
+            name: "korean",
+            n_users: 52_200,
+            // mean ≈ exp(μ + σ²/2) ≈ 213 tweets/user over the window.
+            tweets_mu: 4.68,
+            tweets_sigma: 1.1,
+            tweets_cap: 3_200,
+            gps_device_rate: 0.06,
+            gps_tag_range: (0.05, 0.35),
+            archetypes: ArchetypeMix::korean(),
+            styles: StyleMix::korean(),
+            graph_m: 8,
+            tweet_cfg: TweetGenConfig {
+                skip_plain_text: true,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The Korean dataset at 1/10 scale — the default for experiments.
+    pub fn korean_default() -> Self {
+        DatasetSpec {
+            n_users: 5_220,
+            ..Self::korean_paper()
+        }
+    }
+
+    /// The streaming "Lady Gaga" sample at paper scale (≈ 2M users).
+    pub fn lady_gaga_paper() -> Self {
+        DatasetSpec {
+            name: "lady-gaga",
+            n_users: 2_000_000,
+            // Streaming keyword capture: ~1.4 visible tweets per user.
+            tweets_mu: 0.1,
+            tweets_sigma: 0.7,
+            tweets_cap: 40,
+            gps_device_rate: 0.08,
+            gps_tag_range: (0.3, 1.0),
+            archetypes: ArchetypeMix::lady_gaga(),
+            styles: StyleMix::lady_gaga(),
+            graph_m: 0,
+            tweet_cfg: TweetGenConfig {
+                skip_plain_text: true,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The Lady Gaga dataset at 1/10 scale.
+    pub fn lady_gaga_default() -> Self {
+        DatasetSpec {
+            n_users: 200_000,
+            ..Self::lady_gaga_paper()
+        }
+    }
+
+    /// Scales the user count by `factor` (for benchmark sweeps).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.n_users = ((self.n_users as f64 * factor) as usize).max(10);
+        self
+    }
+
+    /// Expected tweets per user, `min(exp(μ+σ²/2), cap)` ignoring the cap's
+    /// truncation effect.
+    pub fn expected_tweets_per_user(&self) -> f64 {
+        (self.tweets_mu + self.tweets_sigma * self.tweets_sigma / 2.0).exp()
+    }
+}
+
+/// A generated dataset: users and ground truth are materialized; tweets are
+/// re-derived deterministically on demand.
+pub struct Dataset {
+    /// The spec that produced this dataset.
+    pub spec: DatasetSpec,
+    /// Master seed.
+    pub seed: u64,
+    /// Public user profiles, indexed by `UserId.0`.
+    pub users: Vec<UserProfile>,
+    /// Ground truth parallel to `users` (the analysis must not read this;
+    /// tests and EXPERIMENTS.md use it for validation).
+    pub truth: Vec<GroundTruth>,
+    /// Follower graph (empty for streaming datasets).
+    pub graph: FollowerGraph,
+}
+
+impl Dataset {
+    /// Generates a dataset from a spec, deterministically from `seed`.
+    pub fn generate(spec: DatasetSpec, gazetteer: &Gazetteer, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut users = Vec::with_capacity(spec.n_users);
+        let mut truth = Vec::with_capacity(spec.n_users);
+        for i in 0..spec.n_users {
+            let id = UserId(i as u64);
+            let home = gazetteer.weighted_district(rng.gen::<f64>());
+            let archetype = spec.archetypes.sample(&mut rng);
+            let mobility = MobilityModel::build(archetype, home, gazetteer, &mut rng);
+            let style = spec.styles.sample(&mut rng);
+            let location_text = render_location(style, home, gazetteer, &mut rng);
+            let gps_device = rng.gen_bool(spec.gps_device_rate);
+            let gps_tag_rate = rng.gen_range(spec.gps_tag_range.0..spec.gps_tag_range.1);
+            let budget =
+                sample_lognormal(&mut rng, spec.tweets_mu, spec.tweets_sigma).round() as u32;
+            let tweet_budget = budget.clamp(1, spec.tweets_cap);
+            users.push(UserProfile {
+                id,
+                screen_name: screen_name(id, &mut rng),
+                location_text,
+                gps_device,
+                gps_tag_rate,
+                tweet_budget,
+            });
+            truth.push(GroundTruth {
+                profile_district: home,
+                style,
+                archetype,
+                mobility,
+            });
+        }
+        let graph = if spec.graph_m > 0 {
+            FollowerGraph::preferential_attachment(spec.n_users, spec.graph_m, &mut rng)
+        } else {
+            FollowerGraph::empty(spec.n_users)
+        };
+        Dataset {
+            spec,
+            seed,
+            users,
+            truth,
+            graph,
+        }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when the dataset has no users.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Regenerates the tweet stream of one user (deterministic).
+    pub fn user_tweets(&self, gazetteer: &Gazetteer, user: UserId) -> Vec<Tweet> {
+        let idx = user.0 as usize;
+        tweets_for_user(
+            &self.spec.tweet_cfg,
+            gazetteer,
+            &self.users[idx],
+            &self.truth[idx],
+            self.seed,
+        )
+    }
+
+    /// Streams every tweet of every user through `f` without materializing
+    /// the corpus. Iteration order is by user id, then timestamp.
+    pub fn for_each_tweet<F: FnMut(&Tweet)>(&self, gazetteer: &Gazetteer, mut f: F) {
+        for u in &self.users {
+            for t in self.user_tweets(gazetteer, u.id) {
+                f(&t);
+            }
+        }
+    }
+
+    /// Total tweet count (sum of budgets) without generating anything.
+    pub fn total_tweets(&self) -> u64 {
+        self.users.iter().map(|u| u.tweet_budget as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaz() -> &'static Gazetteer {
+        Box::leak(Box::new(Gazetteer::load()))
+    }
+
+    fn small_korean() -> DatasetSpec {
+        DatasetSpec {
+            n_users: 400,
+            ..DatasetSpec::korean_paper()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = gaz();
+        let a = Dataset::generate(small_korean(), g, 7);
+        let b = Dataset::generate(small_korean(), g, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.users.iter().zip(&b.users) {
+            assert_eq!(x.location_text, y.location_text);
+            assert_eq!(x.tweet_budget, y.tweet_budget);
+        }
+        let ta = a.user_tweets(g, UserId(3));
+        let tb = b.user_tweets(g, UserId(3));
+        assert_eq!(ta.len(), tb.len());
+    }
+
+    #[test]
+    fn seeds_change_content() {
+        let g = gaz();
+        let a = Dataset::generate(small_korean(), g, 1);
+        let b = Dataset::generate(small_korean(), g, 2);
+        let diff = a
+            .users
+            .iter()
+            .zip(&b.users)
+            .filter(|(x, y)| x.location_text != y.location_text)
+            .count();
+        assert!(diff > 100, "only {diff} users differ");
+    }
+
+    #[test]
+    fn tweet_volume_near_expectation() {
+        let g = gaz();
+        let spec = small_korean();
+        let expected = spec.expected_tweets_per_user();
+        let d = Dataset::generate(spec, g, 3);
+        let mean = d.total_tweets() as f64 / d.len() as f64;
+        // The cap truncates the tail, so the realized mean sits below the
+        // untruncated expectation but in its neighbourhood.
+        assert!(
+            mean > expected * 0.5 && mean < expected * 1.3,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn gps_device_rate_respected() {
+        let g = gaz();
+        let d = Dataset::generate(
+            DatasetSpec {
+                n_users: 5000,
+                ..DatasetSpec::korean_paper()
+            },
+            g,
+            4,
+        );
+        let devices = d.users.iter().filter(|u| u.gps_device).count();
+        let rate = devices as f64 / d.len() as f64;
+        assert!((rate - 0.06).abs() < 0.012, "device rate {rate}");
+    }
+
+    #[test]
+    fn korean_has_graph_lady_gaga_does_not() {
+        let g = gaz();
+        let k = Dataset::generate(small_korean(), g, 5);
+        assert!(k.graph.edge_count() > 0);
+        let lg = Dataset::generate(
+            DatasetSpec {
+                n_users: 300,
+                ..DatasetSpec::lady_gaga_paper()
+            },
+            g,
+            5,
+        );
+        assert_eq!(lg.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn for_each_tweet_covers_all_budgets() {
+        let g = gaz();
+        let d = Dataset::generate(
+            DatasetSpec {
+                n_users: 50,
+                ..small_korean()
+            },
+            g,
+            6,
+        );
+        let mut n = 0u64;
+        d.for_each_tweet(g, |_| n += 1);
+        assert_eq!(n, d.total_tweets());
+    }
+
+    #[test]
+    fn lady_gaga_tweets_are_sparse() {
+        let g = gaz();
+        let d = Dataset::generate(
+            DatasetSpec {
+                n_users: 2000,
+                ..DatasetSpec::lady_gaga_paper()
+            },
+            g,
+            8,
+        );
+        let mean = d.total_tweets() as f64 / d.len() as f64;
+        assert!(mean < 3.0, "lady gaga mean tweets {mean}");
+    }
+}

@@ -1,0 +1,167 @@
+//! The follower graph.
+//!
+//! Generated with preferential attachment (Barabási–Albert): each new user
+//! follows `m` existing users chosen proportionally to in-degree, producing
+//! the heavy-tailed follower counts real Twitter has. The paper's crawler
+//! walks this graph: "we collect the users with crawler that explores the
+//! every followers of the given seed user".
+
+use rand::Rng;
+
+use crate::ids::UserId;
+
+/// A directed follower graph. `followers[u]` lists the users who follow
+/// `u` — the set the paper's crawler requests page by page.
+#[derive(Clone, Debug)]
+pub struct FollowerGraph {
+    followers: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl FollowerGraph {
+    /// An empty graph over `n` users (used by datasets that never crawl).
+    pub fn empty(n: usize) -> Self {
+        FollowerGraph {
+            followers: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Generates a preferential-attachment graph over `n` users where every
+    /// user follows about `m` others.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `m == 0`.
+    pub fn preferential_attachment<R: Rng>(n: usize, m: usize, rng: &mut R) -> Self {
+        assert!(n > 0 && m > 0, "graph needs users and edges");
+        let mut followers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // `targets` holds one entry per (in-)degree unit; sampling from it is
+        // sampling proportional to degree.
+        let mut targets: Vec<u32> = Vec::with_capacity(n * m * 2);
+        let mut edges = 0usize;
+
+        // Seed clique among the first m+1 users so early sampling has mass.
+        let seed = (m + 1).min(n);
+        for (v, follower_list) in followers.iter_mut().enumerate().take(seed) {
+            for u in 0..seed {
+                if u != v {
+                    follower_list.push(u as u32);
+                    targets.push(v as u32);
+                    edges += 1;
+                }
+            }
+        }
+        for u in seed..n {
+            let mut chosen: Vec<u32> = Vec::with_capacity(m);
+            let mut guard = 0;
+            while chosen.len() < m && guard < m * 20 {
+                guard += 1;
+                let t = targets[rng.gen_range(0..targets.len())];
+                if t as usize != u && !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+            for t in chosen {
+                followers[t as usize].push(u as u32);
+                targets.push(t);
+                edges += 1;
+            }
+            // The new user also becomes reachable.
+            targets.push(u as u32);
+        }
+        FollowerGraph { followers, edges }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.followers.len()
+    }
+
+    /// True when the graph has no users.
+    pub fn is_empty(&self) -> bool {
+        self.followers.is_empty()
+    }
+
+    /// Total number of follow edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// The followers of `user`.
+    pub fn followers_of(&self, user: UserId) -> &[u32] {
+        &self.followers[user.0 as usize]
+    }
+
+    /// The highest-in-degree user — a natural crawl seed (the paper seeds
+    /// from a well-connected account).
+    pub fn best_seed(&self) -> UserId {
+        let idx = (0..self.followers.len())
+            .max_by_key(|&i| self.followers[i].len())
+            .unwrap_or(0);
+        UserId(idx as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = FollowerGraph::preferential_attachment(1000, 8, &mut rng);
+        assert_eq!(g.len(), 1000);
+        assert!(g.edge_count() >= 1000 * 7, "edges {}", g.edge_count());
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = FollowerGraph::preferential_attachment(5000, 5, &mut rng);
+        let mut degrees: Vec<usize> = (0..g.len())
+            .map(|i| g.followers_of(UserId(i as u64)).len())
+            .collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: usize = degrees.iter().take(50).sum();
+        let total: usize = degrees.iter().sum();
+        // The top 1% of users hold far more than 1% of the follower edges.
+        assert!(top1pct * 10 > total, "top1% {top1pct} of {total}");
+    }
+
+    #[test]
+    fn best_seed_has_max_degree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = FollowerGraph::preferential_attachment(500, 4, &mut rng);
+        let seed = g.best_seed();
+        let max = (0..500)
+            .map(|i| g.followers_of(UserId(i)).len())
+            .max()
+            .unwrap();
+        assert_eq!(g.followers_of(seed).len(), max);
+    }
+
+    #[test]
+    fn no_self_follows_or_duplicate_edges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = FollowerGraph::preferential_attachment(800, 6, &mut rng);
+        for u in 0..g.len() {
+            let fs = g.followers_of(UserId(u as u64));
+            assert!(!fs.contains(&(u as u32)), "self follow at {u}");
+            let mut sorted = fs.to_vec();
+            sorted.sort_unstable();
+            let before = sorted.len();
+            sorted.dedup();
+            assert_eq!(sorted.len(), before, "duplicate follower edge at {u}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = FollowerGraph::empty(10);
+        assert_eq!(g.len(), 10);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.followers_of(UserId(3)).is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Identifier newtypes for users and tweets.
+
+use std::fmt;
+
+/// A user id. Dense: generated datasets number users `0..n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub u64);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// A tweet id. Generated tweets use `user_id * TWEETS_PER_USER_SPAN + seq`,
+/// so ids are unique and sortable by (user, sequence).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TweetId(pub u64);
+
+/// Maximum tweets a single generated user can emit; fixes the id layout.
+pub const TWEETS_PER_USER_SPAN: u64 = 1 << 16;
+
+impl TweetId {
+    /// Composes an id from its user and per-user sequence number.
+    pub fn compose(user: UserId, seq: u32) -> Self {
+        debug_assert!((seq as u64) < TWEETS_PER_USER_SPAN);
+        TweetId(user.0 * TWEETS_PER_USER_SPAN + seq as u64)
+    }
+
+    /// The user component.
+    pub fn user(self) -> UserId {
+        UserId(self.0 / TWEETS_PER_USER_SPAN)
+    }
+
+    /// The per-user sequence component.
+    pub fn seq(self) -> u32 {
+        (self.0 % TWEETS_PER_USER_SPAN) as u32
+    }
+}
+
+impl fmt::Display for TweetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_roundtrips() {
+        let id = TweetId::compose(UserId(42), 7);
+        assert_eq!(id.user(), UserId(42));
+        assert_eq!(id.seq(), 7);
+    }
+
+    #[test]
+    fn ids_sort_by_user_then_seq() {
+        let a = TweetId::compose(UserId(1), 9999);
+        let b = TweetId::compose(UserId(2), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(UserId(3).to_string(), "u3");
+        assert_eq!(TweetId(12).to_string(), "t12");
+    }
+}

@@ -1,0 +1,57 @@
+//! # stir-twitter-sim — synthetic Twitter substrate
+//!
+//! The paper's raw material is a live 2011 Twitter crawl (52k Korean users /
+//! 11.1M tweets via follower crawling, plus a streaming-API "Lady Gaga"
+//! dataset). That data cannot be re-collected; this crate is the generative
+//! replacement. It exposes the same observable surface the paper consumed —
+//! user profiles with free-text locations, tweets with optional GPS
+//! coordinates, a follower graph behind a rate-limited API — while keeping
+//! the *ground truth* (each user's actual mobility) explicit and tunable, so
+//! the paper's aggregate shapes are emergent rather than hard-coded.
+//!
+//! * [`archetype`] / [`mobility`] — user mobility models: home-anchored,
+//!   dual-centre, commuter (never tweets from the profile district),
+//!   wanderer, relocated.
+//! * [`profiles`] — free-text profile-location rendering with the paper's
+//!   Fig. 3 noise taxonomy (well-formed / typo / Korean script / province-
+//!   only / vague / foreign / multi-location / embedded coordinates).
+//! * [`tweetgen`] / [`textgen`] — per-user tweet streams: log-normal volume,
+//!   diurnal timestamps, GPS-adoption model, deterministic per-user seeds so
+//!   tweets can be re-generated instead of stored.
+//! * [`graph`] — preferential-attachment follower graph.
+//! * [`api`] / [`crawler`] — a rate-limited Twitter-API facade and the
+//!   follower crawler the paper describes ("explores the every followers of
+//!   the given seed user"), on a simulated clock.
+//! * [`datasets`] — the two paper datasets as parameter sets, at paper scale
+//!   and a default 1/10 scale; [`stream`] — the keyword streaming-API
+//!   collector the "Lady Gaga" dataset came through.
+//! * [`event`] — ground-truth event injection (earthquake-style) for the
+//!   event-detection experiments.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod archetype;
+pub mod clock;
+pub mod crawler;
+pub mod datasets;
+pub mod event;
+pub mod graph;
+pub mod ids;
+pub mod mobility;
+pub mod profiles;
+pub mod stream;
+pub mod textgen;
+pub mod tweetgen;
+
+pub use api::{ApiError, RateLimit, TwitterApi};
+pub use archetype::{Archetype, ArchetypeMix};
+pub use clock::SimClock;
+pub use crawler::{CrawlReport, Crawler};
+pub use datasets::{Dataset, DatasetSpec};
+pub use graph::FollowerGraph;
+pub use ids::{TweetId, UserId};
+pub use mobility::MobilityModel;
+pub use profiles::{GroundTruth, ProfileStyle, UserProfile};
+pub use stream::{collect as collect_stream, StreamCollection, StreamSpec};
+pub use tweetgen::Tweet;

@@ -1,0 +1,174 @@
+//! The streaming-API collector — how the "Lady Gaga" dataset was gathered
+//! (slide "Dataset": "2,0xx,xx9 Users · 7x7,7xx Tweets · Streaming API").
+//!
+//! The 2011 streaming API delivered a keyword-filtered firehose sample with
+//! its own constraints: tweets arrive in time order, the connection rate-
+//! limits, and you only see users who happened to tweet the keyword during
+//! the window. This module simulates that collection path over a generated
+//! dataset: merge all users' tweets into time order, keep keyword matches
+//! (subject to a sampling rate), and accumulate the distinct author set —
+//! the population the paper's second analysis runs on.
+
+use std::collections::HashSet;
+
+use stir_geokr::Gazetteer;
+
+use crate::datasets::Dataset;
+use crate::ids::UserId;
+use crate::tweetgen::Tweet;
+
+/// Parameters of a streaming collection session.
+#[derive(Clone, Debug)]
+pub struct StreamSpec {
+    /// Keyword filter (case-insensitive substring).
+    pub keyword: String,
+    /// Fraction of matching tweets actually delivered (the firehose
+    /// sample: 2011's free tier delivered far less than 100%).
+    pub sample_rate: f64,
+    /// Stop after this many delivered tweets (0 = unlimited).
+    pub max_tweets: usize,
+}
+
+impl StreamSpec {
+    /// A filter for `keyword` with full delivery.
+    pub fn keyword(keyword: &str) -> Self {
+        StreamSpec {
+            keyword: keyword.to_ascii_lowercase(),
+            sample_rate: 1.0,
+            max_tweets: 0,
+        }
+    }
+}
+
+/// The result of a streaming session.
+#[derive(Clone, Debug)]
+pub struct StreamCollection {
+    /// Delivered tweets, in timestamp order.
+    pub tweets: Vec<Tweet>,
+    /// Distinct authors seen, in first-seen order.
+    pub users: Vec<UserId>,
+    /// Total tweets that flowed past the filter (delivered or sampled out).
+    pub matched: u64,
+}
+
+/// Runs a streaming collection over a dataset.
+///
+/// Deterministic: the sampling decision for a tweet hashes its id against
+/// the spec's rate, so re-running yields the identical collection.
+pub fn collect(dataset: &Dataset, gazetteer: &Gazetteer, spec: &StreamSpec) -> StreamCollection {
+    // Merge all tweets into time order. Per-user streams are already
+    // sorted; a full sort keeps the code simple at the scales involved
+    // (matching tweets are rare).
+    let mut delivered: Vec<Tweet> = Vec::new();
+    let mut matched = 0u64;
+    dataset.for_each_tweet(gazetteer, |t| {
+        if spec.max_tweets > 0 && delivered.len() >= spec.max_tweets {
+            return;
+        }
+        if !t.text.to_ascii_lowercase().contains(&spec.keyword) {
+            return;
+        }
+        matched += 1;
+        // Deterministic per-tweet sampling.
+        let h = t.id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11;
+        let u = h as f64 / (1u64 << 53) as f64;
+        if u < spec.sample_rate {
+            delivered.push(t.clone());
+        }
+    });
+    delivered.sort_by_key(|t| (t.timestamp, t.id));
+    let mut seen = HashSet::new();
+    let mut users = Vec::new();
+    for t in &delivered {
+        if seen.insert(t.user) {
+            users.push(t.user);
+        }
+    }
+    StreamCollection {
+        tweets: delivered,
+        users,
+        matched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetSpec;
+
+    fn fixtures() -> (&'static Gazetteer, &'static Dataset) {
+        let g: &'static Gazetteer = Box::leak(Box::new(Gazetteer::load()));
+        let d: &'static Dataset = Box::leak(Box::new(Dataset::generate(
+            DatasetSpec {
+                n_users: 500,
+                ..DatasetSpec::korean_paper()
+            },
+            g,
+            44,
+        )));
+        (g, d)
+    }
+
+    #[test]
+    fn collects_only_matching_tweets_in_order() {
+        let (g, d) = fixtures();
+        let c = collect(d, g, &StreamSpec::keyword("coffee"));
+        assert!(!c.tweets.is_empty());
+        for t in &c.tweets {
+            assert!(t.text.to_ascii_lowercase().contains("coffee"));
+        }
+        for w in c.tweets.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        assert_eq!(c.matched as usize, c.tweets.len()); // rate 1.0
+    }
+
+    #[test]
+    fn sampling_thins_the_stream_deterministically() {
+        let (g, d) = fixtures();
+        let full = collect(d, g, &StreamSpec::keyword("coffee"));
+        let spec = StreamSpec {
+            sample_rate: 0.4,
+            ..StreamSpec::keyword("coffee")
+        };
+        let a = collect(d, g, &spec);
+        let b = collect(d, g, &spec);
+        assert_eq!(a.tweets.len(), b.tweets.len());
+        assert!(a.tweets.len() < full.tweets.len());
+        assert!(
+            a.tweets.len() * 5 > full.tweets.len(),
+            "sampled too aggressively"
+        );
+    }
+
+    #[test]
+    fn distinct_users_first_seen_order() {
+        let (g, d) = fixtures();
+        let c = collect(d, g, &StreamSpec::keyword("coffee"));
+        let mut seen = HashSet::new();
+        for u in &c.users {
+            assert!(seen.insert(*u), "duplicate user {u}");
+        }
+        assert!(c.users.len() <= c.tweets.len());
+    }
+
+    #[test]
+    fn max_tweets_caps_collection() {
+        let (g, d) = fixtures();
+        let spec = StreamSpec {
+            max_tweets: 5,
+            ..StreamSpec::keyword("coffee")
+        };
+        let c = collect(d, g, &spec);
+        assert!(c.tweets.len() <= 5);
+    }
+
+    #[test]
+    fn unmatched_keyword_collects_nothing() {
+        let (g, d) = fixtures();
+        let c = collect(d, g, &StreamSpec::keyword("zebra unicorn"));
+        assert!(c.tweets.is_empty());
+        assert!(c.users.is_empty());
+        assert_eq!(c.matched, 0);
+    }
+}

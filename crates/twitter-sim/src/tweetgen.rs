@@ -1,0 +1,335 @@
+//! Per-user tweet stream generation.
+//!
+//! Tweets are a pure function of `(dataset seed, user id)`: the generator
+//! re-derives a user's stream on demand instead of materializing 11M tweets.
+//! Timestamps follow a diurnal pattern over the collection window; the
+//! district of each tweet comes from the user's mobility model; GPS points
+//! are sampled inside the district's footprint (with occasional border
+//! spill, exactly the noise a real GPS + geocoder pair produces).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stir_geoindex::Point;
+use stir_geokr::Gazetteer;
+
+use crate::ids::{TweetId, UserId};
+use crate::profiles::{GroundTruth, UserProfile};
+use crate::textgen;
+
+/// One tweet, as the paper's pipeline sees it.
+#[derive(Clone, Debug)]
+pub struct Tweet {
+    /// Unique tweet id (see [`TweetId::compose`]).
+    pub id: TweetId,
+    /// Author.
+    pub user: UserId,
+    /// Seconds since the start of the collection window.
+    pub timestamp: u64,
+    /// Tweet text.
+    pub text: String,
+    /// GPS coordinates, present when the client attached them.
+    pub gps: Option<Point>,
+}
+
+/// Parameters for tweet stream generation.
+#[derive(Clone, Debug)]
+pub struct TweetGenConfig {
+    /// Collection window length in seconds (paper-era crawls spanned
+    /// months; the default is 90 days).
+    pub window_secs: u64,
+    /// Probability that a GPS-tagged tweet's text also names the district.
+    pub mention_prob: f64,
+    /// Skip text generation for tweets without GPS (the grouping analysis
+    /// never reads it); halves generation cost at paper scale.
+    pub skip_plain_text: bool,
+}
+
+impl Default for TweetGenConfig {
+    fn default() -> Self {
+        TweetGenConfig {
+            window_secs: 90 * 24 * 3600,
+            mention_prob: 0.1,
+            skip_plain_text: false,
+        }
+    }
+}
+
+/// Hour-of-day weights (KST): quiet at dawn, peaks at lunch and evening.
+const DIURNAL: [f64; 24] = [
+    0.4, 0.2, 0.1, 0.1, 0.1, 0.2, 0.5, 0.9, 1.2, 1.1, 1.0, 1.3, 1.6, 1.3, 1.1, 1.1, 1.2, 1.4, 1.7,
+    1.9, 2.0, 1.8, 1.3, 0.8,
+];
+
+/// Commuter hour weights: pronounced morning/evening commute peaks plus
+/// lunch — the §IV "stay outside for work" population tweets on the move.
+const DIURNAL_COMMUTER: [f64; 24] = [
+    0.3, 0.1, 0.1, 0.1, 0.1, 0.3, 1.2, 2.2, 2.4, 1.2, 0.9, 1.4, 1.8, 1.2, 0.9, 0.9, 1.1, 1.9, 2.5,
+    2.3, 1.4, 1.0, 0.7, 0.5,
+];
+
+/// The hour profile for an archetype.
+fn diurnal_weights(archetype: crate::archetype::Archetype) -> &'static [f64; 24] {
+    match archetype {
+        crate::archetype::Archetype::Commuter => &DIURNAL_COMMUTER,
+        _ => &DIURNAL,
+    }
+}
+
+/// Samples a timestamp inside the window with an hour profile.
+fn sample_timestamp<R: Rng>(rng: &mut R, window_secs: u64, weights: &[f64; 24]) -> u64 {
+    let days = (window_secs / 86_400).max(1);
+    let day = rng.gen_range(0..days);
+    let total: f64 = weights.iter().sum();
+    let mut target = rng.gen::<f64>() * total;
+    let mut hour = 23;
+    for (h, &w) in weights.iter().enumerate() {
+        if target < w {
+            hour = h;
+            break;
+        }
+        target -= w;
+    }
+    let sec_in_hour = rng.gen_range(0..3600u64);
+    (day * 86_400 + hour as u64 * 3600 + sec_in_hour).min(window_secs - 1)
+}
+
+/// Draws from a log-normal via Box–Muller; used for tweet volumes.
+pub fn sample_lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// The deterministic per-user RNG for tweet generation.
+pub fn user_rng(dataset_seed: u64, user: UserId) -> StdRng {
+    StdRng::seed_from_u64(dataset_seed ^ user.0.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Generates the full tweet stream for one user, sorted by timestamp.
+pub fn tweets_for_user(
+    cfg: &TweetGenConfig,
+    gazetteer: &Gazetteer,
+    profile: &UserProfile,
+    truth: &GroundTruth,
+    dataset_seed: u64,
+) -> Vec<Tweet> {
+    let mut rng = user_rng(dataset_seed, profile.id);
+    let n = profile.tweet_budget as usize;
+    let weights = diurnal_weights(truth.archetype);
+    let mut tweets = Vec::with_capacity(n);
+    for seq in 0..n {
+        let timestamp = sample_timestamp(&mut rng, cfg.window_secs, weights);
+        let district = truth.mobility.sample_district(&mut rng);
+        let gps_tagged = profile.gps_device && rng.gen_bool(profile.gps_tag_rate);
+        let (gps, text) = if gps_tagged {
+            // Most fixes cluster near the district centre; a small fraction
+            // land anywhere in the footprint (border-area noise).
+            let point = if rng.gen_bool(0.92) {
+                gazetteer.sample_point_in_scaled(district, 0.6, || rng.gen::<f64>())
+            } else {
+                gazetteer.sample_point_in(district, || rng.gen::<f64>())
+            };
+            // When the text names a place it is usually the place the user
+            // is at (the paper's Fig. 4 observation) — but people also talk
+            // *about* elsewhere, which is exactly why text mentions are a
+            // weaker spatial attribute than GPS.
+            let name = if rng.gen_bool(0.85) {
+                gazetteer.district(district).name_en
+            } else {
+                let other = gazetteer.weighted_district(rng.gen::<f64>());
+                gazetteer.district(other).name_en
+            };
+            let text = textgen::compose(&mut rng, Some(name), cfg.mention_prob);
+            (Some(point), text)
+        } else {
+            let text = if cfg.skip_plain_text {
+                String::new()
+            } else {
+                textgen::compose(&mut rng, None, 0.0)
+            };
+            (None, text)
+        };
+        tweets.push(Tweet {
+            id: TweetId::compose(profile.id, seq as u32),
+            user: profile.id,
+            timestamp,
+            text,
+            gps,
+        });
+    }
+    tweets.sort_by_key(|t| t.timestamp);
+    tweets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archetype::Archetype;
+    use crate::mobility::MobilityModel;
+    use crate::profiles::ProfileStyle;
+
+    fn gaz() -> &'static Gazetteer {
+        Box::leak(Box::new(Gazetteer::load()))
+    }
+
+    fn fixture(g: &Gazetteer, gps_device: bool, budget: u32) -> (UserProfile, GroundTruth) {
+        let home = g.find_by_name_en("Yangcheon-gu")[0];
+        let mut rng = StdRng::seed_from_u64(99);
+        let mobility = MobilityModel::build(Archetype::HomeBody, home, g, &mut rng);
+        let profile = UserProfile {
+            id: UserId(7),
+            screen_name: "tester_7".into(),
+            location_text: "Seoul Yangcheon-gu".into(),
+            gps_device,
+            gps_tag_rate: 0.5,
+            tweet_budget: budget,
+        };
+        let truth = GroundTruth {
+            profile_district: home,
+            style: ProfileStyle::FullEn,
+            archetype: Archetype::HomeBody,
+            mobility,
+        };
+        (profile, truth)
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let g = gaz();
+        let cfg = TweetGenConfig::default();
+        let (p, t) = fixture(g, true, 50);
+        let a = tweets_for_user(&cfg, g, &p, &t, 42);
+        let b = tweets_for_user(&cfg, g, &p, &t, 42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.timestamp, y.timestamp);
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.gps.map(|p| (p.lat, p.lon)), y.gps.map(|p| (p.lat, p.lon)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = gaz();
+        let cfg = TweetGenConfig::default();
+        let (p, t) = fixture(g, true, 50);
+        let a = tweets_for_user(&cfg, g, &p, &t, 42);
+        let b = tweets_for_user(&cfg, g, &p, &t, 43);
+        assert!(a
+            .iter()
+            .zip(&b)
+            .any(|(x, y)| x.timestamp != y.timestamp || x.text != y.text));
+    }
+
+    #[test]
+    fn timestamps_sorted_within_window() {
+        let g = gaz();
+        let cfg = TweetGenConfig::default();
+        let (p, t) = fixture(g, true, 200);
+        let tweets = tweets_for_user(&cfg, g, &p, &t, 1);
+        assert_eq!(tweets.len(), 200);
+        for w in tweets.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        assert!(tweets.iter().all(|t| t.timestamp < cfg.window_secs));
+    }
+
+    #[test]
+    fn gps_rate_tracks_tag_rate() {
+        let g = gaz();
+        let cfg = TweetGenConfig::default();
+        let (p, t) = fixture(g, true, 2000);
+        let tweets = tweets_for_user(&cfg, g, &p, &t, 5);
+        let gps = tweets.iter().filter(|t| t.gps.is_some()).count();
+        let rate = gps as f64 / tweets.len() as f64;
+        assert!((rate - 0.5).abs() < 0.05, "gps rate {rate}");
+    }
+
+    #[test]
+    fn no_device_means_no_gps() {
+        let g = gaz();
+        let cfg = TweetGenConfig::default();
+        let (p, t) = fixture(g, false, 300);
+        let tweets = tweets_for_user(&cfg, g, &p, &t, 5);
+        assert!(tweets.iter().all(|t| t.gps.is_none()));
+    }
+
+    #[test]
+    fn gps_points_resolve_to_mobility_spots_mostly() {
+        let g = gaz();
+        let cfg = TweetGenConfig::default();
+        let (p, t) = fixture(g, true, 1000);
+        let tweets = tweets_for_user(&cfg, g, &p, &t, 9);
+        let spot_ids: Vec<_> = t.mobility.spots().iter().map(|s| s.0).collect();
+        let mut in_spots = 0;
+        let mut total = 0;
+        for tw in tweets.iter().filter(|t| t.gps.is_some()) {
+            total += 1;
+            if let Some(d) = g.resolve_point(tw.gps.unwrap()) {
+                if spot_ids.contains(&d) {
+                    in_spots += 1;
+                }
+            }
+        }
+        assert!(total > 300);
+        assert!(
+            in_spots * 10 >= total * 7,
+            "{in_spots}/{total} resolved into spots"
+        );
+    }
+
+    #[test]
+    fn skip_plain_text_leaves_gps_text() {
+        let g = gaz();
+        let cfg = TweetGenConfig {
+            skip_plain_text: true,
+            ..Default::default()
+        };
+        let (p, t) = fixture(g, true, 500);
+        let tweets = tweets_for_user(&cfg, g, &p, &t, 3);
+        for t in &tweets {
+            if t.gps.is_some() {
+                assert!(!t.text.is_empty());
+            } else {
+                assert!(t.text.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 20_000;
+        let mu = 4.6f64;
+        let sigma = 1.1f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_lognormal(&mut rng, mu, sigma))
+            .sum::<f64>()
+            / n as f64;
+        let expected = (mu + sigma * sigma / 2.0).exp();
+        assert!(
+            (mean - expected).abs() / expected < 0.15,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn diurnal_peaks_in_evening() {
+        let g = gaz();
+        let cfg = TweetGenConfig::default();
+        let (p, t) = fixture(g, true, 5000);
+        let tweets = tweets_for_user(&cfg, g, &p, &t, 21);
+        let mut by_hour = [0usize; 24];
+        for t in &tweets {
+            by_hour[((t.timestamp / 3600) % 24) as usize] += 1;
+        }
+        assert!(
+            by_hour[20] > by_hour[3] * 3,
+            "evening {} vs dawn {}",
+            by_hour[20],
+            by_hour[3]
+        );
+    }
+}

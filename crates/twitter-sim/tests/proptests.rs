@@ -1,0 +1,105 @@
+//! Property tests on the generator: determinism, budget bounds, ground
+//! truth / observable consistency over arbitrary seeds and sizes.
+
+use proptest::prelude::*;
+use stir_geokr::Gazetteer;
+use stir_textgeo::ProfileClassifier;
+use stir_twitter_sim::datasets::{Dataset, DatasetSpec};
+use stir_twitter_sim::UserId;
+
+fn gaz() -> &'static Gazetteer {
+    use std::sync::OnceLock;
+    static GAZ: OnceLock<Gazetteer> = OnceLock::new();
+    GAZ.get_or_init(Gazetteer::load)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generation_deterministic_per_seed(seed in 0u64..1_000, n in 20usize..120) {
+        let g = gaz();
+        let spec = || DatasetSpec { n_users: n, ..DatasetSpec::korean_paper() };
+        let a = Dataset::generate(spec(), g, seed);
+        let b = Dataset::generate(spec(), g, seed);
+        for (x, y) in a.users.iter().zip(&b.users) {
+            prop_assert_eq!(&x.location_text, &y.location_text);
+            prop_assert_eq!(x.tweet_budget, y.tweet_budget);
+            prop_assert_eq!(x.gps_device, y.gps_device);
+        }
+        // Tweet streams identical too.
+        let ta = a.user_tweets(g, UserId(0));
+        let tb = b.user_tweets(g, UserId(0));
+        prop_assert_eq!(ta.len(), tb.len());
+        for (x, y) in ta.iter().zip(&tb) {
+            prop_assert_eq!(x.timestamp, y.timestamp);
+            prop_assert_eq!(&x.text, &y.text);
+        }
+    }
+
+    #[test]
+    fn budgets_within_spec_bounds(seed in 0u64..500, n in 20usize..100) {
+        let g = gaz();
+        let spec = DatasetSpec { n_users: n, ..DatasetSpec::korean_paper() };
+        let cap = spec.tweets_cap;
+        let d = Dataset::generate(spec, g, seed);
+        for u in &d.users {
+            prop_assert!(u.tweet_budget >= 1 && u.tweet_budget <= cap);
+            prop_assert!((0.0..=1.0).contains(&u.gps_tag_rate));
+        }
+        prop_assert_eq!(d.len(), n);
+    }
+
+    #[test]
+    fn well_defined_truth_profiles_classify_to_home(seed in 0u64..200) {
+        // For users whose ground-truth style claims well-defined, the
+        // classifier must resolve the text to the ground-truth home —
+        // unless the name is genuinely ambiguous (shared county names),
+        // which the classifier rightly rejects.
+        let g = gaz();
+        let d = Dataset::generate(DatasetSpec { n_users: 150, ..DatasetSpec::korean_paper() }, g, seed);
+        let classifier = ProfileClassifier::new(g);
+        for (u, t) in d.users.iter().zip(&d.truth) {
+            if !t.style.is_well_defined() {
+                continue;
+            }
+            use stir_textgeo::ProfileClass;
+            match classifier.classify(&u.location_text) {
+                ProfileClass::WellDefined(id) => prop_assert_eq!(
+                    id,
+                    t.profile_district,
+                    "text {:?} resolved elsewhere",
+                    u.location_text
+                ),
+                ProfileClass::Coordinates(p) => {
+                    let resolved = g.resolve_point(p);
+                    prop_assert!(resolved.is_some());
+                }
+                // Shared names ("Jung-gu") legitimately classify ambiguous
+                // for district-only styles; typo style can degrade too.
+                ProfileClass::Ambiguous(_) | ProfileClass::Insufficient(_) => {}
+                other => prop_assert!(
+                    false,
+                    "style {:?} text {:?} → {:?}",
+                    t.style,
+                    u.location_text,
+                    other
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn mobility_spots_cover_all_tweets(seed in 0u64..200) {
+        let g = gaz();
+        let d = Dataset::generate(DatasetSpec { n_users: 60, ..DatasetSpec::korean_paper() }, g, seed);
+        for (u, t) in d.users.iter().zip(&d.truth) {
+            let total: f64 = t.mobility.spots().iter().map(|s| s.1).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "weights sum {total}");
+            if t.archetype.never_home() {
+                prop_assert_eq!(t.mobility.weight_of(t.profile_district), 0.0);
+            }
+            prop_assert!(u.tweet_budget > 0);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Dataset explorer: load a generated corpus into the tweet store and run
+//! indexed queries over it — per user, per time range, per bounding box.
+//!
+//! ```sh
+//! cargo run --release --example dataset_explorer
+//! ```
+
+use stir::geoindex::BBox;
+use stir::geokr::Gazetteer;
+use stir::tweetstore::{Query, TweetRecord, TweetStore};
+use stir::twitter_sim::datasets::{Dataset, DatasetSpec};
+
+fn main() {
+    let gazetteer = Gazetteer::load();
+    let spec = DatasetSpec {
+        n_users: 3_000,
+        ..DatasetSpec::korean_paper()
+    };
+    let dataset = Dataset::generate(spec, &gazetteer, 5);
+
+    // Ingest every tweet.
+    let mut store = TweetStore::new();
+    dataset.for_each_tweet(&gazetteer, |t| {
+        store.append(&TweetRecord {
+            id: t.id.0,
+            user: t.user.0,
+            timestamp: t.timestamp,
+            gps: t.gps,
+            text: t.text.clone(),
+        });
+    });
+    let stats = store.stats();
+    println!(
+        "store: {} records ({} with GPS) in {} segments, {:.1} MiB payload, {} users",
+        stats.records,
+        stats.gps_records,
+        stats.segments,
+        stats.payload_bytes as f64 / (1024.0 * 1024.0),
+        store.user_count(),
+    );
+
+    // Busiest GPS user.
+    let busiest = dataset
+        .users
+        .iter()
+        .max_by_key(|u| {
+            store
+                .user_ptrs(u.id.0)
+                .iter()
+                .filter(|&&p| store.get(p).is_ok_and(|r| r.gps.is_some()))
+                .count()
+        })
+        .unwrap();
+    let their_gps = Query::all().user(busiest.id.0).gps(true).execute(&store);
+    println!(
+        "\nbusiest GPS user: {} ({:?}) with {} GPS tweets",
+        busiest.id,
+        busiest.location_text,
+        their_gps.len()
+    );
+
+    // One day of traffic.
+    let day3 = Query::all().between(3 * 86_400, 4 * 86_400).execute(&store);
+    println!("day 3 of the window: {} tweets", day3.len());
+
+    // Everything GPS-tagged inside Seoul.
+    let seoul = BBox::new(37.42, 126.76, 37.70, 127.19);
+    let q = Query::all().within(seoul);
+    println!(
+        "GPS tweets inside Seoul bbox: {} (access path: {:?})",
+        q.execute(&store).len(),
+        q.plan(&store)
+    );
+
+    // Persistence round trip.
+    let dir = std::env::temp_dir().join("stir-dataset-explorer");
+    let _ = std::fs::remove_dir_all(&dir);
+    stir::tweetstore::persist::save(&store, &dir).expect("save");
+    let loaded = stir::tweetstore::persist::load(&dir).expect("load");
+    println!(
+        "\npersisted to {} and reloaded: {} records, checksums verified",
+        dir.display(),
+        loaded.len()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,79 @@
+//! Profile auditor: classify free-text profile locations the way the
+//! paper's refinement step does.
+//!
+//! With no arguments it audits the paper's own Fig. 3 examples plus a few
+//! more; pass your own strings as arguments to audit them instead:
+//!
+//! ```sh
+//! cargo run --release --example profile_auditor -- "Seoul Gangnam-gu" "my couch"
+//! ```
+
+use stir::geokr::Gazetteer;
+use stir::textgeo::{ProfileClass, ProfileClassifier};
+
+fn main() {
+    let gazetteer = Gazetteer::load();
+    let classifier = ProfileClassifier::new(&gazetteer);
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let samples: Vec<String> = if args.is_empty() {
+        [
+            // The paper's Fig. 3 flavour.
+            "Seoul Yangcheon-gu",
+            "서울특별시 양천구",
+            "darangland :)",
+            "Earth",
+            "Gold Coast Australia / 서울 양천구",
+            "37.517, 126.866",
+            // More realistic mess.
+            "Seoul",
+            "Korea",
+            "Jung-gu",
+            "bucheon, korea",
+            "yangchun-gu seoul",
+            "Tokyo, Japan",
+            "my home",
+            "",
+            "gangnam",
+            "Busan Jung-gu",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    } else {
+        args
+    };
+
+    println!("{:<36} verdict", "profile location");
+    println!("{}", "-".repeat(78));
+    for text in &samples {
+        let shown = if text.is_empty() {
+            "(empty)"
+        } else {
+            text.as_str()
+        };
+        let verdict = match classifier.classify(text) {
+            ProfileClass::WellDefined(id) => {
+                let d = gazetteer.district(id);
+                format!("KEEP   → {} {}", d.province.name_en(), d.name_en)
+            }
+            ProfileClass::Coordinates(p) => match gazetteer.resolve_point(p) {
+                Some(id) => {
+                    let d = gazetteer.district(id);
+                    format!(
+                        "KEEP   → coordinates in {} {}",
+                        d.province.name_en(),
+                        d.name_en
+                    )
+                }
+                None => "REMOVE → coordinates outside Korea".to_string(),
+            },
+            ProfileClass::Insufficient(level) => format!("REMOVE → insufficient ({level:?})"),
+            ProfileClass::Vague => "REMOVE → vague".to_string(),
+            ProfileClass::Ambiguous(c) => format!("REMOVE → ambiguous ({} candidates)", c.len()),
+            ProfileClass::Foreign => "REMOVE → foreign".to_string(),
+            ProfileClass::Empty => "REMOVE → empty".to_string(),
+        };
+        println!("{shown:<36} {verdict}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Glue between the tweet store and the analysis pipeline.
+//!
+//! `stir-core` deliberately takes plain rows so it works on any data
+//! source; `stir-tweetstore` deliberately knows nothing about the
+//! analysis. This module connects them: run the refinement pipeline
+//! straight off a stored corpus, optionally pre-compacting to GPS records
+//! (which is what a production deployment would keep hot).
+
+use stir_core::{AnalysisResult, CollectionFunnel, ProfileRow, RefinementPipeline, TweetRow};
+use stir_tweetstore::{gps_only, CompactionReport, TweetStore};
+
+/// Runs the full pipeline with tweets scanned out of `store`.
+pub fn run_from_store<PI>(
+    pipeline: &RefinementPipeline<'_>,
+    profiles: PI,
+    store: &TweetStore,
+) -> AnalysisResult
+where
+    PI: IntoIterator<Item = ProfileRow>,
+{
+    let tweets = store.scan().filter_map(|r| r.ok()).map(|r| TweetRow {
+        user: r.user,
+        tweet_id: r.id,
+        gps: r.gps,
+    });
+    pipeline.run(profiles, tweets)
+}
+
+/// Compacts the store to GPS-only records, then runs the pipeline on the
+/// compacted store. The funnel's tweet totals are patched to reflect the
+/// *original* corpus (the compaction did stage 2 of the funnel early), and
+/// the compaction report is returned alongside.
+pub fn compact_then_run<PI>(
+    pipeline: &RefinementPipeline<'_>,
+    profiles: PI,
+    store: &TweetStore,
+) -> (AnalysisResult, CompactionReport)
+where
+    PI: IntoIterator<Item = ProfileRow>,
+{
+    let (gps_store, report) = gps_only(store);
+    let mut result = run_from_store(pipeline, profiles, &gps_store);
+    // Restore the pre-compaction totals so the funnel reads like a
+    // single-pass run over the full corpus.
+    let funnel = CollectionFunnel {
+        tweets_total: report.scanned,
+        ..result.funnel
+    };
+    result.funnel = funnel;
+    (result, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stir_geokr::Gazetteer;
+    use stir_tweetstore::TweetRecord;
+    use stir_twitter_sim::datasets::{Dataset, DatasetSpec};
+
+    fn fixtures() -> (&'static Gazetteer, Dataset, TweetStore) {
+        let g: &'static Gazetteer = Box::leak(Box::new(Gazetteer::load()));
+        let dataset = Dataset::generate(
+            DatasetSpec {
+                n_users: 600,
+                ..DatasetSpec::korean_paper()
+            },
+            g,
+            77,
+        );
+        let mut store = TweetStore::new();
+        dataset.for_each_tweet(g, |t| {
+            store.append(&TweetRecord {
+                id: t.id.0,
+                user: t.user.0,
+                timestamp: t.timestamp,
+                gps: t.gps,
+                text: t.text.clone(),
+            });
+        });
+        (g, dataset, store)
+    }
+
+    fn profile_rows(dataset: &Dataset) -> Vec<ProfileRow> {
+        dataset
+            .users
+            .iter()
+            .map(|u| ProfileRow {
+                user: u.id.0,
+                location_text: u.location_text.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn store_run_matches_direct_run() {
+        let (g, dataset, store) = fixtures();
+        let pipeline = RefinementPipeline::with_defaults(g);
+        let direct = pipeline.run(
+            profile_rows(&dataset),
+            dataset.users.iter().flat_map(|u| {
+                dataset.user_tweets(g, u.id).into_iter().map(|t| TweetRow {
+                    user: t.user.0,
+                    tweet_id: t.id.0,
+                    gps: t.gps,
+                })
+            }),
+        );
+        let via_store = run_from_store(&pipeline, profile_rows(&dataset), &store);
+        assert_eq!(direct.funnel, via_store.funnel);
+        assert_eq!(direct.users.len(), via_store.users.len());
+        for (a, b) in direct.users.iter().zip(&via_store.users) {
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.matched_rank, b.matched_rank);
+        }
+    }
+
+    #[test]
+    fn compacted_run_agrees_and_reports_savings() {
+        let (g, dataset, store) = fixtures();
+        let pipeline = RefinementPipeline::with_defaults(g);
+        let full = run_from_store(&pipeline, profile_rows(&dataset), &store);
+        let (compacted, report) = compact_then_run(&pipeline, profile_rows(&dataset), &store);
+        // Same cohort, same groups, same tweet totals after patching.
+        assert_eq!(full.users.len(), compacted.users.len());
+        assert_eq!(full.funnel.tweets_total, compacted.funnel.tweets_total);
+        assert_eq!(
+            full.funnel.tweets_with_gps,
+            compacted.funnel.tweets_with_gps
+        );
+        assert_eq!(full.funnel.users_final, compacted.funnel.users_final);
+        assert!(report.space_saved() > 0.5, "saved {}", report.space_saved());
+    }
+}

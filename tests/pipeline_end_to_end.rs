@@ -1,0 +1,172 @@
+//! End-to-end integration: generator → pipeline → statistics, with the
+//! paper's published shapes as assertions.
+
+use stir::core::{GroupTable, ProfileRow, RefinementPipeline, TopKGroup, TweetRow};
+use stir::geokr::Gazetteer;
+use stir::twitter_sim::datasets::{Dataset, DatasetSpec};
+
+fn run(n_users: usize, seed: u64) -> (stir::core::AnalysisResult, GroupTable) {
+    let gazetteer = Gazetteer::load();
+    let spec = DatasetSpec {
+        n_users,
+        ..DatasetSpec::korean_paper()
+    };
+    let dataset = Dataset::generate(spec, &gazetteer, seed);
+    let pipeline = RefinementPipeline::with_defaults(&gazetteer);
+    let result = pipeline.run(
+        dataset.users.iter().map(|u| ProfileRow {
+            user: u.id.0,
+            location_text: u.location_text.clone(),
+        }),
+        dataset.users.iter().flat_map(|u| {
+            dataset
+                .user_tweets(&gazetteer, u.id)
+                .into_iter()
+                .map(|t| TweetRow {
+                    user: t.user.0,
+                    tweet_id: t.id.0,
+                    gps: t.gps,
+                })
+        }),
+    );
+    let table = GroupTable::compute(&result.users);
+    (result, table)
+}
+
+#[test]
+fn funnel_matches_paper_rates() {
+    let (result, _) = run(8_000, 1);
+    let f = &result.funnel;
+    assert_eq!(f.users_collected, 8_000);
+    // Paper: ≈ 58% of crawled users had well-defined profiles.
+    let wd = f.well_defined_rate();
+    assert!((0.48..0.68).contains(&wd), "well-defined rate {wd}");
+    // Paper: only a few percent of tweets carry GPS.
+    let gps = f.gps_rate();
+    assert!((0.005..0.05).contains(&gps), "gps rate {gps}");
+    // Paper: ≈ 2% of crawled users survive to the final cohort.
+    let surv = f.survival_rate();
+    assert!((0.01..0.06).contains(&surv), "survival {surv}");
+    assert_eq!(f.users_final as usize, result.users.len());
+}
+
+#[test]
+fn group_shares_match_paper_shapes() {
+    let (_, table) = run(12_000, 2);
+    assert!(
+        table.total_users > 200,
+        "cohort too small: {}",
+        table.total_users
+    );
+    // Headline: Top-1 ∪ Top-2 is "nearly half" (> 40%).
+    let t12 = table.top1_top2_pct();
+    assert!((40.0..65.0).contains(&t12), "Top-1+Top-2 {t12}%");
+    // None ≈ 30%.
+    let none = table.row(TopKGroup::None).user_pct;
+    assert!((22.0..38.0).contains(&none), "None {none}%");
+    // Top-1 is the single largest group; middles are small.
+    assert!(table.row(TopKGroup::Top1).user_pct > table.row(TopKGroup::Top2).user_pct);
+    assert!(table.row(TopKGroup::Top3).user_pct < 15.0);
+    // Percentages add up.
+    let sum: f64 = table.rows.iter().map(|r| r.user_pct).sum();
+    assert!((sum - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn avg_locations_match_fig6_shapes() {
+    let (_, table) = run(12_000, 3);
+    let top1 = table.row(TopKGroup::Top1).avg_locations;
+    let top6 = table.row(TopKGroup::Top6Plus).avg_locations;
+    let none = table.row(TopKGroup::None).avg_locations;
+    // Fig. 6: Top-1 ≈ 3–4 distinct districts; high-k groups see more.
+    assert!((2.5..6.0).contains(&top1), "Top-1 avg {top1}");
+    assert!(top6 > top1, "Top-6+ {top6} must exceed Top-1 {top1}");
+    // None is the *narrow mobility* group: the lowest average.
+    for g in [TopKGroup::Top1, TopKGroup::Top2, TopKGroup::Top6Plus] {
+        assert!(
+            none < table.row(g).avg_locations,
+            "None {none} not below {} {}",
+            g.label(),
+            table.row(g).avg_locations
+        );
+    }
+    // Overall average ≈ 4.
+    assert!((3.0..5.5).contains(&table.overall_avg_locations));
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let (a, ta) = run(3_000, 9);
+    let (b, tb) = run(3_000, 9);
+    assert_eq!(a.funnel, b.funnel);
+    assert_eq!(ta, tb);
+    for (x, y) in a.users.iter().zip(&b.users) {
+        assert_eq!(x.user, y.user);
+        assert_eq!(x.matched_rank, y.matched_rank);
+        assert_eq!(x.entries, y.entries);
+    }
+}
+
+#[test]
+fn none_group_has_commuter_temporal_fingerprint() {
+    use std::collections::HashMap;
+    use stir::core::temporal::per_group_histograms;
+    let gazetteer = Gazetteer::load();
+    let spec = DatasetSpec {
+        n_users: 10_000,
+        ..DatasetSpec::korean_paper()
+    };
+    let dataset = Dataset::generate(spec, &gazetteer, 12);
+    let pipeline = RefinementPipeline::with_defaults(&gazetteer);
+    let result = pipeline.run(
+        dataset.users.iter().map(|u| ProfileRow {
+            user: u.id.0,
+            location_text: u.location_text.clone(),
+        }),
+        dataset.users.iter().flat_map(|u| {
+            dataset
+                .user_tweets(&gazetteer, u.id)
+                .into_iter()
+                .map(|t| TweetRow {
+                    user: t.user.0,
+                    tweet_id: t.id.0,
+                    gps: t.gps,
+                })
+        }),
+    );
+    let groups: HashMap<u64, TopKGroup> =
+        result.users.iter().map(|u| (u.user, u.group())).collect();
+    let mut rows = Vec::new();
+    for u in &dataset.users {
+        if !groups.contains_key(&u.id.0) {
+            continue;
+        }
+        for t in dataset.user_tweets(&gazetteer, u.id) {
+            if t.gps.is_some() {
+                rows.push((t.user.0, t.timestamp));
+            }
+        }
+    }
+    let hists = per_group_histograms(rows, &groups);
+    let none_ci = hists[TopKGroup::None.index()].commute_index();
+    let top1_ci = hists[TopKGroup::Top1.index()].commute_index();
+    assert!(
+        none_ci > top1_ci,
+        "None commute index {none_ci:.3} must exceed Top-1 {top1_ci:.3}"
+    );
+}
+
+#[test]
+fn different_seeds_same_shapes() {
+    // The calibration must be a property of the model, not one lucky seed.
+    for seed in [100, 200] {
+        let (_, table) = run(8_000, seed);
+        let t12 = table.top1_top2_pct();
+        let none = table.row(TopKGroup::None).user_pct;
+        assert!(
+            (35.0..68.0).contains(&t12),
+            "seed {seed}: Top-1+Top-2 {t12}%"
+        );
+        assert!((18.0..42.0).contains(&none), "seed {seed}: None {none}%");
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration: the paper's future-work claim — reliability weights learned
+//! from the Top-k analysis improve event-location estimation.
+
+use stir::core::{ProfileRow, RefinementPipeline, ReliabilityWeights, TopKGroup, TweetRow};
+use stir::eventdet::weighted::RawReport;
+use stir::eventdet::{LocationEstimator, MeanEstimator, ObservationBuilder, ParticleEstimator};
+use stir::geoindex::Point;
+use stir::geokr::Gazetteer;
+use stir::twitter_sim::datasets::{Dataset, DatasetSpec};
+use stir::twitter_sim::event::{inject, EventScenario};
+
+fn analysed(n: usize, seed: u64) -> (Gazetteer, Dataset, stir::core::AnalysisResult) {
+    let gazetteer = Gazetteer::load();
+    let spec = DatasetSpec {
+        n_users: n,
+        ..DatasetSpec::korean_paper()
+    };
+    let dataset = Dataset::generate(spec, &gazetteer, seed);
+    let result = RefinementPipeline::with_defaults(&gazetteer).run(
+        dataset.users.iter().map(|u| ProfileRow {
+            user: u.id.0,
+            location_text: u.location_text.clone(),
+        }),
+        dataset.users.iter().flat_map(|u| {
+            dataset
+                .user_tweets(&gazetteer, u.id)
+                .into_iter()
+                .map(|t| TweetRow {
+                    user: t.user.0,
+                    tweet_id: t.id.0,
+                    gps: t.gps,
+                })
+        }),
+    );
+    (gazetteer, dataset, result)
+}
+
+#[test]
+fn learned_weights_decrease_with_rank() {
+    let (_, _, result) = analysed(15_000, 4);
+    let w = ReliabilityWeights::from_cohort(&result.users, 0.02);
+    // The core ordering the paper predicts: Top-1 profiles are the most
+    // trustworthy, the None group's the least.
+    assert!(w.weight(TopKGroup::Top1) > w.weight(TopKGroup::Top2));
+    assert!(w.weight(TopKGroup::Top2) > w.weight(TopKGroup::None));
+    assert!(
+        w.weight(TopKGroup::Top1) > 0.4,
+        "Top-1 weight {}",
+        w.weight(TopKGroup::Top1)
+    );
+    assert!(w.weight(TopKGroup::None) <= 0.05);
+}
+
+#[test]
+fn weighting_reduces_estimation_error_in_dense_region() {
+    let (gazetteer, dataset, result) = analysed(8_000, 5);
+    let epicenter = Point::new(37.50, 127.00); // Seoul
+    let scenario = EventScenario::earthquake(epicenter, 20_000);
+
+    let mut mean_unweighted = Vec::new();
+    let mut mean_weighted = Vec::new();
+    for trial in 0..5u64 {
+        let reports = inject(&scenario, &dataset, &gazetteer, 1000 + trial);
+        let raw: Vec<RawReport> = reports
+            .iter()
+            .map(|r| RawReport {
+                user: r.tweet.user.0,
+                timestamp: r.tweet.timestamp,
+                gps: r.tweet.gps,
+            })
+            .collect();
+
+        let weighted_builder = ObservationBuilder::from_analysis(&gazetteer, &result, 0.02);
+        let mut uniform_builder = ObservationBuilder::from_analysis(&gazetteer, &result, 0.02)
+            .with_weight_profile(ReliabilityWeights::uniform());
+        uniform_builder.unknown_user_weight = 1.0;
+
+        let est = MeanEstimator;
+        let e_u = est
+            .estimate(&uniform_builder.build(&raw))
+            .map(|p| epicenter.haversine_km(p))
+            .unwrap();
+        let e_w = est
+            .estimate(&weighted_builder.build(&raw))
+            .map(|p| epicenter.haversine_km(p))
+            .unwrap();
+        mean_unweighted.push(e_u);
+        mean_weighted.push(e_w);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (u, w) = (avg(&mean_unweighted), avg(&mean_weighted));
+    assert!(
+        w < u,
+        "weighted mean error {w:.1} km should beat unweighted {u:.1} km"
+    );
+}
+
+#[test]
+fn particle_filter_benefits_too() {
+    let (gazetteer, dataset, result) = analysed(8_000, 6);
+    let epicenter = Point::new(37.50, 127.00);
+    let scenario = EventScenario::earthquake(epicenter, 20_000);
+    let reports = inject(&scenario, &dataset, &gazetteer, 77);
+    let raw: Vec<RawReport> = reports
+        .iter()
+        .map(|r| RawReport {
+            user: r.tweet.user.0,
+            timestamp: r.tweet.timestamp,
+            gps: r.tweet.gps,
+        })
+        .collect();
+
+    let weighted_builder = ObservationBuilder::from_analysis(&gazetteer, &result, 0.02);
+    let mut uniform_builder = ObservationBuilder::from_analysis(&gazetteer, &result, 0.02)
+        .with_weight_profile(ReliabilityWeights::uniform());
+    uniform_builder.unknown_user_weight = 1.0;
+
+    let est = ParticleEstimator::default();
+    let e_u = est
+        .estimate(&uniform_builder.build(&raw))
+        .map(|p| epicenter.haversine_km(p))
+        .unwrap();
+    let e_w = est
+        .estimate(&weighted_builder.build(&raw))
+        .map(|p| epicenter.haversine_km(p))
+        .unwrap();
+    // Allow slack: a single trial of a Monte Carlo method; the weighted run
+    // must at least not be materially worse.
+    assert!(
+        e_w < e_u * 1.25,
+        "weighted {e_w:.1} km vs unweighted {e_u:.1} km"
+    );
+}
+
+#[test]
+fn gps_observations_always_full_weight() {
+    let (gazetteer, dataset, result) = analysed(5_000, 7);
+    let builder = ObservationBuilder::from_analysis(&gazetteer, &result, 0.02);
+    let scenario = EventScenario::earthquake(Point::new(37.50, 127.00), 0);
+    let reports = inject(&scenario, &dataset, &gazetteer, 8);
+    let raw: Vec<RawReport> = reports
+        .iter()
+        .map(|r| RawReport {
+            user: r.tweet.user.0,
+            timestamp: r.tweet.timestamp,
+            gps: r.tweet.gps,
+        })
+        .collect();
+    let gps_count = raw.iter().filter(|r| r.gps.is_some()).count();
+    let obs = builder.build(&raw);
+    assert_eq!(obs.iter().filter(|o| o.weight == 1.0).count(), gps_count);
+    assert!(
+        obs.len() > gps_count,
+        "profile-derived observations must appear"
+    );
+}

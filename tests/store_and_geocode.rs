@@ -1,0 +1,145 @@
+//! Integration: tweet store vs direct scans, and geocoder consistency
+//! across the generate/analyse boundary.
+
+use stir::geoindex::{BBox, Point};
+use stir::geokr::yahoo::YahooPlaceFinder;
+use stir::geokr::{Gazetteer, ReverseGeocoder};
+use stir::tweetstore::{Query, TweetRecord, TweetStore};
+use stir::twitter_sim::datasets::{Dataset, DatasetSpec};
+
+fn store_of(dataset: &Dataset, gazetteer: &Gazetteer) -> TweetStore {
+    let mut store = TweetStore::new();
+    dataset.for_each_tweet(gazetteer, |t| {
+        store.append(&TweetRecord {
+            id: t.id.0,
+            user: t.user.0,
+            timestamp: t.timestamp,
+            gps: t.gps,
+            text: t.text.clone(),
+        });
+    });
+    store
+}
+
+#[test]
+fn indexed_queries_agree_with_scans() {
+    let gazetteer = Gazetteer::load();
+    let dataset = Dataset::generate(
+        DatasetSpec {
+            n_users: 800,
+            ..DatasetSpec::korean_paper()
+        },
+        &gazetteer,
+        31,
+    );
+    let store = store_of(&dataset, &gazetteer);
+    assert_eq!(store.len() as u64, dataset.total_tweets());
+
+    // User query == per-user generation.
+    let user = dataset.users.iter().find(|u| u.gps_device).unwrap();
+    let rows = Query::all().user(user.id.0).execute(&store);
+    assert_eq!(rows.len(), user.tweet_budget as usize);
+
+    // Seoul bbox query == scan filter.
+    let seoul = BBox::new(37.42, 126.76, 37.70, 127.19);
+    let via_index = Query::all().within(seoul).execute(&store);
+    let via_scan = store
+        .scan()
+        .filter_map(|r| r.ok())
+        .filter(|r| r.gps.is_some_and(|p| seoul.contains(p)))
+        .count();
+    assert_eq!(via_index.len(), via_scan);
+
+    // Time range == scan filter.
+    let rows = Query::all().between(86_400, 2 * 86_400).execute(&store);
+    let scan = store
+        .scan()
+        .filter_map(|r| r.ok())
+        .filter(|r| (86_400..2 * 86_400).contains(&r.timestamp))
+        .count();
+    assert_eq!(rows.len(), scan);
+}
+
+#[test]
+fn gps_fixes_geocode_back_to_sampled_spots() {
+    let gazetteer = Gazetteer::load();
+    let dataset = Dataset::generate(
+        DatasetSpec {
+            n_users: 2_000,
+            ..DatasetSpec::korean_paper()
+        },
+        &gazetteer,
+        32,
+    );
+    let reverse = ReverseGeocoder::new(&gazetteer);
+    let mut total = 0u64;
+    let mut in_spots = 0u64;
+    for (u, truth) in dataset.users.iter().zip(&dataset.truth) {
+        if !u.gps_device {
+            continue;
+        }
+        let spot_ids: Vec<_> = truth.mobility.spots().iter().map(|s| s.0).collect();
+        for t in dataset.user_tweets(&gazetteer, u.id) {
+            let Some(p) = t.gps else { continue };
+            total += 1;
+            if let Some(d) = reverse.resolve(p) {
+                if spot_ids.contains(&d) {
+                    in_spots += 1;
+                }
+            }
+        }
+    }
+    assert!(total > 500, "not enough GPS tweets: {total}");
+    // With centroid-contracted sampling, ≥ 90% of fixes resolve back into
+    // one of the user's mobility spots.
+    assert!(
+        in_spots * 10 >= total * 9,
+        "only {in_spots}/{total} fixes resolved into the user's spots"
+    );
+}
+
+#[test]
+fn yahoo_xml_roundtrip_agrees_with_direct_geocoder() {
+    let gazetteer = Gazetteer::load();
+    let reverse = ReverseGeocoder::new(&gazetteer);
+    let api = YahooPlaceFinder::with_limits(&gazetteer, u64::MAX, 0);
+    // A lattice of points over Korea, including off-coverage cells.
+    let mut checked = 0;
+    let mut lat = 33.0;
+    while lat < 39.0 {
+        let mut lon = 124.5;
+        while lon < 131.5 {
+            let p = Point::new(lat, lon);
+            let direct = reverse.lookup(p).map(|r| (r.state, r.county));
+            let via_xml = api.lookup(p).unwrap().map(|r| (r.state, r.county));
+            assert_eq!(direct, via_xml, "disagreement at {p}");
+            checked += 1;
+            lon += 0.37;
+        }
+        lat += 0.41;
+    }
+    assert!(checked > 200);
+}
+
+#[test]
+fn persistence_roundtrip_of_generated_corpus() {
+    let gazetteer = Gazetteer::load();
+    let dataset = Dataset::generate(
+        DatasetSpec {
+            n_users: 300,
+            ..DatasetSpec::korean_paper()
+        },
+        &gazetteer,
+        33,
+    );
+    let store = store_of(&dataset, &gazetteer);
+    let dir = std::env::temp_dir().join(format!("stir-it-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    stir::tweetstore::persist::save(&store, &dir).unwrap();
+    let loaded = stir::tweetstore::persist::load(&dir).unwrap();
+    assert_eq!(loaded.len(), store.len());
+    assert_eq!(loaded.stats().gps_records, store.stats().gps_records);
+    let q = Query::all().gps(true);
+    assert_eq!(q.execute(&loaded).len(), q.execute(&store).len());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
