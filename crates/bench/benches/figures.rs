@@ -61,6 +61,47 @@ fn bench_fig6_fig7(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread sweep over the pipeline's geocode stage: the dynamic block
+/// scheduler at 1/2/4/8 workers on the same dataset. With one core the
+/// curve is flat (plus scheduling overhead); on real hardware it tracks
+/// the contention benchmark's scaling.
+fn bench_thread_sweep(c: &mut Criterion) {
+    let gazetteer = Gazetteer::load();
+    let dataset = korean_dataset(&gazetteer, 2_000, 2012);
+    let mut group = c.benchmark_group("figures/thread_sweep");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &dataset, |b, d| {
+            let pipeline = RefinementPipeline::new(
+                &gazetteer,
+                PipelineConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            b.iter(|| {
+                let result = pipeline.run(
+                    d.users.iter().map(|u| ProfileRow {
+                        user: u.id.0,
+                        location_text: u.location_text.clone(),
+                    }),
+                    d.users.iter().flat_map(|u| {
+                        d.user_tweets(&gazetteer, u.id)
+                            .into_iter()
+                            .map(|t| TweetRow {
+                                user: t.user.0,
+                                tweet_id: t.id.0,
+                                gps: t.gps,
+                            })
+                    }),
+                );
+                black_box(result.metrics.geocode.fixes)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_compare(c: &mut Criterion) {
     let gazetteer = Gazetteer::load();
     let dataset = Dataset::generate(
@@ -145,6 +186,6 @@ fn bench_eventloc(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_fig6_fig7, bench_compare, bench_ablation, bench_eventloc
+    targets = bench_fig6_fig7, bench_thread_sweep, bench_compare, bench_ablation, bench_eventloc
 }
 criterion_main!(benches);

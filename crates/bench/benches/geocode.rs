@@ -1,7 +1,7 @@
 //! Geocoder benchmarks: the per-GPS-tweet cost the paper paid 2xx,xxx
 //! times — direct, cached, and through the Yahoo XML round trip.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use stir_bench::district_points;
 use stir_geokr::yahoo::YahooPlaceFinder;
@@ -47,6 +47,54 @@ fn bench_reverse(c: &mut Criterion) {
     group.finish();
 }
 
+/// Lock-contention benchmark: N threads hammering ONE warmed geocoder.
+/// `single_shard` reproduces the seed's layout (one mutex around the whole
+/// cache — `with_shards(.., 1)`); `sharded` is the default power-of-two
+/// shard array. On multi-core hardware the single mutex serialises the hit
+/// path and throughput flat-lines as threads grow, while the sharded cache
+/// scales; on a single core the two converge (no parallel hit paths exist
+/// to collide).
+fn bench_contention(c: &mut Criterion) {
+    let gazetteer = Gazetteer::load();
+    let points = district_points(&gazetteer, 4_000, 2);
+    let mut group = c.benchmark_group("geocode/contention");
+    for &threads in &[1usize, 2, 4, 8, 16] {
+        group.throughput(Throughput::Elements((points.len() * threads) as u64));
+        for (label, shards) in [("single_shard", 1usize), ("sharded", 64)] {
+            group.bench_function(BenchmarkId::new(label, threads), |b| {
+                let geo = ReverseGeocoder::with_shards(&gazetteer, 1 << 20, shards);
+                // Warm every quantized cell: the benchmark measures the
+                // hit path, where the seed design took the global lock.
+                for &p in &points {
+                    geo.resolve(p);
+                }
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = (0..threads)
+                            .map(|t| {
+                                let geo = &geo;
+                                let points = &points;
+                                s.spawn(move || {
+                                    // Offset walks so threads collide on
+                                    // shards in every order.
+                                    (0..points.len())
+                                        .filter_map(|i| {
+                                            let p = points[(i + t * 101) % points.len()];
+                                            geo.resolve(black_box(p))
+                                        })
+                                        .count()
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_forward(c: &mut Criterion) {
     let gazetteer = Gazetteer::load();
     let forward = ForwardGeocoder::new(&gazetteer);
@@ -72,6 +120,6 @@ fn bench_forward(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_reverse, bench_forward
+    targets = bench_reverse, bench_contention, bench_forward
 }
 criterion_main!(benches);

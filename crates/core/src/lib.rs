@@ -37,6 +37,7 @@ pub mod funnel;
 pub mod granularity;
 pub mod grouping;
 pub mod input;
+pub mod metrics;
 pub mod online;
 pub mod pipeline;
 pub mod regional;
@@ -53,6 +54,7 @@ pub use funnel::CollectionFunnel;
 pub use granularity::Granularity;
 pub use grouping::{group_user_strings, group_user_strings_with, GroupedUser, TieBreak};
 pub use input::{ProfileRow, TweetRow};
+pub use metrics::{GeocodeMetrics, GeocodeMode, PipelineMetrics, StageTimings};
 pub use online::OnlineGrouping;
 pub use pipeline::{AnalysisResult, PipelineConfig, RefinementPipeline};
 pub use reliability::ReliabilityWeights;

@@ -1,0 +1,226 @@
+//! Pipeline observability: per-stage wall time and geocode-stage detail.
+//!
+//! Every [`crate::RefinementPipeline::run`] fills a [`PipelineMetrics`] and
+//! returns it on [`crate::AnalysisResult`], so callers can assert on and
+//! report the pipeline's hot path — at paper scale the geocode stage
+//! dominates, and this is where its throughput, cache behaviour, and
+//! scheduler balance become visible. `repro funnel --verbose` prints the
+//! same numbers through [`PipelineMetrics::render`].
+
+use std::time::Duration;
+
+/// Wall-clock time of each pipeline stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTimings {
+    /// Stage 1: profile classification (select users).
+    pub select_users: Duration,
+    /// Stage 2a: tweet intake (GPS filter + cohort membership).
+    pub tweet_intake: Duration,
+    /// Stage 2b: reverse geocoding of every kept fix.
+    pub geocode: Duration,
+    /// Stage 3: string building, grouping, and Top-k classification.
+    pub grouping: Duration,
+    /// End-to-end wall time of `run`.
+    pub total: Duration,
+}
+
+/// How the geocode stage executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GeocodeMode {
+    /// In-process sharded-cache reverse geocoder (serial fallback for
+    /// small inputs or `threads = 1`).
+    #[default]
+    DirectSerial,
+    /// In-process geocoder fanned out over the dynamic block scheduler.
+    DirectParallel,
+    /// Round trip through the mock Yahoo XML endpoint (single-threaded).
+    YahooXml,
+}
+
+impl GeocodeMode {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            GeocodeMode::DirectSerial => "direct/serial",
+            GeocodeMode::DirectParallel => "direct/parallel",
+            GeocodeMode::YahooXml => "yahoo-xml/serial",
+        }
+    }
+}
+
+/// Geocode-stage detail: throughput, cache behaviour, scheduler balance.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GeocodeMetrics {
+    /// Execution mode actually taken.
+    pub mode: GeocodeMode,
+    /// GPS fixes geocoded (cohort members' tagged tweets).
+    pub fixes: u64,
+    /// Wall time of the geocode stage (same value as
+    /// [`StageTimings::geocode`]).
+    pub wall: Duration,
+    /// Geocoder lookups issued — equals `fixes` on the direct path.
+    pub lookups: u64,
+    /// Lookups answered from the quantized cache.
+    pub cache_hits: u64,
+    /// Worker threads used (1 on the serial paths).
+    pub threads: usize,
+    /// Scheduler blocks completed by each worker thread. Empty on the
+    /// serial paths; sums to the total block count on the parallel path.
+    /// Imbalance here means the dynamic scheduler was hand-feeding a
+    /// straggler, exactly what it exists to absorb.
+    pub blocks_per_thread: Vec<u64>,
+}
+
+impl GeocodeMetrics {
+    /// Fixes geocoded per second of stage wall time; zero on an empty or
+    /// instantaneous stage.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 && self.fixes > 0 {
+            self.fixes as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Cache hit ratio in `[0, 1]`; zero when no lookups happened.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Full observability record for one pipeline run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PipelineMetrics {
+    /// Per-stage wall time.
+    pub stages: StageTimings,
+    /// Geocode-stage detail.
+    pub geocode: GeocodeMetrics,
+}
+
+impl PipelineMetrics {
+    /// Multi-line plain-text rendering, matching the repro report style.
+    pub fn render(&self) -> String {
+        let s = &self.stages;
+        let g = &self.geocode;
+        let mut out = String::new();
+        out.push_str("pipeline stage timings:\n");
+        out.push_str(&format!(
+            "  select users   {:>12}\n",
+            fmt_duration(s.select_users)
+        ));
+        out.push_str(&format!(
+            "  tweet intake   {:>12}\n",
+            fmt_duration(s.tweet_intake)
+        ));
+        out.push_str(&format!("  geocode        {:>12}\n", fmt_duration(s.geocode)));
+        out.push_str(&format!("  grouping       {:>12}\n", fmt_duration(s.grouping)));
+        out.push_str(&format!("  total          {:>12}\n", fmt_duration(s.total)));
+        out.push_str(&format!(
+            "geocode stage ({}): {} fixes, {:.0} fixes/sec, cache hit ratio {:.1}%\n",
+            g.mode.label(),
+            g.fixes,
+            g.throughput_per_sec(),
+            100.0 * g.cache_hit_ratio(),
+        ));
+        if !g.blocks_per_thread.is_empty() {
+            let blocks: Vec<String> = g
+                .blocks_per_thread
+                .iter()
+                .map(|b| b.to_string())
+                .collect();
+            out.push_str(&format!(
+                "  scheduler: {} threads, blocks per thread [{}]\n",
+                g.threads,
+                blocks.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_handles_zero() {
+        let g = GeocodeMetrics::default();
+        assert_eq!(g.throughput_per_sec(), 0.0);
+        assert_eq!(g.cache_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn throughput_and_hit_ratio() {
+        let g = GeocodeMetrics {
+            fixes: 1_000,
+            wall: Duration::from_millis(500),
+            lookups: 1_000,
+            cache_hits: 750,
+            ..Default::default()
+        };
+        assert!((g.throughput_per_sec() - 2_000.0).abs() < 1e-9);
+        assert!((g.cache_hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let m = PipelineMetrics {
+            stages: StageTimings {
+                select_users: Duration::from_micros(12),
+                tweet_intake: Duration::from_millis(3),
+                geocode: Duration::from_millis(40),
+                grouping: Duration::from_micros(900),
+                total: Duration::from_millis(44),
+            },
+            geocode: GeocodeMetrics {
+                mode: GeocodeMode::DirectParallel,
+                fixes: 4_096,
+                wall: Duration::from_millis(40),
+                lookups: 4_096,
+                cache_hits: 4_000,
+                threads: 4,
+                blocks_per_thread: vec![1, 1, 0, 0],
+            },
+        };
+        let r = m.render();
+        for needle in [
+            "select users",
+            "tweet intake",
+            "geocode",
+            "grouping",
+            "total",
+            "fixes/sec",
+            "cache hit ratio",
+            "blocks per thread",
+            "direct/parallel",
+        ] {
+            assert!(r.contains(needle), "render missing {needle:?}:\n{r}");
+        }
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.000 s");
+    }
+}

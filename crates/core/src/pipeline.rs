@@ -10,10 +10,17 @@
 //!    classify each surviving user into a Top-k group.
 //!
 //! Geocoding parallelizes across `threads` OS threads (`std::thread::scope`)
-//! with deterministic output: results land by input index, and per-user
-//! string order (which drives tie-breaking) is the tweet input order.
+//! behind a dynamic block scheduler: an atomic cursor hands out fixed-size
+//! blocks of fixes, so a thread that drew cheap cache hits steals the next
+//! block instead of idling behind a straggler. Output stays deterministic:
+//! results land by input index, and per-user string order (which drives
+//! tie-breaking) is the tweet input order. Every run also fills a
+//! [`PipelineMetrics`] — per-stage wall time, geocode throughput, cache hit
+//! ratio, per-thread block counts — returned on [`AnalysisResult`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use stir_geoindex::Point;
 use stir_geokr::{Gazetteer, ReverseGeocoder};
@@ -23,7 +30,19 @@ use crate::funnel::CollectionFunnel;
 use crate::granularity::Granularity;
 use crate::grouping::{group_user_strings, GroupedUser};
 use crate::input::{ProfileRow, TweetRow};
+use crate::metrics::{GeocodeMetrics, GeocodeMode, PipelineMetrics};
 use crate::string::LocationString;
+
+/// Fixes handed to a worker per scheduler draw. Big enough that the atomic
+/// cursor is cold (one fetch_add per ~2048 lookups), small enough that a
+/// tail block cannot leave a thread idle for long.
+const GEOCODE_BLOCK: usize = 2048;
+
+/// Below this many fixes the thread-spawn overhead outweighs the fan-out.
+const PARALLEL_THRESHOLD: usize = 1024;
+
+/// One geocoded fix: `(state, county)`, or `None` outside coverage.
+type ResolvedFix = Option<(String, String)>;
 
 /// Pipeline options.
 #[derive(Clone, Copy, Debug)]
@@ -60,6 +79,8 @@ pub struct AnalysisResult {
     /// estimation) use profile districts of users who never produced a GPS
     /// tweet — exactly the users whose reliability is unknown.
     pub kept_profiles: HashMap<u64, (String, String)>,
+    /// Observability: per-stage wall time and geocode-stage detail.
+    pub metrics: PipelineMetrics,
 }
 
 /// The refinement pipeline. Construct once per gazetteer; `run` is `&self`.
@@ -162,16 +183,19 @@ impl<'g> RefinementPipeline<'g> {
     }
 
     /// Stages 2–3: filter and geocode tweets, build strings, group users.
+    /// Fills the intake/geocode/grouping slots of `metrics`.
     pub fn process_tweets<I>(
         &self,
         kept: &HashMap<u64, (String, String)>,
         tweets: I,
         funnel: &mut CollectionFunnel,
+        metrics: &mut PipelineMetrics,
     ) -> Vec<GroupedUser>
     where
         I: IntoIterator<Item = TweetRow>,
     {
         // Intake: collect GPS fixes of kept users, preserving input order.
+        let intake_start = Instant::now();
         let mut fixes: Vec<(u64, u64, Point)> = Vec::new();
         for t in tweets {
             funnel.tweets_total += 1;
@@ -182,11 +206,16 @@ impl<'g> RefinementPipeline<'g> {
                 }
             }
         }
+        metrics.stages.tweet_intake = intake_start.elapsed();
 
         // Geocode every fix (parallel, deterministic by index).
-        let resolved = self.geocode_all(&fixes, funnel);
+        let geocode_start = Instant::now();
+        let resolved = self.geocode_all(&fixes, funnel, &mut metrics.geocode);
+        metrics.stages.geocode = geocode_start.elapsed();
+        metrics.geocode.wall = metrics.stages.geocode;
 
         // Build per-user strings in input order.
+        let grouping_start = Instant::now();
         let mut per_user: HashMap<u64, Vec<LocationString>> = HashMap::new();
         for ((user, _tweet_id, _p), rec) in fixes.iter().zip(resolved) {
             let Some((state_t, county_t)) = rec else {
@@ -213,6 +242,7 @@ impl<'g> RefinementPipeline<'g> {
             .filter_map(|u| group_user_strings(&per_user[&u]))
             .collect();
         funnel.users_final = grouped.len() as u64;
+        metrics.stages.grouping = grouping_start.elapsed();
         grouped
     }
 
@@ -220,15 +250,24 @@ impl<'g> RefinementPipeline<'g> {
         &self,
         fixes: &[(u64, u64, Point)],
         funnel: &mut CollectionFunnel,
+        metrics: &mut GeocodeMetrics,
     ) -> Vec<Option<(String, String)>> {
+        metrics.fixes = fixes.len() as u64;
         if self.config.via_yahoo_xml {
             // The XML endpoint holds interior Cell state → single thread.
             // Run it with the 2011 free-tier daily quota and count the
             // simulated days the geocoding stage would have taken — the
-            // operational cost the paper's §III-B alludes to.
+            // operational cost the paper's §III-B alludes to. Zero fixes
+            // consume zero quota-days: an empty cohort never dials out.
+            metrics.mode = GeocodeMode::YahooXml;
+            metrics.threads = 1;
+            if fixes.is_empty() {
+                funnel.yahoo_quota_days = 0;
+                return Vec::new();
+            }
             let api = stir_geokr::yahoo::YahooPlaceFinder::new(self.gazetteer);
             funnel.yahoo_quota_days = 1;
-            return fixes
+            let out = fixes
                 .iter()
                 .map(|&(_, _, p)| {
                     let rec = loop {
@@ -244,27 +283,29 @@ impl<'g> RefinementPipeline<'g> {
                     rec.map(|rec| (rec.state, rec.county))
                 })
                 .collect();
+            let stats = api.geocoder_stats();
+            metrics.lookups = stats.lookups;
+            metrics.cache_hits = stats.cache_hits;
+            return out;
         }
         let threads = self.config.threads.max(1);
         let reverse = ReverseGeocoder::new(self.gazetteer);
         let mut out: Vec<Option<(String, String)>> = vec![None; fixes.len()];
-        if threads == 1 || fixes.len() < 1024 {
+        if threads == 1 || fixes.len() < PARALLEL_THRESHOLD {
+            metrics.mode = GeocodeMode::DirectSerial;
+            metrics.threads = 1;
             for (slot, &(_, _, p)) in out.iter_mut().zip(fixes) {
                 *slot = reverse.lookup(p).map(|r| (r.state, r.county));
             }
-            return out;
+        } else {
+            metrics.mode = GeocodeMode::DirectParallel;
+            metrics.threads = threads;
+            metrics.blocks_per_thread =
+                geocode_parallel(&reverse, fixes, &mut out, threads);
         }
-        let chunk = fixes.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            for (in_chunk, out_chunk) in fixes.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                let reverse = &reverse;
-                s.spawn(move || {
-                    for (slot, &(_, _, p)) in out_chunk.iter_mut().zip(in_chunk) {
-                        *slot = reverse.lookup(p).map(|r| (r.state, r.county));
-                    }
-                });
-            }
-        });
+        let stats = reverse.stats();
+        metrics.lookups = stats.lookups;
+        metrics.cache_hits = stats.cache_hits;
         out
     }
 
@@ -274,15 +315,78 @@ impl<'g> RefinementPipeline<'g> {
         PI: IntoIterator<Item = ProfileRow>,
         TI: IntoIterator<Item = TweetRow>,
     {
+        let total_start = Instant::now();
         let mut funnel = CollectionFunnel::default();
+        let mut metrics = PipelineMetrics::default();
+        let select_start = Instant::now();
         let kept = self.select_users(profiles, &mut funnel);
-        let users = self.process_tweets(&kept, tweets, &mut funnel);
+        metrics.stages.select_users = select_start.elapsed();
+        let users = self.process_tweets(&kept, tweets, &mut funnel, &mut metrics);
+        metrics.stages.total = total_start.elapsed();
         AnalysisResult {
             funnel,
             users,
             kept_profiles: kept,
+            metrics,
         }
     }
+}
+
+/// Fans the geocode stage out over `threads` workers with a dynamic block
+/// scheduler: an atomic cursor hands out [`GEOCODE_BLOCK`]-sized index
+/// ranges, each worker geocodes its range into a thread-local buffer, and
+/// the buffers land in `out` by input index — so the output is byte-for-byte
+/// the serial result regardless of interleaving. Returns the number of
+/// blocks each worker completed (the scheduler-balance signal surfaced in
+/// [`GeocodeMetrics::blocks_per_thread`]).
+fn geocode_parallel(
+    reverse: &ReverseGeocoder<'_>,
+    fixes: &[(u64, u64, Point)],
+    out: &mut [Option<(String, String)>],
+    threads: usize,
+) -> Vec<u64> {
+    // Block size shrinks for small inputs so every thread gets work, but
+    // never below a granule that keeps cursor traffic negligible.
+    let block = (fixes.len().div_ceil(threads * 4)).clamp(64, GEOCODE_BLOCK);
+    let cursor = AtomicUsize::new(0);
+    let mut per_thread_blocks = vec![0u64; threads];
+    std::thread::scope(|s| {
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            workers.push(s.spawn(move || {
+                let mut parts: Vec<(usize, Vec<ResolvedFix>)> = Vec::new();
+                let mut blocks = 0u64;
+                loop {
+                    let start = cursor.fetch_add(block, Ordering::Relaxed);
+                    if start >= fixes.len() {
+                        break;
+                    }
+                    let end = (start + block).min(fixes.len());
+                    let mut resolved = Vec::with_capacity(end - start);
+                    for &(_, _, p) in &fixes[start..end] {
+                        resolved.push(reverse.lookup(p).map(|r| (r.state, r.county)));
+                    }
+                    blocks += 1;
+                    parts.push((start, resolved));
+                }
+                (parts, blocks)
+            }));
+        }
+        for (t, worker) in workers.into_iter().enumerate() {
+            let (parts, blocks) = worker.join().expect("geocode worker panicked");
+            per_thread_blocks[t] = blocks;
+            for (start, resolved) in parts {
+                for (slot, value) in out[start..start + resolved.len()]
+                    .iter_mut()
+                    .zip(resolved)
+                {
+                    *slot = value;
+                }
+            }
+        }
+    });
+    per_thread_blocks
 }
 
 #[cfg(test)]
@@ -460,5 +564,83 @@ mod tests {
             assert_eq!(a.matched_rank, b.matched_rank);
             assert_eq!(a.entries, b.entries);
         }
+
+        // Metrics record the path taken and the exact traffic.
+        use crate::metrics::GeocodeMode;
+        assert_eq!(serial.metrics.geocode.mode, GeocodeMode::DirectSerial);
+        assert_eq!(parallel.metrics.geocode.mode, GeocodeMode::DirectParallel);
+        assert_eq!(parallel.metrics.geocode.threads, 8);
+        assert_eq!(parallel.metrics.geocode.fixes, 1200);
+        assert_eq!(parallel.metrics.geocode.lookups, 1200);
+        let total_blocks: u64 = parallel.metrics.geocode.blocks_per_thread.iter().sum();
+        assert!(
+            total_blocks >= 1,
+            "scheduler handed out no blocks: {:?}",
+            parallel.metrics.geocode.blocks_per_thread
+        );
+        assert_eq!(parallel.metrics.geocode.blocks_per_thread.len(), 8);
+    }
+
+    #[test]
+    fn empty_cohort_consumes_no_quota_days() {
+        let g = gaz();
+        let pipe = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                via_yahoo_xml: true,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        // No profile survives classification → zero fixes reach the
+        // geocoder → the simulated Yahoo endpoint is never dialled.
+        let result = pipe.run(
+            vec![profile(1, "my home")],
+            vec![TweetRow::tagged(1, 1, GANGNAM.0, GANGNAM.1)],
+        );
+        assert_eq!(result.funnel.yahoo_quota_days, 0);
+        assert_eq!(result.metrics.geocode.fixes, 0);
+        assert_eq!(result.metrics.geocode.lookups, 0);
+
+        // And a run that does geocode reports at least one simulated day.
+        let busy = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                via_yahoo_xml: true,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .run(
+            vec![profile(1, "Seoul Yangcheon-gu")],
+            vec![TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1)],
+        );
+        assert_eq!(busy.funnel.yahoo_quota_days, 1);
+        assert_eq!(busy.metrics.geocode.fixes, 1);
+        assert_eq!(busy.metrics.geocode.lookups, 1);
+    }
+
+    #[test]
+    fn metrics_expose_stage_timings_and_throughput() {
+        let g = gaz();
+        let pipe = RefinementPipeline::with_defaults(g);
+        let result = pipe.run(
+            vec![profile(1, "Seoul Yangcheon-gu")],
+            vec![
+                TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1),
+                TweetRow::tagged(1, 2, YANGCHEON.0, YANGCHEON.1),
+            ],
+        );
+        let m = &result.metrics;
+        assert_eq!(m.geocode.fixes, 2);
+        assert_eq!(m.geocode.lookups, 2);
+        assert_eq!(m.geocode.cache_hits, 1); // second fix hits the cache
+        assert!((m.geocode.cache_hit_ratio() - 0.5).abs() < 1e-12);
+        assert!(m.stages.total >= m.stages.geocode);
+        assert_eq!(m.stages.geocode, m.geocode.wall);
+        // The render is non-empty and names the hot stage.
+        let rendered = m.render();
+        assert!(rendered.contains("geocode"));
+        assert!(rendered.contains("cache hit ratio"));
     }
 }

@@ -1,12 +1,22 @@
 //! Reverse geocoding: GPS coordinates → [`LocationRecord`].
 //!
-//! Wraps [`Gazetteer::resolve_point`] with a quantizing LRU-ish cache and hit
+//! Wraps [`Gazetteer::resolve_point`] with a quantizing cache and hit
 //! statistics. The paper issued one Yahoo API call per GPS tweet; at 2xx,xxx
 //! GPS tweets a cache over quantized coordinates is what any practitioner
 //! would have put in front of the quota-limited API, and the benchmarks
 //! measure exactly that effect.
+//!
+//! Built for parallel callers: the cache is **sharded** — N independent
+//! `Mutex<HashMap>` shards, N a power of two derived from the machine's
+//! parallelism, shard picked by key hash — so concurrent lookups touch
+//! disjoint locks and the hit path takes exactly one shard lock. The
+//! traffic counters are plain atomics, so a lookup never takes a second
+//! lock for bookkeeping and the counters stay exact under any interleaving
+//! (each lookup increments `lookups` exactly once and exactly one of
+//! `resolved`/`misses`).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use stir_geoindex::Point;
@@ -42,22 +52,51 @@ impl ReverseStats {
 /// Quantization for the cache key: ~0.0005° ≈ 50 m, far below district size.
 const QUANT: f64 = 2000.0;
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 struct Key(i32, i32);
 
+/// Quantizes with `floor`, not truncation: `as i32` rounds toward zero,
+/// which made the cells straddling 0° double-width and aliased negative
+/// coordinates with positive ones (lat −0.0001 and +0.0001 shared a cell).
 fn key_of(p: Point) -> Key {
-    Key((p.lat * QUANT) as i32, (p.lon * QUANT) as i32)
+    Key((p.lat * QUANT).floor() as i32, (p.lon * QUANT).floor() as i32)
+}
+
+/// One cache shard: quantized cell → resolved district (or a negative
+/// answer, which is cached too).
+type Shard = Mutex<HashMap<Key, Option<DistrictId>>>;
+
+/// SplitMix64 finalizer over both key halves; shard index is the low bits.
+fn shard_of(key: Key, mask: usize) -> usize {
+    let mut z = ((key.0 as u32 as u64) << 32) | key.1 as u32 as u64;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as usize & mask
+}
+
+/// Shard count sized for the machine: next power of two ≥ 4 × threads.
+fn default_shard_count() -> usize {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (threads * 4).next_power_of_two()
 }
 
 /// A caching reverse geocoder over a [`Gazetteer`].
 ///
-/// Thread-safe: lookups take `&self`; the cache and counters sit behind a
-/// mutex (the resolve path itself is read-only on the gazetteer).
+/// Thread-safe and contention-free by construction: lookups take `&self`;
+/// the cache is split into hash-picked shards so concurrent callers almost
+/// always lock disjoint mutexes, and the stats are atomics (no stats lock).
 pub struct ReverseGeocoder<'g> {
     gazetteer: &'g Gazetteer,
-    cache: Mutex<HashMap<Key, Option<DistrictId>>>,
-    stats: Mutex<ReverseStats>,
-    capacity: usize,
+    shards: Box<[Shard]>,
+    shard_mask: usize,
+    /// Per-shard entry budget; a full shard is cleared wholesale — cheap,
+    /// and the working set re-warms immediately.
+    shard_capacity: usize,
+    lookups: AtomicU64,
+    cache_hits: AtomicU64,
+    resolved: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<'g> ReverseGeocoder<'g> {
@@ -66,50 +105,74 @@ impl<'g> ReverseGeocoder<'g> {
         Self::with_capacity(gazetteer, 1 << 20)
     }
 
-    /// A geocoder with an explicit cache capacity. When the cache fills it is
-    /// cleared wholesale — cheap, and the working set re-warms immediately.
+    /// A geocoder with an explicit total cache capacity, split across the
+    /// default shard count.
     pub fn with_capacity(gazetteer: &'g Gazetteer, capacity: usize) -> Self {
+        Self::with_shards(gazetteer, capacity, default_shard_count())
+    }
+
+    /// A geocoder with explicit capacity and shard count (rounded up to a
+    /// power of two). `shards = 1` reproduces the old single-lock layout,
+    /// which the contention benchmark uses as its baseline.
+    pub fn with_shards(gazetteer: &'g Gazetteer, capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
         ReverseGeocoder {
             gazetteer,
-            cache: Mutex::new(HashMap::new()),
-            stats: Mutex::new(ReverseStats::default()),
-            capacity: capacity.max(1),
+            shards: (0..shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            shard_mask: shards - 1,
+            shard_capacity: (capacity / shards).max(1),
+            lookups: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            resolved: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
+    }
+
+    /// Number of cache shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Resolves a point to a district id, or `None` outside coverage.
     pub fn resolve(&self, p: Point) -> Option<DistrictId> {
         let key = key_of(p);
+        let shard = &self.shards[shard_of(key, self.shard_mask)];
         {
-            let cache = self.cache.lock();
+            let cache = shard.lock();
             if let Some(&hit) = cache.get(&key) {
-                let mut s = self.stats.lock();
-                s.lookups += 1;
-                s.cache_hits += 1;
-                if hit.is_some() {
-                    s.resolved += 1;
-                } else {
-                    s.misses += 1;
-                }
+                drop(cache);
+                self.lookups.fetch_add(1, Ordering::Relaxed);
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.count_outcome(hit);
                 return hit;
             }
         }
+        // Miss: resolve outside the lock so a slow polygon walk never
+        // blocks other lookups that hash to the same shard. Two threads
+        // racing on the same fresh cell both resolve and insert the same
+        // value — idempotent, and cheaper than holding the lock.
         let resolved = self.gazetteer.resolve_point(p);
         {
-            let mut cache = self.cache.lock();
-            if cache.len() >= self.capacity {
+            let mut cache = shard.lock();
+            if cache.len() >= self.shard_capacity {
                 cache.clear();
             }
             cache.insert(key, resolved);
         }
-        let mut s = self.stats.lock();
-        s.lookups += 1;
-        if resolved.is_some() {
-            s.resolved += 1;
-        } else {
-            s.misses += 1;
-        }
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.count_outcome(resolved);
         resolved
+    }
+
+    fn count_outcome(&self, outcome: Option<DistrictId>) {
+        if outcome.is_some() {
+            self.resolved.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Resolves a point to the full record the Yahoo mock would return.
@@ -130,8 +193,18 @@ impl<'g> ReverseGeocoder<'g> {
     }
 
     /// Snapshot of the traffic counters.
+    ///
+    /// After all concurrent lookups have finished (e.g. past a thread
+    /// join), the snapshot is exact: `lookups == cache_hits + gazetteer
+    /// calls` and `lookups == resolved + misses`, guarantees the old
+    /// two-mutex design could not make across counters.
     pub fn stats(&self) -> ReverseStats {
-        *self.stats.lock()
+        ReverseStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            resolved: self.resolved.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// The underlying gazetteer.
@@ -212,5 +285,68 @@ mod tests {
         assert!(out[0].is_some());
         assert!(out[1].is_none());
         assert_eq!(out[2].as_ref().unwrap().state, "Jeju-do");
+    }
+
+    #[test]
+    fn quantization_floors_across_zero() {
+        // Regression: `as i32` truncates toward zero, so −0.0001° and
+        // +0.0001° used to share cell 0 and the cell straddling 0° was
+        // double-width. With floor they land in adjacent, distinct cells.
+        let step = 1.0 / QUANT;
+        let north_east = Point::new(step / 4.0, step / 4.0);
+        let south_west = Point::new(-step / 4.0, -step / 4.0);
+        assert_ne!(key_of(north_east), key_of(south_west));
+        assert_eq!(key_of(south_west), Key(-1, -1));
+        assert_eq!(key_of(north_east), Key(0, 0));
+        // Southern/western hemisphere points quantize consistently: one
+        // step apart in coordinates → one step apart in key space, with no
+        // double-width cell at the origin.
+        let sydney = Point::new(-33.8688, 151.2093);
+        let step_south = Point::new(-33.8688 - step, 151.2093);
+        assert_eq!(key_of(sydney).0 - 1, key_of(step_south).0);
+        let valparaiso = Point::new(-33.0458, -71.6197);
+        let step_west = Point::new(-33.0458, -71.6197 - step);
+        assert_eq!(key_of(valparaiso).1 - 1, key_of(step_west).1);
+    }
+
+    #[test]
+    fn near_zero_cells_are_distinct_cache_entries() {
+        // Behavior-level regression for the same bug: the two sides of the
+        // equator/prime-meridian must not share one cached answer.
+        let g = Gazetteer::load();
+        let geo = ReverseGeocoder::new(&g);
+        let a = Point::new(0.0001, 0.0001);
+        let b = Point::new(-0.0001, -0.0001);
+        assert_eq!(geo.resolve(a), g.resolve_point(a));
+        assert_eq!(geo.resolve(b), g.resolve_point(b));
+        let s = geo.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(
+            s.cache_hits, 0,
+            "distinct quantized cells must both miss the cache"
+        );
+    }
+
+    #[test]
+    fn shard_count_is_power_of_two_and_overridable() {
+        let g = Gazetteer::load();
+        let geo = ReverseGeocoder::new(&g);
+        assert!(geo.shard_count().is_power_of_two());
+        let single = ReverseGeocoder::with_shards(&g, 1 << 20, 1);
+        assert_eq!(single.shard_count(), 1);
+        let many = ReverseGeocoder::with_shards(&g, 1 << 20, 9);
+        assert_eq!(many.shard_count(), 16);
+    }
+
+    #[test]
+    fn sharded_and_single_shard_agree() {
+        let g = Gazetteer::load();
+        let sharded = ReverseGeocoder::with_shards(&g, 1 << 20, 16);
+        let single = ReverseGeocoder::with_shards(&g, 1 << 20, 1);
+        for i in 0..500 {
+            let p = Point::new(33.0 + (i as f64) * 0.012, 124.5 + (i as f64) * 0.013);
+            assert_eq!(sharded.resolve(p), single.resolve(p), "point {p}");
+        }
+        assert_eq!(sharded.stats(), single.stats());
     }
 }

@@ -182,6 +182,12 @@ impl<'g> YahooPlaceFinder<'g> {
         self.requests.get()
     }
 
+    /// Traffic counters of the geocoder behind the endpoint (the cache the
+    /// paper's practitioners would have put in front of the quota).
+    pub fn geocoder_stats(&self) -> crate::ReverseStats {
+        self.geocoder.stats()
+    }
+
     /// Total simulated wall-clock cost of the traffic, in milliseconds.
     pub fn simulated_ms(&self) -> u64 {
         self.simulated_ms.get()

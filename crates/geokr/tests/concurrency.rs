@@ -1,0 +1,141 @@
+//! Concurrency tests for the sharded reverse geocoder: many threads
+//! hammering one instance must produce exactly the serial answers and
+//! exactly-counted statistics. These are the guarantees the pipeline's
+//! dynamic scheduler builds on.
+
+use proptest::prelude::*;
+use stir_geoindex::Point;
+use stir_geokr::{Gazetteer, ReverseGeocoder};
+
+fn gaz() -> &'static Gazetteer {
+    use std::sync::OnceLock;
+    static GAZ: OnceLock<Gazetteer> = OnceLock::new();
+    GAZ.get_or_init(Gazetteer::load)
+}
+
+/// A deterministic mixed workload: in-coverage points that repeat (cache
+/// hits), a spread of distinct cells (misses), and out-of-coverage points
+/// (cached negative answers).
+fn mixed_points() -> Vec<Point> {
+    let mut pts = Vec::new();
+    for i in 0..400 {
+        match i % 4 {
+            // Repeats: two Seoul districts, hammered over and over.
+            0 => pts.push(Point::new(37.517, 127.047)), // Gangnam-gu
+            1 => pts.push(Point::new(37.517, 126.866)), // Yangcheon-gu
+            // Spread: a walk across the peninsula, one fresh cell each.
+            2 => pts.push(Point::new(
+                34.2 + (i as f64) * 0.009,
+                126.6 + (i as f64) * 0.007,
+            )),
+            // Out of coverage: Tokyo and the open Pacific.
+            _ => pts.push(if i % 8 == 3 {
+                Point::new(35.68, 139.69)
+            } else {
+                Point::new(20.0, 170.0)
+            }),
+        }
+    }
+    pts
+}
+
+#[test]
+fn eight_threads_agree_with_serial_and_count_exactly() {
+    const THREADS: usize = 8;
+    let g = gaz();
+    let points = mixed_points();
+
+    // Ground truth: the uncached gazetteer, point by point.
+    let expected: Vec<_> = points.iter().map(|&p| g.resolve_point(p)).collect();
+
+    let geo = ReverseGeocoder::new(g);
+    let results: Vec<Vec<_>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let geo = &geo;
+                let points = &points;
+                s.spawn(move || {
+                    // Each thread walks the whole list from a different
+                    // offset so shards are contended in every order.
+                    (0..points.len())
+                        .map(|i| geo.resolve(points[(i + t * 53) % points.len()]))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (t, thread_results) in results.iter().enumerate() {
+        for (i, &got) in thread_results.iter().enumerate() {
+            let want = expected[(i + t * 53) % points.len()];
+            assert_eq!(got, want, "thread {t}, call {i}");
+        }
+    }
+
+    // Counters are exact, not approximate: every call counted once, and
+    // the outcome split covers all of them.
+    let s = geo.stats();
+    let total_calls = (THREADS * points.len()) as u64;
+    assert_eq!(s.lookups, total_calls);
+    assert_eq!(s.resolved + s.misses, total_calls);
+    // Two hot cells hammered 800 times guarantee a dominant hit ratio even
+    // though first-touch racing makes the exact hit count nondeterministic.
+    assert!(
+        s.cache_hits > total_calls / 2,
+        "hit ratio implausibly low: {s:?}"
+    );
+    assert!(s.cache_hits < total_calls, "some first touch must miss");
+}
+
+#[test]
+fn concurrent_stats_match_serial_outcome_split() {
+    // The resolved/miss split is workload-determined (unlike cache_hits),
+    // so the concurrent run must reproduce the serial split exactly.
+    let g = gaz();
+    let points = mixed_points();
+    let serial = ReverseGeocoder::new(g);
+    for &p in &points {
+        serial.resolve(p);
+    }
+    let serial_stats = serial.stats();
+
+    let geo = ReverseGeocoder::new(g);
+    std::thread::scope(|s| {
+        for chunk in points.chunks(points.len() / 8) {
+            let geo = &geo;
+            s.spawn(move || {
+                for &p in chunk {
+                    geo.resolve(p);
+                }
+            });
+        }
+    });
+    let concurrent_stats = geo.stats();
+    assert_eq!(concurrent_stats.lookups, serial_stats.lookups);
+    assert_eq!(concurrent_stats.resolved, serial_stats.resolved);
+    assert_eq!(concurrent_stats.misses, serial_stats.misses);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For arbitrary points and shard counts, the sharded cached resolve is
+    /// indistinguishable from the uncached gazetteer — per call, twice (the
+    /// second call exercises the hit path).
+    #[test]
+    fn sharded_resolve_equals_uncached_gazetteer(
+        lat in 33.0f64..39.0,
+        lon in 124.5f64..131.0,
+        shards in 1usize..64,
+    ) {
+        let g = gaz();
+        let geo = ReverseGeocoder::with_shards(g, 1 << 16, shards);
+        let p = Point::new(lat, lon);
+        prop_assert_eq!(geo.resolve(p), g.resolve_point(p));
+        prop_assert_eq!(geo.resolve(p), g.resolve_point(p));
+        let s = geo.stats();
+        prop_assert_eq!(s.lookups, 2);
+        prop_assert_eq!(s.cache_hits, 1);
+    }
+}

@@ -15,6 +15,8 @@ pub struct Options {
     pub threads: usize,
     /// Route geocoding through the mock Yahoo XML endpoint.
     pub via_yahoo_xml: bool,
+    /// Print pipeline stage timings / geocode throughput after each run.
+    pub verbose: bool,
 }
 
 impl Default for Options {
@@ -24,6 +26,7 @@ impl Default for Options {
             scale: 0.1,
             threads: 8,
             via_yahoo_xml: false,
+            verbose: false,
         }
     }
 }
@@ -92,5 +95,11 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
         "[{}] final cohort {} users / {} strings",
         label, result.funnel.users_final, result.funnel.strings_built
     );
+    if opts.verbose {
+        // Stage timings go to stderr so experiment stdout stays
+        // byte-deterministic across invocations.
+        eprintln!("[{label}] pipeline metrics:");
+        eprint!("{}", result.metrics.render());
+    }
     Analysed { dataset, result }
 }

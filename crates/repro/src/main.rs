@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]
+//! repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N] [--verbose]
 //!
 //! experiments:
 //!   table1    Table I   example location strings
@@ -106,6 +106,7 @@ fn parse(args: &[String]) -> Result<(String, Options, PathBuf), String> {
                     .map_err(|_| "--threads must be an integer")?;
             }
             "--via-yahoo-xml" => opts.via_yahoo_xml = true,
+            "--verbose" | "-v" => opts.verbose = true,
             "--out" => {
                 out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?);
             }
@@ -124,7 +125,7 @@ fn parse(args: &[String]) -> Result<(String, Options, PathBuf), String> {
 fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N] [--via-yahoo-xml]\n\n\
+         usage: repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N] [--via-yahoo-xml] [--verbose]\n\n\
          experiments: table1 table2 fig3 fig4 fig5 funnel fig6 fig7 tweets compare eventloc ablation regional export detect nonegroup diurnal report sensitivity all"
     );
 }
@@ -158,6 +159,7 @@ mod tests {
             "--threads",
             "2",
             "--via-yahoo-xml",
+            "--verbose",
             "--out",
             "/tmp/x",
         ]))
@@ -167,7 +169,16 @@ mod tests {
         assert!((opts.scale - 0.5).abs() < 1e-12);
         assert_eq!(opts.threads, 2);
         assert!(opts.via_yahoo_xml);
+        assert!(opts.verbose);
         assert_eq!(out, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn parse_verbose_defaults_off() {
+        let (_, opts, _) = parse(&args(&["funnel"])).unwrap();
+        assert!(!opts.verbose);
+        let (_, opts, _) = parse(&args(&["funnel", "-v"])).unwrap();
+        assert!(opts.verbose);
     }
 
     #[test]

@@ -110,6 +110,27 @@ fn export_writes_files() {
 }
 
 #[test]
+fn verbose_prints_stage_metrics() {
+    let (_, stderr, code) = run(&["funnel", "--scale", "0.02", "--seed", "1", "--verbose"]);
+    assert_eq!(code, Some(0), "stderr:\n{stderr}");
+    for marker in [
+        "pipeline stage timings:",
+        "select users",
+        "tweet intake",
+        "fixes/sec",
+        "cache hit ratio",
+    ] {
+        assert!(stderr.contains(marker), "missing {marker:?} in stderr:\n{stderr}");
+    }
+    // Without --verbose the timing block stays out of both streams, keeping
+    // stdout deterministic and stderr limited to progress lines.
+    let (stdout, stderr, code) = run(&["funnel", "--scale", "0.02", "--seed", "1"]);
+    assert_eq!(code, Some(0));
+    assert!(!stdout.contains("pipeline stage timings:"));
+    assert!(!stderr.contains("pipeline stage timings:"));
+}
+
+#[test]
 fn deterministic_across_invocations() {
     let a = run(&["fig7", "--scale", "0.02", "--seed", "9"]);
     let b = run(&["fig7", "--scale", "0.02", "--seed", "9"]);

@@ -1,0 +1,351 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the benchmarking surface its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with throughput annotation, [`BenchmarkId`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros, and a [`Bencher`] with
+//! `iter`.
+//!
+//! Measurement is deliberately simple: per benchmark it warms up, picks an
+//! iteration count targeting ~25 ms per sample, takes `sample_size` samples
+//! and reports the median with min/max spread (plus throughput when
+//! annotated). No plotting, no statistics beyond that — stable enough to
+//! compare orders of magnitude and contention effects, which is what the
+//! workspace's benches assert in CHANGES.md.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Measured per-iteration durations, one per sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count giving ~25 ms
+        // per sample (at least 1).
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed > Duration::from_millis(25) || iters >= 1 << 20 {
+                break elapsed / iters.max(1) as u32;
+            }
+            iters *= 2;
+        };
+        let iters_per_sample = if per_iter > Duration::from_millis(25) {
+            1
+        } else {
+            iters.max(1)
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(start.elapsed() / iters_per_sample as u32);
+        }
+        self.samples.sort_unstable();
+    }
+
+    fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            Duration::ZERO
+        } else {
+            self.samples[self.samples.len() / 2]
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let median = bencher.median();
+        let (lo, hi) = match (bencher.samples.first(), bencher.samples.last()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => (Duration::ZERO, Duration::ZERO),
+        };
+        let mut line = format!(
+            "{full:<52} time: [{} {} {}]",
+            fmt_duration(lo),
+            fmt_duration(median),
+            fmt_duration(hi)
+        );
+        if let Some(tp) = self.throughput {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                match tp {
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!("  thrpt: {:.0} elem/s", n as f64 / secs));
+                    }
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!(
+                            "  thrpt: {:.2} MiB/s",
+                            n as f64 / secs / (1024.0 * 1024.0)
+                        ));
+                    }
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (cosmetic; prints a blank separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Applies a substring filter (from the command line).
+    pub fn with_filter(mut self, filter: Option<String>) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, &mut f);
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter
+            .as_deref()
+            .map(|f| full_id.contains(f))
+            .unwrap_or(true)
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Parses the filter from bench argv (skipping cargo's flags).
+pub fn filter_from_args() -> Option<String> {
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && a != "bench")
+}
+
+/// True when argv asks for a compile/list-only run (`--list` or
+/// `cargo test --benches` probing).
+pub fn list_only() -> bool {
+    std::env::args().any(|a| a == "--list" || a == "--test")
+}
+
+/// Declares a benchmark group, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            if $crate::list_only() {
+                return;
+            }
+            let mut criterion: $crate::Criterion =
+                $config.with_filter($crate::filter_from_args());
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("test/spin");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        spin(&mut c);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion::default().with_filter(Some("no-such-bench".into()));
+        // Would take noticeable time if not filtered; completes instantly.
+        let mut group = c.benchmark_group("g");
+        group.bench_function("slow", |b| {
+            b.iter(|| std::thread::sleep(std::time::Duration::from_millis(200)))
+        });
+        group.finish();
+    }
+}

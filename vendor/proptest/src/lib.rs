@@ -1,0 +1,614 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of proptest its test suites use: the [`proptest!`] macro,
+//! [`Strategy`] with `prop_map`, range and regex-literal strategies,
+//! `any::<T>()`, `prop::collection::vec`, `prop::option::of`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from upstream, deliberate for this workspace:
+//! * cases are generated from a seed derived from the test name, so runs
+//!   are deterministic and reproducible without a regression file;
+//! * there is **no shrinking** — a failure reports the case number and the
+//!   assertion message instead of a minimized input;
+//! * the regex-literal strategy supports the subset the suites use:
+//!   `\PC` (printable char) and `[...]` classes with ranges, each followed
+//!   by a `{min,max}` quantifier, concatenated.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case, produced by `prop_assert!` and friends.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// The per-test deterministic random source.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner seeded from the test's identity (file + name), so each test
+    /// sees a stable stream across runs.
+    pub fn for_test(file: &str, name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in file.bytes().chain(name.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.sample(runner))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, runner: &mut TestRunner) -> S::Value {
+        (**self).sample(runner)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.rng().gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// The strategy of all values of `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies (the `"[a-z]{0,12}"` form).
+// ---------------------------------------------------------------------------
+
+/// One parsed element of a regex-literal pattern.
+#[derive(Clone, Debug)]
+struct PatternPart {
+    /// Candidate character ranges (inclusive).
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// A compiled regex-literal strategy over the supported subset.
+#[derive(Clone, Debug)]
+pub struct StringPattern {
+    parts: Vec<PatternPart>,
+}
+
+/// Printable-character pool for `\PC`: mostly ASCII printable, with some
+/// Hangul, accented Latin, and other non-ASCII printables mixed in so
+/// Unicode paths get exercised.
+const PRINTABLE_EXTRA: &[(char, char)] = &[
+    ('가', '힣'),
+    ('À', 'ÿ'),
+    ('Α', 'ω'),
+    ('一', '十'),
+    ('！', '～'),
+];
+
+fn parse_pattern(pattern: &str) -> StringPattern {
+    let mut parts = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges: Vec<(char, char)> = if chars[i] == '\\' {
+            // Only `\PC` (printable char) is supported.
+            assert!(
+                i + 2 < chars.len() && chars[i + 1] == 'P' && chars[i + 2] == 'C',
+                "unsupported escape in pattern {pattern:?}"
+            );
+            i += 3;
+            let mut r = vec![(' ', '~'), (' ', '~'), (' ', '~')]; // weight ASCII 3x
+            r.extend_from_slice(PRINTABLE_EXTRA);
+            r
+        } else if chars[i] == '[' {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| p + i + 1)
+                .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+            let class = &chars[i + 1..close];
+            i = close + 1;
+            let mut r = Vec::new();
+            let mut j = 0;
+            while j < class.len() {
+                if j + 2 < class.len() && class[j + 1] == '-' {
+                    r.push((class[j], class[j + 2]));
+                    j += 3;
+                } else {
+                    r.push((class[j], class[j]));
+                    j += 1;
+                }
+            }
+            r
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![(c, c)]
+        };
+        // Optional {min,max} quantifier; default exactly-one.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i + 1)
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier"),
+                    hi.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        parts.push(PatternPart { ranges, min, max });
+    }
+    StringPattern { parts }
+}
+
+impl Strategy for StringPattern {
+    type Value = String;
+
+    fn sample(&self, runner: &mut TestRunner) -> String {
+        let mut out = String::new();
+        for part in &self.parts {
+            let n = runner.rng().gen_range(part.min..=part.max);
+            for _ in 0..n {
+                let (lo, hi) = part.ranges[runner.rng().gen_range(0..part.ranges.len())];
+                // Rejection-sample the surrogate gap.
+                loop {
+                    let v = runner.rng().gen_range(lo as u32..=hi as u32);
+                    if let Some(c) = char::from_u32(v) {
+                        out.push(c);
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, runner: &mut TestRunner) -> String {
+        parse_pattern(self).sample(runner)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn sample(&self, runner: &mut TestRunner) -> String {
+        parse_pattern(self).sample(runner)
+    }
+}
+
+/// Sub-modules mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRunner};
+        use rand::Rng;
+
+        /// Size argument for [`vec`]: a range of lengths.
+        pub trait SizeRange {
+            /// Draws a length.
+            fn sample_len(&self, runner: &mut TestRunner) -> usize;
+        }
+
+        impl SizeRange for std::ops::Range<usize> {
+            fn sample_len(&self, runner: &mut TestRunner) -> usize {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+
+        impl SizeRange for std::ops::RangeInclusive<usize> {
+            fn sample_len(&self, runner: &mut TestRunner) -> usize {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+
+        impl SizeRange for usize {
+            fn sample_len(&self, _runner: &mut TestRunner) -> usize {
+                *self
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        /// Vectors of `element` values with a length in `size`.
+        pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+                let n = self.size.sample_len(runner);
+                (0..n).map(|_| self.element.sample(runner)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::{Strategy, TestRunner};
+        use rand::Rng;
+
+        /// Strategy for `Option<S::Value>`, `Some` half the time.
+        #[derive(Clone, Debug)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `None` or `Some(value)` with equal probability.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn sample(&self, runner: &mut TestRunner) -> Option<S::Value> {
+                if runner.rng().gen_bool(0.5) {
+                    Some(self.inner.sample(runner))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}: {}",
+                a,
+                b,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                a, b
+            )));
+        }
+    }};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::for_test(file!(), stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut runner);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_parser_handles_the_suite_subset() {
+        let mut runner = crate::TestRunner::for_test("lib", "parser");
+        for pattern in ["\\PC{0,200}", "[a-z]{0,12}", "[가-힣a-z0-9 ,/.-]{0,40}"] {
+            for _ in 0..200 {
+                let s = crate::Strategy::sample(&pattern, &mut runner);
+                assert!(s.chars().count() <= 200, "{s:?} too long for {pattern}");
+            }
+        }
+        let s = crate::Strategy::sample(&"[a-c]{5,5}", &mut runner);
+        assert_eq!(s.len(), 5);
+        assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+
+    #[test]
+    fn printable_strategy_has_no_control_chars() {
+        let mut runner = crate::TestRunner::for_test("lib", "printable");
+        for _ in 0..500 {
+            let s = crate::Strategy::sample(&"\\PC{0,60}", &mut runner);
+            assert!(!s.chars().any(|c| c.is_control()), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_and_strategies_work(
+            x in 0u64..100,
+            f in -1.0f64..1.0,
+            v in prop::collection::vec(any::<u8>(), 0..10),
+            o in prop::option::of(0usize..=3),
+            s in "[a-z]{1,4}",
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(v.len() < 10);
+            if let Some(n) = o {
+                prop_assert!(n <= 3, "n was {}", n);
+            }
+            prop_assert_ne!(s.len(), 0);
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+
+        #[test]
+        fn tuples_and_prop_map(p in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p < 20);
+        }
+    }
+}
