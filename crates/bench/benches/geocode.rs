@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 use stir_bench::district_points;
 use stir_geokr::yahoo::YahooPlaceFinder;
-use stir_geokr::{ForwardGeocoder, Gazetteer, ReverseGeocoder};
+use stir_geokr::{BackendChoice, FaultPlan, ForwardGeocoder, Gazetteer, ReverseGeocoder};
 
 fn bench_reverse(c: &mut Criterion) {
     let gazetteer = Gazetteer::load();
@@ -15,7 +15,7 @@ fn bench_reverse(c: &mut Criterion) {
     group.bench_function("uncached", |b| {
         b.iter(|| {
             // A fresh geocoder per iteration: every lookup misses.
-            let geo = ReverseGeocoder::with_capacity(&gazetteer, 1);
+            let geo = ReverseGeocoder::builder(&gazetteer).capacity(1).build_reverse();
             points
                 .iter()
                 .filter_map(|&p| geo.resolve(black_box(p)))
@@ -23,7 +23,7 @@ fn bench_reverse(c: &mut Criterion) {
         })
     });
     group.bench_function("cached", |b| {
-        let geo = ReverseGeocoder::new(&gazetteer);
+        let geo = ReverseGeocoder::builder(&gazetteer).build_reverse();
         // Warm the quantized cells once.
         for &p in &points {
             geo.resolve(p);
@@ -62,7 +62,7 @@ fn bench_contention(c: &mut Criterion) {
         group.throughput(Throughput::Elements((points.len() * threads) as u64));
         for (label, shards) in [("single_shard", 1usize), ("sharded", 64)] {
             group.bench_function(BenchmarkId::new(label, threads), |b| {
-                let geo = ReverseGeocoder::with_shards(&gazetteer, 1 << 20, shards);
+                let geo = ReverseGeocoder::builder(&gazetteer).capacity(1 << 20).shards(shards).build_reverse();
                 // Warm every quantized cell: the benchmark measures the
                 // hit path, where the seed design took the global lock.
                 for &p in &points {
@@ -95,6 +95,46 @@ fn bench_contention(c: &mut Criterion) {
     group.finish();
 }
 
+/// Overhead of the service layer itself: the same warmed lookups through the
+/// bare gazetteer backend, the resilient decorator over a quiet endpoint, and
+/// the resilient decorator riding out a 10% drop schedule. The first two
+/// should be indistinguishable from `geocode/reverse/cached` modulo the trait
+/// dispatch; the faulted run shows what retries + fallbacks cost.
+fn bench_resilience(c: &mut Criterion) {
+    let gazetteer = Gazetteer::load();
+    let points = district_points(&gazetteer, 10_000, 3);
+    let mut group = c.benchmark_group("geocode/resilience");
+    group.throughput(Throughput::Elements(points.len() as u64));
+    let cases = [
+        ("gazetteer", BackendChoice::Gazetteer, FaultPlan::default()),
+        ("resilient_quiet", BackendChoice::Resilient, FaultPlan::default()),
+        (
+            "resilient_drop10",
+            BackendChoice::Resilient,
+            FaultPlan::parse("drop:0.1,seed:42").unwrap(),
+        ),
+    ];
+    for (label, backend, faults) in cases {
+        group.bench_function(label, |b| {
+            let geo = ReverseGeocoder::builder(&gazetteer)
+                .backend(backend)
+                .fault_plan(faults)
+                .yahoo_limits(u64::MAX, 0)
+                .build();
+            for &p in &points {
+                let _ = geo.lookup(p);
+            }
+            b.iter(|| {
+                points
+                    .iter()
+                    .filter_map(|&p| geo.lookup(black_box(p)).ok().flatten())
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_forward(c: &mut Criterion) {
     let gazetteer = Gazetteer::load();
     let forward = ForwardGeocoder::new(&gazetteer);
@@ -120,6 +160,6 @@ fn bench_forward(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_reverse, bench_contention, bench_forward
+    targets = bench_reverse, bench_contention, bench_resilience, bench_forward
 }
 criterion_main!(benches);

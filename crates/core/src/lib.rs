@@ -57,6 +57,7 @@ pub use input::{ProfileRow, TweetRow};
 pub use metrics::{GeocodeMetrics, GeocodeMode, PipelineMetrics, StageTimings};
 pub use online::OnlineGrouping;
 pub use pipeline::{AnalysisResult, PipelineConfig, RefinementPipeline};
+pub use stir_geokr::{BackendChoice, BackendTraffic, FaultPlan, ResiliencePolicy};
 pub use reliability::ReliabilityWeights;
 pub use stats::{GroupRow, GroupTable};
 pub use string::LocationString;

@@ -33,8 +33,12 @@ pub enum GeocodeMode {
     DirectSerial,
     /// In-process geocoder fanned out over the dynamic block scheduler.
     DirectParallel,
-    /// Round trip through the mock Yahoo XML endpoint (single-threaded).
+    /// Round trip through the mock Yahoo XML endpoint (parallel-capable
+    /// since its accounting moved to atomics).
     YahooXml,
+    /// The resilient decorator over the Yahoo endpoint: deadline, bounded
+    /// retry, circuit breaker, stale-cache → gazetteer fallback.
+    Resilient,
 }
 
 impl GeocodeMode {
@@ -43,7 +47,8 @@ impl GeocodeMode {
         match self {
             GeocodeMode::DirectSerial => "direct/serial",
             GeocodeMode::DirectParallel => "direct/parallel",
-            GeocodeMode::YahooXml => "yahoo-xml/serial",
+            GeocodeMode::YahooXml => "yahoo-xml",
+            GeocodeMode::Resilient => "resilient",
         }
     }
 }
@@ -69,6 +74,10 @@ pub struct GeocodeMetrics {
     /// Imbalance here means the dynamic scheduler was hand-feeding a
     /// straggler, exactly what it exists to absorb.
     pub blocks_per_thread: Vec<u64>,
+    /// The backend's full traffic report: outcome partition
+    /// (`lookups == resolved + fallbacks + misses`), retry/breaker/fallback
+    /// counters, simulated quota days and milliseconds.
+    pub traffic: stir_geokr::BackendTraffic,
 }
 
 impl GeocodeMetrics {
@@ -139,6 +148,25 @@ impl PipelineMetrics {
                 blocks.join(", ")
             ));
         }
+        let t = &g.traffic;
+        if t.errors + t.retries + t.fallbacks + t.breaker_opens > 0 {
+            out.push_str(&format!(
+                "  resilience: {} retries, {} errors, {} breaker opens, \
+                 {} fallbacks ({} stale, {} local)\n",
+                t.retries,
+                t.errors,
+                t.breaker_opens,
+                t.fallbacks,
+                t.stale_fallbacks,
+                t.local_fallbacks
+            ));
+        }
+        if t.quota_days > 0 {
+            out.push_str(&format!(
+                "  simulated API cost: {} quota day(s), {} ms\n",
+                t.quota_days, t.simulated_ms
+            ));
+        }
         out
     }
 }
@@ -198,8 +226,23 @@ mod tests {
                 cache_hits: 4_000,
                 threads: 4,
                 blocks_per_thread: vec![1, 1, 0, 0],
+                traffic: stir_geokr::BackendTraffic {
+                    lookups: 4_096,
+                    resolved: 4_000,
+                    fallbacks: 90,
+                    misses: 6,
+                    cache_hits: 4_000,
+                    errors: 12,
+                    retries: 9,
+                    breaker_opens: 1,
+                    stale_fallbacks: 60,
+                    local_fallbacks: 30,
+                    quota_days: 2,
+                    simulated_ms: 1_234,
+                },
             },
         };
+        assert!(m.geocode.traffic.is_exact());
         let r = m.render();
         for needle in [
             "select users",
@@ -211,9 +254,19 @@ mod tests {
             "cache hit ratio",
             "blocks per thread",
             "direct/parallel",
+            "resilience: 9 retries, 12 errors, 1 breaker opens, 90 fallbacks (60 stale, 30 local)",
+            "simulated API cost: 2 quota day(s), 1234 ms",
         ] {
             assert!(r.contains(needle), "render missing {needle:?}:\n{r}");
         }
+    }
+
+    #[test]
+    fn quiet_traffic_renders_no_resilience_lines() {
+        let m = PipelineMetrics::default();
+        let r = m.render();
+        assert!(!r.contains("resilience:"), "{r}");
+        assert!(!r.contains("simulated API cost"), "{r}");
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //!    only users resolvable to exactly one district (literal coordinates in
 //!    the profile are resolved through the reverse geocoder).
 //! 2. **Select tweets**: keep GPS-tagged tweets of kept users; reverse-
-//!    geocode each fix to `(state, county)` — optionally round-tripping
-//!    through the mock Yahoo XML endpoint, the exact path the authors used.
+//!    geocode each fix to `(state, county)` through a pluggable
+//!    [`Geocoder`] backend ([`PipelineConfig::backend`]): the local
+//!    gazetteer cache (default), the mock Yahoo XML endpoint (the exact
+//!    serialize/parse path the authors used), or the resilient decorator
+//!    that rides out injected faults without changing the output.
 //! 3. **Build strings** (Table I), **group and order** them (Table II), and
 //!    classify each surviving user into a Top-k group.
 //!
@@ -23,7 +26,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use stir_geoindex::Point;
-use stir_geokr::{Gazetteer, ReverseGeocoder};
+use stir_geokr::service::{BackendChoice, FaultPlan, Geocoder, GeocoderBuilder, ResiliencePolicy};
+use stir_geokr::Gazetteer;
 use stir_textgeo::{ProfileClass, ProfileClassifier};
 
 use crate::funnel::CollectionFunnel;
@@ -47,10 +51,19 @@ type ResolvedFix = Option<(String, String)>;
 /// Pipeline options.
 #[derive(Clone, Copy, Debug)]
 pub struct PipelineConfig {
-    /// Round-trip every reverse geocode through the mock Yahoo XML endpoint
-    /// (serialize → parse), exercising the paper's integration path. Forces
-    /// single-threaded geocoding.
+    /// Legacy switch for [`BackendChoice::Yahoo`]: round-trip every reverse
+    /// geocode through the mock Yahoo XML endpoint (serialize → parse),
+    /// exercising the paper's integration path. Ignored when `backend`
+    /// already names a non-default choice.
     pub via_yahoo_xml: bool,
+    /// Which geocoding backend the pipeline plugs in (the pipeline itself
+    /// never names a concrete geocoder type).
+    pub backend: BackendChoice,
+    /// Fault schedule injected at the Yahoo endpoint (quiet by default;
+    /// meaningless for the plain gazetteer backend).
+    pub fault_plan: FaultPlan,
+    /// Retry/breaker/budget knobs of the resilient backend.
+    pub resilience: ResiliencePolicy,
     /// Geocoding threads (≥ 1).
     pub threads: usize,
     /// Grouping grain (the §III-B metropolitan-split choice).
@@ -61,8 +74,23 @@ impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
             via_yahoo_xml: false,
+            backend: BackendChoice::default(),
+            fault_plan: FaultPlan::default(),
+            resilience: ResiliencePolicy::default(),
             threads: 4,
             granularity: Granularity::District,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The backend actually assembled: an explicit `backend` wins; the
+    /// legacy `via_yahoo_xml` flag upgrades the default to the Yahoo path.
+    pub fn effective_backend(&self) -> BackendChoice {
+        if self.backend == BackendChoice::Gazetteer && self.via_yahoo_xml {
+            BackendChoice::Yahoo
+        } else {
+            self.backend
         }
     }
 }
@@ -246,6 +274,16 @@ impl<'g> RefinementPipeline<'g> {
         grouped
     }
 
+    /// Assembles the configured backend. The pipeline only ever sees
+    /// `dyn Geocoder` — the concrete type is the builder's business.
+    fn build_backend(&self) -> Box<dyn Geocoder + 'g> {
+        GeocoderBuilder::new(self.gazetteer)
+            .backend(self.config.effective_backend())
+            .fault_plan(self.config.fault_plan)
+            .resilience(self.config.resilience)
+            .build()
+    }
+
     fn geocode_all(
         &self,
         fixes: &[(u64, u64, Point)],
@@ -253,59 +291,34 @@ impl<'g> RefinementPipeline<'g> {
         metrics: &mut GeocodeMetrics,
     ) -> Vec<Option<(String, String)>> {
         metrics.fixes = fixes.len() as u64;
-        if self.config.via_yahoo_xml {
-            // The XML endpoint holds interior Cell state → single thread.
-            // Run it with the 2011 free-tier daily quota and count the
-            // simulated days the geocoding stage would have taken — the
-            // operational cost the paper's §III-B alludes to. Zero fixes
-            // consume zero quota-days: an empty cohort never dials out.
-            metrics.mode = GeocodeMode::YahooXml;
-            metrics.threads = 1;
-            if fixes.is_empty() {
-                funnel.yahoo_quota_days = 0;
-                return Vec::new();
-            }
-            let api = stir_geokr::yahoo::YahooPlaceFinder::new(self.gazetteer);
-            funnel.yahoo_quota_days = 1;
-            let out = fixes
-                .iter()
-                .map(|&(_, _, p)| {
-                    let rec = loop {
-                        match api.lookup(p) {
-                            Ok(rec) => break rec,
-                            Err(stir_geokr::yahoo::YahooError::QuotaExceeded(_)) => {
-                                api.reset_quota();
-                                funnel.yahoo_quota_days += 1;
-                            }
-                            Err(_) => break None,
-                        }
-                    };
-                    rec.map(|rec| (rec.state, rec.county))
-                })
-                .collect();
-            let stats = api.geocoder_stats();
-            metrics.lookups = stats.lookups;
-            metrics.cache_hits = stats.cache_hits;
-            return out;
-        }
+        let choice = self.config.effective_backend();
         let threads = self.config.threads.max(1);
-        let reverse = ReverseGeocoder::new(self.gazetteer);
+        let parallel = threads > 1 && fixes.len() >= PARALLEL_THRESHOLD;
+        metrics.mode = match (choice, parallel) {
+            (BackendChoice::Gazetteer, false) => GeocodeMode::DirectSerial,
+            (BackendChoice::Gazetteer, true) => GeocodeMode::DirectParallel,
+            (BackendChoice::Yahoo, _) => GeocodeMode::YahooXml,
+            (BackendChoice::Resilient, _) => GeocodeMode::Resilient,
+        };
+        metrics.threads = if parallel { threads } else { 1 };
+        let backend = self.build_backend();
         let mut out: Vec<Option<(String, String)>> = vec![None; fixes.len()];
-        if threads == 1 || fixes.len() < PARALLEL_THRESHOLD {
-            metrics.mode = GeocodeMode::DirectSerial;
-            metrics.threads = 1;
-            for (slot, &(_, _, p)) in out.iter_mut().zip(fixes) {
-                *slot = reverse.lookup(p).map(|r| (r.state, r.county));
-            }
-        } else {
-            metrics.mode = GeocodeMode::DirectParallel;
-            metrics.threads = threads;
+        if parallel {
             metrics.blocks_per_thread =
-                geocode_parallel(&reverse, fixes, &mut out, threads);
+                geocode_parallel(backend.as_ref(), fixes, &mut out, threads);
+        } else {
+            for (slot, &(_, _, p)) in out.iter_mut().zip(fixes) {
+                *slot = resolve_one(backend.as_ref(), p);
+            }
         }
-        let stats = reverse.stats();
-        metrics.lookups = stats.lookups;
-        metrics.cache_hits = stats.cache_hits;
+        // Thread the backend's traffic report into the metrics; an empty
+        // cohort never dials out, so its quota-day count is zero by
+        // construction (day accounting starts at the first lookup).
+        let traffic = backend.traffic();
+        metrics.lookups = traffic.lookups;
+        metrics.cache_hits = traffic.cache_hits;
+        metrics.traffic = traffic;
+        funnel.yahoo_quota_days = traffic.quota_days;
         out
     }
 
@@ -332,15 +345,28 @@ impl<'g> RefinementPipeline<'g> {
     }
 }
 
+/// One fix through any backend: an error is an unresolvable fix (the
+/// resilient backend never errors — its fallback chain absorbs failures;
+/// the raw Yahoo backend can, e.g. on an injected rate-limit burst).
+fn resolve_one(backend: &dyn Geocoder, p: Point) -> Option<(String, String)> {
+    backend
+        .lookup(p)
+        .ok()
+        .flatten()
+        .map(|r| (r.state, r.county))
+}
+
 /// Fans the geocode stage out over `threads` workers with a dynamic block
 /// scheduler: an atomic cursor hands out [`GEOCODE_BLOCK`]-sized index
 /// ranges, each worker geocodes its range into a thread-local buffer, and
 /// the buffers land in `out` by input index — so the output is byte-for-byte
-/// the serial result regardless of interleaving. Returns the number of
+/// the serial result regardless of interleaving. Works for any backend:
+/// [`Geocoder`] is `Sync`, so even the XML endpoint (atomics since the
+/// `Cell` fix) can be driven from many threads. Returns the number of
 /// blocks each worker completed (the scheduler-balance signal surfaced in
 /// [`GeocodeMetrics::blocks_per_thread`]).
 fn geocode_parallel(
-    reverse: &ReverseGeocoder<'_>,
+    backend: &dyn Geocoder,
     fixes: &[(u64, u64, Point)],
     out: &mut [Option<(String, String)>],
     threads: usize,
@@ -365,7 +391,7 @@ fn geocode_parallel(
                     let end = (start + block).min(fixes.len());
                     let mut resolved = Vec::with_capacity(end - start);
                     for &(_, _, p) in &fixes[start..end] {
-                        resolved.push(reverse.lookup(p).map(|r| (r.state, r.county)));
+                        resolved.push(resolve_one(backend, p));
                     }
                     blocks += 1;
                     parts.push((start, resolved));
@@ -618,6 +644,106 @@ mod tests {
         assert_eq!(busy.funnel.yahoo_quota_days, 1);
         assert_eq!(busy.metrics.geocode.fixes, 1);
         assert_eq!(busy.metrics.geocode.lookups, 1);
+    }
+
+    #[test]
+    fn backend_is_pluggable_and_output_is_backend_invariant() {
+        // The same cohort through all three backends — including a noisy
+        // resilient one — must group identically: every backend answers
+        // from the same gazetteer, and the fallback chain preserves that.
+        let g = gaz();
+        let profiles = || {
+            vec![
+                profile(1, "Seoul Yangcheon-gu"),
+                profile(2, "Gyeonggi-do Uiwang-si"),
+            ]
+        };
+        let tweets = || {
+            vec![
+                TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1),
+                TweetRow::tagged(1, 2, GANGNAM.0, GANGNAM.1),
+                TweetRow::tagged(2, 3, 37.345, 126.968),
+                TweetRow::tagged(2, 4, 35.68, 139.69), // Tokyo, unresolvable
+            ]
+        };
+        let baseline = RefinementPipeline::with_defaults(g).run(profiles(), tweets());
+        // The raw Yahoo backend runs quiet (it has no retry layer above
+        // it); the resilient backend is exercised under a noisy schedule —
+        // its fallback chain must absorb every fault.
+        for (backend, faults) in [
+            (BackendChoice::Yahoo, "none"),
+            (BackendChoice::Resilient, "drop:0.2,malformed:0.1,seed:7"),
+        ] {
+            let run = RefinementPipeline::new(
+                g,
+                PipelineConfig {
+                    backend,
+                    fault_plan: stir_geokr::FaultPlan::parse(faults).unwrap(),
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .run(profiles(), tweets());
+            assert_eq!(baseline.users.len(), run.users.len(), "{backend}");
+            for (a, b) in baseline.users.iter().zip(&run.users) {
+                assert_eq!(a.user, b.user, "{backend}");
+                assert_eq!(a.matched_rank, b.matched_rank, "{backend}");
+                assert_eq!(a.entries, b.entries, "{backend}");
+            }
+            assert_eq!(
+                run.funnel.tweets_gps_unresolvable, baseline.funnel.tweets_gps_unresolvable,
+                "{backend}"
+            );
+            // The traffic partition stays exact even under faults.
+            let t = &run.metrics.geocode.traffic;
+            assert!(t.is_exact(), "{backend}: {t:?}");
+            assert_eq!(run.funnel.yahoo_quota_days, 1, "{backend}");
+        }
+    }
+
+    #[test]
+    fn resilient_metrics_count_retries_and_fallbacks_exactly() {
+        let g = gaz();
+        // A total outage with the breaker disabled: every fix retries the
+        // configured budget, then falls back locally. Counts are exact.
+        let pipe = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                backend: BackendChoice::Resilient,
+                fault_plan: stir_geokr::FaultPlan::parse("drop:1.0").unwrap(),
+                resilience: stir_geokr::ResiliencePolicy {
+                    max_retries: 2,
+                    breaker_threshold: u32::MAX,
+                    ..Default::default()
+                },
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let result = pipe.run(
+            vec![profile(1, "Seoul Yangcheon-gu")],
+            vec![
+                TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1),
+                TweetRow::tagged(1, 2, GANGNAM.0, GANGNAM.1),
+                TweetRow::tagged(1, 3, 35.68, 139.69), // Tokyo
+            ],
+        );
+        let t = &result.metrics.geocode.traffic;
+        assert_eq!(t.lookups, 3);
+        assert_eq!(t.resolved, 0, "the primary never answered");
+        assert_eq!(t.fallbacks, 2);
+        assert_eq!(t.misses, 1);
+        assert_eq!(t.retries, 6, "two retries per fix");
+        assert_eq!(t.errors, 9, "three attempts per fix all failed");
+        assert_eq!(t.local_fallbacks, 3);
+        assert!(t.is_exact());
+        assert_eq!(result.metrics.geocode.mode, GeocodeMode::Resilient);
+        // The degraded run still groups the user correctly.
+        assert_eq!(result.funnel.users_final, 1);
+        assert_eq!(result.funnel.tweets_gps_unresolvable, 1);
+        // The verbose render reports the degradation.
+        let rendered = result.metrics.render();
+        assert!(rendered.contains("resilience:"), "{rendered}");
     }
 
     #[test]

@@ -21,7 +21,13 @@
 //!   visual inspection in any map tool.
 //! * [`yahoo`] — a mock Yahoo PlaceFinder endpoint that renders and parses
 //!   the paper's XML response format, so the analysis pipeline exercises the
-//!   same serialize/parse path the authors did.
+//!   same serialize/parse path the authors did — now with a seeded
+//!   [`FaultPlan`] injector for the failure modes of a 2011 free tier.
+//! * [`service`] — the pluggable backend layer: the [`Geocoder`] trait, a
+//!   [`GeocoderBuilder`], and the [`ResilientGeocoder`] decorator (deadline,
+//!   bounded retry with decorrelated jitter, circuit breaker, client-side
+//!   budget, stale-cache → gazetteer fallback), all deterministic.
+//! * [`error`] — the unified [`GeocodeError`] every backend returns.
 //!
 //! The tweet generator samples GPS points from the same gazetteer the
 //! analyzer geocodes with, mirroring how the paper used one geocoder on both
@@ -31,15 +37,22 @@
 
 pub mod data;
 pub mod district;
+pub mod error;
 pub mod forward;
 pub mod gazetteer;
 pub mod geojson;
 pub mod location;
 pub mod reverse;
+pub mod service;
 pub mod yahoo;
 
 pub use district::{District, DistrictId, DistrictKind, Province};
+pub use error::GeocodeError;
 pub use forward::{ForwardGeocoder, ForwardResult};
 pub use gazetteer::Gazetteer;
 pub use location::LocationRecord;
 pub use reverse::{ReverseGeocoder, ReverseStats};
+pub use service::{
+    BackendChoice, BackendTraffic, FaultPlan, Geocoder, GeocoderBuilder, ResiliencePolicy,
+    ResilientGeocoder,
+};

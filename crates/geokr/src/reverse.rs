@@ -62,6 +62,19 @@ fn key_of(p: Point) -> Key {
     Key((p.lat * QUANT).floor() as i32, (p.lon * QUANT).floor() as i32)
 }
 
+/// The quantized cell of a point, exposed for the service layer's stale
+/// cache so every cache in the crate agrees on cell boundaries.
+pub(crate) fn quantize(p: Point) -> (i32, i32) {
+    let k = key_of(p);
+    (k.0, k.1)
+}
+
+/// Shard index for a quantized cell, exposed alongside [`quantize`] so the
+/// service layer's stale cache reuses the same SplitMix64 placement.
+pub(crate) fn cell_shard(cell: (i32, i32), mask: usize) -> usize {
+    shard_of(Key(cell.0, cell.1), mask)
+}
+
 /// One cache shard: quantized cell → resolved district (or a negative
 /// answer, which is cached too).
 type Shard = Mutex<HashMap<Key, Option<DistrictId>>>;
@@ -76,7 +89,7 @@ fn shard_of(key: Key, mask: usize) -> usize {
 }
 
 /// Shard count sized for the machine: next power of two ≥ 4 × threads.
-fn default_shard_count() -> usize {
+pub(crate) fn default_shard_count() -> usize {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     (threads * 4).next_power_of_two()
 }
@@ -100,21 +113,15 @@ pub struct ReverseGeocoder<'g> {
 }
 
 impl<'g> ReverseGeocoder<'g> {
-    /// A geocoder with the default cache capacity (1M quantized cells).
-    pub fn new(gazetteer: &'g Gazetteer) -> Self {
-        Self::with_capacity(gazetteer, 1 << 20)
+    /// Starts a [`GeocoderBuilder`](crate::service::GeocoderBuilder) — the
+    /// construction surface for this geocoder and every service-layer
+    /// backend (`.capacity(..)`, `.shards(..)`, `.backend(..)`).
+    pub fn builder(gazetteer: &'g Gazetteer) -> crate::service::GeocoderBuilder<'g> {
+        crate::service::GeocoderBuilder::new(gazetteer)
     }
 
-    /// A geocoder with an explicit total cache capacity, split across the
-    /// default shard count.
-    pub fn with_capacity(gazetteer: &'g Gazetteer, capacity: usize) -> Self {
-        Self::with_shards(gazetteer, capacity, default_shard_count())
-    }
-
-    /// A geocoder with explicit capacity and shard count (rounded up to a
-    /// power of two). `shards = 1` reproduces the old single-lock layout,
-    /// which the contention benchmark uses as its baseline.
-    pub fn with_shards(gazetteer: &'g Gazetteer, capacity: usize, shards: usize) -> Self {
+    /// The real constructor behind the builder and the deprecated shims.
+    pub(crate) fn assemble(gazetteer: &'g Gazetteer, capacity: usize, shards: usize) -> Self {
         let shards = shards.max(1).next_power_of_two();
         ReverseGeocoder {
             gazetteer,
@@ -129,6 +136,36 @@ impl<'g> ReverseGeocoder<'g> {
             resolved: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// A geocoder with the default cache capacity (1M quantized cells).
+    #[deprecated(since = "0.1.0", note = "use `ReverseGeocoder::builder(gazetteer).build_reverse()`")]
+    pub fn new(gazetteer: &'g Gazetteer) -> Self {
+        Self::builder(gazetteer).build_reverse()
+    }
+
+    /// A geocoder with an explicit total cache capacity, split across the
+    /// default shard count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ReverseGeocoder::builder(gazetteer).capacity(..).build_reverse()`"
+    )]
+    pub fn with_capacity(gazetteer: &'g Gazetteer, capacity: usize) -> Self {
+        Self::builder(gazetteer).capacity(capacity).build_reverse()
+    }
+
+    /// A geocoder with explicit capacity and shard count (rounded up to a
+    /// power of two). `shards = 1` reproduces the old single-lock layout,
+    /// which the contention benchmark uses as its baseline.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ReverseGeocoder::builder(gazetteer).capacity(..).shards(..).build_reverse()`"
+    )]
+    pub fn with_shards(gazetteer: &'g Gazetteer, capacity: usize, shards: usize) -> Self {
+        Self::builder(gazetteer)
+            .capacity(capacity)
+            .shards(shards)
+            .build_reverse()
     }
 
     /// Number of cache shards.
@@ -220,7 +257,7 @@ mod tests {
     #[test]
     fn resolve_caches_repeat_lookups() {
         let g = Gazetteer::load();
-        let geo = ReverseGeocoder::new(&g);
+        let geo = ReverseGeocoder::builder(&g).build_reverse();
         let p = Point::new(37.517, 127.047); // Gangnam-gu centroid
         let a = geo.resolve(p);
         let b = geo.resolve(p);
@@ -236,7 +273,7 @@ mod tests {
     #[test]
     fn lookup_returns_full_record() {
         let g = Gazetteer::load();
-        let geo = ReverseGeocoder::new(&g);
+        let geo = ReverseGeocoder::builder(&g).build_reverse();
         let rec = geo.lookup(Point::new(37.517, 127.047)).unwrap();
         assert_eq!(rec.state, "Seoul");
         assert_eq!(rec.county, "Gangnam-gu");
@@ -248,7 +285,7 @@ mod tests {
     #[test]
     fn out_of_coverage_is_cached_miss() {
         let g = Gazetteer::load();
-        let geo = ReverseGeocoder::new(&g);
+        let geo = ReverseGeocoder::builder(&g).build_reverse();
         let tokyo = Point::new(35.68, 139.69);
         assert!(geo.lookup(tokyo).is_none());
         assert!(geo.lookup(tokyo).is_none());
@@ -260,7 +297,7 @@ mod tests {
     #[test]
     fn tiny_cache_evicts_but_stays_correct() {
         let g = Gazetteer::load();
-        let geo = ReverseGeocoder::with_capacity(&g, 2);
+        let geo = ReverseGeocoder::builder(&g).capacity(2).build_reverse();
         let pts = [
             Point::new(37.517, 127.047),
             Point::new(35.106, 129.032),
@@ -275,7 +312,7 @@ mod tests {
     #[test]
     fn batch_preserves_order_and_gaps() {
         let g = Gazetteer::load();
-        let geo = ReverseGeocoder::new(&g);
+        let geo = ReverseGeocoder::builder(&g).build_reverse();
         let out = geo.lookup_batch(&[
             Point::new(37.517, 127.047),
             Point::new(35.68, 139.69),
@@ -314,7 +351,7 @@ mod tests {
         // Behavior-level regression for the same bug: the two sides of the
         // equator/prime-meridian must not share one cached answer.
         let g = Gazetteer::load();
-        let geo = ReverseGeocoder::new(&g);
+        let geo = ReverseGeocoder::builder(&g).build_reverse();
         let a = Point::new(0.0001, 0.0001);
         let b = Point::new(-0.0001, -0.0001);
         assert_eq!(geo.resolve(a), g.resolve_point(a));
@@ -330,19 +367,40 @@ mod tests {
     #[test]
     fn shard_count_is_power_of_two_and_overridable() {
         let g = Gazetteer::load();
-        let geo = ReverseGeocoder::new(&g);
+        let geo = ReverseGeocoder::builder(&g).build_reverse();
         assert!(geo.shard_count().is_power_of_two());
-        let single = ReverseGeocoder::with_shards(&g, 1 << 20, 1);
+        let single = ReverseGeocoder::builder(&g).shards(1).build_reverse();
         assert_eq!(single.shard_count(), 1);
-        let many = ReverseGeocoder::with_shards(&g, 1 << 20, 9);
+        let many = ReverseGeocoder::builder(&g).shards(9).build_reverse();
         assert_eq!(many.shard_count(), 16);
+    }
+
+    /// The deprecated positional constructors must keep building the exact
+    /// same layouts the builder does — seed code compiled against them
+    /// still works.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let g = Gazetteer::load();
+        let p = Point::new(37.517, 127.047);
+        let via_new = ReverseGeocoder::new(&g);
+        let via_builder = ReverseGeocoder::builder(&g).build_reverse();
+        assert_eq!(via_new.shard_count(), via_builder.shard_count());
+        assert_eq!(via_new.resolve(p), via_builder.resolve(p));
+        let shimmed = ReverseGeocoder::with_shards(&g, 1 << 10, 4);
+        let built = ReverseGeocoder::builder(&g).capacity(1 << 10).shards(4).build_reverse();
+        assert_eq!(shimmed.shard_count(), built.shard_count());
+        assert_eq!(
+            ReverseGeocoder::with_capacity(&g, 64).resolve(p),
+            ReverseGeocoder::builder(&g).capacity(64).build_reverse().resolve(p)
+        );
     }
 
     #[test]
     fn sharded_and_single_shard_agree() {
         let g = Gazetteer::load();
-        let sharded = ReverseGeocoder::with_shards(&g, 1 << 20, 16);
-        let single = ReverseGeocoder::with_shards(&g, 1 << 20, 1);
+        let sharded = ReverseGeocoder::builder(&g).shards(16).build_reverse();
+        let single = ReverseGeocoder::builder(&g).shards(1).build_reverse();
         for i in 0..500 {
             let p = Point::new(33.0 + (i as f64) * 0.012, 124.5 + (i as f64) * 0.013);
             assert_eq!(sharded.resolve(p), single.resolve(p), "point {p}");

@@ -1,0 +1,224 @@
+//! A three-state circuit breaker (closed → open → half-open).
+//!
+//! When the primary backend fails repeatedly, continuing to dial it just
+//! burns quota, budget and simulated latency. The breaker trips after a
+//! run of consecutive failures, refuses admissions while open, and after a
+//! cooldown lets exactly one probe through (half-open): a successful probe
+//! closes the circuit, a failed one re-opens it.
+//!
+//! The cooldown is counted in **refused admissions**, not wall-clock time.
+//! The whole service layer simulates time (no real sleeps), and an
+//! admission-count cooldown makes breaker behavior a pure function of the
+//! call/outcome sequence — which the proptests pin down: the same seeded
+//! fault schedule must always produce the same transition trace.
+
+/// The breaker's admission policy state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all calls admitted.
+    Closed,
+    /// Tripped: calls refused until the cooldown elapses.
+    Open,
+    /// Cooldown over: one probe admitted to test the backend.
+    HalfOpen,
+}
+
+/// A deterministic three-state circuit breaker.
+///
+/// Not thread-safe by itself — the service layer wraps it in a mutex, and
+/// every admission/outcome is recorded under that lock, so the transition
+/// trace is a total order even under concurrent callers.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    /// Consecutive failures while closed; resets on success.
+    failures: u32,
+    /// Trip after this many consecutive failures.
+    threshold: u32,
+    /// Refused admissions before half-opening.
+    cooldown: u32,
+    cooldown_left: u32,
+    /// Admissions + refusals seen, the trace's time axis.
+    events: u64,
+    opens: u64,
+    trace: Vec<(u64, BreakerState)>,
+}
+
+/// Transition traces are capped so a pathological schedule cannot grow one
+/// without bound; 64 transitions is far beyond what any test inspects.
+const TRACE_CAP: usize = 64;
+
+impl CircuitBreaker {
+    /// A breaker that trips after `threshold` consecutive failures and
+    /// half-opens after `cooldown` refused admissions (both clamped ≥ 1).
+    pub fn new(threshold: u32, cooldown: u32) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            failures: 0,
+            threshold: threshold.max(1),
+            cooldown: cooldown.max(1),
+            cooldown_left: 0,
+            events: 0,
+            opens: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    fn transition(&mut self, next: BreakerState) {
+        self.state = next;
+        if self.trace.len() < TRACE_CAP {
+            self.trace.push((self.events, next));
+        }
+    }
+
+    /// Asks to dial the backend. `Ok(())` admits the call; `Err(n)` refuses
+    /// it with `n` refusals left before a probe is admitted.
+    pub fn admit(&mut self) -> Result<(), u32> {
+        self.events += 1;
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open => {
+                self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                if self.cooldown_left == 0 {
+                    // Next admission is the probe.
+                    self.transition(BreakerState::HalfOpen);
+                }
+                Err(self.cooldown_left)
+            }
+        }
+    }
+
+    /// Reports a successful call: closes the circuit (from half-open) and
+    /// clears the failure run.
+    pub fn on_success(&mut self) {
+        self.events += 1;
+        self.failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.transition(BreakerState::Closed);
+        }
+    }
+
+    /// Reports a failed call: trips the breaker after `threshold`
+    /// consecutive failures, and re-opens immediately on a failed probe.
+    pub fn on_failure(&mut self) {
+        self.events += 1;
+        match self.state {
+            BreakerState::Closed => {
+                self.failures += 1;
+                if self.failures >= self.threshold {
+                    self.opens += 1;
+                    self.cooldown_left = self.cooldown;
+                    self.transition(BreakerState::Open);
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.failures = self.threshold;
+                self.opens += 1;
+                self.cooldown_left = self.cooldown;
+                self.transition(BreakerState::Open);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Closed→open transitions so far (including half-open→open re-trips).
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// The transition trace: `(event index, new state)` pairs, capped at an
+    /// internal bound. Two runs with the same call/outcome sequence produce
+    /// identical traces — the determinism hook the proptests assert on.
+    pub fn trace(&self) -> &[(u64, BreakerState)] {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, 4);
+        for _ in 0..2 {
+            assert_eq!(b.admit(), Ok(()));
+            b.on_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Ok(()));
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let mut b = CircuitBreaker::new(3, 4);
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "run was interrupted");
+    }
+
+    #[test]
+    fn cooldown_counts_refusals_then_half_opens() {
+        let mut b = CircuitBreaker::new(1, 3);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(), Err(2));
+        assert_eq!(b.admit(), Err(1));
+        assert_eq!(b.admit(), Err(0));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(), Ok(()), "the probe is admitted");
+    }
+
+    #[test]
+    fn probe_outcome_decides_the_next_state() {
+        let trip = |probe_ok: bool| {
+            let mut b = CircuitBreaker::new(1, 1);
+            b.on_failure();
+            assert_eq!(b.admit(), Err(0));
+            assert_eq!(b.state(), BreakerState::HalfOpen);
+            assert_eq!(b.admit(), Ok(()));
+            if probe_ok {
+                b.on_success();
+            } else {
+                b.on_failure();
+            }
+            b
+        };
+        assert_eq!(trip(true).state(), BreakerState::Closed);
+        let reopened = trip(false);
+        assert_eq!(reopened.state(), BreakerState::Open);
+        assert_eq!(reopened.opens(), 2);
+    }
+
+    #[test]
+    fn trace_is_a_deterministic_total_order() {
+        let run = || {
+            let mut b = CircuitBreaker::new(2, 2);
+            let outcomes = [false, false, true, false, false, false];
+            for &ok in &outcomes {
+                if b.admit().is_ok() {
+                    if ok {
+                        b.on_success();
+                    } else {
+                        b.on_failure();
+                    }
+                }
+            }
+            b.trace().to_vec()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(!a.is_empty());
+    }
+}

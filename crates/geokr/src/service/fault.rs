@@ -1,0 +1,274 @@
+//! Deterministic fault injection for the mock endpoint.
+//!
+//! A [`FaultPlan`] is a seeded schedule: the fault (if any) for attempt
+//! `i` is a pure function of `(seed, i)` — a SplitMix64 hash mapped to a
+//! unit float and compared against cumulative rate bands. No RNG state is
+//! carried between calls, so the schedule is insensitive to thread
+//! interleaving: attempt 17 drops in every run with the same plan, no
+//! matter which worker issues it. That is what makes "fig7 output is
+//! byte-identical under a 10% drop rate" a testable claim instead of a
+//! flaky one.
+
+use std::fmt;
+
+/// One injected failure mode, mirroring what a 2011 free-tier geocoding
+/// API actually did under load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The request vanishes; the caller waits out its deadline.
+    Drop,
+    /// The response is late by [`FaultPlan::delay_ms`].
+    Delay,
+    /// The response arrives garbled (unparseable XML).
+    MalformedXml,
+    /// A spurious rate-limit refusal that consumes no quota slot.
+    QuotaExceeded,
+}
+
+/// A seeded schedule of injected faults, decided per attempt index.
+///
+/// Rates are probabilities in `[0, 1]`; they are applied as disjoint bands
+/// (`drop`, then `delay`, then `malformed`, then `quota`), so their sum
+/// must stay ≤ 1. `Copy` so it can ride inside a `PipelineConfig`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a request is dropped.
+    pub drop_rate: f64,
+    /// Probability a response is delayed by [`delay_ms`](Self::delay_ms).
+    pub delay_rate: f64,
+    /// Extra latency injected by a [`Fault::Delay`], in milliseconds.
+    pub delay_ms: u64,
+    /// Probability a response is garbled.
+    pub malformed_rate: f64,
+    /// Probability of a spurious rate-limit refusal.
+    pub quota_rate: f64,
+    /// Seed for the per-attempt hash.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    /// A quiet plan: no faults, a 250 ms delay if one is ever enabled, and
+    /// a fixed non-zero seed.
+    fn default() -> Self {
+        FaultPlan {
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            delay_ms: 250,
+            malformed_rate: 0.0,
+            quota_rate: 0.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// SplitMix64 finalizer over the seed and attempt index.
+fn mix(seed: u64, idx: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(idx)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// The fault (if any) for attempt `idx` — a pure function of the plan.
+    pub fn decide(&self, idx: u64) -> Option<Fault> {
+        if self.is_quiet() {
+            return None;
+        }
+        let u = (mix(self.seed, idx) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let mut band = self.drop_rate;
+        if u < band {
+            return Some(Fault::Drop);
+        }
+        band += self.delay_rate;
+        if u < band {
+            return Some(Fault::Delay);
+        }
+        band += self.malformed_rate;
+        if u < band {
+            return Some(Fault::MalformedXml);
+        }
+        band += self.quota_rate;
+        if u < band {
+            return Some(Fault::QuotaExceeded);
+        }
+        None
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_quiet(&self) -> bool {
+        self.drop_rate <= 0.0
+            && self.delay_rate <= 0.0
+            && self.malformed_rate <= 0.0
+            && self.quota_rate <= 0.0
+    }
+
+    /// Parses the CLI spec: comma-separated `kind:rate` terms plus optional
+    /// `seed:N`, e.g. `drop:0.1,malformed:0.01,seed:42`. A delay term may
+    /// carry its latency: `delay:0.05@250`. `none` (or an empty spec) is
+    /// the quiet plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "none" {
+            return Ok(plan);
+        }
+        for term in spec.split(',') {
+            let term = term.trim();
+            let (kind, value) = term
+                .split_once(':')
+                .ok_or_else(|| format!("fault term {term:?} is not `kind:value`"))?;
+            let rate = |v: &str| -> Result<f64, String> {
+                let r: f64 = v
+                    .parse()
+                    .map_err(|_| format!("fault rate {v:?} is not a number"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("fault rate {r} is outside [0, 1]"));
+                }
+                Ok(r)
+            };
+            match kind {
+                "drop" => plan.drop_rate = rate(value)?,
+                "delay" => match value.split_once('@') {
+                    Some((r, ms)) => {
+                        plan.delay_rate = rate(r)?;
+                        plan.delay_ms = ms
+                            .parse()
+                            .map_err(|_| format!("delay latency {ms:?} is not a number"))?;
+                    }
+                    None => plan.delay_rate = rate(value)?,
+                },
+                "malformed" => plan.malformed_rate = rate(value)?,
+                "quota" => plan.quota_rate = rate(value)?,
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("seed {value:?} is not a number"))?
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault kind {other:?} (expected drop, delay, malformed, quota or seed)"
+                    ))
+                }
+            }
+        }
+        let total = plan.drop_rate + plan.delay_rate + plan.malformed_rate + plan.quota_rate;
+        if total > 1.0 {
+            return Err(format!("fault rates sum to {total}, which exceeds 1"));
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_quiet() {
+            return write!(f, "none");
+        }
+        let mut terms = Vec::new();
+        if self.drop_rate > 0.0 {
+            terms.push(format!("drop:{}", self.drop_rate));
+        }
+        if self.delay_rate > 0.0 {
+            terms.push(format!("delay:{}@{}", self.delay_rate, self.delay_ms));
+        }
+        if self.malformed_rate > 0.0 {
+            terms.push(format!("malformed:{}", self.malformed_rate));
+        }
+        if self.quota_rate > 0.0 {
+            terms.push(format!("quota:{}", self.quota_rate));
+        }
+        terms.push(format!("seed:{}", self.seed));
+        write!(f, "{}", terms.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_never_faults() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_quiet());
+        assert!((0..10_000).all(|i| plan.decide(i).is_none()));
+    }
+
+    #[test]
+    fn decide_is_a_pure_function_of_seed_and_index() {
+        let plan = FaultPlan {
+            drop_rate: 0.2,
+            malformed_rate: 0.1,
+            seed: 7,
+            ..FaultPlan::default()
+        };
+        let a: Vec<_> = (0..1000).map(|i| plan.decide(i)).collect();
+        let b: Vec<_> = (0..1000).map(|i| plan.decide(i)).collect();
+        assert_eq!(a, b);
+        let reseeded = FaultPlan { seed: 8, ..plan };
+        let c: Vec<_> = (0..1000).map(|i| reseeded.decide(i)).collect();
+        assert_ne!(a, c, "a different seed must reshuffle the schedule");
+    }
+
+    #[test]
+    fn rates_land_near_their_bands() {
+        let plan = FaultPlan {
+            drop_rate: 0.1,
+            delay_rate: 0.2,
+            malformed_rate: 0.05,
+            quota_rate: 0.02,
+            seed: 99,
+            ..FaultPlan::default()
+        };
+        let n = 20_000u64;
+        let mut counts = [0u64; 4];
+        for i in 0..n {
+            match plan.decide(i) {
+                Some(Fault::Drop) => counts[0] += 1,
+                Some(Fault::Delay) => counts[1] += 1,
+                Some(Fault::MalformedXml) => counts[2] += 1,
+                Some(Fault::QuotaExceeded) => counts[3] += 1,
+                None => {}
+            }
+        }
+        let close = |observed: u64, rate: f64| {
+            let expect = rate * n as f64;
+            (observed as f64 - expect).abs() < expect * 0.15 + 10.0
+        };
+        assert!(close(counts[0], 0.1), "drop count {}", counts[0]);
+        assert!(close(counts[1], 0.2), "delay count {}", counts[1]);
+        assert!(close(counts[2], 0.05), "malformed count {}", counts[2]);
+        assert!(close(counts[3], 0.02), "quota count {}", counts[3]);
+    }
+
+    #[test]
+    fn parse_roundtrips_the_readme_examples() {
+        let plan = FaultPlan::parse("drop:0.1").unwrap();
+        assert_eq!(plan.drop_rate, 0.1);
+        assert!(!plan.is_quiet());
+
+        let plan = FaultPlan::parse("drop:0.1,delay:0.05@400,malformed:0.01,quota:0.02,seed:42")
+            .unwrap();
+        assert_eq!(plan.delay_rate, 0.05);
+        assert_eq!(plan.delay_ms, 400);
+        assert_eq!(plan.seed, 42);
+        let rendered = plan.to_string();
+        assert_eq!(FaultPlan::parse(&rendered).unwrap(), plan);
+
+        assert!(FaultPlan::parse("none").unwrap().is_quiet());
+        assert!(FaultPlan::parse("").unwrap().is_quiet());
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("drop:2.0").is_err());
+        assert!(FaultPlan::parse("drop:-0.1").is_err());
+        assert!(FaultPlan::parse("sharks:0.5").is_err());
+        assert!(FaultPlan::parse("drop:0.9,delay:0.9").is_err());
+        assert!(FaultPlan::parse("seed:abc").is_err());
+    }
+}

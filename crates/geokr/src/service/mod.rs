@@ -1,0 +1,173 @@
+//! The geocoding service layer: one [`Geocoder`] trait, many backends.
+//!
+//! The paper's pipeline (§III-B) called the real Yahoo Open API — a
+//! quota-limited, latency-bound, failure-prone 2011 free tier. The analysis
+//! layer should not care which of our stand-ins answers a coordinate, so
+//! this module abstracts the lookup behind a trait with three
+//! implementations:
+//!
+//! * the local [`ReverseGeocoder`](crate::ReverseGeocoder) — infallible,
+//!   in-process, the default;
+//! * [`YahooBackend`] — the XML round-trip endpoint with daily-quota
+//!   rollover, optionally under a seeded [`FaultPlan`];
+//! * [`ResilientGeocoder`] — a decorator adding per-call deadlines, bounded
+//!   retries with decorrelated-jitter backoff, a three-state
+//!   [`CircuitBreaker`], a client-side daily budget, and a degraded-mode
+//!   fallback chain (retry → stale cache → local gazetteer) so a flaky
+//!   backend never aborts an experiment.
+//!
+//! Everything is deterministic by construction: faults are decided by a
+//! seeded hash of the attempt index, backoff draws from a seeded
+//! [`rand::rngs::StdRng`], the breaker cools down in admission counts (not
+//! wall clock), and all "waiting" is simulated-milliseconds accounting. Two
+//! runs with the same configuration produce the same traffic report, and —
+//! because every backend ultimately answers from the same gazetteer — the
+//! same analysis output as a fault-free run.
+
+mod breaker;
+mod builder;
+mod fault;
+mod resilient;
+mod yahoo_backend;
+
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use builder::{BackendChoice, GeocoderBuilder, ResiliencePolicy};
+pub use fault::{Fault, FaultPlan};
+pub use resilient::ResilientGeocoder;
+pub use yahoo_backend::YahooBackend;
+
+use stir_geoindex::Point;
+
+use crate::error::GeocodeError;
+use crate::location::LocationRecord;
+use crate::reverse::ReverseGeocoder;
+
+/// Traffic counters every backend can report, threaded into
+/// `stir_core::metrics::PipelineMetrics` by the analysis pipeline.
+///
+/// The outcome counters partition the traffic: after all concurrent callers
+/// have finished, `lookups == resolved + fallbacks + misses` holds exactly
+/// (each lookup lands in exactly one bucket; errored lookups that no
+/// fallback rescued count as misses).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendTraffic {
+    /// Total lookups issued against this backend.
+    pub lookups: u64,
+    /// Lookups the primary path resolved to a record.
+    pub resolved: u64,
+    /// Lookups answered (with a record) by a fallback path.
+    pub fallbacks: u64,
+    /// Lookups that ended without a record.
+    pub misses: u64,
+    /// Lookups answered from a cache (the quantized geocoder cache, plus
+    /// the resilient layer's stale cache).
+    pub cache_hits: u64,
+    /// Errors observed along the way (retried attempts count each failure).
+    pub errors: u64,
+    /// Retry attempts issued beyond each lookup's first try.
+    pub retries: u64,
+    /// Closed→open circuit-breaker transitions.
+    pub breaker_opens: u64,
+    /// Fallback answers served from the stale cache (including cached
+    /// negative answers).
+    pub stale_fallbacks: u64,
+    /// Fallback answers computed by the local gazetteer.
+    pub local_fallbacks: u64,
+    /// Simulated API days consumed (quota rollovers + the first day).
+    pub quota_days: u64,
+    /// Simulated wall-clock cost in milliseconds (latency + backoff).
+    pub simulated_ms: u64,
+}
+
+impl BackendTraffic {
+    /// Whether the outcome counters partition the lookups exactly.
+    pub fn is_exact(&self) -> bool {
+        self.lookups == self.resolved + self.fallbacks + self.misses
+    }
+}
+
+/// A reverse-geocoding backend: GPS point in, [`LocationRecord`] out.
+///
+/// Object safe; the pipeline holds `Box<dyn Geocoder + '_>` and never names
+/// a concrete backend type. `Ok(None)` means "answered: outside coverage";
+/// `Err(_)` means the backend could not answer at all.
+pub trait Geocoder: Send + Sync {
+    /// Resolves one point, or `Ok(None)` outside coverage.
+    fn lookup(&self, p: Point) -> Result<Option<LocationRecord>, GeocodeError>;
+
+    /// Resolves a batch, preserving order; per-point results so one failed
+    /// lookup does not poison the rest.
+    fn lookup_batch(&self, points: &[Point]) -> Vec<Result<Option<LocationRecord>, GeocodeError>> {
+        points.iter().map(|&p| self.lookup(p)).collect()
+    }
+
+    /// Snapshot of this backend's traffic counters (exact once concurrent
+    /// callers have joined).
+    fn traffic(&self) -> BackendTraffic;
+
+    /// Short stable name for metrics labels (`"gazetteer"`, `"yahoo"`,
+    /// `"resilient"`).
+    fn name(&self) -> &'static str;
+}
+
+/// The local gazetteer cache is itself a backend — the infallible default.
+impl Geocoder for ReverseGeocoder<'_> {
+    fn lookup(&self, p: Point) -> Result<Option<LocationRecord>, GeocodeError> {
+        Ok(ReverseGeocoder::lookup(self, p))
+    }
+
+    fn lookup_batch(&self, points: &[Point]) -> Vec<Result<Option<LocationRecord>, GeocodeError>> {
+        ReverseGeocoder::lookup_batch(self, points)
+            .into_iter()
+            .map(Ok)
+            .collect()
+    }
+
+    fn traffic(&self) -> BackendTraffic {
+        let s = self.stats();
+        BackendTraffic {
+            lookups: s.lookups,
+            resolved: s.resolved,
+            misses: s.misses,
+            cache_hits: s.cache_hits,
+            ..BackendTraffic::default()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "gazetteer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gazetteer::Gazetteer;
+
+    #[test]
+    fn reverse_geocoder_is_a_backend() {
+        let g = Gazetteer::load();
+        let backend: Box<dyn Geocoder + '_> = ReverseGeocoder::builder(&g).build();
+        assert_eq!(backend.name(), "gazetteer");
+        let rec = backend.lookup(Point::new(37.517, 127.047)).unwrap().unwrap();
+        assert_eq!(rec.county, "Gangnam-gu");
+        assert_eq!(backend.lookup(Point::new(35.68, 139.69)).unwrap(), None);
+        let t = backend.traffic();
+        assert_eq!(t.lookups, 2);
+        assert_eq!(t.resolved, 1);
+        assert_eq!(t.misses, 1);
+        assert!(t.is_exact());
+    }
+
+    #[test]
+    fn batch_through_the_trait_preserves_order() {
+        let g = Gazetteer::load();
+        let backend = ReverseGeocoder::builder(&g).build_reverse();
+        let out = Geocoder::lookup_batch(
+            &backend,
+            &[Point::new(37.517, 127.047), Point::new(35.68, 139.69)],
+        );
+        assert!(out[0].as_ref().unwrap().is_some());
+        assert!(out[1].as_ref().unwrap().is_none());
+    }
+}

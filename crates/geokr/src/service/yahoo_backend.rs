@@ -1,0 +1,174 @@
+//! The Yahoo XML endpoint as a [`Geocoder`] backend.
+//!
+//! The paper's collection ran for months against a daily-quota API: when a
+//! day's quota ran out, the crawl simply waited for the next day. This
+//! wrapper models that — a real quota exhaustion rolls the endpoint over
+//! to a new simulated day (counted in `quota_days`) and retries, so a long
+//! experiment runs to completion while the metrics record how many "API
+//! days" it would have cost. Spurious injected rate-limit faults are *not*
+//! rolled over (the real quota is not actually spent); they propagate as
+//! retryable errors for the resilient layer above to handle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use stir_geoindex::Point;
+
+use crate::error::GeocodeError;
+use crate::location::LocationRecord;
+use crate::yahoo::YahooPlaceFinder;
+
+use super::{BackendTraffic, Geocoder};
+
+/// Cap on consecutive same-call rollovers: a plan that injects rate-limit
+/// faults on every attempt (or a zero quota) must not spin forever.
+const MAX_ROLLOVERS_PER_CALL: u32 = 8;
+
+/// A [`YahooPlaceFinder`] with daily-quota rollover, usable wherever a
+/// [`Geocoder`] is expected.
+pub struct YahooBackend<'g> {
+    api: YahooPlaceFinder<'g>,
+    /// Simulated API days consumed: 0 until the first lookup, then 1, then
+    /// +1 per quota rollover.
+    quota_days: AtomicU64,
+    /// Serializes rollovers so racing threads don't each reset the day.
+    rollover: Mutex<()>,
+}
+
+impl<'g> YahooBackend<'g> {
+    /// Wraps an endpoint. The endpoint keeps its fault plan and deadline;
+    /// this layer only adds day accounting.
+    pub fn new(api: YahooPlaceFinder<'g>) -> Self {
+        YahooBackend {
+            api,
+            quota_days: AtomicU64::new(0),
+            rollover: Mutex::new(()),
+        }
+    }
+
+    /// The wrapped endpoint.
+    pub fn endpoint(&self) -> &YahooPlaceFinder<'g> {
+        &self.api
+    }
+
+    /// Simulated API days consumed so far (0 if nothing was ever looked up).
+    pub fn quota_days(&self) -> u64 {
+        self.quota_days.load(Ordering::Relaxed)
+    }
+
+    /// Rolls the endpoint into a new simulated day if the quota really is
+    /// spent. Returns whether a rollover (by us or a racing thread)
+    /// happened, i.e. whether retrying is worthwhile.
+    fn roll_over_if_spent(&self) -> bool {
+        let _day = self.rollover.lock();
+        // Re-check under the lock: a racing thread may have already rolled
+        // the day over, in which case our quota slot is simply free again.
+        if self.api.requests() >= self.api.daily_quota() {
+            self.api.reset_quota();
+            self.quota_days.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+}
+
+impl Geocoder for YahooBackend<'_> {
+    fn lookup(&self, p: Point) -> Result<Option<LocationRecord>, GeocodeError> {
+        // First traffic ever starts day 1.
+        let _ = self
+            .quota_days
+            .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);
+        let mut rollovers = 0;
+        loop {
+            match self.api.lookup(p) {
+                Err(GeocodeError::QuotaExceeded(limit))
+                    if self.api.requests() >= self.api.daily_quota() =>
+                {
+                    // Real exhaustion: the day's slots are gone. Roll over
+                    // and retry — bounded, so a zero-quota endpoint errors
+                    // out instead of spinning.
+                    rollovers += 1;
+                    if rollovers > MAX_ROLLOVERS_PER_CALL || !self.roll_over_if_spent() {
+                        return Err(GeocodeError::QuotaExceeded(limit));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn traffic(&self) -> BackendTraffic {
+        let (calls, resolved, misses, errors) = self.api.call_outcomes();
+        BackendTraffic {
+            lookups: calls,
+            resolved,
+            misses,
+            errors,
+            cache_hits: self.api.geocoder_stats().cache_hits,
+            quota_days: self.quota_days(),
+            simulated_ms: self.api.simulated_ms(),
+            ..BackendTraffic::default()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "yahoo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gazetteer::Gazetteer;
+    use crate::service::FaultPlan;
+
+    #[test]
+    fn no_traffic_consumes_no_quota_days() {
+        let g = Gazetteer::load();
+        let backend = YahooBackend::new(YahooPlaceFinder::with_limits(&g, 10, 0));
+        assert_eq!(backend.quota_days(), 0);
+    }
+
+    #[test]
+    fn rollover_spans_days_and_counts_them() {
+        let g = Gazetteer::load();
+        let backend = YahooBackend::new(YahooPlaceFinder::with_limits(&g, 3, 0));
+        let p = Point::new(37.517, 127.047);
+        for _ in 0..10 {
+            assert!(backend.lookup(p).unwrap().is_some());
+        }
+        // 10 requests at 3/day: days 1..4 (3+3+3+1).
+        assert_eq!(backend.quota_days(), 4);
+        let t = backend.traffic();
+        assert!(t.is_exact(), "identity must survive rollover retries: {t:?}");
+        assert_eq!(t.resolved, 10);
+    }
+
+    #[test]
+    fn zero_quota_errors_out_instead_of_spinning() {
+        let g = Gazetteer::load();
+        let backend = YahooBackend::new(YahooPlaceFinder::with_limits(&g, 0, 0));
+        assert_eq!(
+            backend.lookup(Point::new(37.517, 127.047)),
+            Err(GeocodeError::QuotaExceeded(0))
+        );
+    }
+
+    #[test]
+    fn spurious_quota_fault_propagates_without_rollover() {
+        let g = Gazetteer::load();
+        let plan = FaultPlan {
+            quota_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let api = YahooPlaceFinder::with_limits(&g, 10, 0).with_fault_plan(plan);
+        let backend = YahooBackend::new(api);
+        assert_eq!(
+            backend.lookup(Point::new(37.517, 127.047)),
+            Err(GeocodeError::QuotaExceeded(10))
+        );
+        // The injected 403 is not a real exhaustion: day 1 started, but no
+        // rollover happened and no slot was burned.
+        assert_eq!(backend.quota_days(), 1);
+        assert_eq!(backend.endpoint().requests(), 0);
+    }
+}

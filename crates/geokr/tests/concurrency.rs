@@ -48,7 +48,7 @@ fn eight_threads_agree_with_serial_and_count_exactly() {
     // Ground truth: the uncached gazetteer, point by point.
     let expected: Vec<_> = points.iter().map(|&p| g.resolve_point(p)).collect();
 
-    let geo = ReverseGeocoder::new(g);
+    let geo = ReverseGeocoder::builder(g).build_reverse();
     let results: Vec<Vec<_>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..THREADS)
             .map(|t| {
@@ -94,13 +94,13 @@ fn concurrent_stats_match_serial_outcome_split() {
     // so the concurrent run must reproduce the serial split exactly.
     let g = gaz();
     let points = mixed_points();
-    let serial = ReverseGeocoder::new(g);
+    let serial = ReverseGeocoder::builder(g).build_reverse();
     for &p in &points {
         serial.resolve(p);
     }
     let serial_stats = serial.stats();
 
-    let geo = ReverseGeocoder::new(g);
+    let geo = ReverseGeocoder::builder(g).build_reverse();
     std::thread::scope(|s| {
         for chunk in points.chunks(points.len() / 8) {
             let geo = &geo;
@@ -130,7 +130,7 @@ proptest! {
         shards in 1usize..64,
     ) {
         let g = gaz();
-        let geo = ReverseGeocoder::with_shards(g, 1 << 16, shards);
+        let geo = ReverseGeocoder::builder(g).capacity(1 << 16).shards(shards).build_reverse();
         let p = Point::new(lat, lon);
         prop_assert_eq!(geo.resolve(p), g.resolve_point(p));
         prop_assert_eq!(geo.resolve(p), g.resolve_point(p));

@@ -29,7 +29,7 @@ proptest! {
     #[test]
     fn reverse_geocoder_agrees_with_gazetteer(lat in 33.0f64..39.0, lon in 124.5f64..131.0) {
         let g = gaz();
-        let geo = ReverseGeocoder::new(g);
+        let geo = ReverseGeocoder::builder(g).build_reverse();
         let p = Point::new(lat, lon);
         prop_assert_eq!(geo.resolve(p), g.resolve_point(p));
         // Twice: the cached answer must be identical.
@@ -41,7 +41,7 @@ proptest! {
         let g = gaz();
         let api = YahooPlaceFinder::with_limits(g, u64::MAX, 0);
         let p = Point::new(lat, lon);
-        let direct = ReverseGeocoder::new(g).lookup(p).map(|r| (r.state, r.county));
+        let direct = ReverseGeocoder::builder(g).build_reverse().lookup(p).map(|r| (r.state, r.county));
         let via_xml = api.lookup(p).unwrap().map(|r| (r.state, r.county));
         prop_assert_eq!(direct, via_xml);
     }

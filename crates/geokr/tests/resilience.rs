@@ -1,0 +1,203 @@
+//! Integration tests for the resilient service layer: retry budgets are
+//! hard ceilings, breaker behaviour is a pure function of the seeded fault
+//! schedule, concurrent hammering produces exactly-counted fallbacks, and
+//! the Yahoo endpoint's atomic quota admits precisely its daily limit.
+
+use proptest::prelude::*;
+use stir_geoindex::Point;
+use stir_geokr::service::{BreakerState, YahooBackend};
+use stir_geokr::yahoo::YahooPlaceFinder;
+use stir_geokr::{
+    FaultPlan, Gazetteer, Geocoder, ResiliencePolicy, ResilientGeocoder, ReverseGeocoder,
+};
+
+fn gaz() -> &'static Gazetteer {
+    use std::sync::OnceLock;
+    static GAZ: OnceLock<Gazetteer> = OnceLock::new();
+    GAZ.get_or_init(Gazetteer::load)
+}
+
+/// A resilient stack over a faulted Yahoo endpoint with unlimited quota and
+/// zero base latency — the shape the pipeline builds, but with the concrete
+/// type exposed so tests can read the breaker trace.
+fn resilient(faults: FaultPlan, policy: ResiliencePolicy) -> ResilientGeocoder<'static> {
+    let api = YahooPlaceFinder::with_limits(gaz(), u64::MAX, 0)
+        .with_fault_plan(faults)
+        .with_deadline(policy.deadline_ms);
+    let fallback = ReverseGeocoder::builder(gaz()).build_reverse();
+    ResilientGeocoder::new(Box::new(YahooBackend::new(api)), fallback, policy)
+}
+
+/// Same mixed workload as the concurrency suite: repeated hot cells, a
+/// spread of fresh cells, and out-of-coverage points.
+fn mixed_points() -> Vec<Point> {
+    let mut pts = Vec::new();
+    for i in 0..400 {
+        match i % 4 {
+            0 => pts.push(Point::new(37.517, 127.047)), // Gangnam-gu
+            1 => pts.push(Point::new(37.517, 126.866)), // Yangcheon-gu
+            2 => pts.push(Point::new(
+                34.2 + (i as f64) * 0.009,
+                126.6 + (i as f64) * 0.007,
+            )),
+            _ => pts.push(if i % 8 == 3 {
+                Point::new(35.68, 139.69) // Tokyo
+            } else {
+                Point::new(20.0, 170.0) // open Pacific
+            }),
+        }
+    }
+    pts
+}
+
+#[test]
+fn breaker_trace_is_a_pure_function_of_the_seeded_schedule() {
+    let faults = FaultPlan::parse("drop:0.45,seed:7").unwrap();
+    let policy = ResiliencePolicy {
+        max_retries: 2,
+        breaker_threshold: 3,
+        breaker_cooldown: 4,
+        ..ResiliencePolicy::default()
+    };
+    let run = || {
+        let geo = resilient(faults, policy);
+        for &p in &mixed_points() {
+            let _ = geo.lookup(p);
+        }
+        (geo.breaker_trace(), geo.traffic(), geo.breaker_state())
+    };
+    let (trace_a, traffic_a, state_a) = run();
+    let (trace_b, traffic_b, state_b) = run();
+    assert!(
+        !trace_a.is_empty(),
+        "a 45% drop rate against threshold 3 must trip the breaker"
+    );
+    assert_eq!(trace_a, trace_b, "trace must be schedule-determined");
+    assert_eq!(traffic_a, traffic_b, "traffic must be schedule-determined");
+    assert_eq!(state_a, state_b);
+    assert!(traffic_a.breaker_opens > 0);
+    assert!(traffic_a.is_exact(), "{traffic_a:?}");
+    // The trace starts with the first trip, and every recorded state is a
+    // real transition (no consecutive duplicates).
+    assert_eq!(trace_a[0].1, BreakerState::Open);
+    for w in trace_a.windows(2) {
+        assert_ne!(w[0].1, w[1].1, "consecutive duplicate state in trace");
+    }
+}
+
+#[test]
+fn eight_thread_hammer_counts_fallbacks_exactly() {
+    // A total outage with the breaker disarmed makes every counter
+    // interleaving-independent: each lookup burns exactly 1 + max_retries
+    // attempts and then degrades to the local gazetteer.
+    const THREADS: usize = 8;
+    let faults = FaultPlan::parse("drop:1.0").unwrap();
+    let policy = ResiliencePolicy {
+        max_retries: 2,
+        breaker_threshold: u32::MAX,
+        ..ResiliencePolicy::default()
+    };
+    let geo = resilient(faults, policy);
+    let points = mixed_points();
+    let locally_resolvable = points
+        .iter()
+        .filter(|&&p| gaz().resolve_point(p).is_some())
+        .count() as u64;
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let geo = &geo;
+            let points = &points;
+            s.spawn(move || {
+                for i in 0..points.len() {
+                    let _ = geo.lookup(points[(i + t * 53) % points.len()]);
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * points.len()) as u64;
+    let t = geo.traffic();
+    assert!(t.is_exact(), "{t:?}");
+    assert_eq!(t.lookups, total);
+    assert_eq!(t.resolved, 0, "nothing gets through a 100% drop schedule");
+    assert_eq!(t.retries, total * 2);
+    assert_eq!(t.errors, total * 3);
+    assert_eq!(t.fallbacks, total * locally_resolvable / points.len() as u64);
+    assert_eq!(t.misses, total - t.fallbacks);
+    assert_eq!(t.local_fallbacks, total, "no stale entries exist to serve");
+    assert_eq!(t.stale_fallbacks, 0);
+    assert_eq!(t.breaker_opens, 0);
+    assert_eq!(geo.breaker_denials(), 0);
+    assert_eq!(geo.budget_denials(), 0);
+}
+
+#[test]
+fn concurrent_quota_admits_exactly_the_daily_limit() {
+    // 8 threads race 400 lookups against a quota of 100: the atomic slot
+    // reservation must admit exactly 100, whatever the interleaving.
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 50;
+    const QUOTA: u64 = 100;
+    let api = YahooPlaceFinder::with_limits(gaz(), QUOTA, 0);
+    let p = Point::new(37.517, 127.047); // Gangnam-gu: always resolvable
+    let ok: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let api = &api;
+                s.spawn(move || {
+                    (0..PER_THREAD)
+                        .filter(|_| api.lookup(p).is_ok())
+                        .count() as u64
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(ok, QUOTA, "exactly the quota must be admitted");
+    assert_eq!(api.requests(), QUOTA, "no slot leaked or double-burned");
+    assert_eq!(api.attempts(), (THREADS * PER_THREAD) as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// However noisy the schedule, the primary is dialled at most
+    /// `1 + max_retries` times per lookup, the traffic partition stays
+    /// exact, and the caller always gets an answer (never an error).
+    #[test]
+    fn retries_never_exceed_budget(
+        drop_rate in 0.0f64..0.8,
+        malformed_rate in 0.0f64..0.15,
+        max_retries in 0u32..4,
+        seed in 0u64..1_000,
+    ) {
+        let faults = FaultPlan {
+            drop_rate,
+            malformed_rate,
+            seed,
+            ..FaultPlan::default()
+        };
+        let policy = ResiliencePolicy { max_retries, ..ResiliencePolicy::default() };
+        let geo = resilient(faults, policy);
+        let points = [
+            Point::new(37.517, 127.047), // Seoul, repeated: stale-cache path
+            Point::new(35.16, 129.06),   // Busan
+            Point::new(20.0, 170.0),     // open Pacific: miss path
+        ];
+        for i in 0..40 {
+            prop_assert!(geo.lookup(points[i % points.len()]).is_ok());
+        }
+        let t = geo.traffic();
+        prop_assert!(t.is_exact(), "{:?}", t);
+        prop_assert_eq!(t.lookups, 40);
+        let dials = geo.primary().traffic().lookups;
+        let ceiling = 40 * u64::from(max_retries) + 40;
+        prop_assert!(dials <= ceiling, "{} dials > ceiling {}", dials, ceiling);
+        // Every lookup runs dials + denials iterations, one of which is the
+        // initial try; the rest were preceded by a retry decision.
+        let iterations = dials + geo.breaker_denials() + geo.budget_denials();
+        prop_assert_eq!(t.retries, iterations - 40);
+        prop_assert!(t.errors >= t.retries);
+    }
+}

@@ -1,6 +1,9 @@
 //! Shared experiment context: options, dataset generation, pipeline runs.
 
-use stir_core::{AnalysisResult, PipelineConfig, ProfileRow, RefinementPipeline, TweetRow};
+use stir_core::{
+    AnalysisResult, BackendChoice, FaultPlan, PipelineConfig, ProfileRow, RefinementPipeline,
+    TweetRow,
+};
 use stir_geokr::Gazetteer;
 use stir_twitter_sim::datasets::{Dataset, DatasetSpec};
 
@@ -13,8 +16,13 @@ pub struct Options {
     pub scale: f64,
     /// Geocoding threads.
     pub threads: usize,
-    /// Route geocoding through the mock Yahoo XML endpoint.
+    /// Route geocoding through the mock Yahoo XML endpoint (legacy spelling
+    /// of `--backend yahoo`).
     pub via_yahoo_xml: bool,
+    /// Geocoding backend (`--backend {gazetteer,yahoo,resilient}`).
+    pub backend: BackendChoice,
+    /// Fault schedule injected at the Yahoo endpoint (`--faults <spec>`).
+    pub faults: FaultPlan,
     /// Print pipeline stage timings / geocode throughput after each run.
     pub verbose: bool,
 }
@@ -26,6 +34,8 @@ impl Default for Options {
             scale: 0.1,
             threads: 8,
             via_yahoo_xml: false,
+            backend: BackendChoice::default(),
+            faults: FaultPlan::default(),
             verbose: false,
         }
     }
@@ -72,6 +82,8 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
         gazetteer,
         PipelineConfig {
             via_yahoo_xml: opts.via_yahoo_xml,
+            backend: opts.backend,
+            fault_plan: opts.faults,
             threads: opts.threads,
             ..Default::default()
         },

@@ -26,8 +26,11 @@ pub fn run(opts: &Options) {
                 g,
                 PipelineConfig {
                     via_yahoo_xml: opts.via_yahoo_xml,
+                    backend: opts.backend,
+                    fault_plan: opts.faults,
                     threads: opts.threads,
                     granularity: grain,
+                    ..Default::default()
                 },
             );
             let profiles = dataset.users.iter().map(|u| ProfileRow {

@@ -21,7 +21,7 @@ pub fn run(opts: &Options) {
     let g = gazetteer();
     let dataset = Dataset::generate(korean_spec(opts), g, opts.seed);
     let extractor = MentionExtractor::new(g);
-    let reverse = ReverseGeocoder::new(g);
+    let reverse = ReverseGeocoder::builder(g).build_reverse();
 
     let mut gps_tweets = 0u64;
     let mut with_mention = 0u64;

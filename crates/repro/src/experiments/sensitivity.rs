@@ -32,7 +32,7 @@ fn tie_break_sensitivity(opts: &Options) {
 
     // Rebuild each cohort user's strings (deterministically) so they can be
     // re-grouped under each policy.
-    let reverse = ReverseGeocoder::new(g);
+    let reverse = ReverseGeocoder::builder(g).build_reverse();
     let mut per_user: HashMap<u64, Vec<LocationString>> = HashMap::new();
     for u in &analysed.dataset.users {
         let Some((state_p, county_p)) = analysed.result.kept_profiles.get(&u.id.0) else {

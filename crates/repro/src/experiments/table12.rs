@@ -25,6 +25,8 @@ fn sample_strings(opts: &Options, max_users: usize) -> Vec<Vec<LocationString>> 
         g,
         PipelineConfig {
             via_yahoo_xml: opts.via_yahoo_xml,
+            backend: opts.backend,
+            fault_plan: opts.faults,
             threads: opts.threads,
             ..Default::default()
         },
@@ -39,7 +41,7 @@ fn sample_strings(opts: &Options, max_users: usize) -> Vec<Vec<LocationString>> 
         }),
         &mut funnel,
     );
-    let reverse = ReverseGeocoder::new(g);
+    let reverse = ReverseGeocoder::builder(g).build_reverse();
     let mut out = Vec::new();
     for u in &dataset.users {
         if out.len() >= max_users {

@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N] [--verbose]
+//! repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]
+//!                    [--backend gazetteer|yahoo|resilient] [--faults SPEC] [--verbose]
 //!
 //! experiments:
 //!   table1    Table I   example location strings
@@ -106,6 +107,20 @@ fn parse(args: &[String]) -> Result<(String, Options, PathBuf), String> {
                     .map_err(|_| "--threads must be an integer")?;
             }
             "--via-yahoo-xml" => opts.via_yahoo_xml = true,
+            "--backend" => {
+                opts.backend = it
+                    .next()
+                    .ok_or("--backend needs a value (gazetteer, yahoo or resilient)")?
+                    .parse()
+                    .map_err(|e| format!("--backend: {e}"))?;
+            }
+            "--faults" => {
+                let spec = it
+                    .next()
+                    .ok_or("--faults needs a spec, e.g. drop:0.1,malformed:0.01,seed:42")?;
+                opts.faults =
+                    stir_core::FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?;
+            }
             "--verbose" | "-v" => opts.verbose = true,
             "--out" => {
                 out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?);
@@ -125,7 +140,11 @@ fn parse(args: &[String]) -> Result<(String, Options, PathBuf), String> {
 fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N] [--via-yahoo-xml] [--verbose]\n\n\
+         usage: repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]\n\
+         \x20                        [--backend gazetteer|yahoo|resilient] [--faults SPEC] [--via-yahoo-xml] [--verbose]\n\n\
+         --backend selects the geocoding service (default gazetteer); --faults injects a\n\
+         seeded fault schedule at the yahoo endpoint, e.g. drop:0.1,delay:0.05@250,malformed:0.01,seed:42\n\
+         (the resilient backend rides faults out without changing any figure output)\n\n\
          experiments: table1 table2 fig3 fig4 fig5 funnel fig6 fig7 tweets compare eventloc ablation regional export detect nonegroup diurnal report sensitivity all"
     );
 }
@@ -171,6 +190,34 @@ mod tests {
         assert!(opts.via_yahoo_xml);
         assert!(opts.verbose);
         assert_eq!(out, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn parse_backend_and_faults() {
+        use stir_core::BackendChoice;
+        let (_, opts, _) = parse(&args(&["fig7"])).unwrap();
+        assert_eq!(opts.backend, BackendChoice::Gazetteer);
+        assert!(opts.faults.is_quiet());
+
+        let (_, opts, _) = parse(&args(&[
+            "fig7",
+            "--backend",
+            "resilient",
+            "--faults",
+            "drop:0.1,seed:42",
+        ]))
+        .unwrap();
+        assert_eq!(opts.backend, BackendChoice::Resilient);
+        assert!((opts.faults.drop_rate - 0.1).abs() < 1e-12);
+        assert_eq!(opts.faults.seed, 42);
+
+        let (_, opts, _) = parse(&args(&["fig7", "--backend", "yahoo"])).unwrap();
+        assert_eq!(opts.backend, BackendChoice::Yahoo);
+
+        assert!(parse(&args(&["fig7", "--backend"])).is_err());
+        assert!(parse(&args(&["fig7", "--backend", "google"])).is_err());
+        assert!(parse(&args(&["fig7", "--faults"])).is_err());
+        assert!(parse(&args(&["fig7", "--faults", "drop:9"])).is_err());
     }
 
     #[test]

@@ -131,6 +131,31 @@ fn verbose_prints_stage_metrics() {
 }
 
 #[test]
+fn resilient_backend_rides_out_faults_without_changing_figures() {
+    // The acceptance bar for the service layer: a seeded fault schedule at
+    // the endpoint must not perturb a single byte of figure output when the
+    // resilient backend is in front of it.
+    let clean = run(&["fig7", "--scale", "0.02", "--seed", "1"]);
+    assert_eq!(clean.2, Some(0), "stderr:\n{}", clean.1);
+    let faulted = run(&[
+        "fig7",
+        "--scale",
+        "0.02",
+        "--seed",
+        "1",
+        "--backend",
+        "resilient",
+        "--faults",
+        "drop:0.1",
+    ]);
+    assert_eq!(faulted.2, Some(0), "stderr:\n{}", faulted.1);
+    assert_eq!(
+        clean.0, faulted.0,
+        "fault injection leaked into figure output"
+    );
+}
+
+#[test]
 fn deterministic_across_invocations() {
     let a = run(&["fig7", "--scale", "0.02", "--seed", "9"]);
     let b = run(&["fig7", "--scale", "0.02", "--seed", "9"]);

@@ -21,7 +21,10 @@ pub mod prelude {
         ObservationBuilder, ParticleEstimator, Toretter,
     };
     pub use stir_geoindex::{BBox, Point};
-    pub use stir_geokr::{DistrictId, Gazetteer, Province, ReverseGeocoder};
+    pub use stir_geokr::{
+        BackendChoice, BackendTraffic, DistrictId, FaultPlan, Gazetteer, GeocodeError, Geocoder,
+        GeocoderBuilder, Province, ResiliencePolicy, ResilientGeocoder, ReverseGeocoder,
+    };
     pub use stir_textgeo::{ProfileClass, ProfileClassifier};
     pub use stir_tweetstore::{Query, TweetRecord, TweetStore};
     pub use stir_twitter_sim::datasets::{Dataset, DatasetSpec};

@@ -133,7 +133,7 @@ fn streamed_keyword_collection_matches_api_search() {
 fn gps_mentions_in_regular_tweets_match_gps_district_mostly() {
     let (gazetteer, dataset) = fixtures(3_000, 25);
     let extractor = MentionExtractor::new(&gazetteer);
-    let reverse = ReverseGeocoder::new(&gazetteer);
+    let reverse = ReverseGeocoder::builder(&gazetteer).build_reverse();
     let mut with_mention = 0u64;
     let mut hit = 0u64;
     for u in dataset.users.iter().filter(|u| u.gps_device) {

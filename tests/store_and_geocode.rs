@@ -71,7 +71,7 @@ fn gps_fixes_geocode_back_to_sampled_spots() {
         &gazetteer,
         32,
     );
-    let reverse = ReverseGeocoder::new(&gazetteer);
+    let reverse = ReverseGeocoder::builder(&gazetteer).build_reverse();
     let mut total = 0u64;
     let mut in_spots = 0u64;
     for (u, truth) in dataset.users.iter().zip(&dataset.truth) {
@@ -101,7 +101,7 @@ fn gps_fixes_geocode_back_to_sampled_spots() {
 #[test]
 fn yahoo_xml_roundtrip_agrees_with_direct_geocoder() {
     let gazetteer = Gazetteer::load();
-    let reverse = ReverseGeocoder::new(&gazetteer);
+    let reverse = ReverseGeocoder::builder(&gazetteer).build_reverse();
     let api = YahooPlaceFinder::with_limits(&gazetteer, u64::MAX, 0);
     // A lattice of points over Korea, including off-coverage cells.
     let mut checked = 0;
