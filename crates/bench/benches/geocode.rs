@@ -15,7 +15,9 @@ fn bench_reverse(c: &mut Criterion) {
     group.bench_function("uncached", |b| {
         b.iter(|| {
             // A fresh geocoder per iteration: every lookup misses.
-            let geo = ReverseGeocoder::builder(&gazetteer).capacity(1).build_reverse();
+            let geo = ReverseGeocoder::builder(&gazetteer)
+                .capacity(1)
+                .build_reverse();
             points
                 .iter()
                 .filter_map(|&p| geo.resolve(black_box(p)))
@@ -62,7 +64,10 @@ fn bench_contention(c: &mut Criterion) {
         group.throughput(Throughput::Elements((points.len() * threads) as u64));
         for (label, shards) in [("single_shard", 1usize), ("sharded", 64)] {
             group.bench_function(BenchmarkId::new(label, threads), |b| {
-                let geo = ReverseGeocoder::builder(&gazetteer).capacity(1 << 20).shards(shards).build_reverse();
+                let geo = ReverseGeocoder::builder(&gazetteer)
+                    .capacity(1 << 20)
+                    .shards(shards)
+                    .build_reverse();
                 // Warm every quantized cell: the benchmark measures the
                 // hit path, where the seed design took the global lock.
                 for &p in &points {
@@ -86,7 +91,10 @@ fn bench_contention(c: &mut Criterion) {
                                 })
                             })
                             .collect();
-                        handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().unwrap())
+                            .sum::<usize>()
                     })
                 })
             });
@@ -107,7 +115,11 @@ fn bench_resilience(c: &mut Criterion) {
     group.throughput(Throughput::Elements(points.len() as u64));
     let cases = [
         ("gazetteer", BackendChoice::Gazetteer, FaultPlan::default()),
-        ("resilient_quiet", BackendChoice::Resilient, FaultPlan::default()),
+        (
+            "resilient_quiet",
+            BackendChoice::Resilient,
+            FaultPlan::default(),
+        ),
         (
             "resilient_drop10",
             BackendChoice::Resilient,

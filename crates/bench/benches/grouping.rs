@@ -5,7 +5,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use stir_core::{group_user_strings, GroupTable, LocationString, ReliabilityWeights};
+use stir_core::{
+    group_cohort_with_block, group_user_keys, group_user_strings, DistrictInterner, GroupTable,
+    LocationKey, LocationString, ReliabilityWeights, TieBreak,
+};
 
 fn user_strings(user: u64, n_tweets: usize, n_spots: usize, seed: u64) -> Vec<LocationString> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -38,6 +41,70 @@ fn bench_group_user(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole sweep: the published string merge against the interned
+/// id merge, same workload. The string path hashes and clones `(String,
+/// String)` keys per tweet; the interned path compares `u32`s into a
+/// small vector — the sweep measures exactly that gap.
+fn bench_interned_vs_string(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping/interned_vs_string");
+    for &n in &[100usize, 1_000, 10_000, 100_000] {
+        let strings = user_strings(1, n, 8, 7);
+        let mut interner = DistrictInterner::new();
+        let keys: Vec<LocationKey> = strings.iter().map(|s| s.to_key(&mut interner)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("string", n), &strings, |b, s| {
+            b.iter(|| group_user_strings(black_box(s)).unwrap().matched_rank)
+        });
+        group.bench_with_input(BenchmarkId::new("interned", n), &keys, |b, k| {
+            b.iter(|| {
+                group_user_keys(black_box(k), &interner)
+                    .unwrap()
+                    .matched_rank
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Whole-cohort grouping through the block scheduler at 1/2/4/8 threads.
+/// On a 1-CPU container every count measures the same serial walk (parity
+/// is the honest result there); on multi-core hardware the per-user merges
+/// interleave and the sweep shows the fan-out.
+fn bench_cohort_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping/cohort_threads");
+    let users = 4_096usize;
+    let mut interner = DistrictInterner::new();
+    let cohort: Vec<(u64, Vec<LocationKey>)> = (0..users)
+        .map(|u| {
+            let strings = user_strings(u as u64, 40, 6, u as u64);
+            let keys: Vec<LocationKey> = strings.iter().map(|s| s.to_key(&mut interner)).collect();
+            (u as u64, keys)
+        })
+        .collect();
+    let tweets = (users * 40) as u64;
+    for &threads in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(tweets));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    group_cohort_with_block(
+                        black_box(&cohort),
+                        &interner,
+                        TieBreak::FirstSeen,
+                        threads,
+                        256,
+                    )
+                    .0
+                    .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_cohort(c: &mut Criterion) {
     let mut group = c.benchmark_group("grouping/cohort_stats");
     for &users in &[100usize, 1_000, 10_000] {
@@ -58,6 +125,6 @@ fn bench_cohort(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_group_user, bench_cohort
+    targets = bench_group_user, bench_interned_vs_string, bench_cohort_threads, bench_cohort
 }
 criterion_main!(benches);

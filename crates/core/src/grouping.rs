@@ -7,9 +7,23 @@
 //! The paper leaves tie-breaking unspecified; we order equal counts by
 //! first appearance in the tweet stream, which is deterministic and favours
 //! the user's earlier-established haunts.
+//!
+//! Two carriers, one method: [`group_user_strings`] merges the published
+//! string form directly, while [`group_user_keys`] runs the identical
+//! algorithm over interned [`LocationKey`]s — the merge test is a single
+//! `u32` compare and the loop allocates nothing per tweet (the per-user
+//! merge buffer grows with *distinct districts*, bounded by the tiny
+//! vocabulary). A property test pins the two paths to identical output
+//! under every [`TieBreak`] policy. [`group_cohort`] fans the per-user
+//! loop out over the same work-stealing block scheduler the geocode stage
+//! uses, stitching results in input order so parallel output is
+//! byte-identical to serial.
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::intern::{DistrictId, DistrictInterner, LocationKey};
 use crate::string::LocationString;
 use crate::topk::TopKGroup;
 
@@ -77,12 +91,15 @@ impl GroupedUser {
     }
 
     /// Renders the user's Table-II block: one merged string per line with
-    /// its count, matched line marked.
+    /// its count, matched line marked. Formats straight into one output
+    /// buffer — no intermediate `String` per row.
     pub fn render_table2(&self) -> String {
         let mut out = String::new();
         for e in &self.entries {
-            out.push_str(&format!(
-                "{}#{}#{}#{}#{} ({}){}\n",
+            // Writing into a String is infallible.
+            let _ = writeln!(
+                out,
+                "{}#{}#{}#{}#{} ({}){}",
                 self.user,
                 self.state_profile,
                 self.county_profile,
@@ -90,7 +107,7 @@ impl GroupedUser {
                 e.county,
                 e.count,
                 if e.matched { "  <- matched" } else { "" }
-            ));
+            );
         }
         out
     }
@@ -186,6 +203,174 @@ pub fn group_user_strings_with(
         entries,
         matched_rank,
     })
+}
+
+/// Groups one user's interned location keys with the default
+/// [`TieBreak::FirstSeen`] policy — the allocation-free twin of
+/// [`group_user_strings`]. All keys must share the user and profile fields
+/// (the pipeline guarantees this; violations panic in debug builds).
+pub fn group_user_keys(keys: &[LocationKey], interner: &DistrictInterner) -> Option<GroupedUser> {
+    group_user_keys_with(keys, TieBreak::FirstSeen, interner)
+}
+
+/// [`group_user_keys`] with an explicit tie-break policy.
+///
+/// The merge loop touches no heap memory per tweet: identity is a `u32`
+/// compare against a small `(district, count, first-seen)` buffer whose
+/// length is the user's *distinct* district count (bounded by the
+/// vocabulary, ~229). District strings materialize only at the
+/// [`GroupedUser`] boundary, once per distinct district.
+pub fn group_user_keys_with(
+    keys: &[LocationKey],
+    tie_break: TieBreak,
+    interner: &DistrictInterner,
+) -> Option<GroupedUser> {
+    let first = keys.first()?;
+    let user = first.user;
+    let profile = first.profile;
+
+    // Merge: (district, count, first-seen index among distinct districts).
+    // Linear scan beats hashing at vocabulary scale, and — unlike a map
+    // keyed by owned strings — never allocates on the per-tweet path.
+    let mut merged: Vec<(DistrictId, u64, u32)> = Vec::new();
+    for k in keys {
+        debug_assert_eq!(k.user, user, "mixed users in one grouping call");
+        debug_assert_eq!(k.profile, profile, "mixed profiles in one grouping call");
+        match merged.iter_mut().find(|(d, _, _)| *d == k.tweet) {
+            Some(entry) => entry.1 += 1,
+            None => {
+                let first_seen = merged.len() as u32;
+                merged.push((k.tweet, 1, first_seen));
+            }
+        }
+    }
+
+    // Order: count desc, then the tie-break policy — the same total order
+    // the string path computes, so `sort_unstable` (no allocation) is safe.
+    merged.sort_unstable_by(|a, b| {
+        b.1.cmp(&a.1).then_with(|| match tie_break {
+            TieBreak::FirstSeen => a.2.cmp(&b.2),
+            TieBreak::Alphabetical => interner.resolve(a.0).cmp(&interner.resolve(b.0)),
+            TieBreak::MatchedFirst => (b.0 == profile)
+                .cmp(&(a.0 == profile))
+                .then_with(|| a.2.cmp(&b.2)),
+            TieBreak::MatchedLast => (a.0 == profile)
+                .cmp(&(b.0 == profile))
+                .then_with(|| a.2.cmp(&b.2)),
+        })
+    });
+
+    // Resolve ids back to the published strings at the boundary.
+    let (state_profile, county_profile) = interner.resolve(profile);
+    let mut entries = Vec::with_capacity(merged.len());
+    let mut matched_rank = None;
+    for (rank0, &(district, count, _)) in merged.iter().enumerate() {
+        let matched = district == profile;
+        if matched {
+            matched_rank = Some(rank0 + 1);
+        }
+        let (state, county) = interner.resolve(district);
+        entries.push(MergedEntry {
+            state: state.to_string(),
+            county: county.to_string(),
+            count,
+            matched,
+        });
+    }
+
+    Some(GroupedUser {
+        user,
+        state_profile: state_profile.to_string(),
+        county_profile: county_profile.to_string(),
+        entries,
+        matched_rank,
+    })
+}
+
+/// Users handed to a grouping worker per scheduler draw (auto-sized down
+/// for small cohorts, like the geocode stage's blocks).
+const GROUP_BLOCK: usize = 256;
+
+/// Below this many users the thread-spawn overhead outweighs the fan-out.
+const PARALLEL_GROUP_THRESHOLD: usize = 512;
+
+/// Groups a whole cohort — `(user, keys)` pairs, typically sorted by user
+/// id — fanning the per-user loop over `threads` workers with the
+/// work-stealing block scheduler. Results are stitched in input order, so
+/// the output is byte-identical to the serial path regardless of thread
+/// interleaving. Users whose key list is empty are dropped, exactly as the
+/// serial `filter_map` would.
+///
+/// Returns the grouped users plus the per-thread block counts (the
+/// scheduler-balance signal surfaced in grouping metrics; a single `[1]`
+/// on the serial path).
+pub fn group_cohort(
+    users: &[(u64, Vec<LocationKey>)],
+    interner: &DistrictInterner,
+    tie_break: TieBreak,
+    threads: usize,
+) -> (Vec<GroupedUser>, Vec<u64>) {
+    let threads = threads.max(1);
+    if threads == 1 || users.len() < PARALLEL_GROUP_THRESHOLD {
+        let grouped = users
+            .iter()
+            .filter_map(|(_, keys)| group_user_keys_with(keys, tie_break, interner))
+            .collect();
+        return (grouped, vec![1]);
+    }
+    let block = (users.len().div_ceil(threads * 4)).clamp(16, GROUP_BLOCK);
+    group_cohort_with_block(users, interner, tie_break, threads, block)
+}
+
+/// [`group_cohort`] with an explicit block size and no serial shortcut —
+/// the property tests sweep arbitrary thread/block counts through this to
+/// pin parallel ≡ serial.
+pub fn group_cohort_with_block(
+    users: &[(u64, Vec<LocationKey>)],
+    interner: &DistrictInterner,
+    tie_break: TieBreak,
+    threads: usize,
+    block: usize,
+) -> (Vec<GroupedUser>, Vec<u64>) {
+    let threads = threads.max(1);
+    let block = block.max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut per_thread_blocks = vec![0u64; threads];
+    let mut slots: Vec<Option<GroupedUser>> = (0..users.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            workers.push(s.spawn(move || {
+                let mut parts: Vec<(usize, Vec<Option<GroupedUser>>)> = Vec::new();
+                let mut blocks = 0u64;
+                loop {
+                    let start = cursor.fetch_add(block, Ordering::Relaxed);
+                    if start >= users.len() {
+                        break;
+                    }
+                    let end = (start + block).min(users.len());
+                    let grouped = users[start..end]
+                        .iter()
+                        .map(|(_, keys)| group_user_keys_with(keys, tie_break, interner))
+                        .collect();
+                    blocks += 1;
+                    parts.push((start, grouped));
+                }
+                (parts, blocks)
+            }));
+        }
+        for (t, worker) in workers.into_iter().enumerate() {
+            let (parts, blocks) = worker.join().expect("grouping worker panicked");
+            per_thread_blocks[t] = blocks;
+            for (start, grouped) in parts {
+                for (slot, value) in slots[start..start + grouped.len()].iter_mut().zip(grouped) {
+                    *slot = value;
+                }
+            }
+        }
+    });
+    (slots.into_iter().flatten().collect(), per_thread_blocks)
 }
 
 #[cfg(test)]
@@ -355,6 +540,113 @@ mod tests {
         let g = group_user_strings(&[s(1, "Guro-gu", "Guro-gu")]).unwrap();
         assert_eq!(g.group(), TopKGroup::Top1);
         assert_eq!(g.distinct_locations(), 1);
+    }
+
+    /// Interns a string batch and groups it through the packed path.
+    fn group_interned(strings: &[LocationString], tb: TieBreak) -> Option<GroupedUser> {
+        let mut interner = DistrictInterner::new();
+        let keys: Vec<LocationKey> = strings.iter().map(|s| s.to_key(&mut interner)).collect();
+        group_user_keys_with(&keys, tb, &interner)
+    }
+
+    #[test]
+    fn interned_path_matches_string_path() {
+        let strings: Vec<LocationString> =
+            std::iter::repeat_with(|| s(100, "Yangchun-gu", "Yangchun-gu"))
+                .take(4)
+                .chain(std::iter::repeat_with(|| s(100, "Yangchun-gu", "Jung-gu")).take(2))
+                .chain(std::iter::once(s(100, "Yangchun-gu", "Seodaemun-gu")))
+                .collect();
+        for tb in [
+            TieBreak::FirstSeen,
+            TieBreak::Alphabetical,
+            TieBreak::MatchedFirst,
+            TieBreak::MatchedLast,
+        ] {
+            let via_strings = group_user_strings_with(&strings, tb).unwrap();
+            let via_keys = group_interned(&strings, tb).unwrap();
+            assert_eq!(via_keys.user, via_strings.user, "{tb:?}");
+            assert_eq!(via_keys.state_profile, via_strings.state_profile, "{tb:?}");
+            assert_eq!(
+                via_keys.county_profile, via_strings.county_profile,
+                "{tb:?}"
+            );
+            assert_eq!(via_keys.entries, via_strings.entries, "{tb:?}");
+            assert_eq!(via_keys.matched_rank, via_strings.matched_rank, "{tb:?}");
+        }
+    }
+
+    #[test]
+    fn interned_path_distinguishes_same_county_across_states() {
+        // Busan/Jung-gu must not merge with (or match) Seoul/Jung-gu.
+        let strings = vec![
+            LocationString {
+                user: 9,
+                state_profile: "Seoul".into(),
+                county_profile: "Jung-gu".into(),
+                state_tweet: "Busan".into(),
+                county_tweet: "Jung-gu".into(),
+            },
+            LocationString {
+                user: 9,
+                state_profile: "Seoul".into(),
+                county_profile: "Jung-gu".into(),
+                state_tweet: "Seoul".into(),
+                county_tweet: "Jung-gu".into(),
+            },
+        ];
+        let g = group_interned(&strings, TieBreak::FirstSeen).unwrap();
+        assert_eq!(g.entries.len(), 2);
+        assert_eq!(g.matched_rank, Some(2));
+        assert_eq!(g.matched_tweets(), 1);
+    }
+
+    #[test]
+    fn empty_keys_are_none() {
+        let interner = DistrictInterner::new();
+        assert!(group_user_keys(&[], &interner).is_none());
+    }
+
+    #[test]
+    fn cohort_parallel_equals_serial_at_any_block_size() {
+        let mut interner = DistrictInterner::new();
+        let mut cohort: Vec<(u64, Vec<LocationKey>)> = Vec::new();
+        for u in 0..40u64 {
+            let strings: Vec<LocationString> = (0..(u % 7 + 1))
+                .map(|i| {
+                    s(
+                        u,
+                        "Yangchun-gu",
+                        if i % 3 == 0 { "Yangchun-gu" } else { "Jung-gu" },
+                    )
+                })
+                .collect();
+            cohort.push((u, strings.iter().map(|x| x.to_key(&mut interner)).collect()));
+        }
+        // One user with no keys: dropped on both paths.
+        cohort.insert(17, (1000, Vec::new()));
+        let (serial, serial_blocks) = group_cohort(&cohort, &interner, TieBreak::FirstSeen, 1);
+        assert_eq!(serial_blocks, vec![1]);
+        for threads in [2, 3, 8] {
+            for block in [1, 3, 16, 64] {
+                let (parallel, blocks) = group_cohort_with_block(
+                    &cohort,
+                    &interner,
+                    TieBreak::FirstSeen,
+                    threads,
+                    block,
+                );
+                assert_eq!(parallel.len(), serial.len(), "t={threads} b={block}");
+                for (a, b) in serial.iter().zip(&parallel) {
+                    assert_eq!(a.user, b.user, "t={threads} b={block}");
+                    assert_eq!(a.entries, b.entries, "t={threads} b={block}");
+                    assert_eq!(a.matched_rank, b.matched_rank, "t={threads} b={block}");
+                }
+                assert_eq!(blocks.len(), threads);
+                let total: u64 = blocks.iter().sum();
+                assert_eq!(total as usize, cohort.len().div_ceil(block));
+            }
+        }
     }
 
     #[test]

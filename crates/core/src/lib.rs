@@ -37,6 +37,7 @@ pub mod funnel;
 pub mod granularity;
 pub mod grouping;
 pub mod input;
+pub mod intern;
 pub mod metrics;
 pub mod online;
 pub mod pipeline;
@@ -52,13 +53,17 @@ pub use bootstrap::{avg_locations_cis, user_share_cis, Ci, GroupCis};
 pub use compare::{compare, TableComparison};
 pub use funnel::CollectionFunnel;
 pub use granularity::Granularity;
-pub use grouping::{group_user_strings, group_user_strings_with, GroupedUser, TieBreak};
+pub use grouping::{
+    group_cohort, group_cohort_with_block, group_user_keys, group_user_keys_with,
+    group_user_strings, group_user_strings_with, GroupedUser, TieBreak,
+};
 pub use input::{ProfileRow, TweetRow};
-pub use metrics::{GeocodeMetrics, GeocodeMode, PipelineMetrics, StageTimings};
+pub use intern::{DistrictInterner, LocationKey};
+pub use metrics::{GeocodeMetrics, GeocodeMode, GroupingMetrics, PipelineMetrics, StageTimings};
 pub use online::OnlineGrouping;
 pub use pipeline::{AnalysisResult, PipelineConfig, RefinementPipeline};
-pub use stir_geokr::{BackendChoice, BackendTraffic, FaultPlan, ResiliencePolicy};
 pub use reliability::ReliabilityWeights;
 pub use stats::{GroupRow, GroupTable};
+pub use stir_geokr::{BackendChoice, BackendTraffic, FaultPlan, ResiliencePolicy};
 pub use string::LocationString;
 pub use topk::TopKGroup;

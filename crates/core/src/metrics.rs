@@ -102,6 +102,54 @@ impl GeocodeMetrics {
     }
 }
 
+/// Grouping-stage detail: interned-merge throughput, vocabulary size, and
+/// scheduler balance of the per-user grouping fan-out.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GroupingMetrics {
+    /// Location strings (packed keys) fed into the merge — one per kept
+    /// GPS tweet of a cohort member.
+    pub strings: u64,
+    /// Users grouped.
+    pub users: u64,
+    /// Distinct `(user, tweet district)` entries after the merge, summed
+    /// over all users — the strings collapse into this many counters.
+    pub merged_entries: u64,
+    /// Distinct `(state, county)` pairs in the district symbol table.
+    pub interner_size: u64,
+    /// Worker threads used by the grouping stage (1 = serial path).
+    pub threads: usize,
+    /// Scheduler blocks completed by each worker thread; `[1]` on the
+    /// serial path, sums to the block count on the parallel path.
+    pub blocks_per_thread: Vec<u64>,
+    /// Wall time of the grouping stage (same value as
+    /// [`StageTimings::grouping`]).
+    pub wall: Duration,
+}
+
+impl GroupingMetrics {
+    /// Location strings merged per second of stage wall time; zero on an
+    /// empty or instantaneous stage.
+    pub fn strings_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 && self.strings > 0 {
+            self.strings as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Merge ratio: input strings per surviving merged entry (≥ 1 when
+    /// anything merged; zero on an empty stage). High means heavy
+    /// duplication — the shape interning exploits.
+    pub fn merge_ratio(&self) -> f64 {
+        if self.merged_entries == 0 {
+            0.0
+        } else {
+            self.strings as f64 / self.merged_entries as f64
+        }
+    }
+}
+
 /// Full observability record for one pipeline run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PipelineMetrics {
@@ -109,6 +157,8 @@ pub struct PipelineMetrics {
     pub stages: StageTimings,
     /// Geocode-stage detail.
     pub geocode: GeocodeMetrics,
+    /// Grouping-stage detail.
+    pub grouping: GroupingMetrics,
 }
 
 impl PipelineMetrics {
@@ -126,8 +176,14 @@ impl PipelineMetrics {
             "  tweet intake   {:>12}\n",
             fmt_duration(s.tweet_intake)
         ));
-        out.push_str(&format!("  geocode        {:>12}\n", fmt_duration(s.geocode)));
-        out.push_str(&format!("  grouping       {:>12}\n", fmt_duration(s.grouping)));
+        out.push_str(&format!(
+            "  geocode        {:>12}\n",
+            fmt_duration(s.geocode)
+        ));
+        out.push_str(&format!(
+            "  grouping       {:>12}\n",
+            fmt_duration(s.grouping)
+        ));
         out.push_str(&format!("  total          {:>12}\n", fmt_duration(s.total)));
         out.push_str(&format!(
             "geocode stage ({}): {} fixes, {:.0} fixes/sec, cache hit ratio {:.1}%\n",
@@ -137,11 +193,7 @@ impl PipelineMetrics {
             100.0 * g.cache_hit_ratio(),
         ));
         if !g.blocks_per_thread.is_empty() {
-            let blocks: Vec<String> = g
-                .blocks_per_thread
-                .iter()
-                .map(|b| b.to_string())
-                .collect();
+            let blocks: Vec<String> = g.blocks_per_thread.iter().map(|b| b.to_string()).collect();
             out.push_str(&format!(
                 "  scheduler: {} threads, blocks per thread [{}]\n",
                 g.threads,
@@ -165,6 +217,24 @@ impl PipelineMetrics {
             out.push_str(&format!(
                 "  simulated API cost: {} quota day(s), {} ms\n",
                 t.quota_days, t.simulated_ms
+            ));
+        }
+        let gr = &self.grouping;
+        out.push_str(&format!(
+            "grouping stage: {} strings over {} users, {:.0} strings/sec, \
+             merge ratio {:.2}, {} interned districts\n",
+            gr.strings,
+            gr.users,
+            gr.strings_per_sec(),
+            gr.merge_ratio(),
+            gr.interner_size,
+        ));
+        if !gr.blocks_per_thread.is_empty() && gr.threads > 1 {
+            let blocks: Vec<String> = gr.blocks_per_thread.iter().map(|b| b.to_string()).collect();
+            out.push_str(&format!(
+                "  scheduler: {} threads, blocks per thread [{}]\n",
+                gr.threads,
+                blocks.join(", ")
             ));
         }
         out
@@ -241,6 +311,15 @@ mod tests {
                     simulated_ms: 1_234,
                 },
             },
+            grouping: GroupingMetrics {
+                strings: 10_000,
+                users: 500,
+                merged_entries: 2_000,
+                interner_size: 229,
+                threads: 4,
+                blocks_per_thread: vec![2, 1, 1, 0],
+                wall: Duration::from_micros(900),
+            },
         };
         assert!(m.geocode.traffic.is_exact());
         let r = m.render();
@@ -256,9 +335,48 @@ mod tests {
             "direct/parallel",
             "resilience: 9 retries, 12 errors, 1 breaker opens, 90 fallbacks (60 stale, 30 local)",
             "simulated API cost: 2 quota day(s), 1234 ms",
+            "grouping stage: 10000 strings over 500 users",
+            "strings/sec",
+            "merge ratio 5.00",
+            "229 interned districts",
+            "4 threads, blocks per thread [2, 1, 1, 0]",
         ] {
             assert!(r.contains(needle), "render missing {needle:?}:\n{r}");
         }
+    }
+
+    #[test]
+    fn grouping_metrics_ratios() {
+        let gr = GroupingMetrics::default();
+        assert_eq!(gr.strings_per_sec(), 0.0);
+        assert_eq!(gr.merge_ratio(), 0.0);
+        let gr = GroupingMetrics {
+            strings: 900,
+            merged_entries: 300,
+            wall: Duration::from_millis(450),
+            ..Default::default()
+        };
+        assert!((gr.strings_per_sec() - 2_000.0).abs() < 1e-9);
+        assert!((gr.merge_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_grouping_renders_no_scheduler_line() {
+        let m = PipelineMetrics {
+            grouping: GroupingMetrics {
+                strings: 10,
+                users: 2,
+                merged_entries: 4,
+                interner_size: 3,
+                threads: 1,
+                blocks_per_thread: vec![1],
+                wall: Duration::from_micros(10),
+            },
+            ..Default::default()
+        };
+        let r = m.render();
+        assert!(r.contains("grouping stage: 10 strings over 2 users"), "{r}");
+        assert_eq!(r.matches("scheduler:").count(), 0, "{r}");
     }
 
     #[test]

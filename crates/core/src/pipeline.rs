@@ -20,6 +20,17 @@
 //! tie-breaking) is the tweet input order. Every run also fills a
 //! [`PipelineMetrics`] — per-stage wall time, geocode throughput, cache hit
 //! ratio, per-thread block counts — returned on [`AnalysisResult`].
+//!
+//! The hot path is **interned** ([`crate::intern`]): at construction the
+//! pipeline interns every gazetteer district's grouping key once (with
+//! [`Granularity`] applied), so the per-tweet work is an id-to-id table
+//! index — no string is hashed, cloned, or even materialized between the
+//! geocoder and the report boundary. The geocode stage asks its backend for
+//! the district *id* ([`Geocoder::resolve_id`]), the grouping stage merges
+//! 16-byte [`LocationKey`]s, and [`GroupedUser`]'s public `String` fields
+//! are resolved from the symbol table once per merged entry at the end.
+//! Per-user grouping fans out over the same block scheduler; results are
+//! stitched in user-id order, so the output is byte-identical to serial.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -27,15 +38,15 @@ use std::time::Instant;
 
 use stir_geoindex::Point;
 use stir_geokr::service::{BackendChoice, FaultPlan, Geocoder, GeocoderBuilder, ResiliencePolicy};
-use stir_geokr::Gazetteer;
+use stir_geokr::{DistrictId as GazDistrictId, Gazetteer};
 use stir_textgeo::{ProfileClass, ProfileClassifier};
 
 use crate::funnel::CollectionFunnel;
 use crate::granularity::Granularity;
-use crate::grouping::{group_user_strings, GroupedUser};
+use crate::grouping::{group_cohort, GroupedUser, TieBreak};
 use crate::input::{ProfileRow, TweetRow};
+use crate::intern::{DistrictId, DistrictInterner, LocationKey};
 use crate::metrics::{GeocodeMetrics, GeocodeMode, PipelineMetrics};
-use crate::string::LocationString;
 
 /// Fixes handed to a worker per scheduler draw. Big enough that the atomic
 /// cursor is cold (one fetch_add per ~2048 lookups), small enough that a
@@ -45,8 +56,8 @@ const GEOCODE_BLOCK: usize = 2048;
 /// Below this many fixes the thread-spawn overhead outweighs the fan-out.
 const PARALLEL_THRESHOLD: usize = 1024;
 
-/// One geocoded fix: `(state, county)`, or `None` outside coverage.
-type ResolvedFix = Option<(String, String)>;
+/// One geocoded fix: the gazetteer district id, or `None` outside coverage.
+type ResolvedFix = Option<GazDistrictId>;
 
 /// Pipeline options.
 #[derive(Clone, Copy, Debug)]
@@ -133,15 +144,34 @@ pub struct RefinementPipeline<'g> {
     gazetteer: &'g Gazetteer,
     classifier: ProfileClassifier<'g>,
     config: PipelineConfig,
+    /// The district symbol table, filled once at construction: every
+    /// gazetteer district's grouping key (granularity applied) is interned
+    /// up front, so the per-tweet path never touches a string.
+    interner: DistrictInterner,
+    /// Gazetteer district id → interned grouping id. Under
+    /// [`Granularity::City`] several gazetteer districts map to one
+    /// interned id (the metropolitan collapse).
+    gaz_to_interned: Vec<DistrictId>,
 }
 
 impl<'g> RefinementPipeline<'g> {
     /// Builds a pipeline with the given options.
     pub fn new(gazetteer: &'g Gazetteer, config: PipelineConfig) -> Self {
+        let mut interner = DistrictInterner::new();
+        let gaz_to_interned = gazetteer
+            .districts()
+            .iter()
+            .map(|d| {
+                let (state, county) = config.granularity.key(d.province.name_en(), d.name_en);
+                interner.intern(&state, &county)
+            })
+            .collect();
         RefinementPipeline {
             gazetteer,
             classifier: ProfileClassifier::new(gazetteer),
             config,
+            interner,
+            gaz_to_interned,
         }
     }
 
@@ -155,12 +185,20 @@ impl<'g> RefinementPipeline<'g> {
         self.gazetteer
     }
 
-    /// Stage 1: classify profiles; returns kept users → profile district.
+    /// The district symbol table. Interned ids returned by
+    /// [`RefinementPipeline::select_users`] resolve to their
+    /// `(state, county)` strings here.
+    pub fn interner(&self) -> &DistrictInterner {
+        &self.interner
+    }
+
+    /// Stage 1: classify profiles; returns kept users → interned profile
+    /// district (resolve through [`RefinementPipeline::interner`]).
     pub fn select_users<I>(
         &self,
         profiles: I,
         funnel: &mut CollectionFunnel,
-    ) -> HashMap<u64, (String, String)>
+    ) -> HashMap<u64, DistrictId>
     where
         I: IntoIterator<Item = ProfileRow>,
     {
@@ -200,21 +238,17 @@ impl<'g> RefinementPipeline<'g> {
             };
             if let Some(id) = district {
                 funnel.users_well_defined += 1;
-                let d = self.gazetteer.district(id);
-                kept.insert(
-                    p.user,
-                    self.config.granularity.key(d.province.name_en(), d.name_en),
-                );
+                kept.insert(p.user, self.gaz_to_interned[id.0 as usize]);
             }
         }
         kept
     }
 
-    /// Stages 2–3: filter and geocode tweets, build strings, group users.
-    /// Fills the intake/geocode/grouping slots of `metrics`.
+    /// Stages 2–3: filter and geocode tweets, build packed location keys,
+    /// group users. Fills the intake/geocode/grouping slots of `metrics`.
     pub fn process_tweets<I>(
         &self,
-        kept: &HashMap<u64, (String, String)>,
+        kept: &HashMap<u64, DistrictId>,
         tweets: I,
         funnel: &mut CollectionFunnel,
         metrics: &mut PipelineMetrics,
@@ -242,35 +276,40 @@ impl<'g> RefinementPipeline<'g> {
         metrics.stages.geocode = geocode_start.elapsed();
         metrics.geocode.wall = metrics.stages.geocode;
 
-        // Build per-user strings in input order.
+        // Build per-user packed keys in input order. Each tweet costs two
+        // table indexes and a 16-byte push — no string is hashed or cloned.
         let grouping_start = Instant::now();
-        let mut per_user: HashMap<u64, Vec<LocationString>> = HashMap::new();
+        let mut per_user: HashMap<u64, Vec<LocationKey>> = HashMap::new();
         for ((user, _tweet_id, _p), rec) in fixes.iter().zip(resolved) {
-            let Some((state_t, county_t)) = rec else {
+            let Some(gaz_id) = rec else {
                 funnel.tweets_gps_unresolvable += 1;
                 continue;
             };
-            let (state_t, county_t) = self.config.granularity.key(&state_t, &county_t);
-            let (state_p, county_p) = &kept[user];
             funnel.strings_built += 1;
-            per_user.entry(*user).or_default().push(LocationString {
+            per_user.entry(*user).or_default().push(LocationKey {
                 user: *user,
-                state_profile: state_p.clone(),
-                county_profile: county_p.clone(),
-                state_tweet: state_t,
-                county_tweet: county_t,
+                profile: kept[user],
+                tweet: self.gaz_to_interned[gaz_id.0 as usize],
             });
         }
 
-        // Group, in user-id order for determinism.
-        let mut users: Vec<u64> = per_user.keys().copied().collect();
-        users.sort_unstable();
-        let grouped: Vec<GroupedUser> = users
-            .into_iter()
-            .filter_map(|u| group_user_strings(&per_user[&u]))
-            .collect();
+        // Group, in user-id order for determinism. Drain the map into a
+        // Vec and sort that once — the old shape sorted a key Vec and then
+        // re-hashed every user through `per_user[&u]`.
+        let mut cohort: Vec<(u64, Vec<LocationKey>)> = per_user.into_iter().collect();
+        cohort.sort_unstable_by_key(|&(user, _)| user);
+        let threads = self.config.threads.max(1);
+        let (grouped, blocks_per_thread) =
+            group_cohort(&cohort, &self.interner, TieBreak::FirstSeen, threads);
         funnel.users_final = grouped.len() as u64;
         metrics.stages.grouping = grouping_start.elapsed();
+        metrics.grouping.strings = funnel.strings_built;
+        metrics.grouping.users = cohort.len() as u64;
+        metrics.grouping.merged_entries = grouped.iter().map(|u| u.entries.len() as u64).sum();
+        metrics.grouping.interner_size = self.interner.len() as u64;
+        metrics.grouping.threads = blocks_per_thread.len();
+        metrics.grouping.blocks_per_thread = blocks_per_thread;
+        metrics.grouping.wall = metrics.stages.grouping;
         grouped
     }
 
@@ -289,7 +328,7 @@ impl<'g> RefinementPipeline<'g> {
         fixes: &[(u64, u64, Point)],
         funnel: &mut CollectionFunnel,
         metrics: &mut GeocodeMetrics,
-    ) -> Vec<Option<(String, String)>> {
+    ) -> Vec<ResolvedFix> {
         metrics.fixes = fixes.len() as u64;
         let choice = self.config.effective_backend();
         let threads = self.config.threads.max(1);
@@ -302,7 +341,7 @@ impl<'g> RefinementPipeline<'g> {
         };
         metrics.threads = if parallel { threads } else { 1 };
         let backend = self.build_backend();
-        let mut out: Vec<Option<(String, String)>> = vec![None; fixes.len()];
+        let mut out: Vec<ResolvedFix> = vec![None; fixes.len()];
         if parallel {
             metrics.blocks_per_thread =
                 geocode_parallel(backend.as_ref(), fixes, &mut out, threads);
@@ -336,24 +375,30 @@ impl<'g> RefinementPipeline<'g> {
         metrics.stages.select_users = select_start.elapsed();
         let users = self.process_tweets(&kept, tweets, &mut funnel, &mut metrics);
         metrics.stages.total = total_start.elapsed();
+        // Resolve the interned profile districts to strings once, at the
+        // boundary — downstream consumers keep their published String view.
+        let kept_profiles = kept
+            .into_iter()
+            .map(|(user, id)| {
+                let (state, county) = self.interner.resolve(id);
+                (user, (state.to_string(), county.to_string()))
+            })
+            .collect();
         AnalysisResult {
             funnel,
             users,
-            kept_profiles: kept,
+            kept_profiles,
             metrics,
         }
     }
 }
 
-/// One fix through any backend: an error is an unresolvable fix (the
-/// resilient backend never errors — its fallback chain absorbs failures;
-/// the raw Yahoo backend can, e.g. on an injected rate-limit burst).
-fn resolve_one(backend: &dyn Geocoder, p: Point) -> Option<(String, String)> {
-    backend
-        .lookup(p)
-        .ok()
-        .flatten()
-        .map(|r| (r.state, r.county))
+/// One fix through any backend, straight to its district id: an error is an
+/// unresolvable fix (the resilient backend never errors — its fallback
+/// chain absorbs failures; the raw Yahoo backend can, e.g. on an injected
+/// rate-limit burst).
+fn resolve_one(backend: &dyn Geocoder, p: Point) -> ResolvedFix {
+    backend.resolve_id(p).ok().flatten()
 }
 
 /// Fans the geocode stage out over `threads` workers with a dynamic block
@@ -368,7 +413,7 @@ fn resolve_one(backend: &dyn Geocoder, p: Point) -> Option<(String, String)> {
 fn geocode_parallel(
     backend: &dyn Geocoder,
     fixes: &[(u64, u64, Point)],
-    out: &mut [Option<(String, String)>],
+    out: &mut [ResolvedFix],
     threads: usize,
 ) -> Vec<u64> {
     // Block size shrinks for small inputs so every thread gets work, but
@@ -403,10 +448,7 @@ fn geocode_parallel(
             let (parts, blocks) = worker.join().expect("geocode worker panicked");
             per_thread_blocks[t] = blocks;
             for (start, resolved) in parts {
-                for (slot, value) in out[start..start + resolved.len()]
-                    .iter_mut()
-                    .zip(resolved)
-                {
+                for (slot, value) in out[start..start + resolved.len()].iter_mut().zip(resolved) {
                     *slot = value;
                 }
             }
@@ -768,5 +810,59 @@ mod tests {
         let rendered = m.render();
         assert!(rendered.contains("geocode"));
         assert!(rendered.contains("cache hit ratio"));
+        // Grouping-stage detail: two strings merged into one entry for one
+        // user, against the full 229-district symbol table.
+        assert_eq!(m.grouping.strings, 2);
+        assert_eq!(m.grouping.users, 1);
+        assert_eq!(m.grouping.merged_entries, 1);
+        assert_eq!(m.grouping.interner_size, 229);
+        assert!((m.grouping.merge_ratio() - 2.0).abs() < 1e-12);
+        assert_eq!(m.stages.grouping, m.grouping.wall);
+        assert!(rendered.contains("grouping stage: 2 strings over 1 users"));
+    }
+
+    #[test]
+    fn interner_is_prebuilt_and_profiles_resolve_through_it() {
+        let g = gaz();
+        let pipe = RefinementPipeline::with_defaults(g);
+        // Every gazetteer district is interned up front, before any tweet.
+        assert_eq!(pipe.interner().len(), 229);
+        let mut funnel = CollectionFunnel::default();
+        let kept = pipe.select_users(vec![profile(1, "Seoul Yangcheon-gu")], &mut funnel);
+        let id = kept[&1];
+        assert_eq!(pipe.interner().resolve(id), ("Seoul", "Yangcheon-gu"));
+        // The boundary resolution run() performs matches.
+        let result = pipe.run(
+            vec![profile(1, "Seoul Yangcheon-gu")],
+            vec![TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1)],
+        );
+        assert_eq!(
+            result.kept_profiles[&1],
+            ("Seoul".to_string(), "Yangcheon-gu".to_string())
+        );
+    }
+
+    #[test]
+    fn city_granularity_collapses_interned_ids() {
+        let g = gaz();
+        let pipe = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                granularity: Granularity::City,
+                ..Default::default()
+            },
+        );
+        // Metropolitan districts collapse, so the city-grain vocabulary is
+        // strictly smaller than the district table.
+        assert!(pipe.interner().len() < 229, "{}", pipe.interner().len());
+        let mut funnel = CollectionFunnel::default();
+        let kept = pipe.select_users(
+            vec![
+                profile(1, "Seoul Yangcheon-gu"),
+                profile(2, "Seoul Jung-gu"),
+            ],
+            &mut funnel,
+        );
+        assert_eq!(kept[&1], kept[&2], "city grain merges Seoul gu");
     }
 }

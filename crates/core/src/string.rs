@@ -5,9 +5,28 @@
 //!
 //! The string shape is `user#state_p#county_p#state_t#county_t`. Keeping the
 //! literal textual form (rather than jumping straight to ids) preserves the
-//! method as published — the grouping step merges *strings*.
+//! method as published — the grouping step merges *strings*. The pipeline's
+//! hot path carries the packed [`LocationKey`] equivalent instead; the two
+//! forms convert losslessly through [`LocationString::to_key`] /
+//! [`LocationString::from_key`].
+//!
+//! # The delimiter constraint
+//!
+//! Because `#` *is* the field delimiter, no field of a well-formed location
+//! string may itself contain `#` (or be empty — an empty field is
+//! indistinguishable from a doubled delimiter). A district name containing
+//! `#` cannot be represented textually: its `Display` output splits into
+//! the wrong number of fields, and worse, some corrupt inputs land on
+//! exactly five fields and would silently mis-split into shifted district
+//! names. [`LocationString::parse`] therefore rejects (returns `None`) any
+//! input whose fields are empty, and round-trips are checked canonically:
+//! `parse(s)` succeeds only if re-rendering the parsed value reproduces `s`
+//! byte for byte, so a mis-split can never pass unnoticed. No real
+//! gazetteer name contains `#`; the constraint costs nothing in practice.
 
 use std::fmt;
+
+use crate::intern::{DistrictInterner, LocationKey};
 
 /// One tweet's location string.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -36,13 +55,33 @@ impl LocationString {
         (&self.state_tweet, &self.county_tweet)
     }
 
+    /// True when every field respects the delimiter constraint: non-empty
+    /// and `#`-free. Only such strings round-trip through
+    /// [`fmt::Display`] / [`LocationString::parse`].
+    pub fn is_well_formed(&self) -> bool {
+        [
+            &self.state_profile,
+            &self.county_profile,
+            &self.state_tweet,
+            &self.county_tweet,
+        ]
+        .iter()
+        .all(|f| !f.is_empty() && !f.contains('#'))
+    }
+
     /// Parses the `user#state#county#state#county` form.
     ///
-    /// Returns `None` unless exactly five `#`-separated fields are present
-    /// and the first parses as a user id.
+    /// Returns `None` unless exactly five `#`-separated fields are present,
+    /// the first parses as a user id, every district field is non-empty,
+    /// and the input is canonical (re-rendering the parsed value reproduces
+    /// the input exactly). The canonicality check is what rejects inputs
+    /// produced by `#`-bearing district names: such text either has the
+    /// wrong field count or would silently mis-split into shifted names,
+    /// and neither can re-render to the original bytes undetected.
     pub fn parse(s: &str) -> Option<Self> {
         let mut parts = s.split('#');
-        let user = parts.next()?.trim().parse().ok()?;
+        let user_text = parts.next()?;
+        let user = user_text.trim().parse().ok()?;
         let state_profile = parts.next()?.to_string();
         let county_profile = parts.next()?.to_string();
         let state_tweet = parts.next()?.to_string();
@@ -50,13 +89,48 @@ impl LocationString {
         if parts.next().is_some() {
             return None;
         }
-        Some(LocationString {
+        let parsed = LocationString {
             user,
             state_profile,
             county_profile,
             state_tweet,
             county_tweet,
-        })
+        };
+        // Reject empty fields and non-canonical spellings (whitespace
+        // around the id, leading zeros, …): anything that does not
+        // re-render to the input bytes is a mis-split or a corruption.
+        if !parsed.is_well_formed() || user_text != user.to_string() {
+            return None;
+        }
+        Some(parsed)
+    }
+
+    /// Interns both district sides, returning the packed hot-path form.
+    /// Lossless together with [`LocationString::from_key`]: the exact
+    /// strings come back out of the interner.
+    pub fn to_key(&self, interner: &mut DistrictInterner) -> LocationKey {
+        LocationKey {
+            user: self.user,
+            profile: interner.intern(&self.state_profile, &self.county_profile),
+            tweet: interner.intern(&self.state_tweet, &self.county_tweet),
+        }
+    }
+
+    /// Reconstructs the published textual form from a packed key.
+    ///
+    /// # Panics
+    /// Panics if either id was not produced by `interner` (use the same
+    /// interner that built the key).
+    pub fn from_key(key: LocationKey, interner: &DistrictInterner) -> Self {
+        let (state_profile, county_profile) = interner.resolve(key.profile);
+        let (state_tweet, county_tweet) = interner.resolve(key.tweet);
+        LocationString {
+            user: key.user,
+            state_profile: state_profile.to_string(),
+            county_profile: county_profile.to_string(),
+            state_tweet: state_tweet.to_string(),
+            county_tweet: county_tweet.to_string(),
+        }
     }
 }
 
@@ -109,6 +183,44 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_empty_fields() {
+        // A doubled delimiter reads as an empty district name — a symptom
+        // of a `#`-bearing name having been split; reject, don't guess.
+        assert!(LocationString::parse("1##b#c#d").is_none());
+        assert!(LocationString::parse("1#a#b#c#").is_none());
+        assert!(LocationString::parse("1#a##c#d").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_noncanonical_user_field() {
+        // " 1" used to parse silently; now only the canonical rendering of
+        // the id is accepted, so parse∘display is the identity.
+        assert!(LocationString::parse(" 1#a#b#c#d").is_none());
+        assert!(LocationString::parse("01#a#b#c#d").is_none());
+        assert!(LocationString::parse("1#a#b#c#d").is_some());
+    }
+
+    #[test]
+    fn hash_bearing_names_cannot_slip_through_the_roundtrip() {
+        // Regression for the delimiter constraint: a district name that
+        // contains '#' renders into extra fields. The round trip must fail
+        // loudly (None), never silently mis-split into shifted names.
+        let mut s = paper_example();
+        s.county_profile = "Yangchun#gu".into();
+        assert!(!s.is_well_formed());
+        assert_eq!(s.to_string(), "100#Seoul#Yangchun#gu#Seoul#Seodaemun-gu");
+        assert!(LocationString::parse(&s.to_string()).is_none());
+        // Even a corrupt input that lands on exactly five fields parses
+        // only if it is self-consistent — the shifted split re-renders to
+        // the same bytes here, so it is *accepted*, but as the five fields
+        // it literally spells, never as a guess at the intended four.
+        let five_fields = "100#Seoul#Yangchun#gu#Seoul";
+        let parsed = LocationString::parse(five_fields).unwrap();
+        assert_eq!(parsed.county_profile, "Yangchun");
+        assert_eq!(parsed.to_string(), five_fields);
+    }
+
+    #[test]
     fn matched_detection() {
         let mut s = paper_example();
         assert!(!s.is_matched());
@@ -117,5 +229,25 @@ mod tests {
         // Same county name in a different state does NOT match.
         s.state_tweet = "Busan".into();
         assert!(!s.is_matched());
+    }
+
+    #[test]
+    fn key_roundtrip_is_lossless() {
+        let mut interner = DistrictInterner::new();
+        let s = paper_example();
+        let key = s.to_key(&mut interner);
+        assert_eq!(LocationString::from_key(key, &interner), s);
+        // Matched-ness carries over to the packed form.
+        let mut home = paper_example();
+        home.county_tweet = "Yangchun-gu".into();
+        let home_key = home.to_key(&mut interner);
+        assert_eq!(home.is_matched(), home_key.is_matched());
+        assert!(home_key.is_matched());
+        // Repeat conversions reuse ids; the vocabulary stays tiny.
+        let again = s.to_key(&mut interner);
+        assert_eq!(again, key);
+        // Only two distinct pairs ever appeared: the shared profile/matched
+        // district and the away tweet district.
+        assert_eq!(interner.len(), 2);
     }
 }

@@ -77,7 +77,10 @@ impl fmt::Display for GeocodeError {
                 write!(f, "no response within the {waited_ms} ms deadline")
             }
             GeocodeError::CircuitOpen { cooldown_left } => {
-                write!(f, "circuit open ({cooldown_left} admissions until half-open probe)")
+                write!(
+                    f,
+                    "circuit open ({cooldown_left} admissions until half-open probe)"
+                )
             }
             GeocodeError::QuotaExhausted(budget) => {
                 write!(f, "client-side daily budget of {budget} requests exhausted")

@@ -147,6 +147,19 @@ impl Gazetteer {
         self.by_name_ko.get(name).map_or(&[], |v| v.as_slice())
     }
 
+    /// The district uniquely keyed by `(state, county)` — the pair a
+    /// [`crate::LocationRecord`] carries (province English name + district
+    /// romanized name). District names repeat across provinces (every large
+    /// city has a "Jung-gu") but are unique within one, so the pair
+    /// identifies at most one district. Used to reattach the district id to
+    /// records parsed back from the Yahoo XML, which does not carry ids.
+    pub fn find_district(&self, state: &str, county: &str) -> Option<DistrictId> {
+        self.find_by_name_en(county)
+            .iter()
+            .copied()
+            .find(|&id| self.district(id).province.name_en() == state)
+    }
+
     /// The district whose centroid is nearest to `p`, together with the
     /// distance in km, or `None` when `p` is outside [`KOREA_BBOX`].
     pub fn nearest_district(&self, p: Point) -> Option<(DistrictId, f64)> {
@@ -284,6 +297,22 @@ mod tests {
             g.find_by_name_en("gangnam-gu")
         );
         assert_eq!(g.find_by_name_en("Gangnam-gu").len(), 1);
+    }
+
+    #[test]
+    fn find_district_disambiguates_by_state() {
+        let g = Gazetteer::load();
+        let seoul = g.find_district("Seoul", "Jung-gu").unwrap();
+        let busan = g.find_district("Busan", "Jung-gu").unwrap();
+        assert_ne!(seoul, busan);
+        assert_eq!(g.district(seoul).province, Province::Seoul);
+        assert_eq!(g.district(busan).province, Province::Busan);
+        assert!(g.find_district("Seoul", "Haeundae-gu").is_none());
+        assert!(g.find_district("Atlantis", "Jung-gu").is_none());
+        // Round trip: every district is found by its own (state, county).
+        for d in g.districts() {
+            assert_eq!(g.find_district(d.province.name_en(), d.name_en), Some(d.id));
+        }
     }
 
     #[test]

@@ -59,7 +59,10 @@ struct Key(i32, i32);
 /// which made the cells straddling 0° double-width and aliased negative
 /// coordinates with positive ones (lat −0.0001 and +0.0001 shared a cell).
 fn key_of(p: Point) -> Key {
-    Key((p.lat * QUANT).floor() as i32, (p.lon * QUANT).floor() as i32)
+    Key(
+        (p.lat * QUANT).floor() as i32,
+        (p.lon * QUANT).floor() as i32,
+    )
 }
 
 /// The quantized cell of a point, exposed for the service layer's stale
@@ -139,7 +142,10 @@ impl<'g> ReverseGeocoder<'g> {
     }
 
     /// A geocoder with the default cache capacity (1M quantized cells).
-    #[deprecated(since = "0.1.0", note = "use `ReverseGeocoder::builder(gazetteer).build_reverse()`")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ReverseGeocoder::builder(gazetteer).build_reverse()`"
+    )]
     pub fn new(gazetteer: &'g Gazetteer) -> Self {
         Self::builder(gazetteer).build_reverse()
     }
@@ -388,11 +394,17 @@ mod tests {
         assert_eq!(via_new.shard_count(), via_builder.shard_count());
         assert_eq!(via_new.resolve(p), via_builder.resolve(p));
         let shimmed = ReverseGeocoder::with_shards(&g, 1 << 10, 4);
-        let built = ReverseGeocoder::builder(&g).capacity(1 << 10).shards(4).build_reverse();
+        let built = ReverseGeocoder::builder(&g)
+            .capacity(1 << 10)
+            .shards(4)
+            .build_reverse();
         assert_eq!(shimmed.shard_count(), built.shard_count());
         assert_eq!(
             ReverseGeocoder::with_capacity(&g, 64).resolve(p),
-            ReverseGeocoder::builder(&g).capacity(64).build_reverse().resolve(p)
+            ReverseGeocoder::builder(&g)
+                .capacity(64)
+                .build_reverse()
+                .resolve(p)
         );
     }
 

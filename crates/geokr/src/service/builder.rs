@@ -253,7 +253,10 @@ mod tests {
     #[test]
     fn builder_forwards_cache_geometry() {
         let g = Gazetteer::load();
-        let geo = GeocoderBuilder::new(&g).capacity(1 << 10).shards(9).build_reverse();
+        let geo = GeocoderBuilder::new(&g)
+            .capacity(1 << 10)
+            .shards(9)
+            .build_reverse();
         assert_eq!(geo.shard_count(), 16);
     }
 

@@ -150,8 +150,8 @@ impl FaultPlan {
                 }
                 other => {
                     return Err(format!(
-                        "unknown fault kind {other:?} (expected drop, delay, malformed, quota or seed)"
-                    ))
+                    "unknown fault kind {other:?} (expected drop, delay, malformed, quota or seed)"
+                ))
                 }
             }
         }
@@ -250,8 +250,8 @@ mod tests {
         assert_eq!(plan.drop_rate, 0.1);
         assert!(!plan.is_quiet());
 
-        let plan = FaultPlan::parse("drop:0.1,delay:0.05@400,malformed:0.01,quota:0.02,seed:42")
-            .unwrap();
+        let plan =
+            FaultPlan::parse("drop:0.1,delay:0.05@400,malformed:0.01,quota:0.02,seed:42").unwrap();
         assert_eq!(plan.delay_rate, 0.05);
         assert_eq!(plan.delay_ms, 400);
         assert_eq!(plan.seed, 42);

@@ -101,6 +101,16 @@ pub trait Geocoder: Send + Sync {
         points.iter().map(|&p| self.lookup(p)).collect()
     }
 
+    /// Resolves one point straight to its gazetteer district id, or
+    /// `Ok(None)` outside coverage. Same answer as
+    /// [`Geocoder::lookup`]`.map(|r| r.district)` — every backend ultimately
+    /// answers from the gazetteer, whose records carry their id — but hot
+    /// paths that only need the district can skip materializing the record
+    /// (the local geocoder's override allocates nothing at all).
+    fn resolve_id(&self, p: Point) -> Result<Option<crate::DistrictId>, GeocodeError> {
+        Ok(self.lookup(p)?.and_then(|r| r.district))
+    }
+
     /// Snapshot of this backend's traffic counters (exact once concurrent
     /// callers have joined).
     fn traffic(&self) -> BackendTraffic;
@@ -121,6 +131,12 @@ impl Geocoder for ReverseGeocoder<'_> {
             .into_iter()
             .map(Ok)
             .collect()
+    }
+
+    /// Zero-allocation override: skips the [`LocationRecord`] (and its
+    /// synthesized town label) entirely — one sharded-cache probe, one id.
+    fn resolve_id(&self, p: Point) -> Result<Option<crate::DistrictId>, GeocodeError> {
+        Ok(self.resolve(p))
     }
 
     fn traffic(&self) -> BackendTraffic {
@@ -149,7 +165,10 @@ mod tests {
         let g = Gazetteer::load();
         let backend: Box<dyn Geocoder + '_> = ReverseGeocoder::builder(&g).build();
         assert_eq!(backend.name(), "gazetteer");
-        let rec = backend.lookup(Point::new(37.517, 127.047)).unwrap().unwrap();
+        let rec = backend
+            .lookup(Point::new(37.517, 127.047))
+            .unwrap()
+            .unwrap();
         assert_eq!(rec.county, "Gangnam-gu");
         assert_eq!(backend.lookup(Point::new(35.68, 139.69)).unwrap(), None);
         let t = backend.traffic();
@@ -157,6 +176,18 @@ mod tests {
         assert_eq!(t.resolved, 1);
         assert_eq!(t.misses, 1);
         assert!(t.is_exact());
+    }
+
+    #[test]
+    fn resolve_id_matches_lookup_district() {
+        let g = Gazetteer::load();
+        let backend: Box<dyn Geocoder + '_> = ReverseGeocoder::builder(&g).build();
+        let inside = Point::new(37.517, 127.047);
+        let outside = Point::new(35.68, 139.69);
+        let id = backend.resolve_id(inside).unwrap().unwrap();
+        assert_eq!(g.district(id).name_en, "Gangnam-gu");
+        assert_eq!(backend.lookup(inside).unwrap().unwrap().district, Some(id));
+        assert_eq!(backend.resolve_id(outside).unwrap(), None);
     }
 
     #[test]

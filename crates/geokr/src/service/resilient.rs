@@ -326,7 +326,10 @@ mod tests {
         assert!(t.retries > 0, "a 30% schedule must retry somewhere");
         assert_eq!(t.errors, t.retries, "every error was retried away");
         assert!(t.is_exact());
-        assert!(t.simulated_ms > 0, "backoff and timeouts cost simulated time");
+        assert!(
+            t.simulated_ms > 0,
+            "backoff and timeouts cost simulated time"
+        );
     }
 
     #[test]

@@ -139,7 +139,10 @@ mod tests {
         // 10 requests at 3/day: days 1..4 (3+3+3+1).
         assert_eq!(backend.quota_days(), 4);
         let t = backend.traffic();
-        assert!(t.is_exact(), "identity must survive rollover retries: {t:?}");
+        assert!(
+            t.is_exact(),
+            "identity must survive rollover retries: {t:?}"
+        );
         assert_eq!(t.resolved, 10);
     }
 

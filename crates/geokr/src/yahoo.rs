@@ -102,16 +102,18 @@ fn element_text<'a>(xml: &'a str, tag: &str) -> Option<&'a str> {
     Some(&xml[start..end])
 }
 
-/// Parses a Fig. 5 response back into a [`LocationRecord`] (without the
-/// district id, which the XML does not carry). Returns `Ok(None)` for a
+/// Parses a Fig. 5 response back into a [`LocationRecord`]. The XML does
+/// not carry the district id, so `district` is `None` here;
+/// [`YahooPlaceFinder::lookup`] reattaches it from the gazetteer's
+/// `(state, county)` index after parsing. Returns `Ok(None)` for a
 /// well-formed response with `<Found>0</Found>`.
 pub fn parse_response(xml: &str) -> Result<Option<LocationRecord>, GeocodeError> {
     let found = element_text(xml, "Found").ok_or_else(|| GeocodeError::from("missing <Found>"))?;
     match found.trim() {
         "0" => Ok(None),
         "1" => {
-            let location =
-                element_text(xml, "location").ok_or_else(|| GeocodeError::from("missing <location>"))?;
+            let location = element_text(xml, "location")
+                .ok_or_else(|| GeocodeError::from("missing <location>"))?;
             let field = |tag: &str| -> Result<String, GeocodeError> {
                 element_text(location, tag)
                     .map(|s| xml_unescape(s.trim()))
@@ -178,7 +180,11 @@ impl<'g> YahooPlaceFinder<'g> {
     /// An endpoint with explicit quota/latency parameters.
     pub fn with_limits(gazetteer: &'g Gazetteer, daily_quota: u64, latency_ms: u64) -> Self {
         YahooPlaceFinder {
-            geocoder: ReverseGeocoder::assemble(gazetteer, 1 << 20, crate::reverse::default_shard_count()),
+            geocoder: ReverseGeocoder::assemble(
+                gazetteer,
+                1 << 20,
+                crate::reverse::default_shard_count(),
+            ),
             daily_quota,
             latency_ms_per_request: latency_ms,
             deadline_ms: None,
@@ -243,7 +249,9 @@ impl<'g> YahooPlaceFinder<'g> {
         if let Some(deadline) = self.deadline_ms {
             if latency > deadline {
                 self.simulated_ms.fetch_add(deadline, Ordering::Relaxed);
-                return Err(GeocodeError::Timeout { waited_ms: deadline });
+                return Err(GeocodeError::Timeout {
+                    waited_ms: deadline,
+                });
             }
         }
         self.simulated_ms.fetch_add(latency, Ordering::Relaxed);
@@ -256,10 +264,24 @@ impl<'g> YahooPlaceFinder<'g> {
     }
 
     /// Issues a request and parses the response — the full round trip the
-    /// paper's pipeline performed per GPS tweet.
+    /// paper's pipeline performed per GPS tweet. The district id (which the
+    /// XML cannot carry) is reattached from the gazetteer's unique
+    /// `(state, county)` index, so records from this path are as complete
+    /// as the local geocoder's.
     pub fn lookup(&self, p: Point) -> Result<Option<LocationRecord>, GeocodeError> {
         self.calls.fetch_add(1, Ordering::Relaxed);
-        let out = self.request_xml(p).and_then(|xml| parse_response(&xml));
+        let out = self
+            .request_xml(p)
+            .and_then(|xml| parse_response(&xml))
+            .map(|opt| {
+                opt.map(|mut rec| {
+                    rec.district = self
+                        .geocoder
+                        .gazetteer()
+                        .find_district(&rec.state, &rec.county);
+                    rec
+                })
+            });
         match &out {
             Ok(Some(_)) => self.call_resolved.fetch_add(1, Ordering::Relaxed),
             Ok(None) => self.call_misses.fetch_add(1, Ordering::Relaxed),
@@ -331,6 +353,10 @@ mod tests {
         assert_eq!(rec.state, "Seoul");
         assert_eq!(rec.county, "Gangnam-gu");
         assert_eq!(rec.country, "South Korea");
+        // The XML drops the id; lookup() reattaches it from the gazetteer,
+        // and it must agree with the direct resolution of the same point.
+        assert_eq!(rec.district, g.resolve_point(p));
+        assert!(rec.district.is_some());
     }
 
     #[test]
@@ -416,7 +442,12 @@ mod tests {
         };
         let api = YahooPlaceFinder::with_limits(&g, 10, 120).with_fault_plan(plan);
         let out = api.lookup(Point::new(37.517, 127.047));
-        assert_eq!(out, Err(GeocodeError::Timeout { waited_ms: DROP_WAIT_MS }));
+        assert_eq!(
+            out,
+            Err(GeocodeError::Timeout {
+                waited_ms: DROP_WAIT_MS
+            })
+        );
         // The request was issued before it vanished: the quota slot is gone
         // and the client's deadline wait is on the simulated clock.
         assert_eq!(api.requests(), 1);

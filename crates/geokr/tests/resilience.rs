@@ -123,7 +123,10 @@ fn eight_thread_hammer_counts_fallbacks_exactly() {
     assert_eq!(t.resolved, 0, "nothing gets through a 100% drop schedule");
     assert_eq!(t.retries, total * 2);
     assert_eq!(t.errors, total * 3);
-    assert_eq!(t.fallbacks, total * locally_resolvable / points.len() as u64);
+    assert_eq!(
+        t.fallbacks,
+        total * locally_resolvable / points.len() as u64
+    );
     assert_eq!(t.misses, total - t.fallbacks);
     assert_eq!(t.local_fallbacks, total, "no stale entries exist to serve");
     assert_eq!(t.stale_fallbacks, 0);
@@ -145,11 +148,7 @@ fn concurrent_quota_admits_exactly_the_daily_limit() {
         let handles: Vec<_> = (0..THREADS)
             .map(|_| {
                 let api = &api;
-                s.spawn(move || {
-                    (0..PER_THREAD)
-                        .filter(|_| api.lookup(p).is_ok())
-                        .count() as u64
-                })
+                s.spawn(move || (0..PER_THREAD).filter(|_| api.lookup(p).is_ok()).count() as u64)
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).sum()

@@ -47,9 +47,12 @@ fn sample_strings(opts: &Options, max_users: usize) -> Vec<Vec<LocationString>> 
         if out.len() >= max_users {
             break;
         }
-        let Some((state_p, county_p)) = kept.get(&u.id.0) else {
+        let Some(&profile_id) = kept.get(&u.id.0) else {
             continue;
         };
+        // select_users hands back interned ids; the published string form
+        // comes out of the pipeline's symbol table.
+        let (state_p, county_p) = pipeline.interner().resolve(profile_id);
         let tweets = dataset.user_tweets(g, u.id);
         let strings: Vec<LocationString> = tweets
             .iter()
@@ -58,8 +61,8 @@ fn sample_strings(opts: &Options, max_users: usize) -> Vec<Vec<LocationString>> 
                 let rec = reverse.lookup(p)?;
                 Some(LocationString {
                     user: u.id.0,
-                    state_profile: state_p.clone(),
-                    county_profile: county_p.clone(),
+                    state_profile: state_p.to_string(),
+                    county_profile: county_p.to_string(),
                     state_tweet: rec.state,
                     county_tweet: rec.county,
                 })

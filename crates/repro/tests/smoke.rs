@@ -119,8 +119,15 @@ fn verbose_prints_stage_metrics() {
         "tweet intake",
         "fixes/sec",
         "cache hit ratio",
+        "grouping stage:",
+        "strings/sec",
+        "merge ratio",
+        "interned districts",
     ] {
-        assert!(stderr.contains(marker), "missing {marker:?} in stderr:\n{stderr}");
+        assert!(
+            stderr.contains(marker),
+            "missing {marker:?} in stderr:\n{stderr}"
+        );
     }
     // Without --verbose the timing block stays out of both streams, keeping
     // stdout deterministic and stderr limited to progress lines.
@@ -153,6 +160,69 @@ fn resilient_backend_rides_out_faults_without_changing_figures() {
         clean.0, faulted.0,
         "fault injection leaked into figure output"
     );
+}
+
+#[test]
+fn figures_are_invariant_across_threads_and_backends() {
+    // The interned, parallel grouping engine must not move a byte of
+    // figure or table output: fig7 and table2 are pinned across every
+    // thread-count × backend combination the acceptance criteria name.
+    let fig7_base = run(&[
+        "fig7",
+        "--scale",
+        "0.05",
+        "--seed",
+        "2012",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(fig7_base.2, Some(0), "stderr:\n{}", fig7_base.1);
+    let table2_base = run(&[
+        "table2",
+        "--scale",
+        "0.05",
+        "--seed",
+        "2012",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(table2_base.2, Some(0), "stderr:\n{}", table2_base.1);
+    for threads in ["1", "8"] {
+        for backend in ["gazetteer", "resilient"] {
+            let fig7 = run(&[
+                "fig7",
+                "--scale",
+                "0.05",
+                "--seed",
+                "2012",
+                "--threads",
+                threads,
+                "--backend",
+                backend,
+            ]);
+            assert_eq!(fig7.2, Some(0), "stderr:\n{}", fig7.1);
+            assert_eq!(
+                fig7_base.0, fig7.0,
+                "fig7 drifted at threads={threads} backend={backend}"
+            );
+            let table2 = run(&[
+                "table2",
+                "--scale",
+                "0.05",
+                "--seed",
+                "2012",
+                "--threads",
+                threads,
+                "--backend",
+                backend,
+            ]);
+            assert_eq!(table2.2, Some(0), "stderr:\n{}", table2.1);
+            assert_eq!(
+                table2_base.0, table2.0,
+                "table2 drifted at threads={threads} backend={backend}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -3,11 +3,19 @@
 
 use proptest::prelude::*;
 use stir::core::{
-    group_user_strings, group_user_strings_with, GroupTable, LocationString, OnlineGrouping,
-    ProfileRow, RefinementPipeline, TieBreak, TopKGroup, TweetRow,
+    group_cohort_with_block, group_user_keys_with, group_user_strings, group_user_strings_with,
+    DistrictInterner, GroupTable, LocationKey, LocationString, OnlineGrouping, ProfileRow,
+    RefinementPipeline, TieBreak, TopKGroup, TweetRow,
 };
 use stir::geoindex::Point;
 use stir::geokr::Gazetteer;
+
+const POLICIES: [TieBreak; 4] = [
+    TieBreak::FirstSeen,
+    TieBreak::Alphabetical,
+    TieBreak::MatchedFirst,
+    TieBreak::MatchedLast,
+];
 
 fn gaz() -> &'static Gazetteer {
     use std::sync::OnceLock;
@@ -141,6 +149,109 @@ proptest! {
         prop_assert_eq!(&snapshot[0].matched_rank, &batch.matched_rank);
         prop_assert_eq!(&snapshot[0].entries, &batch.entries);
         prop_assert_eq!(online.group_of(1), Some(batch.group()));
+    }
+
+    #[test]
+    fn interned_grouping_equals_string_grouping(
+        pairs in prop::collection::vec((0u64..4, 0usize..8), 1..150),
+        profile_idx in 0usize..8,
+    ) {
+        // Arbitrary users over an 8-district vocabulary (indices 5..8 wrap
+        // onto 0..5 keys with a distinct state so same-name counties across
+        // states are exercised); every user shares one profile district.
+        let keys = tweet_keys();
+        let district = |i: usize| -> (String, String) {
+            let (s, c) = keys[i % keys.len()];
+            if i >= keys.len() {
+                (format!("Other-{}", s), c.to_string())
+            } else {
+                (s.to_string(), c.to_string())
+            }
+        };
+        let (state_p, county_p) = district(profile_idx);
+        let mut interner = DistrictInterner::new();
+        for user in 0u64..4 {
+            let strings: Vec<LocationString> = pairs
+                .iter()
+                .filter(|&&(u, _)| u == user)
+                .map(|&(_, i)| {
+                    let (state_t, county_t) = district(i);
+                    LocationString {
+                        user,
+                        state_profile: state_p.clone(),
+                        county_profile: county_p.clone(),
+                        state_tweet: state_t,
+                        county_tweet: county_t,
+                    }
+                })
+                .collect();
+            let packed: Vec<LocationKey> =
+                strings.iter().map(|s| s.to_key(&mut interner)).collect();
+            for tb in POLICIES {
+                let via_strings = group_user_strings_with(&strings, tb);
+                let via_keys = group_user_keys_with(&packed, tb, &interner);
+                match (via_strings, via_keys) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        prop_assert_eq!(a.user, b.user, "{:?}", tb);
+                        prop_assert_eq!(&a.state_profile, &b.state_profile, "{:?}", tb);
+                        prop_assert_eq!(&a.county_profile, &b.county_profile, "{:?}", tb);
+                        prop_assert_eq!(&a.entries, &b.entries, "{:?}", tb);
+                        prop_assert_eq!(a.matched_rank, b.matched_rank, "{:?}", tb);
+                    }
+                    (a, b) => prop_assert!(false, "{:?}: {:?} vs {:?}", tb, a.is_some(), b.is_some()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_grouping_equals_serial_at_any_geometry(
+        sizes in prop::collection::vec(0usize..9, 1..40),
+        threads in 1usize..9,
+        block in 1usize..65,
+        tb_idx in 0usize..4,
+    ) {
+        // A cohort with arbitrary per-user tweet counts (empty users are
+        // dropped by both paths), grouped serially and through the block
+        // scheduler at an arbitrary thread/block geometry.
+        let keys = tweet_keys();
+        let mut interner = DistrictInterner::new();
+        let ids: Vec<_> = keys
+            .iter()
+            .map(|(s, c)| interner.intern(s, c))
+            .collect();
+        let cohort: Vec<(u64, Vec<LocationKey>)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(u, &n)| {
+                let user = u as u64;
+                let keys: Vec<LocationKey> = (0..n)
+                    .map(|i| LocationKey {
+                        user,
+                        profile: ids[u % ids.len()],
+                        tweet: ids[(u + 2 * i + 1) % ids.len()],
+                    })
+                    .collect();
+                (user, keys)
+            })
+            .collect();
+        let tb = POLICIES[tb_idx];
+        let (serial, serial_blocks) = group_cohort_with_block(&cohort, &interner, tb, 1, cohort.len().max(1));
+        let (parallel, blocks) = group_cohort_with_block(&cohort, &interner, tb, threads, block);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(a.user, b.user);
+            prop_assert_eq!(&a.entries, &b.entries);
+            prop_assert_eq!(a.matched_rank, b.matched_rank);
+        }
+        // The scheduler accounting is exact at any geometry.
+        prop_assert_eq!(blocks.len(), threads);
+        prop_assert_eq!(
+            blocks.iter().sum::<u64>() as usize,
+            cohort.len().div_ceil(block)
+        );
+        prop_assert_eq!(serial_blocks.iter().sum::<u64>(), 1);
     }
 
     #[test]

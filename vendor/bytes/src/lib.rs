@@ -157,7 +157,10 @@ impl BytesMut {
 
     /// Freezes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data, pos: 0 }
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
     }
 }
 

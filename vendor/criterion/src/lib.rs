@@ -95,8 +95,7 @@ impl Bencher {
             for _ in 0..iters_per_sample {
                 std::hint::black_box(f());
             }
-            self.samples
-                .push(start.elapsed() / iters_per_sample as u32);
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
         }
         self.samples.sort_unstable();
     }
