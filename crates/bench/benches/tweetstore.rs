@@ -1,11 +1,12 @@
-//! Tweet store benchmarks: ingest and the three index paths vs full scan.
+//! Tweet store benchmarks: ingest, the three index paths vs full scan, and
+//! the pruned zero-copy scan engine vs naive full decode (E20).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use stir_geoindex::{BBox, Point};
-use stir_tweetstore::{Query, TweetRecord, TweetStore};
+use stir_tweetstore::{Query, ScanOptions, TweetRecord, TweetStore};
 
 fn records(n: usize, seed: u64) -> Vec<TweetRecord> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -80,9 +81,101 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
+/// A corpus shaped like real ingest: timestamps mostly increase with append
+/// order (so segment zone maps carve the time axis into disjoint ranges) and
+/// every record carries realistic text (so a full decode pays the String
+/// allocation and UTF-8 validation the header scan skips).
+fn scan_corpus(n: usize, gps_density: f64, seed: u64) -> Vec<TweetRecord> {
+    const DAYS: u64 = 90;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| TweetRecord {
+            id: i as u64,
+            user: rng.gen_range(0..1_000),
+            timestamp: (i as u64 * DAYS * 86_400) / n as u64 + rng.gen_range(0..1_800),
+            gps: rng
+                .gen_bool(gps_density)
+                .then(|| Point::new(rng.gen_range(33.0..38.7), rng.gen_range(124.5..131.0))),
+            text: format!(
+                "tweet number {i} passing through Jung-gu station on the way to \
+                 work, thinking about lunch near city hall"
+            ),
+        })
+        .collect()
+}
+
+fn scan_store(recs: &[TweetRecord]) -> TweetStore {
+    // Small segments give the zone maps fine pruning granularity.
+    let mut store = TweetStore::with_segment_bytes(16 * 1024);
+    for r in recs {
+        store.append(r);
+    }
+    store
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tweetstore/scan");
+    for &(n, density, label) in &[
+        (50_000usize, 0.05, "50k_gps5"),
+        (200_000, 0.05, "200k_gps5"),
+        (200_000, 0.5, "200k_gps50"),
+    ] {
+        let recs = scan_corpus(n, density, 3);
+        let store = scan_store(&recs);
+        group.throughput(Throughput::Elements(n as u64));
+
+        // Selective query: one mid-corpus day out of 90. Zone maps skip
+        // every segment outside that day without touching a byte.
+        let day = Query::all().between(45 * 86_400, 46 * 86_400);
+        group.bench_with_input(BenchmarkId::new("pruned_selective", label), &day, |b, q| {
+            b.iter(|| {
+                let (ids, _) =
+                    q.scan_filtered(&store, &ScanOptions::serial(), |v| Some(v.header.id));
+                black_box(ids.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_selective", label), &day, |b, q| {
+            // Same predicate, answered by decoding every record in full.
+            b.iter(|| {
+                store
+                    .scan()
+                    .filter_map(|r| r.ok())
+                    .filter(|r| q.matches(r))
+                    .fold(0usize, |n, r| {
+                        black_box(r.id);
+                        n + 1
+                    })
+            })
+        });
+
+        // Unselective scan: every record matches, so the only difference is
+        // header-only decode vs full decode (text alloc + UTF-8 check).
+        let all = Query::all();
+        group.bench_with_input(BenchmarkId::new("header_only_full", label), &all, |b, q| {
+            b.iter(|| {
+                let mut seen = 0u64;
+                q.for_each(&store, |v| {
+                    seen += v.header.user;
+                });
+                black_box(seen)
+            })
+        });
+        group.bench_function(BenchmarkId::new("full_decode_full", label), |b| {
+            b.iter(|| {
+                store
+                    .scan()
+                    .filter_map(|r| r.ok())
+                    .map(|r| black_box(r.user))
+                    .sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_ingest, bench_queries
+    targets = bench_ingest, bench_queries, bench_scan
 }
 criterion_main!(benches);

@@ -159,6 +159,10 @@ pub struct PipelineMetrics {
     pub geocode: GeocodeMetrics,
     /// Grouping-stage detail.
     pub grouping: GroupingMetrics,
+    /// Store-scan detail when the run was fed from a `TweetStore`
+    /// (segments pruned, decode volume, throughput); `None` on row-fed
+    /// runs.
+    pub scan: Option<stir_tweetstore::ScanMetrics>,
 }
 
 impl PipelineMetrics {
@@ -236,6 +240,9 @@ impl PipelineMetrics {
                 gr.threads,
                 blocks.join(", ")
             ));
+        }
+        if let Some(scan) = &self.scan {
+            out.push_str(&scan.render());
         }
         out
     }
@@ -320,6 +327,7 @@ mod tests {
                 blocks_per_thread: vec![2, 1, 1, 0],
                 wall: Duration::from_micros(900),
             },
+            scan: None,
         };
         assert!(m.geocode.traffic.is_exact());
         let r = m.render();
@@ -377,6 +385,39 @@ mod tests {
         let r = m.render();
         assert!(r.contains("grouping stage: 10 strings over 2 users"), "{r}");
         assert_eq!(r.matches("scheduler:").count(), 0, "{r}");
+    }
+
+    #[test]
+    fn scan_metrics_render_when_present() {
+        let m = PipelineMetrics::default();
+        assert!(!m.render().contains("store scan:"));
+        let m = PipelineMetrics {
+            scan: Some(stir_tweetstore::ScanMetrics {
+                segments_total: 10,
+                segments_pruned: 4,
+                records_stored: 1_000,
+                records_pruned: 400,
+                headers_decoded: 600,
+                records_rejected: 100,
+                records_yielded: 500,
+                bytes_stored: 80_000,
+                bytes_decoded: 12_000,
+                threads: 1,
+                blocks_per_thread: vec![6],
+                wall: Duration::from_millis(2),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let r = m.render();
+        for needle in [
+            "store scan: 4/10 segments pruned, 400/1000 records skipped (40.0%)",
+            "headers decoded 600  rejected 100  yielded 500",
+            "bytes decoded 12000 of 80000 stored (15.0%)",
+            "records/sec",
+        ] {
+            assert!(r.contains(needle), "render missing {needle:?}:\n{r}");
+        }
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct Options {
     pub faults: FaultPlan,
     /// Print pipeline stage timings / geocode throughput after each run.
     pub verbose: bool,
+    /// Route tweets through a `TweetStore` and the zero-copy store scan
+    /// instead of feeding rows directly (`--from-store`).
+    pub from_store: bool,
 }
 
 impl Default for Options {
@@ -37,6 +40,7 @@ impl Default for Options {
             backend: BackendChoice::default(),
             faults: FaultPlan::default(),
             verbose: false,
+            from_store: false,
         }
     }
 }
@@ -92,17 +96,42 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
         user: u.id.0,
         location_text: u.location_text.clone(),
     });
-    let tweets = dataset.users.iter().flat_map(|u| {
-        dataset
-            .user_tweets(gazetteer, u.id)
-            .into_iter()
-            .map(|t| TweetRow {
+    let result = if opts.from_store {
+        // Store-backed path: ingest the corpus into a TweetStore, then
+        // stream it back out through the zero-copy header scan. Append
+        // order equals the row-based iteration order, so figure output is
+        // byte-identical to the direct path.
+        let mut store = stir_tweetstore::TweetStore::new();
+        dataset.for_each_tweet(gazetteer, |t| {
+            store.append(&stir_tweetstore::TweetRecord {
+                id: t.id.0,
                 user: t.user.0,
-                tweet_id: t.id.0,
+                timestamp: t.timestamp,
                 gps: t.gps,
-            })
-    });
-    let result = pipeline.run(profiles, tweets);
+                text: t.text.clone(),
+            });
+        });
+        eprintln!(
+            "[{}] store: {} records in {} segment(s), {} payload bytes",
+            label,
+            store.len(),
+            store.stats().segments,
+            store.stats().payload_bytes
+        );
+        stir::store_pipeline::run_from_store(&pipeline, profiles, &store)
+    } else {
+        let tweets = dataset.users.iter().flat_map(|u| {
+            dataset
+                .user_tweets(gazetteer, u.id)
+                .into_iter()
+                .map(|t| TweetRow {
+                    user: t.user.0,
+                    tweet_id: t.id.0,
+                    gps: t.gps,
+                })
+        });
+        pipeline.run(profiles, tweets)
+    };
     eprintln!(
         "[{}] final cohort {} users / {} strings",
         label, result.funnel.users_final, result.funnel.strings_built

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]
-//!                    [--backend gazetteer|yahoo|resilient] [--faults SPEC] [--verbose]
+//!                    [--backend gazetteer|yahoo|resilient] [--faults SPEC]
+//!                    [--from-store] [--verbose]
 //!
 //! experiments:
 //!   table1    Table I   example location strings
@@ -122,6 +123,7 @@ fn parse(args: &[String]) -> Result<(String, Options, PathBuf), String> {
                     stir_core::FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?;
             }
             "--verbose" | "-v" => opts.verbose = true,
+            "--from-store" => opts.from_store = true,
             "--out" => {
                 out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?);
             }
@@ -141,10 +143,13 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]\n\
-         \x20                        [--backend gazetteer|yahoo|resilient] [--faults SPEC] [--via-yahoo-xml] [--verbose]\n\n\
+         \x20                        [--backend gazetteer|yahoo|resilient] [--faults SPEC] [--via-yahoo-xml]\n\
+         \x20                        [--from-store] [--verbose]\n\n\
          --backend selects the geocoding service (default gazetteer); --faults injects a\n\
          seeded fault schedule at the yahoo endpoint, e.g. drop:0.1,delay:0.05@250,malformed:0.01,seed:42\n\
-         (the resilient backend rides faults out without changing any figure output)\n\n\
+         (the resilient backend rides faults out without changing any figure output);\n\
+         --from-store routes tweets through a TweetStore and the zero-copy header scan\n\
+         instead of feeding rows directly (figure output is byte-identical either way)\n\n\
          experiments: table1 table2 fig3 fig4 fig5 funnel fig6 fig7 tweets compare eventloc ablation regional export detect nonegroup diurnal report sensitivity all"
     );
 }
@@ -178,6 +183,7 @@ mod tests {
             "--threads",
             "2",
             "--via-yahoo-xml",
+            "--from-store",
             "--verbose",
             "--out",
             "/tmp/x",
@@ -188,6 +194,7 @@ mod tests {
         assert!((opts.scale - 0.5).abs() < 1e-12);
         assert_eq!(opts.threads, 2);
         assert!(opts.via_yahoo_xml);
+        assert!(opts.from_store);
         assert!(opts.verbose);
         assert_eq!(out, PathBuf::from("/tmp/x"));
     }
@@ -226,6 +233,14 @@ mod tests {
         assert!(!opts.verbose);
         let (_, opts, _) = parse(&args(&["funnel", "-v"])).unwrap();
         assert!(opts.verbose);
+    }
+
+    #[test]
+    fn parse_from_store_defaults_off() {
+        let (_, opts, _) = parse(&args(&["fig7"])).unwrap();
+        assert!(!opts.from_store);
+        let (_, opts, _) = parse(&args(&["fig7", "--from-store"])).unwrap();
+        assert!(opts.from_store);
     }
 
     #[test]

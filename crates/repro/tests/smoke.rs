@@ -226,6 +226,27 @@ fn figures_are_invariant_across_threads_and_backends() {
 }
 
 #[test]
+fn store_backed_run_is_byte_identical_to_row_based() {
+    // S6 acceptance bar: routing the corpus through a TweetStore and the
+    // zero-copy header scan (`--from-store`) must not move a byte of
+    // figure output relative to the direct row-fed path.
+    let rows = run(&["fig7", "--scale", "0.05", "--seed", "2012"]);
+    assert_eq!(rows.2, Some(0), "stderr:\n{}", rows.1);
+    let store = run(&["fig7", "--scale", "0.05", "--seed", "2012", "--from-store"]);
+    assert_eq!(store.2, Some(0), "stderr:\n{}", store.1);
+    assert_eq!(
+        rows.0, store.0,
+        "--from-store drifted from the row-based run"
+    );
+    // The store path announces itself on stderr (segment/byte counts).
+    assert!(
+        store.1.contains("store:"),
+        "store path left no trace in stderr:\n{}",
+        store.1
+    );
+}
+
+#[test]
 fn deterministic_across_invocations() {
     let a = run(&["fig7", "--scale", "0.02", "--seed", "9"]);
     let b = run(&["fig7", "--scale", "0.02", "--seed", "9"]);

@@ -159,6 +159,164 @@ pub fn decode_record<B: Buf>(buf: &mut B) -> Result<TweetRecord, CodecError> {
     })
 }
 
+/// The fixed fields of a stored tweet, decoded without touching the text.
+///
+/// This is the first phase of the two-phase decode: everything a query
+/// predicate can test (id, user, timestamp, GPS) costs a header decode
+/// only; the text `String` — the one heap allocation in
+/// [`decode_record`] — is deferred until a consumer actually asks for it
+/// through [`TweetView::text`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TweetHeader {
+    /// Tweet id.
+    pub id: u64,
+    /// Author user id.
+    pub user: u64,
+    /// Seconds since the collection-window epoch.
+    pub timestamp: u64,
+    /// GPS coordinates, if the client attached them.
+    pub gps: Option<Point>,
+}
+
+impl TweetRecord {
+    /// The record's fixed fields as a [`TweetHeader`].
+    pub fn header(&self) -> TweetHeader {
+        TweetHeader {
+            id: self.id,
+            user: self.user,
+            timestamp: self.timestamp,
+            gps: self.gps,
+        }
+    }
+}
+
+/// A borrowed, lazily-decoded record over a segment buffer.
+///
+/// The header is decoded eagerly; the text stays a borrowed byte slice
+/// into the segment until [`TweetView::text`] validates it (zero-copy) or
+/// [`TweetView::to_record`] materializes an owned [`TweetRecord`].
+#[derive(Clone, Copy, Debug)]
+pub struct TweetView<'a> {
+    /// The decoded fixed fields.
+    pub header: TweetHeader,
+    text_bytes: &'a [u8],
+    header_len: usize,
+}
+
+impl<'a> TweetView<'a> {
+    /// The tweet text, UTF-8 validated in place — no copy, no allocation.
+    pub fn text(&self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.text_bytes).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// The raw text bytes (not yet UTF-8 validated).
+    pub fn raw_text(&self) -> &'a [u8] {
+        self.text_bytes
+    }
+
+    /// Encoded size of the fixed fields plus the text-length prefix.
+    pub fn header_len(&self) -> usize {
+        self.header_len
+    }
+
+    /// Total encoded size of the record.
+    pub fn frame_len(&self) -> usize {
+        self.header_len + self.text_bytes.len()
+    }
+
+    /// Materializes an owned [`TweetRecord`] (validates and copies the
+    /// text — the only allocating step of the two-phase decode).
+    pub fn to_record(&self) -> Result<TweetRecord, CodecError> {
+        Ok(TweetRecord {
+            id: self.header.id,
+            user: self.header.user,
+            timestamp: self.header.timestamp,
+            gps: self.header.gps,
+            text: self.text()?.to_owned(),
+        })
+    }
+}
+
+/// Reads a LEB128 varint from `buf` starting at `*at`, advancing it.
+fn get_varint_at(buf: &[u8], at: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(*at) else {
+            return Err(CodecError::UnexpectedEof);
+        };
+        *at += 1;
+        if shift >= 64 {
+            return Err(CodecError::VarintOverflow);
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Decodes the fixed fields of the record at the start of `buf` plus the
+/// byte range of its text, without touching the text bytes.
+fn decode_fixed(buf: &[u8]) -> Result<(TweetHeader, usize, usize), CodecError> {
+    let mut at = 0usize;
+    let id = get_varint_at(buf, &mut at)?;
+    let user = get_varint_at(buf, &mut at)?;
+    let timestamp = get_varint_at(buf, &mut at)?;
+    let Some(&flags) = buf.get(at) else {
+        return Err(CodecError::UnexpectedEof);
+    };
+    at += 1;
+    let gps = if flags & FLAG_GPS != 0 {
+        let Some(bytes) = buf.get(at..at + 8) else {
+            return Err(CodecError::UnexpectedEof);
+        };
+        at += 8;
+        let lat = i32::from_le_bytes(bytes[0..4].try_into().unwrap()) as f64 / 1e6;
+        let lon = i32::from_le_bytes(bytes[4..8].try_into().unwrap()) as f64 / 1e6;
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            return Err(CodecError::InvalidCoordinate);
+        }
+        Some(Point::new(lat, lon))
+    } else {
+        None
+    };
+    let text_len = get_varint_at(buf, &mut at)? as usize;
+    if buf.len().saturating_sub(at) < text_len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok((
+        TweetHeader {
+            id,
+            user,
+            timestamp,
+            gps,
+        },
+        at,
+        text_len,
+    ))
+}
+
+/// Phase-one decode: the fixed fields of the record at the start of `buf`,
+/// plus the record's total encoded length. The text bytes are bounds-checked
+/// but never read.
+pub fn decode_header(buf: &[u8]) -> Result<(TweetHeader, usize), CodecError> {
+    let (header, text_start, text_len) = decode_fixed(buf)?;
+    Ok((header, text_start + text_len))
+}
+
+/// Decodes a [`TweetView`] over the record at the start of `buf`: the
+/// header eagerly, the text as a borrowed slice.
+pub fn decode_view(buf: &[u8]) -> Result<TweetView<'_>, CodecError> {
+    let (header, text_start, text_len) = decode_fixed(buf)?;
+    Ok(TweetView {
+        header,
+        text_bytes: &buf[text_start..text_start + text_len],
+        header_len: text_start,
+    })
+}
+
 /// FNV-1a 32-bit checksum, used for segment framing.
 pub fn fnv1a(data: &[u8]) -> u32 {
     let mut hash = 0x811C_9DC5u32;

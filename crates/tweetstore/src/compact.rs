@@ -6,8 +6,14 @@
 //! compacting 11M records down to the 1–2% that matter — shrinks segments
 //! and indexes by the same factor and makes every later scan proportionally
 //! cheaper. [`gps_only`] is the canonical instance.
+//!
+//! Compaction is zero-copy on the record level: the predicate is decided
+//! on [`TweetHeader`]s alone, and survivors are moved as raw encoded
+//! frames (checksum re-verified by [`TweetStore::append_raw`]) — a
+//! record's bytes are never decoded into a `String` and re-encoded just
+//! to be kept.
 
-use crate::codec::TweetRecord;
+use crate::codec::TweetHeader;
 use crate::store::TweetStore;
 
 /// What a compaction did.
@@ -43,9 +49,11 @@ impl CompactionReport {
     }
 }
 
-/// Rebuilds `store` keeping only records for which `keep` returns true.
-/// Indexes are rebuilt from scratch; record order is preserved.
-pub fn compact<F: FnMut(&TweetRecord) -> bool>(
+/// Rebuilds `store` keeping only records whose *header* satisfies `keep`.
+/// Indexes are rebuilt from scratch; record order is preserved. Survivors
+/// are copied as raw frames — decoded once for the header, never for the
+/// text — and the copy is re-verified with the codec's FNV-1a checksum.
+pub fn compact<F: FnMut(&TweetHeader) -> bool>(
     store: &TweetStore,
     mut keep: F,
 ) -> (TweetStore, CompactionReport) {
@@ -54,12 +62,15 @@ pub fn compact<F: FnMut(&TweetRecord) -> bool>(
         bytes_before: store.stats().payload_bytes,
         ..Default::default()
     };
-    for rec in store.scan() {
-        let Ok(rec) = rec else { continue };
-        report.scanned += 1;
-        if keep(&rec) {
-            out.append(&rec);
-            report.kept += 1;
+    for seg in store.segments() {
+        for slot in 0..seg.len() as u32 {
+            let Ok(header) = seg.header(slot) else {
+                continue;
+            };
+            report.scanned += 1;
+            if keep(&header) && out.append_raw(seg.raw(slot)).is_ok() {
+                report.kept += 1;
+            }
         }
     }
     report.bytes_after = out.stats().payload_bytes;
@@ -68,7 +79,7 @@ pub fn compact<F: FnMut(&TweetRecord) -> bool>(
 
 /// The paper's filter: keep only GPS-tagged records.
 pub fn gps_only(store: &TweetStore) -> (TweetStore, CompactionReport) {
-    compact(store, |r| r.gps.is_some())
+    compact(store, |h| h.gps.is_some())
 }
 
 /// Keep only records whose author is in the (sorted) `users` list — the
@@ -78,12 +89,13 @@ pub fn users_only(store: &TweetStore, users: &[u64]) -> (TweetStore, CompactionR
         users.windows(2).all(|w| w[0] <= w[1]),
         "users must be sorted"
     );
-    compact(store, |r| users.binary_search(&r.user).is_ok())
+    compact(store, |h| users.binary_search(&h.user).is_ok())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::TweetRecord;
     use crate::query::Query;
     use stir_geoindex::Point;
 
@@ -147,6 +159,45 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(report.keep_ratio(), 0.0);
         assert_eq!(report.space_saved(), 0.0);
+    }
+
+    #[test]
+    fn survivors_are_byte_identical_raw_frames() {
+        // Raw-frame compaction must not re-encode: every surviving
+        // record's encoded bytes in the compacted store equal its bytes in
+        // the source, and so does the concatenated payload stream.
+        let mut s = TweetStore::with_segment_bytes(2048); // force rolling
+        for i in 0..1_000u64 {
+            s.append(&TweetRecord {
+                id: i,
+                user: i % 10,
+                timestamp: i * 60,
+                gps: (i % 20 == 0).then(|| Point::new(37.5, 127.0)),
+                text: format!("tweet {i} with enough text to make frames distinctive"),
+            });
+        }
+        let (c, report) = gps_only(&s);
+        assert_eq!(report.kept, 50);
+        let src_frames: Vec<Vec<u8>> = s
+            .segments()
+            .iter()
+            .flat_map(|seg| (0..seg.len() as u32).map(|slot| seg.raw(slot).to_vec()))
+            .filter(|frame| {
+                crate::codec::decode_header(frame)
+                    .map(|(h, _)| h.gps.is_some())
+                    .unwrap_or(false)
+            })
+            .collect();
+        let dst_frames: Vec<Vec<u8>> = c
+            .segments()
+            .iter()
+            .flat_map(|seg| (0..seg.len() as u32).map(|slot| seg.raw(slot).to_vec()))
+            .collect();
+        assert_eq!(src_frames, dst_frames);
+        assert_eq!(
+            report.bytes_after,
+            dst_frames.iter().map(|f| f.len() as u64).sum::<u64>()
+        );
     }
 
     #[test]

@@ -5,16 +5,27 @@
 //! storage substrate that makes those scans honest at that scale:
 //!
 //! * [`codec`] — a compact varint binary record format (`bytes`-based);
-//!   GPS coordinates are fixed-point micro-degrees.
-//! * [`segment`] — append-only segments with slot offsets and CRC-checked
-//!   framing.
+//!   GPS coordinates are fixed-point micro-degrees. Decoding is two-phase:
+//!   a fixed-field [`TweetHeader`] decode, then a lazy text decode through
+//!   a borrowed [`TweetView`] — predicates never pay the text allocation.
+//! * [`segment`] — append-only segments with slot offsets, CRC-checked
+//!   framing, and a per-segment [`ZoneMap`] (record count, min/max
+//!   timestamp and user, GPS count and bounding box) maintained at append
+//!   time and rebuilt-and-verified on load.
 //! * [`TweetStore`] — segmented log plus three secondary indexes: by user,
 //!   by time bucket, and by geohash cell (GPS tweets only).
-//! * [`query`] — a small query planner: point/user/time/bbox predicates,
-//!   index selection by expected selectivity, post-filtering.
+//! * [`query`] — a cardinality-aware query planner: point/user/time/bbox
+//!   predicates, index selection by estimated candidate rows, zone-map
+//!   segment pruning, post-filtering.
+//! * [`scan`] — the pruned, parallel, zero-copy scan engine behind
+//!   [`Query::for_each`] and [`Query::scan_filtered`], with [`ScanMetrics`]
+//!   reporting pruning and decode volume.
 //! * [`compact`] — predicate compaction (the paper's GPS-only filter as a
-//!   storage operation).
-//! * [`persist`] — directory-based save/load with manifest and checksums.
+//!   storage operation); survivors are copied as raw frames, re-verified
+//!   by checksum, never re-encoded.
+//! * [`persist`] — directory-based save/load with manifest and checksums;
+//!   the manifest carries each segment's zone map, cross-checked against
+//!   the rebuilt statistics on load.
 //! * [`wal`] — per-append durability: a CRC-framed write-ahead log with
 //!   torn-tail truncation on recovery.
 
@@ -24,12 +35,15 @@ pub mod codec;
 pub mod compact;
 pub mod persist;
 pub mod query;
+pub mod scan;
 pub mod segment;
 pub mod store;
 pub mod wal;
 
-pub use codec::TweetRecord;
+pub use codec::{TweetHeader, TweetRecord, TweetView};
 pub use compact::{compact, gps_only, users_only, CompactionReport};
-pub use query::Query;
+pub use query::{AccessPath, Query};
+pub use scan::{ScanMetrics, ScanOptions};
+pub use segment::ZoneMap;
 pub use store::{RecordPtr, StoreStats, TweetStore};
 pub use wal::{DurableStore, Wal};

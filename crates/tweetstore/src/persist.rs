@@ -1,12 +1,20 @@
 //! Directory-based persistence: one framed file per segment plus a
 //! manifest. Loading verifies checksums and rebuilds every index.
+//!
+//! Each manifest line carries the segment's file name followed by its
+//! [`ZoneMap`] statistics (tab-separated; GPS bounds in micro-degrees so
+//! the round trip is exact). On load the zone map is rebuilt from the
+//! segment's records and cross-checked against the manifest — a segment
+//! file swapped for a different (but internally consistent) one is caught
+//! even though its own checksum passes. Legacy manifests that list bare
+//! file names still load; they simply skip the cross-check.
 
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 use crate::codec::CodecError;
-use crate::segment::{Segment, DEFAULT_SEGMENT_BYTES};
+use crate::segment::{Segment, ZoneMap, DEFAULT_SEGMENT_BYTES};
 use crate::store::TweetStore;
 
 /// Magic header of segment files.
@@ -25,6 +33,8 @@ pub enum PersistError {
     BadMagic,
     /// Manifest was missing or unreadable.
     BadManifest,
+    /// A segment's rebuilt zone map disagreed with the manifest.
+    ZoneMapMismatch(String),
 }
 
 impl From<io::Error> for PersistError {
@@ -46,14 +56,61 @@ impl std::fmt::Display for PersistError {
             PersistError::Corrupt(e) => write!(f, "corrupt segment: {e}"),
             PersistError::BadMagic => write!(f, "bad segment magic"),
             PersistError::BadManifest => write!(f, "bad manifest"),
+            PersistError::ZoneMapMismatch(name) => {
+                write!(f, "zone map mismatch for segment {name}")
+            }
         }
     }
 }
 
 impl std::error::Error for PersistError {}
 
+/// Serializes a zone map as the manifest's tab-separated stat fields.
+fn zone_to_fields(z: &ZoneMap) -> String {
+    if z.records == 0 {
+        // Sentinel bounds are meaningless when empty; persist just the count.
+        return "0".to_string();
+    }
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        z.records,
+        z.min_ts,
+        z.max_ts,
+        z.min_user,
+        z.max_user,
+        z.gps_records,
+        z.min_lat_e6,
+        z.max_lat_e6,
+        z.min_lon_e6,
+        z.max_lon_e6
+    )
+}
+
+/// Parses manifest stat fields back into a zone map. `None` means the
+/// fields are malformed (a bad manifest, not a legacy one).
+fn zone_from_fields(fields: &[&str]) -> Option<ZoneMap> {
+    match fields {
+        ["0"] => Some(ZoneMap::default()),
+        [records, min_ts, max_ts, min_user, max_user, gps_records, min_lat, max_lat, min_lon, max_lon] => {
+            Some(ZoneMap {
+                records: records.parse().ok()?,
+                min_ts: min_ts.parse().ok()?,
+                max_ts: max_ts.parse().ok()?,
+                min_user: min_user.parse().ok()?,
+                max_user: max_user.parse().ok()?,
+                gps_records: gps_records.parse().ok()?,
+                min_lat_e6: min_lat.parse().ok()?,
+                max_lat_e6: max_lat.parse().ok()?,
+                min_lon_e6: min_lon.parse().ok()?,
+                max_lon_e6: max_lon.parse().ok()?,
+            })
+        }
+        _ => None,
+    }
+}
+
 /// Writes the store to `dir` (created if absent): `seg-NNNN.stir` files and
-/// a `MANIFEST` listing them in order.
+/// a `MANIFEST` listing them in order, each with its zone-map statistics.
 pub fn save(store: &TweetStore, dir: &Path) -> Result<(), PersistError> {
     fs::create_dir_all(dir)?;
     let segments = store.segments();
@@ -66,6 +123,8 @@ pub fn save(store: &TweetStore, dir: &Path) -> Result<(), PersistError> {
         f.write_all(&seg.to_framed_bytes())?;
         f.sync_all()?;
         manifest.push_str(&name);
+        manifest.push('\t');
+        manifest.push_str(&zone_to_fields(seg.zone_map()));
         manifest.push('\n');
     }
     fs::write(dir.join(MANIFEST), manifest)?;
@@ -85,14 +144,30 @@ pub fn load_with_segment_bytes(
 ) -> Result<TweetStore, PersistError> {
     let manifest = fs::read_to_string(dir.join(MANIFEST)).map_err(|_| PersistError::BadManifest)?;
     let mut segments = Vec::new();
-    for name in manifest.lines().filter(|l| !l.is_empty()) {
+    for line in manifest.lines().filter(|l| !l.is_empty()) {
+        let mut fields = line.split('\t');
+        let name = fields.next().ok_or(PersistError::BadManifest)?;
+        let stat_fields: Vec<&str> = fields.collect();
+        let expected_zone = if stat_fields.is_empty() {
+            None // legacy manifest: bare file name, no stats to verify
+        } else {
+            Some(zone_from_fields(&stat_fields).ok_or(PersistError::BadManifest)?)
+        };
         let mut f = fs::File::open(dir.join(name))?;
         let mut bytes = Vec::new();
         f.read_to_end(&mut bytes)?;
         if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
             return Err(PersistError::BadMagic);
         }
-        segments.push(Segment::from_framed_bytes(&bytes[MAGIC.len()..])?);
+        let seg = Segment::from_framed_bytes(&bytes[MAGIC.len()..])?;
+        // `from_framed_bytes` rebuilt the zone map from the payload; it
+        // must agree with what the manifest promised.
+        if let Some(expected) = expected_zone {
+            if *seg.zone_map() != expected {
+                return Err(PersistError::ZoneMapMismatch(name.to_string()));
+            }
+        }
+        segments.push(seg);
     }
     Ok(TweetStore::from_segments(segments, segment_bytes))
 }
@@ -153,6 +228,72 @@ mod tests {
             Err(PersistError::Corrupt(_)) => {}
             other => panic!("expected corrupt, got {:?}", other.map(|s| s.len())),
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zone_maps_round_trip_through_manifest() {
+        let dir = tmpdir("zonemap");
+        let s = populated();
+        save(&s, &dir).unwrap();
+        let loaded = load_with_segment_bytes(&dir, 4096).unwrap();
+        // Loaded zone maps equal both the source's and an independent
+        // recompute — exact, including the micro-degree GPS bounds.
+        for (a, b) in s.segments().iter().zip(loaded.segments().iter()) {
+            assert_eq!(a.zone_map(), b.zone_map());
+            assert_eq!(*b.zone_map(), ZoneMap::compute(b).unwrap());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_manifest_zone_map_is_rejected() {
+        let dir = tmpdir("zonetamper");
+        save(&populated(), &dir).unwrap();
+        let manifest = fs::read_to_string(dir.join(MANIFEST)).unwrap();
+        // Corrupt the record count of the first segment's stats.
+        let mut lines: Vec<String> = manifest.lines().map(str::to_string).collect();
+        let mut fields: Vec<String> = lines[0].split('\t').map(str::to_string).collect();
+        fields[1] = "99999".to_string();
+        lines[0] = fields.join("\t");
+        fs::write(dir.join(MANIFEST), lines.join("\n")).unwrap();
+        assert!(matches!(
+            load(&dir),
+            Err(PersistError::ZoneMapMismatch(name)) if name == "seg-0000.stir"
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_bare_name_manifest_still_loads() {
+        let dir = tmpdir("legacy");
+        let s = populated();
+        save(&s, &dir).unwrap();
+        // Strip the stats columns: a manifest from before zone maps.
+        let manifest = fs::read_to_string(dir.join(MANIFEST)).unwrap();
+        let bare: String = manifest
+            .lines()
+            .map(|l| l.split('\t').next().unwrap())
+            .collect::<Vec<_>>()
+            .join("\n");
+        fs::write(dir.join(MANIFEST), bare).unwrap();
+        let loaded = load_with_segment_bytes(&dir, 4096).unwrap();
+        assert_eq!(loaded.len(), s.len());
+        // Zone maps are still rebuilt from the payload on load.
+        for (a, b) in s.segments().iter().zip(loaded.segments().iter()) {
+            assert_eq!(a.zone_map(), b.zone_map());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbled_manifest_stats_are_rejected() {
+        let dir = tmpdir("garbled");
+        save(&populated(), &dir).unwrap();
+        let manifest = fs::read_to_string(dir.join(MANIFEST)).unwrap();
+        let garbled = manifest.replacen('\t', "\tnot-a-number\t", 1);
+        fs::write(dir.join(MANIFEST), garbled).unwrap();
+        assert!(matches!(load(&dir), Err(PersistError::BadManifest)));
         fs::remove_dir_all(&dir).unwrap();
     }
 

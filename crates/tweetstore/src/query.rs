@@ -2,8 +2,13 @@
 
 use stir_geoindex::{geohash, BBox};
 
-use crate::codec::TweetRecord;
+use crate::codec::{TweetHeader, TweetRecord};
+use crate::scan::{self, ScanOptions};
+use crate::segment::ZoneMap;
 use crate::store::{RecordPtr, TweetStore, GEO_PRECISION};
+
+/// Geohash-cover cell budget shared by the planner and the geo path.
+const GEO_COVER_LIMIT: usize = 512;
 
 /// A conjunctive query over the store.
 #[derive(Clone, Debug, Default)]
@@ -61,24 +66,28 @@ impl Query {
         self
     }
 
-    fn matches(&self, rec: &TweetRecord) -> bool {
+    /// Evaluates the predicate on a record's fixed fields. Every clause —
+    /// user, time range, GPS presence, bbox — needs only the header, which
+    /// is what makes header-only scanning safe: the text can never change
+    /// whether a record matches.
+    pub fn matches_header(&self, h: &TweetHeader) -> bool {
         if let Some(u) = self.user {
-            if rec.user != u {
+            if h.user != u {
                 return false;
             }
         }
         if let Some((start, end)) = self.time_range {
-            if rec.timestamp < start || rec.timestamp >= end {
+            if h.timestamp < start || h.timestamp >= end {
                 return false;
             }
         }
         if let Some(want) = self.has_gps {
-            if rec.gps.is_some() != want {
+            if h.gps.is_some() != want {
                 return false;
             }
         }
         if let Some(bbox) = self.bbox {
-            match rec.gps {
+            match h.gps {
                 Some(p) if bbox.contains(p) => {}
                 _ => return false,
             }
@@ -86,52 +95,134 @@ impl Query {
         true
     }
 
-    /// The access path the planner would pick against `store`.
+    /// Evaluates the predicate on a full record.
+    pub fn matches(&self, rec: &TweetRecord) -> bool {
+        self.matches_header(&rec.header())
+    }
+
+    /// True unless the zone map proves no record in the segment can match.
     ///
-    /// Heuristic selectivity order: a user list is the narrowest, then a
-    /// geohash cover (bounded cell count), then a time range, then a scan.
-    pub fn plan(&self, store: &TweetStore) -> AccessPath {
-        if self.user.is_some() {
-            return AccessPath::UserIndex;
+    /// A `false` is definitive (the segment is skipped without decoding a
+    /// byte); a `true` only means "cannot rule out". Clause by clause:
+    /// user outside `[min_user, max_user]`, a time range disjoint from
+    /// `[min_ts, max_ts]`, `gps(true)` against zero GPS records (or
+    /// `gps(false)` against all-GPS), and a bbox disjoint from the
+    /// segment's GPS bounding box are all disprovable from the stats.
+    pub fn zone_may_match(&self, zone: &ZoneMap) -> bool {
+        if zone.records == 0 {
+            return false;
         }
-        if let Some(bbox) = self.bbox {
-            if geohash::cover_bbox(&bbox, GEO_PRECISION, 512).is_some() {
-                return AccessPath::GeoIndex;
+        if let Some(u) = self.user {
+            if u < zone.min_user || u > zone.max_user {
+                return false;
             }
         }
         if let Some((start, end)) = self.time_range {
-            // A time range narrower than the whole store is worth the index.
-            if end > start && !store.is_empty() {
-                return AccessPath::TimeIndex;
+            if start >= end || zone.max_ts < start || zone.min_ts >= end {
+                return false;
             }
         }
-        AccessPath::FullScan
+        if let Some(want) = self.has_gps {
+            if want && zone.gps_records == 0 {
+                return false;
+            }
+            if !want && zone.gps_records == zone.records {
+                return false;
+            }
+        }
+        if let Some(bbox) = self.bbox {
+            match zone.gps_bbox() {
+                None => return false,
+                Some(z) => {
+                    if z.min_lat > bbox.max_lat
+                        || z.max_lat < bbox.min_lat
+                        || z.min_lon > bbox.max_lon
+                        || z.max_lon < bbox.min_lon
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 
-    /// Executes against the store, returning matching records.
-    pub fn execute(&self, store: &TweetStore) -> Vec<TweetRecord> {
-        let candidates: Vec<RecordPtr> = match self.plan(store) {
-            AccessPath::UserIndex => store.user_ptrs(self.user.unwrap()).to_vec(),
+    /// The geohash cover of the query bbox, when one fits the cell budget.
+    fn geo_cover(&self) -> Option<Vec<String>> {
+        let bbox = self.bbox?;
+        geohash::cover_bbox(&bbox, GEO_PRECISION, GEO_COVER_LIMIT)
+    }
+
+    /// Estimated candidate rows a full scan would examine after zone-map
+    /// pruning.
+    fn scan_estimate(&self, store: &TweetStore) -> usize {
+        store
+            .segments()
+            .iter()
+            .filter(|s| self.zone_may_match(s.zone_map()))
+            .map(|s| s.len())
+            .sum()
+    }
+
+    /// The access path the planner picks against `store`.
+    ///
+    /// Cardinality-aware: each applicable path is costed by the number of
+    /// candidate rows it would decode — the user posting list length, the
+    /// sum of posting lists under the geohash cover, the time-bucket row
+    /// count, and the zone-map-pruned record count for a scan — and the
+    /// cheapest wins. Ties break in fixed priority order (user, geo, time,
+    /// scan) so planning is deterministic.
+    pub fn plan(&self, store: &TweetStore) -> AccessPath {
+        let mut best = (self.scan_estimate(store), AccessPath::FullScan);
+        // Candidates in reverse priority order, each replacing the
+        // incumbent when at least as cheap — so on a full tie the
+        // highest-priority (narrowest) path wins: user, geo, time, scan.
+        if let Some((start, end)) = self.time_range {
+            let est = store.time_ptr_count(start, end);
+            if est <= best.0 {
+                best = (est, AccessPath::TimeIndex);
+            }
+        }
+        if let Some(cells) = self.geo_cover() {
+            let est: usize = cells.iter().map(|c| store.geo_cell_ptrs(c).len()).sum();
+            if est <= best.0 {
+                best = (est, AccessPath::GeoIndex);
+            }
+        }
+        if let Some(u) = self.user {
+            let est = store.user_ptrs(u).len();
+            if est <= best.0 {
+                best = (est, AccessPath::UserIndex);
+            }
+        }
+        best.1
+    }
+
+    /// Executes against the store through a specific access path. All
+    /// paths return the same rows in the same `(timestamp, id)` order, so
+    /// plan choice can never change what a caller observes.
+    pub fn execute_via(&self, store: &TweetStore, path: AccessPath) -> Vec<TweetRecord> {
+        let candidates: Vec<RecordPtr> = match path {
+            AccessPath::UserIndex => self
+                .user
+                .map_or_else(Vec::new, |u| store.user_ptrs(u).to_vec()),
             AccessPath::GeoIndex => {
-                let bbox = self.bbox.unwrap();
-                let cells = geohash::cover_bbox(&bbox, GEO_PRECISION, 512)
-                    .expect("plan() verified the cover fits");
                 let mut ptrs = Vec::new();
-                for cell in cells {
+                for cell in self.geo_cover().unwrap_or_default() {
                     ptrs.extend_from_slice(store.geo_cell_ptrs(&cell));
                 }
                 ptrs
             }
             AccessPath::TimeIndex => {
-                let (start, end) = self.time_range.unwrap();
+                let (start, end) = self.time_range.unwrap_or((0, 0));
                 store.time_ptrs(start, end)
             }
             AccessPath::FullScan => {
-                return store
-                    .scan()
-                    .filter_map(|r| r.ok())
-                    .filter(|r| self.matches(r))
-                    .collect();
+                let (mut out, _) = scan::scan_filtered(self, store, &ScanOptions::serial(), &|v| {
+                    v.to_record().ok()
+                });
+                out.sort_by_key(|r| (r.timestamp, r.id));
+                return out;
             }
         };
         let mut out: Vec<TweetRecord> = candidates
@@ -141,6 +232,41 @@ impl Query {
             .collect();
         out.sort_by_key(|r| (r.timestamp, r.id));
         out
+    }
+
+    /// Executes against the store, returning matching records sorted by
+    /// `(timestamp, id)` regardless of the chosen access path.
+    pub fn execute(&self, store: &TweetStore) -> Vec<TweetRecord> {
+        self.execute_via(store, self.plan(store))
+    }
+
+    /// Streams every matching record through `visit` as a borrowed
+    /// [`crate::TweetView`], pruning segments by zone map and deciding
+    /// matches on headers alone — the text is never decoded unless the
+    /// visitor asks the view for it. Returns scan statistics.
+    pub fn for_each<F: FnMut(&crate::TweetView<'_>)>(
+        &self,
+        store: &TweetStore,
+        visit: F,
+    ) -> scan::ScanMetrics {
+        scan::for_each(self, store, visit)
+    }
+
+    /// Pruned, optionally parallel scan: maps every matching record
+    /// through `map` (which may still reject by returning `None`) and
+    /// collects the results in (segment, slot) order — byte-identical to
+    /// a serial scan at any thread/block geometry.
+    pub fn scan_filtered<R, F>(
+        &self,
+        store: &TweetStore,
+        opts: &ScanOptions,
+        map: F,
+    ) -> (Vec<R>, scan::ScanMetrics)
+    where
+        R: Send,
+        F: Fn(&crate::TweetView<'_>) -> Option<R> + Sync,
+    {
+        scan::scan_filtered(self, store, opts, &map)
     }
 }
 

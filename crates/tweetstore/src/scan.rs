@@ -1,0 +1,515 @@
+//! The pruned, parallel, zero-copy scan engine.
+//!
+//! Three ideas compose here:
+//!
+//! 1. **Zone-map pruning** — a segment whose [`crate::ZoneMap`] disproves
+//!    the predicate is skipped without touching a byte of its payload.
+//! 2. **Header-only decode** — surviving segments are walked as
+//!    [`TweetView`]s: the fixed fields decode, the text stays a borrowed
+//!    slice. Predicates need only headers (see
+//!    [`Query::matches_header`]), so rejected records never pay the text
+//!    allocation, and accepted ones pay it only if the consumer asks.
+//! 3. **Block-parallel execution** — surviving segments are chunked into
+//!    slot blocks and fanned over a work-stealing pool (an atomic cursor
+//!    over the block list, the same scheme the geocoding stage uses).
+//!    Results are stitched back in block order, which is exactly
+//!    (segment, slot) order — so output is byte-identical to a serial
+//!    scan at any thread count or block size.
+//!
+//! [`ScanMetrics`] reports what the engine did: segments pruned, records
+//! header-rejected, bytes decoded versus bytes stored, throughput, and
+//! per-thread block counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::codec::TweetView;
+use crate::query::Query;
+use crate::segment::Segment;
+use crate::store::TweetStore;
+
+/// Default records per work block for the parallel scan.
+pub const DEFAULT_SCAN_BLOCK: usize = 4096;
+
+/// Minimum surviving records before a parallel scan spawns threads.
+const PARALLEL_THRESHOLD: usize = 4096;
+
+/// Knobs for [`Query::scan_filtered`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScanOptions {
+    /// Worker threads (1 = serial, no spawn).
+    pub threads: usize,
+    /// Records per work block handed to a worker at a time.
+    pub block_records: usize,
+}
+
+impl ScanOptions {
+    /// Serial execution (the default).
+    pub fn serial() -> Self {
+        ScanOptions {
+            threads: 1,
+            block_records: DEFAULT_SCAN_BLOCK,
+        }
+    }
+
+    /// Parallel execution over `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ScanOptions {
+            threads: threads.max(1),
+            block_records: DEFAULT_SCAN_BLOCK,
+        }
+    }
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+/// What a scan did: pruning effectiveness, decode volume, throughput.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScanMetrics {
+    /// Segments in the store.
+    pub segments_total: u64,
+    /// Segments skipped entirely by zone-map pruning.
+    pub segments_pruned: u64,
+    /// Records in the store.
+    pub records_stored: u64,
+    /// Records inside pruned segments (never decoded at all).
+    pub records_pruned: u64,
+    /// Records whose header was decoded.
+    pub headers_decoded: u64,
+    /// Header-decoded records rejected by the predicate.
+    pub records_rejected: u64,
+    /// Records that matched and were handed to the consumer.
+    pub records_yielded: u64,
+    /// Records whose header failed to decode (skipped).
+    pub records_corrupt: u64,
+    /// Encoded payload bytes in the store.
+    pub bytes_stored: u64,
+    /// Bytes actually decoded: header bytes for every examined record,
+    /// plus text bytes for yielded ones (the text a consumer *may* read;
+    /// rejected records never pay it).
+    pub bytes_decoded: u64,
+    /// Worker threads used (1 = serial).
+    pub threads: usize,
+    /// Work blocks completed per thread (work-stealing makes this uneven).
+    pub blocks_per_thread: Vec<u64>,
+    /// Wall-clock time of the scan.
+    pub wall: Duration,
+}
+
+impl ScanMetrics {
+    /// Fraction of stored records skipped without any decode.
+    pub fn prune_fraction(&self) -> f64 {
+        if self.records_stored == 0 {
+            0.0
+        } else {
+            self.records_pruned as f64 / self.records_stored as f64
+        }
+    }
+
+    /// Bytes decoded as a fraction of bytes stored.
+    pub fn decode_fraction(&self) -> f64 {
+        if self.bytes_stored == 0 {
+            0.0
+        } else {
+            self.bytes_decoded as f64 / self.bytes_stored as f64
+        }
+    }
+
+    /// Stored records processed (pruned or scanned) per wall-clock second.
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.records_stored as f64 / secs
+        }
+    }
+
+    /// Multi-line human-readable rendering (joins `PipelineMetrics`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "store scan: {}/{} segments pruned, {}/{} records skipped ({:.1}%)\n",
+            self.segments_pruned,
+            self.segments_total,
+            self.records_pruned,
+            self.records_stored,
+            100.0 * self.prune_fraction(),
+        ));
+        out.push_str(&format!(
+            "  headers decoded {}  rejected {}  yielded {}  corrupt {}\n",
+            self.headers_decoded, self.records_rejected, self.records_yielded, self.records_corrupt,
+        ));
+        out.push_str(&format!(
+            "  bytes decoded {} of {} stored ({:.1}%)\n",
+            self.bytes_decoded,
+            self.bytes_stored,
+            100.0 * self.decode_fraction(),
+        ));
+        out.push_str(&format!(
+            "  {} thread(s), blocks per thread {:?}, {:.0} records/sec\n",
+            self.threads,
+            self.blocks_per_thread,
+            self.records_per_sec(),
+        ));
+        out
+    }
+}
+
+/// Per-worker counters, merged into [`ScanMetrics`] at the end.
+#[derive(Clone, Copy, Debug, Default)]
+struct LocalCounts {
+    headers_decoded: u64,
+    records_rejected: u64,
+    records_yielded: u64,
+    records_corrupt: u64,
+    bytes_decoded: u64,
+    blocks: u64,
+}
+
+impl LocalCounts {
+    fn merge_into(&self, m: &mut ScanMetrics) {
+        m.headers_decoded += self.headers_decoded;
+        m.records_rejected += self.records_rejected;
+        m.records_yielded += self.records_yielded;
+        m.records_corrupt += self.records_corrupt;
+        m.bytes_decoded += self.bytes_decoded;
+    }
+}
+
+/// Walks `[lo, hi)` slots of one segment, calling `on_match` for each
+/// predicate-passing view. The shared inner loop of serial and parallel
+/// scans — identical per-record behaviour guarantees identical output.
+fn scan_slots<F: FnMut(&TweetView<'_>)>(
+    seg: &Segment,
+    lo: u32,
+    hi: u32,
+    query: &Query,
+    counts: &mut LocalCounts,
+    mut on_match: F,
+) {
+    for slot in lo..hi {
+        let view = match seg.view(slot) {
+            Ok(v) => v,
+            Err(_) => {
+                counts.records_corrupt += 1;
+                continue;
+            }
+        };
+        counts.headers_decoded += 1;
+        counts.bytes_decoded += view.header_len() as u64;
+        if query.matches_header(&view.header) {
+            counts.records_yielded += 1;
+            counts.bytes_decoded += view.raw_text().len() as u64;
+            on_match(&view);
+        } else {
+            counts.records_rejected += 1;
+        }
+    }
+}
+
+/// Splits the store into (pruned-out, surviving) segment lists and
+/// pre-fills the pruning fields of the metrics.
+fn prune<'s>(query: &Query, store: &'s TweetStore, m: &mut ScanMetrics) -> Vec<&'s Segment> {
+    let segments = store.segments();
+    m.segments_total = segments.len() as u64;
+    m.records_stored = store.len() as u64;
+    m.bytes_stored = store.stats().payload_bytes;
+    let mut survivors = Vec::with_capacity(segments.len());
+    for seg in segments {
+        if query.zone_may_match(seg.zone_map()) {
+            survivors.push(seg);
+        } else {
+            m.segments_pruned += 1;
+            m.records_pruned += seg.len() as u64;
+        }
+    }
+    survivors
+}
+
+/// Serial streaming scan; see [`Query::for_each`].
+pub(crate) fn for_each<F: FnMut(&TweetView<'_>)>(
+    query: &Query,
+    store: &TweetStore,
+    mut visit: F,
+) -> ScanMetrics {
+    let start = Instant::now();
+    let mut m = ScanMetrics {
+        threads: 1,
+        ..Default::default()
+    };
+    let survivors = prune(query, store, &mut m);
+    let mut counts = LocalCounts::default();
+    for seg in &survivors {
+        scan_slots(seg, 0, seg.len() as u32, query, &mut counts, &mut visit);
+        counts.blocks += 1;
+    }
+    counts.merge_into(&mut m);
+    m.blocks_per_thread = vec![counts.blocks];
+    m.wall = start.elapsed();
+    m
+}
+
+/// Pruned, optionally parallel scan; see [`Query::scan_filtered`].
+pub(crate) fn scan_filtered<R, F>(
+    query: &Query,
+    store: &TweetStore,
+    opts: &ScanOptions,
+    map: &F,
+) -> (Vec<R>, ScanMetrics)
+where
+    R: Send,
+    F: Fn(&TweetView<'_>) -> Option<R> + Sync,
+{
+    let start = Instant::now();
+    let mut m = ScanMetrics::default();
+    let survivors = prune(query, store, &mut m);
+    let surviving_records: usize = survivors.iter().map(|s| s.len()).sum();
+
+    if opts.threads <= 1 || surviving_records < PARALLEL_THRESHOLD {
+        // Serial: one implicit block per surviving segment.
+        let mut out = Vec::new();
+        let mut counts = LocalCounts::default();
+        for seg in &survivors {
+            scan_slots(seg, 0, seg.len() as u32, query, &mut counts, |view| {
+                if let Some(r) = map(view) {
+                    out.push(r);
+                }
+            });
+            counts.blocks += 1;
+        }
+        counts.merge_into(&mut m);
+        m.threads = 1;
+        m.blocks_per_thread = vec![counts.blocks];
+        m.wall = start.elapsed();
+        return (out, m);
+    }
+
+    // Chunk surviving segments into slot blocks. Block order is
+    // (segment, slot) order, so stitching by block index reproduces the
+    // serial output exactly.
+    let block_records = opts.block_records.max(64) as u32;
+    let mut blocks: Vec<(usize, u32, u32)> = Vec::new();
+    for (i, seg) in survivors.iter().enumerate() {
+        let len = seg.len() as u32;
+        let mut lo = 0u32;
+        while lo < len {
+            let hi = (lo + block_records).min(len);
+            blocks.push((i, lo, hi));
+            lo = hi;
+        }
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<(usize, Vec<R>)> = Vec::new();
+    let mut per_thread_blocks = Vec::with_capacity(opts.threads);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..opts.threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local_parts: Vec<(usize, Vec<R>)> = Vec::new();
+                    let mut counts = LocalCounts::default();
+                    loop {
+                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(seg_idx, lo, hi)) = blocks.get(b) else {
+                            break;
+                        };
+                        let mut out = Vec::new();
+                        scan_slots(survivors[seg_idx], lo, hi, query, &mut counts, |view| {
+                            if let Some(r) = map(view) {
+                                out.push(r);
+                            }
+                        });
+                        local_parts.push((b, out));
+                        counts.blocks += 1;
+                    }
+                    (local_parts, counts)
+                })
+            })
+            .collect();
+        for w in workers {
+            let (local_parts, counts) = w.join().expect("scan worker panicked");
+            parts.extend(local_parts);
+            per_thread_blocks.push(counts.blocks);
+            counts.merge_into(&mut m);
+        }
+    });
+
+    parts.sort_unstable_by_key(|(b, _)| *b);
+    let mut out = Vec::with_capacity(parts.iter().map(|(_, v)| v.len()).sum());
+    for (_, mut v) in parts {
+        out.append(&mut v);
+    }
+    m.threads = opts.threads;
+    m.blocks_per_thread = per_thread_blocks;
+    m.wall = start.elapsed();
+    (out, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::TweetRecord;
+    use stir_geoindex::{BBox, Point};
+
+    fn build_store_n(segment_bytes: usize, n: u64) -> TweetStore {
+        let mut s = TweetStore::with_segment_bytes(segment_bytes);
+        // Time-ordered appends, so segments cover disjoint time ranges and
+        // zone-map pruning on a time predicate has real bite.
+        for i in 0..n {
+            s.append(&TweetRecord {
+                id: i,
+                user: i % 50,
+                timestamp: i * 10,
+                gps: (i % 5 == 0).then(|| {
+                    Point::new(
+                        35.0 + (i % 100) as f64 * 0.03,
+                        126.0 + (i % 70) as f64 * 0.04,
+                    )
+                }),
+                text: format!("tweet body number {i} with some realistic length padding"),
+            });
+        }
+        s
+    }
+
+    fn build_store(segment_bytes: usize) -> TweetStore {
+        build_store_n(segment_bytes, 3000)
+    }
+
+    fn naive(query: &Query, store: &TweetStore) -> Vec<u64> {
+        store
+            .scan()
+            .filter_map(|r| r.ok())
+            .filter(|r| query.matches(r))
+            .map(|r| r.id)
+            .collect()
+    }
+
+    #[test]
+    fn serial_scan_matches_naive() {
+        let s = build_store(4096);
+        for q in [
+            Query::all(),
+            Query::all().gps(true),
+            Query::all().user(7),
+            Query::all().between(5_000, 9_000),
+            Query::all().within(BBox::new(35.0, 126.0, 36.0, 127.0)),
+            Query::all().user(3).between(0, 15_000).gps(true),
+        ] {
+            let (got, m) = q.scan_filtered(&s, &ScanOptions::serial(), |v| Some(v.header.id));
+            assert_eq!(got, naive(&q, &s), "query {q:?}");
+            assert_eq!(m.records_yielded as usize, got.len());
+            assert_eq!(
+                m.records_pruned + m.headers_decoded + m.records_corrupt,
+                m.records_stored
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_scan_identical_to_serial() {
+        // Large enough that the surviving record count clears the
+        // parallel threshold and threads actually spawn.
+        let s = build_store_n(2048, 10_000);
+        let q = Query::all().between(2_000, 80_000);
+        let (serial, _) = q.scan_filtered(&s, &ScanOptions::serial(), |v| Some(v.header.id));
+        for threads in [2, 3, 8] {
+            for block in [64, 101, 1000] {
+                let opts = ScanOptions {
+                    threads,
+                    block_records: block,
+                };
+                let (par, m) = q.scan_filtered(&s, &opts, |v| Some(v.header.id));
+                assert_eq!(par, serial, "threads={threads} block={block}");
+                assert_eq!(m.threads, threads);
+                assert_eq!(m.blocks_per_thread.len(), threads);
+            }
+        }
+    }
+
+    #[test]
+    fn time_pruning_skips_segments() {
+        let s = build_store(4096);
+        assert!(s.stats().segments > 4, "fixture must roll segments");
+        // A narrow window at the end of the corpus: early segments are
+        // disjoint in time and must be pruned without a single decode.
+        let q = Query::all().between(28_000, 30_000);
+        let (rows, m) = q.scan_filtered(&s, &ScanOptions::serial(), |v| Some(v.header.id));
+        assert_eq!(rows, naive(&q, &s));
+        assert!(m.segments_pruned > 0, "metrics: {m:?}");
+        assert!(m.records_pruned > 0);
+        assert!(m.headers_decoded < m.records_stored);
+        assert!(m.bytes_decoded < m.bytes_stored);
+    }
+
+    #[test]
+    fn user_out_of_range_prunes_everything() {
+        let s = build_store(4096);
+        let q = Query::all().user(10_000);
+        let (rows, m) = q.for_each_collect(&s);
+        assert!(rows.is_empty());
+        assert_eq!(m.segments_pruned, m.segments_total);
+        assert_eq!(m.headers_decoded, 0);
+        assert_eq!(m.bytes_decoded, 0);
+    }
+
+    #[test]
+    fn rejected_records_never_pay_text_bytes() {
+        let s = build_store(1 << 20); // single segment: nothing pruned
+        let q = Query::all().user(0); // 60 of 3000 match
+        let (_, m) = q.scan_filtered(&s, &ScanOptions::serial(), |v| Some(v.header.id));
+        assert_eq!(m.segments_pruned, 0);
+        assert_eq!(m.headers_decoded, 3000);
+        assert_eq!(m.records_yielded, 60);
+        // Decoded bytes must be far below stored bytes: text is only
+        // charged for the 2% of records that matched.
+        assert!(
+            m.bytes_decoded * 2 < m.bytes_stored,
+            "decoded {} stored {}",
+            m.bytes_decoded,
+            m.bytes_stored
+        );
+    }
+
+    #[test]
+    fn for_each_streams_matches_in_order() {
+        let s = build_store(2048);
+        let q = Query::all().gps(true).between(0, 10_000);
+        let mut ids = Vec::new();
+        let m = q.for_each(&s, |v| ids.push(v.header.id));
+        assert_eq!(ids, naive(&q, &s));
+        assert_eq!(m.records_yielded as usize, ids.len());
+        assert_eq!(m.threads, 1);
+    }
+
+    #[test]
+    fn metrics_render_mentions_key_fields() {
+        let s = build_store(4096);
+        let q = Query::all().between(0, 5_000);
+        let (_, m) = q.scan_filtered(&s, &ScanOptions::with_threads(2), |v| Some(v.header.id));
+        let text = m.render();
+        for marker in [
+            "store scan:",
+            "segments pruned",
+            "headers decoded",
+            "bytes decoded",
+            "records/sec",
+        ] {
+            assert!(text.contains(marker), "missing {marker:?} in:\n{text}");
+        }
+    }
+
+    impl Query {
+        /// Test helper: collect matching ids via the streaming visitor.
+        fn for_each_collect(&self, store: &TweetStore) -> (Vec<u64>, ScanMetrics) {
+            let mut ids = Vec::new();
+            let m = self.for_each(store, |v| ids.push(v.header.id));
+            (ids, m)
+        }
+    }
+}

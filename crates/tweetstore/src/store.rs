@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use stir_geoindex::geohash;
 
-use crate::codec::{CodecError, TweetRecord};
+use crate::codec::{fnv1a, CodecError, TweetHeader, TweetRecord, TweetView};
 use crate::segment::{Segment, DEFAULT_SEGMENT_BYTES};
 
 /// Physical location of a record: `(segment, slot)`.
@@ -97,32 +97,60 @@ impl TweetStore {
         }
     }
 
-    /// Appends a record, indexing it; returns its pointer.
-    pub fn append(&mut self, rec: &TweetRecord) -> RecordPtr {
+    /// Seals the active segment if it has reached the roll threshold.
+    fn roll_if_full(&mut self) {
         if self.active.byte_len() >= self.segment_bytes {
             let full = std::mem::replace(&mut self.active, Segment::new());
             self.sealed.push(full);
             self.stats.segments += 1;
         }
-        let seg = self.sealed.len() as u32;
-        let before = self.active.byte_len();
-        let slot = self.active.append(rec);
-        let ptr = RecordPtr { seg, slot };
+    }
 
-        self.by_id.insert(rec.id, ptr);
-        self.by_user.entry(rec.user).or_default().push(ptr);
+    /// Registers a freshly-appended record (by header) in every index.
+    fn index_record(&mut self, header: &TweetHeader, ptr: RecordPtr, frame_bytes: u64) {
+        self.by_id.insert(header.id, ptr);
+        self.by_user.entry(header.user).or_default().push(ptr);
         self.by_time
-            .entry(rec.timestamp / TIME_BUCKET_SECS)
+            .entry(header.timestamp / TIME_BUCKET_SECS)
             .or_default()
             .push(ptr);
-        if let Some(p) = rec.gps {
+        if let Some(p) = header.gps {
             let cell = geohash::encode(p, GEO_PRECISION);
             self.by_geo.entry(cell).or_default().push(ptr);
             self.stats.gps_records += 1;
         }
         self.stats.records += 1;
-        self.stats.payload_bytes += (self.active.byte_len() - before) as u64;
+        self.stats.payload_bytes += frame_bytes;
+    }
+
+    /// Appends a record, indexing it; returns its pointer.
+    pub fn append(&mut self, rec: &TweetRecord) -> RecordPtr {
+        self.roll_if_full();
+        let seg = self.sealed.len() as u32;
+        let before = self.active.byte_len();
+        let slot = self.active.append(rec);
+        let ptr = RecordPtr { seg, slot };
+        let frame_bytes = (self.active.byte_len() - before) as u64;
+        self.index_record(&rec.header(), ptr, frame_bytes);
         ptr
+    }
+
+    /// Appends an already-encoded record frame without re-encoding (and
+    /// without decoding the text). The copied bytes are re-verified with
+    /// the same FNV-1a checksum persistence uses, so a raw-copy path can
+    /// never silently corrupt a record. Used by compaction and WAL replay.
+    pub fn append_raw(&mut self, frame: &[u8]) -> Result<RecordPtr, CodecError> {
+        self.roll_if_full();
+        let seg = self.sealed.len() as u32;
+        let (slot, header) = self.active.append_raw_frame(frame)?;
+        let expected = fnv1a(frame);
+        let actual = fnv1a(self.active.raw(slot));
+        if expected != actual {
+            return Err(CodecError::ChecksumMismatch { expected, actual });
+        }
+        let ptr = RecordPtr { seg, slot };
+        self.index_record(&header, ptr, frame.len() as u64);
+        Ok(ptr)
     }
 
     /// Number of records.
@@ -201,6 +229,33 @@ impl TweetStore {
             .flat_map(|s| s.iter())
     }
 
+    /// Streams borrowed views over every record in (segment, slot) order —
+    /// the zero-copy counterpart of [`TweetStore::scan`]: headers are
+    /// decoded, text stays in the segment buffer until asked for.
+    pub fn scan_views(&self) -> impl Iterator<Item = Result<TweetView<'_>, CodecError>> + '_ {
+        self.sealed
+            .iter()
+            .chain(std::iter::once(&self.active))
+            .flat_map(|s| s.views())
+    }
+
+    /// Streams header-only decodes in (segment, slot) order.
+    pub fn scan_headers(&self) -> impl Iterator<Item = Result<TweetHeader, CodecError>> + '_ {
+        self.scan_views().map(|r| r.map(|v| v.header))
+    }
+
+    /// Total records indexed under the time buckets overlapping
+    /// `[start, end)` — the planner's cardinality estimate for the time
+    /// index (bucket-granular, like [`TweetStore::time_ptrs`]).
+    pub(crate) fn time_ptr_count(&self, start: u64, end: u64) -> usize {
+        if start >= end {
+            return 0;
+        }
+        let b0 = start / TIME_BUCKET_SECS;
+        let b1 = (end - 1) / TIME_BUCKET_SECS;
+        self.by_time.range(b0..=b1).map(|(_, v)| v.len()).sum()
+    }
+
     /// Every decodable record in timestamp order (stable by id within a
     /// timestamp) — the feed the streaming detectors consume. Walks the
     /// time index bucket by bucket, so cost is proportional to the result,
@@ -220,8 +275,9 @@ impl TweetStore {
         out
     }
 
-    /// Sealed + active segments, for persistence.
-    pub(crate) fn segments(&self) -> Vec<&Segment> {
+    /// Sealed + active segments in order — a read-only view used by
+    /// persistence, compaction, the scan engine, and zone-map inspection.
+    pub fn segments(&self) -> Vec<&Segment> {
         self.sealed
             .iter()
             .chain(std::iter::once(&self.active))
@@ -229,13 +285,34 @@ impl TweetStore {
     }
 
     /// Rebuilds a store from segments (persistence path).
-    pub(crate) fn from_segments(segments: Vec<Segment>, segment_bytes: usize) -> Self {
+    ///
+    /// Segments are adopted as-is — payload bytes are never re-encoded and
+    /// record text is never decoded. All but the last become sealed; the
+    /// last resumes as the active segment. Indexes and stats are rebuilt
+    /// from a header-only scan.
+    pub(crate) fn from_segments(mut segments: Vec<Segment>, segment_bytes: usize) -> Self {
         let mut store = TweetStore::with_segment_bytes(segment_bytes);
-        for seg in segments {
-            // Re-appending rebuilds every index; corrupted records were
-            // already rejected by the framed loader.
-            for rec in seg.iter().collect::<Vec<_>>().into_iter().flatten() {
-                store.append(&rec);
+        let Some(active) = segments.pop() else {
+            return store;
+        };
+        store.sealed = segments;
+        store.active = active;
+        store.stats.segments = store.sealed.len() as u32 + 1;
+        for seg_idx in 0..store.stats.segments {
+            // Collect headers first: indexing needs `&mut store` while the
+            // segment walk borrows `&store`.
+            let seg = store.segment(seg_idx);
+            let mut entries = Vec::with_capacity(seg.len());
+            for slot in 0..seg.len() as u32 {
+                // The framed loader verified the checksum and rebuilt the
+                // zone map from these same headers, so decode cannot fail
+                // here; skip defensively rather than panic.
+                let Ok(view) = seg.view(slot) else { continue };
+                let ptr = RecordPtr { seg: seg_idx, slot };
+                entries.push((view.header, ptr, view.frame_len() as u64));
+            }
+            for (header, ptr, frame_bytes) in entries {
+                store.index_record(&header, ptr, frame_bytes);
             }
         }
         store
@@ -341,6 +418,58 @@ mod tests {
                 (w[1].timestamp, w[1].id)
             );
         }
+    }
+
+    #[test]
+    fn append_raw_matches_append() {
+        let mut a = TweetStore::with_segment_bytes(2048);
+        let mut b = TweetStore::with_segment_bytes(2048);
+        for i in 0..500 {
+            let r = rec(i, i % 5, i * 60, (i % 3 == 0).then_some((37.5, 127.0)));
+            a.append(&r);
+        }
+        // Replay a's raw frames into b: identical stats, indexes, bytes.
+        let frames: Vec<Vec<u8>> = a
+            .segments()
+            .iter()
+            .flat_map(|s| (0..s.len() as u32).map(|slot| s.raw(slot).to_vec()))
+            .collect();
+        for f in &frames {
+            b.append_raw(f).unwrap();
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.user_count(), b.user_count());
+        for (sa, sb) in a.segments().iter().zip(b.segments().iter()) {
+            assert_eq!(sa.zone_map(), sb.zone_map());
+            for slot in 0..sa.len() as u32 {
+                assert_eq!(sa.raw(slot), sb.raw(slot));
+            }
+        }
+        // Garbage frames are rejected without perturbing the store.
+        let before = b.stats();
+        assert!(b.append_raw(&[0xFF; 3]).is_err());
+        assert_eq!(b.stats(), before);
+    }
+
+    #[test]
+    fn scan_views_agrees_with_scan() {
+        let mut s = TweetStore::with_segment_bytes(1024);
+        for i in 0..300 {
+            s.append(&rec(
+                i,
+                i % 7,
+                i * 30,
+                (i % 4 == 0).then_some((35.1, 129.0)),
+            ));
+        }
+        let full: Vec<TweetRecord> = s.scan().map(|r| r.unwrap()).collect();
+        let via_views: Vec<TweetRecord> = s
+            .scan_views()
+            .map(|v| v.unwrap().to_record().unwrap())
+            .collect();
+        assert_eq!(full, via_views);
+        let headers: Vec<_> = s.scan_headers().map(|h| h.unwrap()).collect();
+        assert_eq!(headers, full.iter().map(|r| r.header()).collect::<Vec<_>>());
     }
 
     #[test]

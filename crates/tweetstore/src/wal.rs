@@ -11,7 +11,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
-use crate::codec::{decode_record, encode_record, fnv1a, TweetRecord};
+use crate::codec::{decode_view, encode_record, fnv1a, TweetRecord};
 use crate::persist::PersistError;
 use crate::store::TweetStore;
 
@@ -109,11 +109,12 @@ impl Wal {
             if fnv1a(payload) != crc {
                 break at; // corrupt frame
             }
-            let mut slice = payload;
-            match decode_record(&mut slice) {
-                Ok(rec) => store.append(&rec),
-                Err(_) => break at,
-            };
+            // Validate the full record (including text UTF-8), then adopt
+            // the frame bytes directly — no re-encode, no text allocation.
+            let valid = decode_view(payload).and_then(|v| v.text().map(|_| ()));
+            if valid.is_err() || store.append_raw(payload).is_err() {
+                break at;
+            }
             recovered += 1;
             at = start + len;
         };

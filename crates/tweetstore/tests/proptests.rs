@@ -1,12 +1,13 @@
 //! Property tests: codec totality and round trips, segment framing, store
-//! queries vs scan, WAL prefix durability.
+//! queries vs scan, WAL prefix durability, pruned/parallel scan
+//! equivalence, and zone-map persistence invariants.
 
 use proptest::prelude::*;
-use stir_geoindex::Point;
+use stir_geoindex::{BBox, Point};
 use stir_tweetstore::codec::{decode_record, encode_record};
-use stir_tweetstore::segment::Segment;
+use stir_tweetstore::segment::{Segment, ZoneMap};
 use stir_tweetstore::wal::Wal;
-use stir_tweetstore::{Query, TweetRecord, TweetStore};
+use stir_tweetstore::{persist, AccessPath, Query, ScanOptions, TweetRecord, TweetStore};
 
 fn record_strategy() -> impl Strategy<Value = TweetRecord> {
     (
@@ -89,6 +90,161 @@ proptest! {
             .filter(|r| r.user == user && (t0..t1).contains(&r.timestamp))
             .count();
         prop_assert_eq!(rows.len(), expect);
+    }
+
+    #[test]
+    fn pruned_parallel_scan_equals_naive(
+        recs in prop::collection::vec(record_strategy(), 1..60),
+        reps in 1usize..80,
+        threads in 1usize..8,
+        block in 64usize..2048,
+        user in prop::option::of(0u64..8),
+        t in prop::option::of((0u64..86_400, 1u64..86_400)),
+        bbox in prop::option::of((-60.0f64..60.0, -100.0f64..100.0, 0.1f64..1.0, 0.1f64..1.0)),
+        gps in prop::option::of(any::<bool>()),
+    ) {
+        // Tile the generated records so corpora cross the parallel
+        // threshold and roll many segments; mostly-increasing timestamps
+        // give zone-map pruning real opportunities.
+        let mut store = TweetStore::with_segment_bytes(4096);
+        let mut id = 0u64;
+        for rep in 0..reps as u64 {
+            for r in &recs {
+                let mut r = r.clone();
+                r.id = id;
+                r.user %= 8;
+                r.timestamp = (r.timestamp + rep * 3_600) % (200 * 86_400);
+                store.append(&r);
+                id += 1;
+            }
+        }
+        let mut q = Query::all();
+        if let Some(u) = user {
+            q = q.user(u);
+        }
+        if let Some((start, len)) = t {
+            q = q.between(start, start + len);
+        }
+        if let Some((lat, lon, dlat, dlon)) = bbox {
+            q = q.within(BBox::new(lat, lon, lat + dlat, lon + dlon));
+        }
+        if let Some(g) = gps {
+            q = q.gps(g);
+        }
+        let naive: Vec<u64> = store
+            .scan()
+            .filter_map(|r| r.ok())
+            .filter(|r| q.matches(r))
+            .map(|r| r.id)
+            .collect();
+        let opts = ScanOptions { threads, block_records: block };
+        let (got, m) = q.scan_filtered(&store, &opts, |v| Some(v.header.id));
+        prop_assert_eq!(&got, &naive, "parallel threads={} block={}", threads, block);
+        let (serial, _) = q.scan_filtered(&store, &ScanOptions::serial(), |v| Some(v.header.id));
+        prop_assert_eq!(&serial, &naive, "serial disagrees with naive");
+        // Every stored record is accounted for exactly once.
+        prop_assert_eq!(
+            m.records_pruned + m.headers_decoded + m.records_corrupt,
+            m.records_stored
+        );
+        prop_assert_eq!(m.records_yielded as usize, naive.len());
+    }
+
+    #[test]
+    fn all_access_paths_return_identical_rows(
+        recs in prop::collection::vec(record_strategy(), 0..80),
+        user in 0u64..8,
+        t0 in 0u64..86_400u64,
+    ) {
+        // A query with every predicate present can execute through any of
+        // the four access paths; all must return the same rows in the same
+        // (timestamp, id) order.
+        let mut store = TweetStore::with_segment_bytes(2048);
+        for (i, r) in recs.iter().enumerate() {
+            let mut r = r.clone();
+            r.id = i as u64;
+            r.user %= 8;
+            store.append(&r);
+        }
+        let q = Query::all()
+            .user(user)
+            .between(t0, t0 + 12 * 3600)
+            .within(BBox::new(30.0, 120.0, 30.9, 120.9));
+        let expected = q.execute(&store);
+        for path in [
+            AccessPath::UserIndex,
+            AccessPath::GeoIndex,
+            AccessPath::TimeIndex,
+            AccessPath::FullScan,
+        ] {
+            let rows = q.execute_via(&store, path);
+            prop_assert_eq!(&rows, &expected, "path {:?} disagrees", path);
+        }
+    }
+
+    #[test]
+    fn zone_maps_survive_persist_roundtrip(
+        recs in prop::collection::vec(record_strategy(), 0..120),
+        case in 0u32..1_000_000,
+    ) {
+        let mut store = TweetStore::with_segment_bytes(2048);
+        for (i, r) in recs.iter().enumerate() {
+            let mut r = r.clone();
+            r.id = i as u64;
+            store.append(&r);
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "stir-zonemap-prop-{}-{}",
+            std::process::id(),
+            case
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        persist::save(&store, &dir).unwrap();
+        let loaded = persist::load_with_segment_bytes(&dir, 2048).unwrap();
+        prop_assert_eq!(loaded.stats(), store.stats());
+        for (a, b) in store.segments().iter().zip(loaded.segments().iter()) {
+            prop_assert_eq!(a.zone_map(), b.zone_map());
+            // Loaded zone maps equal an independent recompute.
+            prop_assert_eq!(*b.zone_map(), ZoneMap::compute(b).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_torn_tail_zone_maps_match_recompute(
+        recs in prop::collection::vec(record_strategy(), 1..40),
+        cut in 1usize..300,
+    ) {
+        // After torn-tail recovery, the rebuilt store's zone maps must
+        // equal a from-scratch recompute over the surviving records.
+        let path = std::env::temp_dir().join(format!(
+            "stir-wal-zone-prop-{}-{}.log",
+            std::process::id(),
+            cut
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for (i, r) in recs.iter().enumerate() {
+                let mut r = r.clone();
+                r.id = i as u64;
+                wal.append(&r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        let keep = full_len.saturating_sub(cut as u64).max(8);
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(keep).unwrap();
+        drop(f);
+        let (store, recovered) = Wal::recover(&path).unwrap();
+        let mut zone_records = 0u64;
+        for seg in store.segments() {
+            prop_assert_eq!(*seg.zone_map(), ZoneMap::compute(seg).unwrap());
+            zone_records += seg.zone_map().records as u64;
+        }
+        prop_assert_eq!(zone_records, recovered);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -6,10 +6,19 @@
 //! straight off a stored corpus, optionally pre-compacting to GPS records
 //! (which is what a production deployment would keep hot).
 
-use stir_core::{AnalysisResult, CollectionFunnel, ProfileRow, RefinementPipeline, TweetRow};
-use stir_tweetstore::{gps_only, CompactionReport, TweetStore};
+use std::cell::Cell;
 
-/// Runs the full pipeline with tweets scanned out of `store`.
+use stir_core::{AnalysisResult, CollectionFunnel, ProfileRow, RefinementPipeline, TweetRow};
+use stir_tweetstore::{gps_only, CompactionReport, ScanMetrics, TweetStore};
+
+/// Runs the full pipeline with tweets streamed out of `store`.
+///
+/// The hand-off is zero-copy per stored record: the scan decodes only the
+/// fixed-field header of each record into a `Copy` [`TweetRow`] — the
+/// tweet text (which the pipeline never reads) stays untouched in the
+/// segment buffers, so no per-record heap allocation happens on this
+/// path. Scan statistics land in the result's
+/// [`PipelineMetrics::scan`](stir_core::PipelineMetrics) slot.
 pub fn run_from_store<PI>(
     pipeline: &RefinementPipeline<'_>,
     profiles: PI,
@@ -18,12 +27,44 @@ pub fn run_from_store<PI>(
 where
     PI: IntoIterator<Item = ProfileRow>,
 {
-    let tweets = store.scan().filter_map(|r| r.ok()).map(|r| TweetRow {
-        user: r.user,
-        tweet_id: r.id,
-        gps: r.gps,
+    let headers = Cell::new(0u64);
+    let header_bytes = Cell::new(0u64);
+    let corrupt = Cell::new(0u64);
+    let tweets = store.scan_views().filter_map(|r| match r {
+        Ok(v) => {
+            headers.set(headers.get() + 1);
+            header_bytes.set(header_bytes.get() + v.header_len() as u64);
+            Some(TweetRow {
+                user: v.header.user,
+                tweet_id: v.header.id,
+                gps: v.header.gps,
+            })
+        }
+        Err(_) => {
+            corrupt.set(corrupt.get() + 1);
+            None
+        }
     });
-    pipeline.run(profiles, tweets)
+    let mut result = pipeline.run(profiles, tweets);
+    let stats = store.stats();
+    result.metrics.scan = Some(ScanMetrics {
+        segments_total: stats.segments as u64,
+        segments_pruned: 0,
+        records_stored: stats.records,
+        records_pruned: 0,
+        headers_decoded: headers.get(),
+        records_rejected: 0,
+        records_yielded: headers.get(),
+        records_corrupt: corrupt.get(),
+        bytes_stored: stats.payload_bytes,
+        bytes_decoded: header_bytes.get(),
+        threads: 1,
+        blocks_per_thread: vec![stats.segments as u64],
+        // The scan is interleaved with intake: the intake stage's wall
+        // time is the closest honest measure of it.
+        wall: result.metrics.stages.tweet_intake,
+    });
+    result
 }
 
 /// Compacts the store to GPS-only records, then runs the pipeline on the
@@ -112,6 +153,36 @@ mod tests {
             assert_eq!(a.user, b.user);
             assert_eq!(a.matched_rank, b.matched_rank);
         }
+    }
+
+    #[test]
+    fn store_run_reports_scan_metrics() {
+        let (g, dataset, store) = fixtures();
+        let pipeline = RefinementPipeline::with_defaults(g);
+        let result = run_from_store(&pipeline, profile_rows(&dataset), &store);
+        let scan = result
+            .metrics
+            .scan
+            .as_ref()
+            .expect("store runs fill scan metrics");
+        let stats = store.stats();
+        assert_eq!(scan.records_stored, stats.records);
+        assert_eq!(scan.headers_decoded, stats.records);
+        assert_eq!(scan.records_yielded, stats.records);
+        assert_eq!(scan.records_corrupt, 0);
+        assert_eq!(scan.bytes_stored, stats.payload_bytes);
+        // Header-only hand-off: the tweet text is never decoded, so the
+        // decode volume must fall short of the stored volume by at least
+        // the corpus's total text size.
+        assert!(
+            scan.bytes_decoded < scan.bytes_stored,
+            "decoded {} stored {}",
+            scan.bytes_decoded,
+            scan.bytes_stored
+        );
+        // Direct (row-fed) runs leave the slot empty.
+        let direct = pipeline.run(profile_rows(&dataset), std::iter::empty::<TweetRow>());
+        assert!(direct.metrics.scan.is_none());
     }
 
     #[test]
