@@ -1,0 +1,81 @@
+//! End-to-end pipeline benchmarks: the staged reference path against the
+//! fused morsel-driven engine on the same corpus, across the thread range.
+//! The corpus is the realistic shape — district-centroid GPS fixes with a
+//! GPS-less remainder, profiles cycling the classifier branches — so the
+//! numbers measure the engine, not a cache-friendly toy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use stir_bench::district_points;
+use stir_core::{PipelineConfig, ProfileRow, RefinementPipeline, TweetRow};
+use stir_geokr::Gazetteer;
+
+const PROFILE_TEXTS: [&str; 4] = [
+    "Seoul Yangcheon-gu",
+    "Seoul Gangnam-gu",
+    "Busan Jung-gu",
+    "Gyeonggi-do Bucheon-si",
+];
+
+/// `n` tweets over `n / 50` users: ~70% carry a district-centroid GPS fix,
+/// the rest are GPS-less, mirroring the funnel's real mix after the
+/// crawler (the paper's corpus is GPS-sparse; post-filter it is GPS-only).
+fn corpus(g: &Gazetteer, n: usize) -> (Vec<ProfileRow>, Vec<TweetRow>) {
+    let users = (n / 50).max(1) as u64;
+    let points = district_points(g, 256, 42);
+    let profiles = (0..users)
+        .map(|u| ProfileRow {
+            user: u,
+            location_text: PROFILE_TEXTS[u as usize % PROFILE_TEXTS.len()].to_string(),
+        })
+        .collect();
+    let tweets = (0..n as u64)
+        .map(|i| {
+            let user = i % users;
+            if i % 10 < 7 {
+                let p = points[i as usize % points.len()];
+                TweetRow::tagged(user, i, p.lat, p.lon)
+            } else {
+                TweetRow::plain(user, i)
+            }
+        })
+        .collect();
+    (profiles, tweets)
+}
+
+fn bench_e2e(c: &mut Criterion) {
+    let g = Gazetteer::load();
+    let mut group = c.benchmark_group("pipeline/e2e");
+    group.sample_size(10);
+    for &n in &[50_000usize, 200_000] {
+        let (profiles, tweets) = corpus(&g, n);
+        group.throughput(Throughput::Elements(n as u64));
+        for &threads in &[1usize, 8] {
+            for (label, fused) in [("staged", false), ("fused", true)] {
+                let pipeline = RefinementPipeline::new(
+                    &g,
+                    PipelineConfig {
+                        threads,
+                        fused,
+                        ..Default::default()
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{label}/t{threads}"), n),
+                    &(&profiles, &tweets),
+                    |b, (profiles, tweets)| {
+                        b.iter(|| {
+                            let result = pipeline
+                                .run(black_box((*profiles).clone()), black_box((*tweets).clone()));
+                            black_box(result.funnel.users_final)
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -287,6 +287,43 @@ pub fn group_user_keys_with(
     })
 }
 
+/// Groups one hash partition of ordinal-tagged keys, as emitted by the
+/// fused morsel engine. `pairs` must be sorted by `(key.user, ordinal)` —
+/// the ordinal is each key's global input position, so after the sort every
+/// user's keys form a contiguous run *in tweet input order*, exactly the
+/// per-user sequence the staged path hands [`group_user_keys_with`]. Each
+/// run is copied into one reused scratch buffer (its allocation amortizes
+/// to the longest run) and grouped with the same merge kernel, so the
+/// partition output is byte-identical to the staged path's for those users.
+/// Output order is ascending user id (users are unique per partition).
+pub fn group_partition(
+    pairs: &[(u64, LocationKey)],
+    interner: &DistrictInterner,
+    tie_break: TieBreak,
+) -> Vec<GroupedUser> {
+    debug_assert!(
+        pairs
+            .windows(2)
+            .all(|w| (w[0].1.user, w[0].0) <= (w[1].1.user, w[1].0)),
+        "partition not sorted by (user, ordinal)"
+    );
+    let mut out = Vec::new();
+    let mut scratch: Vec<LocationKey> = Vec::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let user = pairs[i].1.user;
+        scratch.clear();
+        while i < pairs.len() && pairs[i].1.user == user {
+            scratch.push(pairs[i].1);
+            i += 1;
+        }
+        if let Some(g) = group_user_keys_with(&scratch, tie_break, interner) {
+            out.push(g);
+        }
+    }
+    out
+}
+
 /// Users handed to a grouping worker per scheduler draw (auto-sized down
 /// for small cohorts, like the geocode stage's blocks).
 const GROUP_BLOCK: usize = 256;
@@ -646,6 +683,55 @@ mod tests {
                 let total: u64 = blocks.iter().sum();
                 assert_eq!(total as usize, cohort.len().div_ceil(block));
             }
+        }
+    }
+
+    #[test]
+    fn partition_grouping_matches_the_cohort_engine() {
+        let mut interner = DistrictInterner::new();
+        let home = interner.intern("Seoul", "Yangchun-gu");
+        let away = interner.intern("Seoul", "Jung-gu");
+        let far = interner.intern("Busan", "Jung-gu");
+        // Three users, keys in a deliberately interleaved global order.
+        let emitted: Vec<(u64, LocationKey)> = vec![
+            (0, key(7, home, away)),
+            (1, key(3, home, home)),
+            (2, key(7, home, home)),
+            (3, key(9, away, far)),
+            (4, key(3, home, away)),
+            (5, key(7, home, home)),
+        ];
+        let mut pairs = emitted.clone();
+        pairs.sort_unstable_by_key(|&(ord, k)| (k.user, ord));
+        let grouped = group_partition(&pairs, &interner, TieBreak::FirstSeen);
+        // Reference: the staged path's per-user vectors in input order.
+        let cohort: Vec<(u64, Vec<LocationKey>)> = [3u64, 7, 9]
+            .iter()
+            .map(|&u| {
+                (
+                    u,
+                    emitted
+                        .iter()
+                        .filter(|(_, k)| k.user == u)
+                        .map(|&(_, k)| k)
+                        .collect(),
+                )
+            })
+            .collect();
+        let (reference, _) = group_cohort(&cohort, &interner, TieBreak::FirstSeen, 1);
+        assert_eq!(grouped.len(), reference.len());
+        for (a, b) in grouped.iter().zip(&reference) {
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.entries, b.entries);
+            assert_eq!(a.matched_rank, b.matched_rank);
+        }
+    }
+
+    fn key(user: u64, profile: DistrictId, tweet: DistrictId) -> LocationKey {
+        LocationKey {
+            user,
+            profile,
+            tweet,
         }
     }
 

@@ -59,8 +59,12 @@ pub use grouping::{
 };
 pub use input::{ProfileRow, TweetRow};
 pub use intern::{DistrictInterner, LocationKey};
-pub use metrics::{GeocodeMetrics, GeocodeMode, GroupingMetrics, PipelineMetrics, StageTimings};
+pub use metrics::{
+    ExecMetrics, GeocodeMetrics, GeocodeMode, GroupingMetrics, PipelineMetrics, SelectMetrics,
+    StageTimings,
+};
 pub use online::OnlineGrouping;
+pub use pipeline::exec::{MorselSource, RowSource};
 pub use pipeline::{AnalysisResult, PipelineConfig, RefinementPipeline};
 pub use reliability::ReliabilityWeights;
 pub use stats::{GroupRow, GroupTable};

@@ -150,15 +150,109 @@ impl GroupingMetrics {
     }
 }
 
+/// Select-stage detail: the profile classifier's memoization behaviour.
+/// Profile `location_text` values repeat heavily across users, so the
+/// classifier runs once per *distinct* string and replays the cached class
+/// (with identical funnel accounting) for every repeat.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelectMetrics {
+    /// Profiles classified (equals `funnel.users_collected`).
+    pub profiles: u64,
+    /// Distinct `location_text` values seen — classifier invocations.
+    pub distinct_texts: u64,
+    /// Profiles answered from the per-text classification cache
+    /// (`profiles - distinct_texts` by construction).
+    pub profile_cache_hits: u64,
+}
+
+/// Fused-engine detail: per-operator row/wall counters of the one-pass
+/// morsel-driven path, partition occupancy, and the intermediate-memory
+/// estimate that the counting-allocator test pins in debug builds.
+///
+/// Operator walls are *summed across workers* (CPU-time-like); the stage
+/// walls in [`StageTimings`] remain end-to-end wall clock.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecMetrics {
+    /// Worker threads that ran the fused pass (1 = inline serial fallback).
+    pub threads: usize,
+    /// Rows per morsel (the work-stealing grain).
+    pub morsel_rows: usize,
+    /// Hash partitions the emitted keys were split into.
+    pub partitions: usize,
+    /// Morsels drawn from the source, summed over workers.
+    pub morsels: u64,
+    /// Morsels drawn by each worker (the scheduler-balance signal).
+    pub morsels_per_thread: Vec<u64>,
+    /// Rows streamed in (equals `funnel.tweets_total`).
+    pub rows_in: u64,
+    /// Rows that carried a GPS fix.
+    pub gps_rows: u64,
+    /// Kept-cohort map probes issued — exactly one per GPS row; the
+    /// staged path's historical double probe is pinned out by tests.
+    pub kept_probes: u64,
+    /// GPS fixes of cohort members handed to the geocoder.
+    pub fixes: u64,
+    /// Location keys emitted into partitions (resolvable fixes).
+    pub keys_emitted: u64,
+    /// Fixes the backend could not resolve (outside coverage / errors).
+    pub unresolved: u64,
+    /// Filter + GPS check + kept probe, summed across workers.
+    pub filter_wall: Duration,
+    /// Batched geocoding, summed across workers.
+    pub geocode_wall: Duration,
+    /// Key build + hash partition + per-morsel flush, summed across workers.
+    pub partition_wall: Duration,
+    /// Partition sort + per-user grouping, summed across workers.
+    pub group_wall: Duration,
+    /// Final user-id-order merge of partition outputs (single-threaded).
+    pub merge_wall: Duration,
+    /// Keys that landed in each partition (skew signal).
+    pub partition_keys: Vec<u64>,
+    /// Peak intermediate bytes the fused pass holds at once, estimated
+    /// from counters: tagged keys + per-worker morsel/scratch buffers.
+    pub peak_bytes_estimate: u64,
+    /// What the staged reference path would have materialized for the same
+    /// input: fix records + resolved vector + per-user key map.
+    pub staged_bytes_estimate: u64,
+}
+
+impl ExecMetrics {
+    /// Peak intermediate bytes per input row; zero on an empty run.
+    pub fn bytes_per_tweet(&self) -> f64 {
+        if self.rows_in == 0 {
+            0.0
+        } else {
+            self.peak_bytes_estimate as f64 / self.rows_in as f64
+        }
+    }
+
+    /// Partition skew: max/mean keys over non-empty partitions (1.0 =
+    /// perfectly even; zero when no keys were emitted).
+    pub fn partition_skew(&self) -> f64 {
+        let total: u64 = self.partition_keys.iter().sum();
+        if total == 0 || self.partition_keys.is_empty() {
+            return 0.0;
+        }
+        let max = *self.partition_keys.iter().max().expect("non-empty") as f64;
+        let mean = total as f64 / self.partition_keys.len() as f64;
+        max / mean
+    }
+}
+
 /// Full observability record for one pipeline run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PipelineMetrics {
     /// Per-stage wall time.
     pub stages: StageTimings,
+    /// Select-stage detail (classifier memoization).
+    pub select: SelectMetrics,
     /// Geocode-stage detail.
     pub geocode: GeocodeMetrics,
     /// Grouping-stage detail.
     pub grouping: GroupingMetrics,
+    /// Fused-engine detail when the morsel-driven path ran; `None` on the
+    /// staged reference path.
+    pub exec: Option<ExecMetrics>,
     /// Store-scan detail when the run was fed from a `TweetStore`
     /// (segments pruned, decode volume, throughput); `None` on row-fed
     /// runs.
@@ -189,6 +283,11 @@ impl PipelineMetrics {
             fmt_duration(s.grouping)
         ));
         out.push_str(&format!("  total          {:>12}\n", fmt_duration(s.total)));
+        let sel = &self.select;
+        out.push_str(&format!(
+            "select stage: {} profiles, {} distinct texts, {} classifier cache hits\n",
+            sel.profiles, sel.distinct_texts, sel.profile_cache_hits,
+        ));
         out.push_str(&format!(
             "geocode stage ({}): {} fixes, {:.0} fixes/sec, cache hit ratio {:.1}%\n",
             g.mode.label(),
@@ -241,10 +340,55 @@ impl PipelineMetrics {
                 blocks.join(", ")
             ));
         }
+        if let Some(e) = &self.exec {
+            out.push_str(&format!(
+                "fused exec: {} workers, {} morsels of {} rows, {} partitions\n",
+                e.threads, e.morsels, e.morsel_rows, e.partitions,
+            ));
+            out.push_str(&format!(
+                "  operators (cpu): filter {} ({} rows), geocode {} ({} fixes), \
+                 partition {} ({} keys), group {}, merge {}\n",
+                fmt_duration(e.filter_wall),
+                e.rows_in,
+                fmt_duration(e.geocode_wall),
+                e.fixes,
+                fmt_duration(e.partition_wall),
+                e.keys_emitted,
+                fmt_duration(e.group_wall),
+                fmt_duration(e.merge_wall),
+            ));
+            if e.threads > 1 {
+                let morsels: Vec<String> =
+                    e.morsels_per_thread.iter().map(|m| m.to_string()).collect();
+                out.push_str(&format!(
+                    "  scheduler: {} threads, morsels per thread [{}]\n",
+                    e.threads,
+                    morsels.join(", ")
+                ));
+            }
+            out.push_str(&format!(
+                "memory: peak intermediate {} ({:.1} B/tweet), staged path would hold {}, \
+                 partition skew {:.2}\n",
+                fmt_bytes(e.peak_bytes_estimate),
+                e.bytes_per_tweet(),
+                fmt_bytes(e.staged_bytes_estimate),
+                e.partition_skew(),
+            ));
+        }
         if let Some(scan) = &self.scan {
             out.push_str(&scan.render());
         }
         out
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
     }
 }
 
@@ -318,6 +462,11 @@ mod tests {
                     simulated_ms: 1_234,
                 },
             },
+            select: SelectMetrics {
+                profiles: 5_000,
+                distinct_texts: 800,
+                profile_cache_hits: 4_200,
+            },
             grouping: GroupingMetrics {
                 strings: 10_000,
                 users: 500,
@@ -327,12 +476,39 @@ mod tests {
                 blocks_per_thread: vec![2, 1, 1, 0],
                 wall: Duration::from_micros(900),
             },
+            exec: Some(ExecMetrics {
+                threads: 4,
+                morsel_rows: 2_048,
+                partitions: 16,
+                morsels: 25,
+                morsels_per_thread: vec![7, 6, 6, 6],
+                rows_in: 50_000,
+                gps_rows: 9_000,
+                kept_probes: 9_000,
+                fixes: 8_500,
+                keys_emitted: 8_400,
+                unresolved: 100,
+                filter_wall: Duration::from_millis(2),
+                geocode_wall: Duration::from_millis(35),
+                partition_wall: Duration::from_millis(1),
+                group_wall: Duration::from_millis(1),
+                merge_wall: Duration::from_micros(80),
+                partition_keys: vec![600; 14],
+                peak_bytes_estimate: 220_000,
+                staged_bytes_estimate: 540_000,
+            }),
             scan: None,
         };
         assert!(m.geocode.traffic.is_exact());
         let r = m.render();
         for needle in [
             "select users",
+            "select stage: 5000 profiles, 800 distinct texts, 4200 classifier cache hits",
+            "fused exec: 4 workers, 25 morsels of 2048 rows, 16 partitions",
+            "operators (cpu):",
+            "morsels per thread [7, 6, 6, 6]",
+            "memory: peak intermediate 214.8 KiB (4.4 B/tweet)",
+            "partition skew 1.00",
             "tweet intake",
             "geocode",
             "grouping",

@@ -32,6 +32,8 @@
 //! Per-user grouping fans out over the same block scheduler; results are
 //! stitched in user-id order, so the output is byte-identical to serial.
 
+pub mod exec;
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -46,7 +48,8 @@ use crate::granularity::Granularity;
 use crate::grouping::{group_cohort, GroupedUser, TieBreak};
 use crate::input::{ProfileRow, TweetRow};
 use crate::intern::{DistrictId, DistrictInterner, LocationKey};
-use crate::metrics::{GeocodeMetrics, GeocodeMode, PipelineMetrics};
+use crate::metrics::{GeocodeMetrics, GeocodeMode, PipelineMetrics, SelectMetrics};
+use exec::{MorselSource, RowSource};
 
 /// Fixes handed to a worker per scheduler draw. Big enough that the atomic
 /// cursor is cold (one fetch_add per ~2048 lookups), small enough that a
@@ -56,8 +59,39 @@ const GEOCODE_BLOCK: usize = 2048;
 /// Below this many fixes the thread-spawn overhead outweighs the fan-out.
 const PARALLEL_THRESHOLD: usize = 1024;
 
+/// Default rows per morsel on the fused path: big enough that per-morsel
+/// costs (source cursor, batched geocode dispatch, partition flush) are
+/// cold, small enough that workers stay balanced on skewed inputs.
+const DEFAULT_MORSEL_ROWS: usize = 2048;
+
 /// One geocoded fix: the gazetteer district id, or `None` outside coverage.
 type ResolvedFix = Option<GazDistrictId>;
+
+/// One intake survivor on the staged path: `(user, tweet_id, point,
+/// profile district)` — the profile id is captured at the single
+/// kept-cohort probe and rides along, so the key build never hashes the
+/// user a second time.
+type Fix = (u64, u64, Point, DistrictId);
+
+/// The memoized outcome of classifying one distinct profile text: which
+/// funnel bucket(s) it increments and, for kept users, the interned
+/// district. Replaying one of these is observably identical to
+/// re-running the classifier on the same text.
+#[derive(Clone, Copy)]
+enum CachedClass {
+    /// Well-defined text → kept with this interned profile district.
+    Kept(DistrictId),
+    /// Literal coordinates that resolved in coverage → kept (counted
+    /// under both `profile_coordinates` and `well_defined`).
+    KeptCoordinates(DistrictId),
+    /// Literal coordinates outside coverage → foreign.
+    ForeignCoordinates,
+    Vague,
+    Insufficient,
+    Ambiguous,
+    Foreign,
+    Empty,
+}
 
 /// Pipeline options.
 #[derive(Clone, Copy, Debug)]
@@ -79,6 +113,15 @@ pub struct PipelineConfig {
     pub threads: usize,
     /// Grouping grain (the §III-B metropolitan-split choice).
     pub granularity: Granularity,
+    /// Run stages 2–3 on the fused morsel-driven engine (default). The
+    /// staged path stays available as the reference implementation —
+    /// byte-identical output, pinned by tests.
+    pub fused: bool,
+    /// Rows per morsel on the fused path; `0` picks the default grain.
+    pub morsel_rows: usize,
+    /// Hash partitions for emitted keys on the fused path; `0` sizes from
+    /// the thread count.
+    pub fused_partitions: usize,
 }
 
 impl Default for PipelineConfig {
@@ -90,6 +133,9 @@ impl Default for PipelineConfig {
             resilience: ResiliencePolicy::default(),
             threads: 4,
             granularity: Granularity::District,
+            fused: true,
+            morsel_rows: 0,
+            fused_partitions: 0,
         }
     }
 }
@@ -102,6 +148,27 @@ impl PipelineConfig {
             BackendChoice::Yahoo
         } else {
             self.backend
+        }
+    }
+
+    /// Rows per morsel the fused engine actually uses.
+    pub fn effective_morsel_rows(&self) -> usize {
+        if self.morsel_rows == 0 {
+            DEFAULT_MORSEL_ROWS
+        } else {
+            self.morsel_rows
+        }
+    }
+
+    /// Key partitions the fused engine actually uses: explicit value, or
+    /// 4× the thread count rounded to a power of two (min 8) — a pure
+    /// function of the config, so a given config always partitions the
+    /// same way (the output is partition-count-invariant regardless).
+    pub fn effective_partitions(&self) -> usize {
+        if self.fused_partitions != 0 {
+            self.fused_partitions
+        } else {
+            (self.threads.max(1) * 4).next_power_of_two().clamp(8, 256)
         }
     }
 }
@@ -202,46 +269,85 @@ impl<'g> RefinementPipeline<'g> {
     where
         I: IntoIterator<Item = ProfileRow>,
     {
+        let mut select = SelectMetrics::default();
+        self.select_users_metered(profiles, funnel, &mut select)
+    }
+
+    /// [`RefinementPipeline::select_users`] with the memoization counters
+    /// exposed. Profile `location_text` values repeat heavily across
+    /// users, so the classifier (and, for literal coordinates, the
+    /// reverse geocoder) runs once per *distinct* text; repeats replay the
+    /// cached class with identical funnel accounting. The cache key takes
+    /// ownership of the row's text — no clone on either path.
+    pub fn select_users_metered<I>(
+        &self,
+        profiles: I,
+        funnel: &mut CollectionFunnel,
+        select: &mut SelectMetrics,
+    ) -> HashMap<u64, DistrictId>
+    where
+        I: IntoIterator<Item = ProfileRow>,
+    {
         let mut kept = HashMap::new();
-        for p in profiles {
+        let mut cache: HashMap<String, CachedClass> = HashMap::new();
+        for ProfileRow {
+            user,
+            location_text,
+        } in profiles
+        {
             funnel.users_collected += 1;
-            let district = match self.classifier.classify(&p.location_text) {
-                ProfileClass::WellDefined(id) => Some(id),
-                ProfileClass::Coordinates(point) => {
-                    funnel.users_profile_coordinates += 1;
-                    let resolved = self.gazetteer.resolve_point(point);
-                    if resolved.is_none() {
-                        funnel.users_foreign += 1;
-                    }
-                    resolved
+            select.profiles += 1;
+            let class = match cache.get(location_text.as_str()) {
+                Some(&class) => {
+                    select.profile_cache_hits += 1;
+                    class
                 }
-                ProfileClass::Vague => {
-                    funnel.users_vague += 1;
-                    None
-                }
-                ProfileClass::Insufficient(_) => {
-                    funnel.users_insufficient += 1;
-                    None
-                }
-                ProfileClass::Ambiguous(_) => {
-                    funnel.users_ambiguous += 1;
-                    None
-                }
-                ProfileClass::Foreign => {
-                    funnel.users_foreign += 1;
-                    None
-                }
-                ProfileClass::Empty => {
-                    funnel.users_empty += 1;
-                    None
+                None => {
+                    let class = self.classify_cached(&location_text);
+                    cache.insert(location_text, class);
+                    class
                 }
             };
-            if let Some(id) = district {
-                funnel.users_well_defined += 1;
-                kept.insert(p.user, self.gaz_to_interned[id.0 as usize]);
+            match class {
+                CachedClass::Kept(id) => {
+                    funnel.users_well_defined += 1;
+                    kept.insert(user, id);
+                }
+                CachedClass::KeptCoordinates(id) => {
+                    funnel.users_profile_coordinates += 1;
+                    funnel.users_well_defined += 1;
+                    kept.insert(user, id);
+                }
+                CachedClass::ForeignCoordinates => {
+                    funnel.users_profile_coordinates += 1;
+                    funnel.users_foreign += 1;
+                }
+                CachedClass::Vague => funnel.users_vague += 1,
+                CachedClass::Insufficient => funnel.users_insufficient += 1,
+                CachedClass::Ambiguous => funnel.users_ambiguous += 1,
+                CachedClass::Foreign => funnel.users_foreign += 1,
+                CachedClass::Empty => funnel.users_empty += 1,
             }
         }
+        select.distinct_texts = cache.len() as u64;
         kept
+    }
+
+    /// Classifies one distinct profile text down to its funnel bucket —
+    /// the per-text work the select stage memoizes.
+    fn classify_cached(&self, text: &str) -> CachedClass {
+        match self.classifier.classify(text) {
+            ProfileClass::WellDefined(id) => CachedClass::Kept(self.gaz_to_interned[id.0 as usize]),
+            ProfileClass::Coordinates(point) => match self.gazetteer.resolve_point(point) {
+                Some(id) => CachedClass::KeptCoordinates(self.gaz_to_interned[id.0 as usize]),
+                None => CachedClass::ForeignCoordinates,
+            },
+            ProfileClass::Vague => CachedClass::Vague,
+            ProfileClass::Insufficient(_) => CachedClass::Insufficient,
+            ProfileClass::Ambiguous(_) => CachedClass::Ambiguous,
+            ProfileClass::Foreign => CachedClass::Foreign,
+            ProfileClass::Empty => CachedClass::Empty,
+        }
     }
 
     /// Stages 2–3: filter and geocode tweets, build packed location keys,
@@ -257,14 +363,18 @@ impl<'g> RefinementPipeline<'g> {
         I: IntoIterator<Item = TweetRow>,
     {
         // Intake: collect GPS fixes of kept users, preserving input order.
+        // One cohort probe per GPS tweet: the profile district is captured
+        // here and rides in the fix record, so the key build below never
+        // hashes the user again (the old shape probed `contains_key` here
+        // and indexed `kept[user]` there — twice per kept tweet).
         let intake_start = Instant::now();
-        let mut fixes: Vec<(u64, u64, Point)> = Vec::new();
+        let mut fixes: Vec<Fix> = Vec::new();
         for t in tweets {
             funnel.tweets_total += 1;
             if let Some(p) = t.gps {
                 funnel.tweets_with_gps += 1;
-                if kept.contains_key(&t.user) {
-                    fixes.push((t.user, t.tweet_id, p));
+                if let Some(&profile) = kept.get(&t.user) {
+                    fixes.push((t.user, t.tweet_id, p, profile));
                 }
             }
         }
@@ -280,15 +390,15 @@ impl<'g> RefinementPipeline<'g> {
         // table indexes and a 16-byte push — no string is hashed or cloned.
         let grouping_start = Instant::now();
         let mut per_user: HashMap<u64, Vec<LocationKey>> = HashMap::new();
-        for ((user, _tweet_id, _p), rec) in fixes.iter().zip(resolved) {
+        for (&(user, _tweet_id, _p, profile), rec) in fixes.iter().zip(resolved) {
             let Some(gaz_id) = rec else {
                 funnel.tweets_gps_unresolvable += 1;
                 continue;
             };
             funnel.strings_built += 1;
-            per_user.entry(*user).or_default().push(LocationKey {
-                user: *user,
-                profile: kept[user],
+            per_user.entry(user).or_default().push(LocationKey {
+                user,
+                profile,
                 tweet: self.gaz_to_interned[gaz_id.0 as usize],
             });
         }
@@ -313,6 +423,42 @@ impl<'g> RefinementPipeline<'g> {
         grouped
     }
 
+    /// Stages 2–3 on the fused morsel-driven engine
+    /// ([`exec`](crate::pipeline::exec)): filter, geocode (batched per
+    /// morsel), intern, partition, and group in one parallel pass — no
+    /// fix vector, no resolved vector, no per-user key map. Output is
+    /// byte-identical to [`RefinementPipeline::process_tweets`]; metrics
+    /// additionally fill the [`PipelineMetrics::exec`] slot.
+    pub fn process_tweets_fused(
+        &self,
+        kept: &HashMap<u64, DistrictId>,
+        source: &dyn MorselSource,
+        funnel: &mut CollectionFunnel,
+        metrics: &mut PipelineMetrics,
+    ) -> Vec<GroupedUser> {
+        let backend = self.build_backend();
+        exec::run_fused(
+            source,
+            &exec::FusedParams {
+                backend: backend.as_ref(),
+                choice: self.config.effective_backend(),
+                kept,
+                gaz_to_interned: &self.gaz_to_interned,
+                interner: &self.interner,
+                tie_break: TieBreak::FirstSeen,
+                threads: self.config.threads.max(1),
+                partitions: self.config.effective_partitions(),
+            },
+            funnel,
+            metrics,
+        )
+    }
+
+    /// The pipeline's configuration, as constructed.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
     /// Assembles the configured backend. The pipeline only ever sees
     /// `dyn Geocoder` — the concrete type is the builder's business.
     fn build_backend(&self) -> Box<dyn Geocoder + 'g> {
@@ -325,7 +471,7 @@ impl<'g> RefinementPipeline<'g> {
 
     fn geocode_all(
         &self,
-        fixes: &[(u64, u64, Point)],
+        fixes: &[Fix],
         funnel: &mut CollectionFunnel,
         metrics: &mut GeocodeMetrics,
     ) -> Vec<ResolvedFix> {
@@ -346,7 +492,7 @@ impl<'g> RefinementPipeline<'g> {
             metrics.blocks_per_thread =
                 geocode_parallel(backend.as_ref(), fixes, &mut out, threads);
         } else {
-            for (slot, &(_, _, p)) in out.iter_mut().zip(fixes) {
+            for (slot, &(_, _, p, _)) in out.iter_mut().zip(fixes) {
                 *slot = resolve_one(backend.as_ref(), p);
             }
         }
@@ -361,22 +507,61 @@ impl<'g> RefinementPipeline<'g> {
         out
     }
 
-    /// Runs the full pipeline.
+    /// Runs the full pipeline. Stages 2–3 go through the fused morsel
+    /// engine unless [`PipelineConfig::fused`] turned it off (the staged
+    /// reference path produces byte-identical output).
     pub fn run<PI, TI>(&self, profiles: PI, tweets: TI) -> AnalysisResult
     where
         PI: IntoIterator<Item = ProfileRow>,
         TI: IntoIterator<Item = TweetRow>,
+        TI::IntoIter: Send,
     {
         let total_start = Instant::now();
         let mut funnel = CollectionFunnel::default();
         let mut metrics = PipelineMetrics::default();
         let select_start = Instant::now();
-        let kept = self.select_users(profiles, &mut funnel);
+        let kept = self.select_users_metered(profiles, &mut funnel, &mut metrics.select);
         metrics.stages.select_users = select_start.elapsed();
-        let users = self.process_tweets(&kept, tweets, &mut funnel, &mut metrics);
+        let users = if self.config.fused {
+            let source = RowSource::new(tweets.into_iter(), self.config.effective_morsel_rows());
+            self.process_tweets_fused(&kept, &source, &mut funnel, &mut metrics)
+        } else {
+            self.process_tweets(&kept, tweets, &mut funnel, &mut metrics)
+        };
         metrics.stages.total = total_start.elapsed();
-        // Resolve the interned profile districts to strings once, at the
-        // boundary — downstream consumers keep their published String view.
+        self.finish(funnel, users, kept, metrics)
+    }
+
+    /// Runs the full pipeline with stages 2–3 fed by an arbitrary
+    /// [`MorselSource`] — the fused engine always runs on this entry (a
+    /// morsel source has no staged equivalent). This is how store-backed
+    /// runs stream scan blocks straight into the engine without ever
+    /// collecting a row vector.
+    pub fn run_from_source<PI>(&self, profiles: PI, source: &dyn MorselSource) -> AnalysisResult
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+    {
+        let total_start = Instant::now();
+        let mut funnel = CollectionFunnel::default();
+        let mut metrics = PipelineMetrics::default();
+        let select_start = Instant::now();
+        let kept = self.select_users_metered(profiles, &mut funnel, &mut metrics.select);
+        metrics.stages.select_users = select_start.elapsed();
+        let users = self.process_tweets_fused(&kept, source, &mut funnel, &mut metrics);
+        metrics.stages.total = total_start.elapsed();
+        self.finish(funnel, users, kept, metrics)
+    }
+
+    /// Shared tail of the `run*` entry points: resolve the interned
+    /// profile districts to strings once, at the boundary — downstream
+    /// consumers keep their published String view.
+    fn finish(
+        &self,
+        funnel: CollectionFunnel,
+        users: Vec<GroupedUser>,
+        kept: HashMap<u64, DistrictId>,
+        metrics: PipelineMetrics,
+    ) -> AnalysisResult {
         let kept_profiles = kept
             .into_iter()
             .map(|(user, id)| {
@@ -412,7 +597,7 @@ fn resolve_one(backend: &dyn Geocoder, p: Point) -> ResolvedFix {
 /// [`GeocodeMetrics::blocks_per_thread`]).
 fn geocode_parallel(
     backend: &dyn Geocoder,
-    fixes: &[(u64, u64, Point)],
+    fixes: &[Fix],
     out: &mut [ResolvedFix],
     threads: usize,
 ) -> Vec<u64> {
@@ -435,7 +620,7 @@ fn geocode_parallel(
                     }
                     let end = (start + block).min(fixes.len());
                     let mut resolved = Vec::with_capacity(end - start);
-                    for &(_, _, p) in &fixes[start..end] {
+                    for &(_, _, p, _) in &fixes[start..end] {
                         resolved.push(resolve_one(backend, p));
                     }
                     blocks += 1;
@@ -840,6 +1025,174 @@ mod tests {
             result.kept_profiles[&1],
             ("Seoul".to_string(), "Yangcheon-gu".to_string())
         );
+    }
+
+    /// A small mixed corpus: kept users, a dropped user, GPS-less rows,
+    /// and an out-of-coverage fix — every funnel branch exercised.
+    fn mixed_corpus() -> (Vec<ProfileRow>, Vec<TweetRow>) {
+        let profiles = vec![
+            profile(1, "Seoul Yangcheon-gu"),
+            profile(2, "my home"),
+            profile(3, "Seoul"),
+            profile(4, "Seoul Gangnam-gu"),
+            profile(5, "Gyeonggi-do Uiwang-si"),
+        ];
+        let mut tweets = Vec::new();
+        for i in 0..40u64 {
+            let user = 1 + i % 5;
+            tweets.push(match i % 4 {
+                0 => TweetRow::tagged(user, i, YANGCHEON.0, YANGCHEON.1),
+                1 => TweetRow::tagged(user, i, GANGNAM.0, GANGNAM.1),
+                2 => TweetRow::plain(user, i),
+                // Tokyo: GPS present, outside coverage → unresolvable.
+                _ => TweetRow::tagged(user, i, 35.68, 139.69),
+            });
+        }
+        (profiles, tweets)
+    }
+
+    fn assert_identical(a: &AnalysisResult, b: &AnalysisResult) {
+        assert_eq!(a.funnel, b.funnel);
+        assert_eq!(a.users.len(), b.users.len());
+        for (x, y) in a.users.iter().zip(&b.users) {
+            assert_eq!(x.user, y.user);
+            assert_eq!(x.state_profile, y.state_profile);
+            assert_eq!(x.county_profile, y.county_profile);
+            assert_eq!(x.entries, y.entries);
+            assert_eq!(x.matched_rank, y.matched_rank);
+        }
+        assert_eq!(a.kept_profiles, b.kept_profiles);
+    }
+
+    #[test]
+    fn fused_engine_is_byte_identical_to_staged_reference() {
+        let g = gaz();
+        let (profiles, tweets) = mixed_corpus();
+        let staged = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                fused: false,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let reference = staged.run(profiles.clone(), tweets.clone());
+        assert!(reference.metrics.exec.is_none());
+        for threads in [1, 2, 8] {
+            for morsel_rows in [1, 7, 4096] {
+                for fused_partitions in [1, 3, 16] {
+                    let fused = RefinementPipeline::new(
+                        g,
+                        PipelineConfig {
+                            threads,
+                            morsel_rows,
+                            fused_partitions,
+                            ..Default::default()
+                        },
+                    );
+                    let got = fused.run(profiles.clone(), tweets.clone());
+                    assert_identical(&got, &reference);
+                    let exec = got.metrics.exec.as_ref().expect("fused fills exec");
+                    assert_eq!(exec.morsel_rows, morsel_rows);
+                    assert_eq!(exec.partitions, fused_partitions);
+                    assert_eq!(exec.rows_in, got.funnel.tweets_total);
+                    assert_eq!(
+                        exec.partition_keys.iter().sum::<u64>(),
+                        got.funnel.strings_built
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_probes_the_cohort_exactly_once_per_gps_tweet() {
+        let g = gaz();
+        let pipe = RefinementPipeline::with_defaults(g);
+        let (profiles, tweets) = mixed_corpus();
+        let result = pipe.run(profiles, tweets);
+        let exec = result.metrics.exec.as_ref().expect("fused fills exec");
+        // One probe per GPS row — the profile district rides in the
+        // pending record instead of being re-fetched at key build (the
+        // old staged shape would have probed gps + fixes times).
+        assert_eq!(exec.kept_probes, result.funnel.tweets_with_gps);
+        assert!(exec.kept_probes < result.funnel.tweets_total);
+        assert_eq!(exec.fixes, exec.keys_emitted + exec.unresolved);
+    }
+
+    #[test]
+    fn fused_small_input_falls_back_to_one_inline_worker() {
+        let g = gaz();
+        let pipe = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                threads: 8,
+                ..Default::default()
+            },
+        );
+        let result = pipe.run(
+            vec![profile(1, "Seoul Yangcheon-gu")],
+            vec![TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1)],
+        );
+        let exec = result.metrics.exec.as_ref().expect("fused fills exec");
+        assert_eq!(exec.threads, 1, "below threshold stays inline");
+        assert_eq!(result.metrics.geocode.mode, GeocodeMode::DirectSerial);
+        assert!(result.metrics.geocode.blocks_per_thread.is_empty());
+        // Memory estimates are filled and favour the fused shape.
+        assert!(exec.peak_bytes_estimate > 0);
+        assert!(exec.staged_bytes_estimate > 0);
+    }
+
+    #[test]
+    fn select_users_memoizes_repeated_profile_texts_with_exact_funnel() {
+        let g = gaz();
+        let pipe = RefinementPipeline::with_defaults(g);
+        // 60 profiles over 6 distinct texts, covering kept / vague /
+        // insufficient / coordinate / foreign-coordinate / empty branches.
+        let texts = [
+            "Seoul Yangcheon-gu",
+            "my home",
+            "Seoul",
+            "37.517, 126.866",
+            "35.68, 139.69",
+            "",
+        ];
+        let profiles: Vec<ProfileRow> = (0..60)
+            .map(|i| profile(i, texts[(i % 6) as usize]))
+            .collect();
+        let mut funnel = CollectionFunnel::default();
+        let mut select = SelectMetrics::default();
+        let kept = pipe.select_users_metered(profiles.clone(), &mut funnel, &mut select);
+        assert_eq!(select.profiles, 60);
+        assert_eq!(select.distinct_texts, 6);
+        assert_eq!(select.profile_cache_hits, 54);
+        // Funnel counters stay exact: every branch counted per profile,
+        // not per distinct text.
+        assert_eq!(funnel.users_collected, 60);
+        assert_eq!(funnel.users_well_defined, 20, "kept text + resolved coords");
+        assert_eq!(funnel.users_vague, 10);
+        assert_eq!(funnel.users_insufficient, 10);
+        assert_eq!(funnel.users_profile_coordinates, 20);
+        assert_eq!(funnel.users_foreign, 10, "foreign coordinates");
+        assert_eq!(funnel.users_empty, 10);
+        assert_eq!(kept.len(), 20);
+        // The metered entry is what run() uses, so results agree with the
+        // plain wrapper.
+        let mut funnel2 = CollectionFunnel::default();
+        let kept2 = pipe.select_users(profiles, &mut funnel2);
+        assert_eq!(funnel, funnel2);
+        assert_eq!(kept, kept2);
+    }
+
+    #[test]
+    fn run_from_source_equals_row_fed_run() {
+        let g = gaz();
+        let pipe = RefinementPipeline::with_defaults(g);
+        let (profiles, tweets) = mixed_corpus();
+        let by_rows = pipe.run(profiles.clone(), tweets.clone());
+        let source = RowSource::new(tweets.into_iter(), 3);
+        let by_source = pipe.run_from_source(profiles, &source);
+        assert_identical(&by_rows, &by_source);
     }
 
     #[test]

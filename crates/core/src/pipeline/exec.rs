@@ -1,0 +1,518 @@
+//! The fused, morsel-driven execution engine (stages 2–3 in one pass).
+//!
+//! The staged reference path runs the paper's §III pipeline as four
+//! barrier-separated stages, materializing a fix vector, a resolved
+//! vector, and a per-user key map between them — two of those stages
+//! serial. This engine fuses them: tweet rows stream in fixed-size
+//! **morsels** handed out by a work-stealing source, and each worker runs
+//! filter → GPS check → kept-user probe → batched geocode → intern →
+//! [`LocationKey`] emission in one pass. Nothing row-shaped survives a
+//! morsel: the only growing intermediate is the emitted key itself.
+//!
+//! **Determinism.** Every emitted key is tagged with its row's global
+//! *ordinal* (input position, assigned by the source under its cursor
+//! lock). Keys hash-partition by user — SplitMix64 of the user id modulo
+//! `P`, so one user's keys land wholly in one partition — into
+//! `Mutex<Vec<_>>` buffers, appended per morsel from thread-local
+//! staging (the lock is touched once per morsel per partition, never per
+//! row). Each partition then sorts by `(user, ordinal)`: ordinals are
+//! unique, so the sort key is a strict total order and the result is
+//! independent of worker interleaving; within a user the keys come out in
+//! tweet input order, which is exactly the sequence the staged path feeds
+//! the grouping kernel. Partitions group in parallel through
+//! [`group_partition`] (the PR-3 merge engine) and concatenate +
+//! user-id-sort at the end — users are unique across partitions, so the
+//! final order is deterministic too. Funnel counters are order-independent
+//! sums. The output is therefore byte-identical to the staged path at
+//! every thread/morsel/partition geometry, which the property tests pin.
+//!
+//! **Fallback.** Below [`FUSED_PARALLEL_THRESHOLD`] buffered rows (or at
+//! `threads = 1`) the pass runs inline on the calling thread — the
+//! prefetched morsels are replayed first, so no row is lost or reordered.
+
+use std::collections::HashMap;
+use std::mem::size_of;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use stir_geoindex::Point;
+use stir_geokr::service::{BackendChoice, Geocoder};
+use stir_geokr::{DistrictId as GazDistrictId, GeocodeError};
+
+use crate::funnel::CollectionFunnel;
+use crate::grouping::{group_partition, GroupedUser, TieBreak};
+use crate::input::TweetRow;
+use crate::intern::{DistrictId, DistrictInterner, LocationKey};
+use crate::metrics::{ExecMetrics, GeocodeMode, PipelineMetrics};
+
+/// Below this many prefetched rows the fused pass stays on the calling
+/// thread — same rationale (and value) as the staged geocode stage's
+/// spawn threshold.
+pub const FUSED_PARALLEL_THRESHOLD: usize = 1024;
+
+/// A source of tweet-row morsels that many workers can drain concurrently.
+///
+/// `next_morsel` clears `buf`, fills it with the next batch of rows, and
+/// returns the global **ordinal** (0-based input position) of the batch's
+/// first row, or `None` when the source is exhausted. Ordinals must be
+/// strictly increasing across successive batches and row `i` of a batch
+/// must rank at `first + i`: the engine tags every emitted key with them
+/// to reconstruct input order after the parallel free-for-all. A source
+/// may skip rows (e.g. corrupt store records) — gaps only waste ordinals,
+/// which need to be unique and monotone, not dense.
+pub trait MorselSource: Sync {
+    /// Fills `buf` with the next morsel; returns its first row's ordinal.
+    fn next_morsel(&self, buf: &mut Vec<TweetRow>) -> Option<u64>;
+
+    /// Rows a full morsel carries (buffer-capacity hint and metrics label).
+    fn morsel_rows(&self) -> usize;
+}
+
+/// Adapts any row iterator into a [`MorselSource`]: a mutex around the
+/// iterator hands out `morsel_rows`-sized batches with a running ordinal.
+/// The lock is held once per morsel, not per row.
+pub struct RowSource<I> {
+    state: Mutex<(I, u64)>,
+    morsel_rows: usize,
+}
+
+impl<I: Iterator<Item = TweetRow> + Send> RowSource<I> {
+    /// Wraps `rows`, batching `morsel_rows` rows per draw (min 1).
+    pub fn new(rows: I, morsel_rows: usize) -> Self {
+        RowSource {
+            state: Mutex::new((rows, 0)),
+            morsel_rows: morsel_rows.max(1),
+        }
+    }
+}
+
+impl<I: Iterator<Item = TweetRow> + Send> MorselSource for RowSource<I> {
+    fn next_morsel(&self, buf: &mut Vec<TweetRow>) -> Option<u64> {
+        buf.clear();
+        let mut state = self.state.lock().expect("row source poisoned");
+        let (rows, next_ordinal) = &mut *state;
+        let first = *next_ordinal;
+        buf.extend(rows.take(self.morsel_rows));
+        *next_ordinal += buf.len() as u64;
+        if buf.is_empty() {
+            None
+        } else {
+            Some(first)
+        }
+    }
+
+    fn morsel_rows(&self) -> usize {
+        self.morsel_rows
+    }
+}
+
+/// Everything a fused pass needs from the pipeline, borrowed.
+pub(crate) struct FusedParams<'a> {
+    /// The assembled geocoding backend (shared by all workers).
+    pub backend: &'a dyn Geocoder,
+    /// Which backend `backend` is — drives the mode label only.
+    pub choice: BackendChoice,
+    /// Kept users → interned profile district (stage-1 output).
+    pub kept: &'a HashMap<u64, DistrictId>,
+    /// Gazetteer district id → interned grouping id.
+    pub gaz_to_interned: &'a [DistrictId],
+    /// The district symbol table (grouping boundary).
+    pub interner: &'a DistrictInterner,
+    /// Grouping tie-break policy.
+    pub tie_break: TieBreak,
+    /// Configured worker budget (≥ 1; the threshold may shrink it to 1).
+    pub threads: usize,
+    /// Hash partitions for emitted keys (≥ 1).
+    pub partitions: usize,
+}
+
+/// A row that survived filter + probe, waiting on its morsel's geocode:
+/// `(ordinal, user, profile district)`.
+type Pending = (u64, u64, DistrictId);
+
+/// One batched-geocode answer (per-point, like the staged path's).
+type Resolved = Result<Option<GazDistrictId>, GeocodeError>;
+
+/// The staged path's fix record — referenced here only to estimate, from
+/// the fused pass's counters, what the reference path would have held.
+type StagedFix = (u64, u64, Point, DistrictId);
+
+/// Counters one worker accumulates over its morsels.
+#[derive(Default)]
+struct WorkerStats {
+    morsels: u64,
+    rows_in: u64,
+    gps_rows: u64,
+    kept_probes: u64,
+    fixes: u64,
+    keys: u64,
+    unresolved: u64,
+    filter_wall: Duration,
+    geocode_wall: Duration,
+    partition_wall: Duration,
+    /// Final capacity of the worker's reusable morsel buffers, in bytes —
+    /// its contribution to the peak-intermediate estimate.
+    buffer_bytes: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The partition a user's keys land in — a pure function of the user id
+/// and the partition count, so the layout never depends on threads.
+fn partition_of(user: u64, partitions: usize) -> usize {
+    (splitmix64(user) % partitions as u64) as usize
+}
+
+/// Replays prefetched morsels before draining the underlying source —
+/// how the engine peeks at the input size without losing rows.
+struct PrefetchSource<'a> {
+    buffered: Mutex<std::vec::IntoIter<(u64, Vec<TweetRow>)>>,
+    rest: &'a dyn MorselSource,
+}
+
+impl MorselSource for PrefetchSource<'_> {
+    fn next_morsel(&self, buf: &mut Vec<TweetRow>) -> Option<u64> {
+        let next = self.buffered.lock().expect("prefetch poisoned").next();
+        if let Some((first, rows)) = next {
+            buf.clear();
+            buf.extend_from_slice(&rows);
+            Some(first)
+        } else {
+            self.rest.next_morsel(buf)
+        }
+    }
+
+    fn morsel_rows(&self) -> usize {
+        self.rest.morsel_rows()
+    }
+}
+
+/// One worker's whole pass: drain morsels until the source is dry.
+fn worker_pass(
+    source: &dyn MorselSource,
+    p: &FusedParams<'_>,
+    partitions: &[Mutex<Vec<(u64, LocationKey)>>],
+) -> WorkerStats {
+    let morsel_rows = source.morsel_rows();
+    let mut stats = WorkerStats::default();
+    let mut buf: Vec<TweetRow> = Vec::with_capacity(morsel_rows);
+    let mut points: Vec<Point> = Vec::new();
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut resolved: Vec<Resolved> = Vec::new();
+    let mut staging: Vec<Vec<(u64, LocationKey)>> =
+        (0..partitions.len()).map(|_| Vec::new()).collect();
+    while let Some(first) = source.next_morsel(&mut buf) {
+        stats.morsels += 1;
+        // Filter: GPS check + one kept-cohort probe per GPS row. The
+        // profile district rides in the pending record, so the key build
+        // below never re-hashes the user.
+        let filter_start = Instant::now();
+        points.clear();
+        pending.clear();
+        for (i, t) in buf.iter().enumerate() {
+            stats.rows_in += 1;
+            let Some(point) = t.gps else { continue };
+            stats.gps_rows += 1;
+            stats.kept_probes += 1;
+            if let Some(&profile) = p.kept.get(&t.user) {
+                pending.push((first + i as u64, t.user, profile));
+                points.push(point);
+            }
+        }
+        stats.fixes += pending.len() as u64;
+        stats.filter_wall += filter_start.elapsed();
+
+        // Geocode the whole morsel in one backend call (per-point results,
+        // identical semantics and traffic to point-at-a-time).
+        let geocode_start = Instant::now();
+        p.backend.resolve_id_batch(&points, &mut resolved);
+        stats.geocode_wall += geocode_start.elapsed();
+
+        // Intern + emit: tag with the ordinal, stage by partition, flush
+        // each partition's staging once per morsel.
+        let partition_start = Instant::now();
+        for (&(ordinal, user, profile), rec) in pending.iter().zip(&resolved) {
+            match rec {
+                Ok(Some(gaz_id)) => {
+                    stats.keys += 1;
+                    let key = LocationKey {
+                        user,
+                        profile,
+                        tweet: p.gaz_to_interned[gaz_id.0 as usize],
+                    };
+                    staging[partition_of(user, partitions.len())].push((ordinal, key));
+                }
+                _ => stats.unresolved += 1,
+            }
+        }
+        for (stage, partition) in staging.iter_mut().zip(partitions) {
+            if !stage.is_empty() {
+                partition.lock().expect("partition poisoned").append(stage);
+            }
+        }
+        stats.partition_wall += partition_start.elapsed();
+    }
+    stats.buffer_bytes = (buf.capacity() * size_of::<TweetRow>()
+        + points.capacity() * size_of::<Point>()
+        + pending.capacity() * size_of::<Pending>()
+        + resolved.capacity() * size_of::<Resolved>()) as u64;
+    stats
+}
+
+/// Runs stages 2–3 fused: one morsel-driven pass from `source` to grouped
+/// users. Fills the funnel's tweet counters, the geocode/grouping metric
+/// slots (so staged-path consumers see the same fields filled), and the
+/// [`ExecMetrics`] slot.
+pub(crate) fn run_fused(
+    source: &dyn MorselSource,
+    p: &FusedParams<'_>,
+    funnel: &mut CollectionFunnel,
+    metrics: &mut PipelineMetrics,
+) -> Vec<GroupedUser> {
+    let threads = p.threads.max(1);
+    let partition_count = p.partitions.max(1);
+    let partitions: Vec<Mutex<Vec<(u64, LocationKey)>>> = (0..partition_count)
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
+
+    // Peek at the input: buffer morsels until the parallel threshold is
+    // reached or the source runs dry, then decide the worker count.
+    let mut prefetched: Vec<(u64, Vec<TweetRow>)> = Vec::new();
+    let mut workers = 1;
+    if threads > 1 {
+        let mut buffered_rows = 0usize;
+        let mut buf = Vec::new();
+        while buffered_rows < FUSED_PARALLEL_THRESHOLD {
+            match source.next_morsel(&mut buf) {
+                Some(first) => {
+                    buffered_rows += buf.len();
+                    prefetched.push((first, std::mem::take(&mut buf)));
+                }
+                None => break,
+            }
+        }
+        if buffered_rows >= FUSED_PARALLEL_THRESHOLD {
+            workers = threads;
+        }
+    }
+    let replay = PrefetchSource {
+        buffered: Mutex::new(prefetched.into_iter()),
+        rest: source,
+    };
+
+    // Phase 1: the fused filter→geocode→partition pass.
+    let phase1_start = Instant::now();
+    let stats: Vec<WorkerStats> = if workers == 1 {
+        vec![worker_pass(&replay, p, &partitions)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| s.spawn(|| worker_pass(&replay, p, &partitions)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fused worker panicked"))
+                .collect()
+        })
+    };
+    let phase1_wall = phase1_start.elapsed();
+
+    // Phase 2: partitions sort + group in parallel, then merge in user-id
+    // order (users are unique, so concatenate-and-sort is deterministic).
+    let phase2_start = Instant::now();
+    let partition_keys: Vec<u64> = partitions
+        .iter()
+        .map(|m| m.lock().expect("partition poisoned").len() as u64)
+        .collect();
+    let group_workers = if workers > 1 && partition_count > 1 {
+        workers.min(partition_count)
+    } else {
+        1
+    };
+    let cursor = AtomicUsize::new(0);
+    let group_one = |draws: &mut u64, group_wall: &mut Duration| {
+        let mut parts: Vec<(usize, Vec<GroupedUser>)> = Vec::new();
+        loop {
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            if idx >= partition_count {
+                break;
+            }
+            *draws += 1;
+            let start = Instant::now();
+            let mut pairs =
+                std::mem::take(&mut *partitions[idx].lock().expect("partition poisoned"));
+            if pairs.is_empty() {
+                continue;
+            }
+            pairs.sort_unstable_by_key(|&(ordinal, k)| (k.user, ordinal));
+            parts.push((idx, group_partition(&pairs, p.interner, p.tie_break)));
+            *group_wall += start.elapsed();
+        }
+        parts
+    };
+    let mut draws_per_thread = vec![0u64; group_workers];
+    let mut group_wall = Duration::ZERO;
+    let mut by_partition: Vec<Vec<GroupedUser>> =
+        (0..partition_count).map(|_| Vec::new()).collect();
+    if group_workers == 1 {
+        for (idx, grouped) in group_one(&mut draws_per_thread[0], &mut group_wall) {
+            by_partition[idx] = grouped;
+        }
+    } else {
+        type GroupWorkerResult = (Vec<(usize, Vec<GroupedUser>)>, u64, Duration);
+        let results: Vec<GroupWorkerResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..group_workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut draws = 0u64;
+                        let mut wall = Duration::ZERO;
+                        let parts = group_one(&mut draws, &mut wall);
+                        (parts, draws, wall)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("group worker panicked"))
+                .collect()
+        });
+        for (t, (parts, draws, wall)) in results.into_iter().enumerate() {
+            draws_per_thread[t] = draws;
+            group_wall += wall;
+            for (idx, grouped) in parts {
+                by_partition[idx] = grouped;
+            }
+        }
+    }
+    let merge_start = Instant::now();
+    let mut grouped: Vec<GroupedUser> = by_partition.into_iter().flatten().collect();
+    grouped.sort_unstable_by_key(|g| g.user);
+    let merge_wall = merge_start.elapsed();
+    let grouping_wall = phase2_start.elapsed();
+
+    // Fold worker counters.
+    let mut exec = ExecMetrics {
+        threads: workers,
+        morsel_rows: source.morsel_rows(),
+        partitions: partition_count,
+        morsels_per_thread: Vec::with_capacity(workers),
+        partition_keys,
+        merge_wall,
+        group_wall,
+        ..ExecMetrics::default()
+    };
+    let mut buffer_bytes = 0u64;
+    for s in &stats {
+        exec.morsels += s.morsels;
+        exec.morsels_per_thread.push(s.morsels);
+        exec.rows_in += s.rows_in;
+        exec.gps_rows += s.gps_rows;
+        exec.kept_probes += s.kept_probes;
+        exec.fixes += s.fixes;
+        exec.keys_emitted += s.keys;
+        exec.unresolved += s.unresolved;
+        exec.filter_wall += s.filter_wall;
+        exec.geocode_wall += s.geocode_wall;
+        exec.partition_wall += s.partition_wall;
+        buffer_bytes += s.buffer_bytes;
+    }
+    let pair = size_of::<(u64, LocationKey)>() as u64;
+    exec.peak_bytes_estimate = exec.keys_emitted * pair + buffer_bytes;
+    // What the staged path materializes for the same input: the fix
+    // vector, the same-length resolved vector, and the per-user key map
+    // (keys + per-user Vec headers + map-slot overhead).
+    let users = grouped.len() as u64;
+    exec.staged_bytes_estimate = exec.fixes
+        * (size_of::<StagedFix>() + size_of::<Option<GazDistrictId>>()) as u64
+        + exec.keys_emitted * size_of::<LocationKey>() as u64
+        + users * (size_of::<(u64, Vec<LocationKey>)>() as u64 + 16);
+
+    // Funnel: order-independent sums, so the parallel pass lands the same
+    // totals as the staged loop.
+    funnel.tweets_total += exec.rows_in;
+    funnel.tweets_with_gps += exec.gps_rows;
+    funnel.tweets_gps_unresolvable += exec.unresolved;
+    funnel.strings_built += exec.keys_emitted;
+    funnel.users_final = users;
+
+    // Geocode metrics: same fields the staged path fills, plus the
+    // backend's exact traffic partition.
+    metrics.geocode.fixes = exec.fixes;
+    metrics.geocode.mode = match (p.choice, workers > 1) {
+        (BackendChoice::Gazetteer, false) => GeocodeMode::DirectSerial,
+        (BackendChoice::Gazetteer, true) => GeocodeMode::DirectParallel,
+        (BackendChoice::Yahoo, _) => GeocodeMode::YahooXml,
+        (BackendChoice::Resilient, _) => GeocodeMode::Resilient,
+    };
+    metrics.geocode.threads = workers;
+    metrics.geocode.blocks_per_thread = if workers > 1 {
+        exec.morsels_per_thread.clone()
+    } else {
+        Vec::new()
+    };
+    let traffic = p.backend.traffic();
+    metrics.geocode.lookups = traffic.lookups;
+    metrics.geocode.cache_hits = traffic.cache_hits;
+    metrics.geocode.traffic = traffic;
+    funnel.yahoo_quota_days = metrics.geocode.traffic.quota_days;
+    // Stage walls: the operators are fused, so "intake" is the summed
+    // filter-operator time (a subset of the pass, like the scan wall on
+    // store runs) and "geocode" is the whole phase-1 wall.
+    metrics.stages.tweet_intake = exec.filter_wall;
+    metrics.stages.geocode = phase1_wall;
+    metrics.geocode.wall = phase1_wall;
+
+    // Grouping metrics, shaped like the staged path's.
+    metrics.stages.grouping = grouping_wall;
+    metrics.grouping.strings = exec.keys_emitted;
+    metrics.grouping.users = users;
+    metrics.grouping.merged_entries = grouped.iter().map(|u| u.entries.len() as u64).sum();
+    metrics.grouping.interner_size = p.interner.len() as u64;
+    metrics.grouping.threads = group_workers;
+    metrics.grouping.blocks_per_thread = if group_workers == 1 {
+        vec![1]
+    } else {
+        draws_per_thread
+    };
+    metrics.grouping.wall = grouping_wall;
+    metrics.exec = Some(exec);
+    grouped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_source_hands_out_dense_monotone_ordinals() {
+        let rows: Vec<TweetRow> = (0..10).map(|i| TweetRow::plain(i, i)).collect();
+        let source = RowSource::new(rows.into_iter(), 3);
+        let mut buf = Vec::new();
+        let mut firsts = Vec::new();
+        let mut lens = Vec::new();
+        while let Some(first) = source.next_morsel(&mut buf) {
+            firsts.push(first);
+            lens.push(buf.len());
+        }
+        assert_eq!(firsts, vec![0, 3, 6, 9]);
+        assert_eq!(lens, vec![3, 3, 3, 1]);
+        assert_eq!(source.next_morsel(&mut buf), None);
+    }
+
+    #[test]
+    fn partition_choice_is_a_pure_function_of_user_and_count() {
+        for user in [0u64, 1, 17, u64::MAX] {
+            for partitions in [1usize, 2, 7, 64] {
+                let a = partition_of(user, partitions);
+                assert!(a < partitions);
+                assert_eq!(a, partition_of(user, partitions));
+            }
+        }
+    }
+}

@@ -111,6 +111,25 @@ pub trait Geocoder: Send + Sync {
         Ok(self.lookup(p)?.and_then(|r| r.district))
     }
 
+    /// Resolves a batch straight to district ids into a caller-owned
+    /// buffer, preserving order. `out` is cleared first; a caller that
+    /// reuses the same buffer across batches amortizes its allocation to
+    /// zero. Per-point results, so one failed lookup does not poison the
+    /// rest — semantics and traffic are exactly one [`Geocoder::resolve_id`]
+    /// call per point, which is what fused pipelines rely on when they pin
+    /// batched output against the point-at-a-time reference path.
+    fn resolve_id_batch(
+        &self,
+        points: &[Point],
+        out: &mut Vec<Result<Option<crate::DistrictId>, GeocodeError>>,
+    ) {
+        out.clear();
+        out.reserve(points.len());
+        for &p in points {
+            out.push(self.resolve_id(p));
+        }
+    }
+
     /// Snapshot of this backend's traffic counters (exact once concurrent
     /// callers have joined).
     fn traffic(&self) -> BackendTraffic;
@@ -200,5 +219,26 @@ mod tests {
         );
         assert!(out[0].as_ref().unwrap().is_some());
         assert!(out[1].as_ref().unwrap().is_none());
+    }
+
+    #[test]
+    fn resolve_id_batch_matches_point_at_a_time_and_reuses_the_buffer() {
+        let g = Gazetteer::load();
+        let backend: Box<dyn Geocoder + '_> = ReverseGeocoder::builder(&g).build();
+        let points = [
+            Point::new(37.517, 127.047),
+            Point::new(35.68, 139.69),
+            Point::new(37.517, 126.866),
+        ];
+        let mut out = Vec::new();
+        backend.resolve_id_batch(&points, &mut out);
+        assert_eq!(out.len(), points.len());
+        for (&p, got) in points.iter().zip(&out) {
+            assert_eq!(got.as_ref().unwrap(), &backend.resolve_id(p).unwrap());
+        }
+        // A second call clears before filling — no stale carry-over.
+        backend.resolve_id_batch(&points[..1], &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].as_ref().unwrap().is_some());
     }
 }

@@ -28,6 +28,10 @@ pub struct Options {
     /// Route tweets through a `TweetStore` and the zero-copy store scan
     /// instead of feeding rows directly (`--from-store`).
     pub from_store: bool,
+    /// Run the staged reference pipeline instead of the fused
+    /// morsel-driven engine (`--staged`). Figure output is byte-identical
+    /// either way; the flag exists to prove exactly that.
+    pub staged: bool,
 }
 
 impl Default for Options {
@@ -41,6 +45,7 @@ impl Default for Options {
             faults: FaultPlan::default(),
             verbose: false,
             from_store: false,
+            staged: false,
         }
     }
 }
@@ -89,6 +94,7 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
             backend: opts.backend,
             fault_plan: opts.faults,
             threads: opts.threads,
+            fused: !opts.staged,
             ..Default::default()
         },
     );

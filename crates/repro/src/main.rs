@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]
 //!                    [--backend gazetteer|yahoo|resilient] [--faults SPEC]
-//!                    [--from-store] [--verbose]
+//!                    [--from-store] [--staged] [--verbose]
 //!
 //! experiments:
 //!   table1    Table I   example location strings
@@ -124,6 +124,7 @@ fn parse(args: &[String]) -> Result<(String, Options, PathBuf), String> {
             }
             "--verbose" | "-v" => opts.verbose = true,
             "--from-store" => opts.from_store = true,
+            "--staged" => opts.staged = true,
             "--out" => {
                 out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?);
             }
@@ -144,12 +145,14 @@ fn print_help() {
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]\n\
          \x20                        [--backend gazetteer|yahoo|resilient] [--faults SPEC] [--via-yahoo-xml]\n\
-         \x20                        [--from-store] [--verbose]\n\n\
+         \x20                        [--from-store] [--staged] [--verbose]\n\n\
          --backend selects the geocoding service (default gazetteer); --faults injects a\n\
          seeded fault schedule at the yahoo endpoint, e.g. drop:0.1,delay:0.05@250,malformed:0.01,seed:42\n\
          (the resilient backend rides faults out without changing any figure output);\n\
          --from-store routes tweets through a TweetStore and the zero-copy header scan\n\
-         instead of feeding rows directly (figure output is byte-identical either way)\n\n\
+         instead of feeding rows directly (figure output is byte-identical either way);\n\
+         --staged runs the staged reference pipeline instead of the fused morsel-driven\n\
+         engine (again byte-identical — the flag exists to prove it)\n\n\
          experiments: table1 table2 fig3 fig4 fig5 funnel fig6 fig7 tweets compare eventloc ablation regional export detect nonegroup diurnal report sensitivity all"
     );
 }
@@ -240,6 +243,15 @@ mod tests {
         let (_, opts, _) = parse(&args(&["fig7"])).unwrap();
         assert!(!opts.from_store);
         let (_, opts, _) = parse(&args(&["fig7", "--from-store"])).unwrap();
+        assert!(opts.from_store);
+    }
+
+    #[test]
+    fn parse_staged_defaults_off() {
+        let (_, opts, _) = parse(&args(&["fig7"])).unwrap();
+        assert!(!opts.staged);
+        let (_, opts, _) = parse(&args(&["fig7", "--staged", "--from-store"])).unwrap();
+        assert!(opts.staged);
         assert!(opts.from_store);
     }
 

@@ -123,12 +123,29 @@ fn verbose_prints_stage_metrics() {
         "strings/sec",
         "merge ratio",
         "interned districts",
+        "fused exec:",
+        "memory: peak intermediate",
     ] {
         assert!(
             stderr.contains(marker),
             "missing {marker:?} in stderr:\n{stderr}"
         );
     }
+    // The staged reference path renders no fused-engine section.
+    let (_, stderr, code) = run(&[
+        "funnel",
+        "--scale",
+        "0.02",
+        "--seed",
+        "1",
+        "--verbose",
+        "--staged",
+    ]);
+    assert_eq!(code, Some(0), "stderr:\n{stderr}");
+    assert!(
+        !stderr.contains("fused exec:"),
+        "staged run rendered the fused section:\n{stderr}"
+    );
     // Without --verbose the timing block stays out of both streams, keeping
     // stdout deterministic and stderr limited to progress lines.
     let (stdout, stderr, code) = run(&["funnel", "--scale", "0.02", "--seed", "1"]);
@@ -244,6 +261,54 @@ fn store_backed_run_is_byte_identical_to_row_based() {
         "store path left no trace in stderr:\n{}",
         store.1
     );
+}
+
+#[test]
+fn fused_engine_is_byte_identical_to_the_staged_reference() {
+    // The fused morsel engine's acceptance bar: the staged reference
+    // pipeline (--staged, row-fed) pins the output, and the fused engine
+    // must reproduce it byte-for-byte — row-fed, store-fed, and store-fed
+    // staged, at both ends of the thread range.
+    let reference = run(&[
+        "fig7",
+        "--scale",
+        "0.05",
+        "--seed",
+        "2012",
+        "--staged",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(reference.2, Some(0), "stderr:\n{}", reference.1);
+    let table2_ref = run(&[
+        "table2",
+        "--scale",
+        "0.05",
+        "--seed",
+        "2012",
+        "--staged",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(table2_ref.2, Some(0), "stderr:\n{}", table2_ref.1);
+    for extra in [
+        &[][..],
+        &["--from-store"][..],
+        &["--from-store", "--staged"][..],
+        &["--threads", "1"][..],
+        &["--from-store", "--threads", "1"][..],
+    ] {
+        let mut args = vec!["fig7", "--scale", "0.05", "--seed", "2012"];
+        args.extend_from_slice(extra);
+        let fig7 = run(&args);
+        assert_eq!(fig7.2, Some(0), "stderr:\n{}", fig7.1);
+        assert_eq!(reference.0, fig7.0, "fig7 drifted with {extra:?}");
+        let mut args = vec!["table2", "--scale", "0.05", "--seed", "2012"];
+        args.extend_from_slice(extra);
+        let table2 = run(&args);
+        assert_eq!(table2.2, Some(0), "stderr:\n{}", table2.1);
+        assert_eq!(table2_ref.0, table2.0, "table2 drifted with {extra:?}");
+    }
 }
 
 #[test]

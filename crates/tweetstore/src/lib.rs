@@ -43,7 +43,7 @@ pub mod wal;
 pub use codec::{TweetHeader, TweetRecord, TweetView};
 pub use compact::{compact, gps_only, users_only, CompactionReport};
 pub use query::{AccessPath, Query};
-pub use scan::{ScanMetrics, ScanOptions};
+pub use scan::{HeaderBlocks, ScanMetrics, ScanOptions};
 pub use segment::ZoneMap;
 pub use store::{RecordPtr, StoreStats, TweetStore};
 pub use wal::{DurableStore, Wal};

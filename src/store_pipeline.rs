@@ -6,19 +6,47 @@
 //! straight off a stored corpus, optionally pre-compacting to GPS records
 //! (which is what a production deployment would keep hot).
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use stir_core::{AnalysisResult, CollectionFunnel, ProfileRow, RefinementPipeline, TweetRow};
-use stir_tweetstore::{gps_only, CompactionReport, ScanMetrics, TweetStore};
+use stir_core::{
+    AnalysisResult, CollectionFunnel, MorselSource, ProfileRow, RefinementPipeline, TweetRow,
+};
+use stir_tweetstore::{gps_only, CompactionReport, HeaderBlocks, ScanMetrics, TweetStore};
+
+/// [`HeaderBlocks`] as a [`MorselSource`]: store blocks feed the fused
+/// engine directly — scan survivors never collect into a `Vec<TweetRow>`,
+/// and the block's slot-position ordinals are exactly the input ordinals
+/// the engine's determinism argument needs.
+struct StoreSource<'s> {
+    blocks: HeaderBlocks<'s>,
+}
+
+impl MorselSource for StoreSource<'_> {
+    fn next_morsel(&self, buf: &mut Vec<TweetRow>) -> Option<u64> {
+        self.blocks.next_block_with(buf, |h| TweetRow {
+            user: h.user,
+            tweet_id: h.id,
+            gps: h.gps,
+        })
+    }
+
+    fn morsel_rows(&self) -> usize {
+        self.blocks.block_records()
+    }
+}
 
 /// Runs the full pipeline with tweets streamed out of `store`.
 ///
-/// The hand-off is zero-copy per stored record: the scan decodes only the
-/// fixed-field header of each record into a `Copy` [`TweetRow`] — the
-/// tweet text (which the pipeline never reads) stays untouched in the
-/// segment buffers, so no per-record heap allocation happens on this
-/// path. Scan statistics land in the result's
-/// [`PipelineMetrics::scan`](stir_core::PipelineMetrics) slot.
+/// The hand-off is zero-copy per stored record: only the fixed-field
+/// header of each record decodes into a `Copy` [`TweetRow`] — the tweet
+/// text (which the pipeline never reads) stays untouched in the segment
+/// buffers, so no per-record heap allocation happens on this path. On the
+/// fused engine (the default) store blocks *are* the morsels: pipeline
+/// workers pull blocks concurrently and rows go straight from header
+/// decode to geocode to grouped keys, with no intermediate row vector.
+/// The staged reference path streams rows through a serial iterator
+/// instead. Scan statistics land in the result's
+/// [`PipelineMetrics::scan`](stir_core::PipelineMetrics) slot either way.
 pub fn run_from_store<PI>(
     pipeline: &RefinementPipeline<'_>,
     profiles: PI,
@@ -27,13 +55,39 @@ pub fn run_from_store<PI>(
 where
     PI: IntoIterator<Item = ProfileRow>,
 {
-    let headers = Cell::new(0u64);
-    let header_bytes = Cell::new(0u64);
-    let corrupt = Cell::new(0u64);
+    let stats = store.stats();
+    if pipeline.config().fused {
+        let source = StoreSource {
+            blocks: HeaderBlocks::new(store, pipeline.config().effective_morsel_rows()),
+        };
+        let mut result = pipeline.run_from_source(profiles, &source);
+        let exec = result.metrics.exec.as_ref();
+        result.metrics.scan = Some(ScanMetrics {
+            segments_total: stats.segments as u64,
+            segments_pruned: 0,
+            records_stored: stats.records,
+            records_pruned: 0,
+            headers_decoded: source.blocks.headers_decoded(),
+            records_rejected: 0,
+            records_yielded: source.blocks.headers_decoded(),
+            records_corrupt: source.blocks.records_corrupt(),
+            bytes_stored: stats.payload_bytes,
+            bytes_decoded: source.blocks.bytes_decoded(),
+            threads: exec.map_or(1, |e| e.threads),
+            blocks_per_thread: exec.map_or_else(Vec::new, |e| e.morsels_per_thread.clone()),
+            // The scan is fused into the pass: the filter operator's time
+            // is the closest honest measure of it.
+            wall: result.metrics.stages.tweet_intake,
+        });
+        return result;
+    }
+    let headers = AtomicU64::new(0);
+    let header_bytes = AtomicU64::new(0);
+    let corrupt = AtomicU64::new(0);
     let tweets = store.scan_views().filter_map(|r| match r {
         Ok(v) => {
-            headers.set(headers.get() + 1);
-            header_bytes.set(header_bytes.get() + v.header_len() as u64);
+            headers.fetch_add(1, Ordering::Relaxed);
+            header_bytes.fetch_add(v.header_len() as u64, Ordering::Relaxed);
             Some(TweetRow {
                 user: v.header.user,
                 tweet_id: v.header.id,
@@ -41,23 +95,22 @@ where
             })
         }
         Err(_) => {
-            corrupt.set(corrupt.get() + 1);
+            corrupt.fetch_add(1, Ordering::Relaxed);
             None
         }
     });
     let mut result = pipeline.run(profiles, tweets);
-    let stats = store.stats();
     result.metrics.scan = Some(ScanMetrics {
         segments_total: stats.segments as u64,
         segments_pruned: 0,
         records_stored: stats.records,
         records_pruned: 0,
-        headers_decoded: headers.get(),
+        headers_decoded: headers.load(Ordering::Relaxed),
         records_rejected: 0,
-        records_yielded: headers.get(),
-        records_corrupt: corrupt.get(),
+        records_yielded: headers.load(Ordering::Relaxed),
+        records_corrupt: corrupt.load(Ordering::Relaxed),
         bytes_stored: stats.payload_bytes,
-        bytes_decoded: header_bytes.get(),
+        bytes_decoded: header_bytes.load(Ordering::Relaxed),
         threads: 1,
         blocks_per_thread: vec![stats.segments as u64],
         // The scan is interleaved with intake: the intake stage's wall
@@ -183,6 +236,38 @@ mod tests {
         // Direct (row-fed) runs leave the slot empty.
         let direct = pipeline.run(profile_rows(&dataset), std::iter::empty::<TweetRow>());
         assert!(direct.metrics.scan.is_none());
+    }
+
+    #[test]
+    fn fused_store_run_is_identical_to_staged_store_run() {
+        let (g, dataset, store) = fixtures();
+        let fused = RefinementPipeline::with_defaults(g);
+        assert!(fused.config().fused, "fused engine is the default");
+        let staged = RefinementPipeline::new(
+            g,
+            stir_core::PipelineConfig {
+                fused: false,
+                ..Default::default()
+            },
+        );
+        let a = run_from_store(&fused, profile_rows(&dataset), &store);
+        let b = run_from_store(&staged, profile_rows(&dataset), &store);
+        assert_eq!(a.funnel, b.funnel);
+        assert_eq!(a.users.len(), b.users.len());
+        for (x, y) in a.users.iter().zip(&b.users) {
+            assert_eq!(x.user, y.user);
+            assert_eq!(x.entries, y.entries);
+            assert_eq!(x.matched_rank, y.matched_rank);
+        }
+        // The fused store run reports the engine detail and a scan whose
+        // decode count matches the store exactly.
+        let exec = a.metrics.exec.as_ref().expect("fused runs fill exec");
+        assert_eq!(exec.rows_in, store.stats().records);
+        assert_eq!(exec.kept_probes, a.funnel.tweets_with_gps);
+        let scan = a.metrics.scan.as_ref().expect("store runs fill scan");
+        assert_eq!(scan.headers_decoded, store.stats().records);
+        // Staged store runs leave the exec slot empty.
+        assert!(b.metrics.exec.is_none());
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Property tests pinning the fused morsel engine to the staged reference
+//! pipeline: for arbitrary corpora and arbitrary execution geometry
+//! (threads × morsel size × partition count) the two paths must be
+//! byte-identical — same funnel, same grouped users, same entries, same
+//! matched ranks — including when tweets stream out of a WAL-recovered
+//! store with a torn tail.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use stir::core::{AnalysisResult, PipelineConfig, ProfileRow, RefinementPipeline, TweetRow};
+use stir::geokr::Gazetteer;
+use stir::store_pipeline::run_from_store;
+use stir::tweetstore::{TweetRecord, Wal};
+
+fn gaz() -> &'static Gazetteer {
+    use std::sync::OnceLock;
+    static GAZ: OnceLock<Gazetteer> = OnceLock::new();
+    GAZ.get_or_init(Gazetteer::load)
+}
+
+/// Profile texts cycling through every classifier branch: kept districts,
+/// vague, insufficient, in-coverage coordinates, foreign coordinates,
+/// empty. Users with the same index share a text, exercising the select
+/// memoization on the way.
+const PROFILE_TEXTS: [&str; 6] = [
+    "Seoul Yangcheon-gu",
+    "Seoul Gangnam-gu",
+    "my home",
+    "Seoul",
+    "37.517, 126.866",
+    "",
+];
+
+/// Tweet GPS vocabulary: two resolvable Seoul districts, one
+/// out-of-coverage fix (Tokyo), and a GPS-less row.
+const POINTS: [Option<(f64, f64)>; 4] = [
+    Some((37.517, 126.866)), // Yangcheon-gu
+    Some((37.517, 127.047)), // Gangnam-gu
+    Some((35.68, 139.69)),   // Tokyo — unresolvable
+    None,
+];
+
+fn corpus(rows: &[(u64, usize)]) -> (Vec<ProfileRow>, Vec<TweetRow>) {
+    let users: Vec<u64> = {
+        let mut u: Vec<u64> = rows.iter().map(|&(u, _)| u).collect();
+        u.sort_unstable();
+        u.dedup();
+        u
+    };
+    let profiles = users
+        .iter()
+        .map(|&u| ProfileRow {
+            user: u,
+            location_text: PROFILE_TEXTS[u as usize % PROFILE_TEXTS.len()].to_string(),
+        })
+        .collect();
+    let tweets = rows
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, p))| match POINTS[p % POINTS.len()] {
+            Some((lat, lon)) => TweetRow::tagged(u, i as u64, lat, lon),
+            None => TweetRow::plain(u, i as u64),
+        })
+        .collect();
+    (profiles, tweets)
+}
+
+fn assert_identical(a: &AnalysisResult, b: &AnalysisResult) -> Result<(), proptest::TestCaseError> {
+    prop_assert_eq!(&a.funnel, &b.funnel);
+    prop_assert_eq!(a.users.len(), b.users.len());
+    for (x, y) in a.users.iter().zip(&b.users) {
+        prop_assert_eq!(x.user, y.user);
+        prop_assert_eq!(&x.state_profile, &y.state_profile);
+        prop_assert_eq!(&x.county_profile, &y.county_profile);
+        prop_assert_eq!(&x.entries, &y.entries);
+        prop_assert_eq!(x.matched_rank, y.matched_rank);
+    }
+    prop_assert_eq!(&a.kept_profiles, &b.kept_profiles);
+    Ok(())
+}
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const MORSELS: [usize; 3] = [1, 7, 4096];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fused_equals_staged_on_arbitrary_corpora(
+        rows in prop::collection::vec((0u64..10, 0usize..4), 1..250),
+        threads_idx in 0usize..3,
+        morsel_idx in 0usize..3,
+        partitions in 1usize..9,
+    ) {
+        let g = gaz();
+        let (profiles, tweets) = corpus(&rows);
+        let staged = RefinementPipeline::new(
+            g,
+            PipelineConfig { fused: false, threads: 1, ..Default::default() },
+        );
+        let reference = staged.run(profiles.clone(), tweets.clone());
+        prop_assert!(reference.metrics.exec.is_none());
+        let fused = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                threads: THREADS[threads_idx],
+                morsel_rows: MORSELS[morsel_idx],
+                fused_partitions: partitions,
+                ..Default::default()
+            },
+        );
+        let got = fused.run(profiles, tweets);
+        assert_identical(&got, &reference)?;
+        let exec = got.metrics.exec.as_ref().expect("fused fills exec");
+        prop_assert_eq!(exec.rows_in, got.funnel.tweets_total);
+        prop_assert_eq!(exec.kept_probes, got.funnel.tweets_with_gps);
+        prop_assert_eq!(
+            exec.partition_keys.iter().sum::<u64>(),
+            got.funnel.strings_built
+        );
+    }
+
+    #[test]
+    fn fused_store_run_survives_wal_recovery_with_a_torn_tail(
+        rows in prop::collection::vec((0u64..8, 0usize..4), 1..120),
+        threads_idx in 0usize..3,
+        morsel_idx in 0usize..3,
+        junk in prop::collection::vec(any::<u8>(), 1..40),
+    ) {
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let g = gaz();
+        let (profiles, tweets) = corpus(&rows);
+
+        // Journal the corpus through the WAL, then simulate a crash
+        // mid-append by tacking a torn frame onto the log.
+        let path = std::env::temp_dir().join(format!(
+            "stir-proptest-fused-{}-{}.log",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).expect("open wal");
+        for t in &tweets {
+            wal.append(&TweetRecord {
+                id: t.tweet_id,
+                user: t.user,
+                timestamp: 1_300_000_000 + t.tweet_id,
+                gps: t.gps,
+                text: format!("tweet {}", t.tweet_id),
+            }).expect("append");
+        }
+        wal.sync().expect("sync");
+        drop(wal);
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("reopen for torn tail");
+            f.write_all(&junk).expect("write junk");
+        }
+        let (store, recovered) = Wal::recover(&path).expect("recover");
+        let _ = std::fs::remove_file(&path);
+        // Every synced frame survives; only the torn tail is dropped.
+        prop_assert_eq!(recovered, tweets.len() as u64);
+
+        // Fused from-store run ≡ staged row-fed run on the same corpus.
+        let staged = RefinementPipeline::new(
+            g,
+            PipelineConfig { fused: false, threads: 1, ..Default::default() },
+        );
+        let reference = staged.run(profiles.clone(), tweets);
+        let fused = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                threads: THREADS[threads_idx],
+                morsel_rows: MORSELS[morsel_idx],
+                ..Default::default()
+            },
+        );
+        let got = run_from_store(&fused, profiles, &store);
+        assert_identical(&got, &reference)?;
+        let scan = got.metrics.scan.as_ref().expect("store runs fill scan");
+        prop_assert_eq!(scan.headers_decoded, recovered);
+        prop_assert_eq!(scan.records_corrupt, 0);
+    }
+}
