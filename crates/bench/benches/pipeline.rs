@@ -7,7 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use stir_bench::district_points;
-use stir_core::{PipelineConfig, ProfileRow, RefinementPipeline, TweetRow};
+use stir_core::{ColumnBatch, PipelineConfig, ProfileRow, RefinementPipeline, TweetRow, NO_GPS_E6};
+use stir_geokr::gazetteer::KOREA_BBOX;
 use stir_geokr::Gazetteer;
 
 const PROFILE_TEXTS: [&str; 4] = [
@@ -46,16 +47,29 @@ fn corpus(g: &Gazetteer, n: usize) -> (Vec<ProfileRow>, Vec<TweetRow>) {
 fn bench_e2e(c: &mut Criterion) {
     let g = Gazetteer::load();
     let mut group = c.benchmark_group("pipeline/e2e");
-    group.sample_size(10);
+    group.sample_size(20);
     for &n in &[50_000usize, 200_000] {
         let (profiles, tweets) = corpus(&g, n);
         group.throughput(Throughput::Elements(n as u64));
         for &threads in &[1usize, 8] {
-            for (label, fused) in [("staged", false), ("fused", true)] {
+            // `fused` adapts its worker count to the machine; `fused-exact`
+            // pins the configured thread count (`--threads-exact`), showing
+            // what the E21 oversubscription regression cost before the
+            // adaptive scheduler.
+            for (label, fused, exact) in [
+                ("staged", false, false),
+                ("fused", true, false),
+                ("fused-exact", true, true),
+            ] {
+                if exact && threads == 1 {
+                    // Identical to plain `fused` at one thread.
+                    continue;
+                }
                 let pipeline = RefinementPipeline::new(
                     &g,
                     PipelineConfig {
                         threads,
+                        threads_exact: exact,
                         fused,
                         ..Default::default()
                     },
@@ -73,6 +87,54 @@ fn bench_e2e(c: &mut Criterion) {
                 );
             }
         }
+    }
+    // The columnar filter in isolation: GPS-presence + Korea-coverage
+    // prescreen over a ColumnBatch's e6 grid (four i32 compares per row,
+    // no `Option` discriminant) against the same predicate over row
+    // structs. This is the per-morsel hot loop the fused engine runs.
+    {
+        const N: usize = 200_000;
+        let (_, tweets) = corpus(&g, N);
+        let mut batch = ColumnBatch::with_capacity(N);
+        for t in &tweets {
+            batch.push(t.user, t.tweet_id as i64, t.gps);
+        }
+        let (min_lat, max_lat) = (
+            (KOREA_BBOX.min_lat * 1e6).floor() as i32,
+            (KOREA_BBOX.max_lat * 1e6).ceil() as i32,
+        );
+        let (min_lon, max_lon) = (
+            (KOREA_BBOX.min_lon * 1e6).floor() as i32,
+            (KOREA_BBOX.max_lon * 1e6).ceil() as i32,
+        );
+        group.throughput(Throughput::Elements(N as u64));
+        group.bench_function(BenchmarkId::new("columnar_filter", N), |b| {
+            b.iter(|| {
+                let mut kept = 0u64;
+                let lats = black_box(&batch.lats_e6);
+                let lons = black_box(&batch.lons_e6);
+                for (&lat, &lon) in lats.iter().zip(lons) {
+                    let has_gps = lat != NO_GPS_E6;
+                    let inside =
+                        lat >= min_lat && lat <= max_lat && lon >= min_lon && lon <= max_lon;
+                    kept += (has_gps && inside) as u64;
+                }
+                black_box(kept)
+            })
+        });
+        group.bench_function(BenchmarkId::new("row_filter", N), |b| {
+            b.iter(|| {
+                let mut kept = 0u64;
+                for t in black_box(&tweets) {
+                    if let Some(p) = t.gps {
+                        if KOREA_BBOX.contains(p) {
+                            kept += 1;
+                        }
+                    }
+                }
+                black_box(kept)
+            })
+        });
     }
     group.finish();
 }

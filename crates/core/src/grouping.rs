@@ -225,7 +225,19 @@ pub fn group_user_keys_with(
     tie_break: TieBreak,
     interner: &DistrictInterner,
 ) -> Option<GroupedUser> {
-    let first = keys.first()?;
+    group_user_iter(keys.iter(), tie_break, interner)
+}
+
+/// The merge kernel behind [`group_user_keys_with`] and
+/// [`group_partition`], generic over how the caller stores the keys so a
+/// partition run groups straight out of its `(ordinal, key)` pairs with
+/// no per-run copy.
+fn group_user_iter<'a>(
+    mut keys: impl Iterator<Item = &'a LocationKey>,
+    tie_break: TieBreak,
+    interner: &DistrictInterner,
+) -> Option<GroupedUser> {
+    let first = keys.next()?;
     let user = first.user;
     let profile = first.profile;
 
@@ -233,7 +245,7 @@ pub fn group_user_keys_with(
     // Linear scan beats hashing at vocabulary scale, and — unlike a map
     // keyed by owned strings — never allocates on the per-tweet path.
     let mut merged: Vec<(DistrictId, u64, u32)> = Vec::new();
-    for k in keys {
+    for k in std::iter::once(first).chain(keys) {
         debug_assert_eq!(k.user, user, "mixed users in one grouping call");
         debug_assert_eq!(k.profile, profile, "mixed profiles in one grouping call");
         match merged.iter_mut().find(|(d, _, _)| *d == k.tweet) {
@@ -288,14 +300,16 @@ pub fn group_user_keys_with(
 }
 
 /// Groups one hash partition of ordinal-tagged keys, as emitted by the
-/// fused morsel engine. `pairs` must be sorted by `(key.user, ordinal)` —
-/// the ordinal is each key's global input position, so after the sort every
-/// user's keys form a contiguous run *in tweet input order*, exactly the
-/// per-user sequence the staged path hands [`group_user_keys_with`]. Each
-/// run is copied into one reused scratch buffer (its allocation amortizes
-/// to the longest run) and grouped with the same merge kernel, so the
-/// partition output is byte-identical to the staged path's for those users.
-/// Output order is ascending user id (users are unique per partition).
+/// fused morsel engine. `pairs` must hold each user's keys as one
+/// contiguous run with ordinals ascending inside the run — the ordinal is
+/// each key's global input position, so every run is that user's keys *in
+/// tweet input order*, exactly the per-user sequence the staged path hands
+/// [`group_user_keys_with`]. Run order across users is free (a full
+/// `(user, ordinal)` sort is one valid arrangement, a bucket scatter is
+/// another); each run feeds the shared merge kernel straight from the pair
+/// slice (no per-run copy), so the per-user output is byte-identical to
+/// the staged path's. Output follows run order — callers wanting a global
+/// order sort the grouped users afterwards.
 pub fn group_partition(
     pairs: &[(u64, LocationKey)],
     interner: &DistrictInterner,
@@ -304,20 +318,28 @@ pub fn group_partition(
     debug_assert!(
         pairs
             .windows(2)
-            .all(|w| (w[0].1.user, w[0].0) <= (w[1].1.user, w[1].0)),
-        "partition not sorted by (user, ordinal)"
+            .all(|w| w[0].1.user != w[1].1.user || w[0].0 < w[1].0),
+        "ordinals not ascending within a user run"
     );
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = std::collections::HashSet::new();
+        for w in pairs.windows(2) {
+            if w[0].1.user != w[1].1.user {
+                assert!(seen.insert(w[0].1.user), "user split across runs");
+            }
+        }
+    }
     let mut out = Vec::new();
-    let mut scratch: Vec<LocationKey> = Vec::new();
     let mut i = 0;
     while i < pairs.len() {
         let user = pairs[i].1.user;
-        scratch.clear();
+        let run_start = i;
         while i < pairs.len() && pairs[i].1.user == user {
-            scratch.push(pairs[i].1);
             i += 1;
         }
-        if let Some(g) = group_user_keys_with(&scratch, tie_break, interner) {
+        let run = &pairs[run_start..i];
+        if let Some(g) = group_user_iter(run.iter().map(|(_, k)| k), tie_break, interner) {
             out.push(g);
         }
     }

@@ -60,11 +60,11 @@ pub use grouping::{
 pub use input::{ProfileRow, TweetRow};
 pub use intern::{DistrictInterner, LocationKey};
 pub use metrics::{
-    ExecMetrics, GeocodeMetrics, GeocodeMode, GroupingMetrics, PipelineMetrics, SelectMetrics,
-    StageTimings,
+    ExecMetrics, ExecMode, GeocodeMetrics, GeocodeMode, GroupingMetrics, PipelineMetrics,
+    SelectMetrics, StageTimings,
 };
 pub use online::OnlineGrouping;
-pub use pipeline::exec::{MorselSource, RowSource};
+pub use pipeline::exec::{warmup_collapse, ColumnBatch, MorselSource, RowSource, NO_GPS_E6};
 pub use pipeline::{AnalysisResult, PipelineConfig, RefinementPipeline};
 pub use reliability::ReliabilityWeights;
 pub use stats::{GroupRow, GroupTable};

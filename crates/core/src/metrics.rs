@@ -165,20 +165,54 @@ pub struct SelectMetrics {
     pub profile_cache_hits: u64,
 }
 
+/// How the fused pass actually executed — the adaptive scheduler may take
+/// the serial-inline path even when many threads were configured (small
+/// input, a 1-core machine, or a warmup sample showing time-slicing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The whole pass ran inline on the calling thread.
+    #[default]
+    SerialInline,
+    /// Workers were spawned and the pass ran in parallel.
+    Parallel,
+}
+
+impl ExecMode {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::SerialInline => "serial-inline",
+            ExecMode::Parallel => "parallel",
+        }
+    }
+}
+
 /// Fused-engine detail: per-operator row/wall counters of the one-pass
 /// morsel-driven path, partition occupancy, and the intermediate-memory
 /// estimate that the counting-allocator test pins in debug builds.
 ///
 /// Operator walls are *summed across workers* (CPU-time-like); the stage
-/// walls in [`StageTimings`] remain end-to-end wall clock.
+/// walls in [`StageTimings`] remain end-to-end wall clock. `threads` and
+/// `partitions` report the **executed** geometry — what actually ran —
+/// while `threads_ceiling` and `partitions_configured` carry the
+/// configured values, so a serial-inline run can no longer masquerade as
+/// an 8-way parallel one in the render.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ExecMetrics {
     /// Worker threads that ran the fused pass (1 = inline serial fallback).
     pub threads: usize,
+    /// The configured thread ceiling (`--threads`) before the adaptive
+    /// scheduler capped it to the machine / the input.
+    pub threads_ceiling: usize,
+    /// Whether the pass executed serial-inline or parallel.
+    pub mode: ExecMode,
     /// Rows per morsel (the work-stealing grain).
     pub morsel_rows: usize,
-    /// Hash partitions the emitted keys were split into.
+    /// Hash partitions the emitted keys were actually split into (1 on the
+    /// serial-inline path, which needs no hash partitioning).
     pub partitions: usize,
+    /// The configured partition count.
+    pub partitions_configured: usize,
     /// Morsels drawn from the source, summed over workers.
     pub morsels: u64,
     /// Morsels drawn by each worker (the scheduler-balance signal).
@@ -192,6 +226,10 @@ pub struct ExecMetrics {
     pub kept_probes: u64,
     /// GPS fixes of cohort members handed to the geocoder.
     pub fixes: u64,
+    /// Fixes rejected by the e6 coverage prescreen without a backend
+    /// lookup (provably outside the gazetteer's bbox; counted in
+    /// `unresolved` too).
+    pub bbox_rejected: u64,
     /// Location keys emitted into partitions (resolvable fixes).
     pub keys_emitted: u64,
     /// Fixes the backend could not resolve (outside coverage / errors).
@@ -342,8 +380,15 @@ impl PipelineMetrics {
         }
         if let Some(e) = &self.exec {
             out.push_str(&format!(
-                "fused exec: {} workers, {} morsels of {} rows, {} partitions\n",
-                e.threads, e.morsels, e.morsel_rows, e.partitions,
+                "fused exec: {} workers ({}, ceiling {}), {} morsels of {} rows, \
+                 {} partitions (configured {})\n",
+                e.threads,
+                e.mode.label(),
+                e.threads_ceiling,
+                e.morsels,
+                e.morsel_rows,
+                e.partitions,
+                e.partitions_configured,
             ));
             out.push_str(&format!(
                 "  operators (cpu): filter {} ({} rows), geocode {} ({} fixes), \
@@ -357,6 +402,12 @@ impl PipelineMetrics {
                 fmt_duration(e.group_wall),
                 fmt_duration(e.merge_wall),
             ));
+            if e.bbox_rejected > 0 {
+                out.push_str(&format!(
+                    "  prescreen: {} fixes rejected on the e6 grid without a lookup\n",
+                    e.bbox_rejected,
+                ));
+            }
             if e.threads > 1 {
                 let morsels: Vec<String> =
                     e.morsels_per_thread.iter().map(|m| m.to_string()).collect();
@@ -478,14 +529,18 @@ mod tests {
             },
             exec: Some(ExecMetrics {
                 threads: 4,
+                threads_ceiling: 8,
+                mode: ExecMode::Parallel,
                 morsel_rows: 2_048,
                 partitions: 16,
+                partitions_configured: 16,
                 morsels: 25,
                 morsels_per_thread: vec![7, 6, 6, 6],
                 rows_in: 50_000,
                 gps_rows: 9_000,
                 kept_probes: 9_000,
                 fixes: 8_500,
+                bbox_rejected: 40,
                 keys_emitted: 8_400,
                 unresolved: 100,
                 filter_wall: Duration::from_millis(2),
@@ -504,8 +559,10 @@ mod tests {
         for needle in [
             "select users",
             "select stage: 5000 profiles, 800 distinct texts, 4200 classifier cache hits",
-            "fused exec: 4 workers, 25 morsels of 2048 rows, 16 partitions",
+            "fused exec: 4 workers (parallel, ceiling 8), 25 morsels of 2048 rows, \
+             16 partitions (configured 16)",
             "operators (cpu):",
+            "prescreen: 40 fixes rejected on the e6 grid without a lookup",
             "morsels per thread [7, 6, 6, 6]",
             "memory: peak intermediate 214.8 KiB (4.4 B/tweet)",
             "partition skew 1.00",
@@ -542,6 +599,41 @@ mod tests {
         };
         assert!((gr.strings_per_sec() - 2_000.0).abs() < 1e-9);
         assert!((gr.merge_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_inline_render_reports_executed_geometry() {
+        // The S2 bug: a serial-inline run used to render the *configured*
+        // geometry (8 workers, 16 partitions) as if it had executed. The
+        // render must say what ran, with the configuration alongside.
+        let m = PipelineMetrics {
+            exec: Some(ExecMetrics {
+                threads: 1,
+                threads_ceiling: 8,
+                mode: ExecMode::SerialInline,
+                morsel_rows: 2_048,
+                partitions: 1,
+                partitions_configured: 16,
+                morsels: 3,
+                morsels_per_thread: vec![3],
+                rows_in: 100,
+                partition_keys: vec![40],
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let r = m.render();
+        assert!(
+            r.contains(
+                "fused exec: 1 workers (serial-inline, ceiling 8), 3 morsels of 2048 rows, \
+                 1 partitions (configured 16)"
+            ),
+            "{r}"
+        );
+        assert!(!r.contains("morsels per thread"), "{r}");
+        assert!(!r.contains("prescreen:"), "{r}");
+        assert_eq!(ExecMode::SerialInline.label(), "serial-inline");
+        assert_eq!(ExecMode::Parallel.label(), "parallel");
     }
 
     #[test]

@@ -109,8 +109,16 @@ pub struct PipelineConfig {
     pub fault_plan: FaultPlan,
     /// Retry/breaker/budget knobs of the resilient backend.
     pub resilience: ResiliencePolicy,
-    /// Geocoding threads (≥ 1).
+    /// Worker-thread **ceiling** (≥ 1). The scheduler never exceeds it,
+    /// but may use fewer: the count is capped at the machine's
+    /// `available_parallelism`, and the fused engine additionally
+    /// collapses to serial-inline when a warmup sample shows workers
+    /// time-slicing one core (see [`exec::warmup_collapse`]).
     pub threads: usize,
+    /// Obey `threads` exactly — no availability cap, no warmup collapse.
+    /// The bench escape hatch (`--threads-exact`): oversubscription
+    /// experiments need the configured geometry to actually run.
+    pub threads_exact: bool,
     /// Grouping grain (the §III-B metropolitan-split choice).
     pub granularity: Granularity,
     /// Run stages 2–3 on the fused morsel-driven engine (default). The
@@ -132,6 +140,7 @@ impl Default for PipelineConfig {
             fault_plan: FaultPlan::default(),
             resilience: ResiliencePolicy::default(),
             threads: 4,
+            threads_exact: false,
             granularity: Granularity::District,
             fused: true,
             morsel_rows: 0,
@@ -148,6 +157,20 @@ impl PipelineConfig {
             BackendChoice::Yahoo
         } else {
             self.backend
+        }
+    }
+
+    /// Worker threads the schedulers actually plan for: the configured
+    /// ceiling capped at the machine's available parallelism — an 8-thread
+    /// request on a 1-core container plans 1 worker, which is the whole
+    /// oversubscription fix. `threads_exact` restores the old behaviour
+    /// (the configured count is a command).
+    pub fn effective_threads(&self) -> usize {
+        let ceiling = self.threads.max(1);
+        if self.threads_exact {
+            ceiling
+        } else {
+            ceiling.min(std::thread::available_parallelism().map_or(1, |n| n.get()))
         }
     }
 
@@ -408,7 +431,7 @@ impl<'g> RefinementPipeline<'g> {
         // re-hashed every user through `per_user[&u]`.
         let mut cohort: Vec<(u64, Vec<LocationKey>)> = per_user.into_iter().collect();
         cohort.sort_unstable_by_key(|&(user, _)| user);
-        let threads = self.config.threads.max(1);
+        let threads = self.config.effective_threads();
         let (grouped, blocks_per_thread) =
             group_cohort(&cohort, &self.interner, TieBreak::FirstSeen, threads);
         funnel.users_final = grouped.len() as u64;
@@ -437,6 +460,13 @@ impl<'g> RefinementPipeline<'g> {
         metrics: &mut PipelineMetrics,
     ) -> Vec<GroupedUser> {
         let backend = self.build_backend();
+        // The e6 coverage prescreen only applies to the in-process
+        // gazetteer: remote backends have test-pinned per-lookup traffic
+        // (quota days, retry counts) a skipped lookup would change.
+        let cover = match self.config.effective_backend() {
+            BackendChoice::Gazetteer => Some(exec::CoverE6::korea()),
+            _ => None,
+        };
         exec::run_fused(
             source,
             &exec::FusedParams {
@@ -446,8 +476,11 @@ impl<'g> RefinementPipeline<'g> {
                 gaz_to_interned: &self.gaz_to_interned,
                 interner: &self.interner,
                 tie_break: TieBreak::FirstSeen,
-                threads: self.config.threads.max(1),
+                threads: self.config.effective_threads(),
+                threads_ceiling: self.config.threads.max(1),
+                threads_exact: self.config.threads_exact,
                 partitions: self.config.effective_partitions(),
+                cover,
             },
             funnel,
             metrics,
@@ -477,7 +510,7 @@ impl<'g> RefinementPipeline<'g> {
     ) -> Vec<ResolvedFix> {
         metrics.fixes = fixes.len() as u64;
         let choice = self.config.effective_backend();
-        let threads = self.config.threads.max(1);
+        let threads = self.config.effective_threads();
         let parallel = threads > 1 && fixes.len() >= PARALLEL_THRESHOLD;
         metrics.mode = match (choice, parallel) {
             (BackendChoice::Gazetteer, false) => GeocodeMode::DirectSerial,
@@ -802,11 +835,17 @@ mod tests {
             },
         )
         .run(profiles(), tweets());
+        // `threads_exact` pins the configured geometry: this test asserts
+        // the 8-way path itself, so the adaptive scheduler must not cap it
+        // on a small CI machine. Morsels shrink so 8 workers have ≥ 8
+        // morsels of initial work (1200 rows / 128 = 10 morsels).
         let parallel = RefinementPipeline::new(
             g,
             PipelineConfig {
                 via_yahoo_xml: false,
                 threads: 8,
+                threads_exact: true,
+                morsel_rows: 128,
                 ..Default::default()
             },
         )
@@ -1094,7 +1133,11 @@ mod tests {
                     assert_identical(&got, &reference);
                     let exec = got.metrics.exec.as_ref().expect("fused fills exec");
                     assert_eq!(exec.morsel_rows, morsel_rows);
-                    assert_eq!(exec.partitions, fused_partitions);
+                    assert_eq!(exec.partitions_configured, fused_partitions);
+                    assert_eq!(exec.threads_ceiling, threads.max(1));
+                    // Executed geometry never exceeds the configured one.
+                    assert!(exec.threads <= threads.max(1));
+                    assert!(exec.partitions <= fused_partitions.max(1));
                     assert_eq!(exec.rows_in, got.funnel.tweets_total);
                     assert_eq!(
                         exec.partition_keys.iter().sum::<u64>(),
@@ -1136,11 +1179,107 @@ mod tests {
         );
         let exec = result.metrics.exec.as_ref().expect("fused fills exec");
         assert_eq!(exec.threads, 1, "below threshold stays inline");
+        // S2: the metrics say what actually ran — serial-inline, one
+        // partition — with the configured geometry reported alongside.
+        assert_eq!(exec.mode, crate::metrics::ExecMode::SerialInline);
+        assert_eq!(exec.threads_ceiling, 8);
+        // Hash partitioning stays on serially (P small sorts beat one big
+        // one), so the executed count equals the configured one.
+        assert_eq!(exec.partitions, exec.partitions_configured);
         assert_eq!(result.metrics.geocode.mode, GeocodeMode::DirectSerial);
         assert!(result.metrics.geocode.blocks_per_thread.is_empty());
         // Memory estimates are filled and favour the fused shape.
         assert!(exec.peak_bytes_estimate > 0);
         assert!(exec.staged_bytes_estimate > 0);
+    }
+
+    #[test]
+    fn workers_never_spawn_without_morsels() {
+        // S1 regression: the worker count used to come straight from
+        // `threads`, so 2000 rows in one 4096-row morsel spawned 8
+        // workers, 7 of them with nothing to do. The count must clamp to
+        // the prefetched morsel count — every spawned worker processes at
+        // least one morsel. `threads_exact` makes the geometry (not the
+        // outcome) deterministic on any machine.
+        let g = gaz();
+        let tweets = |n: u64| -> Vec<TweetRow> {
+            (0..n)
+                .map(|i| TweetRow::tagged(1, i, YANGCHEON.0, YANGCHEON.1))
+                .collect()
+        };
+        let one_morsel = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                threads: 8,
+                threads_exact: true,
+                morsel_rows: 4096,
+                ..Default::default()
+            },
+        )
+        .run(vec![profile(1, "Seoul Yangcheon-gu")], tweets(2000));
+        let exec = one_morsel.metrics.exec.as_ref().expect("fused fills exec");
+        assert_eq!(exec.threads, 1, "one morsel can feed only one worker");
+        assert_eq!(exec.morsels_per_thread, vec![1]);
+
+        let three_morsels = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                threads: 3,
+                threads_exact: true,
+                morsel_rows: 1024,
+                ..Default::default()
+            },
+        )
+        .run(vec![profile(1, "Seoul Yangcheon-gu")], tweets(3072));
+        let exec = three_morsels
+            .metrics
+            .exec
+            .as_ref()
+            .expect("fused fills exec");
+        assert_eq!(exec.threads, 3);
+        assert_eq!(
+            exec.morsels_per_thread,
+            vec![1, 1, 1],
+            "round-robin deal guarantees every worker a morsel"
+        );
+        assert!(
+            exec.morsels_per_thread.iter().all(|&m| m > 0),
+            "no worker may be spawned with zero morsels: {:?}",
+            exec.morsels_per_thread
+        );
+    }
+
+    #[test]
+    fn adaptive_worker_count_respects_the_machine() {
+        // Adaptive default: `threads` is a ceiling. The executed count
+        // never exceeds min(ceiling, available cores) — on the 1-CPU CI
+        // container an 8-thread request runs serial-inline.
+        let g = gaz();
+        let tweets: Vec<TweetRow> = (0..4096)
+            .map(|i| TweetRow::tagged(1, i, YANGCHEON.0, YANGCHEON.1))
+            .collect();
+        let run = RefinementPipeline::new(
+            g,
+            PipelineConfig {
+                threads: 8,
+                morsel_rows: 128,
+                ..Default::default()
+            },
+        )
+        .run(vec![profile(1, "Seoul Yangcheon-gu")], tweets);
+        let exec = run.metrics.exec.as_ref().expect("fused fills exec");
+        let machine = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert!(
+            exec.threads <= 8.min(machine).max(1),
+            "executed {} workers on a {machine}-core machine",
+            exec.threads
+        );
+        assert_eq!(exec.threads_ceiling, 8);
+        match exec.mode {
+            crate::metrics::ExecMode::SerialInline => assert_eq!(exec.threads, 1),
+            crate::metrics::ExecMode::Parallel => assert!(exec.threads > 1),
+        }
+        assert!(exec.morsels_per_thread.iter().all(|&m| m > 0));
     }
 
     #[test]

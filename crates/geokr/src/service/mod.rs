@@ -6,7 +6,7 @@
 //! this module abstracts the lookup behind a trait with three
 //! implementations:
 //!
-//! * the local [`ReverseGeocoder`](crate::ReverseGeocoder) — infallible,
+//! * the local [`ReverseGeocoder`] — infallible,
 //!   in-process, the default;
 //! * [`YahooBackend`] — the XML round-trip endpoint with daily-quota
 //!   rollover, optionally under a seeded [`FaultPlan`];
@@ -130,6 +130,26 @@ pub trait Geocoder: Send + Sync {
         }
     }
 
+    /// Columnar variant of [`Geocoder::resolve_id_batch`]: the points
+    /// arrive as parallel `lats`/`lons` columns (the fused engine's morsel
+    /// layout), so a column-oriented caller geocodes a whole surviving
+    /// batch in one call without assembling a `Point` slice first. `out`
+    /// is cleared, then filled in input order; semantics and traffic are
+    /// exactly one [`Geocoder::resolve_id`] per point.
+    fn resolve_id_cols(
+        &self,
+        lats: &[f64],
+        lons: &[f64],
+        out: &mut Vec<Result<Option<crate::DistrictId>, GeocodeError>>,
+    ) {
+        debug_assert_eq!(lats.len(), lons.len());
+        out.clear();
+        out.reserve(lats.len());
+        for (&lat, &lon) in lats.iter().zip(lons) {
+            out.push(self.resolve_id(Point::new(lat, lon)));
+        }
+    }
+
     /// Snapshot of this backend's traffic counters (exact once concurrent
     /// callers have joined).
     fn traffic(&self) -> BackendTraffic;
@@ -156,6 +176,20 @@ impl Geocoder for ReverseGeocoder<'_> {
     /// synthesized town label) entirely — one sharded-cache probe, one id.
     fn resolve_id(&self, p: Point) -> Result<Option<crate::DistrictId>, GeocodeError> {
         Ok(self.resolve(p))
+    }
+
+    /// Columnar override: the infallible geocoder batches its counter
+    /// flushes (one atomic add per counter per batch instead of several
+    /// per point) via [`ReverseGeocoder::resolve_cols`].
+    fn resolve_id_cols(
+        &self,
+        lats: &[f64],
+        lons: &[f64],
+        out: &mut Vec<Result<Option<crate::DistrictId>, GeocodeError>>,
+    ) {
+        out.clear();
+        out.reserve(lats.len());
+        self.resolve_cols(lats, lons, |id| out.push(Ok(id)));
     }
 
     fn traffic(&self) -> BackendTraffic {
@@ -240,5 +274,39 @@ mod tests {
         backend.resolve_id_batch(&points[..1], &mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].as_ref().unwrap().is_some());
+    }
+
+    #[test]
+    fn resolve_id_cols_matches_the_row_batch_on_every_backend() {
+        let g = Gazetteer::load();
+        let points = [
+            Point::new(37.517, 127.047),
+            Point::new(35.68, 139.69),
+            Point::new(37.517, 126.866),
+            Point::new(33.50, 126.53),
+        ];
+        let lats: Vec<f64> = points.iter().map(|p| p.lat).collect();
+        let lons: Vec<f64> = points.iter().map(|p| p.lon).collect();
+        for choice in [
+            BackendChoice::Gazetteer,
+            BackendChoice::Yahoo,
+            BackendChoice::Resilient,
+        ] {
+            let rows_backend = GeocoderBuilder::new(&g).backend(choice).build();
+            let cols_backend = GeocoderBuilder::new(&g).backend(choice).build();
+            let mut rows = Vec::new();
+            rows_backend.resolve_id_batch(&points, &mut rows);
+            let mut cols = Vec::new();
+            cols_backend.resolve_id_cols(&lats, &lons, &mut cols);
+            assert_eq!(rows.len(), cols.len(), "{choice}");
+            for (a, b) in rows.iter().zip(&cols) {
+                assert_eq!(a.as_ref().ok(), b.as_ref().ok(), "{choice}");
+            }
+            // Identical traffic: the column path is the same lookups.
+            assert_eq!(rows_backend.traffic(), cols_backend.traffic(), "{choice}");
+            // Buffer reuse clears stale answers.
+            cols_backend.resolve_id_cols(&lats[..1], &lons[..1], &mut cols);
+            assert_eq!(cols.len(), 1);
+        }
     }
 }

@@ -14,8 +14,12 @@ pub struct Options {
     pub seed: u64,
     /// Dataset scale relative to the paper (1.0 = paper scale).
     pub scale: f64,
-    /// Geocoding threads.
+    /// Geocoding thread ceiling — the scheduler adapts downward to the
+    /// machine unless `--threads-exact`.
     pub threads: usize,
+    /// Obey `--threads` exactly (`--threads-exact`): skip the adaptive
+    /// availability cap and warmup collapse. Bench escape hatch.
+    pub threads_exact: bool,
     /// Route geocoding through the mock Yahoo XML endpoint (legacy spelling
     /// of `--backend yahoo`).
     pub via_yahoo_xml: bool,
@@ -40,6 +44,7 @@ impl Default for Options {
             seed: 2012,
             scale: 0.1,
             threads: 8,
+            threads_exact: false,
             via_yahoo_xml: false,
             backend: BackendChoice::default(),
             faults: FaultPlan::default(),
@@ -94,6 +99,7 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
             backend: opts.backend,
             fault_plan: opts.faults,
             threads: opts.threads,
+            threads_exact: opts.threads_exact,
             fused: !opts.staged,
             ..Default::default()
         },

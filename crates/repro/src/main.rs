@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]
-//!                    [--backend gazetteer|yahoo|resilient] [--faults SPEC]
-//!                    [--from-store] [--staged] [--verbose]
+//!                    [--threads-exact] [--backend gazetteer|yahoo|resilient]
+//!                    [--faults SPEC] [--from-store] [--staged] [--verbose]
 //!
 //! experiments:
 //!   table1    Table I   example location strings
@@ -107,6 +107,7 @@ fn parse(args: &[String]) -> Result<(String, Options, PathBuf), String> {
                     .parse()
                     .map_err(|_| "--threads must be an integer")?;
             }
+            "--threads-exact" => opts.threads_exact = true,
             "--via-yahoo-xml" => opts.via_yahoo_xml = true,
             "--backend" => {
                 opts.backend = it
@@ -144,8 +145,11 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]\n\
-         \x20                        [--backend gazetteer|yahoo|resilient] [--faults SPEC] [--via-yahoo-xml]\n\
-         \x20                        [--from-store] [--staged] [--verbose]\n\n\
+         \x20                        [--threads-exact] [--backend gazetteer|yahoo|resilient]\n\
+         \x20                        [--faults SPEC] [--via-yahoo-xml] [--from-store] [--staged] [--verbose]\n\n\
+         --threads is a ceiling: the scheduler caps it at the machine's cores and falls\n\
+         back to serial when a warmup sample shows workers time-slicing; --threads-exact\n\
+         makes it a command again (bench escape hatch);\n\
          --backend selects the geocoding service (default gazetteer); --faults injects a\n\
          seeded fault schedule at the yahoo endpoint, e.g. drop:0.1,delay:0.05@250,malformed:0.01,seed:42\n\
          (the resilient backend rides faults out without changing any figure output);\n\
@@ -253,6 +257,15 @@ mod tests {
         let (_, opts, _) = parse(&args(&["fig7", "--staged", "--from-store"])).unwrap();
         assert!(opts.staged);
         assert!(opts.from_store);
+    }
+
+    #[test]
+    fn parse_threads_exact_defaults_off() {
+        let (_, opts, _) = parse(&args(&["fig7", "--threads", "8"])).unwrap();
+        assert!(!opts.threads_exact);
+        assert_eq!(opts.threads, 8);
+        let (_, opts, _) = parse(&args(&["fig7", "--threads", "8", "--threads-exact"])).unwrap();
+        assert!(opts.threads_exact);
     }
 
     #[test]

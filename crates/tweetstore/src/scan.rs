@@ -417,17 +417,15 @@ impl<'s> HeaderBlocks<'s> {
         }
     }
 
-    /// Draws the next block, decodes its headers, and fills `out`
-    /// (cleared first) with `map(header)` per decoded record. Returns the
-    /// first slot's global ordinal, or `None` when the store is drained.
-    pub fn next_block_with<T>(
-        &self,
-        out: &mut Vec<T>,
-        mut map: impl FnMut(&TweetHeader) -> T,
-    ) -> Option<u64> {
+    /// Draws the next block and hands every decoded header to `sink`, in
+    /// slot order. Returns the first slot's global ordinal, or `None` when
+    /// the store is drained. This is the columnar hand-off: a consumer
+    /// whose morsels are column batches pushes each header's fields
+    /// straight into its columns — no intermediate row value of any shape
+    /// exists between header decode and the columns.
+    pub fn next_block_headers(&self, mut sink: impl FnMut(&TweetHeader)) -> Option<u64> {
         let b = self.cursor.fetch_add(1, Ordering::Relaxed);
         let block = self.blocks.get(b)?;
-        out.clear();
         let mut decoded = 0u64;
         let mut corrupt = 0u64;
         let mut bytes = 0u64;
@@ -436,7 +434,7 @@ impl<'s> HeaderBlocks<'s> {
                 Ok(view) => {
                     decoded += 1;
                     bytes += view.header_len() as u64;
-                    out.push(map(&view.header));
+                    sink(&view.header);
                 }
                 Err(_) => corrupt += 1,
             }
@@ -445,6 +443,18 @@ impl<'s> HeaderBlocks<'s> {
         self.records_corrupt.fetch_add(corrupt, Ordering::Relaxed);
         self.bytes_decoded.fetch_add(bytes, Ordering::Relaxed);
         Some(block.first_ordinal)
+    }
+
+    /// Draws the next block, decodes its headers, and fills `out`
+    /// (cleared first) with `map(header)` per decoded record. Returns the
+    /// first slot's global ordinal, or `None` when the store is drained.
+    pub fn next_block_with<T>(
+        &self,
+        out: &mut Vec<T>,
+        mut map: impl FnMut(&TweetHeader) -> T,
+    ) -> Option<u64> {
+        out.clear();
+        self.next_block_headers(|h| out.push(map(h)))
     }
 
     /// Records per full block, as configured.

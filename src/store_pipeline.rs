@@ -9,25 +9,25 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use stir_core::{
-    AnalysisResult, CollectionFunnel, MorselSource, ProfileRow, RefinementPipeline, TweetRow,
+    AnalysisResult, CollectionFunnel, ColumnBatch, MorselSource, ProfileRow, RefinementPipeline,
+    TweetRow,
 };
 use stir_tweetstore::{gps_only, CompactionReport, HeaderBlocks, ScanMetrics, TweetStore};
 
 /// [`HeaderBlocks`] as a [`MorselSource`]: store blocks feed the fused
-/// engine directly — scan survivors never collect into a `Vec<TweetRow>`,
-/// and the block's slot-position ordinals are exactly the input ordinals
-/// the engine's determinism argument needs.
+/// engine directly — each decoded header's fields go straight into the
+/// morsel's columns (no row value of any shape in between), and the
+/// block's slot-position ordinals are exactly the input ordinals the
+/// engine's determinism argument needs.
 struct StoreSource<'s> {
     blocks: HeaderBlocks<'s>,
 }
 
 impl MorselSource for StoreSource<'_> {
-    fn next_morsel(&self, buf: &mut Vec<TweetRow>) -> Option<u64> {
-        self.blocks.next_block_with(buf, |h| TweetRow {
-            user: h.user,
-            tweet_id: h.id,
-            gps: h.gps,
-        })
+    fn next_morsel(&self, buf: &mut ColumnBatch) -> Option<u64> {
+        buf.clear();
+        self.blocks
+            .next_block_headers(|h| buf.push(h.user, h.timestamp as i64, h.gps))
     }
 
     fn morsel_rows(&self) -> usize {

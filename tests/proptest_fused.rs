@@ -92,6 +92,7 @@ proptest! {
         threads_idx in 0usize..3,
         morsel_idx in 0usize..3,
         partitions in 1usize..9,
+        exact in any::<bool>(),
     ) {
         let g = gaz();
         let (profiles, tweets) = corpus(&rows);
@@ -101,10 +102,14 @@ proptest! {
         );
         let reference = staged.run(profiles.clone(), tweets.clone());
         prop_assert!(reference.metrics.exec.is_none());
+        // `exact` sweeps the adaptive scheduler on and off: byte-identity
+        // must hold whether the engine obeys the configured geometry or
+        // adapts it to the machine (possibly collapsing to serial-inline).
         let fused = RefinementPipeline::new(
             g,
             PipelineConfig {
                 threads: THREADS[threads_idx],
+                threads_exact: exact,
                 morsel_rows: MORSELS[morsel_idx],
                 fused_partitions: partitions,
                 ..Default::default()
@@ -126,6 +131,7 @@ proptest! {
         rows in prop::collection::vec((0u64..8, 0usize..4), 1..120),
         threads_idx in 0usize..3,
         morsel_idx in 0usize..3,
+        exact in any::<bool>(),
         junk in prop::collection::vec(any::<u8>(), 1..40),
     ) {
         static CASE: AtomicU64 = AtomicU64::new(0);
@@ -175,6 +181,7 @@ proptest! {
             g,
             PipelineConfig {
                 threads: THREADS[threads_idx],
+                threads_exact: exact,
                 morsel_rows: MORSELS[morsel_idx],
                 ..Default::default()
             },
