@@ -131,11 +131,31 @@ fn bench_online_grouping(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions/online_grouping");
     group.sample_size(10);
     group.throughput(Throughput::Elements(strings.len() as u64));
+    // The deprecated string shim: four string-hash interns per push.
+    #[allow(deprecated)]
     group.bench_function("push_50k_strings_500_users", |b| {
         b.iter(|| {
             let mut og = OnlineGrouping::new();
             for s in &strings {
                 og.push(black_box(s));
+            }
+            og.len()
+        })
+    });
+    // The keyed path: intern each district once up front, then push plain
+    // `Copy` keys — what the shim's deprecation note tells callers to do.
+    group.bench_function("push_key_50k_strings_500_users", |b| {
+        b.iter(|| {
+            let mut og = OnlineGrouping::new();
+            let profile = og.intern_district("Seoul", "Guro-gu");
+            let county_ids: Vec<_> = counties
+                .iter()
+                .map(|c| og.intern_district("Seoul", c))
+                .collect();
+            for s in &strings {
+                let tweet = county_ids[counties.iter().position(|&c| c == s.county_tweet).unwrap()];
+                let key = og.key(black_box(s.user), profile, tweet);
+                og.push_key(key);
             }
             og.len()
         })

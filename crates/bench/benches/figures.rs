@@ -11,8 +11,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use stir_bench::korean_dataset;
 use stir_core::{
-    Granularity, GroupTable, PipelineConfig, ProfileRow, RefinementPipeline, ReliabilityWeights,
-    TweetRow,
+    Granularity, GroupTable, PipelineBuilder, PipelineInput, ProfileRow, RefinementPipeline,
+    ReliabilityWeights, TweetRow,
 };
 use stir_eventdet::weighted::RawReport;
 use stir_eventdet::{LocationEstimator, MeanEstimator, ObservationBuilder};
@@ -22,19 +22,16 @@ use stir_twitter_sim::datasets::{Dataset, DatasetSpec};
 use stir_twitter_sim::event::{inject, EventScenario};
 
 fn run_pipeline(gazetteer: &Gazetteer, dataset: &Dataset, granularity: Granularity) -> GroupTable {
-    let pipeline = RefinementPipeline::new(
-        gazetteer,
-        PipelineConfig {
-            granularity,
-            ..Default::default()
-        },
-    );
-    let result = pipeline.run(
+    let pipeline = PipelineBuilder::new(gazetteer)
+        .granularity(granularity)
+        .build()
+        .unwrap();
+    let result = pipeline.execute(
         dataset.users.iter().map(|u| ProfileRow {
             user: u.id.0,
             location_text: u.location_text.clone(),
         }),
-        dataset.users.iter().flat_map(|u| {
+        PipelineInput::rows(dataset.users.iter().flat_map(|u| {
             dataset
                 .user_tweets(gazetteer, u.id)
                 .into_iter()
@@ -43,7 +40,7 @@ fn run_pipeline(gazetteer: &Gazetteer, dataset: &Dataset, granularity: Granulari
                     tweet_id: t.id.0,
                     gps: t.gps,
                 })
-        }),
+        })),
     );
     GroupTable::compute(&result.users)
 }
@@ -72,20 +69,17 @@ fn bench_thread_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for &threads in &[1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &dataset, |b, d| {
-            let pipeline = RefinementPipeline::new(
-                &gazetteer,
-                PipelineConfig {
-                    threads,
-                    ..Default::default()
-                },
-            );
+            let pipeline = PipelineBuilder::new(&gazetteer)
+                .threads(threads)
+                .build()
+                .unwrap();
             b.iter(|| {
-                let result = pipeline.run(
+                let result = pipeline.execute(
                     d.users.iter().map(|u| ProfileRow {
                         user: u.id.0,
                         location_text: u.location_text.clone(),
                     }),
-                    d.users.iter().flat_map(|u| {
+                    PipelineInput::rows(d.users.iter().flat_map(|u| {
                         d.user_tweets(&gazetteer, u.id)
                             .into_iter()
                             .map(|t| TweetRow {
@@ -93,7 +87,7 @@ fn bench_thread_sweep(c: &mut Criterion) {
                                 tweet_id: t.id.0,
                                 gps: t.gps,
                             })
-                    }),
+                    })),
                 );
                 black_box(result.metrics.geocode.fixes)
             })
@@ -138,12 +132,12 @@ fn bench_eventloc(c: &mut Criterion) {
     let gazetteer = Gazetteer::load();
     let dataset = korean_dataset(&gazetteer, 3_000, 2012);
     let pipeline = RefinementPipeline::with_defaults(&gazetteer);
-    let result = pipeline.run(
+    let result = pipeline.execute(
         dataset.users.iter().map(|u| ProfileRow {
             user: u.id.0,
             location_text: u.location_text.clone(),
         }),
-        dataset.users.iter().flat_map(|u| {
+        PipelineInput::rows(dataset.users.iter().flat_map(|u| {
             dataset
                 .user_tweets(&gazetteer, u.id)
                 .into_iter()
@@ -152,7 +146,7 @@ fn bench_eventloc(c: &mut Criterion) {
                     tweet_id: t.id.0,
                     gps: t.gps,
                 })
-        }),
+        })),
     );
     let scenario = EventScenario::earthquake(Point::new(37.5, 127.0), 10_000);
     let reports = inject(&scenario, &dataset, &gazetteer, 1);

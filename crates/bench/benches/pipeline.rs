@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use stir_bench::district_points;
-use stir_core::{ColumnBatch, PipelineConfig, ProfileRow, RefinementPipeline, TweetRow, NO_GPS_E6};
+use stir_core::{ColumnBatch, PipelineBuilder, ProfileRow, TweetRow, NO_GPS_E6};
 use stir_geokr::gazetteer::KOREA_BBOX;
 use stir_geokr::Gazetteer;
 
@@ -65,22 +65,21 @@ fn bench_e2e(c: &mut Criterion) {
                     // Identical to plain `fused` at one thread.
                     continue;
                 }
-                let pipeline = RefinementPipeline::new(
-                    &g,
-                    PipelineConfig {
-                        threads,
-                        threads_exact: exact,
-                        fused,
-                        ..Default::default()
-                    },
-                );
+                let pipeline = PipelineBuilder::new(&g)
+                    .threads(threads)
+                    .threads_exact(exact)
+                    .fused(fused)
+                    .build()
+                    .unwrap();
                 group.bench_with_input(
                     BenchmarkId::new(format!("{label}/t{threads}"), n),
                     &(&profiles, &tweets),
                     |b, (profiles, tweets)| {
                         b.iter(|| {
-                            let result = pipeline
-                                .run(black_box((*profiles).clone()), black_box((*tweets).clone()));
+                            let result = pipeline.execute(
+                                black_box((*profiles).clone()),
+                                black_box((*tweets).clone()),
+                            );
                             black_box(result.funnel.users_final)
                         })
                     },

@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use stir_bench::district_points;
-use stir_core::{PipelineConfig, ProfileRow, RefinementPipeline, TweetRow};
+use stir_core::{PipelineBuilder, ProfileRow, RefinementPipeline, TweetRow};
 use stir_geokr::Gazetteer;
 
 const PROFILE_TEXTS: [&str; 4] = [
@@ -87,15 +87,12 @@ fn main() {
                     label,
                     threads,
                     n,
-                    pipeline: RefinementPipeline::new(
-                        g,
-                        PipelineConfig {
-                            threads,
-                            threads_exact: exact,
-                            fused,
-                            ..Default::default()
-                        },
-                    ),
+                    pipeline: PipelineBuilder::new(g)
+                        .threads(threads)
+                        .threads_exact(exact)
+                        .fused(fused)
+                        .build()
+                        .unwrap(),
                     best_nanos: u128::MAX,
                     users_final: 0,
                 });
@@ -112,7 +109,7 @@ fn main() {
             let p = profiles.clone();
             let t = tweets.clone();
             let start = Instant::now();
-            let result = cell.pipeline.run(p, t);
+            let result = cell.pipeline.execute(p, t);
             let nanos = start.elapsed().as_nanos();
             if round > 0 {
                 cell.best_nanos = cell.best_nanos.min(nanos.max(1));

@@ -1,0 +1,190 @@
+//! Minimum-time sweep of the streaming service against batch recompute.
+//!
+//! Three measurements per corpus size, answering the questions ROADMAP
+//! item 1 asks of the always-on engine:
+//!
+//! * `ingest` — sustained ingest throughput: the wall time to push the
+//!   whole corpus through [`AnalysisSession::ingest`] one tweet at a time
+//!   (session construction, i.e. the one-off stage-1 profile pass, is
+//!   outside the timer), reported as steady-state tweets/sec;
+//! * `query` — incremental-query latency: one unmodified
+//!   `session.query().execute()` over fully-ingested live state;
+//! * `batch-recompute` — what the same answer costs without the service:
+//!   a full fused-pipeline run over the corpus.
+//!
+//! Methodology is E22's: each cell is the **minimum** over `ROUNDS`
+//! in-process rounds, cells interleaved round-robin so host-noise drift
+//! lands on every cell equally, round 0 is warmup and unrecorded. Prints
+//! one JSON object per cell, ready for `BENCH_streaming.json`:
+//!
+//! ```text
+//! cargo run --release -p stir-bench --bin sweep_streaming > BENCH_streaming.json
+//! ```
+
+use std::time::Instant;
+
+use stir_bench::district_points;
+use stir_core::{AnalysisSession, PipelineBuilder, ProfileRow, TweetRow};
+use stir_geokr::Gazetteer;
+
+const PROFILE_TEXTS: [&str; 4] = [
+    "Seoul Yangcheon-gu",
+    "Seoul Gangnam-gu",
+    "Busan Jung-gu",
+    "Gyeonggi-do Bucheon-si",
+];
+
+const ROUNDS: usize = 25;
+
+/// Tweets spread over this many days of simulated time (inside the
+/// session's default windowed-query horizon).
+const DAYS: u64 = 30;
+
+struct Corpus {
+    profiles: Vec<ProfileRow>,
+    tweets: Vec<TweetRow>,
+    timestamps: Vec<u64>,
+}
+
+/// Same corpus shape as `sweep_pipeline.rs`: `n` tweets over `n / 50`
+/// users, ~70% carrying a district-centroid GPS fix.
+fn corpus(g: &Gazetteer, n: usize) -> Corpus {
+    let users = (n / 50).max(1) as u64;
+    let points = district_points(g, 256, 42);
+    let profiles = (0..users)
+        .map(|u| ProfileRow {
+            user: u,
+            location_text: PROFILE_TEXTS[u as usize % PROFILE_TEXTS.len()].to_string(),
+        })
+        .collect();
+    let tweets = (0..n as u64)
+        .map(|i| {
+            let user = i % users;
+            if i % 10 < 7 {
+                let p = points[i as usize % points.len()];
+                TweetRow::tagged(user, i, p.lat, p.lon)
+            } else {
+                TweetRow::plain(user, i)
+            }
+        })
+        .collect();
+    let timestamps = (0..n as u64)
+        .map(|i| (i * 7_919) % (DAYS * 86_400))
+        .collect();
+    Corpus {
+        profiles,
+        tweets,
+        timestamps,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Ingest,
+    Query,
+    BatchRecompute,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Ingest => "ingest",
+            Kind::Query => "query",
+            Kind::BatchRecompute => "batch-recompute",
+        }
+    }
+}
+
+struct Cell {
+    kind: Kind,
+    n: usize,
+    best_nanos: u128,
+    users_final: u64,
+}
+
+fn ingest_all(session: &mut AnalysisSession<'_>, c: &Corpus) {
+    for (t, &ts) in c.tweets.iter().zip(&c.timestamps) {
+        session.ingest(t.user, ts, t.gps);
+    }
+}
+
+fn main() {
+    let g: &'static Gazetteer = Box::leak(Box::new(Gazetteer::load()));
+    let corpora: Vec<(usize, Corpus)> = [50_000usize, 200_000]
+        .iter()
+        .map(|&n| (n, corpus(g, n)))
+        .collect();
+
+    // One fully-ingested session per corpus serves every `query` round:
+    // query latency must not depend on how the state got there.
+    let live: Vec<(usize, AnalysisSession<'static>)> = corpora
+        .iter()
+        .map(|(n, c)| {
+            let pipe = PipelineBuilder::new(g).build().unwrap();
+            let mut s = AnalysisSession::new(pipe, c.profiles.clone());
+            ingest_all(&mut s, c);
+            (*n, s)
+        })
+        .collect();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &(n, _) in &corpora {
+        for kind in [Kind::Ingest, Kind::Query, Kind::BatchRecompute] {
+            cells.push(Cell {
+                kind,
+                n,
+                best_nanos: u128::MAX,
+                users_final: 0,
+            });
+        }
+    }
+
+    for round in 0..=ROUNDS {
+        for cell in cells.iter_mut() {
+            let c = &corpora.iter().find(|&&(n, _)| n == cell.n).unwrap().1;
+            let (nanos, users_final) = match cell.kind {
+                Kind::Ingest => {
+                    let pipe = PipelineBuilder::new(g).build().unwrap();
+                    let mut session = AnalysisSession::new(pipe, c.profiles.clone());
+                    let start = Instant::now();
+                    ingest_all(&mut session, c);
+                    (start.elapsed().as_nanos(), session.users_live() as u64)
+                }
+                Kind::Query => {
+                    let session = &live.iter().find(|&&(n, _)| n == cell.n).unwrap().1;
+                    let start = Instant::now();
+                    let result = session.query().execute();
+                    (start.elapsed().as_nanos(), result.funnel.users_final)
+                }
+                Kind::BatchRecompute => {
+                    let pipe = PipelineBuilder::new(g).build().unwrap();
+                    let p = c.profiles.clone();
+                    let t = c.tweets.clone();
+                    let start = Instant::now();
+                    let result = pipe.execute(p, t);
+                    (start.elapsed().as_nanos(), result.funnel.users_final)
+                }
+            };
+            if round > 0 {
+                cell.best_nanos = cell.best_nanos.min(nanos.max(1));
+            }
+            cell.users_final = users_final;
+        }
+    }
+
+    println!("[");
+    for (i, cell) in cells.iter().enumerate() {
+        let elem_per_s = (cell.n as u128 * 1_000_000_000 / cell.best_nanos) as u64;
+        println!(
+            "  {{\"bench\": \"{}\", \"tweets\": {}, \"min_ms\": {:.3}, \
+             \"elem_per_s\": {}, \"users_final\": {}}}{}",
+            cell.kind.label(),
+            cell.n,
+            cell.best_nanos as f64 / 1e6,
+            elem_per_s,
+            cell.users_final,
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    println!("]");
+}

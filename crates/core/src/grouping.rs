@@ -41,7 +41,7 @@ pub struct MergedEntry {
 }
 
 /// A user after grouping: the ordered, merged list plus the matched rank.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GroupedUser {
     /// User id.
     pub user: u64,
@@ -259,20 +259,48 @@ fn group_user_iter<'a>(
 
     // Order: count desc, then the tie-break policy — the same total order
     // the string path computes, so `sort_unstable` (no allocation) is safe.
-    merged.sort_unstable_by(|a, b| {
-        b.1.cmp(&a.1).then_with(|| match tie_break {
-            TieBreak::FirstSeen => a.2.cmp(&b.2),
-            TieBreak::Alphabetical => interner.resolve(a.0).cmp(&interner.resolve(b.0)),
-            TieBreak::MatchedFirst => (b.0 == profile)
-                .cmp(&(a.0 == profile))
-                .then_with(|| a.2.cmp(&b.2)),
-            TieBreak::MatchedLast => (a.0 == profile)
-                .cmp(&(b.0 == profile))
-                .then_with(|| a.2.cmp(&b.2)),
-        })
-    });
+    merged.sort_unstable_by(|a, b| merged_cmp(a, b, tie_break, profile, interner));
 
-    // Resolve ids back to the published strings at the boundary.
+    Some(materialize_user(user, profile, &merged, interner))
+}
+
+/// One merged per-user entry before boundary resolution: `(district,
+/// count, first-seen index among the user's distinct districts)`. The
+/// batch kernel builds these transiently; the incremental engines
+/// ([`crate::online`], [`crate::service`]) keep them as live state.
+pub(crate) type MergedId = (DistrictId, u64, u32);
+
+/// The grouping total order over merged entries: count desc, then the
+/// tie-break policy. One definition shared by the batch kernel and the
+/// incremental engines, so their orders can never drift.
+pub(crate) fn merged_cmp(
+    a: &MergedId,
+    b: &MergedId,
+    tie_break: TieBreak,
+    profile: DistrictId,
+    interner: &DistrictInterner,
+) -> std::cmp::Ordering {
+    b.1.cmp(&a.1).then_with(|| match tie_break {
+        TieBreak::FirstSeen => a.2.cmp(&b.2),
+        TieBreak::Alphabetical => interner.resolve(a.0).cmp(&interner.resolve(b.0)),
+        TieBreak::MatchedFirst => (b.0 == profile)
+            .cmp(&(a.0 == profile))
+            .then_with(|| a.2.cmp(&b.2)),
+        TieBreak::MatchedLast => (a.0 == profile)
+            .cmp(&(b.0 == profile))
+            .then_with(|| a.2.cmp(&b.2)),
+    })
+}
+
+/// Resolves a sorted merged list back to the published-string
+/// [`GroupedUser`] — the boundary where ids become strings, shared by the
+/// batch kernel and the incremental engines.
+pub(crate) fn materialize_user(
+    user: u64,
+    profile: DistrictId,
+    merged: &[MergedId],
+    interner: &DistrictInterner,
+) -> GroupedUser {
     let (state_profile, county_profile) = interner.resolve(profile);
     let mut entries = Vec::with_capacity(merged.len());
     let mut matched_rank = None;
@@ -290,13 +318,13 @@ fn group_user_iter<'a>(
         });
     }
 
-    Some(GroupedUser {
+    GroupedUser {
         user,
         state_profile: state_profile.to_string(),
         county_profile: county_profile.to_string(),
         entries,
         matched_rank,
-    })
+    }
 }
 
 /// Groups one hash partition of ordinal-tagged keys, as emitted by the

@@ -9,7 +9,11 @@
 //!   strings with counts, order per user, locate the *matched string*
 //!   (profile district == tweet district) and its rank (Table II).
 //! * [`topk`] — the Top-k user groups (Top-1 … Top-5, Top-6+, None);
-//!   [`online`] — the same grouping maintained incrementally per string.
+//!   [`online`] — the same grouping maintained incrementally per key.
+//! * [`service`] — the always-on incremental engine: [`AnalysisSession`]
+//!   ingests one tweet at a time (byte-identical to the batch pipeline at
+//!   every prefix), answers windowed/top-k queries over live state, and
+//!   persists through WAL + checkpoint frames ([`DurableSession`]).
 //! * [`pipeline`] — the end-to-end refinement pipeline (§III-B): classify
 //!   free-text profile locations, keep GPS tweets, geocode both sides
 //!   (optionally round-tripping through the mock Yahoo XML), build and
@@ -44,6 +48,7 @@ pub mod pipeline;
 pub mod regional;
 pub mod reliability;
 pub mod report;
+pub mod service;
 pub mod stats;
 pub mod string;
 pub mod temporal;
@@ -65,8 +70,12 @@ pub use metrics::{
 };
 pub use online::OnlineGrouping;
 pub use pipeline::exec::{warmup_collapse, ColumnBatch, MorselSource, RowSource, NO_GPS_E6};
-pub use pipeline::{AnalysisResult, PipelineConfig, RefinementPipeline};
+pub use pipeline::{
+    AnalysisResult, PipelineBuildError, PipelineBuilder, PipelineConfig, PipelineInput,
+    RefinementPipeline,
+};
 pub use reliability::ReliabilityWeights;
+pub use service::{AnalysisSession, DurableSession, SessionQuery, SessionSnapshot, SnapshotError};
 pub use stats::{GroupRow, GroupTable};
 pub use stir_geokr::{BackendChoice, BackendTraffic, FaultPlan, ResiliencePolicy};
 pub use string::LocationString;

@@ -2,71 +2,92 @@
 //!
 //! The batch method ([`crate::grouping`]) re-sorts a user's merged list
 //! from scratch; a live deployment watching tweets arrive wants the Top-k
-//! group maintained *per string*. [`OnlineGrouping`] keeps per-user merged
-//! counts with first-seen tie-breaking and answers "which group is this
-//! user in right now?" in O(log d) per update (d = distinct districts).
-//! A property test pins exact equivalence with the batch path.
+//! group maintained *per tweet*. [`OnlineGrouping`] keeps per-user merged
+//! counts on interned [`DistrictId`]s — an update is one `u32` scan of the
+//! user's small merged list, a count bump, and a re-sort of that list (its
+//! length is the user's *distinct* district count, bounded by the
+//! vocabulary) — and answers "which group is this user in right now?"
+//! without touching the heap. Strings appear only at the [`snapshot`]
+//! boundary, resolved through the engine's [`DistrictInterner`]. A
+//! property test pins exact equivalence with the batch path under all four
+//! [`TieBreak`] policies.
+//!
+//! [`snapshot`]: OnlineGrouping::snapshot
 
 use std::collections::HashMap;
 
-use crate::grouping::{GroupedUser, MergedEntry};
+use crate::grouping::{materialize_user, merged_cmp, GroupedUser, MergedId, TieBreak};
+use crate::intern::{DistrictId, DistrictInterner, LocationKey};
 use crate::string::LocationString;
 use crate::topk::TopKGroup;
 
-/// One user's live grouping state.
-#[derive(Clone, Debug, Default)]
+/// One user's live grouping state: the profile district (fixed at first
+/// sight) and the merged list, kept sorted under the engine's tie-break at
+/// all times so rank queries are a scan, not a sort.
+#[derive(Clone, Debug)]
 struct UserState {
-    /// Profile side (fixed after the first string).
-    state_profile: String,
-    county_profile: String,
-    /// (state, county) → (count, first-seen sequence).
-    counts: HashMap<(String, String), (u64, u64)>,
-    /// Monotone sequence for first-seen tie-breaking.
-    next_seq: u64,
-    total: u64,
+    profile: DistrictId,
+    merged: Vec<MergedId>,
+    /// Monotone first-seen counter (merged is sorted, so its length at
+    /// insert time no longer encodes arrival order).
+    next_seen: u32,
 }
 
 impl UserState {
-    /// The rank of the matched key under (count desc, first-seen asc), or
-    /// `None` if the user has never tweeted from the profile district.
+    /// The rank of the matched district, or `None` if the user has never
+    /// tweeted from the profile district. Allocation-free: an id compare
+    /// over the already-sorted merged list.
     fn matched_rank(&self) -> Option<usize> {
-        let key = (self.state_profile.clone(), self.county_profile.clone());
-        let &(mcount, mseq) = self.counts.get(&key)?;
-        let ahead = self
-            .counts
-            .values()
-            .filter(|&&(c, s)| c > mcount || (c == mcount && s < mseq))
-            .count();
-        Some(ahead + 1)
+        self.merged
+            .iter()
+            .position(|&(d, _, _)| d == self.profile)
+            .map(|i| i + 1)
     }
 }
 
-/// Live per-user grouping over a stream of location strings.
+/// Live per-user grouping over a stream of interned location keys.
 ///
 /// ```
-/// use stir_core::{LocationString, OnlineGrouping, TopKGroup};
+/// use stir_core::{OnlineGrouping, TopKGroup};
 ///
-/// let s = |county: &str| LocationString {
-///     user: 1,
-///     state_profile: "Seoul".into(),
-///     county_profile: "Guro-gu".into(),
-///     state_tweet: "Seoul".into(),
-///     county_tweet: county.into(),
-/// };
 /// let mut live = OnlineGrouping::new();
-/// assert_eq!(live.push(&s("Mapo-gu")), TopKGroup::None);
-/// assert_eq!(live.push(&s("Guro-gu")), TopKGroup::Top2);
-/// assert_eq!(live.push(&s("Guro-gu")), TopKGroup::Top1);
+/// let home = live.intern_district("Seoul", "Guro-gu");
+/// let mapo = live.intern_district("Seoul", "Mapo-gu");
+/// assert_eq!(live.push_key(live.key(1, home, mapo)), TopKGroup::None);
+/// assert_eq!(live.push_key(live.key(1, home, home)), TopKGroup::Top2);
+/// assert_eq!(live.push_key(live.key(1, home, home)), TopKGroup::Top1);
 /// ```
 #[derive(Debug, Default)]
 pub struct OnlineGrouping {
+    interner: DistrictInterner,
     users: HashMap<u64, UserState>,
+    tie_break: TieBreak,
 }
 
 impl OnlineGrouping {
-    /// An empty engine.
+    /// An empty engine with its own interner and the default
+    /// [`TieBreak::FirstSeen`] policy.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty engine with an explicit tie-break policy.
+    pub fn with_tie_break(tie_break: TieBreak) -> Self {
+        OnlineGrouping {
+            tie_break,
+            ..Self::default()
+        }
+    }
+
+    /// An empty engine seeded with an existing symbol table, so
+    /// [`LocationKey`]s interned elsewhere (e.g. by a pipeline) can be
+    /// pushed directly.
+    pub fn with_interner(interner: DistrictInterner, tie_break: TieBreak) -> Self {
+        OnlineGrouping {
+            interner,
+            users: HashMap::new(),
+            tie_break,
+        }
     }
 
     /// Users seen so far.
@@ -74,36 +95,74 @@ impl OnlineGrouping {
         self.users.len()
     }
 
-    /// True when no strings have been ingested.
+    /// True when no keys have been ingested.
     pub fn is_empty(&self) -> bool {
         self.users.is_empty()
     }
 
-    /// Ingests one location string and returns the author's group *after*
-    /// this string.
-    pub fn push(&mut self, s: &LocationString) -> TopKGroup {
-        let state = self.users.entry(s.user).or_default();
-        if state.total == 0 {
-            state.state_profile = s.state_profile.clone();
-            state.county_profile = s.county_profile.clone();
-        } else {
-            debug_assert_eq!(
-                state.state_profile, s.state_profile,
-                "profile changed mid-stream"
-            );
-            debug_assert_eq!(state.county_profile, s.county_profile);
+    /// The engine's symbol table (grows via [`intern_district`]).
+    ///
+    /// [`intern_district`]: OnlineGrouping::intern_district
+    pub fn interner(&self) -> &DistrictInterner {
+        &self.interner
+    }
+
+    /// Interns a `(state, county)` district into the engine's symbol
+    /// table, returning its id for use in pushed keys.
+    pub fn intern_district(&mut self, state: &str, county: &str) -> DistrictId {
+        self.interner.intern(state, county)
+    }
+
+    /// Builds a key from ids interned through this engine — sugar for
+    /// `LocationKey { user, profile, tweet }`.
+    pub fn key(&self, user: u64, profile: DistrictId, tweet: DistrictId) -> LocationKey {
+        LocationKey {
+            user,
+            profile,
+            tweet,
         }
-        let seq = state.next_seq;
-        let entry = state
-            .counts
-            .entry((s.state_tweet.clone(), s.county_tweet.clone()))
-            .or_insert((0, seq));
-        if entry.0 == 0 {
-            state.next_seq += 1;
+    }
+
+    /// Ingests one interned location key and returns the author's group
+    /// *after* this key. No heap traffic: one scan + bump + re-sort of the
+    /// author's small merged list.
+    pub fn push_key(&mut self, k: LocationKey) -> TopKGroup {
+        let state = self.users.entry(k.user).or_insert_with(|| UserState {
+            profile: k.profile,
+            merged: Vec::new(),
+            next_seen: 0,
+        });
+        debug_assert_eq!(state.profile, k.profile, "profile changed mid-stream");
+        match state.merged.iter_mut().find(|(d, _, _)| *d == k.tweet) {
+            Some(entry) => entry.1 += 1,
+            None => {
+                let seen = state.next_seen;
+                state.next_seen += 1;
+                state.merged.push((k.tweet, 1, seen));
+            }
         }
-        entry.0 += 1;
-        state.total += 1;
+        let (tie_break, profile) = (self.tie_break, state.profile);
+        let interner = &self.interner;
+        state
+            .merged
+            .sort_unstable_by(|a, b| merged_cmp(a, b, tie_break, profile, interner));
         TopKGroup::from_rank(state.matched_rank())
+    }
+
+    /// Ingests one string-shaped location record, interning at the
+    /// boundary. Each call hashes four strings; hot paths should intern
+    /// once and use [`push_key`].
+    ///
+    /// [`push_key`]: OnlineGrouping::push_key
+    #[deprecated(note = "intern once and use `push_key` — this shim hashes four strings per call")]
+    pub fn push(&mut self, s: &LocationString) -> TopKGroup {
+        let profile = self.interner.intern(&s.state_profile, &s.county_profile);
+        let tweet = self.interner.intern(&s.state_tweet, &s.county_tweet);
+        self.push_key(LocationKey {
+            user: s.user,
+            profile,
+            tweet,
+        })
     }
 
     /// The current group of a user (`None` if never seen).
@@ -115,40 +174,14 @@ impl OnlineGrouping {
 
     /// Materializes the current state as batch-style [`GroupedUser`]s,
     /// in user-id order — identical to running the batch grouper over the
-    /// same strings.
+    /// same keys. This is the only place strings are built.
     pub fn snapshot(&self) -> Vec<GroupedUser> {
         let mut ids: Vec<u64> = self.users.keys().copied().collect();
         ids.sort_unstable();
         ids.into_iter()
             .map(|user| {
                 let s = &self.users[&user];
-                type Keyed<'a> = Vec<(&'a (String, String), &'a (u64, u64))>;
-                let mut keyed: Keyed<'_> = s.counts.iter().collect();
-                keyed.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.1 .1.cmp(&b.1 .1)));
-                let mut matched_rank = None;
-                let entries = keyed
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (key, &(count, _)))| {
-                        let matched = key.0 == s.state_profile && key.1 == s.county_profile;
-                        if matched {
-                            matched_rank = Some(i + 1);
-                        }
-                        MergedEntry {
-                            state: key.0.clone(),
-                            county: key.1.clone(),
-                            count,
-                            matched,
-                        }
-                    })
-                    .collect();
-                GroupedUser {
-                    user,
-                    state_profile: s.state_profile.clone(),
-                    county_profile: s.county_profile.clone(),
-                    entries,
-                    matched_rank,
-                }
+                materialize_user(user, s.profile, &s.merged, &self.interner)
             })
             .collect()
     }
@@ -169,17 +202,45 @@ mod tests {
         }
     }
 
+    fn push_str(og: &mut OnlineGrouping, x: &LocationString) -> TopKGroup {
+        #[allow(deprecated)] // exercising the shim is the point
+        og.push(x)
+    }
+
     #[test]
     fn group_updates_live() {
         let mut og = OnlineGrouping::new();
         // First tweet from elsewhere: None.
-        assert_eq!(og.push(&s(1, "Mapo-gu")), TopKGroup::None);
+        assert_eq!(push_str(&mut og, &s(1, "Mapo-gu")), TopKGroup::None);
         // Then one from home: tie at 1–1, Mapo seen first → Top-2.
-        assert_eq!(og.push(&s(1, "Guro-gu")), TopKGroup::Top2);
+        assert_eq!(push_str(&mut og, &s(1, "Guro-gu")), TopKGroup::Top2);
         // Another from home: 2–1 → Top-1.
-        assert_eq!(og.push(&s(1, "Guro-gu")), TopKGroup::Top1);
+        assert_eq!(push_str(&mut og, &s(1, "Guro-gu")), TopKGroup::Top1);
         assert_eq!(og.group_of(1), Some(TopKGroup::Top1));
         assert_eq!(og.group_of(99), None);
+    }
+
+    #[test]
+    fn keyed_push_matches_string_shim() {
+        let stream = [
+            s(1, "Mapo-gu"),
+            s(2, "Guro-gu"),
+            s(1, "Guro-gu"),
+            s(1, "Mapo-gu"),
+            s(2, "Jung-gu"),
+            s(1, "Jongno-gu"),
+            s(2, "Guro-gu"),
+        ];
+        let mut shimmed = OnlineGrouping::new();
+        let mut keyed = OnlineGrouping::new();
+        for x in &stream {
+            let a = push_str(&mut shimmed, x);
+            let profile = keyed.intern_district(&x.state_profile, &x.county_profile);
+            let tweet = keyed.intern_district(&x.state_tweet, &x.county_tweet);
+            let b = keyed.push_key(keyed.key(x.user, profile, tweet));
+            assert_eq!(a, b);
+        }
+        assert_eq!(shimmed.snapshot(), keyed.snapshot());
     }
 
     #[test]
@@ -195,7 +256,7 @@ mod tests {
         ];
         let mut og = OnlineGrouping::new();
         for x in &stream {
-            og.push(x);
+            push_str(&mut og, x);
         }
         let online = og.snapshot();
         for gu in &online {

@@ -35,13 +35,14 @@
 pub mod exec;
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use stir_geoindex::Point;
 use stir_geokr::service::{BackendChoice, FaultPlan, Geocoder, GeocoderBuilder, ResiliencePolicy};
 use stir_geokr::{DistrictId as GazDistrictId, Gazetteer};
 use stir_textgeo::{ProfileClass, ProfileClassifier};
+use stir_tweetstore::{HeaderBlocks, ScanMetrics, TweetStore};
 
 use crate::funnel::CollectionFunnel;
 use crate::granularity::Granularity;
@@ -49,7 +50,7 @@ use crate::grouping::{group_cohort, GroupedUser, TieBreak};
 use crate::input::{ProfileRow, TweetRow};
 use crate::intern::{DistrictId, DistrictInterner, LocationKey};
 use crate::metrics::{GeocodeMetrics, GeocodeMode, PipelineMetrics, SelectMetrics};
-use exec::{MorselSource, RowSource};
+use exec::{ColumnBatch, MorselSource, RowSource};
 
 /// Fixes handed to a worker per scheduler draw. Big enough that the atomic
 /// cursor is cold (one fetch_add per ~2048 lookups), small enough that a
@@ -94,44 +95,61 @@ enum CachedClass {
 }
 
 /// Pipeline options.
+///
+/// Construct through [`PipelineBuilder`] — the builder validates the
+/// geometry once at [`PipelineBuilder::build`] instead of every consumer
+/// re-checking field combinations at runtime. Direct field access is
+/// deprecated; read through the accessor methods
+/// ([`PipelineConfig::threads`], [`PipelineConfig::is_fused`], …).
 #[derive(Clone, Copy, Debug)]
 pub struct PipelineConfig {
     /// Legacy switch for [`BackendChoice::Yahoo`]: round-trip every reverse
     /// geocode through the mock Yahoo XML endpoint (serialize → parse),
     /// exercising the paper's integration path. Ignored when `backend`
     /// already names a non-default choice.
+    #[deprecated(note = "construct via PipelineBuilder::via_yahoo_xml")]
     pub via_yahoo_xml: bool,
     /// Which geocoding backend the pipeline plugs in (the pipeline itself
     /// never names a concrete geocoder type).
+    #[deprecated(note = "construct via PipelineBuilder::backend")]
     pub backend: BackendChoice,
     /// Fault schedule injected at the Yahoo endpoint (quiet by default;
     /// meaningless for the plain gazetteer backend).
+    #[deprecated(note = "construct via PipelineBuilder::faults")]
     pub fault_plan: FaultPlan,
     /// Retry/breaker/budget knobs of the resilient backend.
+    #[deprecated(note = "construct via PipelineBuilder::resilience")]
     pub resilience: ResiliencePolicy,
     /// Worker-thread **ceiling** (≥ 1). The scheduler never exceeds it,
     /// but may use fewer: the count is capped at the machine's
     /// `available_parallelism`, and the fused engine additionally
     /// collapses to serial-inline when a warmup sample shows workers
     /// time-slicing one core (see [`exec::warmup_collapse`]).
+    #[deprecated(note = "construct via PipelineBuilder::threads")]
     pub threads: usize,
     /// Obey `threads` exactly — no availability cap, no warmup collapse.
     /// The bench escape hatch (`--threads-exact`): oversubscription
     /// experiments need the configured geometry to actually run.
+    #[deprecated(note = "construct via PipelineBuilder::threads_exact")]
     pub threads_exact: bool,
     /// Grouping grain (the §III-B metropolitan-split choice).
+    #[deprecated(note = "construct via PipelineBuilder::granularity")]
     pub granularity: Granularity,
     /// Run stages 2–3 on the fused morsel-driven engine (default). The
     /// staged path stays available as the reference implementation —
     /// byte-identical output, pinned by tests.
+    #[deprecated(note = "construct via PipelineBuilder::staged / fused")]
     pub fused: bool,
     /// Rows per morsel on the fused path; `0` picks the default grain.
+    #[deprecated(note = "construct via PipelineBuilder::morsel_rows")]
     pub morsel_rows: usize,
     /// Hash partitions for emitted keys on the fused path; `0` sizes from
     /// the thread count.
+    #[deprecated(note = "construct via PipelineBuilder::partitions")]
     pub fused_partitions: usize,
 }
 
+#[allow(deprecated)] // the one sanctioned construction site besides the builder
 impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
@@ -149,7 +167,58 @@ impl Default for PipelineConfig {
     }
 }
 
+#[allow(deprecated)] // accessors are the supported read path over the deprecated fields
 impl PipelineConfig {
+    /// The configured backend choice (before the legacy-flag upgrade —
+    /// see [`PipelineConfig::effective_backend`]).
+    pub fn backend(&self) -> BackendChoice {
+        self.backend
+    }
+
+    /// The fault schedule injected at the simulated endpoint.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.fault_plan
+    }
+
+    /// Retry/breaker/budget knobs of the resilient backend.
+    pub fn resilience(&self) -> ResiliencePolicy {
+        self.resilience
+    }
+
+    /// The configured worker-thread ceiling, as given.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether the thread count is a command rather than a ceiling.
+    pub fn threads_exact(&self) -> bool {
+        self.threads_exact
+    }
+
+    /// The grouping grain.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Whether stages 2–3 run on the fused morsel-driven engine.
+    pub fn is_fused(&self) -> bool {
+        self.fused
+    }
+
+    /// Whether the legacy Yahoo-XML round-trip switch is on.
+    pub fn via_yahoo_xml(&self) -> bool {
+        self.via_yahoo_xml
+    }
+
+    /// Rows per morsel as configured (`0` = auto).
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel_rows
+    }
+
+    /// Fused key partitions as configured (`0` = auto).
+    pub fn partitions(&self) -> usize {
+        self.fused_partitions
+    }
     /// The backend actually assembled: an explicit `backend` wins; the
     /// legacy `via_yahoo_xml` flag upgrades the default to the Yahoo path.
     pub fn effective_backend(&self) -> BackendChoice {
@@ -193,6 +262,251 @@ impl PipelineConfig {
         } else {
             (self.threads.max(1) * 4).next_power_of_two().clamp(8, 256)
         }
+    }
+}
+
+/// A configuration rejected by [`PipelineBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineBuildError {
+    /// `threads(0)`: the scheduler needs at least one worker.
+    ZeroThreads,
+    /// `morsel_rows(0)`: a morsel must carry at least one row (leave the
+    /// knob unset for the auto grain).
+    ZeroMorselRows,
+    /// `partitions(0)`: the fused engine needs at least one key partition
+    /// (leave the knob unset to size from the thread count).
+    ZeroPartitions,
+    /// A non-quiet fault plan with the plain gazetteer backend: faults
+    /// inject at the simulated endpoint, which the gazetteer never dials.
+    FaultsNeedEndpoint,
+}
+
+impl std::fmt::Display for PipelineBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineBuildError::ZeroThreads => write!(f, "thread ceiling must be at least 1"),
+            PipelineBuildError::ZeroMorselRows => {
+                write!(f, "morsel_rows must be at least 1 (unset = auto)")
+            }
+            PipelineBuildError::ZeroPartitions => {
+                write!(f, "partitions must be at least 1 (unset = auto)")
+            }
+            PipelineBuildError::FaultsNeedEndpoint => write!(
+                f,
+                "a fault plan needs an endpoint backend (yahoo or resilient); \
+                 the gazetteer never dials out"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineBuildError {}
+
+/// Builds a validated [`PipelineConfig`] / [`RefinementPipeline`] — the
+/// pipeline twin of [`GeocoderBuilder`]. Every knob is a typed method and
+/// the combination is checked once, at [`PipelineBuilder::build`], instead
+/// of each consumer re-validating a field-bag at runtime:
+///
+/// ```
+/// use stir_core::PipelineBuilder;
+/// use stir_geokr::Gazetteer;
+///
+/// let gazetteer = Gazetteer::load();
+/// let pipeline = PipelineBuilder::new(&gazetteer)
+///     .threads(8)
+///     .morsel_rows(1024)
+///     .build()
+///     .unwrap();
+/// assert_eq!(pipeline.config().threads(), 8);
+/// assert!(PipelineBuilder::new(&gazetteer).threads(0).build().is_err());
+/// ```
+#[derive(Clone)]
+pub struct PipelineBuilder<'g> {
+    gazetteer: &'g Gazetteer,
+    config: PipelineConfig,
+    // 0 doubles as "auto" inside the config, so the builder records
+    // explicit calls separately: an explicit 0 is an error, unset is auto.
+    morsel_rows: Option<usize>,
+    partitions: Option<usize>,
+}
+
+#[allow(deprecated)] // the builder is the sanctioned writer of the config fields
+impl<'g> PipelineBuilder<'g> {
+    /// Starts from the default configuration.
+    pub fn new(gazetteer: &'g Gazetteer) -> Self {
+        PipelineBuilder {
+            gazetteer,
+            config: PipelineConfig::default(),
+            morsel_rows: None,
+            partitions: None,
+        }
+    }
+
+    /// Worker-thread ceiling (default 4; must be ≥ 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Obey the thread count exactly — no availability cap, no warmup
+    /// collapse (the bench escape hatch).
+    pub fn threads_exact(mut self, exact: bool) -> Self {
+        self.config.threads_exact = exact;
+        self
+    }
+
+    /// Rows per morsel on the fused path (unset = auto; must be ≥ 1).
+    pub fn morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = Some(rows);
+        self
+    }
+
+    /// Hash partitions for fused key emission (unset = auto; must be ≥ 1).
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.partitions = Some(partitions);
+        self
+    }
+
+    /// The geocoding backend to plug in.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Fault schedule injected at the simulated Yahoo endpoint. Requires
+    /// an endpoint backend (yahoo or resilient) unless the plan is quiet.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.fault_plan = plan;
+        self
+    }
+
+    /// Retry/breaker/budget knobs of the resilient backend.
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.config.resilience = policy;
+        self
+    }
+
+    /// Grouping grain (the §III-B metropolitan-split choice).
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.config.granularity = granularity;
+        self
+    }
+
+    /// Routes every reverse geocode through the mock Yahoo XML endpoint
+    /// (the legacy switch; prefer [`PipelineBuilder::backend`]).
+    pub fn via_yahoo_xml(mut self, on: bool) -> Self {
+        self.config.via_yahoo_xml = on;
+        self
+    }
+
+    /// Runs stages 2–3 on the staged reference path instead of the fused
+    /// engine.
+    pub fn staged(mut self) -> Self {
+        self.config.fused = false;
+        self
+    }
+
+    /// Explicitly selects the fused (true, default) or staged (false)
+    /// engine.
+    pub fn fused(mut self, fused: bool) -> Self {
+        self.config.fused = fused;
+        self
+    }
+
+    /// Validates the combination and returns the config.
+    pub fn build_config(mut self) -> Result<PipelineConfig, PipelineBuildError> {
+        if self.config.threads == 0 {
+            return Err(PipelineBuildError::ZeroThreads);
+        }
+        // 0 means "auto" inside the config, but through the builder auto
+        // is expressed by not calling the knob — an explicit 0 is a mistake.
+        match self.morsel_rows {
+            Some(0) => return Err(PipelineBuildError::ZeroMorselRows),
+            Some(rows) => self.config.morsel_rows = rows,
+            None => {}
+        }
+        match self.partitions {
+            Some(0) => return Err(PipelineBuildError::ZeroPartitions),
+            Some(parts) => self.config.fused_partitions = parts,
+            None => {}
+        }
+        if !self.config.fault_plan.is_quiet()
+            && self.config.effective_backend() == BackendChoice::Gazetteer
+        {
+            return Err(PipelineBuildError::FaultsNeedEndpoint);
+        }
+        Ok(self.config)
+    }
+
+    /// Validates the combination and builds the pipeline.
+    pub fn build(self) -> Result<RefinementPipeline<'g>, PipelineBuildError> {
+        let gazetteer = self.gazetteer;
+        Ok(RefinementPipeline::new(gazetteer, self.build_config()?))
+    }
+}
+
+/// Anything the pipeline can consume, unified behind
+/// [`RefinementPipeline::execute`]. The three shapes that used to be three
+/// entry points (`run`, `run_from_source`, `run_from_store`) are three
+/// variants of one input type; plain `Into` conversions exist for the
+/// common concrete shapes so call sites rarely name the enum.
+pub enum PipelineInput<'a> {
+    /// A stream of tweet rows (the staged engine can run on this shape).
+    Rows(Box<dyn Iterator<Item = TweetRow> + Send + 'a>),
+    /// A shared morsel source — always runs on the fused engine.
+    Source(&'a dyn MorselSource),
+    /// A tweet store scanned in place: zero-copy header decode, scan
+    /// statistics filled into [`PipelineMetrics::scan`].
+    Store(&'a TweetStore),
+}
+
+impl<'a> PipelineInput<'a> {
+    /// Wraps any sendable row iterator.
+    pub fn rows<I>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = TweetRow>,
+        I::IntoIter: Send + 'a,
+    {
+        PipelineInput::Rows(Box::new(rows.into_iter()))
+    }
+}
+
+impl From<Vec<TweetRow>> for PipelineInput<'static> {
+    fn from(rows: Vec<TweetRow>) -> Self {
+        PipelineInput::rows(rows)
+    }
+}
+
+impl<'a> From<&'a dyn MorselSource> for PipelineInput<'a> {
+    fn from(source: &'a dyn MorselSource) -> Self {
+        PipelineInput::Source(source)
+    }
+}
+
+impl<'a> From<&'a TweetStore> for PipelineInput<'a> {
+    fn from(store: &'a TweetStore) -> Self {
+        PipelineInput::Store(store)
+    }
+}
+
+/// [`HeaderBlocks`] as a [`MorselSource`]: store blocks feed the fused
+/// engine directly — each decoded header's fields go straight into the
+/// morsel's columns (no row value of any shape in between), and the
+/// block's slot-position ordinals are exactly the input ordinals the
+/// engine's determinism argument needs.
+struct StoreSource<'s> {
+    blocks: HeaderBlocks<'s>,
+}
+
+impl MorselSource for StoreSource<'_> {
+    fn next_morsel(&self, buf: &mut ColumnBatch) -> Option<u64> {
+        buf.clear();
+        self.blocks
+            .next_block_headers(|h| buf.push(h.user, h.timestamp as i64, h.gps))
+    }
+
+    fn morsel_rows(&self) -> usize {
+        self.blocks.block_records()
     }
 }
 
@@ -252,7 +566,7 @@ impl<'g> RefinementPipeline<'g> {
             .districts()
             .iter()
             .map(|d| {
-                let (state, county) = config.granularity.key(d.province.name_en(), d.name_en);
+                let (state, county) = config.granularity().key(d.province.name_en(), d.name_en);
                 interner.intern(&state, &county)
             })
             .collect();
@@ -477,8 +791,8 @@ impl<'g> RefinementPipeline<'g> {
                 interner: &self.interner,
                 tie_break: TieBreak::FirstSeen,
                 threads: self.config.effective_threads(),
-                threads_ceiling: self.config.threads.max(1),
-                threads_exact: self.config.threads_exact,
+                threads_ceiling: self.config.threads().max(1),
+                threads_exact: self.config.threads_exact(),
                 partitions: self.config.effective_partitions(),
                 cover,
             },
@@ -492,13 +806,21 @@ impl<'g> RefinementPipeline<'g> {
         &self.config
     }
 
+    /// The gazetteer-district-id → interned-grouping-id table built at
+    /// construction (indexed by [`stir_geokr::DistrictId`] value). The
+    /// incremental session shares it so its per-tweet id translation is
+    /// the same table lookup the batch engine does.
+    pub(crate) fn gaz_to_interned(&self) -> &[DistrictId] {
+        &self.gaz_to_interned
+    }
+
     /// Assembles the configured backend. The pipeline only ever sees
     /// `dyn Geocoder` — the concrete type is the builder's business.
-    fn build_backend(&self) -> Box<dyn Geocoder + 'g> {
+    pub(crate) fn build_backend(&self) -> Box<dyn Geocoder + 'g> {
         GeocoderBuilder::new(self.gazetteer)
             .backend(self.config.effective_backend())
-            .fault_plan(self.config.fault_plan)
-            .resilience(self.config.resilience)
+            .fault_plan(self.config.fault_plan())
+            .resilience(self.config.resilience())
             .build()
     }
 
@@ -540,10 +862,58 @@ impl<'g> RefinementPipeline<'g> {
         out
     }
 
+    /// Runs the full pipeline on any [`PipelineInput`] — rows, a morsel
+    /// source, or a tweet store — selected by plain `Into` conversion:
+    ///
+    /// ```ignore
+    /// pipeline.execute(profiles, rows_vec);        // Vec<TweetRow>
+    /// pipeline.execute(profiles, &source);         // &dyn MorselSource
+    /// pipeline.execute(profiles, &store);          // &TweetStore
+    /// ```
+    ///
+    /// Rows honor the fused/staged engine choice; a morsel source always
+    /// runs fused (it has no staged equivalent); a store streams scan
+    /// blocks straight into the fused engine (or decodes rows serially on
+    /// the staged path) and fills [`PipelineMetrics::scan`].
+    pub fn execute<'a, PI>(
+        &self,
+        profiles: PI,
+        input: impl Into<PipelineInput<'a>>,
+    ) -> AnalysisResult
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+    {
+        match input.into() {
+            PipelineInput::Rows(rows) => self.run_rows(profiles, rows),
+            PipelineInput::Source(source) => self.run_source(profiles, source),
+            PipelineInput::Store(store) => self.run_store(profiles, store),
+        }
+    }
+
     /// Runs the full pipeline. Stages 2–3 go through the fused morsel
-    /// engine unless [`PipelineConfig::fused`] turned it off (the staged
-    /// reference path produces byte-identical output).
+    /// engine unless the config turned it off (the staged reference path
+    /// produces byte-identical output).
+    #[deprecated(note = "use `execute(profiles, rows)` — one entry point for every input shape")]
     pub fn run<PI, TI>(&self, profiles: PI, tweets: TI) -> AnalysisResult
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+        TI: IntoIterator<Item = TweetRow>,
+        TI::IntoIter: Send,
+    {
+        self.run_rows(profiles, tweets)
+    }
+
+    /// Runs the full pipeline with stages 2–3 fed by an arbitrary
+    /// [`MorselSource`].
+    #[deprecated(note = "use `execute(profiles, &source)` — one entry point for every input shape")]
+    pub fn run_from_source<PI>(&self, profiles: PI, source: &dyn MorselSource) -> AnalysisResult
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+    {
+        self.run_source(profiles, source)
+    }
+
+    fn run_rows<PI, TI>(&self, profiles: PI, tweets: TI) -> AnalysisResult
     where
         PI: IntoIterator<Item = ProfileRow>,
         TI: IntoIterator<Item = TweetRow>,
@@ -555,7 +925,7 @@ impl<'g> RefinementPipeline<'g> {
         let select_start = Instant::now();
         let kept = self.select_users_metered(profiles, &mut funnel, &mut metrics.select);
         metrics.stages.select_users = select_start.elapsed();
-        let users = if self.config.fused {
+        let users = if self.config.is_fused() {
             let source = RowSource::new(tweets.into_iter(), self.config.effective_morsel_rows());
             self.process_tweets_fused(&kept, &source, &mut funnel, &mut metrics)
         } else {
@@ -565,12 +935,11 @@ impl<'g> RefinementPipeline<'g> {
         self.finish(funnel, users, kept, metrics)
     }
 
-    /// Runs the full pipeline with stages 2–3 fed by an arbitrary
-    /// [`MorselSource`] — the fused engine always runs on this entry (a
-    /// morsel source has no staged equivalent). This is how store-backed
-    /// runs stream scan blocks straight into the engine without ever
-    /// collecting a row vector.
-    pub fn run_from_source<PI>(&self, profiles: PI, source: &dyn MorselSource) -> AnalysisResult
+    /// The fused engine always runs on this entry (a morsel source has no
+    /// staged equivalent). This is how store-backed runs stream scan
+    /// blocks straight into the engine without ever collecting a row
+    /// vector.
+    fn run_source<PI>(&self, profiles: PI, source: &dyn MorselSource) -> AnalysisResult
     where
         PI: IntoIterator<Item = ProfileRow>,
     {
@@ -583,6 +952,82 @@ impl<'g> RefinementPipeline<'g> {
         let users = self.process_tweets_fused(&kept, source, &mut funnel, &mut metrics);
         metrics.stages.total = total_start.elapsed();
         self.finish(funnel, users, kept, metrics)
+    }
+
+    /// Runs with tweets streamed out of `store`. The hand-off is zero-copy
+    /// per stored record: only the fixed-field header of each record
+    /// decodes — the tweet text (which the pipeline never reads) stays
+    /// untouched in the segment buffers. On the fused engine (the default)
+    /// store blocks *are* the morsels; the staged reference path streams
+    /// rows through a serial iterator instead. Scan statistics land in the
+    /// result's [`PipelineMetrics::scan`] slot either way.
+    fn run_store<PI>(&self, profiles: PI, store: &TweetStore) -> AnalysisResult
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+    {
+        let stats = store.stats();
+        if self.config.is_fused() {
+            let source = StoreSource {
+                blocks: HeaderBlocks::new(store, self.config.effective_morsel_rows()),
+            };
+            let mut result = self.run_source(profiles, &source);
+            let exec = result.metrics.exec.as_ref();
+            result.metrics.scan = Some(ScanMetrics {
+                segments_total: stats.segments as u64,
+                segments_pruned: 0,
+                records_stored: stats.records,
+                records_pruned: 0,
+                headers_decoded: source.blocks.headers_decoded(),
+                records_rejected: 0,
+                records_yielded: source.blocks.headers_decoded(),
+                records_corrupt: source.blocks.records_corrupt(),
+                bytes_stored: stats.payload_bytes,
+                bytes_decoded: source.blocks.bytes_decoded(),
+                threads: exec.map_or(1, |e| e.threads),
+                blocks_per_thread: exec.map_or_else(Vec::new, |e| e.morsels_per_thread.clone()),
+                // The scan is fused into the pass: the filter operator's
+                // time is the closest honest measure of it.
+                wall: result.metrics.stages.tweet_intake,
+            });
+            return result;
+        }
+        let headers = AtomicU64::new(0);
+        let header_bytes = AtomicU64::new(0);
+        let corrupt = AtomicU64::new(0);
+        let tweets = store.scan_views().filter_map(|r| match r {
+            Ok(v) => {
+                headers.fetch_add(1, Ordering::Relaxed);
+                header_bytes.fetch_add(v.header_len() as u64, Ordering::Relaxed);
+                Some(TweetRow {
+                    user: v.header.user,
+                    tweet_id: v.header.id,
+                    gps: v.header.gps,
+                })
+            }
+            Err(_) => {
+                corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        });
+        let mut result = self.run_rows(profiles, tweets);
+        result.metrics.scan = Some(ScanMetrics {
+            segments_total: stats.segments as u64,
+            segments_pruned: 0,
+            records_stored: stats.records,
+            records_pruned: 0,
+            headers_decoded: headers.load(Ordering::Relaxed),
+            records_rejected: 0,
+            records_yielded: headers.load(Ordering::Relaxed),
+            records_corrupt: corrupt.load(Ordering::Relaxed),
+            bytes_stored: stats.payload_bytes,
+            bytes_decoded: header_bytes.load(Ordering::Relaxed),
+            threads: 1,
+            blocks_per_thread: vec![stats.segments as u64],
+            // The scan is interleaved with intake: the intake stage's wall
+            // time is the closest honest measure of it.
+            wall: result.metrics.stages.tweet_intake,
+        });
+        result
     }
 
     /// Shared tail of the `run*` entry points: resolve the interned
@@ -615,7 +1060,7 @@ impl<'g> RefinementPipeline<'g> {
 /// unresolvable fix (the resilient backend never errors — its fallback
 /// chain absorbs failures; the raw Yahoo backend can, e.g. on an injected
 /// rate-limit burst).
-fn resolve_one(backend: &dyn Geocoder, p: Point) -> ResolvedFix {
+pub(crate) fn resolve_one(backend: &dyn Geocoder, p: Point) -> ResolvedFix {
     backend.resolve_id(p).ok().flatten()
 }
 
@@ -713,7 +1158,7 @@ mod tests {
             TweetRow::tagged(2, 20, GANGNAM.0, GANGNAM.1), // dropped user
             TweetRow::plain(4, 40),
         ];
-        let result = pipe.run(profiles, tweets);
+        let result = pipe.execute(profiles, tweets);
         assert_eq!(result.funnel.users_collected, 4);
         assert_eq!(result.funnel.users_well_defined, 2);
         assert_eq!(result.funnel.users_vague, 1);
@@ -745,16 +1190,13 @@ mod tests {
                 TweetRow::tagged(2, 3, 37.345, 126.968),
             ]
         };
-        let direct = RefinementPipeline::with_defaults(g).run(profiles(), tweets());
-        let via_xml = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                via_yahoo_xml: true,
-                threads: 1,
-                ..Default::default()
-            },
-        )
-        .run(profiles(), tweets());
+        let direct = RefinementPipeline::with_defaults(g).execute(profiles(), tweets());
+        let via_xml = PipelineBuilder::new(g)
+            .via_yahoo_xml(true)
+            .threads(1)
+            .build()
+            .unwrap()
+            .execute(profiles(), tweets());
         assert_eq!(direct.users.len(), via_xml.users.len());
         for (a, b) in direct.users.iter().zip(&via_xml.users) {
             assert_eq!(a.user, b.user);
@@ -767,7 +1209,7 @@ mod tests {
     fn unresolvable_gps_is_counted_not_kept() {
         let g = gaz();
         let pipe = RefinementPipeline::with_defaults(g);
-        let result = pipe.run(
+        let result = pipe.execute(
             vec![profile(1, "Seoul Yangcheon-gu")],
             vec![
                 TweetRow::tagged(1, 1, 35.68, 139.69), // Tokyo
@@ -783,7 +1225,7 @@ mod tests {
     fn coordinates_profile_is_resolved_and_kept() {
         let g = gaz();
         let pipe = RefinementPipeline::with_defaults(g);
-        let result = pipe.run(
+        let result = pipe.execute(
             vec![profile(1, "37.517, 126.866")], // Yangcheon-gu by coordinates
             vec![TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1)],
         );
@@ -826,30 +1268,24 @@ mod tests {
             }
             v
         };
-        let serial = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                via_yahoo_xml: false,
-                threads: 1,
-                ..Default::default()
-            },
-        )
-        .run(profiles(), tweets());
+        let serial = PipelineBuilder::new(g)
+            .via_yahoo_xml(false)
+            .threads(1)
+            .build()
+            .unwrap()
+            .execute(profiles(), tweets());
         // `threads_exact` pins the configured geometry: this test asserts
         // the 8-way path itself, so the adaptive scheduler must not cap it
         // on a small CI machine. Morsels shrink so 8 workers have ≥ 8
         // morsels of initial work (1200 rows / 128 = 10 morsels).
-        let parallel = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                via_yahoo_xml: false,
-                threads: 8,
-                threads_exact: true,
-                morsel_rows: 128,
-                ..Default::default()
-            },
-        )
-        .run(profiles(), tweets());
+        let parallel = PipelineBuilder::new(g)
+            .via_yahoo_xml(false)
+            .threads(8)
+            .threads_exact(true)
+            .morsel_rows(128)
+            .build()
+            .unwrap()
+            .execute(profiles(), tweets());
         assert_eq!(serial.users.len(), parallel.users.len());
         for (a, b) in serial.users.iter().zip(&parallel.users) {
             assert_eq!(a.user, b.user);
@@ -876,17 +1312,14 @@ mod tests {
     #[test]
     fn empty_cohort_consumes_no_quota_days() {
         let g = gaz();
-        let pipe = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                via_yahoo_xml: true,
-                threads: 1,
-                ..Default::default()
-            },
-        );
+        let pipe = PipelineBuilder::new(g)
+            .via_yahoo_xml(true)
+            .threads(1)
+            .build()
+            .unwrap();
         // No profile survives classification → zero fixes reach the
         // geocoder → the simulated Yahoo endpoint is never dialled.
-        let result = pipe.run(
+        let result = pipe.execute(
             vec![profile(1, "my home")],
             vec![TweetRow::tagged(1, 1, GANGNAM.0, GANGNAM.1)],
         );
@@ -895,18 +1328,15 @@ mod tests {
         assert_eq!(result.metrics.geocode.lookups, 0);
 
         // And a run that does geocode reports at least one simulated day.
-        let busy = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                via_yahoo_xml: true,
-                threads: 1,
-                ..Default::default()
-            },
-        )
-        .run(
-            vec![profile(1, "Seoul Yangcheon-gu")],
-            vec![TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1)],
-        );
+        let busy = PipelineBuilder::new(g)
+            .via_yahoo_xml(true)
+            .threads(1)
+            .build()
+            .unwrap()
+            .execute(
+                vec![profile(1, "Seoul Yangcheon-gu")],
+                vec![TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1)],
+            );
         assert_eq!(busy.funnel.yahoo_quota_days, 1);
         assert_eq!(busy.metrics.geocode.fixes, 1);
         assert_eq!(busy.metrics.geocode.lookups, 1);
@@ -932,7 +1362,7 @@ mod tests {
                 TweetRow::tagged(2, 4, 35.68, 139.69), // Tokyo, unresolvable
             ]
         };
-        let baseline = RefinementPipeline::with_defaults(g).run(profiles(), tweets());
+        let baseline = RefinementPipeline::with_defaults(g).execute(profiles(), tweets());
         // The raw Yahoo backend runs quiet (it has no retry layer above
         // it); the resilient backend is exercised under a noisy schedule —
         // its fallback chain must absorb every fault.
@@ -940,16 +1370,13 @@ mod tests {
             (BackendChoice::Yahoo, "none"),
             (BackendChoice::Resilient, "drop:0.2,malformed:0.1,seed:7"),
         ] {
-            let run = RefinementPipeline::new(
-                g,
-                PipelineConfig {
-                    backend,
-                    fault_plan: stir_geokr::FaultPlan::parse(faults).unwrap(),
-                    threads: 1,
-                    ..Default::default()
-                },
-            )
-            .run(profiles(), tweets());
+            let run = PipelineBuilder::new(g)
+                .backend(backend)
+                .faults(stir_geokr::FaultPlan::parse(faults).unwrap())
+                .threads(1)
+                .build()
+                .unwrap()
+                .execute(profiles(), tweets());
             assert_eq!(baseline.users.len(), run.users.len(), "{backend}");
             for (a, b) in baseline.users.iter().zip(&run.users) {
                 assert_eq!(a.user, b.user, "{backend}");
@@ -972,21 +1399,18 @@ mod tests {
         let g = gaz();
         // A total outage with the breaker disabled: every fix retries the
         // configured budget, then falls back locally. Counts are exact.
-        let pipe = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                backend: BackendChoice::Resilient,
-                fault_plan: stir_geokr::FaultPlan::parse("drop:1.0").unwrap(),
-                resilience: stir_geokr::ResiliencePolicy {
-                    max_retries: 2,
-                    breaker_threshold: u32::MAX,
-                    ..Default::default()
-                },
-                threads: 1,
+        let pipe = PipelineBuilder::new(g)
+            .backend(BackendChoice::Resilient)
+            .faults(stir_geokr::FaultPlan::parse("drop:1.0").unwrap())
+            .resilience(stir_geokr::ResiliencePolicy {
+                max_retries: 2,
+                breaker_threshold: u32::MAX,
                 ..Default::default()
-            },
-        );
-        let result = pipe.run(
+            })
+            .threads(1)
+            .build()
+            .unwrap();
+        let result = pipe.execute(
             vec![profile(1, "Seoul Yangcheon-gu")],
             vec![
                 TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1),
@@ -1016,7 +1440,7 @@ mod tests {
     fn metrics_expose_stage_timings_and_throughput() {
         let g = gaz();
         let pipe = RefinementPipeline::with_defaults(g);
-        let result = pipe.run(
+        let result = pipe.execute(
             vec![profile(1, "Seoul Yangcheon-gu")],
             vec![
                 TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1),
@@ -1055,8 +1479,8 @@ mod tests {
         let kept = pipe.select_users(vec![profile(1, "Seoul Yangcheon-gu")], &mut funnel);
         let id = kept[&1];
         assert_eq!(pipe.interner().resolve(id), ("Seoul", "Yangcheon-gu"));
-        // The boundary resolution run() performs matches.
-        let result = pipe.run(
+        // The boundary resolution execute() performs matches.
+        let result = pipe.execute(
             vec![profile(1, "Seoul Yangcheon-gu")],
             vec![TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1)],
         );
@@ -1107,29 +1531,19 @@ mod tests {
     fn fused_engine_is_byte_identical_to_staged_reference() {
         let g = gaz();
         let (profiles, tweets) = mixed_corpus();
-        let staged = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                fused: false,
-                threads: 1,
-                ..Default::default()
-            },
-        );
-        let reference = staged.run(profiles.clone(), tweets.clone());
+        let staged = PipelineBuilder::new(g).staged().threads(1).build().unwrap();
+        let reference = staged.execute(profiles.clone(), tweets.clone());
         assert!(reference.metrics.exec.is_none());
         for threads in [1, 2, 8] {
             for morsel_rows in [1, 7, 4096] {
                 for fused_partitions in [1, 3, 16] {
-                    let fused = RefinementPipeline::new(
-                        g,
-                        PipelineConfig {
-                            threads,
-                            morsel_rows,
-                            fused_partitions,
-                            ..Default::default()
-                        },
-                    );
-                    let got = fused.run(profiles.clone(), tweets.clone());
+                    let fused = PipelineBuilder::new(g)
+                        .threads(threads)
+                        .morsel_rows(morsel_rows)
+                        .partitions(fused_partitions)
+                        .build()
+                        .unwrap();
+                    let got = fused.execute(profiles.clone(), tweets.clone());
                     assert_identical(&got, &reference);
                     let exec = got.metrics.exec.as_ref().expect("fused fills exec");
                     assert_eq!(exec.morsel_rows, morsel_rows);
@@ -1153,7 +1567,7 @@ mod tests {
         let g = gaz();
         let pipe = RefinementPipeline::with_defaults(g);
         let (profiles, tweets) = mixed_corpus();
-        let result = pipe.run(profiles, tweets);
+        let result = pipe.execute(profiles, tweets);
         let exec = result.metrics.exec.as_ref().expect("fused fills exec");
         // One probe per GPS row — the profile district rides in the
         // pending record instead of being re-fetched at key build (the
@@ -1166,14 +1580,8 @@ mod tests {
     #[test]
     fn fused_small_input_falls_back_to_one_inline_worker() {
         let g = gaz();
-        let pipe = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                threads: 8,
-                ..Default::default()
-            },
-        );
-        let result = pipe.run(
+        let pipe = PipelineBuilder::new(g).threads(8).build().unwrap();
+        let result = pipe.execute(
             vec![profile(1, "Seoul Yangcheon-gu")],
             vec![TweetRow::tagged(1, 1, YANGCHEON.0, YANGCHEON.1)],
         );
@@ -1207,30 +1615,24 @@ mod tests {
                 .map(|i| TweetRow::tagged(1, i, YANGCHEON.0, YANGCHEON.1))
                 .collect()
         };
-        let one_morsel = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                threads: 8,
-                threads_exact: true,
-                morsel_rows: 4096,
-                ..Default::default()
-            },
-        )
-        .run(vec![profile(1, "Seoul Yangcheon-gu")], tweets(2000));
+        let one_morsel = PipelineBuilder::new(g)
+            .threads(8)
+            .threads_exact(true)
+            .morsel_rows(4096)
+            .build()
+            .unwrap()
+            .execute(vec![profile(1, "Seoul Yangcheon-gu")], tweets(2000));
         let exec = one_morsel.metrics.exec.as_ref().expect("fused fills exec");
         assert_eq!(exec.threads, 1, "one morsel can feed only one worker");
         assert_eq!(exec.morsels_per_thread, vec![1]);
 
-        let three_morsels = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                threads: 3,
-                threads_exact: true,
-                morsel_rows: 1024,
-                ..Default::default()
-            },
-        )
-        .run(vec![profile(1, "Seoul Yangcheon-gu")], tweets(3072));
+        let three_morsels = PipelineBuilder::new(g)
+            .threads(3)
+            .threads_exact(true)
+            .morsel_rows(1024)
+            .build()
+            .unwrap()
+            .execute(vec![profile(1, "Seoul Yangcheon-gu")], tweets(3072));
         let exec = three_morsels
             .metrics
             .exec
@@ -1258,15 +1660,12 @@ mod tests {
         let tweets: Vec<TweetRow> = (0..4096)
             .map(|i| TweetRow::tagged(1, i, YANGCHEON.0, YANGCHEON.1))
             .collect();
-        let run = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                threads: 8,
-                morsel_rows: 128,
-                ..Default::default()
-            },
-        )
-        .run(vec![profile(1, "Seoul Yangcheon-gu")], tweets);
+        let run = PipelineBuilder::new(g)
+            .threads(8)
+            .morsel_rows(128)
+            .build()
+            .unwrap()
+            .execute(vec![profile(1, "Seoul Yangcheon-gu")], tweets);
         let exec = run.metrics.exec.as_ref().expect("fused fills exec");
         let machine = std::thread::available_parallelism().map_or(1, |n| n.get());
         assert!(
@@ -1324,26 +1723,83 @@ mod tests {
     }
 
     #[test]
-    fn run_from_source_equals_row_fed_run() {
+    fn source_input_equals_row_fed_execute() {
         let g = gaz();
         let pipe = RefinementPipeline::with_defaults(g);
         let (profiles, tweets) = mixed_corpus();
-        let by_rows = pipe.run(profiles.clone(), tweets.clone());
+        let by_rows = pipe.execute(profiles.clone(), tweets.clone());
         let source = RowSource::new(tweets.into_iter(), 3);
-        let by_source = pipe.run_from_source(profiles, &source);
+        let by_source = pipe.execute(profiles, PipelineInput::Source(&source));
         assert_identical(&by_rows, &by_source);
+    }
+
+    /// The deprecated entry points must keep forwarding to `execute` —
+    /// callers on the old API get the new engine, byte for byte.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_shims_forward_to_execute() {
+        let g = gaz();
+        let pipe = RefinementPipeline::with_defaults(g);
+        let (profiles, tweets) = mixed_corpus();
+        let by_execute = pipe.execute(profiles.clone(), tweets.clone());
+        let by_run = pipe.run(profiles.clone(), tweets.clone());
+        assert_identical(&by_execute, &by_run);
+        let source = RowSource::new(tweets.into_iter(), 3);
+        let by_source_shim = pipe.run_from_source(profiles, &source);
+        assert_identical(&by_execute, &by_source_shim);
+    }
+
+    /// Zero-valued knobs are rejected at `build()` instead of surfacing as
+    /// a hung or degenerate run later.
+    #[test]
+    fn builder_rejects_invalid_geometry() {
+        let g = gaz();
+        assert_eq!(
+            PipelineBuilder::new(g)
+                .threads(0)
+                .build_config()
+                .unwrap_err(),
+            PipelineBuildError::ZeroThreads
+        );
+        assert_eq!(
+            PipelineBuilder::new(g)
+                .morsel_rows(0)
+                .build_config()
+                .unwrap_err(),
+            PipelineBuildError::ZeroMorselRows
+        );
+        assert_eq!(
+            PipelineBuilder::new(g)
+                .partitions(0)
+                .build_config()
+                .unwrap_err(),
+            PipelineBuildError::ZeroPartitions
+        );
+        // Faults against the quiet in-process gazetteer have nothing to
+        // perturb — the builder refuses the combination.
+        assert_eq!(
+            PipelineBuilder::new(g)
+                .faults(stir_geokr::FaultPlan::parse("drop:0.5").unwrap())
+                .build_config()
+                .unwrap_err(),
+            PipelineBuildError::FaultsNeedEndpoint
+        );
+        // The same plan aimed at a real endpoint builds fine.
+        let cfg = PipelineBuilder::new(g)
+            .backend(BackendChoice::Resilient)
+            .faults(stir_geokr::FaultPlan::parse("drop:0.5").unwrap())
+            .build_config()
+            .unwrap();
+        assert_eq!(cfg.backend(), BackendChoice::Resilient);
     }
 
     #[test]
     fn city_granularity_collapses_interned_ids() {
         let g = gaz();
-        let pipe = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                granularity: Granularity::City,
-                ..Default::default()
-            },
-        );
+        let pipe = PipelineBuilder::new(g)
+            .granularity(Granularity::City)
+            .build()
+            .unwrap();
         // Metropolitan districts collapse, so the city-grain vocabulary is
         // strictly smaller than the district table.
         assert!(pipe.interner().len() < 229, "{}", pipe.interner().len());

@@ -1,0 +1,950 @@
+//! The always-on incremental analysis service.
+//!
+//! The batch pipeline ([`crate::pipeline`]) recomputes the world per
+//! query; [`AnalysisSession`] keeps the §III-B state live instead. An
+//! arriving tweet costs one kept-cohort probe, one geocode, one merged-
+//! entry bump, and a re-sort of that author's small merged list (its
+//! length is the author's *distinct* district count) — after which every
+//! query is a read over state that is already grouped. The correctness
+//! contract, pinned by property tests: after ingesting any prefix of a
+//! stream, [`SessionQuery::execute`] with no modifiers returns the same
+//! funnel, grouped users, and kept profiles as running the fused batch
+//! pipeline over that same prefix.
+//!
+//! Three layers:
+//!
+//! * [`AnalysisSession`] — in-memory incremental state: the kept cohort
+//!   (stage 1 runs once, at construction), per-user merged district
+//!   counts maintained in grouping order, the funnel counters, and a
+//!   per-user ring of day-bucketed counts for windowed queries.
+//! * [`SessionQuery`] — the query builder over live state:
+//!   `session.query().top_k(3).window(7).execute()`. Windowed answers
+//!   re-aggregate from the day buckets and tie-break by *global*
+//!   first-seen order (the window narrows counts, not arrival history);
+//!   `top_k(k)` truncates each user's merged list to its top `k` entries.
+//! * [`DurableSession`] — the service shell: every ingest is WAL-appended
+//!   before it touches state, [`DurableSession::checkpoint`] persists a
+//!   [`SessionSnapshot`] frame (see [`stir_tweetstore::snapshot`]), and
+//!   [`DurableSession::open`] resumes from the newest intact checkpoint
+//!   plus a WAL tail replay — never the whole corpus — surviving torn
+//!   WAL tails and torn checkpoint frames alike.
+//!
+//! Snapshot format (version 1, all integers LE): version, interner length
+//! (guard — the snapshot's district ids are indexes into the pipeline's
+//! interner and are meaningless under a different vocabulary), ingest
+//! ordinal, window capacity, latest day, the 14 funnel counters, the kept
+//! map, then per user the profile id, merged entries `(district, count,
+//! first-seen)`, and live day buckets.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use stir_geoindex::Point;
+use stir_geokr::service::Geocoder;
+use stir_tweetstore::persist::PersistError;
+use stir_tweetstore::{append_snapshot, latest_snapshot, TweetRecord, TweetStore, Wal};
+
+use crate::funnel::CollectionFunnel;
+use crate::grouping::{materialize_user, merged_cmp, GroupedUser, MergedId, TieBreak};
+use crate::input::ProfileRow;
+use crate::intern::DistrictId;
+use crate::metrics::PipelineMetrics;
+use crate::pipeline::{resolve_one, AnalysisResult, RefinementPipeline};
+use crate::topk::TopKGroup;
+
+/// Snapshot payload format version.
+const SNAP_VERSION: u32 = 1;
+
+/// Default ring capacity: windowed queries can look back this many days.
+const DEFAULT_WINDOW_DAYS: u64 = 32;
+
+const SECONDS_PER_DAY: u64 = 86_400;
+
+/// One day's district counts for one user.
+#[derive(Clone, Debug)]
+struct DayBucket {
+    day: u64,
+    counts: Vec<(DistrictId, u64)>,
+}
+
+/// One user's live state: the all-time merged list kept in grouping order
+/// (so rank queries are a scan) plus the day ring behind windowed queries.
+#[derive(Clone, Debug)]
+struct SessionUser {
+    profile: DistrictId,
+    merged: Vec<MergedId>,
+    /// Monotone first-seen counter (merged is sorted, so its length at
+    /// insert time no longer encodes arrival order).
+    next_seen: u32,
+    /// Day buckets within the window horizon, unordered; buckets that
+    /// fall behind `latest_day - window_cap` are evicted on insert.
+    ring: Vec<DayBucket>,
+}
+
+impl SessionUser {
+    fn matched_rank(&self) -> Option<usize> {
+        self.merged
+            .iter()
+            .position(|&(d, _, _)| d == self.profile)
+            .map(|i| i + 1)
+    }
+}
+
+/// Everything a snapshot carries, decoded — the bridge between
+/// [`SessionSnapshot`] bytes and a live [`AnalysisSession`].
+struct DecodedState {
+    ingested: u64,
+    window_cap: u64,
+    latest_day: Option<u64>,
+    funnel: CollectionFunnel,
+    kept: HashMap<u64, DistrictId>,
+    users: HashMap<u64, SessionUser>,
+}
+
+/// Why a [`SessionSnapshot`] could not be restored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The payload ended mid-field.
+    Truncated,
+    /// The payload's version is not one this build reads.
+    BadVersion(u32),
+    /// The snapshot was taken against a different district vocabulary —
+    /// its interned ids would alias arbitrary districts here.
+    InternerMismatch {
+        /// Interner length the snapshot was taken under.
+        snapshot: usize,
+        /// Interner length of the pipeline restoring it.
+        pipeline: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot payload truncated"),
+            SnapshotError::BadVersion(v) => write!(f, "unknown snapshot version {v}"),
+            SnapshotError::InternerMismatch { snapshot, pipeline } => write!(
+                f,
+                "snapshot taken under a {snapshot}-district vocabulary, pipeline has {pipeline}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A serialized [`AnalysisSession`] state — what
+/// [`AnalysisSession::snapshot`] produces and
+/// [`AnalysisSession::restore`] consumes. The bytes are self-contained
+/// (they embed the funnel and the kept cohort, so restoring needs no
+/// profile replay) and opaque to the store layer that persists them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    bytes: Vec<u8>,
+}
+
+impl SessionSnapshot {
+    /// Wraps raw bytes (validation happens at restore).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        SessionSnapshot { bytes }
+    }
+
+    /// The serialized payload.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    fn decode(&self, interner_len: usize) -> Result<DecodedState, SnapshotError> {
+        let mut r = Reader {
+            bytes: &self.bytes,
+            at: 0,
+        };
+        let version = r.u32()?;
+        if version != SNAP_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let snap_interner = r.u32()? as usize;
+        if snap_interner != interner_len {
+            return Err(SnapshotError::InternerMismatch {
+                snapshot: snap_interner,
+                pipeline: interner_len,
+            });
+        }
+        let ingested = r.u64()?;
+        let window_cap = r.u64()?;
+        let latest_day = match r.u8()? {
+            0 => None,
+            _ => Some(r.u64()?),
+        };
+        let funnel = CollectionFunnel {
+            users_collected: r.u64()?,
+            users_well_defined: r.u64()?,
+            users_vague: r.u64()?,
+            users_insufficient: r.u64()?,
+            users_ambiguous: r.u64()?,
+            users_foreign: r.u64()?,
+            users_empty: r.u64()?,
+            users_profile_coordinates: r.u64()?,
+            tweets_total: r.u64()?,
+            tweets_with_gps: r.u64()?,
+            tweets_gps_unresolvable: r.u64()?,
+            strings_built: r.u64()?,
+            users_final: r.u64()?,
+            yahoo_quota_days: r.u64()?,
+        };
+        let kept_len = r.u64()? as usize;
+        let mut kept = HashMap::with_capacity(kept_len);
+        for _ in 0..kept_len {
+            let user = r.u64()?;
+            let district = DistrictId(r.u32()?);
+            kept.insert(user, district);
+        }
+        let users_len = r.u64()? as usize;
+        let mut users = HashMap::with_capacity(users_len);
+        for _ in 0..users_len {
+            let user = r.u64()?;
+            let profile = DistrictId(r.u32()?);
+            let next_seen = r.u32()?;
+            let merged_len = r.u32()? as usize;
+            let mut merged = Vec::with_capacity(merged_len);
+            for _ in 0..merged_len {
+                let district = DistrictId(r.u32()?);
+                let count = r.u64()?;
+                let first_seen = r.u32()?;
+                merged.push((district, count, first_seen));
+            }
+            let ring_len = r.u32()? as usize;
+            let mut ring = Vec::with_capacity(ring_len);
+            for _ in 0..ring_len {
+                let day = r.u64()?;
+                let counts_len = r.u32()? as usize;
+                let mut counts = Vec::with_capacity(counts_len);
+                for _ in 0..counts_len {
+                    let district = DistrictId(r.u32()?);
+                    let count = r.u64()?;
+                    counts.push((district, count));
+                }
+                ring.push(DayBucket { day, counts });
+            }
+            users.insert(
+                user,
+                SessionUser {
+                    profile,
+                    merged,
+                    next_seen,
+                    ring,
+                },
+            );
+        }
+        Ok(DecodedState {
+            ingested,
+            window_cap,
+            latest_day,
+            funnel,
+            kept,
+            users,
+        })
+    }
+}
+
+/// Little-endian field reader over a snapshot payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], SnapshotError> {
+        let end = self.at.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.at..end)
+            .ok_or(SnapshotError::Truncated)?;
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// The always-on incremental engine: stage 1 (profile selection) runs
+/// once at construction, then every [`ingest`](AnalysisSession::ingest)
+/// advances the live grouped state by exactly the work one tweet is
+/// worth. Queries ([`AnalysisSession::query`]) read that state without
+/// recomputation; an unmodified query is byte-identical to the fused
+/// batch pipeline over the same tweets.
+pub struct AnalysisSession<'g> {
+    pipeline: RefinementPipeline<'g>,
+    backend: Box<dyn Geocoder + 'g>,
+    kept: HashMap<u64, DistrictId>,
+    users: HashMap<u64, SessionUser>,
+    funnel: CollectionFunnel,
+    /// Tweets ingested — the WAL replay ordinal: a restored session with
+    /// this many records already applied resumes at this offset.
+    ingested: u64,
+    latest_day: Option<u64>,
+    window_cap: u64,
+    /// Quota days carried over from a restored snapshot (the rebuilt
+    /// backend's own counter restarts at zero).
+    quota_base: u64,
+}
+
+impl<'g> AnalysisSession<'g> {
+    /// Builds a session: runs stage 1 over `profiles` (fixing the kept
+    /// cohort and the select-side funnel counters) and assembles the
+    /// pipeline's configured geocoding backend for per-tweet resolution.
+    pub fn new<PI>(pipeline: RefinementPipeline<'g>, profiles: PI) -> Self
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+    {
+        let mut funnel = CollectionFunnel::default();
+        let kept = pipeline.select_users(profiles, &mut funnel);
+        let backend = pipeline.build_backend();
+        AnalysisSession {
+            pipeline,
+            backend,
+            kept,
+            users: HashMap::new(),
+            funnel,
+            ingested: 0,
+            latest_day: None,
+            window_cap: DEFAULT_WINDOW_DAYS,
+            quota_base: 0,
+        }
+    }
+
+    /// Sets the windowed-query horizon in days (default 32). Buckets
+    /// older than this fall off the ring; call before ingesting.
+    pub fn with_window_capacity(mut self, days: u64) -> Self {
+        debug_assert_eq!(self.ingested, 0, "set the window before ingesting");
+        self.window_cap = days.max(1);
+        self
+    }
+
+    /// The underlying pipeline (interner, gazetteer, config).
+    pub fn pipeline(&self) -> &RefinementPipeline<'g> {
+        &self.pipeline
+    }
+
+    /// Tweets ingested so far — also the WAL replay ordinal this
+    /// session's state covers.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Users currently holding at least one grouped string.
+    pub fn users_live(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Ingests one tweet, advancing funnel and grouped state exactly as
+    /// the batch pipeline would have counted it.
+    pub fn ingest(&mut self, user: u64, timestamp: u64, gps: Option<Point>) {
+        self.ingested += 1;
+        self.funnel.tweets_total += 1;
+        let Some(p) = gps else { return };
+        self.funnel.tweets_with_gps += 1;
+        let Some(&profile) = self.kept.get(&user) else {
+            return;
+        };
+        let Some(gaz_id) = resolve_one(self.backend.as_ref(), p) else {
+            self.funnel.tweets_gps_unresolvable += 1;
+            return;
+        };
+        self.funnel.strings_built += 1;
+        let district = self.pipeline.gaz_to_interned()[gaz_id.0 as usize];
+
+        let state = self.users.entry(user).or_insert_with(|| SessionUser {
+            profile,
+            merged: Vec::new(),
+            next_seen: 0,
+            ring: Vec::new(),
+        });
+        match state.merged.iter_mut().find(|(d, _, _)| *d == district) {
+            Some(entry) => entry.1 += 1,
+            None => {
+                let seen = state.next_seen;
+                state.next_seen += 1;
+                state.merged.push((district, 1, seen));
+            }
+        }
+        // Same total order as the batch kernel; (count, first-seen) pairs
+        // are unique per user, so incremental re-sorting converges on the
+        // exact batch arrangement.
+        let interner = self.pipeline.interner();
+        state
+            .merged
+            .sort_unstable_by(|a, b| merged_cmp(a, b, TieBreak::FirstSeen, profile, interner));
+
+        // Day ring: bump (or open) this day's bucket, advance the global
+        // horizon, drop buckets that fell off it.
+        let day = timestamp / SECONDS_PER_DAY;
+        let latest = self.latest_day.get_or_insert(day);
+        *latest = (*latest).max(day);
+        let horizon = latest.saturating_sub(self.window_cap - 1);
+        match state.ring.iter_mut().find(|b| b.day == day) {
+            Some(bucket) => match bucket.counts.iter_mut().find(|(d, _)| *d == district) {
+                Some(entry) => entry.1 += 1,
+                None => bucket.counts.push((district, 1)),
+            },
+            None => {
+                if day >= horizon {
+                    state.ring.push(DayBucket {
+                        day,
+                        counts: vec![(district, 1)],
+                    });
+                }
+                state.ring.retain(|b| b.day >= horizon);
+            }
+        }
+    }
+
+    /// The live Top-k group of one user (`None` if not yet grouped) —
+    /// an id-compare scan of the user's already-sorted merged list.
+    pub fn group_of(&self, user: u64) -> Option<TopKGroup> {
+        self.users
+            .get(&user)
+            .map(|s| TopKGroup::from_rank(s.matched_rank()))
+    }
+
+    /// Starts a query over live state.
+    pub fn query(&self) -> SessionQuery<'_, 'g> {
+        SessionQuery {
+            session: self,
+            top_k: None,
+            window_days: None,
+        }
+    }
+
+    /// Serializes the full incremental state (see the module docs for the
+    /// format). Restoring the result via [`AnalysisSession::restore`]
+    /// then re-ingesting the stream from ordinal
+    /// [`AnalysisSession::ingested`] reproduces this session exactly.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let mut b = Vec::with_capacity(256 + self.users.len() * 64);
+        b.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        b.extend_from_slice(&(self.pipeline.interner().len() as u32).to_le_bytes());
+        b.extend_from_slice(&self.ingested.to_le_bytes());
+        b.extend_from_slice(&self.window_cap.to_le_bytes());
+        match self.latest_day {
+            None => b.push(0),
+            Some(day) => {
+                b.push(1);
+                b.extend_from_slice(&day.to_le_bytes());
+            }
+        }
+        let f = &self.funnel;
+        for field in [
+            f.users_collected,
+            f.users_well_defined,
+            f.users_vague,
+            f.users_insufficient,
+            f.users_ambiguous,
+            f.users_foreign,
+            f.users_empty,
+            f.users_profile_coordinates,
+            f.tweets_total,
+            f.tweets_with_gps,
+            f.tweets_gps_unresolvable,
+            f.strings_built,
+            f.users_final,
+            self.quota_days(),
+        ] {
+            b.extend_from_slice(&field.to_le_bytes());
+        }
+        b.extend_from_slice(&(self.kept.len() as u64).to_le_bytes());
+        let mut kept: Vec<(u64, DistrictId)> = self.kept.iter().map(|(&u, &d)| (u, d)).collect();
+        kept.sort_unstable_by_key(|&(u, _)| u);
+        for (user, district) in kept {
+            b.extend_from_slice(&user.to_le_bytes());
+            b.extend_from_slice(&district.0.to_le_bytes());
+        }
+        b.extend_from_slice(&(self.users.len() as u64).to_le_bytes());
+        let mut ids: Vec<u64> = self.users.keys().copied().collect();
+        ids.sort_unstable();
+        for user in ids {
+            let s = &self.users[&user];
+            b.extend_from_slice(&user.to_le_bytes());
+            b.extend_from_slice(&s.profile.0.to_le_bytes());
+            b.extend_from_slice(&s.next_seen.to_le_bytes());
+            b.extend_from_slice(&(s.merged.len() as u32).to_le_bytes());
+            for &(district, count, first_seen) in &s.merged {
+                b.extend_from_slice(&district.0.to_le_bytes());
+                b.extend_from_slice(&count.to_le_bytes());
+                b.extend_from_slice(&first_seen.to_le_bytes());
+            }
+            b.extend_from_slice(&(s.ring.len() as u32).to_le_bytes());
+            for bucket in &s.ring {
+                b.extend_from_slice(&bucket.day.to_le_bytes());
+                b.extend_from_slice(&(bucket.counts.len() as u32).to_le_bytes());
+                for &(district, count) in &bucket.counts {
+                    b.extend_from_slice(&district.0.to_le_bytes());
+                    b.extend_from_slice(&count.to_le_bytes());
+                }
+            }
+        }
+        SessionSnapshot { bytes: b }
+    }
+
+    /// Rebuilds a session from a snapshot, without replaying the corpus.
+    /// The pipeline must carry the same district vocabulary the snapshot
+    /// was taken under ([`SnapshotError::InternerMismatch`] otherwise);
+    /// profiles are not needed — the kept cohort and funnel ride in the
+    /// snapshot.
+    pub fn restore(
+        pipeline: RefinementPipeline<'g>,
+        snapshot: &SessionSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        let state = snapshot.decode(pipeline.interner().len())?;
+        Ok(Self::from_state(pipeline, state))
+    }
+
+    fn from_state(pipeline: RefinementPipeline<'g>, state: DecodedState) -> Self {
+        let backend = pipeline.build_backend();
+        AnalysisSession {
+            pipeline,
+            backend,
+            kept: state.kept,
+            users: state.users,
+            funnel: state.funnel,
+            ingested: state.ingested,
+            latest_day: state.latest_day,
+            window_cap: state.window_cap,
+            quota_base: state.funnel.yahoo_quota_days,
+        }
+    }
+
+    /// Quota-days consumed: snapshot carry-over plus the live backend's
+    /// own accounting.
+    fn quota_days(&self) -> u64 {
+        self.quota_base + self.backend.traffic().quota_days
+    }
+}
+
+/// A query over an [`AnalysisSession`]'s live state, built fluently:
+///
+/// ```ignore
+/// let full = session.query().execute();                  // ≡ batch run
+/// let week = session.query().window(7).execute();        // last 7 days
+/// let brief = session.query().top_k(3).execute();        // ≤ 3 entries/user
+/// ```
+pub struct SessionQuery<'s, 'g> {
+    session: &'s AnalysisSession<'g>,
+    top_k: Option<usize>,
+    window_days: Option<u64>,
+}
+
+impl SessionQuery<'_, '_> {
+    /// Truncates each user's merged list to its top `k` entries; a
+    /// matched rank beyond `k` reports as `None` (the matched district
+    /// fell below the cut).
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Restricts counts to the last `n` days (relative to the newest
+    /// ingested day, inclusive), re-aggregated from the day ring. `n` is
+    /// clamped to the session's window capacity; ties between equal
+    /// in-window counts break by *global* first-seen order. Users with no
+    /// in-window activity are omitted.
+    pub fn window(mut self, last_n_days: u64) -> Self {
+        self.window_days = Some(last_n_days);
+        self
+    }
+
+    /// Materializes the answer. With no modifiers the result's funnel,
+    /// users, and kept profiles are byte-identical to the fused batch
+    /// pipeline run over the tweets ingested so far.
+    pub fn execute(self) -> AnalysisResult {
+        let s = self.session;
+        let interner = s.pipeline.interner();
+        let mut ids: Vec<u64> = s.users.keys().copied().collect();
+        ids.sort_unstable();
+        let mut users = Vec::with_capacity(ids.len());
+        for user in ids {
+            let u = &s.users[&user];
+            let mut gu = match self.window_days {
+                None => materialize_user(user, u.profile, &u.merged, interner),
+                Some(_) => match self.windowed_user(user, u) {
+                    Some(gu) => gu,
+                    None => continue,
+                },
+            };
+            if let Some(k) = self.top_k {
+                gu.entries.truncate(k);
+                gu.matched_rank = gu.matched_rank.filter(|&r| r <= k);
+            }
+            users.push(gu);
+        }
+        let mut funnel = s.funnel;
+        funnel.users_final = users.len() as u64;
+        funnel.yahoo_quota_days = s.quota_days();
+        let kept_profiles = s
+            .kept
+            .iter()
+            .map(|(&user, &id)| {
+                let (state, county) = interner.resolve(id);
+                (user, (state.to_string(), county.to_string()))
+            })
+            .collect();
+        AnalysisResult {
+            funnel,
+            users,
+            kept_profiles,
+            metrics: PipelineMetrics::default(),
+        }
+    }
+
+    /// One user re-aggregated over the window, or `None` when nothing
+    /// landed in it.
+    fn windowed_user(&self, user: u64, u: &SessionUser) -> Option<GroupedUser> {
+        let s = self.session;
+        let n = self.window_days.unwrap_or(0).min(s.window_cap);
+        if n == 0 {
+            return None;
+        }
+        let latest = s.latest_day?;
+        let horizon = latest.saturating_sub(n - 1);
+        let mut merged: Vec<MergedId> = Vec::new();
+        for bucket in u.ring.iter().filter(|b| b.day >= horizon) {
+            for &(district, count) in &bucket.counts {
+                match merged.iter_mut().find(|(d, _, _)| *d == district) {
+                    Some(entry) => entry.1 += count,
+                    None => {
+                        // Global first-seen order: every ringed district
+                        // exists in the all-time merged list.
+                        let first_seen = u
+                            .merged
+                            .iter()
+                            .find(|(d, _, _)| *d == district)
+                            .map(|&(_, _, seen)| seen)
+                            .unwrap_or(u32::MAX);
+                        merged.push((district, count, first_seen));
+                    }
+                }
+            }
+        }
+        if merged.is_empty() {
+            return None;
+        }
+        let interner = s.pipeline.interner();
+        merged.sort_unstable_by(|a, b| merged_cmp(a, b, TieBreak::FirstSeen, u.profile, interner));
+        Some(materialize_user(user, u.profile, &merged, interner))
+    }
+}
+
+/// An [`AnalysisSession`] coupled to its durability shell: a WAL that
+/// records every ingested tweet before it touches state, and a checkpoint
+/// log of [`SessionSnapshot`] frames. [`DurableSession::open`] recovers
+/// the WAL (torn tail truncated), restores the newest intact checkpoint
+/// whose ordinal the recovered log still covers, and replays only the
+/// tail — a restart is O(tail), not O(corpus).
+pub struct DurableSession<'g> {
+    session: AnalysisSession<'g>,
+    wal: Wal,
+    snap_path: PathBuf,
+}
+
+impl<'g> DurableSession<'g> {
+    /// Opens (or resumes) the service from `wal_path` + `snap_path`.
+    /// `profiles` is consumed only when no usable checkpoint exists (first
+    /// boot, vocabulary change, or a checkpoint ahead of the recovered
+    /// WAL — possible only if the WAL lost acknowledged-but-unsynced
+    /// records the checkpoint had already covered).
+    pub fn open<PI>(
+        wal_path: &Path,
+        snap_path: &Path,
+        pipeline: RefinementPipeline<'g>,
+        profiles: PI,
+    ) -> Result<Self, PersistError>
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+    {
+        let (store, recovered) = if wal_path.exists() {
+            Wal::recover(wal_path)?
+        } else {
+            (TweetStore::new(), 0)
+        };
+        let wal = Wal::open(wal_path)?;
+        let checkpoint = latest_snapshot(snap_path)?
+            .filter(|frame| frame.ordinal <= recovered)
+            .and_then(|frame| {
+                SessionSnapshot::from_bytes(frame.payload)
+                    .decode(pipeline.interner().len())
+                    .ok()
+            });
+        let mut session = match checkpoint {
+            Some(state) => AnalysisSession::from_state(pipeline, state),
+            None => AnalysisSession::new(pipeline, profiles),
+        };
+        Self::replay_tail(&mut session, &store);
+        Ok(DurableSession {
+            session,
+            wal,
+            snap_path: snap_path.to_path_buf(),
+        })
+    }
+
+    /// Replays WAL records the session's state does not cover yet.
+    fn replay_tail(session: &mut AnalysisSession<'_>, store: &TweetStore) {
+        for rec in store.scan_from(session.ingested()).flatten() {
+            session.ingest(rec.user, rec.timestamp, rec.gps);
+        }
+    }
+
+    /// Ingests one tweet: WAL first, then live state. Call
+    /// [`DurableSession::sync`] to make acknowledged appends crash-safe.
+    pub fn ingest(&mut self, rec: &TweetRecord) -> Result<(), PersistError> {
+        self.wal.append(rec)?;
+        self.session.ingest(rec.user, rec.timestamp, rec.gps);
+        Ok(())
+    }
+
+    /// Fsyncs the WAL — the ingest durability point.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.wal.sync()
+    }
+
+    /// Persists the current state as a checkpoint frame. The WAL is
+    /// synced first so the checkpoint can never cover records the log
+    /// does not hold.
+    pub fn checkpoint(&mut self) -> Result<(), PersistError> {
+        self.wal.sync()?;
+        let snap = self.session.snapshot();
+        append_snapshot(&self.snap_path, self.session.ingested(), snap.as_bytes())
+    }
+
+    /// The live session.
+    pub fn session(&self) -> &AnalysisSession<'g> {
+        &self.session
+    }
+
+    /// Starts a query over live state.
+    pub fn query(&self) -> SessionQuery<'_, 'g> {
+        self.session.query()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::TweetRow;
+    use crate::pipeline::PipelineBuilder;
+    use stir_geokr::Gazetteer;
+
+    fn gaz() -> &'static Gazetteer {
+        Box::leak(Box::new(Gazetteer::load()))
+    }
+
+    const YANGCHEON: (f64, f64) = (37.517, 126.866);
+    const GANGNAM: (f64, f64) = (37.517, 127.047);
+
+    fn profiles() -> Vec<ProfileRow> {
+        vec![
+            ProfileRow {
+                user: 1,
+                location_text: "Yangcheon-gu, Seoul".into(),
+            },
+            ProfileRow {
+                user: 2,
+                location_text: "Korea".into(),
+            },
+        ]
+    }
+
+    fn tweets() -> Vec<(u64, u64, Option<Point>)> {
+        vec![
+            (1, 100, Some(Point::new(YANGCHEON.0, YANGCHEON.1))),
+            (1, 200, None),
+            (
+                1,
+                SECONDS_PER_DAY + 50,
+                Some(Point::new(GANGNAM.0, GANGNAM.1)),
+            ),
+            (2, 300, Some(Point::new(GANGNAM.0, GANGNAM.1))),
+            (
+                1,
+                SECONDS_PER_DAY + 90,
+                Some(Point::new(GANGNAM.0, GANGNAM.1)),
+            ),
+            (9, 400, Some(Point::new(GANGNAM.0, GANGNAM.1))),
+        ]
+    }
+
+    fn batch_result(g: &'static Gazetteer) -> AnalysisResult {
+        let pipeline = PipelineBuilder::new(g).build().unwrap();
+        let rows: Vec<TweetRow> = tweets()
+            .iter()
+            .enumerate()
+            .map(|(i, &(user, _, gps))| TweetRow {
+                user,
+                tweet_id: i as u64,
+                gps,
+            })
+            .collect();
+        pipeline.execute(profiles(), rows)
+    }
+
+    fn live_session(g: &'static Gazetteer) -> AnalysisSession<'static> {
+        let pipeline = PipelineBuilder::new(g).build().unwrap();
+        let mut session = AnalysisSession::new(pipeline, profiles());
+        for (user, ts, gps) in tweets() {
+            session.ingest(user, ts, gps);
+        }
+        session
+    }
+
+    fn assert_result_identical(a: &AnalysisResult, b: &AnalysisResult) {
+        assert_eq!(a.funnel, b.funnel);
+        assert_eq!(a.users, b.users);
+        assert_eq!(a.kept_profiles, b.kept_profiles);
+    }
+
+    #[test]
+    fn unmodified_query_equals_batch() {
+        let g = gaz();
+        let live = live_session(g).query().execute();
+        assert_result_identical(&live, &batch_result(g));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_continues_identically() {
+        let g = gaz();
+        let all = tweets();
+        let pipeline = PipelineBuilder::new(g).build().unwrap();
+        let mut session = AnalysisSession::new(pipeline, profiles());
+        for &(user, ts, gps) in &all[..3] {
+            session.ingest(user, ts, gps);
+        }
+        let snap = session.snapshot();
+        drop(session);
+
+        let pipeline = PipelineBuilder::new(g).build().unwrap();
+        let mut restored = AnalysisSession::restore(pipeline, &snap).unwrap();
+        assert_eq!(restored.ingested(), 3);
+        for &(user, ts, gps) in &all[3..] {
+            restored.ingest(user, ts, gps);
+        }
+        assert_result_identical(&restored.query().execute(), &batch_result(g));
+    }
+
+    #[test]
+    fn restore_rejects_foreign_vocabulary_and_bad_bytes() {
+        let g = gaz();
+        let snap = live_session(g).snapshot();
+        // Truncated payload.
+        let cut = SessionSnapshot::from_bytes(snap.as_bytes()[..10].to_vec());
+        let pipeline = PipelineBuilder::new(g).build().unwrap();
+        match AnalysisSession::restore(pipeline, &cut) {
+            Err(e) => assert_eq!(e, SnapshotError::Truncated),
+            Ok(_) => panic!("truncated snapshot restored"),
+        }
+        // Wrong version.
+        let mut bytes = snap.as_bytes().to_vec();
+        bytes[0] = 99;
+        let wrong = SessionSnapshot::from_bytes(bytes);
+        let pipeline = PipelineBuilder::new(g).build().unwrap();
+        match AnalysisSession::restore(pipeline, &wrong) {
+            Err(e) => assert_eq!(e, SnapshotError::BadVersion(99)),
+            Ok(_) => panic!("bad-version snapshot restored"),
+        }
+    }
+
+    #[test]
+    fn windowed_query_sees_only_recent_days() {
+        let g = gaz();
+        let session = live_session(g);
+        // Day 1 is the latest; user 1 tweeted twice from Gangnam on day 1
+        // and once from Yangcheon on day 0; user 2 only on day 0.
+        let last_day = session.query().window(1).execute();
+        assert_eq!(last_day.users.len(), 1, "only user 1 active on day 1");
+        let u1 = &last_day.users[0];
+        assert_eq!(u1.user, 1);
+        assert_eq!(u1.entries.len(), 1, "only Gangnam within the window");
+        assert_eq!(u1.entries[0].count, 2);
+        assert_eq!(u1.matched_rank, None, "home district outside the window");
+        // A two-day window covers everything → identical to all-time.
+        let both = session.query().window(2).execute();
+        let all = session.query().execute();
+        assert_eq!(both.users, all.users);
+    }
+
+    #[test]
+    fn top_k_truncates_entries_and_rank() {
+        let g = gaz();
+        let session = live_session(g);
+        let full = session.query().execute();
+        let u1_full = full.users.iter().find(|u| u.user == 1).unwrap();
+        assert_eq!(u1_full.entries.len(), 2);
+        assert_eq!(u1_full.matched_rank, Some(2));
+        let cut = session.query().top_k(1).execute();
+        let u1 = cut.users.iter().find(|u| u.user == 1).unwrap();
+        assert_eq!(u1.entries.len(), 1);
+        assert_eq!(
+            u1.matched_rank, None,
+            "rank-2 match falls below a top-1 cut"
+        );
+    }
+
+    #[test]
+    fn group_of_tracks_live_rank() {
+        let g = gaz();
+        let pipeline = PipelineBuilder::new(g).build().unwrap();
+        let mut session = AnalysisSession::new(pipeline, profiles());
+        assert_eq!(session.group_of(1), None);
+        session.ingest(1, 0, Some(Point::new(GANGNAM.0, GANGNAM.1)));
+        assert_eq!(session.group_of(1), Some(TopKGroup::None));
+        session.ingest(1, 1, Some(Point::new(YANGCHEON.0, YANGCHEON.1)));
+        assert_eq!(session.group_of(1), Some(TopKGroup::Top2));
+        session.ingest(1, 2, Some(Point::new(YANGCHEON.0, YANGCHEON.1)));
+        assert_eq!(session.group_of(1), Some(TopKGroup::Top1));
+    }
+
+    #[test]
+    fn durable_session_resumes_from_checkpoint_plus_tail() {
+        let g = gaz();
+        let dir = std::env::temp_dir().join(format!("stir-svc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal_path = dir.join("session.wal");
+        let snap_path = dir.join("session.snap");
+        let all = tweets();
+        let rec = |i: usize, t: &(u64, u64, Option<Point>)| TweetRecord {
+            id: i as u64,
+            user: t.0,
+            timestamp: t.1,
+            gps: t.2,
+            text: String::new(),
+        };
+        {
+            let pipeline = PipelineBuilder::new(g).build().unwrap();
+            let mut svc =
+                DurableSession::open(&wal_path, &snap_path, pipeline, profiles()).unwrap();
+            for (i, t) in all[..4].iter().enumerate() {
+                svc.ingest(&rec(i, t)).unwrap();
+            }
+            svc.checkpoint().unwrap();
+            for (i, t) in all[4..].iter().enumerate() {
+                svc.ingest(&rec(4 + i, t)).unwrap();
+            }
+            svc.sync().unwrap();
+        }
+        // Reopen: checkpoint covers 4 records, the WAL tail carries 2.
+        let pipeline = PipelineBuilder::new(g).build().unwrap();
+        let svc = DurableSession::open(&wal_path, &snap_path, pipeline, profiles()).unwrap();
+        assert_eq!(svc.session().ingested(), all.len() as u64);
+        assert_result_identical(&svc.query().execute(), &batch_result(g));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -96,6 +96,42 @@ fn merge_loop_allocation_count_is_independent_of_tweet_count() {
 }
 
 #[test]
+fn warm_online_push_key_and_rank_queries_are_allocation_free() {
+    use stir_core::{OnlineGrouping, TieBreak as Tb};
+
+    let mut og = OnlineGrouping::with_tie_break(Tb::FirstSeen);
+    let profile = og.intern_district("Seoul", "District-0");
+    let districts: Vec<_> = (0..8)
+        .map(|d| og.intern_district("Seoul", &format!("District-{d}")))
+        .collect();
+    // Warm-up: visit every district once so each user's merged list has
+    // reached its final length (and the HashMap its final capacity).
+    for user in 0..16u64 {
+        for &d in &districts {
+            og.push_key(og.key(user, profile, d));
+        }
+    }
+
+    // Steady state: 50k pushes + a rank query each, zero heap traffic.
+    // This is the regression the deprecated string shim motivated — the
+    // old path cloned `(String, String)` per matched-rank lookup.
+    let (_, allocs) = allocations_during(|| {
+        let mut last = None;
+        for i in 0..50_000u64 {
+            let user = i % 16;
+            let d = districts[(i % districts.len() as u64) as usize];
+            og.push_key(og.key(user, profile, d));
+            last = og.group_of(user);
+        }
+        last
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm push_key/group_of allocated {allocs} times over 50k updates"
+    );
+}
+
+#[test]
 fn merge_loop_allocations_scale_with_district_count_only() {
     let mut interner = DistrictInterner::new();
     let narrow = keys(&mut interner, 50_000, 4);

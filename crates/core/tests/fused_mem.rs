@@ -11,8 +11,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use stir_core::{
-    CollectionFunnel, PipelineConfig, PipelineMetrics, ProfileRow, RefinementPipeline, RowSource,
-    TweetRow,
+    CollectionFunnel, PipelineBuilder, PipelineMetrics, ProfileRow, RowSource, TweetRow,
 };
 use stir_geokr::Gazetteer;
 
@@ -87,13 +86,7 @@ fn corpus() -> (Vec<ProfileRow>, Vec<TweetRow>) {
 #[test]
 fn fused_peak_intermediate_is_at_least_half_the_staged_peak() {
     let g = Gazetteer::load();
-    let pipe = RefinementPipeline::new(
-        &g,
-        PipelineConfig {
-            threads: 1,
-            ..Default::default()
-        },
-    );
+    let pipe = PipelineBuilder::new(&g).threads(1).build().unwrap();
     let (profiles, tweets) = corpus();
     let mut funnel = CollectionFunnel::default();
     let kept = pipe.select_users(profiles, &mut funnel);

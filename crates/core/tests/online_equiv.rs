@@ -1,0 +1,83 @@
+//! Property tests pinning the incremental engine to the batch grouper:
+//! for arbitrary key streams and every tie-break policy, pushing keys one
+//! at a time through [`OnlineGrouping`] must end in exactly the state the
+//! batch method computes from the whole stream at once — same entries,
+//! same matched ranks, same groups, at every prefix.
+
+use proptest::prelude::*;
+use stir_core::intern::LocationKey;
+use stir_core::{group_user_keys_with, OnlineGrouping, TieBreak};
+
+const POLICIES: [TieBreak; 4] = [
+    TieBreak::FirstSeen,
+    TieBreak::Alphabetical,
+    TieBreak::MatchedFirst,
+    TieBreak::MatchedLast,
+];
+
+/// District vocabulary: index 0 is every user's profile district; the rest
+/// include a same-county-name-different-state pair so Alphabetical ordering
+/// is exercised across states.
+const DISTRICTS: [(&str, &str); 6] = [
+    ("Seoul", "Guro-gu"),
+    ("Seoul", "Mapo-gu"),
+    ("Seoul", "Jung-gu"),
+    ("Busan", "Jung-gu"),
+    ("Gyeonggi-do", "Bucheon-si"),
+    ("Seoul", "Gangnam-gu"),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn online_equals_batch_under_every_tie_break(
+        stream in prop::collection::vec((0u64..5, 0usize..6), 1..160),
+        policy_idx in 0usize..4,
+    ) {
+        let tie_break = POLICIES[policy_idx];
+        let mut og = OnlineGrouping::with_tie_break(tie_break);
+        let ids: Vec<_> = DISTRICTS
+            .iter()
+            .map(|(s, c)| og.intern_district(s, c))
+            .collect();
+        let profile = ids[0];
+
+        // Push the stream one key at a time, checking the *live* answer
+        // against a batch re-grouping of the prefix at every step.
+        let mut seen: Vec<LocationKey> = Vec::new();
+        for &(user, d) in &stream {
+            let key = og.key(user, profile, ids[d % ids.len()]);
+            let live = og.push_key(key);
+            seen.push(key);
+            let prefix: Vec<LocationKey> =
+                seen.iter().filter(|k| k.user == user).copied().collect();
+            let batch = group_user_keys_with(&prefix, tie_break, og.interner())
+                .expect("prefix contains this user");
+            prop_assert_eq!(
+                live,
+                batch.group(),
+                "policy {:?}: live group diverged mid-stream",
+                tie_break
+            );
+            prop_assert_eq!(og.group_of(user), Some(batch.group()));
+        }
+
+        // Final state: the snapshot is the batch output, field for field.
+        let snapshot = og.snapshot();
+        let mut users: Vec<u64> = stream.iter().map(|&(u, _)| u).collect();
+        users.sort_unstable();
+        users.dedup();
+        prop_assert_eq!(snapshot.len(), users.len());
+        for (gu, &user) in snapshot.iter().zip(&users) {
+            let keys: Vec<LocationKey> =
+                seen.iter().filter(|k| k.user == user).copied().collect();
+            let batch = group_user_keys_with(&keys, tie_break, og.interner()).unwrap();
+            prop_assert_eq!(gu.user, user);
+            prop_assert_eq!(&gu.entries, &batch.entries, "policy {:?}", tie_break);
+            prop_assert_eq!(gu.matched_rank, batch.matched_rank, "policy {:?}", tie_break);
+            prop_assert_eq!(&gu.state_profile, &batch.state_profile);
+            prop_assert_eq!(&gu.county_profile, &batch.county_profile);
+        }
+    }
+}

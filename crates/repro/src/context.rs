@@ -1,8 +1,8 @@
 //! Shared experiment context: options, dataset generation, pipeline runs.
 
 use stir_core::{
-    AnalysisResult, BackendChoice, FaultPlan, PipelineConfig, ProfileRow, RefinementPipeline,
-    TweetRow,
+    AnalysisResult, BackendChoice, FaultPlan, PipelineBuilder, PipelineInput, ProfileRow,
+    RefinementPipeline, TweetRow,
 };
 use stir_geokr::Gazetteer;
 use stir_twitter_sim::datasets::{Dataset, DatasetSpec};
@@ -36,6 +36,10 @@ pub struct Options {
     /// morsel-driven engine (`--staged`). Figure output is byte-identical
     /// either way; the flag exists to prove exactly that.
     pub staged: bool,
+    /// `stream` only: checkpoint the durable session halfway through the
+    /// stream, drop it, and resume from disk before ingesting the rest
+    /// (`--restore-midway`). Figure output is byte-identical either way.
+    pub restore_midway: bool,
 }
 
 impl Default for Options {
@@ -51,6 +55,7 @@ impl Default for Options {
             verbose: false,
             from_store: false,
             staged: false,
+            restore_midway: false,
         }
     }
 }
@@ -78,6 +83,20 @@ pub fn lady_gaga_spec(opts: &Options) -> DatasetSpec {
     DatasetSpec::lady_gaga_paper().scaled(opts.scale)
 }
 
+/// Builds the refinement pipeline every experiment shares, from the CLI
+/// options (backend, faults, threading, fused/staged engine).
+pub fn pipeline(gazetteer: &'static Gazetteer, opts: &Options) -> RefinementPipeline<'static> {
+    PipelineBuilder::new(gazetteer)
+        .via_yahoo_xml(opts.via_yahoo_xml)
+        .backend(opts.backend)
+        .faults(opts.faults)
+        .threads(opts.threads)
+        .threads_exact(opts.threads_exact)
+        .fused(!opts.staged)
+        .build()
+        .expect("experiment options form a valid pipeline config")
+}
+
 /// Generates a dataset and runs the full refinement pipeline on it.
 pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options) -> Analysed {
     let label = spec.name;
@@ -92,18 +111,7 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
         dataset.len(),
         dataset.total_tweets()
     );
-    let pipeline = RefinementPipeline::new(
-        gazetteer,
-        PipelineConfig {
-            via_yahoo_xml: opts.via_yahoo_xml,
-            backend: opts.backend,
-            fault_plan: opts.faults,
-            threads: opts.threads,
-            threads_exact: opts.threads_exact,
-            fused: !opts.staged,
-            ..Default::default()
-        },
-    );
+    let pipeline = pipeline(gazetteer, opts);
     let profiles = dataset.users.iter().map(|u| ProfileRow {
         user: u.id.0,
         location_text: u.location_text.clone(),
@@ -130,7 +138,7 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
             store.stats().segments,
             store.stats().payload_bytes
         );
-        stir::store_pipeline::run_from_store(&pipeline, profiles, &store)
+        pipeline.execute(profiles, &store)
     } else {
         let tweets = dataset.users.iter().flat_map(|u| {
             dataset
@@ -142,7 +150,7 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
                     gps: t.gps,
                 })
         });
-        pipeline.run(profiles, tweets)
+        pipeline.execute(profiles, PipelineInput::rows(tweets))
     };
     eprintln!(
         "[{}] final cohort {} users / {} strings",

@@ -9,7 +9,7 @@
 //! intra-city mobility at all.
 
 use stir_core::{
-    Granularity, GroupTable, PipelineConfig, ProfileRow, RefinementPipeline, TopKGroup, TweetRow,
+    Granularity, GroupTable, PipelineBuilder, PipelineInput, ProfileRow, TopKGroup, TweetRow,
 };
 use stir_twitter_sim::datasets::Dataset;
 
@@ -22,17 +22,14 @@ pub fn run(opts: &Options) {
     let tables: Vec<(Granularity, GroupTable)> = [Granularity::District, Granularity::City]
         .into_iter()
         .map(|grain| {
-            let pipeline = RefinementPipeline::new(
-                g,
-                PipelineConfig {
-                    via_yahoo_xml: opts.via_yahoo_xml,
-                    backend: opts.backend,
-                    fault_plan: opts.faults,
-                    threads: opts.threads,
-                    granularity: grain,
-                    ..Default::default()
-                },
-            );
+            let pipeline = PipelineBuilder::new(g)
+                .via_yahoo_xml(opts.via_yahoo_xml)
+                .backend(opts.backend)
+                .faults(opts.faults)
+                .threads(opts.threads)
+                .granularity(grain)
+                .build()
+                .expect("experiment options form a valid pipeline config");
             let profiles = dataset.users.iter().map(|u| ProfileRow {
                 user: u.id.0,
                 location_text: u.location_text.clone(),
@@ -44,7 +41,7 @@ pub fn run(opts: &Options) {
                     gps: t.gps,
                 })
             });
-            let result = pipeline.run(profiles, tweets);
+            let result = pipeline.execute(profiles, PipelineInput::rows(tweets));
             (grain, GroupTable::compute(&result.users))
         })
         .collect();

@@ -46,4 +46,5 @@ pub fn run(opts: &Options) {
     experiments::nonegroup::run(opts);
     experiments::diurnal::run(opts);
     experiments::sensitivity::run(opts);
+    experiments::stream::run(opts);
 }

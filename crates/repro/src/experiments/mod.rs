@@ -17,5 +17,6 @@ pub mod nonegroup;
 pub mod regional;
 pub mod report_md;
 pub mod sensitivity;
+pub mod stream;
 pub mod table12;
 pub mod tweets;

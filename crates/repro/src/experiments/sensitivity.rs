@@ -12,8 +12,8 @@
 use std::collections::HashMap;
 
 use stir_core::{
-    group_user_strings_with, GroupTable, LocationString, PipelineConfig, ProfileRow,
-    RefinementPipeline, TieBreak, TopKGroup, TweetRow,
+    group_user_strings_with, GroupTable, LocationString, PipelineBuilder, PipelineInput,
+    ProfileRow, TieBreak, TopKGroup, TweetRow,
 };
 use stir_geokr::ReverseGeocoder;
 use stir_twitter_sim::datasets::{Dataset, DatasetSpec};
@@ -110,25 +110,22 @@ fn gps_adoption_sweep(opts: &Options) {
             ..korean_spec(opts)
         };
         let dataset = Dataset::generate(spec, g, opts.seed);
-        let pipeline = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                threads: opts.threads,
-                ..Default::default()
-            },
-        );
-        let result = pipeline.run(
+        let pipeline = PipelineBuilder::new(g)
+            .threads(opts.threads)
+            .build()
+            .expect("experiment options form a valid pipeline config");
+        let result = pipeline.execute(
             dataset.users.iter().map(|u| ProfileRow {
                 user: u.id.0,
                 location_text: u.location_text.clone(),
             }),
-            dataset.users.iter().flat_map(|u| {
+            PipelineInput::rows(dataset.users.iter().flat_map(|u| {
                 dataset.user_tweets(g, u.id).into_iter().map(|t| TweetRow {
                     user: t.user.0,
                     tweet_id: t.id.0,
                     gps: t.gps,
                 })
-            }),
+            })),
         );
         let table = GroupTable::compute(&result.users);
         println!(

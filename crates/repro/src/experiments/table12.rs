@@ -4,9 +4,7 @@
 //! of users. Table II: the same strings merged, counted, ordered, with the
 //! matched string and its rank marked.
 
-use stir_core::{
-    group_user_strings, LocationString, PipelineConfig, ProfileRow, RefinementPipeline,
-};
+use stir_core::{group_user_strings, LocationString, PipelineBuilder, ProfileRow};
 use stir_geokr::ReverseGeocoder;
 
 use crate::context::{gazetteer, korean_spec, Options};
@@ -21,16 +19,13 @@ fn sample_strings(opts: &Options, max_users: usize) -> Vec<Vec<LocationString>> 
         s
     };
     let dataset = Dataset::generate(spec, g, opts.seed);
-    let pipeline = RefinementPipeline::new(
-        g,
-        PipelineConfig {
-            via_yahoo_xml: opts.via_yahoo_xml,
-            backend: opts.backend,
-            fault_plan: opts.faults,
-            threads: opts.threads,
-            ..Default::default()
-        },
-    );
+    let pipeline = PipelineBuilder::new(g)
+        .via_yahoo_xml(opts.via_yahoo_xml)
+        .backend(opts.backend)
+        .faults(opts.faults)
+        .threads(opts.threads)
+        .build()
+        .expect("experiment options form a valid pipeline config");
     // Classify profiles, then walk users until we have enough with several
     // GPS tweets.
     let mut funnel = Default::default();

@@ -25,6 +25,8 @@
 //!   diurnal   extension hour-of-day posting profiles per group
 //!   report              write a full markdown report (--out DIR)
 //!   sensitivity extension tie-break policies + GPS-adoption sweep
+//!   stream    E23      Fig. 7 from the incremental streaming session
+//!                      (--restore-midway checkpoints + resumes halfway)
 //!   all                 everything above, in order
 //! ```
 //!
@@ -68,6 +70,7 @@ fn main() {
         "diurnal" => experiments::diurnal::run(&opts),
         "report" => experiments::report_md::run(&opts, &out_dir),
         "sensitivity" => experiments::sensitivity::run(&opts),
+        "stream" => experiments::stream::run(&opts),
         "all" => experiments::all::run(&opts),
         "help" | "--help" | "-h" => print_help(),
         other => {
@@ -126,6 +129,7 @@ fn parse(args: &[String]) -> Result<(String, Options, PathBuf), String> {
             "--verbose" | "-v" => opts.verbose = true,
             "--from-store" => opts.from_store = true,
             "--staged" => opts.staged = true,
+            "--restore-midway" => opts.restore_midway = true,
             "--out" => {
                 out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?);
             }
@@ -156,8 +160,10 @@ fn print_help() {
          --from-store routes tweets through a TweetStore and the zero-copy header scan\n\
          instead of feeding rows directly (figure output is byte-identical either way);\n\
          --staged runs the staged reference pipeline instead of the fused morsel-driven\n\
-         engine (again byte-identical — the flag exists to prove it)\n\n\
-         experiments: table1 table2 fig3 fig4 fig5 funnel fig6 fig7 tweets compare eventloc ablation regional export detect nonegroup diurnal report sensitivity all"
+         engine (again byte-identical — the flag exists to prove it);\n\
+         --restore-midway (stream only) checkpoints the durable session halfway through\n\
+         the firehose, drops it, and resumes from disk — output stays byte-identical\n\n\
+         experiments: table1 table2 fig3 fig4 fig5 funnel fig6 fig7 tweets compare eventloc ablation regional export detect nonegroup diurnal report sensitivity stream all"
     );
 }
 
@@ -257,6 +263,15 @@ mod tests {
         let (_, opts, _) = parse(&args(&["fig7", "--staged", "--from-store"])).unwrap();
         assert!(opts.staged);
         assert!(opts.from_store);
+    }
+
+    #[test]
+    fn parse_restore_midway_defaults_off() {
+        let (_, opts, _) = parse(&args(&["stream"])).unwrap();
+        assert!(!opts.restore_midway);
+        let (cmd, opts, _) = parse(&args(&["stream", "--restore-midway"])).unwrap();
+        assert_eq!(cmd, "stream");
+        assert!(opts.restore_midway);
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   the rebuilt statistics on load.
 //! * [`wal`] — per-append durability: a CRC-framed write-ahead log with
 //!   torn-tail truncation on recovery.
+//! * [`snapshot`] — append-only checkpoint frames for incremental
+//!   services: an opaque state payload plus the WAL record ordinal it
+//!   covers, newest-intact-frame recovery.
 
 #![warn(missing_docs)]
 
@@ -37,6 +40,7 @@ pub mod persist;
 pub mod query;
 pub mod scan;
 pub mod segment;
+pub mod snapshot;
 pub mod store;
 pub mod wal;
 
@@ -45,5 +49,6 @@ pub use compact::{compact, gps_only, users_only, CompactionReport};
 pub use query::{AccessPath, Query};
 pub use scan::{HeaderBlocks, ScanMetrics, ScanOptions};
 pub use segment::ZoneMap;
+pub use snapshot::{append_snapshot, latest_snapshot, SnapshotFrame};
 pub use store::{RecordPtr, StoreStats, TweetStore};
 pub use wal::{DurableStore, Wal};

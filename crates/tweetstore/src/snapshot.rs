@@ -1,0 +1,154 @@
+//! State-snapshot frames for incremental services.
+//!
+//! A live analysis service checkpoints its in-memory state so a restart
+//! resumes from the checkpoint plus a short WAL tail instead of replaying
+//! the corpus. This module stores those checkpoints as an append-only
+//! frame log (same shape as [`crate::wal`]): `len(u32 LE) · crc(u32 LE) ·
+//! ordinal(u64 LE) · payload`, where `ordinal` is the number of WAL
+//! records the state covers. Appending never rewrites earlier frames, so a
+//! crash mid-checkpoint tears at most the *last* frame — [`latest_snapshot`]
+//! walks the log and returns the newest frame that passes its checksum,
+//! which is exactly the recovery contract the WAL gives records.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::codec::fnv1a;
+use crate::persist::PersistError;
+
+/// Magic header of snapshot logs.
+const MAGIC: &[u8; 8] = b"STIRSNP1";
+
+/// One recovered checkpoint: the opaque state payload and the WAL record
+/// ordinal it covers (replay resumes at this ordinal).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotFrame {
+    /// WAL records covered by the state — the replay resume point.
+    pub ordinal: u64,
+    /// The service's serialized state, opaque to the store.
+    pub payload: Vec<u8>,
+}
+
+/// Appends one checkpoint frame to the log at `path` (creating it with the
+/// magic header if absent) and fsyncs — the checkpoint durability point.
+pub fn append_snapshot(path: &Path, ordinal: u64, payload: &[u8]) -> Result<(), PersistError> {
+    let fresh = !path.exists();
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    if fresh {
+        file.write_all(MAGIC)?;
+    }
+    let body_len = 8 + payload.len();
+    let mut body = Vec::with_capacity(body_len);
+    body.extend_from_slice(&ordinal.to_le_bytes());
+    body.extend_from_slice(payload);
+    file.write_all(&(body_len as u32).to_le_bytes())?;
+    file.write_all(&fnv1a(&body).to_le_bytes())?;
+    file.write_all(&body)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Returns the newest intact checkpoint in the log, or `None` when the log
+/// is missing or holds no valid frame. A torn or corrupt tail frame is
+/// skipped in favor of the frame before it; a missing file is not an error
+/// (a service's first boot has no checkpoint).
+pub fn latest_snapshot(path: &Path) -> Result<Option<SnapshotFrame>, PersistError> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let mut latest = None;
+    let mut at = MAGIC.len();
+    loop {
+        if at + 8 > bytes.len() {
+            break; // torn header
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        let start = at + 8;
+        if len < 8 || start + len > bytes.len() {
+            break; // torn payload
+        }
+        let body = &bytes[start..start + len];
+        if fnv1a(body) != crc {
+            break; // corrupt frame — everything after it is suspect
+        }
+        latest = Some(SnapshotFrame {
+            ordinal: u64::from_le_bytes(body[..8].try_into().unwrap()),
+            payload: body[8..].to_vec(),
+        });
+        at = start + len;
+    }
+    Ok(latest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("stir-snap-{tag}-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn roundtrip_latest_wins() {
+        let path = tmp("roundtrip");
+        assert_eq!(latest_snapshot(&path).unwrap(), None);
+        append_snapshot(&path, 10, b"alpha").unwrap();
+        append_snapshot(&path, 25, b"beta").unwrap();
+        let f = latest_snapshot(&path).unwrap().unwrap();
+        assert_eq!(f.ordinal, 25);
+        assert_eq!(f.payload, b"beta");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_falls_back_to_previous_frame() {
+        let path = tmp("torn");
+        append_snapshot(&path, 10, b"alpha").unwrap();
+        append_snapshot(&path, 25, b"beta-which-is-longer").unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let f = latest_snapshot(&path).unwrap().unwrap();
+        assert_eq!(f.ordinal, 10, "torn tail frame skipped");
+        assert_eq!(f.payload, b"alpha");
+        // The log still accepts new frames after the tear.
+        append_snapshot(&path, 40, b"gamma").unwrap();
+        // The torn frame in the middle stops the walk — recovery stays on
+        // the last frame *before* the damage, never a frame after it.
+        let f = latest_snapshot(&path).unwrap().unwrap();
+        assert_eq!(f.ordinal, 10);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_payload_frame_is_valid() {
+        let path = tmp("empty");
+        append_snapshot(&path, 0, b"").unwrap();
+        let f = latest_snapshot(&path).unwrap().unwrap();
+        assert_eq!(f.ordinal, 0);
+        assert!(f.payload.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTASNAP-extra").unwrap();
+        assert!(matches!(
+            latest_snapshot(&path),
+            Err(PersistError::BadMagic)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

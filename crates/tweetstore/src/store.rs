@@ -229,6 +229,31 @@ impl TweetStore {
             .flat_map(|s| s.iter())
     }
 
+    /// Iterates records in (segment, slot) order starting at record
+    /// ordinal `from` — the tail primitive behind snapshot-resume: whole
+    /// segments before the ordinal are skipped by their record counts, so
+    /// the cost is proportional to the tail, not to the corpus.
+    pub fn scan_from(
+        &self,
+        from: u64,
+    ) -> impl Iterator<Item = Result<TweetRecord, CodecError>> + '_ {
+        let mut skip = from as usize;
+        self.sealed
+            .iter()
+            .chain(std::iter::once(&self.active))
+            .filter_map(move |s| {
+                if skip >= s.len() {
+                    skip -= s.len();
+                    None
+                } else {
+                    let first = skip as u32;
+                    skip = 0;
+                    Some((s, first))
+                }
+            })
+            .flat_map(|(s, first)| (first..s.len() as u32).map(move |slot| s.get(slot)))
+    }
+
     /// Streams borrowed views over every record in (segment, slot) order —
     /// the zero-copy counterpart of [`TweetStore::scan`]: headers are
     /// decoded, text stays in the segment buffer until asked for.

@@ -38,6 +38,13 @@ impl StreamSpec {
             max_tweets: 0,
         }
     }
+
+    /// The unfiltered firehose: every tweet matches, nothing is sampled
+    /// out — the full corpus in arrival order. What an incremental
+    /// consumer ingests to cover the same population as a batch run.
+    pub fn firehose() -> Self {
+        StreamSpec::keyword("")
+    }
 }
 
 /// The result of a streaming session.
@@ -49,6 +56,22 @@ pub struct StreamCollection {
     pub users: Vec<UserId>,
     /// Total tweets that flowed past the filter (delivered or sampled out).
     pub matched: u64,
+}
+
+impl StreamCollection {
+    /// Arrival-order delivery batches: the collection handed to a consumer
+    /// `chunk` tweets at a time, the way a streaming client drains its
+    /// connection buffer. Concatenating the batches reproduces
+    /// [`StreamCollection::tweets`] exactly; the final batch may be short.
+    /// A `chunk` of 0 delivers everything in one batch.
+    pub fn deliveries(&self, chunk: usize) -> impl Iterator<Item = &[Tweet]> {
+        let n = if chunk == 0 {
+            self.tweets.len().max(1)
+        } else {
+            chunk
+        };
+        self.tweets.chunks(n)
+    }
 }
 
 /// Runs a streaming collection over a dataset.
@@ -161,6 +184,33 @@ mod tests {
         };
         let c = collect(d, g, &spec);
         assert!(c.tweets.len() <= 5);
+    }
+
+    #[test]
+    fn firehose_delivers_the_whole_corpus() {
+        let (g, d) = fixtures();
+        let mut total = 0u64;
+        d.for_each_tweet(g, |_| total += 1);
+        let c = collect(d, g, &StreamSpec::firehose());
+        assert_eq!(c.tweets.len() as u64, total);
+        assert_eq!(c.matched, total);
+    }
+
+    #[test]
+    fn deliveries_chunk_the_stream_in_arrival_order() {
+        let (g, d) = fixtures();
+        let c = collect(d, g, &StreamSpec::keyword("coffee"));
+        assert!(c.tweets.len() > 7, "fixture too small to chunk");
+        let chunks: Vec<&[Tweet]> = c.deliveries(7).collect();
+        assert!(chunks[..chunks.len() - 1].iter().all(|b| b.len() == 7));
+        assert!(!chunks.last().unwrap().is_empty());
+        let rejoined: Vec<_> = chunks.concat();
+        assert_eq!(rejoined.len(), c.tweets.len());
+        for (a, b) in rejoined.iter().zip(&c.tweets) {
+            assert_eq!(a.id, b.id);
+        }
+        // Chunk 0 is "all at once".
+        assert_eq!(c.deliveries(0).count(), 1);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! cargo run --release --example earthquake_detection
 //! ```
 
-use stir::core::{ProfileRow, RefinementPipeline, ReliabilityWeights, TweetRow};
+use stir::core::{PipelineInput, ProfileRow, RefinementPipeline, ReliabilityWeights, TweetRow};
 use stir::eventdet::toretter::StreamTweet;
 use stir::eventdet::{MeanEstimator, ObservationBuilder, Toretter};
 use stir::geoindex::Point;
@@ -23,12 +23,12 @@ fn main() {
 
     // Learn the reliability weights from the dataset's own history.
     let pipeline = RefinementPipeline::with_defaults(&gazetteer);
-    let result = pipeline.run(
+    let result = pipeline.execute(
         dataset.users.iter().map(|u| ProfileRow {
             user: u.id.0,
             location_text: u.location_text.clone(),
         }),
-        dataset.users.iter().flat_map(|u| {
+        PipelineInput::rows(dataset.users.iter().flat_map(|u| {
             dataset
                 .user_tweets(&gazetteer, u.id)
                 .into_iter()
@@ -37,7 +37,7 @@ fn main() {
                     tweet_id: t.id.0,
                     gps: t.gps,
                 })
-        }),
+        })),
     );
     println!(
         "learned reliability weights from {} analysed users: {:?}",

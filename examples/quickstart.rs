@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use stir::core::{report, GroupTable, ProfileRow, RefinementPipeline, TweetRow};
+use stir::core::{report, GroupTable, PipelineInput, ProfileRow, RefinementPipeline, TweetRow};
 use stir::geokr::Gazetteer;
 use stir::twitter_sim::datasets::{Dataset, DatasetSpec};
 
@@ -46,7 +46,7 @@ fn main() {
                 gps: t.gps,
             })
     });
-    let result = pipeline.run(profiles, tweets);
+    let result = pipeline.execute(profiles, PipelineInput::rows(tweets));
 
     // 4. The paper's funnel and group statistics.
     println!("\n{}", report::render_funnel(&result.funnel));

@@ -198,7 +198,7 @@ pub fn uniform_builder<'g>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stir_core::{ProfileRow, RefinementPipeline, TweetRow};
+    use stir_core::{PipelineInput, ProfileRow, RefinementPipeline, TweetRow};
     use stir_eventdet::MeanEstimator;
     use stir_twitter_sim::datasets::DatasetSpec;
 
@@ -213,12 +213,12 @@ mod tests {
             &gazetteer,
             61,
         );
-        let analysis = RefinementPipeline::with_defaults(&gazetteer).run(
+        let analysis = RefinementPipeline::with_defaults(&gazetteer).execute(
             dataset.users.iter().map(|u| ProfileRow {
                 user: u.id.0,
                 location_text: u.location_text.clone(),
             }),
-            dataset.users.iter().flat_map(|u| {
+            PipelineInput::rows(dataset.users.iter().flat_map(|u| {
                 dataset
                     .user_tweets(&gazetteer, u.id)
                     .into_iter()
@@ -227,7 +227,7 @@ mod tests {
                         tweet_id: t.id.0,
                         gps: t.gps,
                     })
-            }),
+            })),
         );
         let builder = ObservationBuilder::from_analysis(&gazetteer, &analysis, 0.02);
         let est = MeanEstimator;

@@ -13,8 +13,9 @@ pub mod store_pipeline;
 /// weight → estimate.
 pub mod prelude {
     pub use stir_core::{
-        AnalysisResult, GroupTable, GroupedUser, PipelineConfig, ProfileRow, RefinementPipeline,
-        ReliabilityWeights, TopKGroup, TweetRow,
+        AnalysisResult, AnalysisSession, DurableSession, GroupTable, GroupedUser, PipelineBuilder,
+        PipelineConfig, PipelineInput, ProfileRow, RefinementPipeline, ReliabilityWeights,
+        TopKGroup, TweetRow,
     };
     pub use stir_eventdet::{
         KalmanEstimator, LocationEstimator, MeanEstimator, MedianEstimator, Observation,

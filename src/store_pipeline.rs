@@ -2,51 +2,19 @@
 //!
 //! `stir-core` deliberately takes plain rows so it works on any data
 //! source; `stir-tweetstore` deliberately knows nothing about the
-//! analysis. This module connects them: run the refinement pipeline
-//! straight off a stored corpus, optionally pre-compacting to GPS records
-//! (which is what a production deployment would keep hot).
+//! analysis. The connection now lives in the pipeline itself:
+//! [`RefinementPipeline::execute`] accepts a `&TweetStore` directly (the
+//! store-block morsel source and scan-metrics fill moved into
+//! `stir_core::pipeline`). This module keeps the store-specific
+//! composition that has no core equivalent — pre-compacting to GPS
+//! records before the run (what a production deployment would keep hot) —
+//! plus a deprecated shim for the old free-function entry point.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use stir_core::{
-    AnalysisResult, CollectionFunnel, ColumnBatch, MorselSource, ProfileRow, RefinementPipeline,
-    TweetRow,
-};
-use stir_tweetstore::{gps_only, CompactionReport, HeaderBlocks, ScanMetrics, TweetStore};
-
-/// [`HeaderBlocks`] as a [`MorselSource`]: store blocks feed the fused
-/// engine directly — each decoded header's fields go straight into the
-/// morsel's columns (no row value of any shape in between), and the
-/// block's slot-position ordinals are exactly the input ordinals the
-/// engine's determinism argument needs.
-struct StoreSource<'s> {
-    blocks: HeaderBlocks<'s>,
-}
-
-impl MorselSource for StoreSource<'_> {
-    fn next_morsel(&self, buf: &mut ColumnBatch) -> Option<u64> {
-        buf.clear();
-        self.blocks
-            .next_block_headers(|h| buf.push(h.user, h.timestamp as i64, h.gps))
-    }
-
-    fn morsel_rows(&self) -> usize {
-        self.blocks.block_records()
-    }
-}
+use stir_core::{AnalysisResult, CollectionFunnel, ProfileRow, RefinementPipeline};
+use stir_tweetstore::{gps_only, CompactionReport, TweetStore};
 
 /// Runs the full pipeline with tweets streamed out of `store`.
-///
-/// The hand-off is zero-copy per stored record: only the fixed-field
-/// header of each record decodes into a `Copy` [`TweetRow`] — the tweet
-/// text (which the pipeline never reads) stays untouched in the segment
-/// buffers, so no per-record heap allocation happens on this path. On the
-/// fused engine (the default) store blocks *are* the morsels: pipeline
-/// workers pull blocks concurrently and rows go straight from header
-/// decode to geocode to grouped keys, with no intermediate row vector.
-/// The staged reference path streams rows through a serial iterator
-/// instead. Scan statistics land in the result's
-/// [`PipelineMetrics::scan`](stir_core::PipelineMetrics) slot either way.
+#[deprecated(note = "use `pipeline.execute(profiles, store)` — the store is a pipeline input now")]
 pub fn run_from_store<PI>(
     pipeline: &RefinementPipeline<'_>,
     profiles: PI,
@@ -55,69 +23,7 @@ pub fn run_from_store<PI>(
 where
     PI: IntoIterator<Item = ProfileRow>,
 {
-    let stats = store.stats();
-    if pipeline.config().fused {
-        let source = StoreSource {
-            blocks: HeaderBlocks::new(store, pipeline.config().effective_morsel_rows()),
-        };
-        let mut result = pipeline.run_from_source(profiles, &source);
-        let exec = result.metrics.exec.as_ref();
-        result.metrics.scan = Some(ScanMetrics {
-            segments_total: stats.segments as u64,
-            segments_pruned: 0,
-            records_stored: stats.records,
-            records_pruned: 0,
-            headers_decoded: source.blocks.headers_decoded(),
-            records_rejected: 0,
-            records_yielded: source.blocks.headers_decoded(),
-            records_corrupt: source.blocks.records_corrupt(),
-            bytes_stored: stats.payload_bytes,
-            bytes_decoded: source.blocks.bytes_decoded(),
-            threads: exec.map_or(1, |e| e.threads),
-            blocks_per_thread: exec.map_or_else(Vec::new, |e| e.morsels_per_thread.clone()),
-            // The scan is fused into the pass: the filter operator's time
-            // is the closest honest measure of it.
-            wall: result.metrics.stages.tweet_intake,
-        });
-        return result;
-    }
-    let headers = AtomicU64::new(0);
-    let header_bytes = AtomicU64::new(0);
-    let corrupt = AtomicU64::new(0);
-    let tweets = store.scan_views().filter_map(|r| match r {
-        Ok(v) => {
-            headers.fetch_add(1, Ordering::Relaxed);
-            header_bytes.fetch_add(v.header_len() as u64, Ordering::Relaxed);
-            Some(TweetRow {
-                user: v.header.user,
-                tweet_id: v.header.id,
-                gps: v.header.gps,
-            })
-        }
-        Err(_) => {
-            corrupt.fetch_add(1, Ordering::Relaxed);
-            None
-        }
-    });
-    let mut result = pipeline.run(profiles, tweets);
-    result.metrics.scan = Some(ScanMetrics {
-        segments_total: stats.segments as u64,
-        segments_pruned: 0,
-        records_stored: stats.records,
-        records_pruned: 0,
-        headers_decoded: headers.load(Ordering::Relaxed),
-        records_rejected: 0,
-        records_yielded: headers.load(Ordering::Relaxed),
-        records_corrupt: corrupt.load(Ordering::Relaxed),
-        bytes_stored: stats.payload_bytes,
-        bytes_decoded: header_bytes.load(Ordering::Relaxed),
-        threads: 1,
-        blocks_per_thread: vec![stats.segments as u64],
-        // The scan is interleaved with intake: the intake stage's wall
-        // time is the closest honest measure of it.
-        wall: result.metrics.stages.tweet_intake,
-    });
-    result
+    pipeline.execute(profiles, store)
 }
 
 /// Compacts the store to GPS-only records, then runs the pipeline on the
@@ -133,7 +39,7 @@ where
     PI: IntoIterator<Item = ProfileRow>,
 {
     let (gps_store, report) = gps_only(store);
-    let mut result = run_from_store(pipeline, profiles, &gps_store);
+    let mut result = pipeline.execute(profiles, &gps_store);
     // Restore the pre-compaction totals so the funnel reads like a
     // single-pass run over the full corpus.
     let funnel = CollectionFunnel {
@@ -147,6 +53,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stir_core::{PipelineBuilder, TweetRow};
     use stir_geokr::Gazetteer;
     use stir_tweetstore::TweetRecord;
     use stir_twitter_sim::datasets::{Dataset, DatasetSpec};
@@ -186,33 +93,40 @@ mod tests {
     }
 
     #[test]
-    fn store_run_matches_direct_run() {
+    fn store_execute_matches_direct_run() {
         let (g, dataset, store) = fixtures();
         let pipeline = RefinementPipeline::with_defaults(g);
-        let direct = pipeline.run(
-            profile_rows(&dataset),
-            dataset.users.iter().flat_map(|u| {
+        let rows: Vec<TweetRow> = dataset
+            .users
+            .iter()
+            .flat_map(|u| {
                 dataset.user_tweets(g, u.id).into_iter().map(|t| TweetRow {
                     user: t.user.0,
                     tweet_id: t.id.0,
                     gps: t.gps,
                 })
-            }),
-        );
-        let via_store = run_from_store(&pipeline, profile_rows(&dataset), &store);
+            })
+            .collect();
+        let direct = pipeline.execute(profile_rows(&dataset), rows);
+        let via_store = pipeline.execute(profile_rows(&dataset), &store);
         assert_eq!(direct.funnel, via_store.funnel);
         assert_eq!(direct.users.len(), via_store.users.len());
         for (a, b) in direct.users.iter().zip(&via_store.users) {
             assert_eq!(a.user, b.user);
             assert_eq!(a.matched_rank, b.matched_rank);
         }
+        // The deprecated free function keeps forwarding to the same run.
+        #[allow(deprecated)]
+        let via_shim = run_from_store(&pipeline, profile_rows(&dataset), &store);
+        assert_eq!(via_shim.funnel, via_store.funnel);
+        assert_eq!(via_shim.users.len(), via_store.users.len());
     }
 
     #[test]
-    fn store_run_reports_scan_metrics() {
+    fn store_execute_reports_scan_metrics() {
         let (g, dataset, store) = fixtures();
         let pipeline = RefinementPipeline::with_defaults(g);
-        let result = run_from_store(&pipeline, profile_rows(&dataset), &store);
+        let result = pipeline.execute(profile_rows(&dataset), &store);
         let scan = result
             .metrics
             .scan
@@ -234,7 +148,7 @@ mod tests {
             scan.bytes_stored
         );
         // Direct (row-fed) runs leave the slot empty.
-        let direct = pipeline.run(profile_rows(&dataset), std::iter::empty::<TweetRow>());
+        let direct = pipeline.execute(profile_rows(&dataset), Vec::<TweetRow>::new());
         assert!(direct.metrics.scan.is_none());
     }
 
@@ -242,16 +156,10 @@ mod tests {
     fn fused_store_run_is_identical_to_staged_store_run() {
         let (g, dataset, store) = fixtures();
         let fused = RefinementPipeline::with_defaults(g);
-        assert!(fused.config().fused, "fused engine is the default");
-        let staged = RefinementPipeline::new(
-            g,
-            stir_core::PipelineConfig {
-                fused: false,
-                ..Default::default()
-            },
-        );
-        let a = run_from_store(&fused, profile_rows(&dataset), &store);
-        let b = run_from_store(&staged, profile_rows(&dataset), &store);
+        assert!(fused.config().is_fused(), "fused engine is the default");
+        let staged = PipelineBuilder::new(g).staged().build().unwrap();
+        let a = fused.execute(profile_rows(&dataset), &store);
+        let b = staged.execute(profile_rows(&dataset), &store);
         assert_eq!(a.funnel, b.funnel);
         assert_eq!(a.users.len(), b.users.len());
         for (x, y) in a.users.iter().zip(&b.users) {
@@ -274,7 +182,7 @@ mod tests {
     fn compacted_run_agrees_and_reports_savings() {
         let (g, dataset, store) = fixtures();
         let pipeline = RefinementPipeline::with_defaults(g);
-        let full = run_from_store(&pipeline, profile_rows(&dataset), &store);
+        let full = pipeline.execute(profile_rows(&dataset), &store);
         let (compacted, report) = compact_then_run(&pipeline, profile_rows(&dataset), &store);
         // Same cohort, same groups, same tweet totals after patching.
         assert_eq!(full.users.len(), compacted.users.len());

@@ -1,7 +1,7 @@
 //! End-to-end integration: generator → pipeline → statistics, with the
 //! paper's published shapes as assertions.
 
-use stir::core::{GroupTable, ProfileRow, RefinementPipeline, TopKGroup, TweetRow};
+use stir::core::{GroupTable, PipelineInput, ProfileRow, RefinementPipeline, TopKGroup, TweetRow};
 use stir::geokr::Gazetteer;
 use stir::twitter_sim::datasets::{Dataset, DatasetSpec};
 
@@ -13,12 +13,12 @@ fn run(n_users: usize, seed: u64) -> (stir::core::AnalysisResult, GroupTable) {
     };
     let dataset = Dataset::generate(spec, &gazetteer, seed);
     let pipeline = RefinementPipeline::with_defaults(&gazetteer);
-    let result = pipeline.run(
+    let result = pipeline.execute(
         dataset.users.iter().map(|u| ProfileRow {
             user: u.id.0,
             location_text: u.location_text.clone(),
         }),
-        dataset.users.iter().flat_map(|u| {
+        PipelineInput::rows(dataset.users.iter().flat_map(|u| {
             dataset
                 .user_tweets(&gazetteer, u.id)
                 .into_iter()
@@ -27,7 +27,7 @@ fn run(n_users: usize, seed: u64) -> (stir::core::AnalysisResult, GroupTable) {
                     tweet_id: t.id.0,
                     gps: t.gps,
                 })
-        }),
+        })),
     );
     let table = GroupTable::compute(&result.users);
     (result, table)
@@ -118,12 +118,12 @@ fn none_group_has_commuter_temporal_fingerprint() {
     };
     let dataset = Dataset::generate(spec, &gazetteer, 12);
     let pipeline = RefinementPipeline::with_defaults(&gazetteer);
-    let result = pipeline.run(
+    let result = pipeline.execute(
         dataset.users.iter().map(|u| ProfileRow {
             user: u.id.0,
             location_text: u.location_text.clone(),
         }),
-        dataset.users.iter().flat_map(|u| {
+        PipelineInput::rows(dataset.users.iter().flat_map(|u| {
             dataset
                 .user_tweets(&gazetteer, u.id)
                 .into_iter()
@@ -132,7 +132,7 @@ fn none_group_has_commuter_temporal_fingerprint() {
                     tweet_id: t.id.0,
                     gps: t.gps,
                 })
-        }),
+        })),
     );
     let groups: HashMap<u64, TopKGroup> =
         result.users.iter().map(|u| (u.user, u.group())).collect();

@@ -8,9 +8,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use proptest::prelude::*;
-use stir::core::{AnalysisResult, PipelineConfig, ProfileRow, RefinementPipeline, TweetRow};
+use stir::core::{AnalysisResult, PipelineBuilder, ProfileRow, TweetRow};
 use stir::geokr::Gazetteer;
-use stir::store_pipeline::run_from_store;
 use stir::tweetstore::{TweetRecord, Wal};
 
 fn gaz() -> &'static Gazetteer {
@@ -96,26 +95,20 @@ proptest! {
     ) {
         let g = gaz();
         let (profiles, tweets) = corpus(&rows);
-        let staged = RefinementPipeline::new(
-            g,
-            PipelineConfig { fused: false, threads: 1, ..Default::default() },
-        );
-        let reference = staged.run(profiles.clone(), tweets.clone());
+        let staged = PipelineBuilder::new(g).staged().threads(1).build().unwrap();
+        let reference = staged.execute(profiles.clone(), tweets.clone());
         prop_assert!(reference.metrics.exec.is_none());
         // `exact` sweeps the adaptive scheduler on and off: byte-identity
         // must hold whether the engine obeys the configured geometry or
         // adapts it to the machine (possibly collapsing to serial-inline).
-        let fused = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                threads: THREADS[threads_idx],
-                threads_exact: exact,
-                morsel_rows: MORSELS[morsel_idx],
-                fused_partitions: partitions,
-                ..Default::default()
-            },
-        );
-        let got = fused.run(profiles, tweets);
+        let fused = PipelineBuilder::new(g)
+            .threads(THREADS[threads_idx])
+            .threads_exact(exact)
+            .morsel_rows(MORSELS[morsel_idx])
+            .partitions(partitions)
+            .build()
+            .unwrap();
+        let got = fused.execute(profiles, tweets);
         assert_identical(&got, &reference)?;
         let exec = got.metrics.exec.as_ref().expect("fused fills exec");
         prop_assert_eq!(exec.rows_in, got.funnel.tweets_total);
@@ -172,21 +165,15 @@ proptest! {
         prop_assert_eq!(recovered, tweets.len() as u64);
 
         // Fused from-store run ≡ staged row-fed run on the same corpus.
-        let staged = RefinementPipeline::new(
-            g,
-            PipelineConfig { fused: false, threads: 1, ..Default::default() },
-        );
-        let reference = staged.run(profiles.clone(), tweets);
-        let fused = RefinementPipeline::new(
-            g,
-            PipelineConfig {
-                threads: THREADS[threads_idx],
-                threads_exact: exact,
-                morsel_rows: MORSELS[morsel_idx],
-                ..Default::default()
-            },
-        );
-        let got = run_from_store(&fused, profiles, &store);
+        let staged = PipelineBuilder::new(g).staged().threads(1).build().unwrap();
+        let reference = staged.execute(profiles.clone(), tweets);
+        let fused = PipelineBuilder::new(g)
+            .threads(THREADS[threads_idx])
+            .threads_exact(exact)
+            .morsel_rows(MORSELS[morsel_idx])
+            .build()
+            .unwrap();
+        let got = fused.execute(profiles, &store);
         assert_identical(&got, &reference)?;
         let scan = got.metrics.scan.as_ref().expect("store runs fill scan");
         prop_assert_eq!(scan.headers_decoded, recovered);

@@ -139,9 +139,14 @@ proptest! {
     #[test]
     fn online_grouping_equals_batch(indices in prop::collection::vec(0usize..5, 1..120)) {
         let strings = strings_from(&indices);
+        // Intern once per district, push interned keys — the supported
+        // (allocation-free) incremental path.
         let mut online = OnlineGrouping::new();
+        let profile = online.intern_district("Seoul", "Guro-gu");
         for s in &strings {
-            online.push(s);
+            let tweet = online.intern_district(&s.state_tweet, &s.county_tweet);
+            let key = online.key(s.user, profile, tweet);
+            online.push_key(key);
         }
         let snapshot = online.snapshot();
         prop_assert_eq!(snapshot.len(), 1);
@@ -270,7 +275,7 @@ proptest! {
             })
             .collect();
         let n_gps = gps_flags.iter().filter(|&&b| b).count() as u64;
-        let result = pipeline.run(profiles, tweets);
+        let result = pipeline.execute(profiles, tweets);
         prop_assert_eq!(result.funnel.tweets_total, gps_flags.len() as u64);
         prop_assert_eq!(result.funnel.tweets_with_gps, n_gps);
         prop_assert_eq!(result.funnel.strings_built, n_gps);

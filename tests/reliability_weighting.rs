@@ -1,7 +1,9 @@
 //! Integration: the paper's future-work claim — reliability weights learned
 //! from the Top-k analysis improve event-location estimation.
 
-use stir::core::{ProfileRow, RefinementPipeline, ReliabilityWeights, TopKGroup, TweetRow};
+use stir::core::{
+    PipelineInput, ProfileRow, RefinementPipeline, ReliabilityWeights, TopKGroup, TweetRow,
+};
 use stir::eventdet::weighted::RawReport;
 use stir::eventdet::{LocationEstimator, MeanEstimator, ObservationBuilder, ParticleEstimator};
 use stir::geoindex::Point;
@@ -16,12 +18,12 @@ fn analysed(n: usize, seed: u64) -> (Gazetteer, Dataset, stir::core::AnalysisRes
         ..DatasetSpec::korean_paper()
     };
     let dataset = Dataset::generate(spec, &gazetteer, seed);
-    let result = RefinementPipeline::with_defaults(&gazetteer).run(
+    let result = RefinementPipeline::with_defaults(&gazetteer).execute(
         dataset.users.iter().map(|u| ProfileRow {
             user: u.id.0,
             location_text: u.location_text.clone(),
         }),
-        dataset.users.iter().flat_map(|u| {
+        PipelineInput::rows(dataset.users.iter().flat_map(|u| {
             dataset
                 .user_tweets(&gazetteer, u.id)
                 .into_iter()
@@ -30,7 +32,7 @@ fn analysed(n: usize, seed: u64) -> (Gazetteer, Dataset, stir::core::AnalysisRes
                     tweet_id: t.id.0,
                     gps: t.gps,
                 })
-        }),
+        })),
     );
     (gazetteer, dataset, result)
 }
