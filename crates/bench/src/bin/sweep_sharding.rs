@@ -1,0 +1,201 @@
+//! Minimum-time sweep of the user-hash-sharded store against the
+//! single-store baseline, answering the questions ROADMAP item 2 asks of
+//! the scale-out layer (E24):
+//!
+//! * `ingest` — durable ingest throughput at each shard count: the wall
+//!   time to push the whole corpus through
+//!   [`ShardedDurableStore::ingest_parallel`] (one WAL per shard, workers
+//!   = the machine's parallelism) plus the final fsync of every log.
+//!   `shards = 1` **is** the single-WAL baseline — same code path, one
+//!   log file, inline.
+//! * `query` — scatter-gather latency: a selective time-window + GPS
+//!   query over fully-loaded in-memory shards, per-shard pruned scans
+//!   merged in `(timestamp, id)` order.
+//! * `pipeline` — a full fused-pipeline run over the sharded store via
+//!   the cross-shard morsel source, against the same run at 1 shard.
+//!
+//! Methodology is E22's: each cell is the **minimum** over `rounds`
+//! in-process rounds, cells interleaved round-robin so host-noise drift
+//! lands on every cell equally, round 0 is warmup and unrecorded. Prints
+//! one JSON object per cell, ready for `BENCH_sharding.json`:
+//!
+//! ```text
+//! cargo run --release -p stir-bench --bin sweep_sharding \
+//!     [tweets] [users] [rounds] > BENCH_sharding.json
+//! ```
+//!
+//! Defaults: 1,000,000 tweets over 100,000 users, 25 rounds (E22's
+//! round count — on a noisy shared host the per-cell minima need that
+//! many samples to converge). The PR-8 acceptance run is
+//! `sweep_sharding 10000000 1000000 3`.
+
+use std::time::Instant;
+
+use stir_bench::district_points;
+use stir_core::{PipelineBuilder, ProfileRow};
+use stir_geokr::Gazetteer;
+use stir_tweetstore::{Query, ShardedDurableStore, ShardedStore, TweetRecord};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+const PROFILE_TEXTS: [&str; 4] = [
+    "Seoul Yangcheon-gu",
+    "Seoul Gangnam-gu",
+    "Busan Jung-gu",
+    "Gyeonggi-do Bucheon-si",
+];
+
+/// Tweets spread over this many days of simulated time.
+const DAYS: u64 = 30;
+
+/// Same corpus shape as the other sweeps: `n` tweets over `users`
+/// authors, ~70% carrying a district-centroid GPS fix, short texts so
+/// WAL volume stays append-bound rather than memcpy-bound.
+fn corpus(g: &Gazetteer, n: usize, users: u64) -> Vec<TweetRecord> {
+    let points = district_points(g, 256, 42);
+    (0..n as u64)
+        .map(|i| TweetRecord {
+            id: i,
+            user: i % users,
+            timestamp: (i * 7_919) % (DAYS * 86_400),
+            gps: (i % 10 < 7).then(|| points[i as usize % points.len()]),
+            text: format!("t{i}"),
+        })
+        .collect()
+}
+
+fn profiles(users: u64) -> Vec<ProfileRow> {
+    (0..users)
+        .map(|u| ProfileRow {
+            user: u,
+            location_text: PROFILE_TEXTS[u as usize % PROFILE_TEXTS.len()].to_string(),
+        })
+        .collect()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Ingest,
+    Query,
+    Pipeline,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Ingest => "ingest",
+            Kind::Query => "query",
+            Kind::Pipeline => "pipeline",
+        }
+    }
+}
+
+struct Cell {
+    kind: Kind,
+    shards: usize,
+    best_nanos: u128,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args
+        .first()
+        .map(|a| a.parse().expect("tweets must be an integer"))
+        .unwrap_or(1_000_000);
+    let users: u64 = args
+        .get(1)
+        .map(|a| a.parse().expect("users must be an integer"))
+        .unwrap_or(100_000);
+    let rounds: usize = args
+        .get(2)
+        .map(|a| a.parse().expect("rounds must be an integer"))
+        .unwrap_or(25);
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let g: &'static Gazetteer = Box::leak(Box::new(Gazetteer::load()));
+    let recs = corpus(g, n, users);
+    let profs = profiles(users);
+
+    // In-memory sharded stores, one per shard count, shared by every
+    // `query` and `pipeline` round: those cells measure reads, not loads.
+    let loaded: Vec<(usize, ShardedStore)> = SHARD_COUNTS
+        .iter()
+        .map(|&s| {
+            let mut store = ShardedStore::new(s);
+            for r in &recs {
+                store.append(r);
+            }
+            (s, store)
+        })
+        .collect();
+    // A selective scatter-gather probe: one day of GPS tweets.
+    let probe = Query::all().between(7 * 86_400, 8 * 86_400).gps(true);
+    let pipeline = PipelineBuilder::new(g).build().unwrap();
+    let bench_dir = std::env::temp_dir().join(format!("stir-sweep-shard-{}", std::process::id()));
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        for kind in [Kind::Ingest, Kind::Query, Kind::Pipeline] {
+            cells.push(Cell {
+                kind,
+                shards,
+                best_nanos: u128::MAX,
+            });
+        }
+    }
+
+    for round in 0..=rounds {
+        for cell in cells.iter_mut() {
+            let nanos = match cell.kind {
+                Kind::Ingest => {
+                    let _ = std::fs::remove_dir_all(&bench_dir);
+                    let mut durable = ShardedDurableStore::open(&bench_dir, cell.shards).unwrap();
+                    let start = Instant::now();
+                    durable.ingest_parallel(&recs, workers).unwrap();
+                    durable.sync().unwrap();
+                    let nanos = start.elapsed().as_nanos();
+                    drop(durable);
+                    let _ = std::fs::remove_dir_all(&bench_dir);
+                    nanos
+                }
+                Kind::Query => {
+                    let store = &loaded.iter().find(|(s, _)| *s == cell.shards).unwrap().1;
+                    let start = Instant::now();
+                    let rows = store.query(&probe);
+                    let nanos = start.elapsed().as_nanos();
+                    assert!(!rows.is_empty(), "probe query must hit");
+                    nanos
+                }
+                Kind::Pipeline => {
+                    let store = &loaded.iter().find(|(s, _)| *s == cell.shards).unwrap().1;
+                    let p = profs.clone();
+                    let start = Instant::now();
+                    let result = pipeline.execute(p, store);
+                    let nanos = start.elapsed().as_nanos();
+                    assert!(result.funnel.users_final > 0, "pipeline must keep users");
+                    nanos
+                }
+            };
+            if round > 0 {
+                cell.best_nanos = cell.best_nanos.min(nanos.max(1));
+            }
+        }
+    }
+
+    println!("[");
+    for (i, cell) in cells.iter().enumerate() {
+        let elem_per_s = (n as u128 * 1_000_000_000 / cell.best_nanos) as u64;
+        println!(
+            "  {{\"bench\": \"{}\", \"shards\": {}, \"tweets\": {}, \"users\": {}, \
+             \"min_ms\": {:.3}, \"elem_per_s\": {}}}{}",
+            cell.kind.label(),
+            cell.shards,
+            n,
+            users,
+            cell.best_nanos as f64 / 1e6,
+            elem_per_s,
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    println!("]");
+}

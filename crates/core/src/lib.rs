@@ -75,7 +75,10 @@ pub use pipeline::{
     RefinementPipeline,
 };
 pub use reliability::ReliabilityWeights;
-pub use service::{AnalysisSession, DurableSession, SessionQuery, SessionSnapshot, SnapshotError};
+pub use service::{
+    AnalysisSession, DurableSession, SessionQuery, SessionSnapshot, ShardedDurableSession,
+    SnapshotError,
+};
 pub use stats::{GroupRow, GroupTable};
 pub use stir_geokr::{BackendChoice, BackendTraffic, FaultPlan, ResiliencePolicy};
 pub use string::LocationString;

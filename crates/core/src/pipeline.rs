@@ -42,7 +42,9 @@ use stir_geoindex::Point;
 use stir_geokr::service::{BackendChoice, FaultPlan, Geocoder, GeocoderBuilder, ResiliencePolicy};
 use stir_geokr::{DistrictId as GazDistrictId, Gazetteer};
 use stir_textgeo::{ProfileClass, ProfileClassifier};
-use stir_tweetstore::{HeaderBlocks, ScanMetrics, TweetStore};
+use stir_tweetstore::{
+    HeaderBlocks, ScanMetrics, ShardScanMetrics, ShardedHeaderBlocks, ShardedStore, TweetStore,
+};
 
 use crate::funnel::CollectionFunnel;
 use crate::granularity::Granularity;
@@ -458,6 +460,10 @@ pub enum PipelineInput<'a> {
     /// A tweet store scanned in place: zero-copy header decode, scan
     /// statistics filled into [`PipelineMetrics::scan`].
     Store(&'a TweetStore),
+    /// A user-hash-sharded store: shard blocks feed the fused engine
+    /// through a cross-shard morsel source, and [`PipelineMetrics::scan`]
+    /// gains per-shard rows (decode volume, WAL recovery outcome).
+    Shards(&'a ShardedStore),
 }
 
 impl<'a> PipelineInput<'a> {
@@ -489,6 +495,12 @@ impl<'a> From<&'a TweetStore> for PipelineInput<'a> {
     }
 }
 
+impl<'a> From<&'a ShardedStore> for PipelineInput<'a> {
+    fn from(store: &'a ShardedStore) -> Self {
+        PipelineInput::Shards(store)
+    }
+}
+
 /// [`HeaderBlocks`] as a [`MorselSource`]: store blocks feed the fused
 /// engine directly — each decoded header's fields go straight into the
 /// morsel's columns (no row value of any shape in between), and the
@@ -499,6 +511,29 @@ struct StoreSource<'s> {
 }
 
 impl MorselSource for StoreSource<'_> {
+    fn next_morsel(&self, buf: &mut ColumnBatch) -> Option<u64> {
+        buf.clear();
+        self.blocks
+            .next_block_headers(|h| buf.push(h.user, h.timestamp as i64, h.gps))
+    }
+
+    fn morsel_rows(&self) -> usize {
+        self.blocks.block_records()
+    }
+}
+
+/// [`ShardedHeaderBlocks`] as a [`MorselSource`]: the shard-by-shard block
+/// layout with cumulative ordinal bases keeps ordinals unique across the
+/// whole sharded store, and — because placement confines each user to one
+/// shard — every user's ordinals ascend in append order. Grouping state
+/// and first-seen tie-breaks are per-user, so the fused engine's output
+/// over this source is byte-identical to the single-store run even though
+/// the global scan order differs.
+struct ShardedSource<'s> {
+    blocks: ShardedHeaderBlocks<'s>,
+}
+
+impl MorselSource for ShardedSource<'_> {
     fn next_morsel(&self, buf: &mut ColumnBatch) -> Option<u64> {
         buf.clear();
         self.blocks
@@ -887,6 +922,7 @@ impl<'g> RefinementPipeline<'g> {
             PipelineInput::Rows(rows) => self.run_rows(profiles, rows),
             PipelineInput::Source(source) => self.run_source(profiles, source),
             PipelineInput::Store(store) => self.run_store(profiles, store),
+            PipelineInput::Shards(store) => self.run_shards(profiles, store),
         }
     }
 
@@ -988,6 +1024,7 @@ impl<'g> RefinementPipeline<'g> {
                 // The scan is fused into the pass: the filter operator's
                 // time is the closest honest measure of it.
                 wall: result.metrics.stages.tweet_intake,
+                per_shard: Vec::new(),
             });
             return result;
         }
@@ -1026,6 +1063,113 @@ impl<'g> RefinementPipeline<'g> {
             // The scan is interleaved with intake: the intake stage's wall
             // time is the closest honest measure of it.
             wall: result.metrics.stages.tweet_intake,
+            per_shard: Vec::new(),
+        });
+        result
+    }
+
+    /// Runs with tweets streamed out of a sharded store. The fused engine
+    /// consumes the cross-shard morsel source (shard-by-shard blocks with
+    /// cumulative ordinal bases); the staged reference path chains the
+    /// shards' serial scans in the same order. Either way the output is
+    /// byte-identical to the equivalent single-store run — placement is
+    /// per-user and so is every ordering the engine depends on — and
+    /// [`PipelineMetrics::scan`] gains one row per shard.
+    fn run_shards<PI>(&self, profiles: PI, store: &ShardedStore) -> AnalysisResult
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+    {
+        let stats = store.stats();
+        let per_shard_rows = |bytes: &[u64]| -> Vec<ShardScanMetrics> {
+            store
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(i, shard)| {
+                    let st = shard.stats();
+                    ShardScanMetrics {
+                        shard: i as u32,
+                        segments_total: st.segments as u64,
+                        segments_pruned: 0,
+                        records_stored: st.records,
+                        records_pruned: 0,
+                        bytes_decoded: bytes.get(i).copied().unwrap_or(0),
+                        wal: store.recovery()[i],
+                    }
+                })
+                .collect()
+        };
+        if self.config.is_fused() {
+            let source = ShardedSource {
+                blocks: ShardedHeaderBlocks::new(store, self.config.effective_morsel_rows()),
+            };
+            let mut result = self.run_source(profiles, &source);
+            let exec = result.metrics.exec.as_ref();
+            let shard_bytes: Vec<u64> = source
+                .blocks
+                .per_shard()
+                .iter()
+                .map(|p| p.bytes_decoded)
+                .collect();
+            result.metrics.scan = Some(ScanMetrics {
+                segments_total: stats.segments as u64,
+                records_stored: stats.records,
+                headers_decoded: source.blocks.headers_decoded(),
+                records_yielded: source.blocks.headers_decoded(),
+                records_corrupt: source.blocks.records_corrupt(),
+                bytes_stored: stats.payload_bytes,
+                bytes_decoded: source.blocks.bytes_decoded(),
+                threads: exec.map_or(1, |e| e.threads),
+                blocks_per_thread: exec.map_or_else(Vec::new, |e| e.morsels_per_thread.clone()),
+                wall: result.metrics.stages.tweet_intake,
+                per_shard: per_shard_rows(&shard_bytes),
+                ..Default::default()
+            });
+            return result;
+        }
+        let headers = AtomicU64::new(0);
+        let shard_bytes: Vec<AtomicU64> = (0..store.shard_count())
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        let corrupt = AtomicU64::new(0);
+        let tweets = store.shards().iter().enumerate().flat_map(|(i, shard)| {
+            let shard_bytes = &shard_bytes;
+            let headers = &headers;
+            let corrupt = &corrupt;
+            shard.scan_views().filter_map(move |r| match r {
+                Ok(v) => {
+                    headers.fetch_add(1, Ordering::Relaxed);
+                    shard_bytes[i].fetch_add(v.header_len() as u64, Ordering::Relaxed);
+                    Some(TweetRow {
+                        user: v.header.user,
+                        tweet_id: v.header.id,
+                        gps: v.header.gps,
+                    })
+                }
+                Err(_) => {
+                    corrupt.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            })
+        });
+        let mut result = self.run_rows(profiles, tweets);
+        let bytes: Vec<u64> = shard_bytes
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        result.metrics.scan = Some(ScanMetrics {
+            segments_total: stats.segments as u64,
+            records_stored: stats.records,
+            headers_decoded: headers.load(Ordering::Relaxed),
+            records_yielded: headers.load(Ordering::Relaxed),
+            records_corrupt: corrupt.load(Ordering::Relaxed),
+            bytes_stored: stats.payload_bytes,
+            bytes_decoded: bytes.iter().sum(),
+            threads: 1,
+            blocks_per_thread: vec![stats.segments as u64],
+            wall: result.metrics.stages.tweet_intake,
+            per_shard: per_shard_rows(&bytes),
+            ..Default::default()
         });
         result
     }

@@ -383,11 +383,12 @@ impl WorkerStats {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
+/// The engine's user hash is the store layer's shard hash — delegating
+/// keeps the two permutations identical by construction, so a sharded
+/// store's per-shard user populations spread across pipeline partitions
+/// exactly as a single store's would.
+fn splitmix64(x: u64) -> u64 {
+    stir_tweetstore::splitmix64(x)
 }
 
 /// The partition a user's keys land in — a pure function of the user id

@@ -32,6 +32,10 @@ pub struct Options {
     /// Route tweets through a `TweetStore` and the zero-copy store scan
     /// instead of feeding rows directly (`--from-store`).
     pub from_store: bool,
+    /// With `--from-store`: split the store into this many user-hash
+    /// shards and run the scatter-gather scan over them (`--shards N`).
+    /// Figure output is byte-identical to a single store at any count.
+    pub shards: usize,
     /// Run the staged reference pipeline instead of the fused
     /// morsel-driven engine (`--staged`). Figure output is byte-identical
     /// either way; the flag exists to prove exactly that.
@@ -54,6 +58,7 @@ impl Default for Options {
             faults: FaultPlan::default(),
             verbose: false,
             from_store: false,
+            shards: 1,
             staged: false,
             restore_midway: false,
         }
@@ -116,7 +121,33 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
         user: u.id.0,
         location_text: u.location_text.clone(),
     });
-    let result = if opts.from_store {
+    let result = if opts.from_store && opts.shards > 1 {
+        // Sharded store path: same ingest, but records land in
+        // `--shards` user-hash shards and the pipeline consumes the
+        // cross-shard scatter-gather scan. Every user's records stay in
+        // one shard in append order, so figure output is byte-identical
+        // to the single-store (and direct) path.
+        let mut store = stir_tweetstore::ShardedStore::new(opts.shards);
+        dataset.for_each_tweet(gazetteer, |t| {
+            store.append(&stir_tweetstore::TweetRecord {
+                id: t.id.0,
+                user: t.user.0,
+                timestamp: t.timestamp,
+                gps: t.gps,
+                text: t.text.clone(),
+            });
+        });
+        let stats = store.stats();
+        eprintln!(
+            "[{}] store: {} records across {} shard(s), {} segment(s), {} payload bytes",
+            label,
+            store.len(),
+            store.shard_count(),
+            stats.segments,
+            stats.payload_bytes
+        );
+        pipeline.execute(profiles, &store)
+    } else if opts.from_store {
         // Store-backed path: ingest the corpus into a TweetStore, then
         // stream it back out through the zero-copy header scan. Append
         // order equals the row-based iteration order, so figure output is

@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]
 //!                    [--threads-exact] [--backend gazetteer|yahoo|resilient]
-//!                    [--faults SPEC] [--from-store] [--staged] [--verbose]
+//!                    [--faults SPEC] [--from-store] [--shards N] [--staged] [--verbose]
 //!
 //! experiments:
 //!   table1    Table I   example location strings
@@ -128,6 +128,16 @@ fn parse(args: &[String]) -> Result<(String, Options, PathBuf), String> {
             }
             "--verbose" | "-v" => opts.verbose = true,
             "--from-store" => opts.from_store = true,
+            "--shards" => {
+                opts.shards = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|_| "--shards must be an integer")?;
+                if opts.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
             "--staged" => opts.staged = true,
             "--restore-midway" => opts.restore_midway = true,
             "--out" => {
@@ -150,7 +160,8 @@ fn print_help() {
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]\n\
          \x20                        [--threads-exact] [--backend gazetteer|yahoo|resilient]\n\
-         \x20                        [--faults SPEC] [--via-yahoo-xml] [--from-store] [--staged] [--verbose]\n\n\
+         \x20                        [--faults SPEC] [--via-yahoo-xml] [--from-store] [--shards N]\n\
+         \x20                        [--staged] [--verbose]\n\n\
          --threads is a ceiling: the scheduler caps it at the machine's cores and falls\n\
          back to serial when a warmup sample shows workers time-slicing; --threads-exact\n\
          makes it a command again (bench escape hatch);\n\
@@ -159,6 +170,8 @@ fn print_help() {
          (the resilient backend rides faults out without changing any figure output);\n\
          --from-store routes tweets through a TweetStore and the zero-copy header scan\n\
          instead of feeding rows directly (figure output is byte-identical either way);\n\
+         --shards N (with --from-store) splits the store into N user-hash shards and runs\n\
+         the scatter-gather scan over them — output stays byte-identical to one store;\n\
          --staged runs the staged reference pipeline instead of the fused morsel-driven\n\
          engine (again byte-identical — the flag exists to prove it);\n\
          --restore-midway (stream only) checkpoints the durable session halfway through\n\
@@ -254,6 +267,17 @@ mod tests {
         assert!(!opts.from_store);
         let (_, opts, _) = parse(&args(&["fig7", "--from-store"])).unwrap();
         assert!(opts.from_store);
+    }
+
+    #[test]
+    fn parse_shards() {
+        let (_, opts, _) = parse(&args(&["fig7", "--from-store"])).unwrap();
+        assert_eq!(opts.shards, 1);
+        let (_, opts, _) = parse(&args(&["fig7", "--from-store", "--shards", "8"])).unwrap();
+        assert_eq!(opts.shards, 8);
+        assert!(parse(&args(&["fig7", "--shards"])).is_err());
+        assert!(parse(&args(&["fig7", "--shards", "0"])).is_err());
+        assert!(parse(&args(&["fig7", "--shards", "x"])).is_err());
     }
 
     #[test]

@@ -264,6 +264,43 @@ fn store_backed_run_is_byte_identical_to_row_based() {
 }
 
 #[test]
+fn sharded_store_run_is_byte_identical_to_single_store() {
+    // PR-8 acceptance bar: splitting the store into user-hash shards and
+    // running the scatter-gather scan (`--from-store --shards N`) must
+    // not move a byte of figure output — fused or staged — relative to
+    // the single-store run.
+    let single = run(&["fig7", "--scale", "0.05", "--seed", "2012", "--from-store"]);
+    assert_eq!(single.2, Some(0), "stderr:\n{}", single.1);
+    for extra in [
+        &["--shards", "8"][..],
+        &["--shards", "3"][..],
+        &["--shards", "8", "--staged"][..],
+    ] {
+        let mut args = vec!["fig7", "--scale", "0.05", "--seed", "2012", "--from-store"];
+        args.extend_from_slice(extra);
+        let sharded = run(&args);
+        assert_eq!(sharded.2, Some(0), "stderr:\n{}", sharded.1);
+        assert_eq!(single.0, sharded.0, "fig7 drifted with {extra:?}");
+    }
+    // The sharded path announces itself on stderr.
+    let sharded = run(&[
+        "fig7",
+        "--scale",
+        "0.05",
+        "--seed",
+        "2012",
+        "--from-store",
+        "--shards",
+        "8",
+    ]);
+    assert!(
+        sharded.1.contains("8 shard(s)"),
+        "sharded path left no trace in stderr:\n{}",
+        sharded.1
+    );
+}
+
+#[test]
 fn fused_engine_is_byte_identical_to_the_staged_reference() {
     // The fused morsel engine's acceptance bar: the staged reference
     // pipeline (--staged, row-fed) pins the output, and the fused engine

@@ -82,13 +82,24 @@ pub fn gps_only(store: &TweetStore) -> (TweetStore, CompactionReport) {
     compact(store, |h| h.gps.is_some())
 }
 
-/// Keep only records whose author is in the (sorted) `users` list — the
-/// "well-defined profiles only" stage.
+/// Keep only records whose author is in the `users` list — the
+/// "well-defined profiles only" stage. The list may arrive in any order:
+/// the probe is a binary search, so an unsorted input is sorted into a
+/// local copy first (an already-sorted list pays nothing but the check —
+/// release builds used to skip straight to the search and silently drop
+/// survivors whose authors sat out of order).
 pub fn users_only(store: &TweetStore, users: &[u64]) -> (TweetStore, CompactionReport) {
-    debug_assert!(
-        users.windows(2).all(|w| w[0] <= w[1]),
-        "users must be sorted"
-    );
+    let sorted: Vec<u64>;
+    let users = if users.windows(2).all(|w| w[0] <= w[1]) {
+        users
+    } else {
+        sorted = {
+            let mut v = users.to_vec();
+            v.sort_unstable();
+            v
+        };
+        &sorted
+    };
     compact(store, |h| users.binary_search(&h.user).is_ok())
 }
 
@@ -137,6 +148,21 @@ mod tests {
             let u = r.unwrap().user;
             u == 2 || u == 5
         }));
+    }
+
+    #[test]
+    fn users_only_accepts_unsorted_caller_list() {
+        // Regression: the binary-search probe used to assume a sorted list
+        // and silently dropped survivors in release builds when callers
+        // passed one out of order.
+        let s = populated();
+        let (sorted, r_sorted) = users_only(&s, &[2, 5, 8]);
+        let (unsorted, r_unsorted) = users_only(&s, &[8, 2, 5]);
+        assert_eq!(r_sorted, r_unsorted);
+        assert_eq!(r_sorted.kept, 300);
+        let a: Vec<u64> = sorted.scan().map(|r| r.unwrap().id).collect();
+        let b: Vec<u64> = unsorted.scan().map(|r| r.unwrap().id).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

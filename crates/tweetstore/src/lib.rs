@@ -31,6 +31,10 @@
 //! * [`snapshot`] — append-only checkpoint frames for incremental
 //!   services: an opaque state payload plus the WAL record ordinal it
 //!   covers, newest-intact-frame recovery.
+//! * [`shard`] — user-hash-sharded scale-out: N independent stores behind
+//!   deterministic `splitmix64(user) % N` placement, with scatter-gather
+//!   queries, one WAL per shard (independent torn-tail recovery), a
+//!   cross-shard morsel source, and a cold-shard compaction scheduler.
 
 #![warn(missing_docs)]
 
@@ -40,6 +44,7 @@ pub mod persist;
 pub mod query;
 pub mod scan;
 pub mod segment;
+pub mod shard;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
@@ -47,8 +52,11 @@ pub mod wal;
 pub use codec::{TweetHeader, TweetRecord, TweetView};
 pub use compact::{compact, gps_only, users_only, CompactionReport};
 pub use query::{AccessPath, Query};
-pub use scan::{HeaderBlocks, ScanMetrics, ScanOptions};
+pub use scan::{HeaderBlocks, ScanMetrics, ScanOptions, ShardScanMetrics};
 pub use segment::ZoneMap;
+pub use shard::{
+    shard_of, splitmix64, CompactionPolicy, ShardedDurableStore, ShardedHeaderBlocks, ShardedStore,
+};
 pub use snapshot::{append_snapshot, latest_snapshot, SnapshotFrame};
 pub use store::{RecordPtr, StoreStats, TweetStore};
-pub use wal::{DurableStore, Wal};
+pub use wal::{DurableStore, Wal, WalRecovery};

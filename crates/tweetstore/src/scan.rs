@@ -27,6 +27,7 @@ use crate::codec::{TweetHeader, TweetView};
 use crate::query::Query;
 use crate::segment::Segment;
 use crate::store::TweetStore;
+use crate::wal::WalRecovery;
 
 /// Default records per work block for the parallel scan.
 pub const DEFAULT_SCAN_BLOCK: usize = 4096;
@@ -98,6 +99,30 @@ pub struct ScanMetrics {
     pub blocks_per_thread: Vec<u64>,
     /// Wall-clock time of the scan.
     pub wall: Duration,
+    /// Per-shard breakdown when the scan ran over a sharded store
+    /// (empty for single-store scans). Rendered as one row per shard.
+    pub per_shard: Vec<ShardScanMetrics>,
+}
+
+/// One shard's slice of a sharded scan: pruning, decode volume, and the
+/// WAL recovery outcome the shard opened with (if it opened from a log).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardScanMetrics {
+    /// Shard index.
+    pub shard: u32,
+    /// Segments the shard holds.
+    pub segments_total: u64,
+    /// Segments zone-map-pruned in this shard.
+    pub segments_pruned: u64,
+    /// Records the shard holds.
+    pub records_stored: u64,
+    /// Records inside this shard's pruned segments.
+    pub records_pruned: u64,
+    /// Bytes decoded from this shard.
+    pub bytes_decoded: u64,
+    /// How this shard's WAL recovery went at open (`None` when the shard
+    /// was built in memory or loaded from a persisted snapshot).
+    pub wal: Option<WalRecovery>,
 }
 
 impl ScanMetrics {
@@ -156,6 +181,24 @@ impl ScanMetrics {
             self.blocks_per_thread,
             self.records_per_sec(),
         ));
+        for s in &self.per_shard {
+            out.push_str(&format!(
+                "  shard {}: {}/{} segments pruned, {}/{} records pruned, {} bytes decoded",
+                s.shard,
+                s.segments_pruned,
+                s.segments_total,
+                s.records_pruned,
+                s.records_stored,
+                s.bytes_decoded,
+            ));
+            match s.wal {
+                Some(w) => out.push_str(&format!(
+                    ", wal recovered {} (truncated {} B)\n",
+                    w.recovered, w.truncated_bytes
+                )),
+                None => out.push('\n'),
+            }
+        }
         out
     }
 }

@@ -140,10 +140,21 @@ impl TweetStore {
     /// the same FNV-1a checksum persistence uses, so a raw-copy path can
     /// never silently corrupt a record. Used by compaction and WAL replay.
     pub fn append_raw(&mut self, frame: &[u8]) -> Result<RecordPtr, CodecError> {
+        self.append_raw_with_crc(frame, fnv1a(frame))
+    }
+
+    /// [`TweetStore::append_raw`] when the caller already holds the
+    /// frame's FNV-1a checksum (the WAL framing carries it): the copied
+    /// bytes are verified against it directly, skipping the second hash
+    /// pass while keeping the same end-to-end guarantee.
+    pub(crate) fn append_raw_with_crc(
+        &mut self,
+        frame: &[u8],
+        expected: u32,
+    ) -> Result<RecordPtr, CodecError> {
         self.roll_if_full();
         let seg = self.sealed.len() as u32;
         let (slot, header) = self.active.append_raw_frame(frame)?;
-        let expected = fnv1a(frame);
         let actual = fnv1a(self.active.raw(slot));
         if expected != actual {
             return Err(CodecError::ChecksumMismatch { expected, actual });

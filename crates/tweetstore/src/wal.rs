@@ -18,11 +18,23 @@ use crate::store::TweetStore;
 /// Magic header of WAL files.
 const MAGIC: &[u8; 8] = b"STIRWAL1";
 
+/// What recovering one WAL did — how many records replayed cleanly and
+/// how many torn-tail bytes were truncated. One of these per shard is the
+/// per-shard recovery outcome a sharded open reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Records replayed into the store.
+    pub recovered: u64,
+    /// Bytes dropped from the log's torn or corrupt tail (0 = clean).
+    pub truncated_bytes: u64,
+}
+
 /// An append-only write-ahead log.
 pub struct Wal {
     path: PathBuf,
     writer: BufWriter<File>,
     appended: u64,
+    scratch: Vec<u8>,
 }
 
 impl Wal {
@@ -50,6 +62,7 @@ impl Wal {
             path: path.to_path_buf(),
             writer: BufWriter::new(file),
             appended: 0,
+            scratch: Vec::new(),
         })
     }
 
@@ -65,13 +78,38 @@ impl Wal {
 
     /// Appends one record frame (buffered; see [`Wal::sync`]).
     pub fn append(&mut self, rec: &TweetRecord) -> Result<(), PersistError> {
-        let mut payload = Vec::with_capacity(64);
+        let mut payload = std::mem::take(&mut self.scratch);
+        payload.clear();
         encode_record(&mut payload, rec);
+        let res = self.append_payload(&payload, fnv1a(&payload));
+        self.scratch = payload;
+        res
+    }
+
+    /// Appends one already-encoded record payload under the caller's
+    /// checksum — the encode-once path: a batch ingest that also feeds the
+    /// bytes to a store frames them here without re-encoding.
+    pub(crate) fn append_payload(&mut self, payload: &[u8], crc: u32) -> Result<(), PersistError> {
         self.writer
             .write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.writer.write_all(&fnv1a(&payload).to_le_bytes())?;
-        self.writer.write_all(&payload)?;
+        self.writer.write_all(&crc.to_le_bytes())?;
+        self.writer.write_all(payload)?;
         self.appended += 1;
+        Ok(())
+    }
+
+    /// Appends `records` pre-framed records (`len·crc·payload` runs laid
+    /// out exactly as [`Wal::append`] writes them) in one buffered write.
+    /// The staged batch-ingest path frames records while encoding them for
+    /// the store, so the log bytes are identical to per-record appends of
+    /// the same sequence.
+    pub(crate) fn append_framed(
+        &mut self,
+        framed: &[u8],
+        records: u64,
+    ) -> Result<(), PersistError> {
+        self.writer.write_all(framed)?;
+        self.appended += records;
         Ok(())
     }
 
