@@ -1,0 +1,258 @@
+//! Minimum-time sweep of the columnar sealed-segment format (`STIRSEG2`)
+//! against the row baseline (`STIRSEG1`), answering the questions the
+//! columnar-store work asks of the storage layer (E25):
+//!
+//! * `scan_all` — match-all header-only scan throughput: a full
+//!   [`HeaderBlocks`] pass over every segment counting GPS fixes. On a v2
+//!   store the sealed segments stream out as [`BlockChunk::Columns`]
+//!   slices with no per-record decode; on v1 every header is varint-decoded.
+//! * `scan_day` — a selective one-day GPS query through the planner
+//!   ([`Query::between`] + `gps(true)`): zone-map pruning plus
+//!   point reads, where v2 pays a per-slot column cursor instead of a
+//!   frame decode.
+//! * `e2e` — the full fused pipeline over the store (the `--from-store`
+//!   path), where scan cost is one stage among many.
+//! * `disk_bytes` — on-disk footprint of [`persist::save`]: compressed
+//!   columns (v2) vs raw row frames (v1). Reported in bytes, not time.
+//!
+//! Methodology is E22's: each timed cell is the **minimum** over `rounds`
+//! in-process rounds, cells interleaved round-robin so host-noise drift
+//! lands on every cell equally, round 0 is warmup and unrecorded. Prints
+//! one JSON object per cell, recorded as the `cells` of the E25 entry in
+//! `BENCH_tweetstore.json` (which also holds E20's scan benchmarks):
+//!
+//! ```text
+//! cargo run --release -p stir-bench --bin sweep_tweetstore [rounds]
+//! ```
+//!
+//! Defaults: 25 rounds over corpora of 50,000 and 200,000 tweets (the
+//! acceptance sizes). Segments roll at 256 KiB of row-equivalent payload
+//! so both sizes seal several segments — the default 4 MiB threshold
+//! would leave a 50k-record store entirely in its row-format open tail
+//! and measure nothing.
+
+use std::time::Instant;
+
+use stir_bench::district_points;
+use stir_core::{PipelineBuilder, ProfileRow};
+use stir_geokr::Gazetteer;
+use stir_tweetstore::{
+    colseg::NO_GPS_E6, persist, BlockChunk, HeaderBlocks, Query, StoreFormat, TweetRecord,
+    TweetStore,
+};
+
+const SIZES: [usize; 2] = [50_000, 200_000];
+const FORMATS: [StoreFormat; 2] = [StoreFormat::V1, StoreFormat::V2];
+
+/// Row-equivalent payload bytes per segment. Shared by both formats, so
+/// segment geometry — and therefore zone-map pruning — is identical.
+const SEGMENT_BYTES: usize = 256 * 1024;
+
+const PROFILE_TEXTS: [&str; 4] = [
+    "Seoul Yangcheon-gu",
+    "Seoul Gangnam-gu",
+    "Busan Jung-gu",
+    "Gyeonggi-do Bucheon-si",
+];
+
+/// Tweets spread over this many days of simulated time.
+const DAYS: u64 = 30;
+
+/// Same corpus shape as the other sweeps: `n` tweets over `n / 10`
+/// authors, ~70% carrying a district-centroid GPS fix, short texts.
+fn corpus(g: &Gazetteer, n: usize) -> Vec<TweetRecord> {
+    let users = (n as u64 / 10).max(1);
+    let points = district_points(g, 256, 42);
+    (0..n as u64)
+        .map(|i| TweetRecord {
+            id: i,
+            user: i % users,
+            timestamp: (i * 7_919) % (DAYS * 86_400),
+            gps: (i % 10 < 7).then(|| points[i as usize % points.len()]),
+            text: format!("t{i}"),
+        })
+        .collect()
+}
+
+fn profiles(n: usize) -> Vec<ProfileRow> {
+    let users = (n as u64 / 10).max(1);
+    (0..users)
+        .map(|u| ProfileRow {
+            user: u,
+            location_text: PROFILE_TEXTS[u as usize % PROFILE_TEXTS.len()].to_string(),
+        })
+        .collect()
+}
+
+fn build(recs: &[TweetRecord], format: StoreFormat) -> TweetStore {
+    let mut store = TweetStore::with_segment_bytes_and_format(SEGMENT_BYTES, format);
+    for r in recs {
+        store.append(r);
+    }
+    store
+}
+
+/// Match-all header-only scan: stream every segment through the mixed
+/// block API and count GPS fixes. This is exactly what the fused
+/// pipeline's morsel source does, minus the pipeline.
+fn scan_all(store: &TweetStore) -> u64 {
+    let blocks = HeaderBlocks::new(store, 4096);
+    let mut gps = 0u64;
+    while blocks
+        .next_block_mixed(|chunk| match chunk {
+            BlockChunk::Columns(c) => {
+                gps += c.lats_e6.iter().filter(|&&lat| lat != NO_GPS_E6).count() as u64;
+            }
+            BlockChunk::Header(h) => gps += u64::from(h.gps.is_some()),
+        })
+        .is_some()
+    {}
+    gps
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    ScanAll,
+    ScanDay,
+    E2e,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::ScanAll => "scan_all",
+            Kind::ScanDay => "scan_day",
+            Kind::E2e => "e2e",
+        }
+    }
+}
+
+struct Cell {
+    kind: Kind,
+    size_idx: usize,
+    format: StoreFormat,
+    best_nanos: u128,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rounds: usize = args
+        .first()
+        .map(|a| a.parse().expect("rounds must be an integer"))
+        .unwrap_or(25);
+
+    let g: &'static Gazetteer = Box::leak(Box::new(Gazetteer::load()));
+
+    // One loaded store per (size, format); every timed cell measures
+    // reads over these, not loads.
+    let loaded: Vec<Vec<TweetStore>> = SIZES
+        .iter()
+        .map(|&n| {
+            let recs = corpus(g, n);
+            FORMATS.iter().map(|&f| build(&recs, f)).collect()
+        })
+        .collect();
+    let profs: Vec<Vec<ProfileRow>> = SIZES.iter().map(|&n| profiles(n)).collect();
+    // A selective probe: one day of GPS tweets (1/30th of the corpus).
+    let probe = Query::all().between(7 * 86_400, 8 * 86_400).gps(true);
+    let pipeline = PipelineBuilder::new(g).build().unwrap();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for size_idx in 0..SIZES.len() {
+        for &format in &FORMATS {
+            for kind in [Kind::ScanAll, Kind::ScanDay, Kind::E2e] {
+                cells.push(Cell {
+                    kind,
+                    size_idx,
+                    format,
+                    best_nanos: u128::MAX,
+                });
+            }
+        }
+    }
+
+    for round in 0..=rounds {
+        for cell in cells.iter_mut() {
+            let fmt_idx = FORMATS.iter().position(|&f| f == cell.format).unwrap();
+            let store = &loaded[cell.size_idx][fmt_idx];
+            let nanos = match cell.kind {
+                Kind::ScanAll => {
+                    let start = Instant::now();
+                    let gps = scan_all(store);
+                    let nanos = start.elapsed().as_nanos();
+                    assert!(gps > 0, "match-all scan must see GPS fixes");
+                    nanos
+                }
+                Kind::ScanDay => {
+                    let start = Instant::now();
+                    let rows = probe.execute(store);
+                    let nanos = start.elapsed().as_nanos();
+                    assert!(!rows.is_empty(), "probe query must hit");
+                    nanos
+                }
+                Kind::E2e => {
+                    let p = profs[cell.size_idx].clone();
+                    let start = Instant::now();
+                    let result = pipeline.execute(p, store);
+                    let nanos = start.elapsed().as_nanos();
+                    assert!(result.funnel.users_final > 0, "pipeline must keep users");
+                    nanos
+                }
+            };
+            if round > 0 {
+                cell.best_nanos = cell.best_nanos.min(nanos.max(1));
+            }
+        }
+    }
+
+    // On-disk footprint: save each store once and sum the directory.
+    // Bytes are deterministic, so no rounds needed.
+    let save_dir =
+        std::env::temp_dir().join(format!("stir-sweep-tweetstore-{}", std::process::id()));
+    let disk: Vec<Vec<u64>> = loaded
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|store| {
+                    let _ = std::fs::remove_dir_all(&save_dir);
+                    persist::save(store, &save_dir).expect("save store");
+                    let bytes = std::fs::read_dir(&save_dir)
+                        .expect("read save dir")
+                        .map(|e| e.expect("dir entry").metadata().expect("metadata").len())
+                        .sum();
+                    let _ = std::fs::remove_dir_all(&save_dir);
+                    bytes
+                })
+                .collect()
+        })
+        .collect();
+
+    println!("[");
+    for cell in cells.iter() {
+        let n = SIZES[cell.size_idx];
+        let elem_per_s = (n as u128 * 1_000_000_000 / cell.best_nanos) as u64;
+        println!(
+            "  {{\"bench\": \"{}\", \"format\": \"{}\", \"tweets\": {}, \
+             \"min_ms\": {:.3}, \"elem_per_s\": {}}},",
+            cell.kind.label(),
+            cell.format.as_str(),
+            n,
+            cell.best_nanos as f64 / 1e6,
+            elem_per_s,
+        );
+    }
+    for (size_idx, row) in disk.iter().enumerate() {
+        for (fmt_idx, &bytes) in row.iter().enumerate() {
+            let last = size_idx + 1 == disk.len() && fmt_idx + 1 == row.len();
+            println!(
+                "  {{\"bench\": \"disk_bytes\", \"format\": \"{}\", \"tweets\": {}, \
+                 \"bytes\": {}}}{}",
+                FORMATS[fmt_idx].as_str(),
+                SIZES[size_idx],
+                bytes,
+                if last { "" } else { "," }
+            );
+        }
+    }
+    println!("]");
+}

@@ -673,6 +673,10 @@ mod tests {
                 threads: 1,
                 blocks_per_thread: vec![6],
                 wall: Duration::from_millis(2),
+                segments_row: 3,
+                segments_col: 7,
+                col_bytes_read: 9_000,
+                row_bytes_equiv: 11_000,
                 ..Default::default()
             }),
             ..Default::default()
@@ -682,6 +686,7 @@ mod tests {
             "store scan: 4/10 segments pruned, 400/1000 records skipped (40.0%)",
             "headers decoded 600  rejected 100  yielded 500",
             "bytes decoded 12000 of 80000 stored (15.0%)",
+            "formats: 3 row / 7 col segments; column bytes read 9000 vs row-equivalent 11000",
             "records/sec",
         ] {
             assert!(r.contains(needle), "render missing {needle:?}:\n{r}");

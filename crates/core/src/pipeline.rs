@@ -43,7 +43,8 @@ use stir_geokr::service::{BackendChoice, FaultPlan, Geocoder, GeocoderBuilder, R
 use stir_geokr::{DistrictId as GazDistrictId, Gazetteer};
 use stir_textgeo::{ProfileClass, ProfileClassifier};
 use stir_tweetstore::{
-    HeaderBlocks, ScanMetrics, ShardScanMetrics, ShardedHeaderBlocks, ShardedStore, TweetStore,
+    BlockChunk, HeaderBlocks, ScanMetrics, ShardScanMetrics, ShardedHeaderBlocks, ShardedStore,
+    TweetStore,
 };
 
 use crate::funnel::CollectionFunnel;
@@ -513,8 +514,14 @@ struct StoreSource<'s> {
 impl MorselSource for StoreSource<'_> {
     fn next_morsel(&self, buf: &mut ColumnBatch) -> Option<u64> {
         buf.clear();
-        self.blocks
-            .next_block_headers(|h| buf.push(h.user, h.timestamp as i64, h.gps))
+        self.blocks.next_block_mixed(|chunk| match chunk {
+            // Columnar (STIRSEG2) block: bulk-copy the primitive slices,
+            // no per-record header is ever assembled.
+            BlockChunk::Columns(c) => {
+                buf.push_store_columns(c.users, c.timestamps, c.lats_e6, c.lons_e6)
+            }
+            BlockChunk::Header(h) => buf.push(h.user, h.timestamp as i64, h.gps),
+        })
     }
 
     fn morsel_rows(&self) -> usize {
@@ -536,8 +543,12 @@ struct ShardedSource<'s> {
 impl MorselSource for ShardedSource<'_> {
     fn next_morsel(&self, buf: &mut ColumnBatch) -> Option<u64> {
         buf.clear();
-        self.blocks
-            .next_block_headers(|h| buf.push(h.user, h.timestamp as i64, h.gps))
+        self.blocks.next_block_mixed(|chunk| match chunk {
+            BlockChunk::Columns(c) => {
+                buf.push_store_columns(c.users, c.timestamps, c.lats_e6, c.lons_e6)
+            }
+            BlockChunk::Header(h) => buf.push(h.user, h.timestamp as i64, h.gps),
+        })
     }
 
     fn morsel_rows(&self) -> usize {
@@ -1019,6 +1030,10 @@ impl<'g> RefinementPipeline<'g> {
                 records_corrupt: source.blocks.records_corrupt(),
                 bytes_stored: stats.payload_bytes,
                 bytes_decoded: source.blocks.bytes_decoded(),
+                segments_row: source.blocks.segments_row(),
+                segments_col: source.blocks.segments_col(),
+                col_bytes_read: source.blocks.col_bytes_read(),
+                row_bytes_equiv: source.blocks.row_bytes_equiv(),
                 threads: exec.map_or(1, |e| e.threads),
                 blocks_per_thread: exec.map_or_else(Vec::new, |e| e.morsels_per_thread.clone()),
                 // The scan is fused into the pass: the filter operator's
@@ -1047,6 +1062,7 @@ impl<'g> RefinementPipeline<'g> {
             }
         });
         let mut result = self.run_rows(profiles, tweets);
+        let seg_col = store.segments().iter().filter(|s| s.is_columnar()).count() as u64;
         result.metrics.scan = Some(ScanMetrics {
             segments_total: stats.segments as u64,
             segments_pruned: 0,
@@ -1058,6 +1074,12 @@ impl<'g> RefinementPipeline<'g> {
             records_corrupt: corrupt.load(Ordering::Relaxed),
             bytes_stored: stats.payload_bytes,
             bytes_decoded: header_bytes.load(Ordering::Relaxed),
+            segments_row: stats.segments as u64 - seg_col,
+            segments_col: seg_col,
+            // The staged path materializes per-record views either way;
+            // the column/row byte split is tracked on the fused path only.
+            col_bytes_read: 0,
+            row_bytes_equiv: 0,
             threads: 1,
             blocks_per_thread: vec![stats.segments as u64],
             // The scan is interleaved with intake: the intake stage's wall
@@ -1119,6 +1141,10 @@ impl<'g> RefinementPipeline<'g> {
                 records_corrupt: source.blocks.records_corrupt(),
                 bytes_stored: stats.payload_bytes,
                 bytes_decoded: source.blocks.bytes_decoded(),
+                segments_row: source.blocks.segments_row(),
+                segments_col: source.blocks.segments_col(),
+                col_bytes_read: source.blocks.col_bytes_read(),
+                row_bytes_equiv: source.blocks.row_bytes_equiv(),
                 threads: exec.map_or(1, |e| e.threads),
                 blocks_per_thread: exec.map_or_else(Vec::new, |e| e.morsels_per_thread.clone()),
                 wall: result.metrics.stages.tweet_intake,
@@ -1157,6 +1183,11 @@ impl<'g> RefinementPipeline<'g> {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        let seg_col: u64 = store
+            .shards()
+            .iter()
+            .map(|s| s.segments().iter().filter(|g| g.is_columnar()).count() as u64)
+            .sum();
         result.metrics.scan = Some(ScanMetrics {
             segments_total: stats.segments as u64,
             records_stored: stats.records,
@@ -1165,6 +1196,8 @@ impl<'g> RefinementPipeline<'g> {
             records_corrupt: corrupt.load(Ordering::Relaxed),
             bytes_stored: stats.payload_bytes,
             bytes_decoded: bytes.iter().sum(),
+            segments_row: stats.segments as u64 - seg_col,
+            segments_col: seg_col,
             threads: 1,
             blocks_per_thread: vec![stats.segments as u64],
             wall: result.metrics.stages.tweet_intake,

@@ -84,7 +84,7 @@ pub const FUSED_PARALLEL_THRESHOLD: usize = 1024;
 const WARMUP_MORSELS: usize = 2;
 
 /// The `lats_e6`/`lons_e6` sentinel for a row without a GPS fix.
-/// [`quant_e6`] clamps real coordinates to `i32::MIN + 1`, so no finite
+/// `quant_e6` clamps real coordinates to `i32::MIN + 1`, so no finite
 /// (or infinite) coordinate can alias it.
 pub const NO_GPS_E6: i32 = i32::MIN;
 
@@ -190,6 +190,48 @@ impl ColumnBatch {
     #[inline]
     pub fn push_row(&mut self, row: &TweetRow) {
         self.push(row.user, 0, row.gps);
+    }
+
+    /// Bulk-appends one block of tweet-store column slices — the
+    /// zero-decode path from a columnar (`STIRSEG2`) segment.
+    ///
+    /// The store's e6 integers use round-to-nearest while this batch's
+    /// grid uses `quant_e6`'s truncation, so each coordinate is mapped
+    /// through the exact `f64` it decodes to (`e6 / 1e6` — lossless for
+    /// any µ° integer) and re-quantized. That makes every column land
+    /// byte-identically to [`ColumnBatch::push`] fed by the row-decode
+    /// path, which is what keeps v1 and v2 pipeline outputs equal.
+    /// `i32::MIN` marks a GPS-less row in the store columns, matching
+    /// [`NO_GPS_E6`] here.
+    pub fn push_store_columns(
+        &mut self,
+        users: &[u64],
+        timestamps: &[u64],
+        lats_e6: &[i32],
+        lons_e6: &[i32],
+    ) {
+        debug_assert!(
+            users.len() == timestamps.len()
+                && users.len() == lats_e6.len()
+                && users.len() == lons_e6.len()
+        );
+        self.users.extend_from_slice(users);
+        self.timestamps.extend(timestamps.iter().map(|&t| t as i64));
+        for i in 0..users.len() {
+            if lats_e6[i] == NO_GPS_E6 {
+                self.lats_e6.push(NO_GPS_E6);
+                self.lons_e6.push(NO_GPS_E6);
+                self.lats.push(0.0);
+                self.lons.push(0.0);
+            } else {
+                let lat = lats_e6[i] as f64 / 1e6;
+                let lon = lons_e6[i] as f64 / 1e6;
+                self.lats_e6.push(quant_e6(lat));
+                self.lons_e6.push(quant_e6(lon));
+                self.lats.push(lat);
+                self.lons.push(lon);
+            }
+        }
     }
 
     /// Total allocated capacity across all columns, in bytes — the

@@ -5,6 +5,7 @@ use stir_core::{
     RefinementPipeline, TweetRow,
 };
 use stir_geokr::Gazetteer;
+use stir_tweetstore::StoreFormat;
 use stir_twitter_sim::datasets::{Dataset, DatasetSpec};
 
 /// Command-line options shared by every experiment.
@@ -36,6 +37,11 @@ pub struct Options {
     /// shards and run the scatter-gather scan over them (`--shards N`).
     /// Figure output is byte-identical to a single store at any count.
     pub shards: usize,
+    /// With `--from-store`: sealed-segment encoding
+    /// (`--store-format {v1,v2}`). `v1` keeps row frames; `v2` seals
+    /// columnar `STIRSEG2` segments and scans them through the direct
+    /// column path. Figure output is byte-identical either way.
+    pub store_format: StoreFormat,
     /// Run the staged reference pipeline instead of the fused
     /// morsel-driven engine (`--staged`). Figure output is byte-identical
     /// either way; the flag exists to prove exactly that.
@@ -59,6 +65,7 @@ impl Default for Options {
             verbose: false,
             from_store: false,
             shards: 1,
+            store_format: StoreFormat::V1,
             staged: false,
             restore_midway: false,
         }
@@ -128,6 +135,7 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
         // one shard in append order, so figure output is byte-identical
         // to the single-store (and direct) path.
         let mut store = stir_tweetstore::ShardedStore::new(opts.shards);
+        store.set_format(opts.store_format);
         dataset.for_each_tweet(gazetteer, |t| {
             store.append(&stir_tweetstore::TweetRecord {
                 id: t.id.0,
@@ -139,12 +147,13 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
         });
         let stats = store.stats();
         eprintln!(
-            "[{}] store: {} records across {} shard(s), {} segment(s), {} payload bytes",
+            "[{}] store: {} records across {} shard(s), {} segment(s), {} payload bytes, format {}",
             label,
             store.len(),
             store.shard_count(),
             stats.segments,
-            stats.payload_bytes
+            stats.payload_bytes,
+            store.format().as_str()
         );
         pipeline.execute(profiles, &store)
     } else if opts.from_store {
@@ -152,7 +161,7 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
         // stream it back out through the zero-copy header scan. Append
         // order equals the row-based iteration order, so figure output is
         // byte-identical to the direct path.
-        let mut store = stir_tweetstore::TweetStore::new();
+        let mut store = stir_tweetstore::TweetStore::with_format(opts.store_format);
         dataset.for_each_tweet(gazetteer, |t| {
             store.append(&stir_tweetstore::TweetRecord {
                 id: t.id.0,
@@ -163,11 +172,12 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
             });
         });
         eprintln!(
-            "[{}] store: {} records in {} segment(s), {} payload bytes",
+            "[{}] store: {} records in {} segment(s), {} payload bytes, format {}",
             label,
             store.len(),
             store.stats().segments,
-            store.stats().payload_bytes
+            store.stats().payload_bytes,
+            store.format().as_str()
         );
         pipeline.execute(profiles, &store)
     } else {

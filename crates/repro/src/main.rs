@@ -3,7 +3,8 @@
 //! ```text
 //! repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]
 //!                    [--threads-exact] [--backend gazetteer|yahoo|resilient]
-//!                    [--faults SPEC] [--from-store] [--shards N] [--staged] [--verbose]
+//!                    [--faults SPEC] [--from-store] [--shards N]
+//!                    [--store-format v1|v2] [--staged] [--verbose]
 //!
 //! experiments:
 //!   table1    Table I   example location strings
@@ -138,6 +139,11 @@ fn parse(args: &[String]) -> Result<(String, Options, PathBuf), String> {
                     return Err("--shards must be at least 1".into());
                 }
             }
+            "--store-format" => {
+                let spec = it.next().ok_or("--store-format needs a value (v1 or v2)")?;
+                opts.store_format = stir_tweetstore::StoreFormat::parse(spec)
+                    .ok_or_else(|| format!("--store-format must be v1 or v2, got {spec:?}"))?;
+            }
             "--staged" => opts.staged = true,
             "--restore-midway" => opts.restore_midway = true,
             "--out" => {
@@ -161,7 +167,7 @@ fn print_help() {
          usage: repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]\n\
          \x20                        [--threads-exact] [--backend gazetteer|yahoo|resilient]\n\
          \x20                        [--faults SPEC] [--via-yahoo-xml] [--from-store] [--shards N]\n\
-         \x20                        [--staged] [--verbose]\n\n\
+         \x20                        [--store-format v1|v2] [--staged] [--verbose]\n\n\
          --threads is a ceiling: the scheduler caps it at the machine's cores and falls\n\
          back to serial when a warmup sample shows workers time-slicing; --threads-exact\n\
          makes it a command again (bench escape hatch);\n\
@@ -172,6 +178,8 @@ fn print_help() {
          instead of feeding rows directly (figure output is byte-identical either way);\n\
          --shards N (with --from-store) splits the store into N user-hash shards and runs\n\
          the scatter-gather scan over them — output stays byte-identical to one store;\n\
+         --store-format v2 (with --from-store) seals columnar STIRSEG2 segments instead of\n\
+         row frames and scans them through the direct column path — again byte-identical;\n\
          --staged runs the staged reference pipeline instead of the fused morsel-driven\n\
          engine (again byte-identical — the flag exists to prove it);\n\
          --restore-midway (stream only) checkpoints the durable session halfway through\n\
@@ -278,6 +286,28 @@ mod tests {
         assert!(parse(&args(&["fig7", "--shards"])).is_err());
         assert!(parse(&args(&["fig7", "--shards", "0"])).is_err());
         assert!(parse(&args(&["fig7", "--shards", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_store_format() {
+        use stir_tweetstore::StoreFormat;
+        let (_, opts, _) = parse(&args(&["fig7", "--from-store"])).unwrap();
+        assert_eq!(opts.store_format, StoreFormat::V1);
+        let (_, opts, _) = parse(&args(&["fig7", "--from-store", "--store-format", "v2"])).unwrap();
+        assert_eq!(opts.store_format, StoreFormat::V2);
+        let (_, opts, _) = parse(&args(&[
+            "fig7",
+            "--from-store",
+            "--shards",
+            "8",
+            "--store-format",
+            "v2",
+        ]))
+        .unwrap();
+        assert_eq!(opts.store_format, StoreFormat::V2);
+        assert_eq!(opts.shards, 8);
+        assert!(parse(&args(&["fig7", "--store-format"])).is_err());
+        assert!(parse(&args(&["fig7", "--store-format", "v3"])).is_err());
     }
 
     #[test]

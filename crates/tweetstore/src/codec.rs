@@ -121,6 +121,43 @@ pub fn encode_record<B: BufMut>(buf: &mut B, rec: &TweetRecord) {
     buf.put_slice(rec.text.as_bytes());
 }
 
+/// Encodes one record onto `buf` from already-quantized parts — the
+/// columnar→row conversion path. Byte-identical to [`encode_record`] on
+/// the record those parts decode to: GPS coordinates are written as the
+/// stored µ° integers directly, so no float round-trip can perturb them.
+pub(crate) fn encode_parts<B: BufMut>(
+    buf: &mut B,
+    id: u64,
+    user: u64,
+    timestamp: u64,
+    gps_e6: Option<(i32, i32)>,
+    text: &[u8],
+) {
+    put_varint(buf, id);
+    put_varint(buf, user);
+    put_varint(buf, timestamp);
+    match gps_e6 {
+        Some((lat_e6, lon_e6)) => {
+            buf.put_u8(FLAG_GPS);
+            buf.put_i32_le(lat_e6);
+            buf.put_i32_le(lon_e6);
+        }
+        None => buf.put_u8(0),
+    }
+    put_varint(buf, text.len() as u64);
+    buf.put_slice(text);
+}
+
+/// Zigzag-encodes a signed delta so small magnitudes stay small varints.
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
 /// Decodes one record from `buf`, advancing it.
 pub fn decode_record<B: Buf>(buf: &mut B) -> Result<TweetRecord, CodecError> {
     let id = get_varint(buf)?;
@@ -204,6 +241,19 @@ pub struct TweetView<'a> {
 }
 
 impl<'a> TweetView<'a> {
+    /// Builds a view from already-decoded parts — the columnar segment's
+    /// view path, where the header lives in column arrays and the text is
+    /// a slice of the segment's concatenated text region. `header_len` is
+    /// the *charged* header width (what a bytes-decoded metric should
+    /// count), not a row-frame offset.
+    pub(crate) fn from_parts(header: TweetHeader, text_bytes: &'a [u8], header_len: usize) -> Self {
+        TweetView {
+            header,
+            text_bytes,
+            header_len,
+        }
+    }
+
     /// The tweet text, UTF-8 validated in place — no copy, no allocation.
     pub fn text(&self) -> Result<&'a str, CodecError> {
         std::str::from_utf8(self.text_bytes).map_err(|_| CodecError::BadUtf8)
@@ -238,7 +288,7 @@ impl<'a> TweetView<'a> {
 }
 
 /// Reads a LEB128 varint from `buf` starting at `*at`, advancing it.
-fn get_varint_at(buf: &[u8], at: &mut usize) -> Result<u64, CodecError> {
+pub(crate) fn get_varint_at(buf: &[u8], at: &mut usize) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {

@@ -1,0 +1,775 @@
+//! Columnar sealed segments — the `STIRSEG2` format.
+//!
+//! A row segment ([`crate::segment::Segment`]) stores records as
+//! concatenated varint frames: every scan pays a per-record
+//! `decode_header`, and the fused pipeline then *transposes* the decoded
+//! rows back into the column vectors its morsels want. A
+//! [`ColumnSegment`] stores the same records column-first, decoded once
+//! at load time into primitive arrays, so scans slice `&[u64]` /
+//! `&[i32]` directly — no per-record decode, no transpose, and the text
+//! region is never touched unless a consumer asks for a specific
+//! record's bytes.
+//!
+//! On-disk layout (after the `STIRSEG2` file magic written by
+//! [`crate::persist`]):
+//!
+//! ```text
+//! n(u32 LE) · row_bytes_equiv(u64 LE) · row_header_bytes(u64 LE) ·
+//! prefix_crc(u32 LE)
+//! IDS     block   zigzag-delta varints        (records are (ts,id)-ordered)
+//! USERS   block   plain varints
+//! TS      block   zigzag-delta varints        (deltas are small)
+//! GPS     block   presence bitmap (LSB-first) · packed lat_e6/lon_e6 i32 LE
+//! TEXTLEN block   per-record varint byte lengths
+//! TEXT    block   varint raw_len · LZ77 stream over concatenated text
+//! ```
+//!
+//! Each block is framed `enc_len(u32 LE) · crc(u32 LE) · payload` with an
+//! FNV-1a checksum, and the 20-byte prefix carries its own checksum — so
+//! every byte of the file is covered and any bit flip or truncation
+//! surfaces as a [`CodecError`], never a panic. Decoders never trust a
+//! length varint for an allocation: reserves are capped and growth is
+//! bounded by actual input bytes.
+//!
+//! GPS coordinates keep the codec's micro-degree quantization; the
+//! `i32::MIN` sentinel (shared with the pipeline's `ColumnBatch`) marks
+//! "no fix" in both the in-memory columns and, implicitly, a cleared
+//! bitmap bit on disk. Writes stay row-first — the WAL and the store's
+//! open tail segment are rows; sealing and compaction are the row→column
+//! conversion points (see `DESIGN.md` §4).
+
+use stir_geoindex::Point;
+
+use crate::codec::{
+    fnv1a, get_varint_at, put_varint, unzigzag, zigzag, CodecError, TweetHeader, TweetRecord,
+    TweetView,
+};
+use crate::segment::{quantize_e6, Segment, ZoneMap};
+
+/// Micro-degree sentinel marking "no GPS fix" in the lat/lon columns.
+/// Matches the pipeline's `ColumnBatch` sentinel so column slices feed
+/// morsels without translation.
+pub const NO_GPS_E6: i32 = i32::MIN;
+
+/// In-memory bytes charged per record for a column-sourced header read:
+/// id(8) + user(8) + timestamp(8) + lat_e6(4) + lon_e6(4) + text
+/// offset(4). What `bytes_decoded` metrics count for columnar access.
+pub(crate) const COL_HEADER_BYTES: usize = 36;
+
+/// Shortest match the LZ77 text compressor emits.
+const MIN_MATCH: usize = 4;
+
+/// Longest match emitted (and accepted on decode).
+const MAX_MATCH: usize = 1 << 16;
+
+/// Match window: how far back a copy may reach.
+const WINDOW: usize = 1 << 16;
+
+/// A sealed segment stored column-first.
+///
+/// Holds exactly the records of the row segment it was converted from,
+/// in the same slot order — `RecordPtr { seg, slot }` addresses are
+/// stable across the conversion.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnSegment {
+    ids: Vec<u64>,
+    users: Vec<u64>,
+    timestamps: Vec<u64>,
+    /// Latitude in micro-degrees; [`NO_GPS_E6`] when the record has no fix.
+    lats_e6: Vec<i32>,
+    /// Longitude in micro-degrees; [`NO_GPS_E6`] when the record has no fix.
+    lons_e6: Vec<i32>,
+    /// `n + 1` offsets into `text`; record `i` owns `text[off[i]..off[i+1]]`.
+    text_offsets: Vec<u32>,
+    /// Concatenated text bytes of all records.
+    text: Vec<u8>,
+    zone: ZoneMap,
+    /// Total row-encoded bytes these records occupied (`STIRSEG1`
+    /// payload equivalent) — the denominator for compression metrics.
+    row_bytes_equiv: u64,
+    /// Row-encoded header bytes (frame minus text) — what a row-format
+    /// header-only scan would have decoded.
+    row_header_bytes: u64,
+}
+
+impl ColumnSegment {
+    /// Transposes a sealed row segment into columns. The zone map is
+    /// carried over unchanged (the records are identical) and the
+    /// row-format byte totals are captured for metrics.
+    pub fn from_rows(seg: &Segment) -> Result<Self, CodecError> {
+        let n = seg.len();
+        let mut col = ColumnSegment {
+            ids: Vec::with_capacity(n),
+            users: Vec::with_capacity(n),
+            timestamps: Vec::with_capacity(n),
+            lats_e6: Vec::with_capacity(n),
+            lons_e6: Vec::with_capacity(n),
+            text_offsets: Vec::with_capacity(n + 1),
+            text: Vec::new(),
+            zone: *seg.zone_map(),
+            row_bytes_equiv: seg.byte_len() as u64,
+            row_header_bytes: 0,
+        };
+        col.text_offsets.push(0);
+        for view in seg.views() {
+            let v = view?;
+            let h = v.header;
+            col.ids.push(h.id);
+            col.users.push(h.user);
+            col.timestamps.push(h.timestamp);
+            match h.gps {
+                Some(p) => {
+                    // Round-trips exactly: `p` was decoded from these
+                    // integers, and e6/1e6 re-rounds to e6.
+                    let (lat, lon) = quantize_e6(p);
+                    col.lats_e6.push(lat);
+                    col.lons_e6.push(lon);
+                }
+                None => {
+                    col.lats_e6.push(NO_GPS_E6);
+                    col.lons_e6.push(NO_GPS_E6);
+                }
+            }
+            col.text.extend_from_slice(v.raw_text());
+            col.text_offsets.push(col.text.len() as u32);
+            col.row_header_bytes += v.header_len() as u64;
+        }
+        Ok(col)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the segment holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The segment's zone map.
+    pub fn zone_map(&self) -> &ZoneMap {
+        &self.zone
+    }
+
+    /// Row-encoded bytes these records would occupy in `STIRSEG1` form.
+    pub fn row_bytes_equiv(&self) -> u64 {
+        self.row_bytes_equiv
+    }
+
+    /// Row-encoded header bytes (frames minus text) of these records.
+    pub(crate) fn row_header_bytes(&self) -> u64 {
+        self.row_header_bytes
+    }
+
+    /// The tweet-id column.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// The user-id column.
+    pub fn users(&self) -> &[u64] {
+        &self.users
+    }
+
+    /// The timestamp column.
+    pub fn timestamps(&self) -> &[u64] {
+        &self.timestamps
+    }
+
+    /// The latitude column in micro-degrees ([`NO_GPS_E6`] = no fix).
+    pub fn lats_e6(&self) -> &[i32] {
+        &self.lats_e6
+    }
+
+    /// The longitude column in micro-degrees ([`NO_GPS_E6`] = no fix).
+    pub fn lons_e6(&self) -> &[i32] {
+        &self.lons_e6
+    }
+
+    /// The record's coordinates as stored micro-degree integers, if any.
+    pub(crate) fn gps_e6(&self, slot: u32) -> Option<(i32, i32)> {
+        let i = slot as usize;
+        (self.lats_e6[i] != NO_GPS_E6).then(|| (self.lats_e6[i], self.lons_e6[i]))
+    }
+
+    /// Header of the record at `slot`, assembled from the columns.
+    /// Decodes GPS exactly as the row codec would (e6 / 1e6).
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn header(&self, slot: u32) -> TweetHeader {
+        let i = slot as usize;
+        let gps = (self.lats_e6[i] != NO_GPS_E6)
+            .then(|| Point::new(self.lats_e6[i] as f64 / 1e6, self.lons_e6[i] as f64 / 1e6));
+        TweetHeader {
+            id: self.ids[i],
+            user: self.users[i],
+            timestamp: self.timestamps[i],
+            gps,
+        }
+    }
+
+    /// Raw text bytes of the record at `slot` — a slice into the
+    /// segment's concatenated text region, no decode.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn text_bytes(&self, slot: u32) -> &[u8] {
+        let i = slot as usize;
+        &self.text[self.text_offsets[i] as usize..self.text_offsets[i + 1] as usize]
+    }
+
+    /// Borrowed view of the record at `slot`: columns for the header,
+    /// text as a zero-copy slice.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn view(&self, slot: u32) -> TweetView<'_> {
+        TweetView::from_parts(self.header(slot), self.text_bytes(slot), COL_HEADER_BYTES)
+    }
+
+    /// Materializes the record at `slot` (validates and copies the text).
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn record(&self, slot: u32) -> Result<TweetRecord, CodecError> {
+        self.view(slot).to_record()
+    }
+
+    /// A point-lookup cursor over this segment.
+    pub fn cursor(&self) -> ColumnCursor<'_> {
+        ColumnCursor { seg: self }
+    }
+
+    /// Serializes the segment into the `STIRSEG2` block layout (without
+    /// the persist-layer file magic).
+    pub fn encode(&self) -> Vec<u8> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(32 + n * 4 + self.text.len() / 2);
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        out.extend_from_slice(&self.row_bytes_equiv.to_le_bytes());
+        out.extend_from_slice(&self.row_header_bytes.to_le_bytes());
+        let prefix_crc = fnv1a(&out);
+        out.extend_from_slice(&prefix_crc.to_le_bytes());
+
+        let mut scratch = Vec::with_capacity(n * 2 + 16);
+        delta_encode(&mut scratch, &self.ids);
+        put_block(&mut out, &scratch);
+
+        scratch.clear();
+        for &u in &self.users {
+            put_varint(&mut scratch, u);
+        }
+        put_block(&mut out, &scratch);
+
+        scratch.clear();
+        delta_encode(&mut scratch, &self.timestamps);
+        put_block(&mut out, &scratch);
+
+        scratch.clear();
+        let mut bitmap = vec![0u8; n.div_ceil(8)];
+        for (i, &lat) in self.lats_e6.iter().enumerate() {
+            if lat != NO_GPS_E6 {
+                bitmap[i / 8] |= 1 << (i % 8);
+            }
+        }
+        scratch.extend_from_slice(&bitmap);
+        for i in 0..n {
+            if self.lats_e6[i] != NO_GPS_E6 {
+                scratch.extend_from_slice(&self.lats_e6[i].to_le_bytes());
+                scratch.extend_from_slice(&self.lons_e6[i].to_le_bytes());
+            }
+        }
+        put_block(&mut out, &scratch);
+
+        scratch.clear();
+        for i in 0..n {
+            put_varint(
+                &mut scratch,
+                (self.text_offsets[i + 1] - self.text_offsets[i]) as u64,
+            );
+        }
+        put_block(&mut out, &scratch);
+
+        scratch.clear();
+        put_varint(&mut scratch, self.text.len() as u64);
+        lz_compress(&self.text, &mut scratch);
+        put_block(&mut out, &scratch);
+        out
+    }
+
+    /// Deserializes a `STIRSEG2` frame, verifying every checksum and
+    /// re-deriving the zone map from the decoded columns. Any corruption
+    /// or truncation returns `Err`; no input can trigger a panic or an
+    /// unbounded allocation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        if bytes.len() < 24 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let row_bytes_equiv = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+        let row_header_bytes = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        let expected = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        let actual = fnv1a(&bytes[..20]);
+        if actual != expected {
+            return Err(CodecError::ChecksumMismatch { expected, actual });
+        }
+        let mut at = 24usize;
+
+        let ids = delta_decode(get_block(bytes, &mut at)?, n)?;
+        let users = plain_decode(get_block(bytes, &mut at)?, n)?;
+        let timestamps = delta_decode(get_block(bytes, &mut at)?, n)?;
+
+        let gps_block = get_block(bytes, &mut at)?;
+        let bitmap_len = n.div_ceil(8);
+        if gps_block.len() < bitmap_len {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (bitmap, coords) = gps_block.split_at(bitmap_len);
+        // Pad bits past `n` must be clear — a set one is corruption the
+        // coordinate count check below could otherwise mask.
+        if !n.is_multiple_of(8) && bitmap[bitmap_len - 1] >> (n % 8) != 0 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let gps_count: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
+        if coords.len() != gps_count * 8 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        // `n` is now grounded in real input (the id column carried one
+        // varint per record), so exact reserves are safe.
+        let mut lats_e6 = Vec::with_capacity(n);
+        let mut lons_e6 = Vec::with_capacity(n);
+        let mut c = 0usize;
+        for i in 0..n {
+            if bitmap[i / 8] >> (i % 8) & 1 == 1 {
+                let lat = i32::from_le_bytes(coords[c * 8..c * 8 + 4].try_into().unwrap());
+                let lon = i32::from_le_bytes(coords[c * 8 + 4..c * 8 + 8].try_into().unwrap());
+                c += 1;
+                if !(-90_000_000..=90_000_000).contains(&lat)
+                    || !(-180_000_000..=180_000_000).contains(&lon)
+                {
+                    return Err(CodecError::InvalidCoordinate);
+                }
+                lats_e6.push(lat);
+                lons_e6.push(lon);
+            } else {
+                lats_e6.push(NO_GPS_E6);
+                lons_e6.push(NO_GPS_E6);
+            }
+        }
+
+        let lens_block = get_block(bytes, &mut at)?;
+        let mut text_offsets = Vec::with_capacity((n + 1).min(1 << 16));
+        text_offsets.push(0u32);
+        let mut la = 0usize;
+        let mut total = 0u64;
+        while la < lens_block.len() {
+            let len = get_varint_at(lens_block, &mut la)?;
+            total = total
+                .checked_add(len)
+                .filter(|&t| t <= u32::MAX as u64)
+                .ok_or(CodecError::UnexpectedEof)?;
+            text_offsets.push(total as u32);
+        }
+        if text_offsets.len() != n + 1 {
+            return Err(CodecError::UnexpectedEof);
+        }
+
+        let text_block = get_block(bytes, &mut at)?;
+        let mut ta = 0usize;
+        let raw_len = get_varint_at(text_block, &mut ta)?;
+        if raw_len != total {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let text = lz_decompress(&text_block[ta..], raw_len as usize)?;
+        if at != bytes.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+
+        let mut seg = ColumnSegment {
+            ids,
+            users,
+            timestamps,
+            lats_e6,
+            lons_e6,
+            text_offsets,
+            text,
+            zone: ZoneMap::default(),
+            row_bytes_equiv,
+            row_header_bytes,
+        };
+        let mut zone = ZoneMap::default();
+        for slot in 0..n as u32 {
+            zone.observe(&seg.header(slot));
+        }
+        seg.zone = zone;
+        Ok(seg)
+    }
+}
+
+/// A cheap point-lookup handle into one [`ColumnSegment`] — what the
+/// query index paths use to materialize individual records without going
+/// through a scan.
+pub struct ColumnCursor<'a> {
+    seg: &'a ColumnSegment,
+}
+
+impl ColumnCursor<'_> {
+    /// Header of the record at `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn header(&self, slot: u32) -> TweetHeader {
+        self.seg.header(slot)
+    }
+
+    /// Materializes the record at `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn record(&self, slot: u32) -> Result<TweetRecord, CodecError> {
+        self.seg.record(slot)
+    }
+}
+
+/// Writes one checksummed block: `enc_len(u32 LE) · crc(u32 LE) · payload`.
+fn put_block(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Reads one checksummed block starting at `*at`, advancing past it.
+fn get_block<'a>(bytes: &'a [u8], at: &mut usize) -> Result<&'a [u8], CodecError> {
+    let Some(head) = bytes.get(*at..*at + 8) else {
+        return Err(CodecError::UnexpectedEof);
+    };
+    let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    let start = *at + 8;
+    let Some(payload) = bytes.get(start..start + len) else {
+        return Err(CodecError::UnexpectedEof);
+    };
+    let actual = fnv1a(payload);
+    if actual != crc {
+        return Err(CodecError::ChecksumMismatch {
+            expected: crc,
+            actual,
+        });
+    }
+    *at = start + len;
+    Ok(payload)
+}
+
+/// Zigzag-delta varint encodes an (unsorted-safe) `u64` stream: deltas
+/// wrap, so any sequence round-trips; sorted-ish sequences stay small.
+fn delta_encode(out: &mut Vec<u8>, vals: &[u64]) {
+    let mut prev = 0u64;
+    for &v in vals {
+        put_varint(out, zigzag(v.wrapping_sub(prev) as i64));
+        prev = v;
+    }
+}
+
+/// Inverse of [`delta_encode`]; must consume the payload exactly and
+/// yield exactly `n` values. Reserve is capped — a hostile `n` cannot
+/// allocate past the real input size.
+fn delta_decode(payload: &[u8], n: usize) -> Result<Vec<u64>, CodecError> {
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    let mut at = 0usize;
+    let mut prev = 0u64;
+    while at < payload.len() {
+        let d = unzigzag(get_varint_at(payload, &mut at)?);
+        let v = prev.wrapping_add(d as u64);
+        out.push(v);
+        prev = v;
+    }
+    if out.len() != n {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(out)
+}
+
+/// Decodes a plain varint stream of exactly `n` values.
+fn plain_decode(payload: &[u8], n: usize) -> Result<Vec<u64>, CodecError> {
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    let mut at = 0usize;
+    while at < payload.len() {
+        out.push(get_varint_at(payload, &mut at)?);
+    }
+    if out.len() != n {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(out)
+}
+
+/// Greedy LZ77 over the text region. Token stream: a varint `tag` where
+/// an even tag is a literal run of `tag >> 1` bytes (which follow
+/// inline) and an odd tag is a back-reference of length
+/// `(tag >> 1) + MIN_MATCH` at a varint distance ≥ 1. Tweet text is
+/// short and repetitive (mentions, hashtags, district names), which a
+/// byte-level matcher with a 64 KiB window captures well without any
+/// external dependency.
+fn lz_compress(input: &[u8], out: &mut Vec<u8>) {
+    const HASH_BITS: u32 = 15;
+    #[inline]
+    fn hash(w: u32) -> usize {
+        (w.wrapping_mul(0x9E37_79B1) >> (32 - 15)) as usize
+    }
+    if input.is_empty() {
+        return;
+    }
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    while i + MIN_MATCH <= input.len() {
+        let w = u32::from_le_bytes(input[i..i + 4].try_into().unwrap());
+        let h = hash(w);
+        let cand = table[h];
+        table[h] = i;
+        if cand != usize::MAX && i - cand <= WINDOW && input[cand..cand + 4] == input[i..i + 4] {
+            let mut len = MIN_MATCH;
+            let max = (input.len() - i).min(MAX_MATCH);
+            while len < max && input[cand + len] == input[i + len] {
+                len += 1;
+            }
+            flush_literals(out, &input[lit_start..i]);
+            put_varint(out, (((len - MIN_MATCH) as u64) << 1) | 1);
+            put_varint(out, (i - cand) as u64);
+            // Seed the table through the matched span so later
+            // occurrences can reference it.
+            let end = i + len;
+            i += 1;
+            while i < end && i + MIN_MATCH <= input.len() {
+                let w = u32::from_le_bytes(input[i..i + 4].try_into().unwrap());
+                table[hash(w)] = i;
+                i += 1;
+            }
+            i = end;
+            lit_start = end;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(out, &input[lit_start..]);
+}
+
+/// Emits one literal-run token (no-op on an empty run).
+fn flush_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    if lits.is_empty() {
+        return;
+    }
+    put_varint(out, (lits.len() as u64) << 1);
+    out.extend_from_slice(lits);
+}
+
+/// Decompresses an LZ77 stream into exactly `raw_len` bytes. Output is
+/// bounded by `raw_len` up front (hostile token lengths cannot
+/// over-allocate), distances must point into already-produced output,
+/// and the stream must be consumed exactly.
+fn lz_decompress(data: &[u8], raw_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(raw_len.min(1 << 20));
+    let mut at = 0usize;
+    while out.len() < raw_len {
+        let tag = get_varint_at(data, &mut at)?;
+        let need = (raw_len - out.len()) as u64;
+        if tag & 1 == 0 {
+            let len = tag >> 1;
+            if len > need {
+                return Err(CodecError::UnexpectedEof);
+            }
+            let len = len as usize;
+            let Some(bytes) = data.get(at..at + len) else {
+                return Err(CodecError::UnexpectedEof);
+            };
+            out.extend_from_slice(bytes);
+            at += len;
+        } else {
+            let mlen = tag >> 1;
+            if mlen + MIN_MATCH as u64 > need || mlen as usize + MIN_MATCH > MAX_MATCH {
+                return Err(CodecError::UnexpectedEof);
+            }
+            let len = mlen as usize + MIN_MATCH;
+            let dist = get_varint_at(data, &mut at)? as usize;
+            if dist == 0 || dist > out.len() {
+                return Err(CodecError::UnexpectedEof);
+            }
+            let start = out.len() - dist;
+            // Byte-at-a-time copy: overlapping matches (dist < len) are
+            // the RLE case and must see bytes produced this token.
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    if at != data.len() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64) -> TweetRecord {
+        TweetRecord {
+            id,
+            user: id % 7,
+            timestamp: id * 11,
+            gps: id
+                .is_multiple_of(3)
+                .then(|| Point::new(37.0 + id as f64 * 1e-4, 127.0 - id as f64 * 2e-4)),
+            text: format!("tweet number {id} from Jung-gu #seoul"),
+        }
+    }
+
+    fn row_segment(n: u64) -> Segment {
+        let mut s = Segment::new();
+        for i in 0..n {
+            s.append(&rec(i));
+        }
+        s
+    }
+
+    #[test]
+    fn from_rows_preserves_every_record() {
+        let rows = row_segment(200);
+        let cols = ColumnSegment::from_rows(&rows).unwrap();
+        assert_eq!(cols.len(), 200);
+        assert_eq!(cols.zone_map(), rows.zone_map());
+        assert_eq!(cols.row_bytes_equiv(), rows.byte_len() as u64);
+        for slot in 0..200u32 {
+            assert_eq!(cols.header(slot), rows.header(slot).unwrap());
+            assert_eq!(cols.record(slot).unwrap(), rows.get(slot).unwrap());
+            assert_eq!(
+                cols.text_bytes(slot),
+                rows.view(slot).unwrap().raw_text(),
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let rows = row_segment(300);
+        let cols = ColumnSegment::from_rows(&rows).unwrap();
+        let bytes = cols.encode();
+        let back = ColumnSegment::decode(&bytes).unwrap();
+        assert_eq!(back.len(), cols.len());
+        assert_eq!(back.zone_map(), cols.zone_map());
+        assert_eq!(back.row_bytes_equiv(), cols.row_bytes_equiv());
+        assert_eq!(back.row_header_bytes(), cols.row_header_bytes());
+        for slot in 0..300u32 {
+            assert_eq!(back.record(slot).unwrap(), rows.get(slot).unwrap());
+        }
+    }
+
+    #[test]
+    fn encoded_bytes_beat_row_bytes_on_real_shapes() {
+        // (ts, id)-sorted records with short repetitive text — the shape
+        // sealed segments actually hold. The columnar encoding must be
+        // substantially smaller than the row payload.
+        let mut s = Segment::new();
+        for i in 0..2000u64 {
+            s.append(&TweetRecord {
+                id: 1_000_000 + i,
+                user: i % 50,
+                timestamp: 1_600_000_000 + i * 3,
+                gps: (i % 10 < 7).then(|| Point::new(37.5 + (i % 13) as f64 * 1e-3, 127.0)),
+                text: format!("checking in at district {} #seoul", i % 25),
+            });
+        }
+        let cols = ColumnSegment::from_rows(&s).unwrap();
+        let encoded = cols.encode().len();
+        let rows = s.byte_len();
+        assert!(
+            (encoded as f64) < rows as f64 * 0.7,
+            "columnar {encoded} bytes vs row {rows} bytes"
+        );
+    }
+
+    #[test]
+    fn every_truncation_errors_never_panics() {
+        let cols = ColumnSegment::from_rows(&row_segment(64)).unwrap();
+        let bytes = cols.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                ColumnSegment::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_errors_never_panics() {
+        let cols = ColumnSegment::from_rows(&row_segment(48)).unwrap();
+        let bytes = cols.encode();
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x01;
+            assert!(
+                ColumnSegment::decode(&bad).is_err(),
+                "flip at {at} decoded cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // A crafted prefix claiming u32::MAX records over a tiny file
+        // must fail fast, not reserve gigabytes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(&bytes).to_le_bytes());
+        put_block(&mut bytes, &[0x01]); // one varint — not u32::MAX of them
+        assert!(ColumnSegment::decode(&bytes).is_err());
+
+        // A hostile LZ raw_len far beyond the stream must error, and a
+        // match distance past produced output must error.
+        assert!(lz_decompress(&[0x02, 0x61], usize::MAX >> 8).is_err());
+        assert!(lz_decompress(&[0x01, 0x05], 10).is_err());
+    }
+
+    #[test]
+    fn lz_roundtrips_pathological_inputs() {
+        let cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"a".to_vec(),
+            b"abcabcabcabcabcabc".to_vec(),
+            vec![0u8; 100_000],
+            (0..255u8).cycle().take(70_000).collect(),
+            b"no repeats: qwertyuiop".to_vec(),
+        ];
+        for case in cases {
+            let mut enc = Vec::new();
+            lz_compress(&case, &mut enc);
+            let back = lz_decompress(&enc, case.len()).unwrap();
+            assert_eq!(back, case, "case of {} bytes", case.len());
+        }
+    }
+
+    #[test]
+    fn empty_segment_roundtrips() {
+        let cols = ColumnSegment::from_rows(&Segment::new()).unwrap();
+        let bytes = cols.encode();
+        let back = ColumnSegment::decode(&bytes).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(*back.zone_map(), ZoneMap::default());
+    }
+
+    #[test]
+    fn cursor_matches_direct_access() {
+        let rows = row_segment(30);
+        let cols = ColumnSegment::from_rows(&rows).unwrap();
+        let cur = cols.cursor();
+        for slot in 0..30u32 {
+            assert_eq!(cur.header(slot), cols.header(slot));
+            assert_eq!(cur.record(slot).unwrap(), rows.get(slot).unwrap());
+        }
+    }
+}

@@ -7,14 +7,21 @@
 //! and indexes by the same factor and makes every later scan proportionally
 //! cheaper. [`gps_only`] is the canonical instance.
 //!
-//! Compaction is zero-copy on the record level: the predicate is decided
-//! on [`TweetHeader`]s alone, and survivors are moved as raw encoded
-//! frames (checksum re-verified by [`TweetStore::append_raw`]) — a
-//! record's bytes are never decoded into a `String` and re-encoded just
-//! to be kept.
+//! Compaction is zero-copy on the record level for row segments: the
+//! predicate is decided on [`TweetHeader`]s alone, and survivors are moved
+//! as raw encoded frames (checksum re-verified by
+//! [`TweetStore::append_raw`]) — a record's bytes are never decoded into a
+//! `String` and re-encoded just to be kept. Survivors of columnar
+//! (`STIRSEG2`) segments are re-framed from the decoded columns without a
+//! float or UTF-8 round-trip.
+//!
+//! Compaction is also the row→column **upgrade point**: the output store
+//! inherits the source's [`StoreFormat`](crate::store::StoreFormat), so
+//! compacting a store switched to `V2` re-seals every full segment —
+//! including legacy `STIRSEG1` row segments — in the columnar format.
 
-use crate::codec::TweetHeader;
-use crate::store::TweetStore;
+use crate::codec::{encode_parts, TweetHeader};
+use crate::store::{SegmentRef, TweetStore};
 
 /// What a compaction did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -57,19 +64,44 @@ pub fn compact<F: FnMut(&TweetHeader) -> bool>(
     store: &TweetStore,
     mut keep: F,
 ) -> (TweetStore, CompactionReport) {
-    let mut out = TweetStore::new();
+    let mut out = TweetStore::with_segment_bytes_and_format(store.segment_bytes(), store.format());
     let mut report = CompactionReport {
         bytes_before: store.stats().payload_bytes,
         ..Default::default()
     };
+    let mut scratch = Vec::new();
     for seg in store.segments() {
-        for slot in 0..seg.len() as u32 {
-            let Ok(header) = seg.header(slot) else {
-                continue;
-            };
-            report.scanned += 1;
-            if keep(&header) && out.append_raw(seg.raw(slot)).is_ok() {
-                report.kept += 1;
+        match seg {
+            SegmentRef::Rows(s) => {
+                for slot in 0..s.len() as u32 {
+                    let Ok(header) = s.header(slot) else {
+                        continue;
+                    };
+                    report.scanned += 1;
+                    if keep(&header) && out.append_raw(s.raw(slot)).is_ok() {
+                        report.kept += 1;
+                    }
+                }
+            }
+            SegmentRef::Cols(c) => {
+                for slot in 0..c.len() as u32 {
+                    let header = c.header(slot);
+                    report.scanned += 1;
+                    if keep(&header) {
+                        scratch.clear();
+                        encode_parts(
+                            &mut scratch,
+                            header.id,
+                            header.user,
+                            header.timestamp,
+                            c.gps_e6(slot),
+                            c.text_bytes(slot),
+                        );
+                        if out.append_raw(&scratch).is_ok() {
+                            report.kept += 1;
+                        }
+                    }
+                }
             }
         }
     }
@@ -204,26 +236,79 @@ mod tests {
         }
         let (c, report) = gps_only(&s);
         assert_eq!(report.kept, 50);
-        let src_frames: Vec<Vec<u8>> = s
-            .segments()
-            .iter()
-            .flat_map(|seg| (0..seg.len() as u32).map(|slot| seg.raw(slot).to_vec()))
+        let rows = |store: &TweetStore| -> Vec<Vec<u8>> {
+            store
+                .segments()
+                .iter()
+                .flat_map(|seg| {
+                    let rows = seg.as_rows().expect("v1 store is all row segments");
+                    (0..rows.len() as u32)
+                        .map(|slot| rows.raw(slot).to_vec())
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let src_frames: Vec<Vec<u8>> = rows(&s)
+            .into_iter()
             .filter(|frame| {
                 crate::codec::decode_header(frame)
                     .map(|(h, _)| h.gps.is_some())
                     .unwrap_or(false)
             })
             .collect();
-        let dst_frames: Vec<Vec<u8>> = c
-            .segments()
-            .iter()
-            .flat_map(|seg| (0..seg.len() as u32).map(|slot| seg.raw(slot).to_vec()))
-            .collect();
+        let dst_frames: Vec<Vec<u8>> = rows(&c);
         assert_eq!(src_frames, dst_frames);
         assert_eq!(
             report.bytes_after,
             dst_frames.iter().map(|f| f.len() as u64).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn v2_compaction_emits_columnar_segments_with_identical_answers() {
+        use crate::store::StoreFormat;
+        // Mixed source: row segments sealed under V1, then the store is
+        // switched to V2 and keeps growing. Compacting must (a) inherit V2,
+        // (b) re-seal survivors columnar — the upgrade path — and (c)
+        // answer queries identically to a V1 compaction of the same data.
+        let mut s = TweetStore::with_segment_bytes(2048);
+        for i in 0..600u64 {
+            s.append(&TweetRecord {
+                id: i,
+                user: i % 10,
+                timestamp: i * 60,
+                gps: (i % 3 == 0).then(|| Point::new(37.5 + (i as f64) * 1e-4, 127.0)),
+                text: format!("tweet {i} with enough text to force segment rolls"),
+            });
+        }
+        s.set_format(StoreFormat::V2);
+        for i in 600..1_200u64 {
+            s.append(&TweetRecord {
+                id: i,
+                user: i % 10,
+                timestamp: i * 60,
+                gps: (i % 3 == 0).then(|| Point::new(37.5 + (i as f64) * 1e-4, 127.0)),
+                text: format!("tweet {i} with enough text to force segment rolls"),
+            });
+        }
+        let (c, report) = gps_only(&s);
+        assert_eq!(c.format(), StoreFormat::V2);
+        assert_eq!(report.kept, 400);
+        let sealed_cols = c.segments().iter().filter(|seg| seg.is_columnar()).count();
+        assert!(sealed_cols > 0, "V2 compaction must seal columnar segments");
+        // Same records, byte-for-byte, as a V1 compaction of the same data.
+        let mut v1 = TweetStore::with_segment_bytes(2048);
+        for r in s.scan() {
+            v1.append(&r.unwrap());
+        }
+        let (c1, report1) = gps_only(&v1);
+        assert_eq!(report.kept, report1.kept);
+        let a: Vec<TweetRecord> = c.scan().map(|r| r.unwrap()).collect();
+        let b: Vec<TweetRecord> = c1.scan().map(|r| r.unwrap()).collect();
+        assert_eq!(a, b);
+        // Queries over the columnar compacted store still work.
+        assert_eq!(Query::all().gps(true).execute(&c).len(), 400);
+        assert_eq!(Query::all().user(3).execute(&c).len(), 40);
     }
 
     #[test]

@@ -12,8 +12,14 @@
 //!   framing, and a per-segment [`ZoneMap`] (record count, min/max
 //!   timestamp and user, GPS count and bounding box) maintained at append
 //!   time and rebuilt-and-verified on load.
+//! * [`colseg`] — columnar sealed segments (`STIRSEG2`): per-column
+//!   checksummed blocks (delta-varint timestamps, varint users,
+//!   micro-degree `i32` coordinates, an LZ-compressed text region), a
+//!   zero-decode scan path, and point lookups through a [`ColumnCursor`].
+//!   Writes stay row-first; sealing and compaction convert rows→columns.
 //! * [`TweetStore`] — segmented log plus three secondary indexes: by user,
-//!   by time bucket, and by geohash cell (GPS tweets only).
+//!   by time bucket, and by geohash cell (GPS tweets only). A
+//!   [`StoreFormat`] picks the sealed-segment encoding; mixed stores work.
 //! * [`query`] — a cardinality-aware query planner: point/user/time/bbox
 //!   predicates, index selection by estimated candidate rows, zone-map
 //!   segment pruning, post-filtering.
@@ -39,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod colseg;
 pub mod compact;
 pub mod persist;
 pub mod query;
@@ -50,13 +57,14 @@ pub mod store;
 pub mod wal;
 
 pub use codec::{TweetHeader, TweetRecord, TweetView};
+pub use colseg::{ColumnCursor, ColumnSegment};
 pub use compact::{compact, gps_only, users_only, CompactionReport};
 pub use query::{AccessPath, Query};
-pub use scan::{HeaderBlocks, ScanMetrics, ScanOptions, ShardScanMetrics};
+pub use scan::{BlockChunk, ColumnSlice, HeaderBlocks, ScanMetrics, ScanOptions, ShardScanMetrics};
 pub use segment::ZoneMap;
 pub use shard::{
     shard_of, splitmix64, CompactionPolicy, ShardedDurableStore, ShardedHeaderBlocks, ShardedStore,
 };
 pub use snapshot::{append_snapshot, latest_snapshot, SnapshotFrame};
-pub use store::{RecordPtr, StoreStats, TweetStore};
+pub use store::{RecordPtr, SegmentRef, StoreFormat, StoreStats, TweetStore};
 pub use wal::{DurableStore, Wal, WalRecovery};

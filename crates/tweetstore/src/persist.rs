@@ -1,9 +1,16 @@
 //! Directory-based persistence: one framed file per segment plus a
 //! manifest. Loading verifies checksums and rebuilds every index.
 //!
-//! Each manifest line carries the segment's file name followed by its
-//! [`ZoneMap`] statistics (tab-separated; GPS bounds in micro-degrees so
-//! the round trip is exact). On load the zone map is rebuilt from the
+//! Each segment file opens with a format magic — `STIRSEG1` for row
+//! segments, `STIRSEG2` for columnar ones — and a mixed store persists
+//! each sealed segment in its own encoding, so saving never converts.
+//! The manifest opens with a version header (`STIRMAN\t2\t<v1|v2>`)
+//! recording the store's target format; manifests from before the header
+//! still load (they are all-row by construction, target `v1`).
+//!
+//! Each manifest segment line carries the segment's file name followed by
+//! its [`ZoneMap`] statistics (tab-separated; GPS bounds in micro-degrees
+//! so the round trip is exact). On load the zone map is rebuilt from the
 //! segment's records and cross-checked against the manifest — a segment
 //! file swapped for a different (but internally consistent) one is caught
 //! even though its own checksum passes. Legacy manifests that list bare
@@ -14,13 +21,20 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 use crate::codec::CodecError;
+use crate::colseg::ColumnSegment;
 use crate::segment::{Segment, ZoneMap, DEFAULT_SEGMENT_BYTES};
-use crate::store::TweetStore;
+use crate::store::{SealedSegment, SegmentRef, StoreFormat, TweetStore};
 
-/// Magic header of segment files.
+/// Magic header of row-format segment files.
 const MAGIC: &[u8; 8] = b"STIRSEG1";
+/// Magic header of columnar segment files.
+const MAGIC_COLS: &[u8; 8] = b"STIRSEG2";
 /// Manifest file name.
 const MANIFEST: &str = "MANIFEST";
+/// First field of the manifest's version header line.
+const MANIFEST_MAGIC: &str = "STIRMAN";
+/// Current manifest version.
+const MANIFEST_VERSION: &str = "2";
 
 /// Persistence errors.
 #[derive(Debug)]
@@ -114,13 +128,24 @@ fn zone_from_fields(fields: &[&str]) -> Option<ZoneMap> {
 pub fn save(store: &TweetStore, dir: &Path) -> Result<(), PersistError> {
     fs::create_dir_all(dir)?;
     let segments = store.segments();
-    let mut manifest = String::new();
+    let mut manifest = format!(
+        "{MANIFEST_MAGIC}\t{MANIFEST_VERSION}\t{}\n",
+        store.format().as_str()
+    );
     for (i, seg) in segments.iter().enumerate() {
         let name = format!("seg-{i:04}.stir");
         let path = dir.join(&name);
         let mut f = fs::File::create(&path)?;
-        f.write_all(MAGIC)?;
-        f.write_all(&seg.to_framed_bytes())?;
+        match seg {
+            SegmentRef::Rows(s) => {
+                f.write_all(MAGIC)?;
+                f.write_all(&s.to_framed_bytes())?;
+            }
+            SegmentRef::Cols(c) => {
+                f.write_all(MAGIC_COLS)?;
+                f.write_all(&c.encode())?;
+            }
+        }
         f.sync_all()?;
         manifest.push_str(&name);
         manifest.push('\t');
@@ -143,8 +168,23 @@ pub fn load_with_segment_bytes(
     segment_bytes: usize,
 ) -> Result<TweetStore, PersistError> {
     let manifest = fs::read_to_string(dir.join(MANIFEST)).map_err(|_| PersistError::BadManifest)?;
+    let mut lines = manifest.lines().filter(|l| !l.is_empty()).peekable();
+    // Versioned manifests lead with `STIRMAN\t<version>\t<format>`;
+    // headerless ones predate columnar segments and target v1.
+    let format = match lines.peek() {
+        Some(first) if first.starts_with(MANIFEST_MAGIC) => {
+            let fields: Vec<&str> = first.split('\t').collect();
+            if fields.len() != 3 || fields[0] != MANIFEST_MAGIC || fields[1] != MANIFEST_VERSION {
+                return Err(PersistError::BadManifest);
+            }
+            let format = StoreFormat::parse(fields[2]).ok_or(PersistError::BadManifest)?;
+            lines.next();
+            format
+        }
+        _ => StoreFormat::V1,
+    };
     let mut segments = Vec::new();
-    for line in manifest.lines().filter(|l| !l.is_empty()) {
+    for line in lines {
         let mut fields = line.split('\t');
         let name = fields.next().ok_or(PersistError::BadManifest)?;
         let stat_fields: Vec<&str> = fields.collect();
@@ -156,20 +196,25 @@ pub fn load_with_segment_bytes(
         let mut f = fs::File::open(dir.join(name))?;
         let mut bytes = Vec::new();
         f.read_to_end(&mut bytes)?;
-        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        // Dispatch on the per-file magic — a mixed store round-trips each
+        // segment in the encoding it was sealed with.
+        let seg = if bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC {
+            SealedSegment::Rows(Segment::from_framed_bytes(&bytes[MAGIC.len()..])?)
+        } else if bytes.len() >= MAGIC_COLS.len() && &bytes[..MAGIC_COLS.len()] == MAGIC_COLS {
+            SealedSegment::Cols(ColumnSegment::decode(&bytes[MAGIC_COLS.len()..])?)
+        } else {
             return Err(PersistError::BadMagic);
-        }
-        let seg = Segment::from_framed_bytes(&bytes[MAGIC.len()..])?;
-        // `from_framed_bytes` rebuilt the zone map from the payload; it
-        // must agree with what the manifest promised.
+        };
+        // Decoding rebuilt the zone map from the payload; it must agree
+        // with what the manifest promised.
         if let Some(expected) = expected_zone {
-            if *seg.zone_map() != expected {
+            if *seg.as_ref().zone_map() != expected {
                 return Err(PersistError::ZoneMapMismatch(name.to_string()));
             }
         }
         segments.push(seg);
     }
-    Ok(TweetStore::from_segments(segments, segment_bytes))
+    Ok(TweetStore::from_sealed(segments, segment_bytes, format))
 }
 
 #[cfg(test)]
@@ -241,7 +286,8 @@ mod tests {
         // recompute — exact, including the micro-degree GPS bounds.
         for (a, b) in s.segments().iter().zip(loaded.segments().iter()) {
             assert_eq!(a.zone_map(), b.zone_map());
-            assert_eq!(*b.zone_map(), ZoneMap::compute(b).unwrap());
+            let rows = b.as_rows().expect("v1 store is all row segments");
+            assert_eq!(*b.zone_map(), ZoneMap::compute(rows).unwrap());
         }
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -251,11 +297,12 @@ mod tests {
         let dir = tmpdir("zonetamper");
         save(&populated(), &dir).unwrap();
         let manifest = fs::read_to_string(dir.join(MANIFEST)).unwrap();
-        // Corrupt the record count of the first segment's stats.
+        // Corrupt the record count of the first segment's stats (line 0 is
+        // the version header; segment lines start at 1).
         let mut lines: Vec<String> = manifest.lines().map(str::to_string).collect();
-        let mut fields: Vec<String> = lines[0].split('\t').map(str::to_string).collect();
+        let mut fields: Vec<String> = lines[1].split('\t').map(str::to_string).collect();
         fields[1] = "99999".to_string();
-        lines[0] = fields.join("\t");
+        lines[1] = fields.join("\t");
         fs::write(dir.join(MANIFEST), lines.join("\n")).unwrap();
         assert!(matches!(
             load(&dir),
@@ -269,10 +316,12 @@ mod tests {
         let dir = tmpdir("legacy");
         let s = populated();
         save(&s, &dir).unwrap();
-        // Strip the stats columns: a manifest from before zone maps.
+        // Strip the stats columns and the version header: a manifest from
+        // before zone maps and formats.
         let manifest = fs::read_to_string(dir.join(MANIFEST)).unwrap();
         let bare: String = manifest
             .lines()
+            .filter(|l| !l.starts_with(MANIFEST_MAGIC))
             .map(|l| l.split('\t').next().unwrap())
             .collect::<Vec<_>>()
             .join("\n");
@@ -291,9 +340,129 @@ mod tests {
         let dir = tmpdir("garbled");
         save(&populated(), &dir).unwrap();
         let manifest = fs::read_to_string(dir.join(MANIFEST)).unwrap();
-        let garbled = manifest.replacen('\t', "\tnot-a-number\t", 1);
-        fs::write(dir.join(MANIFEST), garbled).unwrap();
+        // Garble a stats field on the first *segment* line (the header
+        // line is checked separately below).
+        let mut lines: Vec<String> = manifest.lines().map(str::to_string).collect();
+        lines[1] = lines[1].replacen('\t', "\tnot-a-number\t", 1);
+        fs::write(dir.join(MANIFEST), lines.join("\n")).unwrap();
         assert!(matches!(load(&dir), Err(PersistError::BadManifest)));
+        // A garbled header is rejected too.
+        let mut lines: Vec<String> = manifest.lines().map(str::to_string).collect();
+        lines[0] = format!("{MANIFEST_MAGIC}\tnot-a-version\tv1");
+        fs::write(dir.join(MANIFEST), lines.join("\n")).unwrap();
+        assert!(matches!(load(&dir), Err(PersistError::BadManifest)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_store_roundtrips_with_columnar_files() {
+        let dir = tmpdir("v2roundtrip");
+        let mut s = TweetStore::with_segment_bytes_and_format(4096, StoreFormat::V2);
+        for i in 0..1000u64 {
+            s.append(&TweetRecord {
+                id: i,
+                user: i % 11,
+                timestamp: i * 17,
+                gps: (i % 4 == 0).then(|| Point::new(36.0 + (i as f64) * 1e-3 % 2.0, 127.5)),
+                text: format!("tweet {i}"),
+            });
+        }
+        save(&s, &dir).unwrap();
+        // At least one persisted file is columnar (STIRSEG2 magic).
+        let col_files = (0..)
+            .map_while(|i| fs::read(dir.join(format!("seg-{i:04}.stir"))).ok())
+            .filter(|b| b.starts_with(b"STIRSEG2"))
+            .count();
+        assert!(col_files > 0, "v2 store must persist STIRSEG2 files");
+        let loaded = load_with_segment_bytes(&dir, 4096).unwrap();
+        assert_eq!(loaded.format(), StoreFormat::V2);
+        assert_eq!(loaded.len(), s.len());
+        assert_eq!(
+            loaded.segments().iter().filter(|g| g.is_columnar()).count(),
+            s.segments().iter().filter(|g| g.is_columnar()).count(),
+            "sealed-segment encodings must survive the round trip"
+        );
+        let a: Vec<TweetRecord> = s.scan().map(|r| r.unwrap()).collect();
+        let b: Vec<TweetRecord> = loaded.scan().map(|r| r.unwrap()).collect();
+        assert_eq!(a, b);
+        assert_eq!(
+            Query::all().user(3).execute(&s),
+            Query::all().user(3).execute(&loaded)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_store_roundtrips_each_segment_in_its_own_encoding() {
+        let dir = tmpdir("mixedroundtrip");
+        let mut s = TweetStore::with_segment_bytes(4096);
+        for i in 0..500u64 {
+            s.append(&TweetRecord {
+                id: i,
+                user: i % 7,
+                timestamp: i * 13,
+                gps: None,
+                text: format!("row-era tweet {i}"),
+            });
+        }
+        s.set_format(StoreFormat::V2);
+        for i in 500..1000u64 {
+            s.append(&TweetRecord {
+                id: i,
+                user: i % 7,
+                timestamp: i * 13,
+                gps: Some(Point::new(37.0, 127.0)),
+                text: format!("column-era tweet {i}"),
+            });
+        }
+        let rows_before = s.segments().iter().filter(|g| !g.is_columnar()).count();
+        let cols_before = s.segments().iter().filter(|g| g.is_columnar()).count();
+        assert!(rows_before > 0 && cols_before > 0, "fixture must be mixed");
+        save(&s, &dir).unwrap();
+        let loaded = load_with_segment_bytes(&dir, 4096).unwrap();
+        assert_eq!(loaded.format(), StoreFormat::V2);
+        assert_eq!(
+            loaded
+                .segments()
+                .iter()
+                .filter(|g| !g.is_columnar())
+                .count(),
+            rows_before
+        );
+        assert_eq!(
+            loaded.segments().iter().filter(|g| g.is_columnar()).count(),
+            cols_before
+        );
+        let a: Vec<TweetRecord> = s.scan().map(|r| r.unwrap()).collect();
+        let b: Vec<TweetRecord> = loaded.scan().map(|r| r.unwrap()).collect();
+        assert_eq!(a, b);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_columnar_file_is_rejected() {
+        let dir = tmpdir("v2corrupt");
+        let mut s = TweetStore::with_segment_bytes_and_format(4096, StoreFormat::V2);
+        for i in 0..1000u64 {
+            s.append(&TweetRecord {
+                id: i,
+                user: i % 11,
+                timestamp: i * 17,
+                gps: (i % 4 == 0).then(|| Point::new(36.5, 127.5)),
+                text: format!("tweet {i}"),
+            });
+        }
+        save(&s, &dir).unwrap();
+        let seg_path = dir.join("seg-0000.stir");
+        let mut bytes = fs::read(&seg_path).unwrap();
+        assert!(bytes.starts_with(b"STIRSEG2"));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x55;
+        fs::write(&seg_path, bytes).unwrap();
+        match load(&dir) {
+            Err(PersistError::Corrupt(_)) => {}
+            other => panic!("expected corrupt, got {:?}", other.map(|s| s.len())),
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -24,9 +24,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::codec::{TweetHeader, TweetView};
+use crate::colseg::COL_HEADER_BYTES;
 use crate::query::Query;
-use crate::segment::Segment;
-use crate::store::TweetStore;
+use crate::store::{SegmentRef, TweetStore};
 use crate::wal::WalRecovery;
 
 /// Default records per work block for the parallel scan.
@@ -91,8 +91,20 @@ pub struct ScanMetrics {
     pub bytes_stored: u64,
     /// Bytes actually decoded: header bytes for every examined record,
     /// plus text bytes for yielded ones (the text a consumer *may* read;
-    /// rejected records never pay it).
+    /// rejected records never pay it). For columnar segments this counts
+    /// the column bytes materialized per record.
     pub bytes_decoded: u64,
+    /// Row-format (`STIRSEG1`) segments seen, including the active tail.
+    pub segments_row: u64,
+    /// Columnar (`STIRSEG2`) segments seen.
+    pub segments_col: u64,
+    /// Bytes read from columnar segments (primitive column slices plus
+    /// text bytes for yielded records).
+    pub col_bytes_read: u64,
+    /// What the same reads would have decoded on the row path — header
+    /// frames for every examined record, text for yields. `col_bytes_read`
+    /// vs this is the observable decode win of the columnar format.
+    pub row_bytes_equiv: u64,
     /// Worker threads used (1 = serial).
     pub threads: usize,
     /// Work blocks completed per thread (work-stealing makes this uneven).
@@ -176,6 +188,10 @@ impl ScanMetrics {
             100.0 * self.decode_fraction(),
         ));
         out.push_str(&format!(
+            "  formats: {} row / {} col segments; column bytes read {} vs row-equivalent {}\n",
+            self.segments_row, self.segments_col, self.col_bytes_read, self.row_bytes_equiv,
+        ));
+        out.push_str(&format!(
             "  {} thread(s), blocks per thread {:?}, {:.0} records/sec\n",
             self.threads,
             self.blocks_per_thread,
@@ -211,6 +227,8 @@ struct LocalCounts {
     records_yielded: u64,
     records_corrupt: u64,
     bytes_decoded: u64,
+    col_bytes_read: u64,
+    row_bytes_equiv: u64,
     blocks: u64,
 }
 
@@ -221,49 +239,88 @@ impl LocalCounts {
         m.records_yielded += self.records_yielded;
         m.records_corrupt += self.records_corrupt;
         m.bytes_decoded += self.bytes_decoded;
+        m.col_bytes_read += self.col_bytes_read;
+        m.row_bytes_equiv += self.row_bytes_equiv;
     }
 }
 
 /// Walks `[lo, hi)` slots of one segment, calling `on_match` for each
 /// predicate-passing view. The shared inner loop of serial and parallel
-/// scans — identical per-record behaviour guarantees identical output.
+/// scans — identical per-record behaviour guarantees identical output
+/// across formats and thread counts.
 fn scan_slots<F: FnMut(&TweetView<'_>)>(
-    seg: &Segment,
+    seg: SegmentRef<'_>,
     lo: u32,
     hi: u32,
     query: &Query,
     counts: &mut LocalCounts,
     mut on_match: F,
 ) {
-    for slot in lo..hi {
-        let view = match seg.view(slot) {
-            Ok(v) => v,
-            Err(_) => {
-                counts.records_corrupt += 1;
-                continue;
+    match seg {
+        SegmentRef::Rows(s) => {
+            for slot in lo..hi {
+                let view = match s.view(slot) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        counts.records_corrupt += 1;
+                        continue;
+                    }
+                };
+                counts.headers_decoded += 1;
+                counts.bytes_decoded += view.header_len() as u64;
+                counts.row_bytes_equiv += view.header_len() as u64;
+                if query.matches_header(&view.header) {
+                    counts.records_yielded += 1;
+                    counts.bytes_decoded += view.raw_text().len() as u64;
+                    counts.row_bytes_equiv += view.raw_text().len() as u64;
+                    on_match(&view);
+                } else {
+                    counts.records_rejected += 1;
+                }
             }
-        };
-        counts.headers_decoded += 1;
-        counts.bytes_decoded += view.header_len() as u64;
-        if query.matches_header(&view.header) {
-            counts.records_yielded += 1;
-            counts.bytes_decoded += view.raw_text().len() as u64;
-            on_match(&view);
-        } else {
-            counts.records_rejected += 1;
+        }
+        SegmentRef::Cols(c) => {
+            // Columns decoded once at load: a "view" here assembles a
+            // header from primitive arrays, charged at the fixed column
+            // width. The row-equivalent is the segment's recorded row
+            // header bytes, pro-rated over the slots examined.
+            if !c.is_empty() {
+                counts.row_bytes_equiv += c.row_header_bytes() * (hi - lo) as u64 / c.len() as u64;
+            }
+            for slot in lo..hi {
+                let view = c.view(slot);
+                counts.headers_decoded += 1;
+                counts.bytes_decoded += view.header_len() as u64;
+                counts.col_bytes_read += view.header_len() as u64;
+                if query.matches_header(&view.header) {
+                    counts.records_yielded += 1;
+                    let text = view.raw_text().len() as u64;
+                    counts.bytes_decoded += text;
+                    counts.col_bytes_read += text;
+                    counts.row_bytes_equiv += text;
+                    on_match(&view);
+                } else {
+                    counts.records_rejected += 1;
+                }
+            }
         }
     }
 }
 
 /// Splits the store into (pruned-out, surviving) segment lists and
-/// pre-fills the pruning fields of the metrics.
-fn prune<'s>(query: &Query, store: &'s TweetStore, m: &mut ScanMetrics) -> Vec<&'s Segment> {
+/// pre-fills the pruning and per-format fields of the metrics.
+fn prune<'s>(query: &Query, store: &'s TweetStore, m: &mut ScanMetrics) -> Vec<SegmentRef<'s>> {
     let segments = store.segments();
     m.segments_total = segments.len() as u64;
     m.records_stored = store.len() as u64;
     m.bytes_stored = store.stats().payload_bytes;
     let mut survivors = Vec::with_capacity(segments.len());
     for seg in segments {
+        if seg.is_columnar() {
+            m.segments_col += 1;
+        } else {
+            m.segments_row += 1;
+        }
         if query.zone_may_match(seg.zone_map()) {
             survivors.push(seg);
         } else {
@@ -287,7 +344,7 @@ pub(crate) fn for_each<F: FnMut(&TweetView<'_>)>(
     };
     let survivors = prune(query, store, &mut m);
     let mut counts = LocalCounts::default();
-    for seg in &survivors {
+    for &seg in &survivors {
         scan_slots(seg, 0, seg.len() as u32, query, &mut counts, &mut visit);
         counts.blocks += 1;
     }
@@ -317,7 +374,7 @@ where
         // Serial: one implicit block per surviving segment.
         let mut out = Vec::new();
         let mut counts = LocalCounts::default();
-        for seg in &survivors {
+        for &seg in &survivors {
             scan_slots(seg, 0, seg.len() as u32, query, &mut counts, |view| {
                 if let Some(r) = map(view) {
                     out.push(r);
@@ -412,16 +469,66 @@ pub struct HeaderBlocks<'s> {
     block_records: usize,
     records: u64,
     segments: u64,
+    segments_row: u64,
+    segments_col: u64,
     headers_decoded: AtomicU64,
     records_corrupt: AtomicU64,
     bytes_decoded: AtomicU64,
+    col_bytes_read: AtomicU64,
+    row_bytes_equiv: AtomicU64,
 }
 
 struct HeaderBlock<'s> {
-    seg: &'s Segment,
+    seg: SegmentRef<'s>,
     lo: u32,
     hi: u32,
     first_ordinal: u64,
+}
+
+/// One columnar block's rows as borrowed primitive slices — what
+/// [`HeaderBlocks::next_block_mixed`] hands a consumer for `STIRSEG2`
+/// segments. All slices have the block's length; coordinates use the
+/// micro-degree grid with `i32::MIN` meaning "no GPS fix" (the same
+/// sentinel the pipeline's column batches use), so a consumer bulk-copies
+/// them without any per-record decode or transpose.
+#[derive(Clone, Copy, Debug)]
+pub struct ColumnSlice<'a> {
+    /// Author user ids.
+    pub users: &'a [u64],
+    /// Timestamps (seconds since the collection-window epoch).
+    pub timestamps: &'a [u64],
+    /// Latitudes in micro-degrees (`i32::MIN` = no fix).
+    pub lats_e6: &'a [i32],
+    /// Longitudes in micro-degrees (`i32::MIN` = no fix).
+    pub lons_e6: &'a [i32],
+}
+
+impl ColumnSlice<'_> {
+    /// Rows in the slice.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+/// Column bytes a direct columnar block read touches per row: user(8) +
+/// timestamp(8) + lat_e6(4) + lon_e6(4). Ids and text are never read.
+const COL_SLICE_BYTES: u64 = 24;
+
+/// What [`HeaderBlocks::next_block_mixed`] hands its sink: a whole
+/// columnar block at once, or one decoded header at a time from a row
+/// block. A single sink closure (rather than one per variant) lets a
+/// consumer accumulate both shapes into the same mutable buffer.
+#[derive(Clone, Copy, Debug)]
+pub enum BlockChunk<'a> {
+    /// One `STIRSEG2` block as borrowed primitive column slices.
+    Columns(ColumnSlice<'a>),
+    /// One decoded row-segment header.
+    Header(&'a TweetHeader),
 }
 
 impl<'s> HeaderBlocks<'s> {
@@ -432,8 +539,15 @@ impl<'s> HeaderBlocks<'s> {
         let step = block_records as u32;
         let mut blocks = Vec::new();
         let mut ordinal = 0u64;
+        let mut segments_row = 0u64;
+        let mut segments_col = 0u64;
         let segments = store.segments();
         for &seg in &segments {
+            if seg.is_columnar() {
+                segments_col += 1;
+            } else {
+                segments_row += 1;
+            }
             let len = seg.len() as u32;
             let mut lo = 0u32;
             while lo < len {
@@ -454,37 +568,114 @@ impl<'s> HeaderBlocks<'s> {
             block_records,
             records: ordinal,
             segments: segments.len() as u64,
+            segments_row,
+            segments_col,
             headers_decoded: AtomicU64::new(0),
             records_corrupt: AtomicU64::new(0),
             bytes_decoded: AtomicU64::new(0),
+            col_bytes_read: AtomicU64::new(0),
+            row_bytes_equiv: AtomicU64::new(0),
+        }
+    }
+
+    /// Charges a columnar block's reads to the counters: `per_row` column
+    /// bytes for each row, and the segment's row header bytes pro-rated
+    /// over the rows as the row-path equivalent.
+    fn charge_columnar(&self, c: &crate::colseg::ColumnSegment, rows: u64, per_row: u64) {
+        self.headers_decoded.fetch_add(rows, Ordering::Relaxed);
+        self.bytes_decoded
+            .fetch_add(rows * per_row, Ordering::Relaxed);
+        self.col_bytes_read
+            .fetch_add(rows * per_row, Ordering::Relaxed);
+        if !c.is_empty() {
+            self.row_bytes_equiv.fetch_add(
+                c.row_header_bytes() * rows / c.len() as u64,
+                Ordering::Relaxed,
+            );
         }
     }
 
     /// Draws the next block and hands every decoded header to `sink`, in
     /// slot order. Returns the first slot's global ordinal, or `None` when
-    /// the store is drained. This is the columnar hand-off: a consumer
-    /// whose morsels are column batches pushes each header's fields
-    /// straight into its columns — no intermediate row value of any shape
-    /// exists between header decode and the columns.
+    /// the store is drained. Columnar blocks assemble headers from their
+    /// columns; consumers that can take raw columns should prefer
+    /// [`HeaderBlocks::next_block_mixed`], which skips even that.
     pub fn next_block_headers(&self, mut sink: impl FnMut(&TweetHeader)) -> Option<u64> {
         let b = self.cursor.fetch_add(1, Ordering::Relaxed);
         let block = self.blocks.get(b)?;
-        let mut decoded = 0u64;
-        let mut corrupt = 0u64;
-        let mut bytes = 0u64;
-        for slot in block.lo..block.hi {
-            match block.seg.view(slot) {
-                Ok(view) => {
-                    decoded += 1;
-                    bytes += view.header_len() as u64;
-                    sink(&view.header);
+        match block.seg {
+            SegmentRef::Rows(s) => {
+                let mut decoded = 0u64;
+                let mut corrupt = 0u64;
+                let mut bytes = 0u64;
+                for slot in block.lo..block.hi {
+                    match s.view(slot) {
+                        Ok(view) => {
+                            decoded += 1;
+                            bytes += view.header_len() as u64;
+                            sink(&view.header);
+                        }
+                        Err(_) => corrupt += 1,
+                    }
                 }
-                Err(_) => corrupt += 1,
+                self.headers_decoded.fetch_add(decoded, Ordering::Relaxed);
+                self.records_corrupt.fetch_add(corrupt, Ordering::Relaxed);
+                self.bytes_decoded.fetch_add(bytes, Ordering::Relaxed);
+                self.row_bytes_equiv.fetch_add(bytes, Ordering::Relaxed);
+            }
+            SegmentRef::Cols(c) => {
+                for slot in block.lo..block.hi {
+                    sink(&c.header(slot));
+                }
+                self.charge_columnar(c, (block.hi - block.lo) as u64, COL_HEADER_BYTES as u64);
             }
         }
-        self.headers_decoded.fetch_add(decoded, Ordering::Relaxed);
-        self.records_corrupt.fetch_add(corrupt, Ordering::Relaxed);
-        self.bytes_decoded.fetch_add(bytes, Ordering::Relaxed);
+        Some(block.first_ordinal)
+    }
+
+    /// Draws the next block through the format-aware direct path: a
+    /// columnar block is handed to `sink` as one
+    /// [`BlockChunk::Columns`] of borrowed primitive slices (zero
+    /// per-record work — no header is ever assembled), a row block decodes
+    /// headers into per-record [`BlockChunk::Header`] calls exactly like
+    /// [`HeaderBlocks::next_block_headers`]. Returns the first slot's
+    /// global ordinal, or `None` when the store is drained. Both paths
+    /// visit identical logical rows in identical order, so a consumer
+    /// that treats them uniformly stays byte-identical across formats.
+    pub fn next_block_mixed(&self, mut sink: impl FnMut(BlockChunk<'_>)) -> Option<u64> {
+        let b = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let block = self.blocks.get(b)?;
+        match block.seg {
+            SegmentRef::Rows(s) => {
+                let mut decoded = 0u64;
+                let mut corrupt = 0u64;
+                let mut bytes = 0u64;
+                for slot in block.lo..block.hi {
+                    match s.view(slot) {
+                        Ok(view) => {
+                            decoded += 1;
+                            bytes += view.header_len() as u64;
+                            sink(BlockChunk::Header(&view.header));
+                        }
+                        Err(_) => corrupt += 1,
+                    }
+                }
+                self.headers_decoded.fetch_add(decoded, Ordering::Relaxed);
+                self.records_corrupt.fetch_add(corrupt, Ordering::Relaxed);
+                self.bytes_decoded.fetch_add(bytes, Ordering::Relaxed);
+                self.row_bytes_equiv.fetch_add(bytes, Ordering::Relaxed);
+            }
+            SegmentRef::Cols(c) => {
+                let (lo, hi) = (block.lo as usize, block.hi as usize);
+                sink(BlockChunk::Columns(ColumnSlice {
+                    users: &c.users()[lo..hi],
+                    timestamps: &c.timestamps()[lo..hi],
+                    lats_e6: &c.lats_e6()[lo..hi],
+                    lons_e6: &c.lons_e6()[lo..hi],
+                }));
+                self.charge_columnar(c, (hi - lo) as u64, COL_SLICE_BYTES);
+            }
+        }
         Some(block.first_ordinal)
     }
 
@@ -528,6 +719,27 @@ impl<'s> HeaderBlocks<'s> {
     /// Header bytes decoded so far (text is never touched).
     pub fn bytes_decoded(&self) -> u64 {
         self.bytes_decoded.load(Ordering::Relaxed)
+    }
+
+    /// Row-format segments (including the active tail).
+    pub fn segments_row(&self) -> u64 {
+        self.segments_row
+    }
+
+    /// Columnar segments.
+    pub fn segments_col(&self) -> u64 {
+        self.segments_col
+    }
+
+    /// Bytes read from columnar segments so far.
+    pub fn col_bytes_read(&self) -> u64 {
+        self.col_bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Row-path equivalent of all reads so far (what the same draws would
+    /// have decoded from row frames).
+    pub fn row_bytes_equiv(&self) -> u64 {
+        self.row_bytes_equiv.load(Ordering::Relaxed)
     }
 }
 
@@ -724,6 +936,69 @@ mod tests {
         assert_eq!(blocks.records_corrupt(), 0);
         // Header-only: decode volume falls far short of the stored bytes.
         assert!(blocks.bytes_decoded() < s.stats().payload_bytes);
+    }
+
+    #[test]
+    fn header_blocks_mixed_path_identical_across_formats() {
+        use crate::segment::quantize_e6;
+        use crate::store::StoreFormat;
+        // Same appends into a v1 and a v2 store: draining v1 via headers
+        // and v2 via the column direct path must yield identical logical
+        // rows in identical order, with identical ordinals.
+        let build = |format| {
+            let mut s = TweetStore::with_segment_bytes_and_format(2048, format);
+            for i in 0..1500u64 {
+                s.append(&TweetRecord {
+                    id: i,
+                    user: i % 40,
+                    timestamp: i * 10,
+                    gps: (i % 3 == 0).then(|| Point::new(37.0 + (i % 9) as f64 * 0.01, 127.0)),
+                    text: format!("mixed path {i}"),
+                });
+            }
+            s
+        };
+        let drain = |s: &TweetStore| {
+            let blocks = HeaderBlocks::new(s, 128);
+            let mut rows: Vec<(u64, u64, i32, i32)> = Vec::new();
+            let mut ordinals = Vec::new();
+            while let Some(ord) = blocks.next_block_mixed(|chunk| match chunk {
+                BlockChunk::Columns(cols) => {
+                    for i in 0..cols.len() {
+                        rows.push((
+                            cols.users[i],
+                            cols.timestamps[i],
+                            cols.lats_e6[i],
+                            cols.lons_e6[i],
+                        ));
+                    }
+                }
+                BlockChunk::Header(h) => {
+                    let (lat, lon) = h.gps.map(quantize_e6).unwrap_or((i32::MIN, i32::MIN));
+                    rows.push((h.user, h.timestamp, lat, lon));
+                }
+            }) {
+                ordinals.push(ord);
+            }
+            (
+                rows,
+                ordinals,
+                blocks.col_bytes_read(),
+                blocks.row_bytes_equiv(),
+            )
+        };
+        let v1 = build(StoreFormat::V1);
+        let v2 = build(StoreFormat::V2);
+        let (rows1, ords1, col1, row_equiv1) = drain(&v1);
+        let (rows2, ords2, col2, row_equiv2) = drain(&v2);
+        assert_eq!(rows1, rows2);
+        assert_eq!(ords1, ords2);
+        assert_eq!(col1, 0, "v1 store reads no column bytes");
+        assert!(col2 > 0, "v2 store must use the direct path");
+        assert!(
+            row_equiv2 > 0 && row_equiv2 <= row_equiv1,
+            "row-equivalent accounting: v2 {row_equiv2} vs v1 {row_equiv1}"
+        );
     }
 
     #[test]

@@ -267,6 +267,16 @@ impl Segment {
             let at = 12 + i * 4;
             offsets.push(u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()));
         }
+        // The checksum below covers the payload only, so the offset table
+        // must be validated independently: every offset in range and the
+        // table monotone, or `raw()`'s slicing would panic on lookup.
+        let mut prev = 0u32;
+        for &o in &offsets {
+            if o < prev || o as usize > payload_len {
+                return Err(CodecError::UnexpectedEof);
+            }
+            prev = o;
+        }
         let payload = &bytes[offsets_end..offsets_end + payload_len];
         let actual = fnv1a(payload);
         if actual != expected {

@@ -39,13 +39,13 @@
 
 use std::path::{Path, PathBuf};
 
-use crate::codec::{encode_record, fnv1a, TweetHeader, TweetRecord};
+use crate::codec::{encode_parts, encode_record, fnv1a, TweetHeader, TweetRecord};
 use crate::compact::{compact, CompactionReport};
 use crate::persist::{self, PersistError};
 use crate::query::Query;
-use crate::scan::HeaderBlocks;
+use crate::scan::{BlockChunk, HeaderBlocks};
 use crate::segment::DEFAULT_SEGMENT_BYTES;
-use crate::store::{RecordPtr, StoreStats, TweetStore};
+use crate::store::{RecordPtr, SegmentRef, StoreFormat, StoreStats, TweetStore};
 use crate::wal::{Wal, WalRecovery};
 
 /// File name of the shard-count manifest inside a sharded persist dir.
@@ -92,13 +92,38 @@ impl ShardedStore {
 
     /// A sharded store whose shards seal segments at `segment_bytes`.
     pub fn with_segment_bytes(shards: usize, segment_bytes: usize) -> Self {
+        Self::with_segment_bytes_and_format(shards, segment_bytes, StoreFormat::default())
+    }
+
+    /// A sharded store whose shards seal segments at `segment_bytes` in
+    /// `format` — every shard targets the same sealed-segment encoding.
+    pub fn with_segment_bytes_and_format(
+        shards: usize,
+        segment_bytes: usize,
+        format: StoreFormat,
+    ) -> Self {
         let shards = shards.max(1);
         ShardedStore {
             shards: (0..shards)
-                .map(|_| TweetStore::with_segment_bytes(segment_bytes))
+                .map(|_| TweetStore::with_segment_bytes_and_format(segment_bytes, format))
                 .collect(),
             segment_bytes,
             recovery: vec![None; shards],
+        }
+    }
+
+    /// The sealed-segment format the shards target (shard 0's — every
+    /// constructor and [`ShardedStore::set_format`] keep them uniform).
+    pub fn format(&self) -> StoreFormat {
+        self.shards[0].format()
+    }
+
+    /// Switches every shard's sealed-segment format for segments sealed
+    /// from now on; already-sealed segments keep their encoding (mixed
+    /// shards scan and query fine).
+    pub fn set_format(&mut self, format: StoreFormat) {
+        for s in &mut self.shards {
+            s.set_format(format);
         }
     }
 
@@ -269,13 +294,15 @@ impl ShardedStore {
     /// moved raw (checksum re-verified), never re-encoded.
     pub fn begin_compaction(&self, shard: usize) -> CompactionJob {
         let src = &self.shards[shard];
-        let mut detached = TweetStore::with_segment_bytes(self.segment_bytes);
+        let mut detached =
+            TweetStore::with_segment_bytes_and_format(self.segment_bytes, src.format());
+        let mut scratch = Vec::new();
         for seg in src.segments() {
             for slot in 0..seg.len() as u32 {
                 // The source store verified these frames at append; a
                 // re-verify failure here would be a memory error, so
                 // propagating is pointless — skip defensively.
-                let _ = detached.append_raw(seg.raw(slot));
+                let _ = detached.append_raw(reframe(seg, slot, &mut scratch));
             }
         }
         CompactionJob {
@@ -306,6 +333,7 @@ impl ShardedStore {
         let live = &self.shards[shard];
         report.bytes_before = live.stats().payload_bytes;
         let mut skip = records_at_begin;
+        let mut scratch = Vec::new();
         for seg in live.segments() {
             let len = seg.len() as u64;
             if skip >= len {
@@ -317,7 +345,7 @@ impl ShardedStore {
                     continue;
                 };
                 report.scanned += 1;
-                if keep(&header) && rebuilt.append_raw(seg.raw(slot)).is_ok() {
+                if keep(&header) && rebuilt.append_raw(reframe(seg, slot, &mut scratch)).is_ok() {
                     report.kept += 1;
                 }
             }
@@ -395,6 +423,29 @@ impl ShardedStore {
 /// `dir/shard-NNN`, the per-shard persist subdirectory.
 fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard:03}"))
+}
+
+/// One slot's row frame: row segments hand back their stored bytes
+/// zero-copy; columnar segments re-frame the slot from the decoded columns
+/// into `scratch` — µ° integers written directly, so no float or UTF-8
+/// round-trip can perturb the bytes.
+fn reframe<'a>(seg: SegmentRef<'a>, slot: u32, scratch: &'a mut Vec<u8>) -> &'a [u8] {
+    match seg {
+        SegmentRef::Rows(s) => s.raw(slot),
+        SegmentRef::Cols(c) => {
+            let h = c.header(slot);
+            scratch.clear();
+            encode_parts(
+                scratch,
+                h.id,
+                h.user,
+                h.timestamp,
+                c.gps_e6(slot),
+                c.text_bytes(slot),
+            );
+            scratch
+        }
+    }
 }
 
 /// K-way merges per-shard `(timestamp, id)`-sorted answers into the global
@@ -591,9 +642,47 @@ impl<'s> ShardedHeaderBlocks<'s> {
         None
     }
 
+    /// Draws the next block like
+    /// [`ShardedHeaderBlocks::next_block_headers`], but columnar segments
+    /// hand the block over as one [`BlockChunk::Columns`] of borrowed
+    /// slices instead of materializing per-record headers; row segments
+    /// still decode headers into per-record [`BlockChunk::Header`] calls.
+    /// Ordinal semantics are identical to the header path.
+    pub fn next_block_mixed(&self, mut sink: impl FnMut(BlockChunk<'_>)) -> Option<u64> {
+        use std::sync::atomic::Ordering;
+        let start = self.active.load(Ordering::Relaxed);
+        for (i, part) in self.parts.iter().enumerate().skip(start) {
+            if let Some(ordinal) = part.blocks.next_block_mixed(&mut sink) {
+                return Some(part.base + ordinal);
+            }
+            self.active.fetch_max(i + 1, Ordering::Relaxed);
+        }
+        None
+    }
+
     /// Records per full block, as configured.
     pub fn block_records(&self) -> usize {
         self.block_records
+    }
+
+    /// Row-format segments across all shards.
+    pub fn segments_row(&self) -> u64 {
+        self.parts.iter().map(|p| p.blocks.segments_row()).sum()
+    }
+
+    /// Columnar segments across all shards.
+    pub fn segments_col(&self) -> u64 {
+        self.parts.iter().map(|p| p.blocks.segments_col()).sum()
+    }
+
+    /// Column bytes read so far, summed over shards.
+    pub fn col_bytes_read(&self) -> u64 {
+        self.parts.iter().map(|p| p.blocks.col_bytes_read()).sum()
+    }
+
+    /// Row-equivalent bytes for the work done so far, summed over shards.
+    pub fn row_bytes_equiv(&self) -> u64 {
+        self.parts.iter().map(|p| p.blocks.row_bytes_equiv()).sum()
     }
 
     /// Records across all shards.
@@ -656,6 +745,20 @@ impl ShardedDurableStore {
         shards: usize,
         segment_bytes: usize,
     ) -> Result<Self, PersistError> {
+        Self::open_with_segment_bytes_and_format(dir, shards, segment_bytes, StoreFormat::default())
+    }
+
+    /// [`ShardedDurableStore::open`] with an explicit segment threshold
+    /// and sealed-segment format. WAL recovery itself is format-agnostic —
+    /// logs hold `STIRWAL1` row frames either way, and replay rebuilds
+    /// row segments byte-identically — the format only governs how
+    /// segments sealed *after* recovery are encoded.
+    pub fn open_with_segment_bytes_and_format(
+        dir: &Path,
+        shards: usize,
+        segment_bytes: usize,
+        format: StoreFormat,
+    ) -> Result<Self, PersistError> {
         let shards = shards.max(1);
         std::fs::create_dir_all(dir)?;
         let mut stores = Vec::with_capacity(shards);
@@ -683,6 +786,7 @@ impl ShardedDurableStore {
         }
         let mut store = ShardedStore::from_shards(stores, segment_bytes);
         store.recovery = recovery;
+        store.set_format(format);
         Ok(ShardedDurableStore { store, wals })
     }
 
@@ -1162,6 +1266,40 @@ mod tests {
             .filter(|r| shard_of(r.user, 3) != target)
             .count();
         assert_eq!(others, expected_others);
+    }
+
+    #[test]
+    fn cold_shard_compaction_emits_columnar_segments_under_v2() {
+        // A sharded store switched to V2 (e.g. after recovery, which is
+        // always row-first) upgrades shards to columnar as the scheduler
+        // rewrites them — and the rewritten shard answers identically.
+        let mut s = ShardedStore::with_segment_bytes(3, 2048);
+        for i in 0..6000u64 {
+            s.append(&rec(i));
+        }
+        assert_eq!(s.format(), StoreFormat::V1);
+        s.set_format(StoreFormat::V2);
+        let policy = CompactionPolicy {
+            min_records: 100,
+            min_reclaimable: 0.1,
+        };
+        let target = s.pick_cold_shard(&policy).unwrap();
+        let (shard, _) = s.maintain(&policy, |h| h.gps.is_some()).unwrap();
+        assert_eq!(shard, target);
+        let cols = s
+            .shard(shard)
+            .segments()
+            .iter()
+            .filter(|seg| seg.is_columnar())
+            .count();
+        assert!(cols > 0, "V2 rewrite must seal columnar segments");
+        let expected: Vec<u64> = (0..6000u64)
+            .map(rec)
+            .filter(|r| shard_of(r.user, 3) == shard && r.gps.is_some())
+            .map(|r| r.id)
+            .collect();
+        let ids: Vec<u64> = s.shard(shard).scan().map(|r| r.unwrap().id).collect();
+        assert_eq!(ids, expected);
     }
 
     #[test]

@@ -5,7 +5,8 @@ use std::collections::{BTreeMap, HashMap};
 use stir_geoindex::geohash;
 
 use crate::codec::{fnv1a, CodecError, TweetHeader, TweetRecord, TweetView};
-use crate::segment::{Segment, DEFAULT_SEGMENT_BYTES};
+use crate::colseg::ColumnSegment;
+use crate::segment::{Segment, ZoneMap, DEFAULT_SEGMENT_BYTES};
 
 /// Physical location of a record: `(segment, slot)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -23,6 +24,165 @@ pub const GEO_PRECISION: usize = 5;
 /// Width of a time-index bucket in seconds (1 hour).
 pub const TIME_BUCKET_SECS: u64 = 3600;
 
+/// On-disk / sealed-segment encoding a store targets.
+///
+/// Writes are row-first in both: the WAL and the open tail segment always
+/// hold `STIRWAL1`-style row frames. The format decides what *sealing*
+/// produces — `V2` converts a full row segment into a [`ColumnSegment`]
+/// at the moment it seals, `V1` keeps it as rows. Mixed stores (old `V1`
+/// sealed segments under a `V2` format) are fully supported; compaction
+/// upgrades them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreFormat {
+    /// Row-oriented sealed segments (`STIRSEG1`).
+    #[default]
+    V1,
+    /// Columnar sealed segments (`STIRSEG2`).
+    V2,
+}
+
+impl StoreFormat {
+    /// Parses the CLI/manifest spelling (`"v1"` / `"v2"`).
+    pub fn parse(s: &str) -> Option<StoreFormat> {
+        match s {
+            "v1" => Some(StoreFormat::V1),
+            "v2" => Some(StoreFormat::V2),
+            _ => None,
+        }
+    }
+
+    /// The manifest/CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StoreFormat::V1 => "v1",
+            StoreFormat::V2 => "v2",
+        }
+    }
+}
+
+/// A sealed segment in either encoding. The active segment is always
+/// rows; sealed ones are whatever the store's format (at seal time) says.
+#[derive(Debug, Clone)]
+pub(crate) enum SealedSegment {
+    /// Row frames (`STIRSEG1`).
+    Rows(Segment),
+    /// Columns (`STIRSEG2`).
+    Cols(ColumnSegment),
+}
+
+/// A borrowed segment in either format — what [`TweetStore::segments`]
+/// hands to the scan engine, compaction, and persistence. `Copy`, so scan
+/// blocks capture it by value.
+#[derive(Clone, Copy, Debug)]
+pub enum SegmentRef<'a> {
+    /// A row-oriented segment (sealed `STIRSEG1` or the active tail).
+    Rows(&'a Segment),
+    /// A columnar sealed segment (`STIRSEG2`).
+    Cols(&'a ColumnSegment),
+}
+
+impl<'a> SegmentRef<'a> {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        match self {
+            SegmentRef::Rows(s) => s.len(),
+            SegmentRef::Cols(c) => c.len(),
+        }
+    }
+
+    /// True when the segment holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for columnar (`STIRSEG2`) segments.
+    pub fn is_columnar(&self) -> bool {
+        matches!(self, SegmentRef::Cols(_))
+    }
+
+    /// The segment's zone map.
+    pub fn zone_map(&self) -> &'a ZoneMap {
+        match self {
+            SegmentRef::Rows(s) => s.zone_map(),
+            SegmentRef::Cols(c) => c.zone_map(),
+        }
+    }
+
+    /// Row-encoded payload bytes (for columnar segments, the row-format
+    /// equivalent) — keeps size accounting format-independent, so roll
+    /// thresholds and stats agree across formats.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            SegmentRef::Rows(s) => s.byte_len(),
+            SegmentRef::Cols(c) => c.row_bytes_equiv() as usize,
+        }
+    }
+
+    /// Header of the record at `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn header(&self, slot: u32) -> Result<TweetHeader, CodecError> {
+        match self {
+            SegmentRef::Rows(s) => s.header(slot),
+            SegmentRef::Cols(c) => Ok(c.header(slot)),
+        }
+    }
+
+    /// Borrowed view of the record at `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn view(&self, slot: u32) -> Result<TweetView<'a>, CodecError> {
+        match self {
+            SegmentRef::Rows(s) => s.view(slot),
+            SegmentRef::Cols(c) => Ok(c.view(slot)),
+        }
+    }
+
+    /// Decodes the record at `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn get(&self, slot: u32) -> Result<TweetRecord, CodecError> {
+        match self {
+            SegmentRef::Rows(s) => s.get(slot),
+            SegmentRef::Cols(c) => c.cursor().record(slot),
+        }
+    }
+
+    /// The underlying row segment, when this is one.
+    pub fn as_rows(&self) -> Option<&'a Segment> {
+        match self {
+            SegmentRef::Rows(s) => Some(s),
+            SegmentRef::Cols(_) => None,
+        }
+    }
+
+    /// The underlying columnar segment, when this is one.
+    pub fn as_cols(&self) -> Option<&'a ColumnSegment> {
+        match self {
+            SegmentRef::Rows(_) => None,
+            SegmentRef::Cols(c) => Some(c),
+        }
+    }
+
+    /// Iterates borrowed views in slot order.
+    pub fn views(&self) -> impl Iterator<Item = Result<TweetView<'a>, CodecError>> + 'a {
+        let this = *self;
+        (0..this.len() as u32).map(move |slot| this.view(slot))
+    }
+}
+
+impl SealedSegment {
+    pub(crate) fn as_ref(&self) -> SegmentRef<'_> {
+        match self {
+            SealedSegment::Rows(s) => SegmentRef::Rows(s),
+            SealedSegment::Cols(c) => SegmentRef::Cols(c),
+        }
+    }
+}
+
 /// Aggregate store statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -30,7 +190,8 @@ pub struct StoreStats {
     pub records: u64,
     /// Records carrying GPS.
     pub gps_records: u64,
-    /// Total encoded payload bytes.
+    /// Total encoded payload bytes (row-format equivalent for columnar
+    /// segments, so the figure is stable across formats).
     pub payload_bytes: u64,
     /// Number of segments (including the active one).
     pub segments: u32,
@@ -40,7 +201,8 @@ pub struct StoreStats {
 ///
 /// Appends go to the active segment, which seals at a byte threshold.
 /// Indexes map to [`RecordPtr`]s, so a record is decoded only when a query
-/// actually returns it.
+/// actually returns it. Under [`StoreFormat::V2`] a segment is transposed
+/// to columns when it seals; slots are preserved, so pointers stay valid.
 ///
 /// ```
 /// use stir_tweetstore::{Query, TweetRecord, TweetStore};
@@ -58,9 +220,10 @@ pub struct StoreStats {
 /// assert_eq!(store.get_by_id(1).unwrap().text, "hello");
 /// ```
 pub struct TweetStore {
-    sealed: Vec<Segment>,
+    sealed: Vec<SealedSegment>,
     active: Segment,
     segment_bytes: usize,
+    format: StoreFormat,
     by_id: HashMap<u64, RecordPtr>,
     by_user: HashMap<u64, Vec<RecordPtr>>,
     by_time: BTreeMap<u64, Vec<RecordPtr>>,
@@ -75,17 +238,29 @@ impl Default for TweetStore {
 }
 
 impl TweetStore {
-    /// A store with the default segment size.
+    /// A store with the default segment size and format (`V1`).
     pub fn new() -> Self {
         Self::with_segment_bytes(DEFAULT_SEGMENT_BYTES)
     }
 
     /// A store that seals segments at `segment_bytes` encoded bytes.
     pub fn with_segment_bytes(segment_bytes: usize) -> Self {
+        Self::with_segment_bytes_and_format(segment_bytes, StoreFormat::default())
+    }
+
+    /// A store targeting `format` with the default segment size.
+    pub fn with_format(format: StoreFormat) -> Self {
+        Self::with_segment_bytes_and_format(DEFAULT_SEGMENT_BYTES, format)
+    }
+
+    /// A store with both the roll threshold and the sealed-segment format
+    /// chosen by the caller.
+    pub fn with_segment_bytes_and_format(segment_bytes: usize, format: StoreFormat) -> Self {
         TweetStore {
             sealed: Vec::new(),
             active: Segment::new(),
             segment_bytes: segment_bytes.max(1024),
+            format,
             by_id: HashMap::new(),
             by_user: HashMap::new(),
             by_time: BTreeMap::new(),
@@ -97,12 +272,47 @@ impl TweetStore {
         }
     }
 
+    /// The sealed-segment format this store targets.
+    pub fn format(&self) -> StoreFormat {
+        self.format
+    }
+
+    /// The configured segment roll threshold in (row-equivalent) bytes.
+    pub fn segment_bytes(&self) -> usize {
+        self.segment_bytes
+    }
+
+    /// Switches the format *future* seals target. Already-sealed segments
+    /// keep their encoding (a mixed store — compaction upgrades them).
+    pub fn set_format(&mut self, format: StoreFormat) {
+        self.format = format;
+    }
+
     /// Seals the active segment if it has reached the roll threshold.
+    ///
+    /// The threshold is always measured in *row* bytes (the active
+    /// segment is rows in both formats), so segment/slot boundaries — and
+    /// therefore scan ordinals and `RecordPtr`s — are identical across
+    /// formats for the same append sequence.
     fn roll_if_full(&mut self) {
         if self.active.byte_len() >= self.segment_bytes {
             let full = std::mem::replace(&mut self.active, Segment::new());
-            self.sealed.push(full);
+            self.sealed.push(Self::seal(full, self.format));
             self.stats.segments += 1;
+        }
+    }
+
+    /// Converts a full row segment into its sealed form for `format`.
+    fn seal(seg: Segment, format: StoreFormat) -> SealedSegment {
+        match format {
+            StoreFormat::V1 => SealedSegment::Rows(seg),
+            StoreFormat::V2 => match ColumnSegment::from_rows(&seg) {
+                Ok(cols) => SealedSegment::Cols(cols),
+                // A sealed segment only holds frames the append path
+                // already validated, so this can't fail in practice; if
+                // it somehow does, keep the rows rather than lose data.
+                Err(_) => SealedSegment::Rows(seg),
+            },
         }
     }
 
@@ -179,15 +389,16 @@ impl TweetStore {
         self.stats
     }
 
-    fn segment(&self, seg: u32) -> &Segment {
+    fn segment(&self, seg: u32) -> SegmentRef<'_> {
         if (seg as usize) < self.sealed.len() {
-            &self.sealed[seg as usize]
+            self.sealed[seg as usize].as_ref()
         } else {
-            &self.active
+            SegmentRef::Rows(&self.active)
         }
     }
 
-    /// Decodes the record at `ptr`.
+    /// Decodes the record at `ptr`. Columnar segments go through their
+    /// point-lookup cursor; row segments decode the frame.
     pub fn get(&self, ptr: RecordPtr) -> Result<TweetRecord, CodecError> {
         self.segment(ptr.seg).get(ptr.slot)
     }
@@ -234,10 +445,9 @@ impl TweetStore {
 
     /// Iterates over every record in (segment, slot) order.
     pub fn scan(&self) -> impl Iterator<Item = Result<TweetRecord, CodecError>> + '_ {
-        self.sealed
-            .iter()
-            .chain(std::iter::once(&self.active))
-            .flat_map(|s| s.iter())
+        self.segments()
+            .into_iter()
+            .flat_map(|s| (0..s.len() as u32).map(move |slot| s.get(slot)))
     }
 
     /// Iterates records in (segment, slot) order starting at record
@@ -249,9 +459,8 @@ impl TweetStore {
         from: u64,
     ) -> impl Iterator<Item = Result<TweetRecord, CodecError>> + '_ {
         let mut skip = from as usize;
-        self.sealed
-            .iter()
-            .chain(std::iter::once(&self.active))
+        self.segments()
+            .into_iter()
             .filter_map(move |s| {
                 if skip >= s.len() {
                     skip -= s.len();
@@ -269,10 +478,7 @@ impl TweetStore {
     /// the zero-copy counterpart of [`TweetStore::scan`]: headers are
     /// decoded, text stays in the segment buffer until asked for.
     pub fn scan_views(&self) -> impl Iterator<Item = Result<TweetView<'_>, CodecError>> + '_ {
-        self.sealed
-            .iter()
-            .chain(std::iter::once(&self.active))
-            .flat_map(|s| s.views())
+        self.segments().into_iter().flat_map(|s| s.views())
     }
 
     /// Streams header-only decodes in (segment, slot) order.
@@ -313,26 +519,38 @@ impl TweetStore {
 
     /// Sealed + active segments in order — a read-only view used by
     /// persistence, compaction, the scan engine, and zone-map inspection.
-    pub fn segments(&self) -> Vec<&Segment> {
+    /// Each entry is a [`SegmentRef`] carrying its format.
+    pub fn segments(&self) -> Vec<SegmentRef<'_>> {
         self.sealed
             .iter()
-            .chain(std::iter::once(&self.active))
+            .map(|s| s.as_ref())
+            .chain(std::iter::once(SegmentRef::Rows(&self.active)))
             .collect()
     }
 
-    /// Rebuilds a store from segments (persistence path).
+    /// Rebuilds a store from sealed segments (persistence path).
     ///
     /// Segments are adopted as-is — payload bytes are never re-encoded and
-    /// record text is never decoded. All but the last become sealed; the
-    /// last resumes as the active segment. Indexes and stats are rebuilt
-    /// from a header-only scan.
-    pub(crate) fn from_segments(mut segments: Vec<Segment>, segment_bytes: usize) -> Self {
-        let mut store = TweetStore::with_segment_bytes(segment_bytes);
-        let Some(active) = segments.pop() else {
-            return store;
-        };
-        store.sealed = segments;
-        store.active = active;
+    /// record text is never decoded. A trailing *row* segment resumes as
+    /// the active segment (a columnar tail stays sealed: columns are
+    /// immutable). Indexes and stats are rebuilt from a header-only scan.
+    pub(crate) fn from_sealed(
+        mut segments: Vec<SealedSegment>,
+        segment_bytes: usize,
+        format: StoreFormat,
+    ) -> Self {
+        let mut store = TweetStore::with_segment_bytes_and_format(segment_bytes, format);
+        match segments.pop() {
+            Some(SealedSegment::Rows(tail)) => {
+                store.sealed = segments;
+                store.active = tail;
+            }
+            Some(cols @ SealedSegment::Cols(_)) => {
+                segments.push(cols);
+                store.sealed = segments;
+            }
+            None => return store,
+        }
         store.stats.segments = store.sealed.len() as u32 + 1;
         for seg_idx in 0..store.stats.segments {
             // Collect headers first: indexing needs `&mut store` while the
@@ -340,7 +558,7 @@ impl TweetStore {
             let seg = store.segment(seg_idx);
             let mut entries = Vec::with_capacity(seg.len());
             for slot in 0..seg.len() as u32 {
-                // The framed loader verified the checksum and rebuilt the
+                // The framed loader verified the checksums and rebuilt the
                 // zone map from these same headers, so decode cannot fail
                 // here; skip defensively rather than panic.
                 let Ok(view) = seg.view(slot) else { continue };
@@ -468,7 +686,10 @@ mod tests {
         let frames: Vec<Vec<u8>> = a
             .segments()
             .iter()
-            .flat_map(|s| (0..s.len() as u32).map(|slot| s.raw(slot).to_vec()))
+            .flat_map(|s| {
+                let rows = s.as_rows().expect("v1 store is all rows");
+                (0..rows.len() as u32).map(|slot| rows.raw(slot).to_vec())
+            })
             .collect();
         for f in &frames {
             b.append_raw(f).unwrap();
@@ -477,8 +698,9 @@ mod tests {
         assert_eq!(a.user_count(), b.user_count());
         for (sa, sb) in a.segments().iter().zip(b.segments().iter()) {
             assert_eq!(sa.zone_map(), sb.zone_map());
-            for slot in 0..sa.len() as u32 {
-                assert_eq!(sa.raw(slot), sb.raw(slot));
+            let (ra, rb) = (sa.as_rows().unwrap(), sb.as_rows().unwrap());
+            for slot in 0..ra.len() as u32 {
+                assert_eq!(ra.raw(slot), rb.raw(slot));
             }
         }
         // Garbage frames are rejected without perturbing the store.
@@ -516,5 +738,56 @@ mod tests {
         }
         let ids: Vec<u64> = s.scan().map(|r| r.unwrap().id).collect();
         assert_eq!(ids, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn v2_store_seals_columnar_and_answers_identically() {
+        let mut v1 = TweetStore::with_segment_bytes(2048);
+        let mut v2 = TweetStore::with_segment_bytes_and_format(2048, StoreFormat::V2);
+        for i in 0..1200 {
+            let r = rec(i, i % 11, i * 60, (i % 3 == 0).then_some((37.5, 127.0)));
+            v1.append(&r);
+            v2.append(&r);
+        }
+        assert_eq!(v1.stats(), v2.stats(), "stats are format-independent");
+        assert!(
+            v2.segments().iter().filter(|s| s.is_columnar()).count() > 0,
+            "v2 store must seal columnar segments"
+        );
+        assert!(
+            v1.segments().iter().all(|s| !s.is_columnar()),
+            "v1 store stays rows"
+        );
+        // Same segment/slot geometry (roll thresholds are row bytes in
+        // both), same answers via every access path.
+        for (sa, sb) in v1.segments().iter().zip(v2.segments().iter()) {
+            assert_eq!(sa.len(), sb.len());
+            assert_eq!(sa.zone_map(), sb.zone_map());
+        }
+        for i in 0..1200 {
+            assert_eq!(v1.get_by_id(i), v2.get_by_id(i));
+        }
+        let a: Vec<TweetRecord> = v1.scan().map(|r| r.unwrap()).collect();
+        let b: Vec<TweetRecord> = v2.scan().map(|r| r.unwrap()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_store_after_format_switch() {
+        let mut s = TweetStore::with_segment_bytes(2048);
+        for i in 0..600 {
+            s.append(&rec(i, i % 5, i, None));
+        }
+        s.set_format(StoreFormat::V2);
+        for i in 600..1200 {
+            s.append(&rec(i, i % 5, i, None));
+        }
+        let segs = s.segments();
+        assert!(segs.iter().any(|s| s.is_columnar()));
+        assert!(segs.iter().any(|s| !s.is_columnar()));
+        assert_eq!(s.scan().filter(|r| r.is_ok()).count(), 1200);
+        for i in 0..1200 {
+            assert_eq!(s.get_by_id(i).unwrap().id, i);
+        }
     }
 }

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use proptest::prelude::*;
 use stir::core::{AnalysisResult, PipelineBuilder, ProfileRow, TweetRow};
 use stir::geokr::Gazetteer;
-use stir::tweetstore::{TweetRecord, Wal};
+use stir::tweetstore::{StoreFormat, TweetRecord, TweetStore, Wal};
 
 fn gaz() -> &'static Gazetteer {
     use std::sync::OnceLock;
@@ -178,5 +178,69 @@ proptest! {
         let scan = got.metrics.scan.as_ref().expect("store runs fill scan");
         prop_assert_eq!(scan.headers_decoded, recovered);
         prop_assert_eq!(scan.records_corrupt, 0);
+    }
+
+    #[test]
+    fn fused_run_is_identical_across_store_formats(
+        rows in prop::collection::vec((0u64..8, 0usize..4), 1..200),
+        threads_idx in 0usize..3,
+        morsel_idx in 0usize..3,
+        exact in any::<bool>(),
+    ) {
+        let g = gaz();
+        let (profiles, tweets) = corpus(&rows);
+        let records: Vec<TweetRecord> = tweets
+            .iter()
+            .map(|t| TweetRecord {
+                id: t.tweet_id,
+                user: t.user,
+                timestamp: 1_300_000_000 + t.tweet_id,
+                gps: t.gps,
+                text: format!("tweet {}", t.tweet_id),
+            })
+            .collect();
+
+        // Same corpus in three storage layouts: all-row, all-columnar,
+        // and a mid-stream format flip that leaves a mixed segment chain.
+        // Small segments force several seals so the columnar path is hot.
+        let mut v1 = TweetStore::with_segment_bytes_and_format(1024, StoreFormat::V1);
+        let mut v2 = TweetStore::with_segment_bytes_and_format(1024, StoreFormat::V2);
+        let mut mixed = TweetStore::with_segment_bytes_and_format(1024, StoreFormat::V1);
+        for (i, r) in records.iter().enumerate() {
+            v1.append(r);
+            v2.append(r);
+            if i == records.len() / 2 {
+                mixed.set_format(StoreFormat::V2);
+            }
+            mixed.append(r);
+        }
+
+        let staged = PipelineBuilder::new(g).staged().threads(1).build().unwrap();
+        let reference = staged.execute(profiles.clone(), tweets);
+        let fused = PipelineBuilder::new(g)
+            .threads(THREADS[threads_idx])
+            .threads_exact(exact)
+            .morsel_rows(MORSELS[morsel_idx])
+            .build()
+            .unwrap();
+        for store in [&v1, &v2, &mixed] {
+            let got = fused.execute(profiles.clone(), store);
+            assert_identical(&got, &reference)?;
+            let scan = got.metrics.scan.as_ref().expect("store runs fill scan");
+            prop_assert_eq!(scan.headers_decoded, records.len() as u64);
+            prop_assert_eq!(scan.records_corrupt, 0);
+            // Any sealed columnar segment must have been served through
+            // the direct column path, and the format census must agree
+            // with the store's actual segment chain.
+            let cols = store.segments().iter().filter(|s| s.is_columnar()).count() as u64;
+            let rows_segs = store.segments().len() as u64 - cols;
+            prop_assert_eq!(scan.segments_col, cols);
+            prop_assert_eq!(scan.segments_row, rows_segs);
+            if cols > 0 {
+                prop_assert!(scan.col_bytes_read > 0);
+            } else {
+                prop_assert_eq!(scan.col_bytes_read, 0);
+            }
+        }
     }
 }
