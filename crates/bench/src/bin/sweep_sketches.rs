@@ -1,0 +1,331 @@
+//! Minimum-time sweep of the seal-time group-sketch pushdown (E26): the
+//! fig7-shaped grouping query over a fully sealed columnar store, answered
+//! by the sketch delta merge versus the fused scan baseline.
+//!
+//! * `e2e_scan` — the fused pipeline scanning every record (the PR-9
+//!   baseline path, sketches off).
+//! * `e2e_sketch_warm` — the same query with sketches on and every sealed
+//!   segment's sketch already materialized (the steady state of a store
+//!   whose segments sketch themselves at seal time): a k-way merge of
+//!   per-segment partials, no record decode, no geocoding.
+//! * `e2e_sketch_cold` — first query against a store persisted *without*
+//!   sidecars: the sketcher is (re)installed each round, so the timing
+//!   includes lazily building every segment's sketch before merging.
+//! * `window_scan` / `window_sketch` — day-aligned windowed queries over
+//!   1, 7 and 30 of the corpus's 30 days: the scan path touches every
+//!   record regardless of the window, the sketch path only the day
+//!   buckets (and segments) the window covers, so its cost should scale
+//!   with the days touched.
+//!
+//! Methodology is E22's: each timed cell is the **minimum** over `rounds`
+//! in-process rounds, cells interleaved round-robin so host-noise drift
+//! lands on every cell equally, round 0 is warmup and unrecorded. Prints
+//! one JSON object per cell, recorded as the E26 entry in
+//! `BENCH_tweetstore.json`:
+//!
+//! ```text
+//! cargo run --release -p stir-bench --bin sweep_sketches [rounds]
+//! ```
+//!
+//! Unlike `sweep_tweetstore`, timestamps here are **monotonic** over the
+//! 30 simulated days — the modular shuffle the other sweep uses would
+//! smear every day across every segment, leaving zone maps and day
+//! buckets nothing to prune. Stores round-trip through `persist` so every
+//! segment is sealed (the in-memory tail is empty) and the warm store's
+//! sketches ride in from their sidecars.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use stir_bench::district_points;
+use stir_core::{GazetteerSketcher, PipelineBuilder, ProfileRow, TimeWindow};
+use stir_geokr::Gazetteer;
+use stir_tweetstore::{persist, SketchResolver, StoreFormat, TweetRecord, TweetStore};
+
+const SIZES: [usize; 2] = [50_000, 200_000];
+
+/// Row-equivalent payload bytes per segment — sized so the 30-day corpus
+/// seals into a handful of segments (5 at 200k records), each spanning a
+/// contiguous run of days. That makes the warm cell a real k-way merge
+/// and gives windowed queries whole segments to prune; the store default
+/// (4 MiB) would leave just one or two segments here.
+const SEGMENT_BYTES: usize = 1 << 20;
+
+const PROFILE_TEXTS: [&str; 4] = [
+    "Seoul Yangcheon-gu",
+    "Seoul Gangnam-gu",
+    "Busan Jung-gu",
+    "Gyeonggi-do Bucheon-si",
+];
+
+/// Ill-defined profile texts — the paper's funnel drops most users at the
+/// select stage, and the sketch merge skips their pre-grouped entries
+/// wholesale where the scan path still decodes their every record.
+const JUNK_TEXTS: [&str; 4] = ["my home", "somewhere on earth", "", "wonderland"];
+
+/// Tweets per author — ~3 a day over the simulated month, the rate of the
+/// paper's crawled timelines. Several fixes per author per day is what
+/// gives the seal-time sketch real (user, day, district) aggregation to
+/// collapse; a sparser corpus degenerates to one entry per record.
+const TWEETS_PER_USER: u64 = 100;
+
+/// One author in ten has a well-defined profile location.
+const KEPT_EVERY: u64 = 10;
+
+/// Tweets spread over this many days of simulated time.
+const DAYS: u64 = 30;
+
+/// Day-aligned window widths swept for the scaling cells.
+const WINDOW_DAYS: [u64; 3] = [1, 7, 30];
+
+/// A fig7-shaped corpus: n tweets over n/100 authors, ~70% GPS fixes on
+/// district centroids, each author anchored to a home district (most
+/// fixes there, the rest from a handful of neighbours). Timestamps climb
+/// monotonically through the 30 days, as an ingest stream's would — the
+/// modular shuffle `sweep_tweetstore` uses would smear every day across
+/// every segment and leave day buckets nothing to prune.
+fn corpus(g: &Gazetteer, n: usize) -> Vec<TweetRecord> {
+    let users = (n as u64 / TWEETS_PER_USER).max(1);
+    let points = district_points(g, 256, 42);
+    (0..n as u64)
+        .map(|i| {
+            let user = i % users;
+            let home = (user * 7) % points.len() as u64;
+            let district = if i % 7 < 5 {
+                home
+            } else {
+                (home + 1 + (i / users) % 5) % points.len() as u64
+            };
+            TweetRecord {
+                id: i,
+                user,
+                timestamp: i * DAYS * 86_400 / n as u64,
+                gps: (i % 10 < 7).then(|| points[district as usize]),
+                text: format!("t{i}"),
+            }
+        })
+        .collect()
+}
+
+/// One author in [`KEPT_EVERY`] carries a well-defined location text (the
+/// four district names cycled); the rest are the junk strings the select
+/// stage rejects — the paper's funnel shape.
+fn profiles(n: usize) -> Vec<ProfileRow> {
+    let users = (n as u64 / TWEETS_PER_USER).max(1);
+    (0..users)
+        .map(|u| ProfileRow {
+            user: u,
+            location_text: if u % KEPT_EVERY == 0 {
+                PROFILE_TEXTS[(u / KEPT_EVERY) as usize % PROFILE_TEXTS.len()].to_string()
+            } else {
+                JUNK_TEXTS[u as usize % JUNK_TEXTS.len()].to_string()
+            },
+        })
+        .collect()
+}
+
+/// Builds a fully sealed store: ingest (optionally sketching at seal
+/// time), force-seal the tail, persist, reload. Every reloaded segment is
+/// columnar and sealed — the open tail comes back empty — and the sketch
+/// sidecars ride along when the ingest store cached them.
+fn sealed_store(recs: &[TweetRecord], sketcher: Option<Arc<dyn SketchResolver>>) -> TweetStore {
+    let mut store = TweetStore::with_segment_bytes_and_format(SEGMENT_BYTES, StoreFormat::V2);
+    if let Some(s) = sketcher {
+        store.set_sketcher(s);
+    }
+    for r in recs {
+        store.append(r);
+    }
+    store.seal_active();
+    let dir = std::env::temp_dir().join(format!("stir-sweep-sketches-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    persist::save(&store, &dir).expect("save store");
+    let loaded = persist::load_with_segment_bytes(&dir, SEGMENT_BYTES).expect("reload store");
+    let _ = std::fs::remove_dir_all(&dir);
+    loaded
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    E2eScan,
+    E2eSketchWarm,
+    E2eSketchCold,
+    WindowScan(u64),
+    WindowSketch(u64),
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::E2eScan => "e2e_scan",
+            Kind::E2eSketchWarm => "e2e_sketch_warm",
+            Kind::E2eSketchCold => "e2e_sketch_cold",
+            Kind::WindowScan(_) => "window_scan",
+            Kind::WindowSketch(_) => "window_sketch",
+        }
+    }
+
+    fn days(self) -> Option<u64> {
+        match self {
+            Kind::WindowScan(d) | Kind::WindowSketch(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+struct Cell {
+    kind: Kind,
+    size_idx: usize,
+    best_nanos: u128,
+}
+
+/// A day-aligned window of `d` days ending mid-corpus (clamped to it).
+fn window(d: u64) -> TimeWindow {
+    let hi = (10 + d).min(DAYS);
+    TimeWindow::days(hi - d, hi)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rounds: usize = args
+        .first()
+        .map(|a| a.parse().expect("rounds must be an integer"))
+        .unwrap_or(25);
+
+    let g: &'static Gazetteer = Box::leak(Box::new(Gazetteer::load()));
+    let sketcher: Arc<dyn SketchResolver> = Arc::new(GazetteerSketcher::new());
+
+    // Per size: a warm store (sketches sealed in, sidecars reloaded) and a
+    // cold one (no sidecars; re-sketched lazily each cold round).
+    let warm: Vec<TweetStore> = SIZES
+        .iter()
+        .map(|&n| sealed_store(&corpus(g, n), Some(sketcher.clone())))
+        .collect();
+    let mut cold: Vec<TweetStore> = SIZES
+        .iter()
+        .map(|&n| sealed_store(&corpus(g, n), None))
+        .collect();
+    let profs: Vec<Vec<ProfileRow>> = SIZES.iter().map(|&n| profiles(n)).collect();
+
+    let scan = PipelineBuilder::new(g).build().unwrap();
+    let sketch = PipelineBuilder::new(g).sketches(true).build().unwrap();
+
+    // The pushdown must change nothing but the cost: pin byte-identity
+    // (and that the sketch path actually engages) before timing anything.
+    for (i, store) in warm.iter().enumerate() {
+        let a = scan.execute(profs[i].clone(), store);
+        let b = sketch.execute(profs[i].clone(), store);
+        assert_eq!(a.funnel, b.funnel, "sketch path diverged");
+        assert_eq!(a.users, b.users, "sketch path diverged");
+        let sm = b
+            .metrics
+            .scan
+            .as_ref()
+            .expect("store run fills scan metrics");
+        assert!(sm.sketch_segments > 0, "sketch path must engage");
+        assert_eq!(sm.records_scanned_residual, 0, "sealed store has no tail");
+        if std::env::var_os("SWEEP_DEBUG").is_some() {
+            eprintln!(
+                "--- scan metrics (n={}) ---\n{}",
+                SIZES[i],
+                a.metrics.render()
+            );
+            eprintln!(
+                "--- sketch metrics (n={}) ---\n{}",
+                SIZES[i],
+                b.metrics.render()
+            );
+        }
+    }
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for size_idx in 0..SIZES.len() {
+        let mut kinds = vec![Kind::E2eScan, Kind::E2eSketchWarm, Kind::E2eSketchCold];
+        for &d in &WINDOW_DAYS {
+            kinds.push(Kind::WindowScan(d));
+            kinds.push(Kind::WindowSketch(d));
+        }
+        for kind in kinds {
+            cells.push(Cell {
+                kind,
+                size_idx,
+                best_nanos: u128::MAX,
+            });
+        }
+    }
+
+    for round in 0..=rounds {
+        for cell in cells.iter_mut() {
+            let p = profs[cell.size_idx].clone();
+            let nanos = match cell.kind {
+                Kind::E2eScan => {
+                    let store = &warm[cell.size_idx];
+                    let start = Instant::now();
+                    let r = scan.execute(p, store);
+                    let nanos = start.elapsed().as_nanos();
+                    assert!(r.funnel.users_final > 0);
+                    nanos
+                }
+                Kind::E2eSketchWarm => {
+                    let store = &warm[cell.size_idx];
+                    let start = Instant::now();
+                    let r = sketch.execute(p, store);
+                    let nanos = start.elapsed().as_nanos();
+                    assert!(r.funnel.users_final > 0);
+                    nanos
+                }
+                Kind::E2eSketchCold => {
+                    // Re-installing the sketcher drops every lazily built
+                    // sketch, so each round pays the full rebuild.
+                    let store = &mut cold[cell.size_idx];
+                    store.set_sketcher(sketcher.clone());
+                    let start = Instant::now();
+                    let r = sketch.execute(p, &*store);
+                    let nanos = start.elapsed().as_nanos();
+                    assert!(r.funnel.users_final > 0);
+                    nanos
+                }
+                Kind::WindowScan(d) => {
+                    let store = &warm[cell.size_idx];
+                    let start = Instant::now();
+                    let r = scan.execute_windowed(p, store, window(d));
+                    let nanos = start.elapsed().as_nanos();
+                    assert!(r.funnel.tweets_total > 0);
+                    nanos
+                }
+                Kind::WindowSketch(d) => {
+                    let store = &warm[cell.size_idx];
+                    let start = Instant::now();
+                    let r = sketch.execute_windowed(p, store, window(d));
+                    let nanos = start.elapsed().as_nanos();
+                    assert!(r.funnel.tweets_total > 0);
+                    nanos
+                }
+            };
+            if round > 0 {
+                cell.best_nanos = cell.best_nanos.min(nanos.max(1));
+            }
+        }
+    }
+
+    println!("[");
+    for (i, cell) in cells.iter().enumerate() {
+        let n = SIZES[cell.size_idx];
+        let elem_per_s = (n as u128 * 1_000_000_000 / cell.best_nanos) as u64;
+        let days = cell
+            .kind
+            .days()
+            .map(|d| format!("\"days\": {d}, "))
+            .unwrap_or_default();
+        println!(
+            "  {{\"bench\": \"{}\", {}\"tweets\": {}, \"min_ms\": {:.3}, \"elem_per_s\": {}}}{}",
+            cell.kind.label(),
+            days,
+            n,
+            cell.best_nanos as f64 / 1e6,
+            elem_per_s,
+            if i + 1 == cells.len() { "" } else { "," },
+        );
+    }
+    println!("]");
+}

@@ -1,0 +1,64 @@
+//! A minimal FNV-1a [`Hasher`] for hot in-crate hash maps.
+//!
+//! The standard library's default hasher (SipHash) is DoS-resistant but
+//! costs tens of nanoseconds per short key — measurable when a per-query
+//! stage probes a map once per profile row. The maps switched to FNV are
+//! all query-local and keyed by data the process generated or already
+//! admitted, so collision-flooding is not a concern; determinism across
+//! runs is a bonus (SipHash is randomly seeded, FNV is not).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, 64-bit.
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        if self.0 == 0 {
+            OFFSET
+        } else {
+            self.0
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { OFFSET } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` plugging [`FnvHasher`] into `HashMap`.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn fnv_map_roundtrips_and_is_deterministic() {
+        let mut m: HashMap<String, u32, FnvBuildHasher> = HashMap::default();
+        for i in 0..100u32 {
+            m.insert(format!("key-{i}"), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(m.get(&format!("key-{i}")), Some(&i));
+        }
+        let mut h1 = FnvHasher::default();
+        let mut h2 = FnvHasher::default();
+        h1.write(b"abc");
+        h2.write(b"abc");
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = FnvHasher::default();
+        h3.write(b"abd");
+        assert_ne!(h1.finish(), h3.finish());
+    }
+}

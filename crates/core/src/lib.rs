@@ -40,6 +40,7 @@ pub mod export;
 pub mod funnel;
 pub mod granularity;
 pub mod grouping;
+pub(crate) mod hash;
 pub mod input;
 pub mod intern;
 pub mod metrics;
@@ -49,6 +50,7 @@ pub mod regional;
 pub mod reliability;
 pub mod report;
 pub mod service;
+pub mod sketch;
 pub mod stats;
 pub mod string;
 pub mod temporal;
@@ -72,13 +74,14 @@ pub use online::OnlineGrouping;
 pub use pipeline::exec::{warmup_collapse, ColumnBatch, MorselSource, RowSource, NO_GPS_E6};
 pub use pipeline::{
     AnalysisResult, PipelineBuildError, PipelineBuilder, PipelineConfig, PipelineInput,
-    RefinementPipeline,
+    RefinementPipeline, TimeWindow,
 };
 pub use reliability::ReliabilityWeights;
 pub use service::{
     AnalysisSession, DurableSession, SessionQuery, SessionSnapshot, ShardedDurableSession,
     SnapshotError,
 };
+pub use sketch::{gazetteer_fingerprint, GazetteerSketcher};
 pub use stats::{GroupRow, GroupTable};
 pub use stir_geokr::{BackendChoice, BackendTraffic, FaultPlan, ResiliencePolicy};
 pub use string::LocationString;

@@ -252,6 +252,19 @@ pub struct ExecMetrics {
     /// What the staged reference path would have materialized for the same
     /// input: fix records + resolved vector + per-user key map.
     pub staged_bytes_estimate: u64,
+    /// Sealed segments answered from their materialized group sketch
+    /// instead of being streamed through the operators (0 when the sketch
+    /// path was off or inapplicable).
+    pub sketch_segments: u64,
+    /// Sketch entries merged across those segments — the work the merge
+    /// path did in place of per-row filter → geocode → intern.
+    pub sketch_entries_merged: u64,
+    /// Records processed row-wise outside the sketch path: the open tail
+    /// plus any non-day-aligned window boundaries.
+    pub records_scanned_residual: u64,
+    /// Encoded bytes of the merged sketches; against the sketched
+    /// segments' stored bytes this is the aggregation-pushdown read ratio.
+    pub sketch_bytes: u64,
 }
 
 impl ExecMetrics {
@@ -417,6 +430,16 @@ impl PipelineMetrics {
                     morsels.join(", ")
                 ));
             }
+            if e.sketch_segments > 0 {
+                out.push_str(&format!(
+                    "  sketches: {} segment(s) merged, {} entries ({}), \
+                     {} residual records scanned\n",
+                    e.sketch_segments,
+                    e.sketch_entries_merged,
+                    fmt_bytes(e.sketch_bytes),
+                    e.records_scanned_residual,
+                ));
+            }
             out.push_str(&format!(
                 "memory: peak intermediate {} ({:.1} B/tweet), staged path would hold {}, \
                  partition skew {:.2}\n",
@@ -551,6 +574,7 @@ mod tests {
                 partition_keys: vec![600; 14],
                 peak_bytes_estimate: 220_000,
                 staged_bytes_estimate: 540_000,
+                ..Default::default()
             }),
             scan: None,
         };

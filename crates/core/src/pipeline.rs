@@ -52,7 +52,10 @@ use crate::granularity::Granularity;
 use crate::grouping::{group_cohort, GroupedUser, TieBreak};
 use crate::input::{ProfileRow, TweetRow};
 use crate::intern::{DistrictId, DistrictInterner, LocationKey};
-use crate::metrics::{GeocodeMetrics, GeocodeMode, PipelineMetrics, SelectMetrics};
+use crate::metrics::{
+    ExecMetrics, ExecMode, GeocodeMetrics, GeocodeMode, PipelineMetrics, SelectMetrics,
+};
+use crate::sketch;
 use exec::{ColumnBatch, MorselSource, RowSource};
 
 /// Fixes handed to a worker per scheduler draw. Big enough that the atomic
@@ -150,6 +153,12 @@ pub struct PipelineConfig {
     /// the thread count.
     #[deprecated(note = "construct via PipelineBuilder::partitions")]
     pub fused_partitions: usize,
+    /// Answer store-backed queries from per-segment group sketches when
+    /// every sealed segment has (or can lazily build) one under the
+    /// pipeline's gazetteer; falls back to the configured engine
+    /// otherwise. Gazetteer backend only.
+    #[deprecated(note = "construct via PipelineBuilder::sketches")]
+    pub sketches: bool,
 }
 
 #[allow(deprecated)] // the one sanctioned construction site besides the builder
@@ -166,6 +175,7 @@ impl Default for PipelineConfig {
             fused: true,
             morsel_rows: 0,
             fused_partitions: 0,
+            sketches: false,
         }
     }
 }
@@ -221,6 +231,11 @@ impl PipelineConfig {
     /// Fused key partitions as configured (`0` = auto).
     pub fn partitions(&self) -> usize {
         self.fused_partitions
+    }
+
+    /// Whether store-backed queries may answer from group sketches.
+    pub fn sketches(&self) -> bool {
+        self.sketches
     }
     /// The backend actually assembled: an explicit `backend` wins; the
     /// legacy `via_yahoo_xml` flag upgrades the default to the Yahoo path.
@@ -416,6 +431,15 @@ impl<'g> PipelineBuilder<'g> {
         self
     }
 
+    /// Answers store-backed queries from per-segment group sketches when
+    /// the whole store is sketch-covered (gazetteer backend only; output
+    /// stays byte-identical to the scan engines, pinned by tests). Default
+    /// off.
+    pub fn sketches(mut self, on: bool) -> Self {
+        self.config.sketches = on;
+        self
+    }
+
     /// Validates the combination and returns the config.
     pub fn build_config(mut self) -> Result<PipelineConfig, PipelineBuildError> {
         if self.config.threads == 0 {
@@ -445,6 +469,36 @@ impl<'g> PipelineBuilder<'g> {
     pub fn build(self) -> Result<RefinementPipeline<'g>, PipelineBuildError> {
         let gazetteer = self.gazetteer;
         Ok(RefinementPipeline::new(gazetteer, self.build_config()?))
+    }
+}
+
+/// A half-open `[start, end)` timestamp window in seconds, for
+/// [`RefinementPipeline::execute_windowed`]. Windows aligned to whole UTC
+/// days (both bounds multiples of 86 400) are *sketch-complete*: with
+/// sketches on they answer from per-segment day buckets without touching
+/// a sealed record. Non-aligned windows merge the interior days from
+/// sketches and scan only the boundary buckets' records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeWindow {
+    /// Inclusive start timestamp (seconds).
+    pub start: u64,
+    /// Exclusive end timestamp (seconds).
+    pub end: u64,
+}
+
+impl TimeWindow {
+    /// The day-aligned window covering UTC day ordinals `[lo_day, hi_day)`.
+    pub fn days(lo_day: u64, hi_day: u64) -> Self {
+        const DAY: u64 = 86_400;
+        TimeWindow {
+            start: lo_day * DAY,
+            end: hi_day * DAY,
+        }
+    }
+
+    /// Whether `ts` falls inside the window.
+    pub fn contains(&self, ts: u64) -> bool {
+        ts >= self.start && ts < self.end
     }
 }
 
@@ -572,7 +626,8 @@ pub struct AnalysisResult {
     pub metrics: PipelineMetrics,
 }
 
-/// The refinement pipeline. Construct once per gazetteer; `run` is `&self`.
+/// The refinement pipeline. Construct once per gazetteer; `execute` is
+/// `&self`.
 ///
 /// ```
 /// use stir_core::{ProfileRow, TweetRow, RefinementPipeline, GroupTable, TopKGroup};
@@ -585,7 +640,7 @@ pub struct AnalysisResult {
 ///     TweetRow::tagged(1, 10, 37.517, 126.866), // in Yangcheon-gu
 ///     TweetRow::plain(1, 11),                   // no GPS — filtered out
 /// ];
-/// let result = pipeline.run(profiles, tweets);
+/// let result = pipeline.execute(profiles, tweets);
 /// assert_eq!(result.funnel.users_final, 1);
 /// let table = GroupTable::compute(&result.users);
 /// assert_eq!(table.row(TopKGroup::Top1).users, 1);
@@ -672,7 +727,11 @@ impl<'g> RefinementPipeline<'g> {
         I: IntoIterator<Item = ProfileRow>,
     {
         let mut kept = HashMap::new();
-        let mut cache: HashMap<String, CachedClass> = HashMap::new();
+        // Hot per-query map: one probe per profile row, short string keys
+        // — FNV beats SipHash by a wide margin here and the keys are
+        // caller-supplied profile texts, not attacker-chosen map fodder.
+        let mut cache: HashMap<String, CachedClass, crate::hash::FnvBuildHasher> =
+            HashMap::default();
         for ProfileRow {
             user,
             location_text,
@@ -1013,6 +1072,11 @@ impl<'g> RefinementPipeline<'g> {
         PI: IntoIterator<Item = ProfileRow>,
     {
         let stats = store.stats();
+        if let Some(fp) = self.sketch_fingerprint() {
+            if let Some(plan) = sketch::plan_store(store, fp) {
+                return self.run_sketched(profiles, &plan, &sketch::SketchWindow::All, stats);
+            }
+        }
         if self.config.is_fused() {
             let source = StoreSource {
                 blocks: HeaderBlocks::new(store, self.config.effective_morsel_rows()),
@@ -1040,6 +1104,7 @@ impl<'g> RefinementPipeline<'g> {
                 // time is the closest honest measure of it.
                 wall: result.metrics.stages.tweet_intake,
                 per_shard: Vec::new(),
+                ..Default::default()
             });
             return result;
         }
@@ -1086,6 +1151,7 @@ impl<'g> RefinementPipeline<'g> {
             // time is the closest honest measure of it.
             wall: result.metrics.stages.tweet_intake,
             per_shard: Vec::new(),
+            ..Default::default()
         });
         result
     }
@@ -1102,6 +1168,11 @@ impl<'g> RefinementPipeline<'g> {
         PI: IntoIterator<Item = ProfileRow>,
     {
         let stats = store.stats();
+        if let Some(fp) = self.sketch_fingerprint() {
+            if let Some(plan) = sketch::plan_shards(store, fp) {
+                return self.run_sketched(profiles, &plan, &sketch::SketchWindow::All, stats);
+            }
+        }
         let per_shard_rows = |bytes: &[u64]| -> Vec<ShardScanMetrics> {
             store
                 .shards()
@@ -1205,6 +1276,186 @@ impl<'g> RefinementPipeline<'g> {
             ..Default::default()
         });
         result
+    }
+
+    /// The gazetteer vocabulary fingerprint store sketches must match —
+    /// `Some` only when the config opts into sketches and the effective
+    /// backend is the in-process gazetteer (remote backends have pinned
+    /// per-lookup traffic a skipped scan would change).
+    pub(crate) fn sketch_fingerprint(&self) -> Option<u64> {
+        (self.config.sketches() && self.config.effective_backend() == BackendChoice::Gazetteer)
+            .then(|| sketch::gazetteer_fingerprint(self.gazetteer))
+    }
+
+    /// Runs a sketch-complete query: stage 1 as usual, then the delta
+    /// merge over per-segment sketches plus a record-wise pass over the
+    /// residue (open tails; boundary buckets of non-aligned windows).
+    /// Output is byte-identical to the scan engines over the same window;
+    /// the sketch counters land in both [`PipelineMetrics::exec`] and
+    /// [`PipelineMetrics::scan`].
+    fn run_sketched<PI>(
+        &self,
+        profiles: PI,
+        plan: &sketch::SketchPlan<'_>,
+        window: &sketch::SketchWindow,
+        stats: stir_tweetstore::StoreStats,
+    ) -> AnalysisResult
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+    {
+        let total_start = Instant::now();
+        let mut funnel = CollectionFunnel::default();
+        let mut metrics = PipelineMetrics::default();
+        let select_start = Instant::now();
+        let kept = self.select_users_metered(profiles, &mut funnel, &mut metrics.select);
+        metrics.stages.select_users = select_start.elapsed();
+        let merge_start = Instant::now();
+        let resolver = sketch::GazetteerSketcher::for_gazetteer(self.gazetteer);
+        let outcome = sketch::execute_plan(
+            plan,
+            window,
+            &sketch::MergeParams {
+                kept: &kept,
+                gaz_to_interned: &self.gaz_to_interned,
+                interner: &self.interner,
+                resolver: &resolver,
+                tie_break: TieBreak::FirstSeen,
+            },
+        );
+        let merge_wall = merge_start.elapsed();
+        funnel.tweets_total += outcome.tweets_total;
+        funnel.tweets_with_gps += outcome.tweets_with_gps;
+        funnel.tweets_gps_unresolvable += outcome.unresolvable;
+        funnel.strings_built += outcome.strings_built;
+        funnel.users_final = outcome.users.len() as u64;
+        // The merge is intake, geocode, and grouping fused into one pass;
+        // its wall lands on the grouping stage (the closest honest slot).
+        metrics.stages.grouping = merge_wall;
+        metrics.geocode.mode = GeocodeMode::DirectSerial;
+        metrics.geocode.fixes = outcome.residual_fixes;
+        metrics.geocode.threads = 1;
+        metrics.grouping.strings = outcome.strings_built;
+        metrics.grouping.users = funnel.users_final;
+        metrics.grouping.merged_entries = outcome.merged_entries;
+        metrics.grouping.interner_size = self.interner.len() as u64;
+        metrics.grouping.threads = 1;
+        metrics.grouping.blocks_per_thread = vec![1];
+        metrics.grouping.wall = merge_wall;
+        metrics.exec = Some(ExecMetrics {
+            threads: 1,
+            threads_ceiling: self.config.threads().max(1),
+            mode: ExecMode::SerialInline,
+            morsel_rows: self.config.effective_morsel_rows(),
+            partitions: 1,
+            partitions_configured: self.config.effective_partitions(),
+            rows_in: outcome.tweets_total,
+            gps_rows: outcome.tweets_with_gps,
+            fixes: outcome.residual_fixes,
+            keys_emitted: outcome.strings_built,
+            unresolved: outcome.unresolvable,
+            merge_wall,
+            sketch_segments: outcome.sketch_segments,
+            sketch_entries_merged: outcome.entries_merged,
+            records_scanned_residual: outcome.residual_scanned,
+            sketch_bytes: outcome.sketch_bytes,
+            ..Default::default()
+        });
+        let (mut seg_row, mut seg_col) = (0u64, 0u64);
+        for seg in plan
+            .sketched
+            .iter()
+            .map(|(_, _, s)| s)
+            .chain(plan.tails.iter().map(|(s, _)| s))
+        {
+            if seg.is_columnar() {
+                seg_col += 1;
+            } else {
+                seg_row += 1;
+            }
+        }
+        metrics.scan = Some(ScanMetrics {
+            segments_total: stats.segments as u64,
+            records_stored: stats.records,
+            headers_decoded: outcome.residual_scanned,
+            records_yielded: outcome.residual_scanned,
+            bytes_stored: stats.payload_bytes,
+            segments_row: seg_row,
+            segments_col: seg_col,
+            threads: 1,
+            blocks_per_thread: vec![1],
+            wall: merge_wall,
+            sketch_segments: outcome.sketch_segments,
+            sketch_entries_merged: outcome.entries_merged,
+            records_scanned_residual: outcome.residual_scanned,
+            sketch_bytes: outcome.sketch_bytes,
+            ..Default::default()
+        });
+        metrics.stages.total = total_start.elapsed();
+        self.finish(funnel, outcome.users, kept, metrics)
+    }
+
+    /// Runs the pipeline over the records of `store` whose timestamp falls
+    /// in `window`. With sketches applicable the interior whole days merge
+    /// from per-segment day buckets and only the open tail plus any
+    /// boundary buckets are scanned — cost scales with touched buckets,
+    /// not corpus size. Otherwise the store is scanned with a timestamp
+    /// filter and the configured engine runs on the surviving rows, so
+    /// both paths return byte-identical results (pinned by proptests).
+    pub fn execute_windowed<PI>(
+        &self,
+        profiles: PI,
+        store: &TweetStore,
+        window: TimeWindow,
+    ) -> AnalysisResult
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+    {
+        if let Some(fp) = self.sketch_fingerprint() {
+            if let Some(plan) = sketch::plan_store(store, fp) {
+                let sw = sketch::SketchWindow::for_window(window);
+                return self.run_sketched(profiles, &plan, &sw, store.stats());
+            }
+        }
+        let tweets = store.scan_views().filter_map(move |r| match r {
+            Ok(v) if window.contains(v.header.timestamp) => Some(TweetRow {
+                user: v.header.user,
+                tweet_id: v.header.id,
+                gps: v.header.gps,
+            }),
+            _ => None,
+        });
+        self.run_rows(profiles, tweets)
+    }
+
+    /// [`RefinementPipeline::execute_windowed`] over a sharded store:
+    /// per-shard sketch plans merge under cumulative ordinal bases, or the
+    /// shards' scans chain in shard order through the timestamp filter.
+    pub fn execute_windowed_sharded<PI>(
+        &self,
+        profiles: PI,
+        store: &ShardedStore,
+        window: TimeWindow,
+    ) -> AnalysisResult
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+    {
+        if let Some(fp) = self.sketch_fingerprint() {
+            if let Some(plan) = sketch::plan_shards(store, fp) {
+                let sw = sketch::SketchWindow::for_window(window);
+                return self.run_sketched(profiles, &plan, &sw, store.stats());
+            }
+        }
+        let tweets = store.shards().iter().flat_map(move |shard| {
+            shard.scan_views().filter_map(move |r| match r {
+                Ok(v) if window.contains(v.header.timestamp) => Some(TweetRow {
+                    user: v.header.user,
+                    tweet_id: v.header.id,
+                    gps: v.header.gps,
+                }),
+                _ => None,
+            })
+        });
+        self.run_rows(profiles, tweets)
     }
 
     /// Shared tail of the `run*` entry points: resolve the interned
@@ -1968,6 +2219,64 @@ mod tests {
             .build_config()
             .unwrap();
         assert_eq!(cfg.backend(), BackendChoice::Resilient);
+    }
+
+    #[test]
+    fn sketched_store_query_matches_scan() {
+        use std::sync::Arc;
+        use stir_tweetstore::{StoreFormat, TweetRecord};
+
+        let g = gaz();
+        let profiles = vec![
+            profile(1, "Seoul Yangcheon-gu"),
+            profile(2, "Seoul Gangnam-gu"),
+            profile(3, "my home"), // vague — exercises the non-kept probe path
+        ];
+        // Small segments force several columnar seals; the sketcher is
+        // installed before ingest so every seal materializes a sketch.
+        let mut store = TweetStore::with_segment_bytes_and_format(1024, StoreFormat::V2);
+        store.set_sketcher(Arc::new(crate::sketch::GazetteerSketcher::new()));
+        let pts = [YANGCHEON, GANGNAM, (35.68, 139.69)]; // third is unresolvable
+        for i in 0..150u64 {
+            let (lat, lon) = pts[(i % 3) as usize];
+            store.append(&TweetRecord {
+                id: i,
+                user: 1 + i % 3,
+                timestamp: i * 7_200, // 12 rows/day over ~12 days
+                gps: (i % 5 != 4).then_some(Point::new(lat, lon)),
+                text: format!("t{i}"),
+            });
+        }
+        assert!(store.segments().len() > 2, "want several sealed segments");
+
+        let off = PipelineBuilder::new(g).build().unwrap();
+        let on = PipelineBuilder::new(g).sketches(true).build().unwrap();
+        let want = off.execute(profiles.clone(), &store);
+        let got = on.execute(profiles.clone(), &store);
+        assert_eq!(want.funnel, got.funnel);
+        assert_eq!(want.users, got.users);
+        assert_eq!(want.kept_profiles, got.kept_profiles);
+        let scan = got.metrics.scan.as_ref().expect("store runs fill scan");
+        assert!(scan.sketch_segments > 0, "sketch path must engage");
+        assert!(scan.sketch_entries_merged > 0);
+        // Residual work is only the open tail, not the sealed segments.
+        assert!(scan.records_scanned_residual < 150);
+
+        // Windowed: a day-aligned window and one straddling partial days
+        // must agree with the sketch-off scan fallback.
+        for window in [
+            TimeWindow::days(2, 7),
+            TimeWindow {
+                start: 86_400 + 3_600,
+                end: 7 * 86_400 + 43_200,
+            },
+            TimeWindow::days(0, 400), // superset of all data
+        ] {
+            let want = off.execute_windowed(profiles.clone(), &store, window);
+            let got = on.execute_windowed(profiles.clone(), &store, window);
+            assert_eq!(want.funnel, got.funnel, "window {window:?}");
+            assert_eq!(want.users, got.users, "window {window:?}");
+        }
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub const NO_GPS_E6: i32 = i32::MIN;
 /// [`CoverE6`] widens its bounds by 2 µ° to absorb that slack plus the
 /// `x * 1e6` product's own rounding.
 #[inline]
-fn quant_e6(x: f64) -> i32 {
+pub(crate) fn quant_e6(x: f64) -> i32 {
     ((x * 1e6) as i32).max(i32::MIN + 1)
 }
 
@@ -280,7 +280,7 @@ impl CoverE6 {
 
     /// True when the e6 point is provably outside the exact box.
     #[inline]
-    fn rejects(&self, lat_e6: i32, lon_e6: i32) -> bool {
+    pub(crate) fn rejects(&self, lat_e6: i32, lon_e6: i32) -> bool {
         lat_e6 < self.min_lat
             || lat_e6 > self.max_lat
             || lon_e6 < self.min_lon

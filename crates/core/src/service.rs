@@ -46,7 +46,10 @@ use std::path::{Path, PathBuf};
 use stir_geoindex::Point;
 use stir_geokr::service::Geocoder;
 use stir_tweetstore::persist::PersistError;
-use stir_tweetstore::{append_snapshot, latest_snapshot, shard_of, TweetRecord, TweetStore, Wal};
+use stir_tweetstore::{
+    append_snapshot, latest_snapshot, shard_of, SegmentRef, ShardedStore, TweetRecord, TweetStore,
+    Wal,
+};
 
 use crate::funnel::CollectionFunnel;
 use crate::grouping::{materialize_user, merged_cmp, GroupedUser, MergedId, TieBreak};
@@ -54,6 +57,7 @@ use crate::input::ProfileRow;
 use crate::intern::DistrictId;
 use crate::metrics::PipelineMetrics;
 use crate::pipeline::{resolve_one, AnalysisResult, RefinementPipeline};
+use crate::sketch::{plan_shards, plan_store, SketchPlan};
 use crate::topk::TopKGroup;
 
 /// Snapshot payload format version.
@@ -324,6 +328,194 @@ impl<'g> AnalysisSession<'g> {
             latest_day: None,
             window_cap: DEFAULT_WINDOW_DAYS,
             quota_base: 0,
+        }
+    }
+
+    /// Builds a session whose state already covers every record in
+    /// `store` — the warm-start counterpart of replaying the corpus one
+    /// [`ingest`](AnalysisSession::ingest) at a time.
+    ///
+    /// When the pipeline opts into sketches (`PipelineBuilder::sketches`,
+    /// gazetteer backend) and every sealed segment yields a group sketch,
+    /// the sealed bulk of the store is bulk-merged straight from the
+    /// per-segment sketches — per-user merged lists reassembled from
+    /// `(count, min global ordinal)` pairs, day rings from the sketch day
+    /// buckets, funnel counters from the day totals — and only the open
+    /// tail replays record-wise. Otherwise the whole store replays.
+    /// Either way the resulting session answers queries identically to a
+    /// cold session fed the same records in order.
+    pub fn from_store<PI>(
+        pipeline: RefinementPipeline<'g>,
+        profiles: PI,
+        store: &TweetStore,
+    ) -> Self
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+    {
+        let mut session = Self::new(pipeline, profiles);
+        match session
+            .pipeline
+            .sketch_fingerprint()
+            .and_then(|fp| plan_store(store, fp))
+        {
+            Some(plan) => session.warm_start(&plan),
+            None => session.replay_segments(store),
+        }
+        session
+    }
+
+    /// [`AnalysisSession::from_store`] over a sharded store: sealed
+    /// segments bulk-merge from sketches shard by shard (global ordinals
+    /// accumulate in shard order, matching the batch scan), tails replay
+    /// record-wise. Falls back to a full replay when any shard is missing
+    /// a sketch or the pipeline does not opt into them.
+    pub fn from_shards<PI>(
+        pipeline: RefinementPipeline<'g>,
+        profiles: PI,
+        store: &ShardedStore,
+    ) -> Self
+    where
+        PI: IntoIterator<Item = ProfileRow>,
+    {
+        let mut session = Self::new(pipeline, profiles);
+        match session
+            .pipeline
+            .sketch_fingerprint()
+            .and_then(|fp| plan_shards(store, fp))
+        {
+            Some(plan) => session.warm_start(&plan),
+            None => {
+                for shard in store.shards() {
+                    session.replay_segments(shard);
+                }
+            }
+        }
+        session
+    }
+
+    /// Bulk-merges every sealed sketch into live state, then replays the
+    /// open tails record-wise through the ordinary ingest path.
+    fn warm_start(&mut self, plan: &SketchPlan<'_>) {
+        self.merge_sealed(plan);
+        for (seg, _) in &plan.tails {
+            self.replay_one(seg);
+        }
+    }
+
+    /// Folds the sketched (sealed) segments of a plan into session state.
+    ///
+    /// Per-user reconstruction mirrors the batch delta merge: districts
+    /// accumulate `(count, min global ordinal)` across segments, dense
+    /// first-seen ids are assigned in min-ordinal order (the order a
+    /// record-wise replay would have discovered them, since every user's
+    /// records live in one store and sealed ordinals precede the tail's),
+    /// and the merged list is sorted with the shared grouping comparator.
+    /// Day rings rebuild from the sketch day buckets, keeping only days
+    /// within the window horizon — exactly the buckets a windowed query
+    /// can reach.
+    fn merge_sealed(&mut self, plan: &SketchPlan<'_>) {
+        struct Warm {
+            profile: DistrictId,
+            districts: HashMap<DistrictId, (u64, u64)>,
+            days: HashMap<u64, Vec<(DistrictId, u64)>>,
+        }
+        let mut warm: HashMap<u64, Warm> = HashMap::new();
+        let gaz_to_interned = self.pipeline.gaz_to_interned();
+        for (sketch, base, seg) in &plan.sketched {
+            self.ingested += seg.len() as u64;
+            for t in &sketch.day_totals {
+                self.funnel.tweets_total += t.records;
+                self.funnel.tweets_with_gps += t.gps_records;
+            }
+            for u in &sketch.users {
+                let Some(&profile) = self.kept.get(&u.user) else {
+                    continue;
+                };
+                let w = warm.entry(u.user).or_insert_with(|| Warm {
+                    profile,
+                    districts: HashMap::new(),
+                    days: HashMap::new(),
+                });
+                for d in sketch.days_of(u) {
+                    self.funnel.tweets_gps_unresolvable += d.unresolvable;
+                    if !sketch.entries_of(d).is_empty() {
+                        let latest = self.latest_day.get_or_insert(d.day);
+                        *latest = (*latest).max(d.day);
+                    }
+                    for e in sketch.entries_of(d) {
+                        let Some(&interned) = gaz_to_interned.get(e.district as usize) else {
+                            continue;
+                        };
+                        self.funnel.strings_built += e.count;
+                        let slot = w.districts.entry(interned).or_insert((0, u64::MAX));
+                        slot.0 += e.count;
+                        slot.1 = slot.1.min(base + u64::from(e.first_slot));
+                        let day = w.days.entry(d.day).or_default();
+                        match day.iter_mut().find(|(dd, _)| *dd == interned) {
+                            Some(entry) => entry.1 += e.count,
+                            None => day.push((interned, e.count)),
+                        }
+                    }
+                }
+            }
+        }
+        let horizon = self
+            .latest_day
+            .map(|l| l.saturating_sub(self.window_cap - 1));
+        let interner = self.pipeline.interner();
+        for (user, w) in warm {
+            if w.districts.is_empty() {
+                // Only unresolvable fixes — a cold replay never opens
+                // state for such a user either.
+                continue;
+            }
+            let mut ents: Vec<(DistrictId, u64, u64)> = w
+                .districts
+                .into_iter()
+                .map(|(d, (count, ord))| (d, count, ord))
+                .collect();
+            ents.sort_unstable_by_key(|&(_, _, ord)| ord);
+            let mut merged: Vec<MergedId> = ents
+                .iter()
+                .enumerate()
+                .map(|(i, &(d, count, _))| (d, count, i as u32))
+                .collect();
+            let next_seen = merged.len() as u32;
+            merged.sort_unstable_by(|a, b| {
+                merged_cmp(a, b, TieBreak::FirstSeen, w.profile, interner)
+            });
+            let mut ring: Vec<DayBucket> = w
+                .days
+                .into_iter()
+                .filter(|&(day, _)| horizon.is_none_or(|h| day >= h))
+                .map(|(day, counts)| DayBucket { day, counts })
+                .collect();
+            ring.sort_unstable_by_key(|b| b.day);
+            self.users.insert(
+                user,
+                SessionUser {
+                    profile: w.profile,
+                    merged,
+                    next_seen,
+                    ring,
+                },
+            );
+        }
+    }
+
+    /// Replays every decodable record of `store` through the ordinary
+    /// ingest path — the cold fallback when sketches are unavailable.
+    fn replay_segments(&mut self, store: &TweetStore) {
+        for seg in store.segments() {
+            self.replay_one(&seg);
+        }
+    }
+
+    fn replay_one(&mut self, seg: &SegmentRef<'_>) {
+        for slot in 0..seg.len() as u32 {
+            if let Ok(h) = seg.header(slot) {
+                self.ingest(h.user, h.timestamp, h.gps);
+            }
         }
     }
 
@@ -1068,6 +1260,103 @@ mod tests {
         assert_eq!(session.group_of(1), Some(TopKGroup::Top2));
         session.ingest(1, 2, Some(Point::new(YANGCHEON.0, YANGCHEON.1)));
         assert_eq!(session.group_of(1), Some(TopKGroup::Top1));
+    }
+
+    /// A store (or shard set) of tagged records shaped to exercise the
+    /// warm-start merge: several sealed columnar segments with sketches,
+    /// a live tail, multi-day spread, and an unresolvable fix.
+    fn sketched_store(records: &[TweetRecord]) -> TweetStore {
+        use crate::sketch::GazetteerSketcher;
+        use stir_tweetstore::StoreFormat;
+        let mut store = TweetStore::with_segment_bytes_and_format(512, StoreFormat::V2);
+        store.set_sketcher(std::sync::Arc::new(GazetteerSketcher::new()));
+        for r in records {
+            store.append(r);
+        }
+        store
+    }
+
+    fn warm_corpus() -> Vec<TweetRecord> {
+        let pts = [YANGCHEON, GANGNAM, (35.68, 139.69)]; // third unresolvable
+        (0..300u64)
+            .map(|i| {
+                let (lat, lon) = pts[(i % 3) as usize];
+                TweetRecord {
+                    id: i,
+                    user: 1 + i % 3,      // users 1 (kept), 2 (vague), 3 (unknown)
+                    timestamp: i * 3_600, // 24 records/day
+                    gps: (i % 7 != 6).then_some(Point::new(lat, lon)),
+                    text: String::new(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn warm_start_from_sketched_store_matches_cold_replay() {
+        let g = gaz();
+        let records = warm_corpus();
+        let store = sketched_store(&records);
+        assert!(store.segments().len() > 2, "want sealed segments");
+
+        let sketched = PipelineBuilder::new(g).sketches(true).build().unwrap();
+        let warm = AnalysisSession::from_store(sketched, profiles(), &store);
+        let mut cold = AnalysisSession::new(PipelineBuilder::new(g).build().unwrap(), profiles());
+        for r in &records {
+            cold.ingest(r.user, r.timestamp, r.gps);
+        }
+        assert_eq!(warm.ingested(), cold.ingested());
+        assert_result_identical(&warm.query().execute(), &cold.query().execute());
+        // Windowed queries re-aggregate from the warm-rebuilt day rings.
+        for days in [1, 2, 3, 40] {
+            assert_result_identical(
+                &warm.query().window(days).execute(),
+                &cold.query().window(days).execute(),
+            );
+        }
+        assert_result_identical(
+            &warm.query().top_k(1).execute(),
+            &cold.query().top_k(1).execute(),
+        );
+    }
+
+    #[test]
+    fn warm_start_falls_back_to_replay_without_sketches() {
+        let g = gaz();
+        let records = warm_corpus();
+        let store = sketched_store(&records);
+        // Pipeline without the sketches opt-in: same answers, scan path.
+        let plain = PipelineBuilder::new(g).build().unwrap();
+        let replayed = AnalysisSession::from_store(plain, profiles(), &store);
+        let mut cold = AnalysisSession::new(PipelineBuilder::new(g).build().unwrap(), profiles());
+        for r in &records {
+            cold.ingest(r.user, r.timestamp, r.gps);
+        }
+        assert_result_identical(&replayed.query().execute(), &cold.query().execute());
+    }
+
+    #[test]
+    fn warm_start_from_shards_matches_single_store() {
+        let g = gaz();
+        let records = warm_corpus();
+        let mut sharded =
+            ShardedStore::with_segment_bytes_and_format(4, 512, stir_tweetstore::StoreFormat::V2);
+        sharded.set_sketcher(std::sync::Arc::new(crate::sketch::GazetteerSketcher::new()));
+        for r in &records {
+            sharded.append(r);
+        }
+        let sketched = PipelineBuilder::new(g).sketches(true).build().unwrap();
+        let warm = AnalysisSession::from_shards(sketched, profiles(), &sharded);
+        let single = AnalysisSession::from_store(
+            PipelineBuilder::new(g).sketches(true).build().unwrap(),
+            profiles(),
+            &sketched_store(&records),
+        );
+        assert_result_identical(&warm.query().execute(), &single.query().execute());
+        assert_result_identical(
+            &warm.query().window(2).execute(),
+            &single.query().window(2).execute(),
+        );
     }
 
     #[test]

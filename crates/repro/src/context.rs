@@ -46,6 +46,12 @@ pub struct Options {
     /// morsel-driven engine (`--staged`). Figure output is byte-identical
     /// either way; the flag exists to prove exactly that.
     pub staged: bool,
+    /// With `--from-store`: install the gazetteer sketcher on the store so
+    /// every sealed segment materializes a group sketch, and let the
+    /// pipeline answer from the sketch delta merge plus a tail scan
+    /// (`--sketches {on,off}`, default off). Figure output is
+    /// byte-identical either way — the pushdown only skips work.
+    pub sketches: bool,
     /// `stream` only: checkpoint the durable session halfway through the
     /// stream, drop it, and resume from disk before ingesting the rest
     /// (`--restore-midway`). Figure output is byte-identical either way.
@@ -67,6 +73,7 @@ impl Default for Options {
             shards: 1,
             store_format: StoreFormat::V1,
             staged: false,
+            sketches: false,
             restore_midway: false,
         }
     }
@@ -105,6 +112,7 @@ pub fn pipeline(gazetteer: &'static Gazetteer, opts: &Options) -> RefinementPipe
         .threads(opts.threads)
         .threads_exact(opts.threads_exact)
         .fused(!opts.staged)
+        .sketches(opts.sketches)
         .build()
         .expect("experiment options form a valid pipeline config")
 }
@@ -136,6 +144,10 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
         // to the single-store (and direct) path.
         let mut store = stir_tweetstore::ShardedStore::new(opts.shards);
         store.set_format(opts.store_format);
+        if opts.sketches {
+            // Installed before ingest, so every seal sketches itself.
+            store.set_sketcher(std::sync::Arc::new(stir_core::GazetteerSketcher::new()));
+        }
         dataset.for_each_tweet(gazetteer, |t| {
             store.append(&stir_tweetstore::TweetRecord {
                 id: t.id.0,
@@ -162,6 +174,9 @@ pub fn analyse(spec: DatasetSpec, gazetteer: &'static Gazetteer, opts: &Options)
         // order equals the row-based iteration order, so figure output is
         // byte-identical to the direct path.
         let mut store = stir_tweetstore::TweetStore::with_format(opts.store_format);
+        if opts.sketches {
+            store.set_sketcher(std::sync::Arc::new(stir_core::GazetteerSketcher::new()));
+        }
         dataset.for_each_tweet(gazetteer, |t| {
             store.append(&stir_tweetstore::TweetRecord {
                 id: t.id.0,

@@ -4,7 +4,8 @@
 //! repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]
 //!                    [--threads-exact] [--backend gazetteer|yahoo|resilient]
 //!                    [--faults SPEC] [--from-store] [--shards N]
-//!                    [--store-format v1|v2] [--staged] [--verbose]
+//!                    [--store-format v1|v2] [--sketches on|off] [--staged]
+//!                    [--verbose]
 //!
 //! experiments:
 //!   table1    Table I   example location strings
@@ -145,6 +146,14 @@ fn parse(args: &[String]) -> Result<(String, Options, PathBuf), String> {
                     .ok_or_else(|| format!("--store-format must be v1 or v2, got {spec:?}"))?;
             }
             "--staged" => opts.staged = true,
+            "--sketches" => {
+                let spec = it.next().ok_or("--sketches needs a value (on or off)")?;
+                opts.sketches = match spec.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--sketches must be on or off, got {other:?}")),
+                };
+            }
             "--restore-midway" => opts.restore_midway = true,
             "--out" => {
                 out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?);
@@ -167,7 +176,7 @@ fn print_help() {
          usage: repro <experiment> [--seed N] [--scale F] [--paper-scale] [--threads N]\n\
          \x20                        [--threads-exact] [--backend gazetteer|yahoo|resilient]\n\
          \x20                        [--faults SPEC] [--via-yahoo-xml] [--from-store] [--shards N]\n\
-         \x20                        [--store-format v1|v2] [--staged] [--verbose]\n\n\
+         \x20                        [--store-format v1|v2] [--sketches on|off] [--staged] [--verbose]\n\n\
          --threads is a ceiling: the scheduler caps it at the machine's cores and falls\n\
          back to serial when a warmup sample shows workers time-slicing; --threads-exact\n\
          makes it a command again (bench escape hatch);\n\
@@ -180,6 +189,9 @@ fn print_help() {
          the scatter-gather scan over them — output stays byte-identical to one store;\n\
          --store-format v2 (with --from-store) seals columnar STIRSEG2 segments instead of\n\
          row frames and scans them through the direct column path — again byte-identical;\n\
+         --sketches on (with --from-store) materializes a group sketch per sealed segment\n\
+         and answers the grouping from the sketch delta merge plus an open-tail scan\n\
+         instead of scanning every record — again byte-identical, only faster;\n\
          --staged runs the staged reference pipeline instead of the fused morsel-driven\n\
          engine (again byte-identical — the flag exists to prove it);\n\
          --restore-midway (stream only) checkpoints the durable session halfway through\n\
@@ -308,6 +320,18 @@ mod tests {
         assert_eq!(opts.shards, 8);
         assert!(parse(&args(&["fig7", "--store-format"])).is_err());
         assert!(parse(&args(&["fig7", "--store-format", "v3"])).is_err());
+    }
+
+    #[test]
+    fn parse_sketches() {
+        let (_, opts, _) = parse(&args(&["fig7", "--from-store"])).unwrap();
+        assert!(!opts.sketches);
+        let (_, opts, _) = parse(&args(&["fig7", "--from-store", "--sketches", "on"])).unwrap();
+        assert!(opts.sketches);
+        let (_, opts, _) = parse(&args(&["fig7", "--from-store", "--sketches", "off"])).unwrap();
+        assert!(!opts.sketches);
+        assert!(parse(&args(&["fig7", "--sketches"])).is_err());
+        assert!(parse(&args(&["fig7", "--sketches", "maybe"])).is_err());
     }
 
     #[test]

@@ -304,6 +304,19 @@ impl ColumnSegment {
     /// or truncation returns `Err`; no input can trigger a panic or an
     /// unbounded allocation.
     pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let (seg, at) = Self::decode_prefix(bytes)?;
+        if at != bytes.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(seg)
+    }
+
+    /// [`ColumnSegment::decode`] without the trailing-bytes check:
+    /// decodes the column region at the start of `bytes` and returns the
+    /// segment together with the number of bytes consumed. Persistence
+    /// uses this to read segment files that carry a sketch sidecar after
+    /// the column region.
+    pub(crate) fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), CodecError> {
         if bytes.len() < 24 {
             return Err(CodecError::UnexpectedEof);
         }
@@ -383,9 +396,6 @@ impl ColumnSegment {
             return Err(CodecError::UnexpectedEof);
         }
         let text = lz_decompress(&text_block[ta..], raw_len as usize)?;
-        if at != bytes.len() {
-            return Err(CodecError::UnexpectedEof);
-        }
 
         let mut seg = ColumnSegment {
             ids,
@@ -404,7 +414,7 @@ impl ColumnSegment {
             zone.observe(&seg.header(slot));
         }
         seg.zone = zone;
-        Ok(seg)
+        Ok((seg, at))
     }
 }
 

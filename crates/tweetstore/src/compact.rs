@@ -65,6 +65,12 @@ pub fn compact<F: FnMut(&TweetHeader) -> bool>(
     mut keep: F,
 ) -> (TweetStore, CompactionReport) {
     let mut out = TweetStore::with_segment_bytes_and_format(store.segment_bytes(), store.format());
+    // The output inherits the source's sketch resolver, so rebuilt columnar
+    // seals re-materialize their group sketches eagerly; the source's own
+    // sketches are never carried over (slots and counts changed).
+    if let Some(sk) = store.sketcher() {
+        out.set_sketcher(std::sync::Arc::clone(sk));
+    }
     let mut report = CompactionReport {
         bytes_before: store.stats().payload_bytes,
         ..Default::default()
@@ -309,6 +315,49 @@ mod tests {
         // Queries over the columnar compacted store still work.
         assert_eq!(Query::all().gps(true).execute(&c).len(), 400);
         assert_eq!(Query::all().user(3).execute(&c).len(), 40);
+    }
+
+    #[test]
+    fn compaction_rebuilds_sketches_for_new_seals() {
+        use crate::sketch::SketchResolver;
+        use crate::store::StoreFormat;
+        struct Bands;
+        impl SketchResolver for Bands {
+            fn fingerprint(&self) -> u64 {
+                0x5EED
+            }
+            fn resolve(&self, lat: f64, _lon: f64) -> Option<u32> {
+                Some(lat as u32)
+            }
+        }
+        let mut s = TweetStore::with_segment_bytes_and_format(2048, StoreFormat::V2);
+        s.set_sketcher(std::sync::Arc::new(Bands));
+        for i in 0..1_000u64 {
+            s.append(&TweetRecord {
+                id: i,
+                user: i % 10,
+                timestamp: i * 60,
+                gps: (i % 3 == 0).then(|| Point::new(36.0 + (i % 3) as f64, 127.0)),
+                text: format!("tweet {i} with enough text to force segment rolls"),
+            });
+        }
+        let (c, report) = gps_only(&s);
+        // The output inherits the resolver, and every re-sealed columnar
+        // segment carries a freshly built sketch over the *kept* records —
+        // never a stale copy from the source.
+        assert!(c.sketcher().is_some());
+        let mut sketched_records = 0;
+        for (i, seg) in c.segments().iter().enumerate() {
+            if seg.is_columnar() {
+                let sk = c
+                    .sketch_cached(i)
+                    .expect("compacted seal must carry a sketch");
+                assert_eq!(sk.records, seg.len() as u64);
+                sketched_records += sk.records;
+            }
+        }
+        let tail_records = c.segments().last().map_or(0, |seg| seg.len() as u64);
+        assert_eq!(sketched_records + tail_records, report.kept);
     }
 
     #[test]

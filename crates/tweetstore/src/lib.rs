@@ -41,6 +41,11 @@
 //!   deterministic `splitmix64(user) % N` placement, with scatter-gather
 //!   queries, one WAL per shard (independent torn-tail recovery), a
 //!   cross-shard morsel source, and a cold-shard compaction scheduler.
+//! * [`sketch`] — seal-time group sketches: per-segment materialized
+//!   grouping partials (per-user `(district, count, first-slot)` entries
+//!   bucketed by day), persisted as FNV-checksummed sidecars after the
+//!   `STIRSEG2` column region and merged by the analysis layer instead of
+//!   re-scanning sealed records.
 
 #![warn(missing_docs)]
 
@@ -52,6 +57,7 @@ pub mod query;
 pub mod scan;
 pub mod segment;
 pub mod shard;
+pub mod sketch;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
@@ -65,6 +71,7 @@ pub use segment::ZoneMap;
 pub use shard::{
     shard_of, splitmix64, CompactionPolicy, ShardedDurableStore, ShardedHeaderBlocks, ShardedStore,
 };
+pub use sketch::{DaySketch, DayTotal, GroupSketch, SketchEntry, SketchResolver, UserSketch};
 pub use snapshot::{append_snapshot, latest_snapshot, SnapshotFrame};
 pub use store::{RecordPtr, SegmentRef, StoreFormat, StoreStats, TweetStore};
 pub use wal::{DurableStore, Wal, WalRecovery};

@@ -4,9 +4,17 @@
 //! Each segment file opens with a format magic — `STIRSEG1` for row
 //! segments, `STIRSEG2` for columnar ones — and a mixed store persists
 //! each sealed segment in its own encoding, so saving never converts.
-//! The manifest opens with a version header (`STIRMAN\t2\t<v1|v2>`)
-//! recording the store's target format; manifests from before the header
-//! still load (they are all-row by construction, target `v1`).
+//! The manifest opens with a version header (`STIRMAN\t3\t<v1|v2>`)
+//! recording the store's target format; version-2 manifests (pre-sketch)
+//! and headerless ones from before the header existed (all-row by
+//! construction, target `v1`) still load.
+//!
+//! A columnar segment whose [`GroupSketch`] is in memory at save time
+//! persists it as a sidecar block after the column region (see
+//! [`crate::sketch`]). On load the sidecar is decoded leniently: a
+//! tampered or truncated sketch is dropped — queries fall back to the
+//! column scan — while corruption in the column region itself still
+//! rejects the file.
 //!
 //! Each manifest segment line carries the segment's file name followed by
 //! its [`ZoneMap`] statistics (tab-separated; GPS bounds in micro-degrees
@@ -23,6 +31,7 @@ use std::path::Path;
 use crate::codec::CodecError;
 use crate::colseg::ColumnSegment;
 use crate::segment::{Segment, ZoneMap, DEFAULT_SEGMENT_BYTES};
+use crate::sketch::GroupSketch;
 use crate::store::{SealedSegment, SegmentRef, StoreFormat, TweetStore};
 
 /// Magic header of row-format segment files.
@@ -33,8 +42,11 @@ const MAGIC_COLS: &[u8; 8] = b"STIRSEG2";
 const MANIFEST: &str = "MANIFEST";
 /// First field of the manifest's version header line.
 const MANIFEST_MAGIC: &str = "STIRMAN";
-/// Current manifest version.
-const MANIFEST_VERSION: &str = "2";
+/// Current manifest version (3 = segment files may carry sketch
+/// sidecars).
+const MANIFEST_VERSION: &str = "3";
+/// Manifest versions this build reads.
+const MANIFEST_READABLE: [&str; 2] = ["2", "3"];
 
 /// Persistence errors.
 #[derive(Debug)]
@@ -144,6 +156,12 @@ pub fn save(store: &TweetStore, dir: &Path) -> Result<(), PersistError> {
             SegmentRef::Cols(c) => {
                 f.write_all(MAGIC_COLS)?;
                 f.write_all(&c.encode())?;
+                // Sketch sidecar: persisted only when already in memory
+                // (a seal-time or on-demand build, or a sidecar loaded
+                // earlier) — saving never forces a build.
+                if let Some(sketch) = store.sketch_cached(i) {
+                    f.write_all(&sketch.encode())?;
+                }
             }
         }
         f.sync_all()?;
@@ -174,7 +192,10 @@ pub fn load_with_segment_bytes(
     let format = match lines.peek() {
         Some(first) if first.starts_with(MANIFEST_MAGIC) => {
             let fields: Vec<&str> = first.split('\t').collect();
-            if fields.len() != 3 || fields[0] != MANIFEST_MAGIC || fields[1] != MANIFEST_VERSION {
+            if fields.len() != 3
+                || fields[0] != MANIFEST_MAGIC
+                || !MANIFEST_READABLE.contains(&fields[1])
+            {
                 return Err(PersistError::BadManifest);
             }
             let format = StoreFormat::parse(fields[2]).ok_or(PersistError::BadManifest)?;
@@ -198,10 +219,24 @@ pub fn load_with_segment_bytes(
         f.read_to_end(&mut bytes)?;
         // Dispatch on the per-file magic — a mixed store round-trips each
         // segment in the encoding it was sealed with.
-        let seg = if bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC {
-            SealedSegment::Rows(Segment::from_framed_bytes(&bytes[MAGIC.len()..])?)
+        let (seg, sketch) = if bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC {
+            (
+                SealedSegment::Rows(Segment::from_framed_bytes(&bytes[MAGIC.len()..])?),
+                None,
+            )
         } else if bytes.len() >= MAGIC_COLS.len() && &bytes[..MAGIC_COLS.len()] == MAGIC_COLS {
-            SealedSegment::Cols(ColumnSegment::decode(&bytes[MAGIC_COLS.len()..])?)
+            let (cols, consumed) = ColumnSegment::decode_prefix(&bytes[MAGIC_COLS.len()..])?;
+            // Anything after the column region is the optional sketch
+            // sidecar. It is decoded leniently: a damaged sidecar is
+            // dropped (queries fall back to scanning) rather than
+            // rejecting the otherwise-intact segment.
+            let rest = &bytes[MAGIC_COLS.len() + consumed..];
+            let sketch = if rest.is_empty() {
+                None
+            } else {
+                GroupSketch::decode(rest).ok()
+            };
+            (SealedSegment::Cols(cols), sketch)
         } else {
             return Err(PersistError::BadMagic);
         };
@@ -212,9 +247,13 @@ pub fn load_with_segment_bytes(
                 return Err(PersistError::ZoneMapMismatch(name.to_string()));
             }
         }
-        segments.push(seg);
+        segments.push((seg, sketch));
     }
-    Ok(TweetStore::from_sealed(segments, segment_bytes, format))
+    Ok(TweetStore::from_sealed_with_sketches(
+        segments,
+        segment_bytes,
+        format,
+    ))
 }
 
 #[cfg(test)]
@@ -462,6 +501,106 @@ mod tests {
         match load(&dir) {
             Err(PersistError::Corrupt(_)) => {}
             other => panic!("expected corrupt, got {:?}", other.map(|s| s.len())),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Test resolver: district = whole-degree latitude band.
+    struct Bands;
+    impl crate::sketch::SketchResolver for Bands {
+        fn fingerprint(&self) -> u64 {
+            0x5EED
+        }
+        fn resolve(&self, lat: f64, _lon: f64) -> Option<u32> {
+            Some(lat as u32)
+        }
+    }
+
+    fn populated_v2_with_sketches() -> TweetStore {
+        let mut s = TweetStore::with_segment_bytes_and_format(4096, StoreFormat::V2);
+        s.set_sketcher(std::sync::Arc::new(Bands));
+        for i in 0..1000u64 {
+            s.append(&TweetRecord {
+                id: i,
+                user: i % 11,
+                timestamp: i * 17,
+                gps: (i % 4 == 0).then(|| Point::new(36.0 + (i as f64) * 1e-3 % 2.0, 127.5)),
+                text: format!("tweet {i}"),
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn sketch_sidecar_round_trips() {
+        let dir = tmpdir("sketchside");
+        let s = populated_v2_with_sketches();
+        let sealed_cols: Vec<usize> = (0..s.segments().len())
+            .filter(|&i| s.segments()[i].is_columnar())
+            .collect();
+        assert!(
+            !sealed_cols.is_empty(),
+            "fixture must seal columnar segments"
+        );
+        save(&s, &dir).unwrap();
+        // The loaded store has no resolver installed, so any sketch it can
+        // produce must come from the persisted sidecar.
+        let loaded = load_with_segment_bytes(&dir, 4096).unwrap();
+        assert!(loaded.sketcher().is_none());
+        for &i in &sealed_cols {
+            let orig = s.sketch_cached(i).expect("seal-time sketch present");
+            let got = loaded
+                .sketch_for(i, 0x5EED)
+                .expect("persisted sidecar must satisfy sketch_for without a resolver");
+            assert_eq!(orig.encode(), got.encode());
+            // A different fingerprint must not be served stale data.
+            assert!(loaded.sketch_for(i, 0xDEAD).is_none());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_sketch_sidecar_falls_back_to_scan() {
+        let dir = tmpdir("sketchtamper");
+        let s = populated_v2_with_sketches();
+        save(&s, &dir).unwrap();
+        let seg_path = dir.join("seg-0000.stir");
+        let pristine = fs::read(&seg_path).unwrap();
+        let sidecar_at = pristine
+            .windows(8)
+            .rposition(|w| w == crate::sketch::SKETCH_MAGIC)
+            .expect("saved columnar file must carry a sketch sidecar");
+        for mutated in [
+            // Flip the file's last byte: inside the sidecar payload.
+            {
+                let mut b = pristine.clone();
+                let last = b.len() - 1;
+                b[last] ^= 0x55;
+                b
+            },
+            // Truncate mid-sidecar.
+            pristine[..sidecar_at + 10].to_vec(),
+            // Garble the sidecar magic itself.
+            {
+                let mut b = pristine.clone();
+                b[sidecar_at] = b'X';
+                b
+            },
+        ] {
+            fs::write(&seg_path, mutated).unwrap();
+            // The column region is intact, so the load succeeds; the
+            // damaged sidecar is simply dropped.
+            let loaded = load_with_segment_bytes(&dir, 4096).unwrap();
+            assert!(
+                loaded.sketch_cached(0).is_none(),
+                "damaged sidecar must be dropped"
+            );
+            assert!(loaded.sketch_for(0, 0x5EED).is_none());
+            assert_eq!(
+                Query::all().user(3).execute(&s),
+                Query::all().user(3).execute(&loaded),
+                "records must survive sidecar damage"
+            );
         }
         fs::remove_dir_all(&dir).unwrap();
     }

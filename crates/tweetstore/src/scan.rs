@@ -114,6 +114,19 @@ pub struct ScanMetrics {
     /// Per-shard breakdown when the scan ran over a sharded store
     /// (empty for single-store scans). Rendered as one row per shard.
     pub per_shard: Vec<ShardScanMetrics>,
+    /// Sealed segments answered from their materialized group sketch
+    /// instead of being scanned (0 when the sketch path was off or
+    /// inapplicable).
+    pub sketch_segments: u64,
+    /// Sketch entries merged across those segments — the work the merge
+    /// path did in place of per-record decodes.
+    pub sketch_entries_merged: u64,
+    /// Records scanned record-wise outside the sketch path: the open tail
+    /// plus any non-day-aligned window boundaries.
+    pub records_scanned_residual: u64,
+    /// Encoded sketch bytes merged; against `bytes_stored` of the sketched
+    /// segments this is the aggregation-pushdown read ratio.
+    pub sketch_bytes: u64,
 }
 
 /// One shard's slice of a sharded scan: pruning, decode volume, and the
@@ -197,6 +210,23 @@ impl ScanMetrics {
             self.blocks_per_thread,
             self.records_per_sec(),
         ));
+        if self.sketch_segments > 0 {
+            let ratio = if self.bytes_stored == 0 {
+                0.0
+            } else {
+                self.sketch_bytes as f64 / self.bytes_stored as f64
+            };
+            out.push_str(&format!(
+                "  sketches: {} segment(s) answered from sketches, {} entries merged, \
+                 {} residual records scanned, {} sketch bytes vs {} stored ({:.1}%)\n",
+                self.sketch_segments,
+                self.sketch_entries_merged,
+                self.records_scanned_residual,
+                self.sketch_bytes,
+                self.bytes_stored,
+                100.0 * ratio,
+            ));
+        }
         for s in &self.per_shard {
             out.push_str(&format!(
                 "  shard {}: {}/{} segments pruned, {}/{} records pruned, {} bytes decoded",

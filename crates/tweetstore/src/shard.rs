@@ -169,6 +169,25 @@ impl ShardedStore {
         &mut self.shards
     }
 
+    /// Installs one sketch resolver on every shard (see
+    /// [`TweetStore::set_sketcher`]): future columnar seals in any shard
+    /// build their group sketch eagerly, and already-sealed segments build
+    /// theirs lazily on first use.
+    pub fn set_sketcher(&mut self, resolver: std::sync::Arc<dyn crate::sketch::SketchResolver>) {
+        for s in &mut self.shards {
+            s.set_sketcher(std::sync::Arc::clone(&resolver));
+        }
+    }
+
+    /// Seals every shard's open tail (see [`TweetStore::seal_active`]):
+    /// after this, all records live in sealed segments and a sketched
+    /// query has no residue to scan.
+    pub fn seal_active(&mut self) {
+        for s in &mut self.shards {
+            s.seal_active();
+        }
+    }
+
     /// Per-shard WAL recovery outcomes (`None` where no WAL was involved).
     pub fn recovery(&self) -> &[Option<WalRecovery>] {
         &self.recovery

@@ -1,0 +1,474 @@
+//! Seal-time group sketches: per-segment materialized grouping partials.
+//!
+//! A [`GroupSketch`] is an immutable aggregate computed over one sealed
+//! segment: for every user, the merged `(district, count, first-slot)`
+//! entries of their resolvable GPS fixes, bucketed by UTC day so windowed
+//! queries can include or exclude whole buckets, plus per-day record
+//! totals for funnel accounting. Because sealed segments never change, a
+//! sketch computed once (at seal time, or lazily on first use for
+//! segments sealed before sketches existed) answers every later grouping
+//! query over that segment without touching a single record — the query
+//! layer k-way merges the per-segment sketches and scans only the open
+//! tail.
+//!
+//! The store layer is deliberately ignorant of *how* a GPS fix maps to a
+//! district: callers hand in a [`SketchResolver`], and the resolver's
+//! [`fingerprint`](SketchResolver::fingerprint) is embedded in every
+//! sketch so a sketch built under one district vocabulary is never merged
+//! under another.
+//!
+//! On disk a sketch rides as a sidecar block after the `STIRSEG2` column
+//! region: the [`SKETCH_MAGIC`] tag, then one FNV-checksummed frame
+//! (`len(u32 LE) · crc(u32 LE) · varint payload`). A tampered or
+//! truncated sidecar fails its checksum and is dropped at load — the
+//! query path falls back to the column scan; corruption can never error
+//! (or silently skew) a query.
+
+use std::collections::BTreeMap;
+
+use crate::codec::{fnv1a, get_varint_at, put_varint, CodecError};
+use crate::store::SegmentRef;
+
+/// Magic tag opening a serialized sketch sidecar.
+pub const SKETCH_MAGIC: &[u8; 8] = b"STIRSKT1";
+
+/// Seconds per sketch day bucket.
+pub const SECONDS_PER_DAY: u64 = 86_400;
+
+/// Maps a GPS fix to a district id for sketch building. Implemented by
+/// the analysis layer (the gazetteer path); the store stays vocabulary-
+/// agnostic.
+pub trait SketchResolver: Send + Sync {
+    /// Identifies the resolver's district vocabulary. Sketches embed this
+    /// value; a consumer must ignore sketches whose fingerprint differs
+    /// from its own resolver's.
+    fn fingerprint(&self) -> u64;
+
+    /// Resolves a coordinate to a district id, `None` when the fix is
+    /// outside coverage (it counts as unresolvable, exactly as the scan
+    /// path would have counted it).
+    fn resolve(&self, lat: f64, lon: f64) -> Option<u32>;
+}
+
+/// One merged district entry of one user within one day bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SketchEntry {
+    /// Resolver district id.
+    pub district: u32,
+    /// Resolvable fixes of this user in this district on this day.
+    pub count: u64,
+    /// Lowest slot (within the sketched segment) among those fixes — the
+    /// merge layer turns `segment ordinal base + first_slot` back into a
+    /// global first-seen ordinal.
+    pub first_slot: u32,
+}
+
+/// One user's aggregates for one day bucket. The merged per-district
+/// entries live in the sketch's flat entry arena — fetch them with
+/// [`GroupSketch::entries_of`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DaySketch {
+    /// UTC day ordinal (`timestamp / 86_400`).
+    pub day: u64,
+    /// GPS fixes of this user on this day that the resolver could not
+    /// place (outside coverage).
+    pub unresolvable: u64,
+    /// Range of this day's entries in the sketch's entry arena.
+    entry_lo: u32,
+    entry_hi: u32,
+}
+
+/// One user's row within the segment. The day buckets live in the
+/// sketch's flat day arena — fetch them with [`GroupSketch::days_of`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UserSketch {
+    /// User id.
+    pub user: u64,
+    /// Range of this user's day buckets in the sketch's day arena.
+    day_lo: u32,
+    day_hi: u32,
+}
+
+/// Whole-segment per-day record totals (all users, GPS or not) — the
+/// funnel's `tweets_total` / `tweets_with_gps` contributions of a window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DayTotal {
+    /// UTC day ordinal.
+    pub day: u64,
+    /// Decodable records with a timestamp in this day.
+    pub records: u64,
+    /// Of those, records carrying a GPS fix.
+    pub gps_records: u64,
+}
+
+/// The materialized grouping partial of one sealed segment.
+///
+/// The user → day → entry hierarchy is stored as three flat arenas with
+/// index ranges, not nested vectors: a merge walks contiguous memory (no
+/// pointer chasing through per-user heap allocations), and footprint /
+/// entry accounting is O(1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupSketch {
+    /// Fingerprint of the [`SketchResolver`] this sketch was built under.
+    pub fingerprint: u64,
+    /// Slot count of the segment the sketch covers — a cheap staleness
+    /// check for persisted sidecars.
+    pub records: u64,
+    /// Per-day record totals, ascending by day.
+    pub day_totals: Vec<DayTotal>,
+    /// Per-user rows, ascending by user id.
+    pub users: Vec<UserSketch>,
+    /// Day-bucket arena: each user's buckets contiguous, ascending by day.
+    days: Vec<DaySketch>,
+    /// Entry arena: each bucket's entries contiguous, ascending by
+    /// district id.
+    entries: Vec<SketchEntry>,
+}
+
+impl GroupSketch {
+    /// Computes the sketch of `seg` under `resolver`. Slots whose header
+    /// fails to decode are skipped, mirroring the scan engine's
+    /// corrupt-record handling; the result is independent of scan order
+    /// or parallelism by construction.
+    pub fn build(seg: SegmentRef<'_>, resolver: &dyn SketchResolver) -> GroupSketch {
+        let mut totals: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        type DayAcc = (u64, BTreeMap<u32, (u64, u32)>);
+        let mut users: BTreeMap<u64, BTreeMap<u64, DayAcc>> = BTreeMap::new();
+        for slot in 0..seg.len() as u32 {
+            let Ok(h) = seg.header(slot) else { continue };
+            let day = h.timestamp / SECONDS_PER_DAY;
+            let t = totals.entry(day).or_insert((0, 0));
+            t.0 += 1;
+            let Some(p) = h.gps else { continue };
+            t.1 += 1;
+            let per_day = users
+                .entry(h.user)
+                .or_default()
+                .entry(day)
+                .or_insert_with(|| (0, BTreeMap::new()));
+            match resolver.resolve(p.lat, p.lon) {
+                None => per_day.0 += 1,
+                Some(district) => per_day.1.entry(district).or_insert((0, slot)).0 += 1,
+            }
+        }
+        let mut sketch = GroupSketch {
+            fingerprint: resolver.fingerprint(),
+            records: seg.len() as u64,
+            day_totals: totals
+                .into_iter()
+                .map(|(day, (records, gps_records))| DayTotal {
+                    day,
+                    records,
+                    gps_records,
+                })
+                .collect(),
+            users: Vec::with_capacity(users.len()),
+            days: Vec::new(),
+            entries: Vec::new(),
+        };
+        for (user, days) in users {
+            let day_lo = sketch.days.len() as u32;
+            for (day, (unresolvable, entries)) in days {
+                let entry_lo = sketch.entries.len() as u32;
+                sketch.entries.extend(entries.into_iter().map(
+                    |(district, (count, first_slot))| SketchEntry {
+                        district,
+                        count,
+                        first_slot,
+                    },
+                ));
+                sketch.days.push(DaySketch {
+                    day,
+                    unresolvable,
+                    entry_lo,
+                    entry_hi: sketch.entries.len() as u32,
+                });
+            }
+            sketch.users.push(UserSketch {
+                user,
+                day_lo,
+                day_hi: sketch.days.len() as u32,
+            });
+        }
+        sketch
+    }
+
+    /// The day buckets of one user row, ascending by day. Empty for a row
+    /// that did not come from this sketch.
+    pub fn days_of(&self, u: &UserSketch) -> &[DaySketch] {
+        self.days
+            .get(u.day_lo as usize..u.day_hi as usize)
+            .unwrap_or(&[])
+    }
+
+    /// The merged per-district entries of one day bucket, ascending by
+    /// district id. Empty for a bucket that did not come from this sketch.
+    pub fn entries_of(&self, d: &DaySketch) -> &[SketchEntry] {
+        self.entries
+            .get(d.entry_lo as usize..d.entry_hi as usize)
+            .unwrap_or(&[])
+    }
+
+    /// Merged `(user, district, day)` entries in the sketch.
+    pub fn entry_count(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// In-memory footprint in bytes — what a merge reads in place of the
+    /// segment's records.
+    pub fn mem_bytes(&self) -> u64 {
+        (std::mem::size_of::<GroupSketch>()
+            + self.day_totals.len() * std::mem::size_of::<DayTotal>()
+            + self.users.len() * std::mem::size_of::<UserSketch>()
+            + self.days.len() * std::mem::size_of::<DaySketch>()
+            + self.entries.len() * std::mem::size_of::<SketchEntry>()) as u64
+    }
+
+    /// Serializes the sketch as a sidecar block: [`SKETCH_MAGIC`], then
+    /// `len(u32 LE) · fnv1a(u32 LE) · varint payload`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(64 + self.users.len() * 16);
+        put_varint(&mut p, self.fingerprint);
+        put_varint(&mut p, self.records);
+        put_varint(&mut p, self.day_totals.len() as u64);
+        for t in &self.day_totals {
+            put_varint(&mut p, t.day);
+            put_varint(&mut p, t.records);
+            put_varint(&mut p, t.gps_records);
+        }
+        put_varint(&mut p, self.users.len() as u64);
+        for u in &self.users {
+            let days = self.days_of(u);
+            put_varint(&mut p, u.user);
+            put_varint(&mut p, days.len() as u64);
+            for d in days {
+                let entries = self.entries_of(d);
+                put_varint(&mut p, d.day);
+                put_varint(&mut p, d.unresolvable);
+                put_varint(&mut p, entries.len() as u64);
+                for e in entries {
+                    put_varint(&mut p, e.district as u64);
+                    put_varint(&mut p, e.count);
+                    put_varint(&mut p, e.first_slot as u64);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(SKETCH_MAGIC.len() + 8 + p.len());
+        out.extend_from_slice(SKETCH_MAGIC);
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&p).to_le_bytes());
+        out.extend_from_slice(&p);
+        out
+    }
+
+    /// Deserializes a sidecar block produced by [`GroupSketch::encode`],
+    /// verifying the magic, the checksum, and every structural bound. Any
+    /// corruption or truncation returns `Err`; no input can trigger a
+    /// panic or an unbounded allocation. Trailing bytes after the block
+    /// are an error — the sidecar is always the last thing in its file.
+    pub fn decode(bytes: &[u8]) -> Result<GroupSketch, CodecError> {
+        let head = SKETCH_MAGIC.len();
+        if bytes.len() < head + 8 || &bytes[..head] != SKETCH_MAGIC {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let len = u32::from_le_bytes(bytes[head..head + 4].try_into().unwrap()) as usize;
+        let expected = u32::from_le_bytes(bytes[head + 4..head + 8].try_into().unwrap());
+        let Some(p) = bytes.get(head + 8..head + 8 + len) else {
+            return Err(CodecError::UnexpectedEof);
+        };
+        if head + 8 + len != bytes.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let actual = fnv1a(p);
+        if actual != expected {
+            return Err(CodecError::ChecksumMismatch { expected, actual });
+        }
+        let mut at = 0usize;
+        let fingerprint = get_varint_at(p, &mut at)?;
+        let records = get_varint_at(p, &mut at)?;
+        let n_totals = get_varint_at(p, &mut at)? as usize;
+        let mut day_totals = Vec::with_capacity(n_totals.min(1 << 12));
+        for _ in 0..n_totals {
+            let day = get_varint_at(p, &mut at)?;
+            let records = get_varint_at(p, &mut at)?;
+            let gps_records = get_varint_at(p, &mut at)?;
+            day_totals.push(DayTotal {
+                day,
+                records,
+                gps_records,
+            });
+        }
+        let n_users = get_varint_at(p, &mut at)? as usize;
+        let mut users = Vec::with_capacity(n_users.min(1 << 12));
+        let mut days = Vec::new();
+        let mut entries = Vec::new();
+        for _ in 0..n_users {
+            let user = get_varint_at(p, &mut at)?;
+            let n_days = get_varint_at(p, &mut at)? as usize;
+            let day_lo = days.len() as u32;
+            for _ in 0..n_days {
+                let day = get_varint_at(p, &mut at)?;
+                let unresolvable = get_varint_at(p, &mut at)?;
+                let n_entries = get_varint_at(p, &mut at)? as usize;
+                let entry_lo = entries.len() as u32;
+                for _ in 0..n_entries {
+                    let district = get_varint_at(p, &mut at)?;
+                    let count = get_varint_at(p, &mut at)?;
+                    let first_slot = get_varint_at(p, &mut at)?;
+                    if district > u32::MAX as u64 || first_slot > u32::MAX as u64 {
+                        return Err(CodecError::VarintOverflow);
+                    }
+                    entries.push(SketchEntry {
+                        district: district as u32,
+                        count,
+                        first_slot: first_slot as u32,
+                    });
+                }
+                days.push(DaySketch {
+                    day,
+                    unresolvable,
+                    entry_lo,
+                    entry_hi: entries.len() as u32,
+                });
+            }
+            users.push(UserSketch {
+                user,
+                day_lo,
+                day_hi: days.len() as u32,
+            });
+        }
+        if at != p.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(GroupSketch {
+            fingerprint,
+            records,
+            day_totals,
+            users,
+            days,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::TweetRecord;
+    use crate::store::{StoreFormat, TweetStore};
+    use stir_geoindex::Point;
+
+    /// A toy resolver: districts are integer-degree latitude bands.
+    struct Bands;
+
+    impl SketchResolver for Bands {
+        fn fingerprint(&self) -> u64 {
+            0xBAAD
+        }
+
+        fn resolve(&self, lat: f64, lon: f64) -> Option<u32> {
+            (lon < 130.0).then_some(lat as u32)
+        }
+    }
+
+    fn fixture() -> GroupSketch {
+        let mut store = TweetStore::with_segment_bytes_and_format(1024, StoreFormat::V2);
+        for i in 0..500u64 {
+            store.append(&TweetRecord {
+                id: i,
+                user: i % 7,
+                timestamp: i * 600, // spans several days
+                gps: (i % 3 != 0).then(|| {
+                    Point::new(
+                        35.0 + (i % 5) as f64,
+                        if i % 11 == 0 { 150.0 } else { 127.0 },
+                    )
+                }),
+                text: format!("t{i}"),
+            });
+        }
+        let segs = store.segments();
+        let seg = segs.iter().find(|s| s.is_columnar()).expect("sealed cols");
+        GroupSketch::build(*seg, &Bands)
+    }
+
+    #[test]
+    fn build_accounts_for_every_record() {
+        let s = fixture();
+        assert_eq!(s.fingerprint, 0xBAAD);
+        let total: u64 = s.day_totals.iter().map(|t| t.records).sum();
+        assert_eq!(total, s.records, "every decodable slot lands in a day");
+        let gps: u64 = s.day_totals.iter().map(|t| t.gps_records).sum();
+        let resolved: u64 = s
+            .users
+            .iter()
+            .flat_map(|u| s.days_of(u))
+            .flat_map(|d| s.entries_of(d))
+            .map(|e| e.count)
+            .sum();
+        let unresolvable: u64 = s
+            .users
+            .iter()
+            .flat_map(|u| s.days_of(u))
+            .map(|d| d.unresolvable)
+            .sum();
+        assert_eq!(gps, resolved + unresolvable);
+        assert!(unresolvable > 0, "fixture has out-of-coverage fixes");
+        // Sorted invariants the k-way merge relies on.
+        assert!(s.users.windows(2).all(|w| w[0].user < w[1].user));
+        for u in &s.users {
+            let days = s.days_of(u);
+            assert!(!days.is_empty(), "every user row has at least one day");
+            assert!(days.windows(2).all(|w| w[0].day < w[1].day));
+            for d in days {
+                assert!(s
+                    .entries_of(d)
+                    .windows(2)
+                    .all(|w| w[0].district < w[1].district));
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = fixture();
+        let bytes = s.encode();
+        assert!(bytes.starts_with(SKETCH_MAGIC));
+        let back = GroupSketch::decode(&bytes).unwrap();
+        assert_eq!(s, back);
+        assert!(s.entry_count() > 0);
+        assert!(s.mem_bytes() > 0);
+    }
+
+    #[test]
+    fn decode_rejects_tampering_truncation_and_trailing_garbage() {
+        let s = fixture();
+        let bytes = s.encode();
+        // Flip every byte position in turn: decode must error or return
+        // the original, never panic. (A flip in a varint's payload can
+        // only survive if the checksum collides, which fnv1a won't here.)
+        for i in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0x40;
+            assert!(GroupSketch::decode(&b).is_err(), "flip at {i} accepted");
+        }
+        for cut in 0..bytes.len() {
+            assert!(GroupSketch::decode(&bytes[..cut]).is_err());
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(GroupSketch::decode(&padded).is_err());
+        assert!(GroupSketch::decode(b"").is_err());
+        assert!(GroupSketch::decode(b"STIRSKT1").is_err());
+    }
+
+    #[test]
+    fn empty_segment_sketch_roundtrips() {
+        let store = TweetStore::new();
+        let segs = store.segments();
+        let s = GroupSketch::build(segs[0], &Bands);
+        assert_eq!(s.records, 0);
+        assert!(s.day_totals.is_empty() && s.users.is_empty());
+        assert_eq!(GroupSketch::decode(&s.encode()).unwrap(), s);
+    }
+}

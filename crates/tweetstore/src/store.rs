@@ -1,12 +1,14 @@
 //! The tweet store: segmented log + secondary indexes.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
 
 use stir_geoindex::geohash;
 
 use crate::codec::{fnv1a, CodecError, TweetHeader, TweetRecord, TweetView};
 use crate::colseg::ColumnSegment;
 use crate::segment::{Segment, ZoneMap, DEFAULT_SEGMENT_BYTES};
+use crate::sketch::{GroupSketch, SketchResolver};
 
 /// Physical location of a record: `(segment, slot)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -183,6 +185,28 @@ impl SealedSegment {
     }
 }
 
+/// One sealed segment's sketch state: a sidecar loaded from disk (kept
+/// only while it validates against the segment and the query's resolver
+/// fingerprint) and/or a lazily-built in-memory sketch.
+#[derive(Debug, Default)]
+struct SketchSlot {
+    /// Sketch loaded from a persisted sidecar, if the file carried one.
+    loaded: Option<Arc<GroupSketch>>,
+    /// Sketch built in-process (eagerly at seal, or lazily on first use).
+    /// `OnceLock` so concurrent readers race to build at most once;
+    /// `None` inside means a build was attempted without a resolver.
+    built: OnceLock<Option<Arc<GroupSketch>>>,
+}
+
+impl SketchSlot {
+    fn from_loaded(loaded: Option<GroupSketch>) -> Self {
+        SketchSlot {
+            loaded: loaded.map(Arc::new),
+            built: OnceLock::new(),
+        }
+    }
+}
+
 /// Aggregate store statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -221,6 +245,11 @@ pub struct StoreStats {
 /// ```
 pub struct TweetStore {
     sealed: Vec<SealedSegment>,
+    /// Per-sealed-segment sketch state, index-aligned with `sealed`.
+    sketches: Vec<SketchSlot>,
+    /// Resolver for building sketches (absent = sketches stay cold; only
+    /// persisted sidecars can answer).
+    sketcher: Option<Arc<dyn SketchResolver>>,
     active: Segment,
     segment_bytes: usize,
     format: StoreFormat,
@@ -258,6 +287,8 @@ impl TweetStore {
     pub fn with_segment_bytes_and_format(segment_bytes: usize, format: StoreFormat) -> Self {
         TweetStore {
             sealed: Vec::new(),
+            sketches: Vec::new(),
+            sketcher: None,
             active: Segment::new(),
             segment_bytes: segment_bytes.max(1024),
             format,
@@ -296,10 +327,98 @@ impl TweetStore {
     /// formats for the same append sequence.
     fn roll_if_full(&mut self) {
         if self.active.byte_len() >= self.segment_bytes {
-            let full = std::mem::replace(&mut self.active, Segment::new());
-            self.sealed.push(Self::seal(full, self.format));
-            self.stats.segments += 1;
+            self.roll();
         }
+    }
+
+    /// Seals the open tail now, regardless of fill. The forced boundary is
+    /// observable (per-segment slot layout, persisted file set), so the
+    /// store never does this on its own — it exists for callers that want
+    /// a *fully* sealed store: read-only handoff after bulk ingest,
+    /// persistence snapshots, benchmarks of the sealed-only paths. An
+    /// empty tail is left alone. Under `V2` with a sketcher installed the
+    /// forced seal sketches itself like any other.
+    pub fn seal_active(&mut self) {
+        if !self.active.is_empty() {
+            self.roll();
+        }
+    }
+
+    fn roll(&mut self) {
+        let full = std::mem::replace(&mut self.active, Segment::new());
+        let sealed = Self::seal(full, self.format);
+        let slot = SketchSlot::default();
+        // Seal-time sketch: columnar seals under an installed resolver
+        // materialize their grouping partial immediately — the sealed
+        // payload is immutable from here on, so the sketch never goes
+        // stale. Row seals stay lazy (built on first sketch query).
+        if let (SealedSegment::Cols(_), Some(resolver)) = (&sealed, &self.sketcher) {
+            let sketch = GroupSketch::build(sealed.as_ref(), resolver.as_ref());
+            let _ = slot.built.set(Some(Arc::new(sketch)));
+        }
+        self.sealed.push(sealed);
+        self.sketches.push(slot);
+        self.stats.segments += 1;
+    }
+
+    /// Installs the resolver used to build [`GroupSketch`]es at seal time
+    /// and on demand. Replacing the resolver discards sketches built under
+    /// the previous one (persisted sidecars stay; they re-validate by
+    /// fingerprint at query time).
+    pub fn set_sketcher(&mut self, resolver: Arc<dyn SketchResolver>) {
+        self.sketcher = Some(resolver);
+        for slot in &mut self.sketches {
+            slot.built = OnceLock::new();
+        }
+    }
+
+    /// The installed sketch resolver, if any.
+    pub fn sketcher(&self) -> Option<&Arc<dyn SketchResolver>> {
+        self.sketcher.as_ref()
+    }
+
+    /// The sketch of sealed segment `seg_idx` under the vocabulary
+    /// identified by `expected_fingerprint`, building it on first use when
+    /// a matching resolver is installed. `None` when the index is the
+    /// active tail, no valid sidecar or resolver exists, or the
+    /// fingerprints disagree — the caller must fall back to scanning that
+    /// segment (in practice: the whole query falls back).
+    pub fn sketch_for(
+        &self,
+        seg_idx: usize,
+        expected_fingerprint: u64,
+    ) -> Option<Arc<GroupSketch>> {
+        let slot = self.sketches.get(seg_idx)?;
+        let seg_records = self.sealed[seg_idx].as_ref().len() as u64;
+        if let Some(loaded) = &slot.loaded {
+            if loaded.fingerprint == expected_fingerprint && loaded.records == seg_records {
+                return Some(Arc::clone(loaded));
+            }
+        }
+        let built = slot.built.get_or_init(|| {
+            let resolver = self.sketcher.as_ref()?;
+            if resolver.fingerprint() != expected_fingerprint {
+                return None;
+            }
+            Some(Arc::new(GroupSketch::build(
+                self.sealed[seg_idx].as_ref(),
+                resolver.as_ref(),
+            )))
+        });
+        let sketch = built.clone()?;
+        (sketch.fingerprint == expected_fingerprint && sketch.records == seg_records)
+            .then_some(sketch)
+    }
+
+    /// A sketch already in memory for sealed segment `seg_idx` (persisted
+    /// sidecar or a completed build) — never triggers a build. What
+    /// persistence writes back out.
+    pub(crate) fn sketch_cached(&self, seg_idx: usize) -> Option<Arc<GroupSketch>> {
+        let slot = self.sketches.get(seg_idx)?;
+        slot.built
+            .get()
+            .and_then(|b| b.clone())
+            .or_else(|| slot.loaded.clone())
     }
 
     /// Converts a full row segment into its sealed form for `format`.
@@ -534,20 +653,35 @@ impl TweetStore {
     /// record text is never decoded. A trailing *row* segment resumes as
     /// the active segment (a columnar tail stays sealed: columns are
     /// immutable). Indexes and stats are rebuilt from a header-only scan.
-    pub(crate) fn from_sealed(
-        mut segments: Vec<SealedSegment>,
+    /// Each segment arrives with its persisted sketch sidecar (if its file
+    /// carried a valid one) riding along.
+    pub(crate) fn from_sealed_with_sketches(
+        mut segments: Vec<(SealedSegment, Option<GroupSketch>)>,
         segment_bytes: usize,
         format: StoreFormat,
     ) -> Self {
         let mut store = TweetStore::with_segment_bytes_and_format(segment_bytes, format);
         match segments.pop() {
-            Some(SealedSegment::Rows(tail)) => {
-                store.sealed = segments;
+            Some((SealedSegment::Rows(tail), _)) => {
+                // The trailing row segment resumes as the active tail; a
+                // sketch cannot cover a mutable segment, so any sidecar it
+                // had is dropped.
+                store.sealed = Vec::with_capacity(segments.len());
+                store.sketches = Vec::with_capacity(segments.len());
+                for (seg, sketch) in segments {
+                    store.sealed.push(seg);
+                    store.sketches.push(SketchSlot::from_loaded(sketch));
+                }
                 store.active = tail;
             }
-            Some(cols @ SealedSegment::Cols(_)) => {
+            Some(cols @ (SealedSegment::Cols(_), _)) => {
                 segments.push(cols);
-                store.sealed = segments;
+                store.sealed = Vec::with_capacity(segments.len());
+                store.sketches = Vec::with_capacity(segments.len());
+                for (seg, sketch) in segments {
+                    store.sealed.push(seg);
+                    store.sketches.push(SketchSlot::from_loaded(sketch));
+                }
             }
             None => return store,
         }
